@@ -1,0 +1,171 @@
+package cinderella_test
+
+import (
+	"testing"
+
+	"cinderella/internal/bench"
+	"cinderella/internal/cc"
+	"cinderella/internal/cfg"
+	"cinderella/internal/isa"
+	"cinderella/internal/march"
+	"cinderella/internal/progfuzz"
+	"cinderella/internal/sim"
+)
+
+// blockBracketCheck steps the machine instruction by instruction,
+// attributes cycles to basic-block executions, and asserts the DESIGN.md
+// bracket invariant for every completed execution:
+//
+//	Best <= observed cycles <= Worst
+//
+// This is the property that makes the whole analysis sound; the end-to-end
+// enclosure tests depend on it transitively, this test checks it directly.
+func blockBracketCheck(t *testing.T, m *sim.Machine, prog *cfg.Program, costs map[string][]march.BlockCost, maxSteps int) int {
+	t.Helper()
+
+	// Index every block by start address.
+	type blockRef struct {
+		fn  string
+		idx int
+		end uint32
+	}
+	byStart := map[uint32]blockRef{}
+	for fn, fc := range prog.Funcs {
+		for _, b := range fc.Blocks {
+			byStart[b.Start] = blockRef{fn: fn, idx: b.Index, end: b.End}
+		}
+	}
+
+	var (
+		cur      *blockRef
+		running  int64
+		executed int
+		checked  int
+	)
+	finish := func() {
+		if cur == nil {
+			return
+		}
+		c := costs[cur.fn][cur.idx]
+		if running < c.Best || running > c.Worst {
+			t.Fatalf("%s block %d: observed %d outside bracket [%d, %d]",
+				cur.fn, cur.idx+1, running, c.Best, c.Worst)
+		}
+		checked++
+		cur = nil
+	}
+
+	for !m.Halted() && m.PC() != sim.StopAddr && executed < maxSteps {
+		pc := m.PC()
+		if ref, ok := byStart[pc]; ok {
+			finish()
+			ref := ref
+			cur = &ref
+			running = 0
+		}
+		last := cur != nil && pc == cur.end-isa.WordBytes
+		cost, err := m.Step()
+		if err != nil {
+			t.Fatalf("step at %#x: %v", pc, err)
+		}
+		executed++
+		if cur != nil {
+			running += int64(cost)
+			if last {
+				finish()
+			}
+		}
+	}
+	finish()
+	return checked
+}
+
+func costsFor(prog *cfg.Program, opts march.Options) map[string][]march.BlockCost {
+	out := map[string][]march.BlockCost{}
+	for fn, fc := range prog.Funcs {
+		out[fn] = march.CostsOf(fc, opts)
+	}
+	return out
+}
+
+func TestBlockBracketOnBenchmarks(t *testing.T) {
+	for _, name := range []string{"check_data", "piksrt", "circle", "jpeg_idct_islow", "dhry"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			bm, ok := bench.ByName(name)
+			if !ok {
+				t.Fatal("missing benchmark")
+			}
+			exe, _, err := cc.Build(bm.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := cfg.Build(exe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			costs := costsFor(prog, march.DefaultOptions())
+			m, err := sim.New(exe, sim.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bm.WorstSetup != nil {
+				if err := bm.WorstSetup(m, exe); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Drive the routine directly so every fetched block belongs to
+			// a known function.
+			f, ok := exe.FunctionNamed(bm.Root)
+			if !ok {
+				t.Fatal("root missing")
+			}
+			m.SetReg(isa.RegLR, int32(int64(sim.StopAddr)-(1<<32)))
+			if err := m.SetPC(f.Addr); err != nil {
+				t.Fatal(err)
+			}
+			checked := blockBracketCheck(t, m, prog, costs, 3_000_000)
+			if checked < 10 {
+				t.Fatalf("only %d block executions checked", checked)
+			}
+		})
+	}
+}
+
+func TestBlockBracketOnFuzzedPrograms(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		src := progfuzz.Generate(seed)
+		exe, _, err := cc.Build(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := cfg.Build(exe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs := costsFor(prog, march.DefaultOptions())
+		m, err := sim.New(exe, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Push f's two arguments the way sim.Call does, then step manually.
+		sp := uint32(1 << 20)
+		sp -= 16
+		if err := m.WriteWord(sp, 1234); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WriteWord(sp+8, -99); err != nil {
+			t.Fatal(err)
+		}
+		m.SetReg(isa.RegSP, int32(sp))
+		m.SetReg(isa.RegLR, int32(int64(sim.StopAddr)-(1<<32)))
+		f, _ := exe.FunctionNamed("f")
+		if err := m.SetPC(f.Addr); err != nil {
+			t.Fatal(err)
+		}
+		checked := blockBracketCheck(t, m, prog, costs, 2_000_000)
+		if checked == 0 {
+			t.Fatalf("seed %d: no block executions checked", seed)
+		}
+	}
+}

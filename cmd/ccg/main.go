@@ -1,0 +1,74 @@
+// Command ccg is the MC compiler driver: it compiles the small C dialect of
+// package cc to CR32 assembly or a disassembled image, and can run the
+// result directly on the simulator.
+//
+//	ccg -src prog.mc                 # print generated assembly
+//	ccg -src prog.mc -dis            # print the linked image disassembly
+//	ccg -src prog.mc -run            # compile and execute main
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/cc"
+	"cinderella/internal/sim"
+)
+
+func main() {
+	var (
+		srcPath  = flag.String("src", "", "MC source file")
+		dis      = flag.Bool("dis", false, "print the disassembled image instead of assembly text")
+		run      = flag.Bool("run", false, "execute main on the simulator after compiling")
+		out      = flag.String("o", "", "write assembly to this file instead of stdout")
+		optimize = flag.Bool("O", false, "apply the peephole optimizer")
+	)
+	flag.Parse()
+	if *srcPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	text, err := os.ReadFile(*srcPath)
+	if err != nil {
+		fatal(err)
+	}
+	asmText, err := cc.Compile(string(text))
+	if err != nil {
+		fatal(err)
+	}
+	if *optimize {
+		asmText = cc.Optimize(asmText)
+	}
+	exe, err := asm.Assemble(asmText)
+	if err != nil {
+		fatal(fmt.Errorf("internal: generated assembly does not assemble: %w", err))
+	}
+
+	switch {
+	case *run:
+		m, err := sim.New(exe, sim.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("halted after %d instructions, %d cycles; rv = %d\n",
+			m.Steps(), m.Cycles(), m.Reg(1))
+	case *dis:
+		fmt.Print(asm.Disassemble(exe))
+	case *out != "":
+		if err := os.WriteFile(*out, []byte(asmText), 0o644); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Print(asmText)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,249 @@
+// Command cinderella is the timing analyzer of the paper (Section V): it
+// compiles an MC program (or assembles CR32 assembly), reconstructs the
+// control flow graphs, derives the structural constraints, combines them
+// with the user's functionality annotations, and reports the estimated
+// running-time bound [BCET, WCET] in cycles together with per-block costs
+// and the extreme-case execution counts.
+//
+//	cinderella -src prog.mc -root f -annot prog.ann
+//	cinderella -src prog.mc -root f -list          # annotated listing
+//	cinderella -bench check_data                   # built-in Table I row
+//	cinderella -table1 -table2 -table3 -stats      # reproduce the tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/autobound"
+	"cinderella/internal/bench"
+	"cinderella/internal/cc"
+	"cinderella/internal/cfg"
+	"cinderella/internal/constraint"
+	"cinderella/internal/ipet"
+	"cinderella/internal/isa"
+)
+
+func main() {
+	var (
+		srcPath   = flag.String("src", "", "MC source file to analyze")
+		asmPath   = flag.String("asm", "", "CR32 assembly file to analyze")
+		root      = flag.String("root", "main", "function whose bound is estimated")
+		annotPath = flag.String("annot", "", "functionality annotation file")
+		list      = flag.Bool("list", false, "print the annotated CFG listing and exit")
+		dumpLP    = flag.Bool("lp", false, "print the integer linear programs instead of solving")
+		split     = flag.Bool("split", false, "enable first-iteration cache splitting (Section IV)")
+		auto      = flag.Bool("autobound", false, "derive counted-loop bounds automatically (Section VII future work)")
+		optimize  = flag.Bool("O", false, "compile -src with the peephole optimizer")
+		noPrune   = flag.Bool("noprune", false, "disable null constraint-set pruning")
+		benchName = flag.String("bench", "", "analyze a built-in Table I benchmark")
+		table1    = flag.Bool("table1", false, "print the Table I analog for the benchmark suite")
+		table2    = flag.Bool("table2", false, "print the Table II analog (estimated vs calculated)")
+		table3    = flag.Bool("table3", false, "print the Table III analog (estimated vs measured)")
+		stats     = flag.Bool("stats", false, "print ILP solver statistics (Section VI observation)")
+		mhz       = flag.Float64("mhz", 20, "clock frequency used to report times (the QT960 runs at 20 MHz)")
+		profile   = flag.String("profile", "i960kb", "processor timing profile (i960kb, dsp3210)")
+	)
+	flag.Parse()
+
+	timing, ok := isa.Profiles()[*profile]
+	if !ok {
+		fatal(fmt.Errorf("unknown timing profile %q (have i960kb, dsp3210)", *profile))
+	}
+	opts := ipet.DefaultOptions()
+	opts.SplitFirstIteration = *split
+	opts.PruneNullSets = !*noPrune
+	opts.March.Timing = timing
+
+	if *table1 || *table2 || *table3 || *stats {
+		rows, err := bench.RunAll(opts)
+		if err != nil {
+			fatal(err)
+		}
+		if *table1 {
+			bench.WriteTableI(os.Stdout, rows)
+			fmt.Println()
+		}
+		if *table2 {
+			bench.WriteTableII(os.Stdout, rows)
+			fmt.Println()
+		}
+		if *table3 {
+			bench.WriteTableIII(os.Stdout, rows)
+			fmt.Println()
+		}
+		if *stats {
+			bench.WriteSolverStats(os.Stdout, rows)
+		}
+		return
+	}
+
+	var (
+		exe      *asm.Executable
+		annots   string
+		analyzed = *root
+	)
+	switch {
+	case *benchName != "":
+		b, ok := bench.ByName(*benchName)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q (have %v)", *benchName, names()))
+		}
+		var err error
+		exe, _, err = cc.Build(b.Source)
+		if err != nil {
+			fatal(err)
+		}
+		annots = b.Annotations
+		analyzed = b.Root
+	case *srcPath != "":
+		srcText, err := os.ReadFile(*srcPath)
+		if err != nil {
+			fatal(err)
+		}
+		build := cc.Build
+		if *optimize {
+			build = cc.BuildOptimized
+		}
+		exe, _, err = build(string(srcText))
+		if err != nil {
+			fatal(err)
+		}
+	case *asmPath != "":
+		asmText, err := os.ReadFile(*asmPath)
+		if err != nil {
+			fatal(err)
+		}
+		exe, err = asm.Assemble(string(asmText))
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	prog, err := cfg.Build(exe)
+	if err != nil {
+		fatal(err)
+	}
+	an, err := ipet.New(prog, analyzed, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *annotPath != "" {
+		text, err := os.ReadFile(*annotPath)
+		if err != nil {
+			fatal(err)
+		}
+		annots = string(text)
+	}
+	var files []*constraint.File
+	if annots != "" {
+		file, err := constraint.Parse(annots)
+		if err != nil {
+			fatal(err)
+		}
+		files = append(files, file)
+	}
+	if *auto {
+		res := autobound.Derive(prog)
+		for _, db := range res.Bounds {
+			fmt.Printf("autobound: %s loop %d: %d .. %d  (%s)\n", db.Func, db.Loop, db.Lo, db.Hi, db.Why)
+		}
+		var skipped []string
+		for k := range res.Skipped {
+			skipped = append(skipped, k)
+		}
+		sort.Strings(skipped)
+		for _, k := range skipped {
+			fmt.Printf("autobound: %s not derived: %s\n", k, res.Skipped[k])
+		}
+		files = append(files, res.File())
+	}
+	if len(files) > 0 {
+		if err := an.Apply(constraint.Merge(files...)); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *dumpLP {
+		if err := an.DumpILP(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *list {
+		fmt.Print(an.AnnotatedListing())
+		if missing := an.MissingLoopBounds(); len(missing) > 0 {
+			fmt.Println("loops still needing bounds:")
+			for _, m := range missing {
+				fmt.Println("  " + m)
+			}
+		}
+		return
+	}
+
+	if missing := an.MissingLoopBounds(); len(missing) > 0 {
+		fmt.Fprintln(os.Stderr, "cinderella: the following loops have no bound annotation:")
+		for _, m := range missing {
+			fmt.Fprintln(os.Stderr, "  "+m)
+		}
+		fmt.Fprintln(os.Stderr, "provide them in an annotation file (-annot); run -list for the numbering")
+		os.Exit(1)
+	}
+
+	est, err := an.Estimate()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("function %s: estimated bound [%d, %d] cycles", analyzed, est.BCET.Cycles, est.WCET.Cycles)
+	if *mhz > 0 {
+		fmt.Printf("  ([%.1f, %.1f] us at %g MHz)",
+			float64(est.BCET.Cycles)/(*mhz), float64(est.WCET.Cycles)/(*mhz), *mhz)
+	}
+	fmt.Println()
+	fmt.Printf("functionality constraint sets: %d generated, %d null pruned, %d solved\n",
+		est.NumSets, est.PrunedSets, est.SolvedSets)
+	fmt.Printf("ILP: %d LP calls, %d branch-and-bound nodes, root integral: %v\n",
+		est.LPSolves, est.Branches, est.AllRootIntegral)
+
+	fmt.Println("\nworst-case block counts and costs:")
+	printCounts(an, est.WCET.Counts)
+	fmt.Println("\nbest-case block counts:")
+	printCounts(an, est.BCET.Counts)
+}
+
+func printCounts(an *ipet.Analyzer, counts map[string][]int64) {
+	var fns []string
+	for fn := range counts {
+		fns = append(fns, fn)
+	}
+	sort.Strings(fns)
+	for _, fn := range fns {
+		costs := an.BlockCosts(fn)
+		for i, n := range counts[fn] {
+			if n == 0 {
+				continue
+			}
+			fmt.Printf("  %s.x%-3d count %-8d cost [%d, %d]\n", fn, i+1, n, costs[i].Best, costs[i].Worst)
+		}
+	}
+}
+
+func names() []string {
+	var out []string
+	for _, b := range bench.All() {
+		out = append(out, b.Name)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cinderella:", err)
+	os.Exit(1)
+}

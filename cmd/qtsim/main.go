@@ -1,0 +1,143 @@
+// Command qtsim is the evaluation-board stand-in (the paper's Intel QT960):
+// it loads an MC program or CR32 assembly into the cycle-counting simulator,
+// runs a routine, and reports elapsed cycles, instruction counts and
+// instruction-cache statistics. The -flush flag reproduces the Experiment 2
+// worst-case protocol of invalidating the cache before the measured call.
+//
+//	qtsim -src prog.mc                       # run main until halt
+//	qtsim -src prog.mc -call f -args 3,4     # call one routine
+//	qtsim -bench fft -call fft -flush        # cold-cache measurement
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/bench"
+	"cinderella/internal/cc"
+	"cinderella/internal/isa"
+	"cinderella/internal/sim"
+)
+
+func main() {
+	var (
+		srcPath   = flag.String("src", "", "MC source file to run")
+		asmPath   = flag.String("asm", "", "CR32 assembly file to run")
+		benchName = flag.String("bench", "", "run a built-in Table I benchmark (worst-case data installed)")
+		call      = flag.String("call", "", "function to call (default: run main until halt)")
+		argList   = flag.String("args", "", "comma-separated integer arguments for -call")
+		flush     = flag.Bool("flush", false, "flush the instruction cache before the measured call")
+		warm      = flag.Bool("warm", false, "run the routine once to warm the cache before measuring")
+		mhz       = flag.Float64("mhz", 20, "clock frequency for reporting elapsed time")
+		profile   = flag.String("profile", "i960kb", "processor timing profile (i960kb, dsp3210)")
+	)
+	flag.Parse()
+
+	timing, ok := isa.Profiles()[*profile]
+	if !ok {
+		fatal(fmt.Errorf("unknown timing profile %q (have i960kb, dsp3210)", *profile))
+	}
+
+	var (
+		exe *asm.Executable
+		err error
+		b   *bench.Benchmark
+	)
+	switch {
+	case *benchName != "":
+		var ok bool
+		b, ok = bench.ByName(*benchName)
+		if !ok {
+			fatal(fmt.Errorf("unknown benchmark %q", *benchName))
+		}
+		exe, _, err = cc.Build(b.Source)
+		if *call == "" {
+			*call = b.Root
+		}
+	case *srcPath != "":
+		var text []byte
+		if text, err = os.ReadFile(*srcPath); err == nil {
+			exe, _, err = cc.Build(string(text))
+		}
+	case *asmPath != "":
+		var text []byte
+		if text, err = os.ReadFile(*asmPath); err == nil {
+			exe, err = asm.Assemble(string(text))
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	m, err := sim.New(exe, sim.Config{Timing: timing})
+	if err != nil {
+		fatal(err)
+	}
+	setup := func() {
+		if b != nil && b.WorstSetup != nil {
+			if err := b.WorstSetup(m, exe); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	setup()
+
+	var args []int32
+	if *argList != "" {
+		for _, tok := range strings.Split(*argList, ",") {
+			v, err := strconv.ParseInt(strings.TrimSpace(tok), 0, 32)
+			if err != nil {
+				fatal(fmt.Errorf("bad argument %q", tok))
+			}
+			args = append(args, int32(v))
+		}
+	}
+
+	if *call == "" {
+		if err := m.Run(); err != nil {
+			fatal(err)
+		}
+		report(m, *mhz, m.Cycles())
+		return
+	}
+
+	if *warm {
+		if _, err := m.CallNamed(*call, args...); err != nil {
+			fatal(err)
+		}
+		setup()
+	}
+	if *flush {
+		m.Cache().Flush()
+	}
+	m.Cache().ResetStats()
+	before := m.Cycles()
+	rv, err := m.CallNamed(*call, args...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s(%s) = %d\n", *call, *argList, rv)
+	report(m, *mhz, m.Cycles()-before)
+}
+
+func report(m *sim.Machine, mhz float64, cycles uint64) {
+	fmt.Printf("cycles:       %d", cycles)
+	if mhz > 0 {
+		fmt.Printf("  (%.1f us at %g MHz)", float64(cycles)/mhz, mhz)
+	}
+	fmt.Println()
+	fmt.Printf("instructions: %d\n", m.Steps())
+	fmt.Printf("icache:       %d hits, %d misses\n", m.Cache().Hits(), m.Cache().Misses())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qtsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,27 @@
+// Package cinderella reproduces "Performance Analysis of Embedded Software
+// Using Implicit Path Enumeration" (Li & Malik, DAC 1995): worst/best-case
+// execution time estimation by integer linear programming over basic-block
+// execution counts.
+//
+// The library lives under internal/:
+//
+//	internal/ipet        the paper's contribution — the ILP formulation
+//	internal/cfg         control-flow-graph reconstruction from executables
+//	internal/constraint  the functionality-constraint language (loop bounds,
+//	                     linear path facts, & / | disjunctions)
+//	internal/ilp         two-phase simplex + branch and bound
+//	internal/march       the micro-architectural block cost model
+//	internal/cc          the MC compiler (a small C dialect) for CR32
+//	internal/asm         the CR32 assembler, linker and disassembler
+//	internal/isa         the CR32 instruction set (an i960KB stand-in)
+//	internal/sim         the cycle-counting board simulator ("QT960")
+//	internal/cache       the 512-byte direct-mapped instruction cache
+//	internal/eval        the Experiment 1/2 measurement protocols
+//	internal/pathenum    the explicit path-enumeration baseline
+//	internal/bench       the 13 Table I benchmarks with annotations
+//
+// Command-line tools are under cmd/ (cinderella, qtsim, ccg), runnable
+// demos under examples/, and the benchmark harness that regenerates every
+// table and figure of the paper is bench_test.go at the module root. See
+// README.md, DESIGN.md and EXPERIMENTS.md.
+package cinderella

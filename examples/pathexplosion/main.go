@@ -1,0 +1,84 @@
+// Path explosion: the paper's motivating claim (Sections I-II) made
+// measurable. Explicit path enumeration in the style of Park and Shaw walks
+// a number of paths exponential in program size — "this runs out of steam
+// rather quickly" — while the ILP formulation considers all paths
+// implicitly and solves each instance with a handful of simplex pivots.
+//
+// The workload is a family of programs with n sequential if/else diamonds:
+// 2^n feasible paths.
+//
+//	go run ./examples/pathexplosion
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/cfg"
+	"cinderella/internal/ipet"
+	"cinderella/internal/march"
+	"cinderella/internal/pathenum"
+)
+
+// diamondChain emits main with n sequential two-way branches.
+func diamondChain(n int) string {
+	var b strings.Builder
+	b.WriteString("main:\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "        beq r1, r0, .La%d\n", i)
+		fmt.Fprintf(&b, "        mul r2, r2, r2\n")
+		fmt.Fprintf(&b, "        jmp .Lb%d\n", i)
+		fmt.Fprintf(&b, ".La%d:  addi r2, r2, 1\n", i)
+		fmt.Fprintf(&b, ".Lb%d:  addi r3, r3, 1\n", i)
+	}
+	b.WriteString("        halt\n")
+	return b.String()
+}
+
+func main() {
+	fmt.Printf("%4s %14s %14s %14s %14s %8s\n",
+		"n", "paths", "explicit", "implicit(ILP)", "same WCET?", "pivots")
+	for _, n := range []int{2, 6, 10, 14, 18, 20} {
+		exe, err := asm.Assemble(diamondChain(n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog, err := cfg.Build(exe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		costs := map[string][]march.BlockCost{
+			"main": march.CostsOf(prog.Funcs["main"], march.DefaultOptions()),
+		}
+
+		t0 := time.Now()
+		res, err := pathenum.Enumerate(prog, "main", pathenum.Options{
+			Bounds: map[string][]int64{"main": {}},
+			Costs:  costs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		explicit := time.Since(t0)
+
+		t1 := time.Now()
+		an, err := ipet.New(prog, "main", ipet.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		est, err := an.Estimate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		implicit := time.Since(t1)
+
+		agree := est.WCET.Cycles == res.Worst && est.BCET.Cycles == res.Best
+		fmt.Printf("%4d %14d %14s %14s %14v %8d\n",
+			n, res.PathsExplored, explicit.Round(time.Microsecond),
+			implicit.Round(time.Microsecond), agree, est.LPSolves)
+	}
+	fmt.Println("\nexplicit work doubles with every diamond; the ILP's does not.")
+}

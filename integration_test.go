@@ -1,0 +1,210 @@
+package cinderella_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/autobound"
+	"cinderella/internal/cc"
+	"cinderella/internal/cfg"
+	"cinderella/internal/ipet"
+	"cinderella/internal/isa"
+	"cinderella/internal/progfuzz"
+	"cinderella/internal/sim"
+)
+
+// measuredCall runs f(a, b) on a cold machine and returns elapsed cycles.
+func measuredCall(exe *asm.Executable, timing *isa.Timing, a, b int32) (int64, error) {
+	m, err := sim.New(exe, sim.Config{Timing: timing})
+	if err != nil {
+		return 0, err
+	}
+	before := m.Cycles()
+	if _, err := m.CallNamed("f", a, b); err != nil {
+		return 0, err
+	}
+	return int64(m.Cycles() - before), nil
+}
+
+// TestWholeStackFuzz is the repository's capstone property test: random MC
+// programs (package progfuzz) flow through every layer — compiler, CFG
+// reconstruction, automatic loop-bound derivation, IPET analysis, and the
+// board simulator — and the Fig. 1 invariant must hold on every concrete
+// run:
+//
+//	BCET estimate <= simulated cycles <= WCET estimate
+//
+// with no branch-and-bound ever needed (the paper's §VI observation) and
+// every generated counted loop bounded automatically (§VII future work).
+func TestWholeStackFuzz(t *testing.T) {
+	trials := int64(40)
+	if testing.Short() {
+		trials = 8
+	}
+	rng := rand.New(rand.NewSource(99))
+	for seed := int64(1000); seed < 1000+trials; seed++ {
+		src := progfuzz.Generate(seed)
+		exe, _, err := cc.Build(src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+		}
+		prog, err := cfg.Build(exe)
+		if err != nil {
+			t.Fatalf("seed %d: cfg: %v", seed, err)
+		}
+
+		// Every generated loop is a counted for-loop: the automatic
+		// derivation must bound all of them, exactly.
+		res := autobound.Derive(prog)
+		totalLoops := 0
+		for _, fc := range prog.Funcs {
+			totalLoops += len(fc.Loops)
+		}
+		if len(res.Bounds) != totalLoops {
+			t.Fatalf("seed %d: derived %d of %d loops (skipped: %v)\n%s",
+				seed, len(res.Bounds), totalLoops, res.Skipped, src)
+		}
+		for _, db := range res.Bounds {
+			if !db.Exact || db.Lo != db.Hi {
+				t.Fatalf("seed %d: inexact derivation %+v", seed, db)
+			}
+		}
+
+		an, err := ipet.New(prog, "f", ipet.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := an.Apply(res.File()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		est, err := an.Estimate()
+		if err != nil {
+			t.Fatalf("seed %d: estimate: %v\n%s", seed, err, src)
+		}
+		if !est.AllRootIntegral || est.Branches != 0 {
+			t.Fatalf("seed %d: ILP branched (%d nodes)", seed, est.Branches)
+		}
+
+		for trial := 0; trial < 4; trial++ {
+			a := int32(rng.Intn(1<<16) - 1<<15)
+			b := int32(rng.Intn(1<<16) - 1<<15)
+			cycles, err := measuredCall(exe, nil, a, b)
+			if err != nil {
+				t.Fatalf("seed %d f(%d, %d): %v\n%s", seed, a, b, err, src)
+			}
+			if cycles < est.BCET.Cycles || cycles > est.WCET.Cycles {
+				t.Fatalf("seed %d f(%d, %d): %d cycles outside [%d, %d]\n%s",
+					seed, a, b, cycles, est.BCET.Cycles, est.WCET.Cycles, src)
+			}
+		}
+	}
+}
+
+// TestWholeStackProfiles re-checks the fuzz enclosure under the DSP3210
+// profile for a sample of seeds.
+func TestWholeStackProfiles(t *testing.T) {
+	dsp := isa.DSP3210()
+	for seed := int64(1000); seed < 1006; seed++ {
+		src := progfuzz.Generate(seed)
+		exe, _, err := cc.Build(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := cfg.Build(exe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := ipet.DefaultOptions()
+		opts.March.Timing = dsp
+		an, err := ipet.New(prog, "f", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := an.Apply(autobound.Derive(prog).File()); err != nil {
+			t.Fatal(err)
+		}
+		est, err := an.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, args := range [][2]int32{{0, 0}, {-5, 77}, {1 << 14, -9}} {
+			cycles, err := measuredCall(exe, dsp, args[0], args[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cycles < est.BCET.Cycles || cycles > est.WCET.Cycles {
+				t.Fatalf("seed %d f(%d, %d): %d outside [%d, %d]",
+					seed, args[0], args[1], cycles, est.BCET.Cycles, est.WCET.Cycles)
+			}
+		}
+	}
+}
+
+// TestOptimizedCodeAnalysis demonstrates the paper's Section II point that
+// "the final analysis must be performed on the assembly language program so
+// as to capture all the effects of the compiler optimizations": the same
+// source compiled with the peephole optimizer yields a different binary
+// with tighter bounds, and the analysis — rebuilt from the optimized
+// machine code with automatically derived loop bounds — still encloses
+// every run.
+func TestOptimizedCodeAnalysis(t *testing.T) {
+	src := `
+int data[16];
+int main() { return 0; }
+int f(int a, int b) {
+    int i, s;
+    s = a * 3 + b;
+    for (i = 0; i < 16; i++) {
+        data[i] = s + i * 5;
+        s += data[i] & 31;
+    }
+    return s;
+}`
+	analyze := func(optimized bool) (int64, int64, *asm.Executable) {
+		build := cc.Build
+		if optimized {
+			build = cc.BuildOptimized
+		}
+		exe, _, err := build(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := cfg.Build(exe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, err := ipet.New(prog, "f", ipet.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := autobound.Derive(prog)
+		if len(res.Bounds) == 0 {
+			t.Fatalf("no bounds derived (skipped: %v)", res.Skipped)
+		}
+		if err := an.Apply(res.File()); err != nil {
+			t.Fatal(err)
+		}
+		est, err := an.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est.BCET.Cycles, est.WCET.Cycles, exe
+	}
+
+	_, plainWCET, _ := analyze(false)
+	optBCET, optWCET, optExe := analyze(true)
+	if optWCET >= plainWCET {
+		t.Fatalf("optimized WCET %d not tighter than plain %d", optWCET, plainWCET)
+	}
+	for _, args := range [][2]int32{{0, 0}, {123, -77}, {-9999, 45}} {
+		cycles, err := measuredCall(optExe, nil, args[0], args[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cycles < optBCET || cycles > optWCET {
+			t.Fatalf("f(%v): %d cycles outside optimized bound [%d, %d]",
+				args, cycles, optBCET, optWCET)
+		}
+	}
+}

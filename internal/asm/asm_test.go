@@ -1,0 +1,372 @@
+package asm
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+
+	"cinderella/internal/isa"
+)
+
+func mustAssemble(t *testing.T, src string) *Executable {
+	t.Helper()
+	exe, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return exe
+}
+
+func TestAssembleBasic(t *testing.T) {
+	exe := mustAssemble(t, `
+        .text
+main:
+        addi r1, r0, 5
+        add  r2, r1, r1
+        halt
+`)
+	if exe.TextBytes != 12 {
+		t.Fatalf("TextBytes = %d, want 12", exe.TextBytes)
+	}
+	ins, err := exe.Instr(0)
+	if err != nil || ins.Op != isa.OpAddi || ins.Rd != 1 || ins.Imm != 5 {
+		t.Fatalf("instr 0 = %v, %v", ins, err)
+	}
+	if exe.Entry != 0 {
+		t.Fatalf("Entry = %d, want 0", exe.Entry)
+	}
+	if len(exe.Functions) != 1 || exe.Functions[0].Name != "main" || exe.Functions[0].Size != 12 {
+		t.Fatalf("Functions = %+v", exe.Functions)
+	}
+}
+
+func TestRegisterAliases(t *testing.T) {
+	exe := mustAssemble(t, "main: add rv, sp, fp\n jr lr\n")
+	ins, _ := exe.Instr(0)
+	if ins.Rd != isa.RegRV || ins.Rs1 != isa.RegSP || ins.Rs2 != isa.RegFP {
+		t.Fatalf("alias registers wrong: %+v", ins)
+	}
+	ins, _ = exe.Instr(4)
+	if ins.Op != isa.OpJr || ins.Rs1 != isa.RegLR {
+		t.Fatalf("jr lr wrong: %+v", ins)
+	}
+}
+
+func TestBranchResolution(t *testing.T) {
+	exe := mustAssemble(t, `
+main:
+        beq r1, r2, .Ldone   ; offset +2
+        nop
+        nop
+.Ldone:
+        halt
+`)
+	ins, _ := exe.Instr(0)
+	if ins.Op != isa.OpBeq || ins.Imm != 2 {
+		t.Fatalf("forward branch: %+v", ins)
+	}
+	exe = mustAssemble(t, `
+main:
+.Ltop:  nop
+        bne r1, r0, .Ltop    ; offset -2
+        halt
+`)
+	ins, _ = exe.Instr(4)
+	if ins.Op != isa.OpBne || ins.Imm != -2 {
+		t.Fatalf("backward branch: %+v", ins)
+	}
+}
+
+func TestCallAndJmpTargets(t *testing.T) {
+	exe := mustAssemble(t, `
+main:
+        call f
+        halt
+f:
+        ret
+`)
+	ins, _ := exe.Instr(0)
+	if ins.Op != isa.OpCall || uint32(ins.Imm)*isa.WordBytes != exe.Symbols["f"] {
+		t.Fatalf("call target: %+v, f at %#x", ins, exe.Symbols["f"])
+	}
+}
+
+func TestLiExpansion(t *testing.T) {
+	exe := mustAssemble(t, `
+main:
+        li r1, 7          ; 1 instruction
+        li r2, 100000     ; 2 instructions
+        li r3, -5         ; 1 instruction
+        li r4, -100000    ; 2 instructions
+        halt
+`)
+	if exe.TextBytes != 7*isa.WordBytes {
+		t.Fatalf("TextBytes = %d, want %d", exe.TextBytes, 7*isa.WordBytes)
+	}
+	// Check the lui/ori pair reconstructs 100000.
+	lui, _ := exe.Instr(4)
+	ori, _ := exe.Instr(8)
+	if lui.Op != isa.OpLui || ori.Op != isa.OpOri {
+		t.Fatalf("li expansion: %v / %v", lui, ori)
+	}
+	got := uint32(uint16(lui.Imm))<<16 | uint32(uint16(ori.Imm))
+	if got != 100000 {
+		t.Fatalf("li 100000 reconstructs to %d", got)
+	}
+	// And -100000.
+	lui, _ = exe.Instr(16)
+	ori, _ = exe.Instr(20)
+	got = uint32(uint16(lui.Imm))<<16 | uint32(uint16(ori.Imm))
+	if int32(got) != -100000 {
+		t.Fatalf("li -100000 reconstructs to %d", int32(got))
+	}
+}
+
+func TestLaResolvesDataAddress(t *testing.T) {
+	exe := mustAssemble(t, `
+main:
+        la r1, arr
+        la r2, arr+8
+        halt
+        .data
+arr:    .word 10, 20, 30
+`)
+	addr := exe.Symbols["arr"]
+	lui, _ := exe.Instr(0)
+	ori, _ := exe.Instr(4)
+	got := uint32(uint16(lui.Imm))<<16 | uint32(uint16(ori.Imm))
+	if got != addr {
+		t.Fatalf("la arr = %#x, want %#x", got, addr)
+	}
+	lui, _ = exe.Instr(8)
+	ori, _ = exe.Instr(12)
+	got = uint32(uint16(lui.Imm))<<16 | uint32(uint16(ori.Imm))
+	if got != addr+8 {
+		t.Fatalf("la arr+8 = %#x, want %#x", got, addr+8)
+	}
+	if binary.LittleEndian.Uint32(exe.Mem[addr+4:]) != 20 {
+		t.Fatalf("arr[1] = %d", binary.LittleEndian.Uint32(exe.Mem[addr+4:]))
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	exe := mustAssemble(t, `
+main:   halt
+        .data
+b:      .byte 1, 2, 255
+w:      .word -1
+d:      .double 2.5
+s:      .space 16
+end:    .byte 9
+`)
+	bAddr, wAddr, dAddr, sAddr, endAddr := exe.Symbols["b"], exe.Symbols["w"], exe.Symbols["d"], exe.Symbols["s"], exe.Symbols["end"]
+	if exe.Mem[bAddr] != 1 || exe.Mem[bAddr+2] != 255 {
+		t.Fatal("bytes wrong")
+	}
+	if wAddr%4 != 0 {
+		t.Fatalf(".word not aligned: %#x", wAddr)
+	}
+	if int32(binary.LittleEndian.Uint32(exe.Mem[wAddr:])) != -1 {
+		t.Fatal("word wrong")
+	}
+	if dAddr%8 != 0 {
+		t.Fatalf(".double not aligned: %#x", dAddr)
+	}
+	if f := math.Float64frombits(binary.LittleEndian.Uint64(exe.Mem[dAddr:])); f != 2.5 {
+		t.Fatalf("double = %v", f)
+	}
+	if endAddr != sAddr+16 {
+		t.Fatalf(".space size wrong: %#x vs %#x", endAddr, sAddr+16)
+	}
+}
+
+func TestWordWithSymbol(t *testing.T) {
+	exe := mustAssemble(t, `
+main:   halt
+        .data
+tbl:    .word target, target+4
+target: .word 42
+`)
+	tbl, target := exe.Symbols["tbl"], exe.Symbols["target"]
+	if binary.LittleEndian.Uint32(exe.Mem[tbl:]) != target {
+		t.Fatal("symbolic .word wrong")
+	}
+	if binary.LittleEndian.Uint32(exe.Mem[tbl+4:]) != target+4 {
+		t.Fatal("symbolic .word addend wrong")
+	}
+}
+
+func TestPseudoExpansions(t *testing.T) {
+	exe := mustAssemble(t, `
+main:
+        mov r1, r2
+        neg r3, r4
+        beqz r1, .L
+        bnez r1, .L
+        ble r1, r2, .L
+        bgt r1, r2, .L
+.L:     ret
+`)
+	checks := []struct {
+		pc  uint32
+		op  isa.Opcode
+		rs1 uint8
+		rs2 uint8
+	}{
+		{0, isa.OpAdd, 2, 0},
+		{4, isa.OpSub, 0, 4},
+		{8, isa.OpBeq, 1, 0},
+		{12, isa.OpBne, 1, 0},
+		{16, isa.OpBge, 2, 1}, // ble r1,r2 == bge r2,r1
+		{20, isa.OpBlt, 2, 1}, // bgt r1,r2 == blt r2,r1
+		{24, isa.OpJr, isa.RegLR, 0},
+	}
+	for _, c := range checks {
+		ins, err := exe.Instr(c.pc)
+		if err != nil {
+			t.Fatalf("instr at %d: %v", c.pc, err)
+		}
+		if ins.Op != c.op || ins.Rs1 != c.rs1 || ins.Rs2 != c.rs2 {
+			t.Errorf("pc %d: got %v, want op=%v rs1=%d rs2=%d", c.pc, ins, c.op, c.rs1, c.rs2)
+		}
+	}
+}
+
+func TestFloatInstructions(t *testing.T) {
+	exe := mustAssemble(t, `
+main:
+        fld f1, 0(sp)
+        fadd f2, f1, f1
+        fsqrt f3, f2
+        fcvtfi r1, f3
+        fcvtif f4, r1
+        feq r2, f1, f2
+        fst f2, 8(sp)
+        halt
+`)
+	ins, _ := exe.Instr(0)
+	if ins.Op != isa.OpFld || ins.Rd != 1 || ins.Rs1 != isa.RegSP {
+		t.Fatalf("fld: %+v", ins)
+	}
+	ins, _ = exe.Instr(8)
+	if ins.Op != isa.OpFsqrt || ins.Rd != 3 || ins.Rs1 != 2 {
+		t.Fatalf("fsqrt: %+v", ins)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src string
+		sub string
+	}{
+		{"main: add r1, r2\n", "wants 3 operands"},
+		{"main: bogus r1\n", "unknown mnemonic"},
+		{"main: beq r1, r2, nowhere\n", "undefined symbol"},
+		{"main: addi r1, r0, 99999\n", "out of 16-bit range"},
+		{"main: nop\nmain: nop\n", "redefined"},
+		{"main: fadd f1, r2, f3\n", "sources must be float"},
+		{"main: add f1, r2, r3\n", "destination must be integer"},
+		{".data\nx: .word 1\n.text\nmain: halt\n .data\n y: add r1,r1,r1\n", "in data segment"},
+		{"main: halt\n.data\nx: .space -1\n", ".space wants one non-negative"},
+		{"main: halt\n.bogusdir\n", "unknown directive"},
+		{"main: lw r1, 4(f2)\n", "bad base register"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error containing %q", c.src, c.sub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("Assemble(%q) error %q, want containing %q", c.src, err, c.sub)
+		}
+	}
+}
+
+func TestNoMainUsesFirstFunction(t *testing.T) {
+	exe := mustAssemble(t, "start: nop\n halt\nother: ret\n")
+	if exe.Entry != 0 {
+		t.Fatalf("Entry = %d", exe.Entry)
+	}
+	f, ok := exe.FunctionAt(4)
+	if !ok || f.Name != "start" {
+		t.Fatalf("FunctionAt(4) = %+v, %v", f, ok)
+	}
+	f, ok = exe.FunctionNamed("other")
+	if !ok || f.Addr != 8 || f.Size != 4 {
+		t.Fatalf("FunctionNamed(other) = %+v, %v", f, ok)
+	}
+	if _, ok := exe.FunctionNamed("nope"); ok {
+		t.Fatal("found non-existent function")
+	}
+}
+
+func TestCommentsAndCharLiterals(t *testing.T) {
+	exe := mustAssemble(t, `
+main:                       ; full line comment after label
+        li r1, 'A'          # char literal
+        li r2, '\n'         // newline escape
+        halt
+`)
+	ins, _ := exe.Instr(0)
+	if ins.Imm != 'A' {
+		t.Fatalf("char literal = %d", ins.Imm)
+	}
+	ins, _ = exe.Instr(4)
+	if ins.Imm != '\n' {
+		t.Fatalf("escape literal = %d", ins.Imm)
+	}
+}
+
+func TestDisassembleRoundTrips(t *testing.T) {
+	src := `
+main:
+        addi sp, sp, -16
+        sw   lr, 12(sp)
+        li   r1, 3
+.Lloop: addi r1, r1, -1
+        bne  r1, r0, .Lloop
+        call helper
+        lw   lr, 12(sp)
+        addi sp, sp, 16
+        ret
+helper:
+        add r1, r0, r0
+        ret
+`
+	exe := mustAssemble(t, src)
+	dis := Disassemble(exe)
+	for _, want := range []string{"main:", "helper:", "addi r15, r15, -16", "bne r1, r0, 0xc", "call", "jr r14"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestBranchTarget(t *testing.T) {
+	ins := isa.Instruction{Op: isa.OpBeq, Imm: 3}
+	if got, ok := BranchTarget(8, ins); !ok || got != 8+4+12 {
+		t.Fatalf("BranchTarget beq = %d, %v", got, ok)
+	}
+	ins = isa.Instruction{Op: isa.OpJmp, Imm: 5}
+	if got, ok := BranchTarget(100, ins); !ok || got != 20 {
+		t.Fatalf("BranchTarget jmp = %d, %v", got, ok)
+	}
+	if _, ok := BranchTarget(0, isa.Instruction{Op: isa.OpJr}); ok {
+		t.Fatal("jr should have no static target")
+	}
+	if _, ok := BranchTarget(0, isa.Instruction{Op: isa.OpAdd}); ok {
+		t.Fatal("add should have no target")
+	}
+}
+
+func TestInstrOutOfRange(t *testing.T) {
+	exe := mustAssemble(t, "main: halt\n")
+	if _, err := exe.Instr(4); err == nil {
+		t.Fatal("Instr past text succeeded")
+	}
+	if _, err := exe.Instr(2); err == nil {
+		t.Fatal("unaligned Instr succeeded")
+	}
+}

@@ -1,0 +1,542 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+
+	"cinderella/internal/isa"
+)
+
+// symUse describes how a symbolic immediate is folded into an instruction.
+type symUse uint8
+
+const (
+	symNone   symUse = iota
+	symBranch        // pc-relative word offset (format B)
+	symAbs           // absolute word address (format J)
+	symHi            // upper 16 bits of the symbol address (lui of la)
+	symLo            // lower 16 bits of the symbol address (ori of la)
+)
+
+// template is one machine instruction awaiting symbol resolution.
+type template struct {
+	line         int
+	op           isa.Opcode
+	rd, rs1, rs2 uint8
+	imm          int64
+	sym          string
+	symOff       int64
+	use          symUse
+}
+
+// dataItem is one assembled data-segment entity at a data-relative offset.
+type dataItem struct {
+	line   int
+	off    uint32
+	bytes  []byte
+	sym    string // when set, a 4-byte word resolved to sym's address+symOff
+	symOff int64
+}
+
+type assembler struct {
+	text     []template
+	data     []dataItem
+	dataSize uint32
+	inData   bool
+	textSyms map[string]uint32 // label -> word index
+	dataSyms map[string]uint32 // label -> data-relative offset
+	symLines map[string]int
+}
+
+// Assemble translates CR32 assembly source into an executable image.
+func Assemble(src string) (*Executable, error) {
+	stmts, err := parseSource(src)
+	if err != nil {
+		return nil, err
+	}
+	a := &assembler{
+		textSyms: map[string]uint32{},
+		dataSyms: map[string]uint32{},
+		symLines: map[string]int{},
+	}
+	for _, s := range stmts {
+		if err := a.stmt(s); err != nil {
+			return nil, err
+		}
+	}
+	return a.link()
+}
+
+func (a *assembler) defineLabel(name string, line int) error {
+	if _, dup := a.textSyms[name]; dup {
+		return errf(line, "label %q redefined (first at line %d)", name, a.symLines[name])
+	}
+	if _, dup := a.dataSyms[name]; dup {
+		return errf(line, "label %q redefined (first at line %d)", name, a.symLines[name])
+	}
+	a.symLines[name] = line
+	if a.inData {
+		a.dataSyms[name] = a.dataSize
+	} else {
+		a.textSyms[name] = uint32(len(a.text))
+	}
+	return nil
+}
+
+func (a *assembler) stmt(s stmt) error {
+	if s.label != "" {
+		// Pre-align data labels so the label names the aligned payload.
+		if a.inData && s.dir == "double" {
+			a.alignData(8)
+		} else if a.inData && s.dir == "word" {
+			a.alignData(4)
+		}
+		if err := a.defineLabel(s.label, s.line); err != nil {
+			return err
+		}
+	}
+	switch {
+	case s.dir != "":
+		return a.directive(s)
+	case s.op != "":
+		if a.inData {
+			return errf(s.line, "instruction %q in data segment", s.op)
+		}
+		return a.instr(s)
+	}
+	return nil
+}
+
+func (a *assembler) alignData(n uint32) {
+	if rem := a.dataSize % n; rem != 0 {
+		a.dataSize += n - rem
+	}
+}
+
+func (a *assembler) directive(s stmt) error {
+	switch s.dir {
+	case "text":
+		a.inData = false
+	case "data":
+		a.inData = true
+	case "global", "globl", "extern":
+		// Accepted for source compatibility; all symbols are global.
+	case "align":
+		if len(s.args) != 1 || s.args[0].kind != opInt || s.args[0].num <= 0 {
+			return errf(s.line, ".align wants one positive integer")
+		}
+		if !a.inData {
+			return errf(s.line, ".align only supported in data segment")
+		}
+		a.alignData(uint32(s.args[0].num))
+	case "word":
+		if !a.inData {
+			return errf(s.line, ".word only supported in data segment")
+		}
+		a.alignData(4)
+		for _, arg := range s.args {
+			switch arg.kind {
+			case opInt:
+				b := make([]byte, 4)
+				binary.LittleEndian.PutUint32(b, uint32(arg.num))
+				a.data = append(a.data, dataItem{line: s.line, off: a.dataSize, bytes: b})
+			case opSym:
+				a.data = append(a.data, dataItem{line: s.line, off: a.dataSize, sym: arg.sym, symOff: arg.off})
+			default:
+				return errf(s.line, ".word wants integer or symbol operands")
+			}
+			a.dataSize += 4
+		}
+	case "byte":
+		if !a.inData {
+			return errf(s.line, ".byte only supported in data segment")
+		}
+		for _, arg := range s.args {
+			if arg.kind != opInt {
+				return errf(s.line, ".byte wants integer operands")
+			}
+			a.data = append(a.data, dataItem{line: s.line, off: a.dataSize, bytes: []byte{byte(arg.num)}})
+			a.dataSize++
+		}
+	case "double":
+		if !a.inData {
+			return errf(s.line, ".double only supported in data segment")
+		}
+		a.alignData(8)
+		for _, arg := range s.args {
+			var f float64
+			switch arg.kind {
+			case opFloat:
+				f = arg.fnum
+			case opInt:
+				f = float64(arg.num)
+			default:
+				return errf(s.line, ".double wants numeric operands")
+			}
+			b := make([]byte, 8)
+			binary.LittleEndian.PutUint64(b, math.Float64bits(f))
+			a.data = append(a.data, dataItem{line: s.line, off: a.dataSize, bytes: b})
+			a.dataSize += 8
+		}
+	case "space":
+		if !a.inData {
+			return errf(s.line, ".space only supported in data segment")
+		}
+		if len(s.args) != 1 || s.args[0].kind != opInt || s.args[0].num < 0 {
+			return errf(s.line, ".space wants one non-negative integer")
+		}
+		a.dataSize += uint32(s.args[0].num)
+	default:
+		return errf(s.line, "unknown directive .%s", s.dir)
+	}
+	return nil
+}
+
+// emit appends one machine instruction template.
+func (a *assembler) emit(t template) { a.text = append(a.text, t) }
+
+func wantArgs(s stmt, kinds ...opKind) error {
+	if len(s.args) != len(kinds) {
+		return errf(s.line, "%s wants %d operands, got %d", s.op, len(kinds), len(s.args))
+	}
+	for i, k := range kinds {
+		got := s.args[i].kind
+		if got == k {
+			continue
+		}
+		// An integer literal is acceptable where a symbol target is allowed
+		// and vice versa; callers disambiguate.
+		return errf(s.line, "%s operand %d has wrong form", s.op, i+1)
+	}
+	return nil
+}
+
+func (a *assembler) instr(s stmt) error {
+	// Pseudo-instructions first.
+	switch s.op {
+	case "li":
+		if err := wantArgs(s, opReg, opInt); err != nil {
+			return err
+		}
+		v := s.args[1].num
+		if v < math.MinInt32 || v > math.MaxUint32 {
+			return errf(s.line, "li immediate %d out of 32-bit range", v)
+		}
+		rd := s.args[0].reg
+		if v >= -(1<<15) && v < 1<<15 {
+			a.emit(template{line: s.line, op: isa.OpAddi, rd: rd, imm: v})
+			return nil
+		}
+		bits := uint32(v)
+		a.emit(template{line: s.line, op: isa.OpLui, rd: rd, imm: int64(int16(uint16(bits >> 16)))})
+		a.emit(template{line: s.line, op: isa.OpOri, rd: rd, rs1: rd, imm: int64(int16(uint16(bits & 0xffff)))})
+		return nil
+	case "la":
+		if err := wantArgs(s, opReg, opSym); err != nil {
+			return err
+		}
+		rd := s.args[0].reg
+		a.emit(template{line: s.line, op: isa.OpLui, rd: rd, sym: s.args[1].sym, symOff: s.args[1].off, use: symHi})
+		a.emit(template{line: s.line, op: isa.OpOri, rd: rd, rs1: rd, sym: s.args[1].sym, symOff: s.args[1].off, use: symLo})
+		return nil
+	case "mov":
+		if err := wantArgs(s, opReg, opReg); err != nil {
+			return err
+		}
+		a.emit(template{line: s.line, op: isa.OpAdd, rd: s.args[0].reg, rs1: s.args[1].reg})
+		return nil
+	case "neg":
+		if err := wantArgs(s, opReg, opReg); err != nil {
+			return err
+		}
+		a.emit(template{line: s.line, op: isa.OpSub, rd: s.args[0].reg, rs2: s.args[1].reg})
+		return nil
+	case "ret":
+		if len(s.args) != 0 {
+			return errf(s.line, "ret takes no operands")
+		}
+		a.emit(template{line: s.line, op: isa.OpJr, rs1: isa.RegLR})
+		return nil
+	case "b":
+		s.op = "jmp"
+	case "beqz", "bnez":
+		if len(s.args) != 2 || s.args[0].kind != opReg {
+			return errf(s.line, "%s wants register, target", s.op)
+		}
+		op := isa.OpBeq
+		if s.op == "bnez" {
+			op = isa.OpBne
+		}
+		return a.branch(s, op, s.args[0].reg, 0, s.args[1])
+	case "ble", "bgt":
+		if len(s.args) != 3 || s.args[0].kind != opReg || s.args[1].kind != opReg {
+			return errf(s.line, "%s wants reg, reg, target", s.op)
+		}
+		// ble a,b == bge b,a ; bgt a,b == blt b,a.
+		op := isa.OpBge
+		if s.op == "bgt" {
+			op = isa.OpBlt
+		}
+		return a.branch(s, op, s.args[1].reg, s.args[0].reg, s.args[2])
+	}
+
+	op, ok := isa.OpcodeByName(s.op)
+	if !ok {
+		return errf(s.line, "unknown mnemonic %q", s.op)
+	}
+	info := isa.InfoFor(op)
+	switch info.Format {
+	case isa.FmtNone:
+		if len(s.args) != 0 {
+			return errf(s.line, "%s takes no operands", s.op)
+		}
+		a.emit(template{line: s.line, op: op})
+		return nil
+	case isa.FmtR:
+		return a.instrR(s, op, info)
+	case isa.FmtI:
+		return a.instrI(s, op)
+	case isa.FmtB:
+		if len(s.args) != 3 || s.args[0].kind != opReg || s.args[1].kind != opReg {
+			return errf(s.line, "%s wants reg, reg, target", s.op)
+		}
+		return a.branch(s, op, s.args[0].reg, s.args[1].reg, s.args[2])
+	case isa.FmtJ:
+		if len(s.args) != 1 {
+			return errf(s.line, "%s wants one target operand", s.op)
+		}
+		switch s.args[0].kind {
+		case opSym:
+			a.emit(template{line: s.line, op: op, sym: s.args[0].sym, symOff: s.args[0].off, use: symAbs})
+		case opInt:
+			if s.args[0].num%isa.WordBytes != 0 {
+				return errf(s.line, "%s target %d not word aligned", s.op, s.args[0].num)
+			}
+			a.emit(template{line: s.line, op: op, imm: s.args[0].num / isa.WordBytes})
+		default:
+			return errf(s.line, "%s wants label or address", s.op)
+		}
+		return nil
+	}
+	return errf(s.line, "unhandled format for %s", s.op)
+}
+
+// regKinds returns the operand register-file kinds expected for an R-format op.
+func regKinds(op isa.Opcode) (dst, src opKind, unary bool) {
+	switch op {
+	case isa.OpFneg, isa.OpFabs, isa.OpFsqrt, isa.OpFsin, isa.OpFcos,
+		isa.OpFatan, isa.OpFexp, isa.OpFlog, isa.OpFmov:
+		return opFreg, opFreg, true
+	case isa.OpFcvtIF:
+		return opFreg, opReg, true
+	case isa.OpFcvtFI:
+		return opReg, opFreg, true
+	case isa.OpFeq, isa.OpFlt, isa.OpFle:
+		return opReg, opFreg, false
+	case isa.OpFadd, isa.OpFsub, isa.OpFmul, isa.OpFdiv:
+		return opFreg, opFreg, false
+	}
+	return opReg, opReg, false
+}
+
+func (a *assembler) instrR(s stmt, op isa.Opcode, info isa.Info) error {
+	if op == isa.OpJr {
+		if len(s.args) != 1 || s.args[0].kind != opReg {
+			return errf(s.line, "jr wants one integer register")
+		}
+		a.emit(template{line: s.line, op: op, rs1: s.args[0].reg})
+		return nil
+	}
+	dstK, srcK, unary := regKinds(op)
+	want := 3
+	if unary {
+		want = 2
+	}
+	if len(s.args) != want {
+		return errf(s.line, "%s wants %d operands, got %d", s.op, want, len(s.args))
+	}
+	if s.args[0].kind != dstK {
+		return errf(s.line, "%s destination must be %s register", s.op, regKindName(dstK))
+	}
+	for _, arg := range s.args[1:] {
+		if arg.kind != srcK {
+			return errf(s.line, "%s sources must be %s registers", s.op, regKindName(srcK))
+		}
+	}
+	t := template{line: s.line, op: op, rd: s.args[0].reg, rs1: s.args[1].reg}
+	if !unary {
+		t.rs2 = s.args[2].reg
+	}
+	a.emit(t)
+	return nil
+}
+
+func regKindName(k opKind) string {
+	if k == opFreg {
+		return "float"
+	}
+	return "integer"
+}
+
+func (a *assembler) instrI(s stmt, op isa.Opcode) error {
+	switch op {
+	case isa.OpLw, isa.OpLb, isa.OpLbu, isa.OpSw, isa.OpSb:
+		if len(s.args) != 2 || s.args[0].kind != opReg || s.args[1].kind != opMem {
+			return errf(s.line, "%s wants reg, off(reg)", s.op)
+		}
+		a.emit(template{line: s.line, op: op, rd: s.args[0].reg, rs1: s.args[1].reg, imm: s.args[1].num})
+		return nil
+	case isa.OpFld, isa.OpFst:
+		if len(s.args) != 2 || s.args[0].kind != opFreg || s.args[1].kind != opMem {
+			return errf(s.line, "%s wants freg, off(reg)", s.op)
+		}
+		a.emit(template{line: s.line, op: op, rd: s.args[0].reg, rs1: s.args[1].reg, imm: s.args[1].num})
+		return nil
+	case isa.OpLui:
+		if len(s.args) != 2 || s.args[0].kind != opReg || s.args[1].kind != opInt {
+			return errf(s.line, "lui wants reg, imm")
+		}
+		a.emit(template{line: s.line, op: op, rd: s.args[0].reg, imm: s.args[1].num})
+		return nil
+	}
+	if len(s.args) != 3 || s.args[0].kind != opReg || s.args[1].kind != opReg || s.args[2].kind != opInt {
+		return errf(s.line, "%s wants reg, reg, imm", s.op)
+	}
+	a.emit(template{line: s.line, op: op, rd: s.args[0].reg, rs1: s.args[1].reg, imm: s.args[2].num})
+	return nil
+}
+
+func (a *assembler) branch(s stmt, op isa.Opcode, rs1, rs2 uint8, target operand) error {
+	t := template{line: s.line, op: op, rs1: rs1, rs2: rs2}
+	switch target.kind {
+	case opSym:
+		t.sym, t.symOff, t.use = target.sym, target.off, symBranch
+	case opInt:
+		t.imm = target.num
+	default:
+		return errf(s.line, "%s wants label or offset target", s.op)
+	}
+	a.emit(t)
+	return nil
+}
+
+// link resolves symbols, encodes the text, lays out data and builds the
+// executable image.
+func (a *assembler) link() (*Executable, error) {
+	textBytes := uint32(len(a.text)) * isa.WordBytes
+	dataBase := textBytes
+	if rem := dataBase % DataAlign; rem != 0 {
+		dataBase += DataAlign - rem
+	}
+
+	symbols := make(map[string]uint32, len(a.textSyms)+len(a.dataSyms))
+	for name, word := range a.textSyms {
+		symbols[name] = word * isa.WordBytes
+	}
+	for name, off := range a.dataSyms {
+		symbols[name] = dataBase + off
+	}
+
+	resolve := func(t template) (uint32, error) {
+		addr, ok := symbols[t.sym]
+		if !ok {
+			return 0, errf(t.line, "undefined symbol %q", t.sym)
+		}
+		return uint32(int64(addr) + t.symOff), nil
+	}
+
+	exe := &Executable{
+		Mem:       make([]byte, dataBase+a.dataSize),
+		TextBytes: textBytes,
+		Symbols:   symbols,
+		Lines:     make(map[uint32]int, len(a.text)),
+	}
+
+	for i, t := range a.text {
+		pc := uint32(i) * isa.WordBytes
+		ins := isa.Instruction{Op: t.op, Rd: t.rd, Rs1: t.rs1, Rs2: t.rs2, Imm: int32(t.imm)}
+		switch t.use {
+		case symBranch:
+			addr, err := resolve(t)
+			if err != nil {
+				return nil, err
+			}
+			delta := int64(addr) - int64(pc) - isa.WordBytes
+			if delta%isa.WordBytes != 0 {
+				return nil, errf(t.line, "misaligned branch target %q", t.sym)
+			}
+			ins.Imm = int32(delta / isa.WordBytes)
+		case symAbs:
+			addr, err := resolve(t)
+			if err != nil {
+				return nil, err
+			}
+			if addr%isa.WordBytes != 0 {
+				return nil, errf(t.line, "misaligned jump target %q", t.sym)
+			}
+			ins.Imm = int32(addr / isa.WordBytes)
+		case symHi:
+			addr, err := resolve(t)
+			if err != nil {
+				return nil, err
+			}
+			ins.Imm = int32(int16(uint16(addr >> 16)))
+		case symLo:
+			addr, err := resolve(t)
+			if err != nil {
+				return nil, err
+			}
+			ins.Imm = int32(int16(uint16(addr & 0xffff)))
+		}
+		w, err := isa.Encode(ins)
+		if err != nil {
+			return nil, errf(t.line, "%v", err)
+		}
+		binary.LittleEndian.PutUint32(exe.Mem[pc:], w)
+		exe.Lines[pc] = t.line
+	}
+
+	for _, d := range a.data {
+		addr := dataBase + d.off
+		if d.sym != "" {
+			target, ok := symbols[d.sym]
+			if !ok {
+				return nil, errf(d.line, "undefined symbol %q in .word", d.sym)
+			}
+			binary.LittleEndian.PutUint32(exe.Mem[addr:], uint32(int64(target)+d.symOff))
+			continue
+		}
+		copy(exe.Mem[addr:], d.bytes)
+	}
+
+	// Function symbols: text labels not beginning with '.'.
+	for name, word := range a.textSyms {
+		if name[0] == '.' {
+			continue
+		}
+		exe.Functions = append(exe.Functions, Symbol{Name: name, Addr: word * isa.WordBytes, Func: true})
+	}
+	sort.Slice(exe.Functions, func(i, j int) bool { return exe.Functions[i].Addr < exe.Functions[j].Addr })
+	for i := range exe.Functions {
+		end := textBytes
+		if i+1 < len(exe.Functions) {
+			end = exe.Functions[i+1].Addr
+		}
+		exe.Functions[i].Size = end - exe.Functions[i].Addr
+	}
+	if len(exe.Functions) == 0 && textBytes > 0 {
+		return nil, fmt.Errorf("asm: no function labels in text segment")
+	}
+	// Entry preference: a _start stub (emitted by the MC compiler), then
+	// main, then the first text symbol.
+	if start, ok := symbols["_start"]; ok {
+		exe.Entry = start
+	} else if main, ok := symbols["main"]; ok {
+		exe.Entry = main
+	} else if len(exe.Functions) > 0 {
+		exe.Entry = exe.Functions[0].Addr
+	}
+	return exe, nil
+}

@@ -1,0 +1,56 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"cinderella/internal/isa"
+)
+
+// Disassemble renders the text segment of an executable as readable
+// assembly, annotating function entry points. It is a debugging aid for the
+// compiler and the CFG builder.
+func Disassemble(exe *Executable) string {
+	var b strings.Builder
+	funcAt := make(map[uint32]string, len(exe.Functions))
+	for _, f := range exe.Functions {
+		funcAt[f.Addr] = f.Name
+	}
+	for pc := uint32(0); pc < exe.TextBytes; pc += isa.WordBytes {
+		if name, ok := funcAt[pc]; ok {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		ins, err := exe.Instr(pc)
+		if err != nil {
+			fmt.Fprintf(&b, "  %06x: <bad: %v>\n", pc, err)
+			continue
+		}
+		fmt.Fprintf(&b, "  %06x: %s\n", pc, formatWithTarget(pc, ins))
+	}
+	return b.String()
+}
+
+// formatWithTarget renders pc-relative branches with their absolute target
+// so disassembly is readable.
+func formatWithTarget(pc uint32, ins isa.Instruction) string {
+	info := isa.InfoFor(ins.Op)
+	if info.Branch {
+		target := int64(pc) + isa.WordBytes + int64(ins.Imm)*isa.WordBytes
+		return fmt.Sprintf("%s r%d, r%d, %#x", info.Name, ins.Rs1, ins.Rs2, target)
+	}
+	return ins.String()
+}
+
+// BranchTarget computes the absolute byte address a control-transfer
+// instruction at pc goes to when taken. ok is false for JR (target is
+// dynamic) and for non-control instructions.
+func BranchTarget(pc uint32, ins isa.Instruction) (uint32, bool) {
+	info := isa.InfoFor(ins.Op)
+	switch {
+	case info.Branch:
+		return uint32(int64(pc) + isa.WordBytes + int64(ins.Imm)*isa.WordBytes), true
+	case ins.Op == isa.OpJmp, ins.Op == isa.OpCall:
+		return uint32(ins.Imm) * isa.WordBytes, true
+	}
+	return 0, false
+}

@@ -1,0 +1,399 @@
+// Package autobound automatically derives loop-bound functionality
+// constraints from compiled code — the paper's future-work item: "we would
+// also like to explore the possibility of using symbolic analysis
+// techniques to automatically derive some of the functionality
+// constraints" (Section VII).
+//
+// The analysis recognizes counted loops in CR32 executables produced by the
+// MC compiler: a frame slot that is (1) initialized to a constant by the
+// unique reaching definition before the loop, (2) incremented by a nonzero
+// constant exactly once per iteration, and (3) compared against a constant
+// in the loop header to decide exit. For such loops the iteration count is
+// exact and a `loop k: n .. n` bound is emitted (degraded to `0 .. n` when
+// the loop has additional exits, e.g. break).
+//
+// Soundness rests on a compiler discipline the MC code generator
+// guarantees: scalar locals are never address-taken, so only direct
+// fp-relative stores touch them — computed stores target arrays and
+// globals, and callees never write the caller's frame slots. Data-dependent
+// loops (check_data's while (morecheck), piksrt's inner scan) are left for
+// the user, exactly as the paper intends.
+package autobound
+
+import (
+	"fmt"
+
+	"cinderella/internal/cfg"
+	"cinderella/internal/constraint"
+	"cinderella/internal/isa"
+)
+
+// DerivedBound is one automatically derived loop bound.
+type DerivedBound struct {
+	Func string
+	// Loop is the 1-based loop number in cfg detection order (matching the
+	// annotation language).
+	Loop   int
+	Lo, Hi int64
+	// Exact reports that the loop's only exit is the counted test, making
+	// Lo == Hi.
+	Exact bool
+	// Why is a one-line derivation trace for diagnostics.
+	Why string
+}
+
+// Result collects the derivation over a program.
+type Result struct {
+	Bounds []DerivedBound
+	// Skipped maps "func loop k" to the reason derivation failed.
+	Skipped map[string]string
+}
+
+// File converts the derived bounds into a constraint file that can be
+// merged with (or used instead of) user annotations.
+func (r *Result) File() *constraint.File {
+	bySec := map[string]*constraint.Section{}
+	f := &constraint.File{}
+	for _, b := range r.Bounds {
+		sec, ok := bySec[b.Func]
+		if !ok {
+			f.Sections = append(f.Sections, constraint.Section{Func: b.Func})
+			sec = &f.Sections[len(f.Sections)-1]
+			bySec[b.Func] = sec
+		}
+		sec.LoopBounds = append(sec.LoopBounds, constraint.LoopBound{
+			Loop: b.Loop, Lo: b.Lo, Hi: b.Hi,
+		})
+	}
+	return f
+}
+
+// Derive analyzes every function of the program.
+func Derive(prog *cfg.Program) *Result {
+	res := &Result{Skipped: map[string]string{}}
+	for _, name := range prog.Order {
+		fc := prog.Funcs[name]
+		for li := range fc.Loops {
+			b, err := deriveLoop(fc, li)
+			if err != nil {
+				res.Skipped[fmt.Sprintf("%s loop %d", name, li+1)] = err.Error()
+				continue
+			}
+			b.Func = name
+			b.Loop = li + 1
+			res.Bounds = append(res.Bounds, *b)
+		}
+	}
+	return res
+}
+
+// deriveLoop attempts the counted-loop proof for one natural loop.
+func deriveLoop(fc *cfg.FuncCFG, li int) (*DerivedBound, error) {
+	loop := &fc.Loops[li]
+	header := fc.Blocks[loop.Header]
+
+	// The header must end in a conditional branch on a slot-vs-constant
+	// comparison, with exactly one of its edges leaving the loop.
+	cond, err := headerCondition(header)
+	if err != nil {
+		return nil, err
+	}
+	exitTaken, exitFall := false, false
+	for _, eid := range header.Out {
+		e := fc.Edges[eid]
+		leaves := e.To < 0 || !loop.Contains(e.To)
+		switch e.Kind {
+		case cfg.EdgeTaken:
+			exitTaken = leaves
+		case cfg.EdgeFallthrough:
+			exitFall = leaves
+		case cfg.EdgeCall:
+			return nil, fmt.Errorf("header ends in a call")
+		}
+	}
+	if exitTaken == exitFall {
+		return nil, fmt.Errorf("header does not decide loop exit")
+	}
+	// cond.holds describes the branch-taken condition. Loop continues on
+	// the in-loop edge.
+	continueCond := cond
+	if exitFall {
+		// Fallthrough exits: taken continues, so the taken-condition is
+		// the continue condition.
+	} else {
+		continueCond = cond.negate()
+	}
+
+	// The counted slot and its per-iteration step.
+	slot := continueCond.slot
+	step, storeBlock, err := loopIncrement(fc, loop, slot)
+	if err != nil {
+		return nil, err
+	}
+
+	// The store must execute exactly once per iteration: it is the source
+	// of, or dominates, every back edge, and lies in no inner loop.
+	for _, eid := range loop.BackEdges {
+		src := fc.Edges[eid].From
+		if src != storeBlock && !fc.Dominates(storeBlock, src) {
+			return nil, fmt.Errorf("increment does not dominate back edge from B%d", src)
+		}
+	}
+	for lj := range fc.Loops {
+		if lj == li {
+			continue
+		}
+		inner := &fc.Loops[lj]
+		if inner.Contains(storeBlock) && contained(inner, loop) {
+			return nil, fmt.Errorf("increment sits in an inner loop")
+		}
+	}
+
+	// Initial value: the unique reaching definition at loop entry.
+	init, err := reachingInit(fc, loop, slot)
+	if err != nil {
+		return nil, err
+	}
+
+	n, err := iterationCount(init, step, continueCond)
+	if err != nil {
+		return nil, err
+	}
+
+	// Extra exits (break) can only shorten the loop.
+	extraExits := false
+	for _, b := range loop.Blocks {
+		if b == loop.Header {
+			continue
+		}
+		for _, eid := range fc.Blocks[b].Out {
+			e := fc.Edges[eid]
+			if e.Kind == cfg.EdgeCall {
+				continue
+			}
+			if e.To < 0 || !loop.Contains(e.To) {
+				extraExits = true
+			}
+		}
+	}
+	db := &DerivedBound{
+		Lo: n, Hi: n, Exact: !extraExits,
+		Why: fmt.Sprintf("slot fp%+d: init %d, step %+d, continue while %s", slot, init, step, continueCond),
+	}
+	if extraExits {
+		db.Lo = 0
+	}
+	return db, nil
+}
+
+func contained(inner, outer *cfg.Loop) bool {
+	for _, b := range inner.Blocks {
+		if !outer.Contains(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// headerCondition symbolically executes the header and interprets its
+// terminating branch.
+func headerCondition(header *cfg.Block) (*comparison, error) {
+	st := newState()
+	for _, ins := range header.Instrs[:len(header.Instrs)-1] {
+		st.step(ins)
+	}
+	last := header.Instrs[len(header.Instrs)-1]
+	info := isa.InfoFor(last.Op)
+	if !info.Branch {
+		return nil, fmt.Errorf("header does not end in a conditional branch")
+	}
+	if last.Rs2 != isa.RegZero && last.Rs1 != isa.RegZero {
+		return nil, fmt.Errorf("header branch is not a zero test")
+	}
+	reg := last.Rs1
+	if reg == isa.RegZero {
+		reg = last.Rs2
+	}
+	v := st.regs[reg]
+	if v.kind != vCmp {
+		return nil, fmt.Errorf("header branch operand is not a recognized comparison")
+	}
+	c := v.cmp
+	switch last.Op {
+	case isa.OpBne:
+		// Taken when the comparison holds.
+		return c, nil
+	case isa.OpBeq:
+		// Taken when the comparison fails.
+		return c.negate(), nil
+	}
+	return nil, fmt.Errorf("header branch %s is not a zero test", last.Op)
+}
+
+// loopIncrement finds the unique in-loop constant increment of slot.
+func loopIncrement(fc *cfg.FuncCFG, loop *cfg.Loop, slot int32) (step int64, storeBlock int, err error) {
+	found := false
+	for _, bi := range loop.Blocks {
+		st := newState()
+		for _, ins := range fc.Blocks[bi].Instrs {
+			st.step(ins)
+		}
+		for _, w := range st.slotWrites {
+			if w.slot != slot {
+				continue
+			}
+			if found {
+				return 0, 0, fmt.Errorf("slot written in more than one loop block")
+			}
+			if w.value.kind != vSlot || w.value.slot != slot || w.value.off == 0 {
+				return 0, 0, fmt.Errorf("in-loop store is not a constant self-increment")
+			}
+			found = true
+			step = w.value.off
+			storeBlock = bi
+		}
+		if st.unknownStore {
+			// A store through an unknown base could not alias a scalar
+			// slot under the compiler's discipline (scalars are never
+			// address-taken); calls likewise cannot write the caller
+			// frame. Nothing to do.
+			continue
+		}
+	}
+	if !found {
+		return 0, 0, fmt.Errorf("no constant increment of the tested slot inside the loop")
+	}
+	return step, storeBlock, nil
+}
+
+// reachingInit computes the unique constant definition of slot that reaches
+// the loop's entry edges, via an iterative reaching-definitions pass.
+func reachingInit(fc *cfg.FuncCFG, loop *cfg.Loop, slot int32) (int64, error) {
+	if len(loop.EntryEdges) != 1 {
+		return 0, fmt.Errorf("loop has %d entry edges", len(loop.EntryEdges))
+	}
+	pre := fc.Edges[loop.EntryEdges[0]].From
+	if pre < 0 {
+		return 0, fmt.Errorf("loop entered directly from function entry")
+	}
+
+	// Per-block final write to the slot (nil when the block leaves it).
+	type def struct {
+		block int
+		val   value
+	}
+	finals := make([]*def, len(fc.Blocks))
+	for bi, b := range fc.Blocks {
+		st := newState()
+		for _, ins := range b.Instrs {
+			st.step(ins)
+		}
+		for _, w := range st.slotWrites {
+			if w.slot == slot {
+				w := w
+				finals[bi] = &def{block: bi, val: w.value}
+			}
+		}
+	}
+
+	// Reaching definitions of the slot, block-level, iterate to fixpoint.
+	// IN/OUT are sets of defining block ids; -1 denotes "uninitialized".
+	type set map[int]bool
+	in := make([]set, len(fc.Blocks))
+	out := make([]set, len(fc.Blocks))
+	for i := range in {
+		in[i], out[i] = set{}, set{}
+	}
+	in[0][-1] = true
+	changed := true
+	for changed {
+		changed = false
+		for bi := range fc.Blocks {
+			ni := set{}
+			if bi == 0 {
+				ni[-1] = true
+			}
+			for _, p := range fc.Preds(bi) {
+				for d := range out[p] {
+					ni[d] = true
+				}
+			}
+			var no set
+			if finals[bi] != nil {
+				no = set{bi: true}
+			} else {
+				no = ni
+			}
+			if len(ni) != len(in[bi]) || len(no) != len(out[bi]) {
+				changed = true
+			} else {
+				for d := range ni {
+					if !in[bi][d] {
+						changed = true
+					}
+				}
+				for d := range no {
+					if !out[bi][d] {
+						changed = true
+					}
+				}
+			}
+			in[bi], out[bi] = ni, no
+		}
+	}
+
+	reach := out[pre]
+	if len(reach) != 1 {
+		return 0, fmt.Errorf("%d definitions reach the loop entry", len(reach))
+	}
+	for d := range reach {
+		if d < 0 {
+			return 0, fmt.Errorf("slot may be uninitialized at loop entry")
+		}
+		v := finals[d].val
+		if v.kind != vConst {
+			return 0, fmt.Errorf("reaching definition is not a constant")
+		}
+		return v.off, nil
+	}
+	return 0, fmt.Errorf("unreachable")
+}
+
+// iterationCount solves the counted-loop recurrence.
+func iterationCount(init, step int64, cond *comparison) (int64, error) {
+	// Normalize to "continue while slot REL bound" acting on the slot's
+	// running value; cond.off shifts the slot (slot + off REL bound).
+	lo := init + cond.off
+	bound := cond.bound
+	switch cond.rel {
+	case relLT, relLE:
+		if step <= 0 {
+			return 0, fmt.Errorf("upward test with non-positive step %d", step)
+		}
+		limit := bound
+		if cond.rel == relLE {
+			limit++
+		}
+		if lo >= limit {
+			return 0, nil
+		}
+		return ceilDiv(limit-lo, step), nil
+	case relGT, relGE:
+		if step >= 0 {
+			return 0, fmt.Errorf("downward test with non-negative step %d", step)
+		}
+		limit := bound
+		if cond.rel == relGE {
+			limit--
+		}
+		if lo <= limit {
+			return 0, nil
+		}
+		return ceilDiv(lo-limit, -step), nil
+	}
+	return 0, fmt.Errorf("unsupported relation")
+}
+
+func ceilDiv(a, b int64) int64 {
+	return (a + b - 1) / b
+}

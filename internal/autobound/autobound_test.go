@@ -1,0 +1,402 @@
+package autobound
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cinderella/internal/bench"
+	"cinderella/internal/cc"
+	"cinderella/internal/cfg"
+	"cinderella/internal/constraint"
+	"cinderella/internal/eval"
+	"cinderella/internal/ipet"
+	"cinderella/internal/sim"
+)
+
+func derive(t *testing.T, src string) (*Result, *cfg.Program) {
+	t.Helper()
+	exe, _, err := cc.Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Build(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Derive(prog), prog
+}
+
+func boundOf(t *testing.T, res *Result, fn string, loop int) DerivedBound {
+	t.Helper()
+	for _, b := range res.Bounds {
+		if b.Func == fn && b.Loop == loop {
+			return b
+		}
+	}
+	t.Fatalf("no derived bound for %s loop %d (skipped: %v)", fn, loop, res.Skipped)
+	return DerivedBound{}
+}
+
+func TestSimpleForLoop(t *testing.T) {
+	res, _ := derive(t, `
+int main() { return f(); }
+int f() {
+    int i, s;
+    s = 0;
+    for (i = 0; i < 10; i++) s += i;
+    return s;
+}`)
+	b := boundOf(t, res, "f", 1)
+	if b.Lo != 10 || b.Hi != 10 || !b.Exact {
+		t.Fatalf("bound = %+v", b)
+	}
+}
+
+func TestVariants(t *testing.T) {
+	res, _ := derive(t, `
+int main() { return 0; }
+int up_le() {
+    int i, s;
+    s = 0;
+    for (i = 1; i <= 10; i++) s += i;
+    return s;
+}
+int down_gt() {
+    int i, s;
+    s = 0;
+    for (i = 10; i > 0; i--) s += i;
+    return s;
+}
+int down_ge() {
+    int i, s;
+    s = 0;
+    for (i = 9; i >= 0; i--) s += i;
+    return s;
+}
+int step2() {
+    int i, s;
+    s = 0;
+    for (i = 0; i < 10; i += 2) s += i;
+    return s;
+}
+int step3() {
+    int i, s;
+    s = 0;
+    for (i = 0; i < 10; i += 3) s += i;
+    return s;
+}
+int empty() {
+    int i, s;
+    s = 0;
+    for (i = 5; i < 5; i++) s += i;
+    return s;
+}
+int while_form() {
+    int i, s;
+    i = 0;
+    s = 0;
+    while (i < 7) {
+        s += i;
+        i = i + 1;
+    }
+    return s;
+}`)
+	cases := map[string]int64{
+		"up_le": 10, "down_gt": 10, "down_ge": 10,
+		"step2": 5, "step3": 4, "empty": 0, "while_form": 7,
+	}
+	for fn, want := range cases {
+		b := boundOf(t, res, fn, 1)
+		if b.Lo != want || b.Hi != want {
+			t.Errorf("%s: bound [%d, %d], want exactly %d (%s)", fn, b.Lo, b.Hi, want, b.Why)
+		}
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	res, _ := derive(t, `
+int main() { return 0; }
+int f() {
+    int i, j, s;
+    s = 0;
+    for (i = 0; i < 3; i++)
+        for (j = 0; j < 5; j++)
+            s += i * j;
+    return s;
+}`)
+	outer := boundOf(t, res, "f", 1)
+	inner := boundOf(t, res, "f", 2)
+	if outer.Hi != 3 || inner.Hi != 5 {
+		t.Fatalf("outer %+v inner %+v", outer, inner)
+	}
+}
+
+func TestReusedInductionVariable(t *testing.T) {
+	// The same slot drives two sequential loops with different inits:
+	// reaching definitions must separate them.
+	res, _ := derive(t, `
+int main() { return 0; }
+int f() {
+    int i, s;
+    s = 0;
+    for (i = 0; i < 4; i++) s += i;
+    for (i = 2; i < 9; i++) s += i;
+    return s;
+}`)
+	if b := boundOf(t, res, "f", 1); b.Hi != 4 {
+		t.Fatalf("first loop %+v", b)
+	}
+	if b := boundOf(t, res, "f", 2); b.Hi != 7 {
+		t.Fatalf("second loop %+v", b)
+	}
+}
+
+func TestBreakDegradesLowerBound(t *testing.T) {
+	res, _ := derive(t, `
+int flag;
+int main() { return 0; }
+int f() {
+    int i, s;
+    s = 0;
+    for (i = 0; i < 20; i++) {
+        if (flag == i) break;
+        s += i;
+    }
+    return s;
+}`)
+	b := boundOf(t, res, "f", 1)
+	if b.Lo != 0 || b.Hi != 20 || b.Exact {
+		t.Fatalf("bound = %+v", b)
+	}
+}
+
+func TestDataDependentLoopsSkipped(t *testing.T) {
+	res, _ := derive(t, `
+int n;
+int data[10];
+int main() { return 0; }
+int byGlobal() {
+    int i, s;
+    s = 0;
+    for (i = 0; i < n; i++) s += i;
+    return s;
+}
+int byFlag() {
+    int more, s;
+    more = 1;
+    s = 0;
+    while (more) {
+        s++;
+        if (s > 5) more = 0;
+    }
+    return s;
+}
+int modified() {
+    int i, s;
+    s = 0;
+    for (i = 0; i < 10; i++) {
+        if (data[i] != 0) i = i + 2;  /* second in-loop write */
+        s += i;
+    }
+    return s;
+}`)
+	if len(res.Bounds) != 0 {
+		t.Fatalf("derived %v, want none", res.Bounds)
+	}
+	for _, key := range []string{"byGlobal loop 1", "byFlag loop 1", "modified loop 1"} {
+		if _, ok := res.Skipped[key]; !ok {
+			t.Errorf("missing skip reason for %s (have %v)", key, res.Skipped)
+		}
+	}
+}
+
+func TestConditionalIncrementSkipped(t *testing.T) {
+	// The increment does not dominate the back edge: unsound to count.
+	res, _ := derive(t, `
+int data[32];
+int main() { return 0; }
+int f() {
+    int i, s;
+    s = 0;
+    i = 0;
+    while (i < 10) {
+        s += i;
+        if (data[i] > 0) {
+            i++;
+        }
+    }
+    return s;
+}`)
+	if len(res.Bounds) != 0 {
+		t.Fatalf("derived %v for a conditionally-incremented loop", res.Bounds)
+	}
+}
+
+// TestBenchmarkSuiteDerivation runs the derivation over the 13 Table I
+// benchmarks: every derived bound must be consistent with the hand-written
+// annotation, fixed-count routines should be fully derivable, and
+// data-dependent loops must be skipped.
+func TestBenchmarkSuiteDerivation(t *testing.T) {
+	type expect struct {
+		derivable int // number of loops that must be derived
+		total     int // total loops in the reachable functions
+	}
+	expects := map[string]expect{
+		"fft":             {derivable: 5, total: 5},
+		"matgen":          {derivable: 5, total: 5},
+		"jpeg_fdct_islow": {derivable: 2, total: 2},
+		"recon":           {derivable: 8, total: 8},
+		"whetstone":       {derivable: 9, total: 9},
+		"check_data":      {derivable: 0, total: 1}, // while (morecheck)
+	}
+	for _, bm := range bench.All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			exe, _, err := cc.Build(bm.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := cfg.Build(exe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := Derive(prog)
+
+			// Consistency against the hand-written annotations: both are
+			// sound facts, so where both exist they must intersect (the
+			// user's may be tighter — e.g. dhry's strgt knows the data).
+			file, err := constraint.Parse(bm.Annotations)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, db := range res.Bounds {
+				sec, ok := file.Section(db.Func)
+				if !ok {
+					continue
+				}
+				for _, lb := range sec.LoopBounds {
+					if lb.Loop != db.Loop {
+						continue
+					}
+					if db.Hi < lb.Lo || db.Lo > lb.Hi {
+						t.Errorf("%s loop %d: derived [%d, %d] contradicts annotated [%d, %d] (%s)",
+							db.Func, db.Loop, db.Lo, db.Hi, lb.Lo, lb.Hi, db.Why)
+					}
+				}
+			}
+
+			if exp, ok := expects[bm.Name]; ok {
+				reach, err := prog.Reachable(bm.Root)
+				if err != nil {
+					t.Fatal(err)
+				}
+				total, derived := 0, 0
+				reachSet := map[string]bool{}
+				for _, fn := range reach {
+					reachSet[fn] = true
+					total += len(prog.Funcs[fn].Loops)
+				}
+				for _, db := range res.Bounds {
+					if reachSet[db.Func] {
+						derived++
+					}
+				}
+				if total != exp.total || derived != exp.derivable {
+					t.Errorf("derived %d of %d loops, want %d of %d (skipped: %v)",
+						derived, total, exp.derivable, exp.total, res.Skipped)
+				}
+			}
+		})
+	}
+}
+
+// TestFullyAutomaticAnalysis: for fft, matgen and jpeg_fdct_islow the
+// derived bounds alone reproduce the hand-annotated WCET exactly, and the
+// estimate still encloses a measured run.
+func TestFullyAutomaticAnalysis(t *testing.T) {
+	for _, name := range []string{"fft", "matgen", "jpeg_fdct_islow", "recon"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			bm, _ := bench.ByName(name)
+			exe, _, err := cc.Build(bm.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := cfg.Build(exe)
+			if err != nil {
+				t.Fatal(err)
+			}
+			an, err := ipet.New(prog, bm.Root, ipet.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := an.Apply(Derive(prog).File()); err != nil {
+				t.Fatal(err)
+			}
+			est, err := an.Estimate()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Reference: the hand-annotated estimate.
+			bt, err := bm.Build(ipet.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est.WCET.Cycles != bt.Est.WCET.Cycles {
+				t.Errorf("automatic WCET %d != annotated %d", est.WCET.Cycles, bt.Est.WCET.Cycles)
+			}
+
+			var setup eval.Setup
+			if bm.WorstSetup != nil {
+				setup = func(m *sim.Machine) error { return bm.WorstSetup(m, exe) }
+			}
+			cycles, err := eval.MeasuredWorst(exe, bm.Root, setup, sim.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cycles > est.WCET.Cycles {
+				t.Errorf("measured %d exceeds automatic WCET %d", cycles, est.WCET.Cycles)
+			}
+		})
+	}
+}
+
+func TestResultFile(t *testing.T) {
+	res := &Result{Bounds: []DerivedBound{
+		{Func: "f", Loop: 1, Lo: 3, Hi: 3},
+		{Func: "f", Loop: 2, Lo: 0, Hi: 9},
+		{Func: "g", Loop: 1, Lo: 1, Hi: 1},
+	}}
+	f := res.File()
+	if len(f.Sections) != 2 {
+		t.Fatalf("sections = %d", len(f.Sections))
+	}
+	sec, ok := f.Section("f")
+	if !ok || len(sec.LoopBounds) != 2 {
+		t.Fatalf("section f: %+v", sec)
+	}
+}
+
+func TestWhyTraces(t *testing.T) {
+	res, _ := derive(t, `
+int main() { return 0; }
+int f() {
+    int i, s;
+    s = 0;
+    for (i = 2; i < 12; i += 2) s += i;
+    return s;
+}`)
+	b := boundOf(t, res, "f", 1)
+	want := []string{"init 2", "step +2", "<"}
+	for _, w := range want {
+		if !strings.Contains(b.Why, w) {
+			t.Errorf("Why = %q missing %q", b.Why, w)
+		}
+	}
+	if b.Hi != 5 {
+		t.Errorf("bound = %+v", b)
+	}
+	_ = fmt.Sprint(b)
+}

@@ -1,0 +1,345 @@
+package autobound
+
+import (
+	"fmt"
+
+	"cinderella/internal/isa"
+)
+
+// The per-block symbolic evaluator. Each basic block is executed with a
+// fresh state in which fp and sp are symbolic base pointers, r0 is zero and
+// everything else is unknown. Values are tracked precisely enough to
+// recognize the MC compiler's accumulator-and-stack code shapes:
+//
+//	vConst   a known 32-bit constant
+//	vSlot    (initial value of frame slot k) + off
+//	vCmp     a comparison of a vSlot against a constant
+//	vFP/vSP  the frame/stack base plus a known delta
+//
+// Anything else degrades to vUnknown, which poisons whatever consumes it —
+// the analysis only ever concludes something when every contributing
+// instruction was understood.
+
+type vKind uint8
+
+const (
+	vUnknown vKind = iota
+	vConst
+	vSlot
+	vCmp
+	vFP
+	vSP
+)
+
+type value struct {
+	kind vKind
+	off  int64 // constant (vConst), addend (vSlot), or pointer delta (vFP/vSP)
+	slot int32 // fp-relative offset identifying the slot (vSlot)
+	cmp  *comparison
+}
+
+func unknown() value         { return value{kind: vUnknown} }
+func constant(c int64) value { return value{kind: vConst, off: c} }
+
+// rel is a comparison relation on a slot value.
+type rel uint8
+
+const (
+	relLT rel = iota
+	relLE
+	relGT
+	relGE
+)
+
+func (r rel) String() string {
+	switch r {
+	case relLT:
+		return "<"
+	case relLE:
+		return "<="
+	case relGT:
+		return ">"
+	}
+	return ">="
+}
+
+// comparison is "slot + off REL bound".
+type comparison struct {
+	slot  int32
+	off   int64
+	rel   rel
+	bound int64
+}
+
+func (c *comparison) negate() *comparison {
+	n := *c
+	switch c.rel {
+	case relLT:
+		n.rel = relGE
+	case relLE:
+		n.rel = relGT
+	case relGT:
+		n.rel = relLE
+	case relGE:
+		n.rel = relLT
+	}
+	return &n
+}
+
+func (c *comparison) String() string {
+	if c.off != 0 {
+		return fmt.Sprintf("slot%+d %s %d", c.off, c.rel, c.bound)
+	}
+	return fmt.Sprintf("slot %s %d", c.rel, c.bound)
+}
+
+// slotWrite records a store to a frame slot, in program order.
+type slotWrite struct {
+	slot  int32
+	value value
+}
+
+type state struct {
+	regs  [isa.NumIntRegs]value
+	temps map[int64]value // sp-relative spill slots, keyed by sp delta + offset
+	slots map[int32]value // current in-block view of frame slots
+
+	slotWrites   []slotWrite
+	unknownStore bool
+}
+
+func newState() *state {
+	st := &state{
+		temps: map[int64]value{},
+		slots: map[int32]value{},
+	}
+	for i := range st.regs {
+		st.regs[i] = unknown()
+	}
+	st.regs[isa.RegZero] = constant(0)
+	st.regs[isa.RegFP] = value{kind: vFP}
+	st.regs[isa.RegSP] = value{kind: vSP}
+	return st
+}
+
+// loadSlot reads a frame slot, introducing a symbolic initial value on
+// first touch.
+func (st *state) loadSlot(slot int32) value {
+	if v, ok := st.slots[slot]; ok {
+		return v
+	}
+	v := value{kind: vSlot, slot: slot}
+	st.slots[slot] = v
+	return v
+}
+
+func (st *state) set(reg uint8, v value) {
+	if reg != isa.RegZero {
+		st.regs[reg] = v
+	}
+}
+
+// step symbolically executes one instruction.
+func (st *state) step(ins isa.Instruction) {
+	info := isa.InfoFor(ins.Op)
+
+	// Floating-point register writes never touch the integer tracking;
+	// float stores to the frame are still slot writes (of unknown value).
+	switch ins.Op {
+	case isa.OpFst:
+		st.storeTo(st.regs[ins.Rs1], int64(ins.Imm), unknown())
+		return
+	case isa.OpFld:
+		// Loads into the float file: nothing tracked.
+		return
+	}
+	if info.FloatDst && !info.Load && !info.Store {
+		return
+	}
+
+	a := st.regs[ins.Rs1]
+	b := st.regs[ins.Rs2]
+	imm := int64(ins.Imm)
+
+	switch ins.Op {
+	case isa.OpAddi:
+		st.set(ins.Rd, addValue(a, imm))
+	case isa.OpLui:
+		st.set(ins.Rd, constant(int64(int32(uint32(uint16(ins.Imm))<<16))))
+	case isa.OpOri:
+		if a.kind == vConst {
+			st.set(ins.Rd, constant(int64(int32(uint32(a.off)|uint32(uint16(ins.Imm))))))
+		} else {
+			st.set(ins.Rd, unknown())
+		}
+	case isa.OpAndi:
+		if a.kind == vConst {
+			st.set(ins.Rd, constant(int64(int32(uint32(a.off)&uint32(uint16(ins.Imm))))))
+		} else {
+			st.set(ins.Rd, unknown())
+		}
+	case isa.OpXori:
+		switch {
+		case a.kind == vCmp && uint16(ins.Imm) == 1:
+			st.set(ins.Rd, value{kind: vCmp, cmp: a.cmp.negate()})
+		case a.kind == vConst:
+			st.set(ins.Rd, constant(int64(int32(uint32(a.off)^uint32(uint16(ins.Imm))))))
+		default:
+			st.set(ins.Rd, unknown())
+		}
+	case isa.OpAdd:
+		switch {
+		case a.kind == vConst && b.kind == vConst:
+			st.set(ins.Rd, constant(int64(int32(a.off+b.off))))
+		case b.kind == vConst:
+			st.set(ins.Rd, addValue(a, b.off))
+		case a.kind == vConst:
+			st.set(ins.Rd, addValue(b, a.off))
+		default:
+			st.set(ins.Rd, unknown())
+		}
+	case isa.OpSub:
+		switch {
+		case a.kind == vConst && b.kind == vConst:
+			st.set(ins.Rd, constant(int64(int32(a.off-b.off))))
+		case b.kind == vConst:
+			st.set(ins.Rd, addValue(a, -b.off))
+		default:
+			st.set(ins.Rd, unknown())
+		}
+	case isa.OpMul:
+		if a.kind == vConst && b.kind == vConst {
+			st.set(ins.Rd, constant(int64(int32(a.off)*int32(b.off))))
+		} else {
+			st.set(ins.Rd, unknown())
+		}
+	case isa.OpDiv:
+		if a.kind == vConst && b.kind == vConst && b.off != 0 {
+			st.set(ins.Rd, constant(int64(int32(a.off)/int32(b.off))))
+		} else {
+			st.set(ins.Rd, unknown())
+		}
+	case isa.OpRem:
+		if a.kind == vConst && b.kind == vConst && b.off != 0 {
+			st.set(ins.Rd, constant(int64(int32(a.off)%int32(b.off))))
+		} else {
+			st.set(ins.Rd, unknown())
+		}
+	case isa.OpShl:
+		if a.kind == vConst && b.kind == vConst {
+			st.set(ins.Rd, constant(int64(int32(a.off)<<(uint32(b.off)&31))))
+		} else {
+			st.set(ins.Rd, unknown())
+		}
+	case isa.OpShri, isa.OpSrai:
+		if a.kind == vConst {
+			if ins.Op == isa.OpSrai {
+				st.set(ins.Rd, constant(int64(int32(a.off)>>(uint32(imm)&31))))
+			} else {
+				st.set(ins.Rd, constant(int64(int32(uint32(int32(a.off))>>(uint32(imm)&31)))))
+			}
+		} else {
+			st.set(ins.Rd, unknown())
+		}
+	case isa.OpShli:
+		if a.kind == vConst {
+			st.set(ins.Rd, constant(int64(int32(a.off)<<(uint32(imm)&31))))
+		} else {
+			st.set(ins.Rd, unknown())
+		}
+	case isa.OpSlt:
+		st.set(ins.Rd, compare(a, b))
+	case isa.OpSlti:
+		st.set(ins.Rd, compare(a, constant(imm)))
+	case isa.OpLw:
+		st.set(ins.Rd, st.loadFrom(a, imm))
+	case isa.OpSw:
+		st.storeTo(a, imm, st.regs[ins.Rd])
+	case isa.OpLb, isa.OpLbu:
+		st.set(ins.Rd, unknown())
+	case isa.OpSb:
+		st.storeTo(a, imm, unknown())
+	case isa.OpNop, isa.OpHalt, isa.OpJmp, isa.OpCall, isa.OpJr,
+		isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu, isa.OpBgeu:
+		// No register effects we track.
+	default:
+		// Anything else writing an integer register poisons it.
+		if info.Format == isa.FmtR || info.Format == isa.FmtI {
+			st.set(ins.Rd, unknown())
+		}
+	}
+}
+
+// addValue adds a constant to a tracked value.
+func addValue(v value, c int64) value {
+	switch v.kind {
+	case vConst:
+		return constant(int64(int32(v.off + c)))
+	case vSlot:
+		return value{kind: vSlot, slot: v.slot, off: v.off + c}
+	case vFP:
+		return value{kind: vFP, off: v.off + c}
+	case vSP:
+		return value{kind: vSP, off: v.off + c}
+	}
+	return unknown()
+}
+
+// compare builds a vCmp when one side is a slot expression and the other a
+// constant.
+func compare(a, b value) value {
+	switch {
+	case a.kind == vSlot && b.kind == vConst:
+		return value{kind: vCmp, cmp: &comparison{slot: a.slot, off: a.off, rel: relLT, bound: b.off}}
+	case a.kind == vConst && b.kind == vSlot:
+		// a < slot+off  ==  slot+off > a
+		return value{kind: vCmp, cmp: &comparison{slot: b.slot, off: b.off, rel: relGT, bound: a.off}}
+	}
+	return unknown()
+}
+
+// resolveAddr classifies an address as a frame slot or an sp temp. In the
+// function entry block the MC prologue rebases fp from sp (addi fp, sp, F);
+// once that has happened, sp-based addresses are re-expressed relative to
+// the rebased fp so the entry block's slot identities agree with every
+// other block's.
+func (st *state) resolveAddr(base value, imm int64) (slot int32, isSlot bool, key int64, isTemp bool) {
+	switch base.kind {
+	case vFP:
+		return int32(base.off + imm), true, 0, false
+	case vSP:
+		if fp := st.regs[isa.RegFP]; fp.kind == vSP {
+			return int32(base.off + imm - fp.off), true, 0, false
+		}
+		return 0, false, base.off + imm, true
+	}
+	return 0, false, 0, false
+}
+
+// loadFrom reads through a tracked base pointer.
+func (st *state) loadFrom(base value, imm int64) value {
+	slot, isSlot, key, isTemp := st.resolveAddr(base, imm)
+	switch {
+	case isSlot:
+		return st.loadSlot(slot)
+	case isTemp:
+		if v, ok := st.temps[key]; ok {
+			return v
+		}
+	}
+	return unknown()
+}
+
+// storeTo writes through a tracked base pointer.
+func (st *state) storeTo(base value, imm int64, v value) {
+	slot, isSlot, key, isTemp := st.resolveAddr(base, imm)
+	switch {
+	case isSlot:
+		st.slots[slot] = v
+		st.slotWrites = append(st.slotWrites, slotWrite{slot: slot, value: v})
+	case isTemp:
+		st.temps[key] = v
+	default:
+		st.unknownStore = true
+	}
+}

@@ -1,0 +1,207 @@
+// Package bench contains the benchmark suite of Table I: the thirteen
+// routines the paper evaluates (check_data, fft, piksrt, des, line, circle,
+// jpeg_fdct_islow, jpeg_idct_islow, recon, fullsearch, whetstone, dhry,
+// matgen), rewritten in the MC dialect, together with their functionality
+// annotations and the hand-identified extreme-case data sets that
+// Experiments 1 and 2 require.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/cc"
+	"cinderella/internal/cfg"
+	"cinderella/internal/constraint"
+	"cinderella/internal/eval"
+	"cinderella/internal/ipet"
+	"cinderella/internal/march"
+	"cinderella/internal/sim"
+)
+
+// Benchmark is one Table I routine.
+type Benchmark struct {
+	// Name is the paper's row label.
+	Name string
+	// Desc is the Table I description.
+	Desc string
+	// Root is the routine whose bound is estimated.
+	Root string
+	// Source is the MC program text.
+	Source string
+	// Annotations is the functionality constraint file.
+	Annotations string
+	// WorstSetup and BestSetup install the extreme-case data sets. Nil
+	// when the routine's timing is input-independent.
+	WorstSetup func(m *sim.Machine, exe *asm.Executable) error
+	BestSetup  func(m *sim.Machine, exe *asm.Executable) error
+	// Check validates functional correctness after a plain run of Root
+	// with the worst-case data (return value in rv).
+	Check func(m *sim.Machine, exe *asm.Executable, rv int32) error
+	// PaperLines and PaperSets reproduce the Table I columns for
+	// comparison in EXPERIMENTS.md.
+	PaperLines int
+	PaperSets  int
+}
+
+var registry []*Benchmark
+
+func register(b *Benchmark) { registry = append(registry, b) }
+
+// All returns the benchmark suite in Table I order.
+func All() []*Benchmark {
+	out := make([]*Benchmark, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return tableOrder(out[i].Name) < tableOrder(out[j].Name) })
+	return out
+}
+
+// ByName returns one benchmark.
+func ByName(name string) (*Benchmark, bool) {
+	for _, b := range registry {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+var tableIOrder = []string{
+	"check_data", "fft", "piksrt", "des", "line", "circle",
+	"jpeg_fdct_islow", "jpeg_idct_islow", "recon", "fullsearch",
+	"whetstone", "dhry", "matgen",
+}
+
+func tableOrder(name string) int {
+	for i, n := range tableIOrder {
+		if n == name {
+			return i
+		}
+	}
+	return len(tableIOrder)
+}
+
+// Built bundles everything needed to run experiments on one benchmark.
+type Built struct {
+	Bench *Benchmark
+	Exe   *asm.Executable
+	CFG   *cfg.Program
+	An    *ipet.Analyzer
+	Est   *ipet.Estimate
+	// SourceLines counts non-empty source lines (the Table I Lines column
+	// for our MC rewrite).
+	SourceLines int
+}
+
+// Build compiles and analyzes a benchmark with the given options.
+func (b *Benchmark) Build(opts ipet.Options) (*Built, error) {
+	exe, _, err := cc.Build(b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: compile: %w", b.Name, err)
+	}
+	prog, err := cfg.Build(exe)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: cfg: %w", b.Name, err)
+	}
+	an, err := ipet.New(prog, b.Root, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: analyze: %w", b.Name, err)
+	}
+	file, err := constraint.Parse(b.Annotations)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: annotations: %w", b.Name, err)
+	}
+	if err := an.Apply(file); err != nil {
+		return nil, fmt.Errorf("bench %s: apply: %w", b.Name, err)
+	}
+	est, err := an.Estimate()
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: estimate: %w", b.Name, err)
+	}
+	return &Built{
+		Bench:       b,
+		Exe:         exe,
+		CFG:         prog,
+		An:          an,
+		Est:         est,
+		SourceLines: countLines(b.Source),
+	}, nil
+}
+
+func countLines(src string) int {
+	n := 0
+	blank := true
+	for _, c := range src {
+		switch c {
+		case '\n':
+			if !blank {
+				n++
+			}
+			blank = true
+		case ' ', '\t', '\r':
+		default:
+			blank = false
+		}
+	}
+	if !blank {
+		n++
+	}
+	return n
+}
+
+// setup adapts a benchmark setup function to the eval.Setup signature.
+func (bt *Built) setup(f func(m *sim.Machine, exe *asm.Executable) error) eval.Setup {
+	if f == nil {
+		return nil
+	}
+	return func(m *sim.Machine) error { return f(m, bt.Exe) }
+}
+
+// Costs returns the per-function block cost map for the eval harness.
+func (bt *Built) Costs() map[string][]march.BlockCost {
+	out := map[string][]march.BlockCost{}
+	for name := range bt.CFG.Funcs {
+		out[name] = bt.An.BlockCosts(name)
+	}
+	return out
+}
+
+// EstimatedBound returns the analysis bound as an eval interval.
+func (bt *Built) EstimatedBound() eval.Bound {
+	return eval.Bound{Lo: bt.Est.BCET.Cycles, Hi: bt.Est.WCET.Cycles}
+}
+
+// CalculatedBound runs the Experiment 1 protocol.
+func (bt *Built) CalculatedBound() (eval.Bound, error) {
+	return eval.CalculatedBound(bt.Exe, bt.CFG, bt.Bench.Root, bt.Costs(),
+		bt.setup(bt.Bench.WorstSetup), bt.setup(bt.Bench.BestSetup), sim.Config{})
+}
+
+// MeasuredBound runs the Experiment 2 protocol.
+func (bt *Built) MeasuredBound() (eval.Bound, error) {
+	return eval.MeasuredBound(bt.Exe, bt.Bench.Root,
+		bt.setup(bt.Bench.WorstSetup), bt.setup(bt.Bench.BestSetup), sim.Config{})
+}
+
+// RunWorst executes the routine once with the worst-case data and applies
+// the benchmark's functional check.
+func (bt *Built) RunWorst() error {
+	m, err := sim.New(bt.Exe, sim.Config{})
+	if err != nil {
+		return err
+	}
+	if bt.Bench.WorstSetup != nil {
+		if err := bt.Bench.WorstSetup(m, bt.Exe); err != nil {
+			return err
+		}
+	}
+	rv, err := m.CallNamed(bt.Bench.Root)
+	if err != nil {
+		return err
+	}
+	if bt.Bench.Check != nil {
+		return bt.Bench.Check(m, bt.Exe, rv)
+	}
+	return nil
+}

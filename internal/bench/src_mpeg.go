@@ -1,0 +1,338 @@
+package bench
+
+import (
+	"fmt"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/sim"
+)
+
+func init() {
+	register(&Benchmark{
+		Name:       "recon",
+		Desc:       "MPEG2 decoder reconstruction routine",
+		Root:       "recon",
+		PaperLines: 87,
+		PaperSets:  1,
+		Source: `
+/* recon: MPEG-2 motion-compensated macroblock reconstruction. The
+ * half-pel flags hx/hy select between plain copy and 2- or 4-tap
+ * interpolation, the way recon_comp does in mpeg2decode. */
+const MB = 16;
+int refp[24][24];
+int cur[MB][MB];
+int hx;
+int hy;
+
+int main() { return recon(); }
+
+int recon() {
+    int i, j, mode;
+    mode = hx * 2 + hy;
+    if (mode == 3) {
+        for (i = 0; i < MB; i++) {
+            for (j = 0; j < MB; j++) {
+                cur[i][j] = (refp[i][j] + refp[i][j + 1] +
+                             refp[i + 1][j] + refp[i + 1][j + 1] + 2) / 4;
+            }
+        }
+    } else if (mode == 2) {
+        for (i = 0; i < MB; i++) {
+            for (j = 0; j < MB; j++) {
+                cur[i][j] = (refp[i][j] + refp[i][j + 1] + 1) / 2;
+            }
+        }
+    } else if (mode == 1) {
+        for (i = 0; i < MB; i++) {
+            for (j = 0; j < MB; j++) {
+                cur[i][j] = (refp[i][j] + refp[i + 1][j] + 1) / 2;
+            }
+        }
+    } else {
+        for (i = 0; i < MB; i++) {
+            for (j = 0; j < MB; j++) {
+                cur[i][j] = refp[i][j];
+            }
+        }
+    }
+    return cur[0][0];
+}
+`,
+		Annotations: `
+func recon {
+    loop 1: 16 .. 16
+    loop 2: 16 .. 16
+    loop 3: 16 .. 16
+    loop 4: 16 .. 16
+    loop 5: 16 .. 16
+    loop 6: 16 .. 16
+    loop 7: 16 .. 16
+    loop 8: 16 .. 16
+}
+`,
+		WorstSetup: func(m *sim.Machine, exe *asm.Executable) error {
+			// Half-pel in both dimensions: the 4-tap interpolation arm.
+			if err := writeInt(m, exe, "g_hx", 1); err != nil {
+				return err
+			}
+			if err := writeInt(m, exe, "g_hy", 1); err != nil {
+				return err
+			}
+			return fillRef(m, exe)
+		},
+		BestSetup: func(m *sim.Machine, exe *asm.Executable) error {
+			if err := writeInt(m, exe, "g_hx", 0); err != nil {
+				return err
+			}
+			if err := writeInt(m, exe, "g_hy", 0); err != nil {
+				return err
+			}
+			return fillRef(m, exe)
+		},
+		Check: func(m *sim.Machine, exe *asm.Executable, rv int32) error {
+			// With a constant reference plane every mode reconstructs the
+			// constant.
+			if rv != 8 {
+				return fmt.Errorf("recon: cur[0][0] = %d, want 8", rv)
+			}
+			return nil
+		},
+	})
+
+	register(&Benchmark{
+		Name:       "fullsearch",
+		Desc:       "MPEG2 encoder frame search routine",
+		Root:       "fullsearch",
+		PaperLines: 204,
+		PaperSets:  1,
+		Source: `
+/* fullsearch: exhaustive block-matching motion estimation over a
+ * [0, 2W] x [0, 2W] integer window followed by a half-pel refinement of
+ * the winner, SAD criterion, as in mpeg2encode. dist1 takes half-pel
+ * coordinates and interpolates like the encoder's four variants. */
+const B = 16;
+const W = 4;
+int org[B][B];
+int refw[26][26];
+int bestx;
+int besty;
+int offy[8] = {-1, -1, -1, 0, 0, 1, 1, 1};
+int offx[8] = {-1, 0, 1, -1, 1, -1, 0, 1};
+
+int main() { return fullsearch(); }
+
+int dist1(int dy2, int dx2) {
+    int y, x, hy, hx, i, j, d, sad;
+    y = dy2 / 2;
+    x = dx2 / 2;
+    hy = dy2 & 1;
+    hx = dx2 & 1;
+    sad = 0;
+    if (hy == 1 && hx == 1) {
+        for (i = 0; i < B; i++) {
+            for (j = 0; j < B; j++) {
+                d = org[i][j] - (refw[i + y][j + x] + refw[i + y][j + x + 1] +
+                                 refw[i + y + 1][j + x] + refw[i + y + 1][j + x + 1] + 2) / 4;
+                sad += abs(d);
+            }
+        }
+    } else if (hy == 1) {
+        for (i = 0; i < B; i++) {
+            for (j = 0; j < B; j++) {
+                d = org[i][j] - (refw[i + y][j + x] + refw[i + y + 1][j + x] + 1) / 2;
+                sad += abs(d);
+            }
+        }
+    } else if (hx == 1) {
+        for (i = 0; i < B; i++) {
+            for (j = 0; j < B; j++) {
+                d = org[i][j] - (refw[i + y][j + x] + refw[i + y][j + x + 1] + 1) / 2;
+                sad += abs(d);
+            }
+        }
+    } else {
+        for (i = 0; i < B; i++) {
+            for (j = 0; j < B; j++) {
+                d = org[i][j] - refw[i + y][j + x];
+                sad += abs(d);
+            }
+        }
+    }
+    return sad;
+}
+
+int fullsearch() {
+    int dx, dy, sad, best, k, ry, rx, cy2, cx2;
+    best = 1 << 30;
+    for (dy = 0; dy <= 2 * W; dy++) {
+        for (dx = 0; dx <= 2 * W; dx++) {
+            sad = dist1(2 * dy, 2 * dx);
+            if (sad < best) {
+                best = sad;
+                bestx = dx;
+                besty = dy;
+            }
+        }
+    }
+    /* Half-pel refinement around the integer winner. */
+    cy2 = 2 * besty;
+    cx2 = 2 * bestx;
+    ry = cy2;
+    rx = cx2;
+    for (k = 0; k < 8; k++) {
+        sad = dist1(cy2 + offy[k], cx2 + offx[k]);
+        if (sad < best) {
+            best = sad;
+            ry = cy2 + offy[k];
+            rx = cx2 + offx[k];
+        }
+    }
+    besty = ry;
+    bestx = rx;
+    return best;
+}
+`,
+		// The integer search (call site f1) always takes dist1's integer
+		// arm; the eight refinement probes (f2) split 4/2/2 over the
+		// half-pel arms — the paper's eq. (18) caller-context constraints.
+		// Block numbers per TestFullsearchBlockNumbering.
+		Annotations: fullsearchAnnotations,
+		WorstSetup: func(m *sim.Machine, exe *asm.Executable) error {
+			// org = 0; refw decreasing in raster order so the SAD strictly
+			// improves at every integer search position: all 81
+			// best-updates fire, and the refinement improves further.
+			if err := writeInts(m, exe, "g_org", make([]int32, 256)); err != nil {
+				return err
+			}
+			return writeInts(m, exe, "g_refw", fullsearchField(-1))
+		},
+		BestSetup: func(m *sim.Machine, exe *asm.Executable) error {
+			// refw increasing in raster order: only the first position
+			// updates the best match and the refinement never improves.
+			if err := writeInts(m, exe, "g_org", make([]int32, 256)); err != nil {
+				return err
+			}
+			return writeInts(m, exe, "g_refw", fullsearchField(+1))
+		},
+		Check: func(m *sim.Machine, exe *asm.Executable, rv int32) error {
+			wantBest, wantY, wantX := fullsearchReference(fullsearchField(-1))
+			if rv != wantBest {
+				return fmt.Errorf("fullsearch: best sad %d, want %d", rv, wantBest)
+			}
+			bx, err := readInt(m, exe, "g_bestx")
+			if err != nil {
+				return err
+			}
+			by, err := readInt(m, exe, "g_besty")
+			if err != nil {
+				return err
+			}
+			if bx != wantX || by != wantY {
+				return fmt.Errorf("fullsearch: best position (%d, %d), want (%d, %d)", by, bx, wantY, wantX)
+			}
+			return nil
+		},
+	})
+}
+
+// fullsearchField builds the synthetic reference plane: values change
+// monotonically along the raster scan with the given sign.
+func fullsearchField(sign int32) []int32 {
+	vals := make([]int32, 26*26)
+	for y := 0; y < 26; y++ {
+		for x := 0; x < 26; x++ {
+			vals[y*26+x] = 600 + sign*int32(y*9+x)
+		}
+	}
+	return vals
+}
+
+// fullsearchReference replicates the MC algorithm in Go (truncating
+// division, same arm structure) to compute the expected result.
+func fullsearchReference(refw []int32) (best, besty2, bestx2 int32) {
+	ref := func(y, x int32) int32 { return refw[y*26+x] }
+	dist1 := func(dy2, dx2 int32) int32 {
+		y, x := dy2/2, dx2/2
+		hy, hx := dy2&1, dx2&1
+		sad := int32(0)
+		for i := int32(0); i < 16; i++ {
+			for j := int32(0); j < 16; j++ {
+				var v int32
+				switch {
+				case hy == 1 && hx == 1:
+					v = (ref(i+y, j+x) + ref(i+y, j+x+1) + ref(i+y+1, j+x) + ref(i+y+1, j+x+1) + 2) / 4
+				case hy == 1:
+					v = (ref(i+y, j+x) + ref(i+y+1, j+x) + 1) / 2
+				case hx == 1:
+					v = (ref(i+y, j+x) + ref(i+y, j+x+1) + 1) / 2
+				default:
+					v = ref(i+y, j+x)
+				}
+				d := -v // org is all zero
+				if d < 0 {
+					d = -d
+				}
+				sad += d
+			}
+		}
+		return sad
+	}
+	best = 1 << 30
+	var bx, by int32
+	for dy := int32(0); dy <= 8; dy++ {
+		for dx := int32(0); dx <= 8; dx++ {
+			if sad := dist1(2*dy, 2*dx); sad < best {
+				best, by, bx = sad, dy, dx
+			}
+		}
+	}
+	offy := []int32{-1, -1, -1, 0, 0, 1, 1, 1}
+	offx := []int32{-1, 0, 1, -1, 1, -1, 0, 1}
+	cy2, cx2 := 2*by, 2*bx
+	ry, rx := cy2, cx2
+	for k := 0; k < 8; k++ {
+		if sad := dist1(cy2+offy[k], cx2+offx[k]); sad < best {
+			best, ry, rx = sad, cy2+offy[k], cx2+offx[k]
+		}
+	}
+	return best, ry, rx
+}
+
+// fullsearchAnnotations: block numbers of dist1's four mode arms are
+// asserted by TestFullsearchBlockNumbering; E3/E2/E1 denote the loop-nest
+// entries of the three interpolating arms (placeholders resolved below).
+var fullsearchAnnotations = `
+func fullsearch {
+    loop 1: 9 .. 9
+    loop 2: 9 .. 9
+    loop 3: 8 .. 8
+    ; eq. (18)-style caller-context facts: integer-search probes (f1)
+    ; never interpolate; the 8 half-pel probes (f2) split 4/2/2 over the
+    ; interpolating arms of dist1 (x5: 4-tap, x13: half-y, x21: half-x).
+    dist1.x5 @ f1 = 0
+    dist1.x13 @ f1 = 0
+    dist1.x21 @ f1 = 0
+    dist1.x5 @ f2 = 4
+    dist1.x13 @ f2 = 2
+    dist1.x21 @ f2 = 2
+}
+func dist1 {
+    loop 1: 16 .. 16
+    loop 2: 16 .. 16
+    loop 3: 16 .. 16
+    loop 4: 16 .. 16
+    loop 5: 16 .. 16
+    loop 6: 16 .. 16
+    loop 7: 16 .. 16
+    loop 8: 16 .. 16
+}
+`
+
+// fillRef fills the reconstruction reference plane with a constant.
+func fillRef(m *sim.Machine, exe *asm.Executable) error {
+	vals := make([]int32, 24*24)
+	for i := range vals {
+		vals[i] = 8
+	}
+	return writeInts(m, exe, "g_refp", vals)
+}

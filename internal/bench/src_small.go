@@ -1,0 +1,412 @@
+package bench
+
+import (
+	"fmt"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/sim"
+)
+
+// writeInts stores a slice of ints at a global symbol.
+func writeInts(m *sim.Machine, exe *asm.Executable, sym string, vals []int32) error {
+	addr, ok := exe.Symbols[sym]
+	if !ok {
+		return fmt.Errorf("bench: no symbol %q", sym)
+	}
+	for i, v := range vals {
+		if err := m.WriteWord(addr+uint32(4*i), v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeInt stores one int global.
+func writeInt(m *sim.Machine, exe *asm.Executable, sym string, v int32) error {
+	return writeInts(m, exe, sym, []int32{v})
+}
+
+// readInt loads one int global.
+func readInt(m *sim.Machine, exe *asm.Executable, sym string) (int32, error) {
+	addr, ok := exe.Symbols[sym]
+	if !ok {
+		return 0, fmt.Errorf("bench: no symbol %q", sym)
+	}
+	return m.ReadWord(addr)
+}
+
+func init() {
+	register(&Benchmark{
+		Name:       "check_data",
+		Desc:       "Example from Park's thesis",
+		Root:       "check_data",
+		PaperLines: 17,
+		PaperSets:  2,
+		Source: `
+/* check_data from Park's thesis, the paper's Fig. 5. */
+const DATASIZE = 10;
+int data[DATASIZE];
+
+int main() { return check_data(); }
+
+int check_data() {
+    int i, morecheck, wrongone;
+    morecheck = 1; i = 0; wrongone = -1;
+    while (morecheck) {
+        if (data[i] < 0) {
+            wrongone = i; morecheck = 0;
+        }
+        else
+            if (++i >= DATASIZE)
+                morecheck = 0;
+    }
+    if (wrongone >= 0)
+        return 0;
+    else
+        return 1;
+}
+`,
+		// The loop iterates 1..10 times (eqs 14-15); the two loop arms are
+		// mutually exclusive per execution (eq 16); the then-arm executes
+		// exactly when "return 0" does (eq 17). Block numbers refer to the
+		// compiled CFG (asserted by TestCheckDataBlockNumbering): the
+		// paper's x3/x5/x8 are x4 (wrongone = i arm), x6 (morecheck = 0
+		// arm) and x9 (return 0) here.
+		Annotations: `
+func check_data {
+    loop 1: 1 .. 10
+    (x4 = 0 & x6 = 1) | (x4 = 1 & x6 = 0)
+    x4 = x9
+}
+`,
+		WorstSetup: func(m *sim.Machine, exe *asm.Executable) error {
+			// All clean: ten full iterations through the ++i arm plus the
+			// morecheck=0 exit — the longest path in the compiled code.
+			vals := make([]int32, 10)
+			for i := range vals {
+				vals[i] = 1
+			}
+			return writeInts(m, exe, "g_data", vals)
+		},
+		BestSetup: func(m *sim.Machine, exe *asm.Executable) error {
+			vals := make([]int32, 10)
+			vals[0] = -1 // single iteration, exit through the then-arm
+			return writeInts(m, exe, "g_data", vals)
+		},
+		Check: func(m *sim.Machine, exe *asm.Executable, rv int32) error {
+			if rv != 1 {
+				return fmt.Errorf("check_data returned %d on clean data, want 1", rv)
+			}
+			return nil
+		},
+	})
+
+	register(&Benchmark{
+		Name:       "piksrt",
+		Desc:       "Insertion Sort",
+		Root:       "piksrt",
+		PaperLines: 15,
+		PaperSets:  1,
+		Source: `
+/* piksrt: straight insertion sort of N elements (Numerical Recipes). */
+const N = 10;
+int arr[N];
+
+int main() { return piksrt(); }
+
+int piksrt() {
+    int i, j, a;
+    for (j = 1; j < N; j++) {
+        a = arr[j];
+        i = j - 1;
+        while (i >= 0 && arr[i] > a) {
+            arr[i + 1] = arr[i];
+            i = i - 1;
+        }
+        arr[i + 1] = a;
+    }
+    return arr[0];
+}
+`,
+		// Outer loop: exactly N-1 = 9 iterations; inner while up to 9 per
+		// entry. The remaining facts capture the triangular structure
+		// exactly (block numbers per TestPiksrtBlockNumbering): the body
+		// x8 runs at most 45 times in total, the second condition x5
+		// (arr[i] > a) is evaluated at most 45 times and at least once per
+		// outer iteration (i = j-1 >= 0 always holds on entry).
+		Annotations: `
+func piksrt {
+    loop 1: 9 .. 9
+    loop 2: 0 .. 9
+    x8 <= 45
+    x5 <= 45
+    x5 >= 9
+}
+`,
+		WorstSetup: func(m *sim.Machine, exe *asm.Executable) error {
+			vals := make([]int32, 10)
+			for i := range vals {
+				vals[i] = int32(10 - i) // reverse sorted: maximal shifting
+			}
+			return writeInts(m, exe, "g_arr", vals)
+		},
+		BestSetup: func(m *sim.Machine, exe *asm.Executable) error {
+			vals := make([]int32, 10)
+			for i := range vals {
+				vals[i] = int32(i) // already sorted: zero inner iterations
+			}
+			return writeInts(m, exe, "g_arr", vals)
+		},
+		Check: func(m *sim.Machine, exe *asm.Executable, rv int32) error {
+			addr := exe.Symbols["g_arr"]
+			prev := int32(-1 << 30)
+			for i := 0; i < 10; i++ {
+				v, err := m.ReadWord(addr + uint32(4*i))
+				if err != nil {
+					return err
+				}
+				if v < prev {
+					return fmt.Errorf("piksrt: arr[%d]=%d < arr[%d]=%d", i, v, i-1, prev)
+				}
+				prev = v
+			}
+			return nil
+		},
+	})
+
+	register(&Benchmark{
+		Name:       "line",
+		Desc:       "Line drawing routine in Gupta's thesis",
+		Root:       "line",
+		PaperLines: 165,
+		PaperSets:  1,
+		Source: `
+/* line: Bresenham line rasterizer onto a GRID x GRID frame buffer,
+ * fixed-step formulation (max(dx, dy) + 1 plotted points). */
+const GRID = 64;
+int frame[GRID][GRID];
+int px0; int py0; int px1; int py1;
+
+int main() { return line(); }
+
+void plot(int x, int y) {
+    int in;
+    in = (x >= 0) & (x < GRID) & (y >= 0) & (y < GRID);
+    if (in) frame[y][x] = 1;
+}
+
+int absi(int v) {
+    if (v < 0) return -v;
+    return v;
+}
+
+int line() {
+    int x0, y0, x1, y1;
+    int dx, dy, sx, sy, err, e2, n, k;
+    x0 = px0; y0 = py0; x1 = px1; y1 = py1;
+    dx = absi(x1 - x0);
+    dy = -absi(y1 - y0);
+    if (x0 < x1) sx = 1; else sx = -1;
+    if (y0 < y1) sy = 1; else sy = -1;
+    n = dx;
+    if (-dy > n) n = -dy;
+    n = n + 1;
+    err = dx + dy;
+    for (k = 0; k < n; k++) {
+        plot(x0, y0);
+        e2 = 2 * err;
+        if (e2 >= dy) {
+            err += dy;
+            x0 += sx;
+        }
+        if (e2 <= dx) {
+            err += dx;
+            y0 += sy;
+        }
+    }
+    return n;
+}
+`,
+		// The loop visits at most GRID points along the major axis. All
+		// endpoints stay on the grid, so plot's clip test always passes
+		// (plot's store block x2 executes once per call).
+		Annotations: `
+func line {
+    loop 1: 1 .. 64
+    ; Bresenham invariant: every step advances at least one axis, so the
+    ; two adjustment arms (x15, x17) together fire at least once per
+    ; iteration (x18 is the loop latch).
+    x15 + x17 >= x18
+}
+func plot {
+    x2 = x1
+}
+`,
+		WorstSetup: func(m *sim.Machine, exe *asm.Executable) error {
+			// Near-diagonal: maximal steps with both adjustments firing.
+			if err := writeInt(m, exe, "g_px0", 0); err != nil {
+				return err
+			}
+			if err := writeInt(m, exe, "g_py0", 0); err != nil {
+				return err
+			}
+			if err := writeInt(m, exe, "g_px1", 63); err != nil {
+				return err
+			}
+			return writeInt(m, exe, "g_py1", 63)
+		},
+		BestSetup: func(m *sim.Machine, exe *asm.Executable) error {
+			for _, s := range []string{"g_px0", "g_py0", "g_px1", "g_py1"} {
+				if err := writeInt(m, exe, s, 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Check: func(m *sim.Machine, exe *asm.Executable, rv int32) error {
+			if rv != 64 {
+				return fmt.Errorf("line: diagonal took %d steps, want 64", rv)
+			}
+			return nil
+		},
+	})
+
+	register(&Benchmark{
+		Name:       "circle",
+		Desc:       "Circle drawing routine in Gupta's thesis",
+		Root:       "circle",
+		PaperLines: 88,
+		PaperSets:  1,
+		Source: `
+/* circle: midpoint circle rasterizer, radius from a global. */
+const GRID = 128;
+int frame[GRID][GRID];
+int radius;
+
+int main() { return circle(); }
+
+void plot(int x, int y) {
+    int in;
+    in = (x >= 0) & (x < GRID) & (y >= 0) & (y < GRID);
+    if (in) frame[y][x] = 1;
+}
+
+void plot8(int cx, int cy, int x, int y) {
+    plot(cx + x, cy + y);
+    plot(cx - x, cy + y);
+    plot(cx + x, cy - y);
+    plot(cx - x, cy - y);
+    plot(cx + y, cy + x);
+    plot(cx - y, cy + x);
+    plot(cx + y, cy - x);
+    plot(cx - y, cy - x);
+}
+
+int circle() {
+    int x, y, d, cx, cy, n;
+    cx = GRID / 2; cy = GRID / 2;
+    x = 0; y = radius;
+    d = 1 - radius;
+    n = 0;
+    while (x <= y) {
+        plot8(cx, cy, x, y);
+        n++;
+        if (d < 0) {
+            d = d + 2 * x + 3;
+        } else {
+            d = d + 2 * (x - y) + 5;
+            y--;
+        }
+        x++;
+    }
+    return n;
+}
+`,
+		// Octant iterations: ceil(r/sqrt(2)) + 1 <= 37 for r = 50, and y
+		// decrements (the else arm x6) at most r - floor(r/sqrt(2)) + 1 <=
+		// 16 times. The circle stays on the grid so plot's clip test
+		// always passes.
+		Annotations: `
+func circle {
+    loop 1: 1 .. 36
+    x6 <= 16
+}
+func plot {
+    x2 = x1
+}
+`,
+		WorstSetup: func(m *sim.Machine, exe *asm.Executable) error {
+			return writeInt(m, exe, "g_radius", 50)
+		},
+		BestSetup: func(m *sim.Machine, exe *asm.Executable) error {
+			return writeInt(m, exe, "g_radius", 0)
+		},
+		Check: func(m *sim.Machine, exe *asm.Executable, rv int32) error {
+			if rv < 36 || rv > 37 {
+				return fmt.Errorf("circle: %d octant steps for r=50", rv)
+			}
+			return nil
+		},
+	})
+
+	register(&Benchmark{
+		Name:       "matgen",
+		Desc:       "Matrix routine in Linpack benchmark",
+		Root:       "matgen",
+		PaperLines: 50,
+		PaperSets:  1,
+		Source: `
+/* matgen: Linpack's pseudo-random matrix generator. */
+const N = 20;
+float a[N][N];
+float bvec[N];
+
+int main() { return matgen(); }
+
+int matgen() {
+    int init, i, j;
+    float norma, v;
+    init = 1325;
+    norma = 0.0;
+    for (j = 0; j < N; j++) {
+        for (i = 0; i < N; i++) {
+            init = 3125 * init % 65536;
+            v = (init - 32768.0) / 16384.0;
+            a[i][j] = v;
+            norma = norma + v * v;
+        }
+    }
+    for (i = 0; i < N; i++) {
+        bvec[i] = 0.0;
+    }
+    for (j = 0; j < N; j++) {
+        for (i = 0; i < N; i++) {
+            bvec[i] = bvec[i] + a[i][j];
+        }
+    }
+    return init;
+}
+`,
+		Annotations: `
+func matgen {
+    loop 1: 20 .. 20
+    loop 2: 20 .. 20
+    loop 3: 20 .. 20
+    loop 4: 20 .. 20
+    loop 5: 20 .. 20
+}
+`,
+		Check: func(m *sim.Machine, exe *asm.Executable, rv int32) error {
+			// The Lehmer stream is deterministic; spot-check the final
+			// state: 3125^400 * 1325 mod 65536.
+			want := int32(1325)
+			for i := 0; i < 400; i++ {
+				want = 3125 * want % 65536
+			}
+			if rv != want {
+				return fmt.Errorf("matgen final state %d, want %d", rv, want)
+			}
+			return nil
+		},
+	})
+}

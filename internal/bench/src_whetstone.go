@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/sim"
+)
+
+func init() {
+	register(&Benchmark{
+		Name:       "whetstone",
+		Desc:       "Whetstone benchmark",
+		Root:       "whetstone",
+		PaperLines: 245,
+		PaperSets:  1,
+		Source: `
+/* whetstone: the classic synthetic floating-point benchmark (Curnow &
+ * Wichmann), module structure preserved, scaled to LOOP = 10. Module
+ * trip counts follow the original weights. */
+const LOOP = 10;
+const N2 = 12 * LOOP;
+const N3 = 14 * LOOP;
+const N4 = 345 * LOOP;
+const N6 = 210 * LOOP;
+const N7 = 32 * LOOP;
+const N8 = 899 * LOOP;
+const N9 = 616 * LOOP;
+const N11 = 93 * LOOP;
+
+float e1[4];
+float t;
+float t1;
+float t2;
+float x;
+float y;
+float z;
+int j;
+int k;
+int l;
+
+int main() { return whetstone(); }
+
+void pa(float e[]) {
+    int jj;
+    for (jj = 0; jj < 6; jj++) {
+        e[0] = (e[0] + e[1] + e[2] - e[3]) * t;
+        e[1] = (e[0] + e[1] - e[2] + e[3]) * t;
+        e[2] = (e[0] - e[1] + e[2] + e[3]) * t;
+        e[3] = (-e[0] + e[1] + e[2] + e[3]) / t2;
+    }
+}
+
+void p0() {
+    e1[j] = e1[k];
+    e1[k] = e1[l];
+    e1[l] = e1[j];
+}
+
+void p3(float xx, float yy) {
+    float xt, yt;
+    xt = t * (xx + yy);
+    yt = t * (xt + yy);
+    z = (xt + yt) / t2;
+}
+
+int whetstone() {
+    int i;
+    float x1, x2, x3, x4;
+
+    t = 0.499975;
+    t1 = 0.50025;
+    t2 = 2.0;
+
+    /* Module 2: array elements. */
+    e1[0] = 1.0; e1[1] = -1.0; e1[2] = -1.0; e1[3] = -1.0;
+    for (i = 0; i < N2; i++) {
+        e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+        e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+        e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+        e1[3] = (-e1[0] + e1[1] + e1[2] + e1[3]) * t;
+    }
+
+    /* Module 3: array as parameter. */
+    for (i = 0; i < N3; i++) {
+        pa(e1);
+    }
+
+    /* Module 4: conditional jumps. */
+    j = 1;
+    for (i = 0; i < N4; i++) {
+        if (j == 1) j = 2; else j = 3;
+        if (j > 2) j = 0; else j = 1;
+        if (j < 1) j = 1; else j = 0;
+    }
+
+    /* Module 6: integer arithmetic. */
+    j = 1; k = 2; l = 3;
+    for (i = 0; i < N6; i++) {
+        j = j * (k - j) * (l - k);
+        k = l * k - (l - j) * k;
+        l = (l - k) * (k + j);
+        e1[l - 2] = j + k + l;
+        e1[k - 2] = j * k * l;
+    }
+
+    /* Module 7: trigonometric functions. */
+    x = 0.5; y = 0.5;
+    for (i = 0; i < N7; i++) {
+        x = t * atan(t2 * sin(x) * cos(x) / (cos(x + y) + cos(x - y) - 1.0));
+        y = t * atan(t2 * sin(y) * cos(y) / (cos(x + y) + cos(x - y) - 1.0));
+    }
+
+    /* Module 8: procedure calls. */
+    x = 1.0; y = 1.0; z = 1.0;
+    for (i = 0; i < N8; i++) {
+        p3(x, y);
+    }
+
+    /* Module 9: array references via a procedure. */
+    j = 1; k = 2; l = 3;
+    e1[0] = 1.0; e1[1] = 2.0; e1[2] = 3.0;
+    for (i = 0; i < N9; i++) {
+        p0();
+    }
+
+    /* Module 11: standard functions. */
+    x = 0.75;
+    for (i = 0; i < N11; i++) {
+        x = sqrt(exp(log(x) / t1));
+    }
+
+    if (x > 0.0 && x < 1.0) return 1;
+    return 0;
+}
+`,
+		Annotations: `
+func whetstone {
+    loop 1: 120 .. 120
+    loop 2: 140 .. 140
+    loop 3: 3450 .. 3450
+    loop 4: 2100 .. 2100
+    loop 5: 320 .. 320
+    loop 6: 8990 .. 8990
+    loop 7: 6160 .. 6160
+    loop 8: 930 .. 930
+}
+func pa {
+    loop 1: 6 .. 6
+}
+`,
+		Check: func(m *sim.Machine, exe *asm.Executable, rv int32) error {
+			if rv != 1 {
+				return fmt.Errorf("whetstone: convergence flag %d, want 1", rv)
+			}
+			addr := exe.Symbols["g_x"]
+			x, err := m.ReadFloat(addr)
+			if err != nil {
+				return err
+			}
+			// Module 11 converges toward x -> x^(1/t1) fixpoint below 1.
+			if math.IsNaN(x) || x <= 0 || x >= 1 {
+				return fmt.Errorf("whetstone: x = %v out of range", x)
+			}
+			return nil
+		},
+	})
+}

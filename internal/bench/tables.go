@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cinderella/internal/eval"
+	"cinderella/internal/ipet"
+)
+
+// Row collects every number the three tables report for one benchmark.
+type Row struct {
+	Name string
+	Desc string
+	// Lines is our MC source size; PaperLines/PaperSets echo Table I.
+	Lines      int
+	PaperLines int
+	Sets       int
+	PaperSets  int
+	PrunedSets int
+	// Estimated, Calculated and Measured are the three bounds.
+	Estimated  eval.Bound
+	Calculated eval.Bound
+	Measured   eval.Bound
+	// LPSolves/Branches reproduce the Section VI solver observation.
+	LPSolves     int
+	Branches     int
+	RootIntegral bool
+}
+
+// PessimismCalc returns the Table II pessimism pair
+// [(Cl-El)/Cl, (Eu-Cu)/Cu].
+func (r *Row) PessimismCalc() (lo, hi float64) {
+	return eval.Pessimism(r.Estimated, r.Calculated)
+}
+
+// PessimismMeas returns the Table III pessimism pair.
+func (r *Row) PessimismMeas() (lo, hi float64) {
+	return eval.Pessimism(r.Estimated, r.Measured)
+}
+
+// RunAll builds and evaluates the full suite, producing one Row per
+// benchmark.
+func RunAll(opts ipet.Options) ([]*Row, error) {
+	var rows []*Row
+	for _, b := range All() {
+		bt, err := b.Build(opts)
+		if err != nil {
+			return nil, err
+		}
+		calc, err := bt.CalculatedBound()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		meas, err := bt.MeasuredBound()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		rows = append(rows, &Row{
+			Name:         b.Name,
+			Desc:         b.Desc,
+			Lines:        bt.SourceLines,
+			PaperLines:   b.PaperLines,
+			Sets:         bt.Est.NumSets,
+			PaperSets:    b.PaperSets,
+			PrunedSets:   bt.Est.PrunedSets,
+			Estimated:    bt.EstimatedBound(),
+			Calculated:   calc,
+			Measured:     meas,
+			LPSolves:     bt.Est.LPSolves,
+			Branches:     bt.Est.Branches,
+			RootIntegral: bt.Est.AllRootIntegral,
+		})
+	}
+	return rows, nil
+}
+
+// WriteTableI renders the Table I analog: the benchmark set with sizes and
+// constraint-set counts.
+func WriteTableI(w io.Writer, rows []*Row) {
+	fmt.Fprintln(w, "TABLE I: SET OF BENCHMARK EXAMPLES")
+	fmt.Fprintf(w, "%-17s %-42s %6s %6s %5s %6s\n",
+		"Function", "Description", "Lines", "(pap.)", "Sets", "(pap.)")
+	for _, r := range rows {
+		sets := fmt.Sprintf("%d", r.Sets)
+		if r.PrunedSets > 0 {
+			sets = fmt.Sprintf("%d)%d", r.Sets, r.Sets-r.PrunedSets)
+		}
+		fmt.Fprintf(w, "%-17s %-42s %6d %6d %5s %6d\n",
+			r.Name, r.Desc, r.Lines, r.PaperLines, sets, r.PaperSets)
+	}
+}
+
+// WriteTableII renders the Table II analog: estimated vs calculated bound
+// and the path-analysis pessimism.
+func WriteTableII(w io.Writer, rows []*Row) {
+	fmt.Fprintln(w, "TABLE II: PESSIMISM IN PATH ANALYSIS")
+	fmt.Fprintf(w, "%-17s %-24s %-24s %s\n",
+		"Function", "Estimated Bound", "Calculated Bound", "Pessimism")
+	for _, r := range rows {
+		lo, hi := r.PessimismCalc()
+		fmt.Fprintf(w, "%-17s %-24s %-24s [%.2f, %.2f]\n",
+			r.Name, bound(r.Estimated), bound(r.Calculated), lo, hi)
+	}
+}
+
+// WriteTableIII renders the Table III analog: estimated vs measured bound
+// and the hardware-model pessimism.
+func WriteTableIII(w io.Writer, rows []*Row) {
+	fmt.Fprintln(w, "TABLE III: DISCREPANCY BETWEEN THE ESTIMATED AND THE MEASURED BOUND")
+	fmt.Fprintf(w, "%-17s %-24s %-24s %s\n",
+		"Function", "Estimated Bound", "Measured Bound", "Pessimism")
+	for _, r := range rows {
+		lo, hi := r.PessimismMeas()
+		fmt.Fprintf(w, "%-17s %-24s %-24s [%.2f, %.2f]\n",
+			r.Name, bound(r.Estimated), bound(r.Measured), lo, hi)
+	}
+}
+
+// WriteSolverStats renders the Section VI solver observation (E-S1).
+func WriteSolverStats(w io.Writer, rows []*Row) {
+	fmt.Fprintln(w, "ILP SOLVER BEHAVIOUR (Section VI observation)")
+	fmt.Fprintf(w, "%-17s %9s %9s %s\n", "Function", "LP calls", "Branches", "Root integral")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-17s %9d %9d %v\n", r.Name, r.LPSolves, r.Branches, r.RootIntegral)
+	}
+}
+
+func bound(b eval.Bound) string {
+	return fmt.Sprintf("[%s, %s]", group(b.Lo), group(b.Hi))
+}
+
+// group renders an integer with thousands separators, as the paper's
+// tables do.
+func group(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	out := strings.Join(parts, ",")
+	if neg {
+		out = "-" + out
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"cinderella/internal/ipet"
+)
+
+func TestGroupFormatting(t *testing.T) {
+	cases := map[int64]string{
+		0: "0", 12: "12", 123: "123", 1234: "1,234",
+		604169: "604,169", 1264430: "1,264,430", -4512: "-4,512",
+	}
+	for in, want := range cases {
+		if got := group(in); got != want {
+			t.Errorf("group(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full table run in short mode")
+	}
+	rows, err := RunAll(ipet.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var b strings.Builder
+	WriteTableI(&b, rows)
+	WriteTableII(&b, rows)
+	WriteTableIII(&b, rows)
+	WriteSolverStats(&b, rows)
+	out := b.String()
+	for _, want := range []string{
+		"TABLE I", "TABLE II", "TABLE III",
+		"check_data", "dhry", "8)3", // dhry's sets column: 8 generated ) 3 solved
+		"Pessimism", "Root integral",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables missing %q", want)
+		}
+	}
+	// Table II pessimism must never be negative (enclosure), and the
+	// Table III worst-case side must be clearly positive somewhere.
+	sawHardwareGap := false
+	for _, r := range rows {
+		lo, hi := r.PessimismCalc()
+		if lo < 0 || hi < 0 {
+			t.Errorf("%s: negative Table II pessimism", r.Name)
+		}
+		_, mhi := r.PessimismMeas()
+		if mhi > 0.15 {
+			sawHardwareGap = true
+		}
+	}
+	if !sawHardwareGap {
+		t.Error("Table III shows no hardware pessimism")
+	}
+}

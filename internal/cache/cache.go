@@ -1,0 +1,118 @@
+// Package cache models the direct-mapped on-chip instruction cache of the
+// target processor. The paper's i960KB carries a 512-byte direct-mapped
+// instruction cache and no data cache; the micro-architectural model of
+// Section IV assumes all-hits for the best case and all-misses for the worst
+// case, and the measurement protocol of Experiment 2 flushes this cache
+// before each call when measuring the worst case.
+package cache
+
+import "fmt"
+
+// Config describes an instruction cache geometry.
+type Config struct {
+	// SizeBytes is the total capacity. Default 512 (i960KB).
+	SizeBytes int
+	// LineBytes is the line (block) size. Default 16.
+	LineBytes int
+	// MissPenalty is the extra cycles for a line fill on miss. Default 8.
+	MissPenalty int
+}
+
+// DefaultConfig mirrors the i960KB: 512-byte direct-mapped I-cache with
+// 16-byte lines.
+func DefaultConfig() Config {
+	return Config{SizeBytes: 512, LineBytes: 16, MissPenalty: 8}
+}
+
+func (c Config) validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.MissPenalty < 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.SizeBytes%c.LineBytes != 0 {
+		return fmt.Errorf("cache: size %d not a multiple of line %d", c.SizeBytes, c.LineBytes)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	}
+	return nil
+}
+
+// Lines returns the number of cache lines.
+func (c Config) Lines() int { return c.SizeBytes / c.LineBytes }
+
+// Cache is a direct-mapped instruction cache simulator. The zero value is
+// not usable; construct with New.
+type Cache struct {
+	cfg   Config
+	tags  []uint32
+	valid []bool
+
+	hits   uint64
+	misses uint64
+}
+
+// New builds a cache with the given geometry.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Cache{
+		cfg:   cfg,
+		tags:  make([]uint32, cfg.Lines()),
+		valid: make([]bool, cfg.Lines()),
+	}, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access simulates a fetch of addr and returns the cycles it costs beyond
+// the base fetch cycle: 0 on a hit, MissPenalty on a miss (the line is
+// filled).
+func (c *Cache) Access(addr uint32) int {
+	line := addr / uint32(c.cfg.LineBytes)
+	idx := line % uint32(c.cfg.Lines())
+	tag := line / uint32(c.cfg.Lines())
+	if c.valid[idx] && c.tags[idx] == tag {
+		c.hits++
+		return 0
+	}
+	c.misses++
+	c.valid[idx] = true
+	c.tags[idx] = tag
+	return c.cfg.MissPenalty
+}
+
+// Lookup reports whether addr currently hits, without changing state.
+func (c *Cache) Lookup(addr uint32) bool {
+	line := addr / uint32(c.cfg.LineBytes)
+	idx := line % uint32(c.cfg.Lines())
+	tag := line / uint32(c.cfg.Lines())
+	return c.valid[idx] && c.tags[idx] == tag
+}
+
+// Flush invalidates every line, as the QT960 measurement loop does before
+// each worst-case call.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// ResetStats clears the hit/miss counters without touching cache contents.
+func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// Hits returns the number of hitting accesses since the last ResetStats.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of missing accesses since the last ResetStats.
+func (c *Cache) Misses() uint64 { return c.misses }

@@ -1,0 +1,157 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigIsI960KB(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.SizeBytes != 512 || cfg.LineBytes != 16 {
+		t.Fatalf("default geometry %+v", cfg)
+	}
+	if cfg.Lines() != 32 {
+		t.Fatalf("Lines = %d", cfg.Lines())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 16, MissPenalty: 1},
+		{SizeBytes: 512, LineBytes: 0, MissPenalty: 1},
+		{SizeBytes: 512, LineBytes: 24, MissPenalty: 1}, // not power of two
+		{SizeBytes: 520, LineBytes: 16, MissPenalty: 1}, // not a multiple
+		{SizeBytes: 512, LineBytes: 16, MissPenalty: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) succeeded", cfg)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	if got := c.Access(0); got != 8 {
+		t.Fatalf("first access cost %d, want miss penalty 8", got)
+	}
+	// Same line (addresses 0..15) must hit.
+	for addr := uint32(0); addr < 16; addr += 4 {
+		if got := c.Access(addr); got != 0 {
+			t.Fatalf("access %d cost %d, want hit", addr, got)
+		}
+	}
+	// Next line misses once.
+	if got := c.Access(16); got != 8 {
+		t.Fatalf("new line cost %d", got)
+	}
+	if c.Misses() != 2 || c.Hits() != 4 {
+		t.Fatalf("stats: %d hits, %d misses", c.Hits(), c.Misses())
+	}
+}
+
+func TestConflictEviction(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	// Addresses 0 and 512 map to the same line in a 512-byte cache.
+	c.Access(0)
+	if got := c.Access(512); got == 0 {
+		t.Fatal("conflicting address hit")
+	}
+	if got := c.Access(0); got == 0 {
+		t.Fatal("evicted address hit")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	c.Access(0)
+	if !c.Lookup(0) {
+		t.Fatal("Lookup after fill")
+	}
+	c.Flush()
+	if c.Lookup(0) {
+		t.Fatal("Lookup after flush")
+	}
+	if got := c.Access(0); got == 0 {
+		t.Fatal("flushed line hit")
+	}
+}
+
+func TestLookupDoesNotFill(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	if c.Lookup(64) {
+		t.Fatal("cold lookup hit")
+	}
+	if c.Lookup(64) {
+		t.Fatal("lookup filled the line")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := MustNew(DefaultConfig())
+	c.Access(0)
+	c.Access(0)
+	c.ResetStats()
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Fatal("stats not reset")
+	}
+	if !c.Lookup(0) {
+		t.Fatal("ResetStats flushed contents")
+	}
+}
+
+// Property: miss count never exceeds number of accesses, and a second access
+// to the same address with no intervening conflicting access always hits.
+func TestAccessPropertiesQuick(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := MustNew(DefaultConfig())
+		accesses := int(n)%200 + 1
+		for i := 0; i < accesses; i++ {
+			addr := uint32(rng.Intn(4096)) &^ 3
+			c.Access(addr)
+			if !c.Lookup(addr) {
+				return false // just-accessed address must be resident
+			}
+			if c.Access(addr) != 0 {
+				return false // immediate re-access must hit
+			}
+		}
+		return c.Hits()+c.Misses() == uint64(2*accesses) && c.Misses() <= uint64(accesses)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total cost with a flush before a re-run is >= cost without (the
+// monotonicity Experiment 2's measurement protocol relies on).
+func TestFlushMonotoneCost(t *testing.T) {
+	trace := make([]uint32, 300)
+	rng := rand.New(rand.NewSource(7))
+	for i := range trace {
+		trace[i] = uint32(rng.Intn(2048)) &^ 3
+	}
+	run := func(c *Cache) int {
+		total := 0
+		for _, a := range trace {
+			total += c.Access(a)
+		}
+		return total
+	}
+	warm := MustNew(DefaultConfig())
+	run(warm) // first pass warms
+	warmCost := run(warm)
+
+	flushed := MustNew(DefaultConfig())
+	run(flushed)
+	flushed.Flush()
+	flushedCost := run(flushed)
+	if flushedCost < warmCost {
+		t.Fatalf("flushed cost %d < warm cost %d", flushedCost, warmCost)
+	}
+}

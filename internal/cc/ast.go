@@ -1,0 +1,328 @@
+package cc
+
+// Type is an MC type. Scalars are TInt and TFloat; arrays carry their
+// element type and dimensions. Array parameters (declared T name[]) have
+// Dims[0] == 0.
+type Type struct {
+	Kind TypeKind
+	// Dims holds array dimensions, outermost first; empty for scalars.
+	Dims []int
+}
+
+// TypeKind is the scalar base kind of a type.
+type TypeKind uint8
+
+const (
+	TVoid TypeKind = iota
+	TInt
+	TFloat
+)
+
+// IsArray reports whether t has array dimensions.
+func (t Type) IsArray() bool { return len(t.Dims) > 0 }
+
+// IsScalar reports whether t is a plain int or float.
+func (t Type) IsScalar() bool { return !t.IsArray() && t.Kind != TVoid }
+
+// ScalarSize returns the byte size of the scalar base type.
+func (t Type) ScalarSize() int {
+	if t.Kind == TFloat {
+		return 8
+	}
+	return 4
+}
+
+// Size returns the total byte size (0 for open arrays).
+func (t Type) Size() int {
+	n := t.ScalarSize()
+	for _, d := range t.Dims {
+		n *= d
+	}
+	return n
+}
+
+func (t Type) String() string {
+	var s string
+	switch t.Kind {
+	case TInt:
+		s = "int"
+	case TFloat:
+		s = "float"
+	default:
+		s = "void"
+	}
+	for _, d := range t.Dims {
+		if d == 0 {
+			s += "[]"
+		} else {
+			s += "[" + itoa(d) + "]"
+		}
+	}
+	return s
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// Program is a parsed MC translation unit.
+type Program struct {
+	Consts  []*ConstDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// ConstDecl is `const NAME = intexpr;`.
+type ConstDecl struct {
+	Name  string
+	Value int64
+	Line  int
+}
+
+// VarDecl declares a global or local variable.
+type VarDecl struct {
+	Name string
+	Type Type
+	// Init is the scalar initializer expression (nil when absent).
+	Init Expr
+	// ArrayInit holds flattened array initializer expressions.
+	ArrayInit []Expr
+	Line      int
+	// Sym is the resolved symbol, filled by Check.
+	Sym *VarSym
+}
+
+// Param is a function parameter. Array parameters are passed by address.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Name   string
+	Ret    Type
+	Params []Param
+	Body   *BlockStmt
+	Line   int
+	// ParamSyms and Locals are filled by Check; Locals lists every local
+	// declared anywhere in the body, for frame layout.
+	ParamSyms []*VarSym
+	Locals    []*VarSym
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is { ... }.
+type BlockStmt struct {
+	Stmts []Stmt
+}
+
+// DeclStmt is a local variable declaration; a single statement may declare
+// several variables (int i, j, k;), all scoped to the enclosing block.
+type DeclStmt struct {
+	Decls []*VarDecl
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// IfStmt is if (Cond) Then [else Else].
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil when absent
+	Line int
+}
+
+// WhileStmt is while (Cond) Body, or do Body while (Cond) when Do is set.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Do   bool
+	Line int
+}
+
+// ForStmt is for (Init; Cond; Post) Body; any clause may be nil.
+type ForStmt struct {
+	Init Stmt // DeclStmt or ExprStmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt jumps to the next iteration of the innermost loop.
+type ContinueStmt struct{ Line int }
+
+// ReturnStmt returns from the function, with an optional value.
+type ReturnStmt struct {
+	X    Expr // nil for bare return
+	Line int
+}
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ReturnStmt) stmtNode()   {}
+
+// Expr is an expression node. The checker fills in the type.
+type Expr interface {
+	exprNode()
+	// TypeOf returns the checked type (valid after sema).
+	TypeOf() Type
+	Pos() int
+}
+
+// exprBase carries checked-type and position bookkeeping.
+type exprBase struct {
+	typ  Type
+	line int
+}
+
+func (e *exprBase) exprNode()    {}
+func (e *exprBase) TypeOf() Type { return e.typ }
+func (e *exprBase) Pos() int     { return e.line }
+
+// IntLit is an integer literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	exprBase
+	Value float64
+}
+
+// VarRef names a variable or named constant.
+type VarRef struct {
+	exprBase
+	Name string
+	// Const is set by sema when the name resolves to a named constant.
+	Const    bool
+	ConstVal int64
+	// Sym is the resolved variable symbol (nil for constants).
+	Sym *VarSym
+}
+
+// IndexExpr is a[i] or m[i][j] (Indexes has one entry per dimension used).
+type IndexExpr struct {
+	exprBase
+	Base    *VarRef
+	Indexes []Expr
+}
+
+// CallExpr is f(args). Intrinsic is set by sema for math builtins.
+type CallExpr struct {
+	exprBase
+	Name      string
+	Args      []Expr
+	Intrinsic Intrinsic
+	// Func is the resolved function (nil for intrinsics).
+	Func *FuncDecl
+}
+
+// Intrinsic identifies a math builtin compiled to dedicated instructions.
+type Intrinsic uint8
+
+const (
+	IntrNone Intrinsic = iota
+	IntrSqrt
+	IntrSin
+	IntrCos
+	IntrAtan
+	IntrExp
+	IntrLog
+	IntrFabs
+	IntrAbs // integer absolute value
+)
+
+// UnaryExpr is -x, !x or ~x.
+type UnaryExpr struct {
+	exprBase
+	Op string
+	X  Expr
+}
+
+// BinaryExpr is x op y for arithmetic, comparison, bitwise and the
+// short-circuit logical operators.
+type BinaryExpr struct {
+	exprBase
+	Op   string
+	X, Y Expr
+}
+
+// CondExpr is c ? a : b.
+type CondExpr struct {
+	exprBase
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+// AssignExpr is lhs op= rhs (op "" for plain assignment).
+type AssignExpr struct {
+	exprBase
+	Op  string // "", "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"
+	LHS Expr   // VarRef or IndexExpr
+	RHS Expr
+}
+
+// IncDecExpr is ++x, --x, x++ or x--.
+type IncDecExpr struct {
+	exprBase
+	Op   string // "++" or "--"
+	X    Expr   // VarRef or IndexExpr
+	Post bool
+}
+
+// ConvExpr is an implicit int<->float conversion inserted by sema.
+type ConvExpr struct {
+	exprBase
+	X Expr
+}
+
+// VarSym is a resolved variable: a global, local or parameter.
+type VarSym struct {
+	Name   string
+	Type   Type
+	Global bool
+	// Param marks function parameters. Array parameters hold an address.
+	Param bool
+	// Offset is the frame offset for locals/params (filled by codegen);
+	// for globals the assembler symbol is derived from Name.
+	Offset int
+	Line   int
+}

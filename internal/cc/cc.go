@@ -1,0 +1,52 @@
+package cc
+
+import (
+	"cinderella/internal/asm"
+)
+
+// Build parses, checks, generates and assembles an MC source file into an
+// executable image, returning the checked AST alongside for tools that need
+// source-level information (the annotation view of cinderella, the
+// reference interpreter).
+func Build(src string) (*asm.Executable, *Program, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, nil, err
+	}
+	text, err := Generate(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	exe, err := asm.Assemble(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	return exe, prog, nil
+}
+
+// BuildOptimized is Build with the peephole optimizer enabled: partial-
+// result spills collapse into register moves, producing a different (and
+// faster) binary from the same source. Timing analysis on the optimized
+// image demonstrates the paper's Section II point that the analysis must
+// run on the final assembly.
+func BuildOptimized(src string) (*asm.Executable, *Program, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, nil, err
+	}
+	text, err := Generate(prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	exe, err := asm.Assemble(optimizeAsm(text))
+	if err != nil {
+		return nil, nil, err
+	}
+	return exe, prog, nil
+}

@@ -1,0 +1,561 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/sim"
+)
+
+// runBoth compiles src, runs fn(args) on the simulator and on the reference
+// interpreter, checks they agree, and returns the common result.
+func runBoth(t *testing.T, src, fn string, args ...int32) int32 {
+	t.Helper()
+	exe, prog, err := Build(src)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	m, err := sim.New(exe, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.CallNamed(fn, args...)
+	if err != nil {
+		t.Fatalf("sim call %s: %v\n%s", fn, err, asm.Disassemble(exe))
+	}
+	ip, err := NewInterp(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ip.Call(fn, args...)
+	if err != nil {
+		t.Fatalf("interp call %s: %v", fn, err)
+	}
+	if got != want {
+		t.Fatalf("%s(%v): sim=%d interp=%d", fn, args, got, want)
+	}
+	return got
+}
+
+func TestArithmeticExpr(t *testing.T) {
+	src := `
+int main() { return 0; }
+int f(int a, int b) {
+    return (a + b) * (a - b) / 2 + a % b - (a << 2) + (b >> 1);
+}`
+	if got := runBoth(t, src, "f", 17, 5); got != (17+5)*(17-5)/2+17%5-(17<<2)+(5>>1) {
+		t.Fatalf("got %d", got)
+	}
+	runBoth(t, src, "f", -9, 4)
+	runBoth(t, src, "f", 123456, 789)
+}
+
+func TestBitwiseAndLogic(t *testing.T) {
+	src := `
+int main() { return 0; }
+int f(int a, int b) {
+    int r = 0;
+    if (a > 0 && b > 0) r = r | 1;
+    if (a > 0 || b > 0) r = r | 2;
+    if (!(a == b)) r = r | 4;
+    r = r | ((a & b) << 4);
+    r = r ^ (a | b);
+    r = r + (~a);
+    return r;
+}`
+	for _, args := range [][]int32{{3, 5}, {0, 7}, {-2, -2}, {100, 0}} {
+		runBoth(t, src, "f", args...)
+	}
+}
+
+func TestTernaryAndCompare(t *testing.T) {
+	src := `
+int main() { return 0; }
+int maxabs(int a, int b) {
+    int x = a < 0 ? -a : a;
+    int y = b < 0 ? -b : b;
+    return x >= y ? x : y;
+}`
+	if got := runBoth(t, src, "maxabs", -9, 4); got != 9 {
+		t.Fatalf("maxabs = %d", got)
+	}
+	runBoth(t, src, "maxabs", 3, -17)
+}
+
+func TestLoopsAndArrays(t *testing.T) {
+	src := `
+const N = 12;
+int a[N];
+int main() { return 0; }
+int f(int seed) {
+    int i, sum;
+    for (i = 0; i < N; i++) a[i] = seed * i + (i & 3);
+    sum = 0;
+    i = 0;
+    while (i < N) { sum += a[i]; i++; }
+    do { sum--; } while (sum % 7 != 0);
+    return sum;
+}`
+	runBoth(t, src, "f", 3)
+	runBoth(t, src, "f", -11)
+}
+
+func TestBreakContinue(t *testing.T) {
+	src := `
+int main() { return 0; }
+int f(int n) {
+    int i, s;
+    s = 0;
+    for (i = 0; i < 100; i++) {
+        if (i == n) break;
+        if (i % 2 == 0) continue;
+        s += i;
+    }
+    return s;
+}`
+	if got := runBoth(t, src, "f", 6); got != 1+3+5 {
+		t.Fatalf("got %d", got)
+	}
+	runBoth(t, src, "f", 0)
+	runBoth(t, src, "f", 99)
+}
+
+func Test2DArrays(t *testing.T) {
+	src := `
+int m[4][5];
+int main() { return 0; }
+int f(int k) {
+    int i, j, s;
+    for (i = 0; i < 4; i++)
+        for (j = 0; j < 5; j++)
+            m[i][j] = i * 10 + j + k;
+    s = 0;
+    for (i = 0; i < 4; i++)
+        s += m[i][i];
+    return s + m[3][4];
+}`
+	runBoth(t, src, "f", 0)
+	runBoth(t, src, "f", 7)
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	src := `
+const K = 3;
+int x = 42;
+int tab[6] = {1, 2, K*3, -4, 0x10};
+int grid[2][2] = {{1, 2}, {3, 4}};
+int main() { return 0; }
+int f() {
+    return x + tab[0] + tab[2] + tab[4] + tab[5] + grid[1][0];
+}`
+	if got := runBoth(t, src, "f"); got != 42+1+9+16+0+3 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestFunctionCallsAndRecursionFree(t *testing.T) {
+	src := `
+int main() { return 0; }
+int add3(int a, int b, int c) { return a + b + c; }
+int twice(int x) { return add3(x, x, 0); }
+int f(int n) { return twice(n) + add3(1, 2, 3) + twice(twice(2)); }
+`
+	if got := runBoth(t, src, "f", 10); got != 20+6+8 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestArrayParams(t *testing.T) {
+	src := `
+int buf[8];
+int main() { return 0; }
+void fill(int a[], int n, int v) {
+    int i;
+    for (i = 0; i < n; i++) a[i] = v + i;
+}
+int sum(int a[], int n) {
+    int i, s;
+    s = 0;
+    for (i = 0; i < n; i++) s += a[i];
+    return s;
+}
+int f(int v) {
+    fill(buf, 8, v);
+    return sum(buf, 8);
+}`
+	if got := runBoth(t, src, "f", 5); got != 8*5+28 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestLocalArrayAliasing(t *testing.T) {
+	src := `
+int main() { return 0; }
+int rev(int a[], int n) {
+    int i, t;
+    for (i = 0; i < n/2; i++) {
+        t = a[i];
+        a[i] = a[n-1-i];
+        a[n-1-i] = t;
+    }
+    return a[0];
+}
+int f() {
+    int loc[5];
+    int i;
+    for (i = 0; i < 5; i++) loc[i] = i * i;
+    rev(loc, 5);
+    return loc[0]*10000 + loc[4];
+}`
+	if got := runBoth(t, src, "f"); got != 16*10000+0 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestFloatsEndToEnd(t *testing.T) {
+	src := `
+float acc = 0.0;
+int main() { return 0; }
+int f(int n) {
+    float x;
+    int i;
+    x = 0.5;
+    for (i = 0; i < n; i++) {
+        x = x * 1.5 + 0.25;
+    }
+    acc = x;
+    if (x > 10.0) return 1000 + (int)0;
+    return (int)(x * 100.0);
+}`
+	// MC has no cast syntax; rewrite without it.
+	src = strings.ReplaceAll(src, "1000 + (int)0", "1000")
+	src = strings.ReplaceAll(src, "(int)(x * 100.0)", "x * 100.0")
+	runBoth(t, src, "f", 3)
+	runBoth(t, src, "f", 0)
+}
+
+func TestImplicitConversions(t *testing.T) {
+	src := `
+int main() { return 0; }
+int f(int n) {
+    float x = n;        // int -> float
+    int y = x / 2.0;    // float -> int (truncate)
+    float z = y + 0.75;
+    int w = z * 4.0;
+    return y * 100 + w;
+}`
+	if got := runBoth(t, src, "f", 9); got != 4*100+19 {
+		t.Fatalf("got %d", got)
+	}
+	runBoth(t, src, "f", -7)
+}
+
+func TestIntrinsics(t *testing.T) {
+	src := `
+int main() { return 0; }
+int f(int n) {
+    float x = n;
+    float r = sqrt(x) + sin(x) * cos(x) + fabs(-x);
+    r = r + atan(x) + log(exp(1.0));
+    return r * 1000.0 + abs(-n);
+}`
+	runBoth(t, src, "f", 4)
+	runBoth(t, src, "f", 1)
+}
+
+func TestIncDec(t *testing.T) {
+	src := `
+int a[4];
+int main() { return 0; }
+int f(int n) {
+    int i = n;
+    int r = i++;     // r = n, i = n+1
+    r += ++i;        // i = n+2, r = n + n+2
+    r += i--;        // r += n+2, i = n+1
+    r += --i;        // i = n, r += n
+    a[0] = 0;
+    a[0]++;
+    ++a[0];
+    a[1] = a[0]--;
+    return r * 100 + a[0] * 10 + a[1];
+}`
+	runBoth(t, src, "f", 5)
+	runBoth(t, src, "f", -3)
+}
+
+func TestCompoundAssign(t *testing.T) {
+	src := `
+int g;
+int main() { return 0; }
+int f(int n) {
+    int x = n;
+    x += 3; x -= 1; x *= 2; x /= 3; x %= 17;
+    x <<= 2; x >>= 1; x &= 0xff; x |= 0x100; x ^= 0x3;
+    g = 1;
+    g += x;
+    return g;
+}`
+	runBoth(t, src, "f", 41)
+	runBoth(t, src, "f", 7)
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	src := `
+int calls;
+int main() { return 0; }
+int bump() { calls++; return 1; }
+int f(int a) {
+    calls = 0;
+    if (a > 0 && bump()) { }
+    if (a > 0 || bump()) { }
+    return calls;
+}`
+	if got := runBoth(t, src, "f", 5); got != 1 {
+		t.Fatalf("positive: calls = %d", got)
+	}
+	if got := runBoth(t, src, "f", -5); got != 1 {
+		t.Fatalf("negative: calls = %d", got)
+	}
+}
+
+func TestCheckDataFromPaper(t *testing.T) {
+	// Fig. 5 of the paper, DATASIZE = 10.
+	src := `
+const DATASIZE = 10;
+int data[DATASIZE];
+int main() { return 0; }
+int check_data() {
+    int i, morecheck, wrongone;
+    morecheck = 1; i = 0; wrongone = -1;
+    while (morecheck) {
+        if (data[i] < 0) {
+            wrongone = i; morecheck = 0;
+        }
+        else
+            if (++i >= DATASIZE)
+                morecheck = 0;
+    }
+    if (wrongone >= 0)
+        return 0;
+    else
+        return 1;
+}`
+	exe, prog, err := Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.New(exe, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All non-negative: returns 1.
+	if got, err := m.CallNamed("check_data"); err != nil || got != 1 {
+		t.Fatalf("clean data: %d, %v", got, err)
+	}
+	// Negative at position 0: returns 0 quickly.
+	dataAddr := exe.Symbols["g_data"]
+	if err := m.WriteWord(dataAddr, -5); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := m.CallNamed("check_data"); err != nil || got != 0 {
+		t.Fatalf("bad data: %d, %v", got, err)
+	}
+	_ = prog
+}
+
+func TestVoidFunctions(t *testing.T) {
+	src := `
+int g;
+int main() { return 0; }
+void set(int v) { g = v; return; }
+void bump() { g++; }
+int f(int v) { set(v); bump(); bump(); return g; }
+`
+	if got := runBoth(t, src, "f", 10); got != 12 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestMainRunsViaStart(t *testing.T) {
+	src := `
+int result;
+int main() {
+    result = 7;
+    return result;
+}`
+	exe, _, err := Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.New(exe, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted() {
+		t.Fatal("not halted")
+	}
+	v, err := m.ReadWord(exe.Symbols["g_result"])
+	if err != nil || v != 7 {
+		t.Fatalf("result = %d, %v", v, err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		src string
+		sub string
+	}{
+		{"int main() { return x; }", "undefined name"},
+		{"int main() { return f(); }", "undefined function"},
+		{"int main() { break; }", "break outside loop"},
+		{"int main() { continue; }", "continue outside loop"},
+		{"void f() { return 1; } int main() { return 0; }", "void function"},
+		{"int f() { return; } int main() { return 0; }", "must return"},
+		{"int main() { int a[3]; return a; }", "array"},
+		{"int main() { int x; int x; return 0; }", "redeclared"},
+		{"float f; int main() { if (f) return 1; return 0; }", "condition must be int"},
+		{"int main() { return 1.5 % 2; }", "requires int"},
+		{"int a[2]; int main() { return a[1][2]; }", "dimensions"},
+		{"int main() { return 3 = 4; }", "not assignable"},
+		{"const C = 1; int main() { C = 2; return 0; }", "assignment to constant"},
+		{"int f(int a) { return a; } int main() { return f(); }", "wants 1 arguments"},
+		{"int f(float a[]) { return 0; } int a[2]; int main() { return f(a); }", "must be a float array"},
+		{"void g() {} int main() { return abs(g()); }", "use fabs"},
+		{"int g() { return 0; }", "no main function"},
+		{"int main() { return 0; } int main() { return 1; }", "redefined"},
+		{"int x; float x; int main() { return 0; }", "redefined"},
+		{"int a[0]; int main() { return 0; }", "dimension"},
+	}
+	for _, c := range cases {
+		_, err := Compile(c.src)
+		if err == nil {
+			t.Errorf("Compile(%q) succeeded, want error containing %q", c.src, c.sub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("Compile(%q) error %q, want containing %q", c.src, err, c.sub)
+		}
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	cases := []struct {
+		src string
+		sub string
+	}{
+		{"int main( { return 0; }", "expected"},
+		{"int main() { return 0 }", "expected \";\""},
+		{"int main() { if return; }", "expected \"(\""},
+		{"int 3x; int main(){return 0;}", "expected identifier"},
+		{"const X = Y; int main(){return 0;}", "not a named constant"},
+		{"int main() { int x = ; return 0; }", "expected expression"},
+		{"/* unterminated", "unterminated block comment"},
+		{"int main() { return 'ab'; }", "char literal"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.sub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.sub) {
+			t.Errorf("Parse(%q) error %q, want containing %q", c.src, err, c.sub)
+		}
+	}
+}
+
+func TestDivisionByZeroBothWays(t *testing.T) {
+	src := `int main() { return 0; } int f(int n) { return 10 / n; }`
+	exe, prog, err := Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := sim.New(exe, sim.Config{})
+	if _, err := m.CallNamed("f", 0); err == nil {
+		t.Fatal("sim division by zero succeeded")
+	}
+	ip, _ := NewInterp(prog)
+	if _, err := ip.Call("f", 0); err == nil {
+		t.Fatal("interp division by zero succeeded")
+	}
+}
+
+func TestInterpIndexOutOfRange(t *testing.T) {
+	src := `int a[4]; int main() { return 0; } int f(int i) { return a[i]; }`
+	_, prog, err := Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, _ := NewInterp(prog)
+	if _, err := ip.Call("f", 10); err == nil {
+		t.Fatal("interp OOB index succeeded")
+	}
+	if _, err := ip.Call("f", -1); err == nil {
+		t.Fatal("interp negative index succeeded")
+	}
+}
+
+func TestGlobalAccessors(t *testing.T) {
+	src := `int a[3] = {1,2,3}; float x = 1.5; int main() { return 0; }`
+	_, prog, err := Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, _ := NewInterp(prog)
+	ints, err := ip.GlobalInts("a")
+	if err != nil || len(ints) != 3 || ints[2] != 3 {
+		t.Fatalf("GlobalInts: %v, %v", ints, err)
+	}
+	fs, err := ip.GlobalFloats("x")
+	if err != nil || fs[0] != 1.5 {
+		t.Fatalf("GlobalFloats: %v, %v", fs, err)
+	}
+	if _, err := ip.GlobalInts("x"); err == nil {
+		t.Fatal("type confusion accepted")
+	}
+	if _, err := ip.GlobalFloats("nope"); err == nil {
+		t.Fatal("missing global accepted")
+	}
+	if err := ip.ResetGlobals(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeepExpressionNesting(t *testing.T) {
+	// The accumulator scheme spills to the stack; deep nests must work.
+	src := `
+int main() { return 0; }
+int f(int a) {
+    return ((((((a+1)*2)-3)*((a-1)*((a+2)-(a-4))))+((a*a)-((a+5)*(a-5))))%9973);
+}`
+	runBoth(t, src, "f", 13)
+	runBoth(t, src, "f", -41)
+}
+
+func TestCharLiteralsAndHex(t *testing.T) {
+	src := `
+int main() { return 0; }
+int f() { return 'A' + 0x20 + '\n' * 0; }
+`
+	if got := runBoth(t, src, "f"); got != 'a' {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestMultiDeclaration(t *testing.T) {
+	src := `
+int p = 1, q = 2, r[3];
+int main() { return 0; }
+int f() {
+    int a = 3, b = 4;
+    r[0] = 5;
+    return p + q + a + b + r[0];
+}`
+	if got := runBoth(t, src, "f"); got != 15 {
+		t.Fatalf("got %d", got)
+	}
+}

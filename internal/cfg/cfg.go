@@ -1,0 +1,383 @@
+// Package cfg reconstructs control flow graphs from CR32 executables, the
+// way cinderella "first reads the executable code for the program [and] then
+// constructs the CFG" (Section V).
+//
+// The representation mirrors the paper's Figures 2-4: basic blocks carry
+// x-variables, edges carry d-variables, and call edges carry f-variables
+// that simultaneously connect a call block to its continuation block and
+// feed the entry of the callee's CFG.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/isa"
+)
+
+// EdgeKind classifies CFG edges.
+type EdgeKind uint8
+
+const (
+	// EdgeEntry is the synthetic edge into a function's first block (the
+	// paper's d1 for main).
+	EdgeEntry EdgeKind = iota
+	// EdgeFallthrough flows to the next block in address order.
+	EdgeFallthrough
+	// EdgeTaken follows a conditional branch.
+	EdgeTaken
+	// EdgeJump follows an unconditional jump.
+	EdgeJump
+	// EdgeCall is an f-edge: control passes through the callee's CFG and
+	// resumes at the continuation block.
+	EdgeCall
+	// EdgeExit leaves the function (return or halt).
+	EdgeExit
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeEntry:
+		return "entry"
+	case EdgeFallthrough:
+		return "fall"
+	case EdgeTaken:
+		return "taken"
+	case EdgeJump:
+		return "jump"
+	case EdgeCall:
+		return "call"
+	case EdgeExit:
+		return "exit"
+	}
+	return "?"
+}
+
+// Block is a basic block: a maximal straight-line instruction sequence.
+type Block struct {
+	// Index is the block's x-variable subscript within its function.
+	Index int
+	// Start and End delimit the byte address range [Start, End).
+	Start, End uint32
+	// Instrs are the decoded instructions.
+	Instrs []isa.Instruction
+	// In and Out list edge IDs (indices into FuncCFG.Edges).
+	In, Out []int
+	// Lines is the assembly source line range covered, when known.
+	FirstLine, LastLine int
+}
+
+// NumInstrs returns the instruction count of the block.
+func (b *Block) NumInstrs() int { return len(b.Instrs) }
+
+// Edge is a CFG edge carrying a d-variable (or f-variable for calls).
+type Edge struct {
+	ID   int
+	Kind EdgeKind
+	// From and To are block indices; -1 denotes outside the function
+	// (entry edges have From == -1, exit edges have To == -1).
+	From, To int
+	// Callee is the called function name for EdgeCall edges.
+	Callee string
+}
+
+// Loop is a natural loop discovered from a back edge.
+type Loop struct {
+	// Header is the loop header block index.
+	Header int
+	// Blocks lists the member block indices (including the header).
+	Blocks []int
+	// EntryEdges are edge IDs entering the header from outside the loop —
+	// the paper's "basic block just before entering the loop" flow.
+	EntryEdges []int
+	// BackEdges are the edge IDs that close the loop.
+	BackEdges []int
+}
+
+// Contains reports whether block b belongs to the loop.
+func (l *Loop) Contains(b int) bool {
+	for _, x := range l.Blocks {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncCFG is the control flow graph of one function.
+type FuncCFG struct {
+	Name   string
+	Start  uint32
+	Blocks []*Block
+	Edges  []*Edge
+	// EntryEdge is the ID of the synthetic entry edge.
+	EntryEdge int
+	// Loops lists natural loops, outermost first (by header dominance).
+	Loops []Loop
+	// Calls lists the IDs of EdgeCall edges in address order.
+	Calls []int
+	// IDom is the immediate dominator of each block (-1 for the entry).
+	IDom []int
+}
+
+// Program is the CFG of a whole executable.
+type Program struct {
+	Exe   *asm.Executable
+	Funcs map[string]*FuncCFG
+	// Order lists function names in address order.
+	Order []string
+}
+
+// Build reconstructs CFGs for every function in the executable.
+func Build(exe *asm.Executable) (*Program, error) {
+	p := &Program{Exe: exe, Funcs: map[string]*FuncCFG{}}
+	for _, f := range exe.Functions {
+		fc, err := buildFunc(exe, f)
+		if err != nil {
+			return nil, err
+		}
+		p.Funcs[f.Name] = fc
+		p.Order = append(p.Order, f.Name)
+	}
+	// Validate call targets.
+	for _, fc := range p.Funcs {
+		for _, id := range fc.Calls {
+			callee := fc.Edges[id].Callee
+			if _, ok := p.Funcs[callee]; !ok {
+				return nil, fmt.Errorf("cfg: %s calls unknown function %q", fc.Name, callee)
+			}
+		}
+	}
+	return p, nil
+}
+
+func buildFunc(exe *asm.Executable, f asm.Symbol) (*FuncCFG, error) {
+	if f.Size == 0 || f.Size%isa.WordBytes != 0 {
+		return nil, fmt.Errorf("cfg: function %s has bad size %d", f.Name, f.Size)
+	}
+	end := f.Addr + f.Size
+
+	// Decode all instructions and find leaders.
+	n := int(f.Size / isa.WordBytes)
+	instrs := make([]isa.Instruction, n)
+	leader := make([]bool, n)
+	leader[0] = true
+	idx := func(addr uint32) int { return int((addr - f.Addr) / isa.WordBytes) }
+
+	for pc := f.Addr; pc < end; pc += isa.WordBytes {
+		ins, err := exe.Instr(pc)
+		if err != nil {
+			return nil, fmt.Errorf("cfg: %s: %v", f.Name, err)
+		}
+		instrs[idx(pc)] = ins
+		info := isa.InfoFor(ins.Op)
+		if info.Branch || ins.Op == isa.OpJmp {
+			target, ok := asm.BranchTarget(pc, ins)
+			if !ok {
+				return nil, fmt.Errorf("cfg: %s: cannot resolve branch at %#x", f.Name, pc)
+			}
+			if target < f.Addr || target >= end {
+				return nil, fmt.Errorf("cfg: %s: branch at %#x leaves the function (target %#x)", f.Name, pc, target)
+			}
+			leader[idx(target)] = true
+		}
+		if isa.IsBlockTerminator(ins.Op) && pc+isa.WordBytes < end {
+			leader[idx(pc+isa.WordBytes)] = true
+		}
+	}
+
+	fc := &FuncCFG{Name: f.Name, Start: f.Addr}
+
+	// Carve provisional blocks.
+	var all []*Block
+	provAt := make(map[uint32]int) // start addr -> provisional index
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && !leader[j] {
+			j++
+		}
+		b := &Block{
+			Start:  f.Addr + uint32(i*isa.WordBytes),
+			End:    f.Addr + uint32(j*isa.WordBytes),
+			Instrs: instrs[i:j],
+		}
+		b.FirstLine = exe.Lines[b.Start]
+		b.LastLine = exe.Lines[b.End-isa.WordBytes]
+		provAt[b.Start] = len(all)
+		all = append(all, b)
+		i = j
+	}
+
+	// Drop unreachable blocks: compilers emit dead code (e.g. a jump
+	// sequenced after both arms of an if/else return); it can never
+	// execute, so it takes no part in the flow equations.
+	succOf := func(b *Block) ([]uint32, error) {
+		last := b.Instrs[len(b.Instrs)-1]
+		lastPC := b.End - isa.WordBytes
+		info := isa.InfoFor(last.Op)
+		switch {
+		case info.Branch:
+			target, _ := asm.BranchTarget(lastPC, last)
+			return []uint32{target, b.End}, nil
+		case last.Op == isa.OpJmp:
+			target, _ := asm.BranchTarget(lastPC, last)
+			return []uint32{target}, nil
+		case last.Op == isa.OpCall:
+			if b.End < end {
+				return []uint32{b.End}, nil
+			}
+			return nil, nil
+		case last.Op == isa.OpJr, last.Op == isa.OpHalt:
+			return nil, nil
+		default:
+			if b.End >= end {
+				return nil, fmt.Errorf("cfg: %s: block at %#x falls off the function", f.Name, b.Start)
+			}
+			return []uint32{b.End}, nil
+		}
+	}
+	reach := make([]bool, len(all))
+	stack := []int{0}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if reach[i] {
+			continue
+		}
+		reach[i] = true
+		succs, err := succOf(all[i])
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range succs {
+			if j, ok := provAt[s]; ok {
+				stack = append(stack, j)
+			}
+		}
+	}
+	blockAt := make(map[uint32]int) // start addr -> final block index
+	for i, b := range all {
+		if !reach[i] {
+			continue
+		}
+		b.Index = len(fc.Blocks)
+		blockAt[b.Start] = b.Index
+		fc.Blocks = append(fc.Blocks, b)
+	}
+
+	addEdge := func(kind EdgeKind, from, to int, callee string) int {
+		e := &Edge{ID: len(fc.Edges), Kind: kind, From: from, To: to, Callee: callee}
+		fc.Edges = append(fc.Edges, e)
+		if from >= 0 {
+			fc.Blocks[from].Out = append(fc.Blocks[from].Out, e.ID)
+		}
+		if to >= 0 {
+			fc.Blocks[to].In = append(fc.Blocks[to].In, e.ID)
+		}
+		return e.ID
+	}
+
+	fc.EntryEdge = addEdge(EdgeEntry, -1, 0, "")
+
+	for bi, b := range fc.Blocks {
+		last := b.Instrs[len(b.Instrs)-1]
+		lastPC := b.End - isa.WordBytes
+		info := isa.InfoFor(last.Op)
+		switch {
+		case info.Branch:
+			target, _ := asm.BranchTarget(lastPC, last)
+			addEdge(EdgeTaken, bi, blockAt[target], "")
+			if b.End < end {
+				addEdge(EdgeFallthrough, bi, blockAt[b.End], "")
+			} else {
+				return nil, fmt.Errorf("cfg: %s: conditional branch at %#x falls off the function", f.Name, lastPC)
+			}
+		case last.Op == isa.OpJmp:
+			target, _ := asm.BranchTarget(lastPC, last)
+			addEdge(EdgeJump, bi, blockAt[target], "")
+		case last.Op == isa.OpCall:
+			target, _ := asm.BranchTarget(lastPC, last)
+			calleeSym, ok := exe.FunctionAt(target)
+			if !ok || calleeSym.Addr != target {
+				return nil, fmt.Errorf("cfg: %s: call at %#x targets %#x, not a function entry", f.Name, lastPC, target)
+			}
+			cont := -1
+			if b.End < end {
+				cont = blockAt[b.End]
+			}
+			id := addEdge(EdgeCall, bi, cont, calleeSym.Name)
+			fc.Calls = append(fc.Calls, id)
+		case last.Op == isa.OpJr, last.Op == isa.OpHalt:
+			addEdge(EdgeExit, bi, -1, "")
+		default:
+			// Plain fallthrough into the next leader.
+			if b.End >= end {
+				return nil, fmt.Errorf("cfg: %s: block at %#x falls off the function", f.Name, b.Start)
+			}
+			addEdge(EdgeFallthrough, bi, blockAt[b.End], "")
+		}
+	}
+
+	if err := computeDominators(fc); err != nil {
+		return nil, err
+	}
+	findLoops(fc)
+	return fc, nil
+}
+
+// Entry returns the function's entry block.
+func (fc *FuncCFG) Entry() *Block { return fc.Blocks[0] }
+
+// BlockAt returns the block starting at the given address.
+func (fc *FuncCFG) BlockAt(addr uint32) (*Block, bool) {
+	for _, b := range fc.Blocks {
+		if b.Start == addr {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// BlockContaining returns the block whose range covers addr.
+func (fc *FuncCFG) BlockContaining(addr uint32) (*Block, bool) {
+	i := sort.Search(len(fc.Blocks), func(i int) bool { return fc.Blocks[i].End > addr })
+	if i < len(fc.Blocks) && fc.Blocks[i].Start <= addr {
+		return fc.Blocks[i], true
+	}
+	return nil, false
+}
+
+// Succs returns the successor block indices of block b (excluding exits).
+func (fc *FuncCFG) Succs(b int) []int {
+	var out []int
+	for _, id := range fc.Blocks[b].Out {
+		if to := fc.Edges[id].To; to >= 0 {
+			out = append(out, to)
+		}
+	}
+	return out
+}
+
+// Preds returns the predecessor block indices of block b (excluding entry).
+func (fc *FuncCFG) Preds(b int) []int {
+	var out []int
+	for _, id := range fc.Blocks[b].In {
+		if from := fc.Edges[id].From; from >= 0 {
+			out = append(out, from)
+		}
+	}
+	return out
+}
+
+// String renders the CFG for debugging.
+func (fc *FuncCFG) String() string {
+	s := fmt.Sprintf("func %s (%d blocks, %d edges, %d loops)\n", fc.Name, len(fc.Blocks), len(fc.Edges), len(fc.Loops))
+	for _, b := range fc.Blocks {
+		s += fmt.Sprintf("  B%d [%#x,%#x) in=%v out=%v\n", b.Index, b.Start, b.End, b.In, b.Out)
+	}
+	for _, e := range fc.Edges {
+		s += fmt.Sprintf("  d%d: %d -%s-> %d %s\n", e.ID, e.From, e.Kind, e.To, e.Callee)
+	}
+	return s
+}

@@ -1,0 +1,389 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/cc"
+)
+
+func buildASM(t *testing.T, src string) *Program {
+	t.Helper()
+	exe, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	p, err := Build(exe)
+	if err != nil {
+		t.Fatalf("cfg build: %v", err)
+	}
+	return p
+}
+
+func buildMC(t *testing.T, src string) *Program {
+	t.Helper()
+	exe, _, err := cc.Build(src)
+	if err != nil {
+		t.Fatalf("cc build: %v", err)
+	}
+	p, err := Build(exe)
+	if err != nil {
+		t.Fatalf("cfg build: %v", err)
+	}
+	return p
+}
+
+func TestStraightLine(t *testing.T) {
+	p := buildASM(t, `
+main:
+        addi r1, r0, 1
+        addi r2, r0, 2
+        halt
+`)
+	fc := p.Funcs["main"]
+	if len(fc.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(fc.Blocks))
+	}
+	if len(fc.Edges) != 2 { // entry + exit
+		t.Fatalf("edges = %d: %s", len(fc.Edges), fc)
+	}
+	if fc.Edges[fc.EntryEdge].Kind != EdgeEntry {
+		t.Fatal("entry edge kind wrong")
+	}
+}
+
+// TestIfThenElseShape reproduces Fig. 2 of the paper: an if-then-else makes
+// a 4-block diamond with 6 d-edges plus entry.
+func TestIfThenElseShape(t *testing.T) {
+	p := buildASM(t, `
+main:
+        beq r1, r0, .Lelse   ; B1: if (p)
+        addi r2, r0, 1       ; B2: q = 1
+        jmp .Ljoin
+.Lelse:
+        addi r2, r0, 2       ; B3: q = 2
+.Ljoin:
+        add r3, r2, r0       ; B4: r = q
+        halt
+`)
+	fc := p.Funcs["main"]
+	if len(fc.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4:\n%s", len(fc.Blocks), fc)
+	}
+	// Fig. 2 labels six d-variables: entry d1, the four inner edges
+	// d2..d5 and exit d6.
+	if len(fc.Edges) != 6 {
+		t.Fatalf("edges = %d, want 6:\n%s", len(fc.Edges), fc)
+	}
+	if len(fc.Loops) != 0 {
+		t.Fatalf("loops = %d, want 0", len(fc.Loops))
+	}
+	// Diamond: B0 has two successors, B3 has two predecessors.
+	if len(fc.Succs(0)) != 2 {
+		t.Fatalf("B0 succs = %v", fc.Succs(0))
+	}
+	if len(fc.Preds(3)) != 2 {
+		t.Fatalf("B3 preds = %v", fc.Preds(3))
+	}
+}
+
+// TestWhileLoopShape reproduces Fig. 3: a while loop with one loop and the
+// header having an entry edge and a back edge.
+func TestWhileLoopShape(t *testing.T) {
+	p := buildASM(t, `
+main:
+        add r2, r1, r0       ; B1: q = p
+.Lhead: slti r3, r2, 10     ; B2: while (q < 10)
+        beq r3, r0, .Ldone
+        addi r2, r2, 1       ; B3: q++
+        jmp .Lhead
+.Ldone: add r4, r2, r0       ; B4: r = q
+        halt
+`)
+	fc := p.Funcs["main"]
+	if len(fc.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4:\n%s", len(fc.Blocks), fc)
+	}
+	if len(fc.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1:\n%s", len(fc.Loops), fc)
+	}
+	l := fc.Loops[0]
+	if l.Header != 1 {
+		t.Fatalf("loop header = B%d, want B1", l.Header)
+	}
+	if len(l.Blocks) != 2 { // header + body
+		t.Fatalf("loop blocks = %v", l.Blocks)
+	}
+	if len(l.EntryEdges) != 1 || len(l.BackEdges) != 1 {
+		t.Fatalf("loop edges: entry=%v back=%v", l.EntryEdges, l.BackEdges)
+	}
+	entry := fc.Edges[l.EntryEdges[0]]
+	if entry.From != 0 || entry.To != 1 {
+		t.Fatalf("entry edge %v", entry)
+	}
+}
+
+// TestFunctionCallShape reproduces Fig. 4: two calls to store() create two
+// f-edges feeding the callee's CFG.
+func TestFunctionCallShape(t *testing.T) {
+	p := buildASM(t, `
+main:
+        addi r2, r0, 10      ; B1: i = 10
+        call store
+        shli r2, r2, 1       ; B2: n = 2*i
+        call store
+        halt
+store:
+        add r3, r2, r0
+        ret
+`)
+	fc := p.Funcs["main"]
+	if len(fc.Calls) != 2 {
+		t.Fatalf("calls = %d, want 2:\n%s", len(fc.Calls), fc)
+	}
+	for _, id := range fc.Calls {
+		e := fc.Edges[id]
+		if e.Kind != EdgeCall || e.Callee != "store" {
+			t.Fatalf("call edge %v", e)
+		}
+	}
+	// First call edge connects B0 to B1 (continuation).
+	e := fc.Edges[fc.Calls[0]]
+	if e.From != 0 || e.To != 1 {
+		t.Fatalf("f1 edge: %v", e)
+	}
+	if _, ok := p.Funcs["store"]; !ok {
+		t.Fatal("store CFG missing")
+	}
+}
+
+func TestCallAsLastInstruction(t *testing.T) {
+	p := buildASM(t, `
+main:
+        call helper
+helper:
+        ret
+`)
+	fc := p.Funcs["main"]
+	e := fc.Edges[fc.Calls[0]]
+	if e.To != -1 {
+		t.Fatalf("tail call continuation = %d, want -1", e.To)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	p := buildMC(t, `
+int main() { return 0; }
+int f(int n) {
+    int i, j, s;
+    s = 0;
+    for (i = 0; i < n; i++)
+        for (j = 0; j < n; j++)
+            s += i * j;
+    return s;
+}`)
+	fc := p.Funcs["f"]
+	if len(fc.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2:\n%s", len(fc.Loops), fc)
+	}
+	outer, inner := fc.Loops[0], fc.Loops[1]
+	if !fc.Dominates(outer.Header, inner.Header) {
+		t.Fatal("outer loop does not dominate inner")
+	}
+	// Inner loop blocks are a subset of outer loop blocks.
+	for _, b := range inner.Blocks {
+		if !outer.Contains(b) {
+			t.Fatalf("inner block B%d not in outer loop %v", b, outer.Blocks)
+		}
+	}
+}
+
+func TestCheckDataCFG(t *testing.T) {
+	p := buildMC(t, `
+const DATASIZE = 10;
+int data[DATASIZE];
+int main() { return 0; }
+int check_data() {
+    int i, morecheck, wrongone;
+    morecheck = 1; i = 0; wrongone = -1;
+    while (morecheck) {
+        if (data[i] < 0) {
+            wrongone = i; morecheck = 0;
+        }
+        else
+            if (++i >= DATASIZE)
+                morecheck = 0;
+    }
+    if (wrongone >= 0)
+        return 0;
+    else
+        return 1;
+}`)
+	fc := p.Funcs["check_data"]
+	if len(fc.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(fc.Loops))
+	}
+	// The paper labels 9 source blocks; compiled shape must have the loop
+	// plus the trailing if/else diamond.
+	if len(fc.Blocks) < 7 {
+		t.Fatalf("blocks = %d, too few", len(fc.Blocks))
+	}
+}
+
+func TestReachableAndRecursion(t *testing.T) {
+	p := buildMC(t, `
+int main() { return f(1) + g(2); }
+int f(int x) { return h(x); }
+int g(int x) { return h(x) + f(x); }
+int h(int x) { return x; }
+`)
+	order, err := p.Reachable("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 || order[0] != "main" {
+		t.Fatalf("order = %v", order)
+	}
+	if _, err := p.Reachable("nosuch"); err == nil {
+		t.Fatal("unknown root accepted")
+	}
+
+	// Direct recursion must be rejected.
+	p2 := buildASM(t, `
+main:
+        call main
+        halt
+`)
+	if _, err := p2.Reachable("main"); err == nil || !strings.Contains(err.Error(), "recursion") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDominators(t *testing.T) {
+	p := buildASM(t, `
+main:
+        beq r1, r0, .La
+        nop
+        jmp .Lb
+.La:    nop
+.Lb:    nop
+        halt
+`)
+	fc := p.Funcs["main"]
+	// B0 dominates everything; join block dominated only by B0 and itself.
+	for b := range fc.Blocks {
+		if !fc.Dominates(0, b) {
+			t.Fatalf("entry does not dominate B%d", b)
+		}
+	}
+	join := len(fc.Blocks) - 1
+	if fc.Dominates(1, join) || fc.Dominates(2, join) {
+		t.Fatal("branch arm dominates join")
+	}
+}
+
+func TestBlockLookups(t *testing.T) {
+	p := buildASM(t, `
+main:
+        nop
+        beq r1, r0, .L
+        nop
+.L:     halt
+`)
+	fc := p.Funcs["main"]
+	b, ok := fc.BlockAt(0)
+	if !ok || b.Index != 0 {
+		t.Fatal("BlockAt(0) failed")
+	}
+	b, ok = fc.BlockContaining(4)
+	if !ok || b.Index != 0 {
+		t.Fatalf("BlockContaining(4) = %v, %v", b, ok)
+	}
+	if _, ok := fc.BlockAt(4); ok {
+		t.Fatal("BlockAt(4) found a block mid-block")
+	}
+	if _, ok := fc.BlockContaining(0xffff); ok {
+		t.Fatal("BlockContaining out of range succeeded")
+	}
+}
+
+func TestBranchOutOfFunctionRejected(t *testing.T) {
+	exe, err := asm.Assemble(`
+main:
+        beq r1, r0, other
+        halt
+other:
+        ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(exe); err == nil || !strings.Contains(err.Error(), "leaves the function") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnreachableBlocksDropped(t *testing.T) {
+	exe, err := asm.Assemble(`
+main:
+        halt
+        nop
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := p.Funcs["main"]
+	if len(fc.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want dead code dropped:\n%s", len(fc.Blocks), fc)
+	}
+}
+
+func TestCallToNonEntryRejected(t *testing.T) {
+	exe, err := asm.Assemble(`
+main:
+        call mid
+        halt
+f:
+        nop
+mid:    ret
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(exe); err == nil {
+		t.Fatal("call into function body accepted")
+	}
+}
+
+// Flow conservation sanity on a compiled program: every block's in-degree
+// and out-degree are non-zero (except via entry/exit pseudo-edges).
+func TestEveryBlockConnected(t *testing.T) {
+	p := buildMC(t, `
+int main() { return 0; }
+int f(int n) {
+    int s = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        if (i % 3 == 0) continue;
+        if (i > 100) break;
+        s += i;
+    }
+    return s;
+}`)
+	for _, fc := range p.Funcs {
+		for _, b := range fc.Blocks {
+			if len(b.In) == 0 {
+				t.Fatalf("%s: B%d has no in edges", fc.Name, b.Index)
+			}
+			if len(b.Out) == 0 {
+				t.Fatalf("%s: B%d has no out edges", fc.Name, b.Index)
+			}
+		}
+	}
+}

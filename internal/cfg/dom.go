@@ -1,0 +1,167 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// computeDominators fills fc.IDom using the Cooper/Harvey/Kennedy iterative
+// algorithm on a reverse postorder numbering.
+func computeDominators(fc *FuncCFG) error {
+	n := len(fc.Blocks)
+	// Reverse postorder over successor edges.
+	order := make([]int, 0, n)
+	state := make([]uint8, n) // 0 unseen, 1 on stack, 2 done
+	var dfs func(b int)
+	dfs = func(b int) {
+		state[b] = 1
+		for _, s := range fc.Succs(b) {
+			if state[s] == 0 {
+				dfs(s)
+			}
+		}
+		state[b] = 2
+		order = append(order, b)
+	}
+	dfs(0)
+	// order is postorder; reverse it.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	rpo := make([]int, n)
+	for i := range rpo {
+		rpo[i] = -1
+	}
+	for i, b := range order {
+		rpo[b] = i
+	}
+	for b := range fc.Blocks {
+		if rpo[b] < 0 {
+			return fmt.Errorf("cfg: %s: unreachable block B%d at %#x", fc.Name, b, fc.Blocks[b].Start)
+		}
+	}
+
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpo[a] > rpo[b] {
+				a = idom[a]
+			}
+			for rpo[b] > rpo[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range fc.Preds(b) {
+				if idom[p] < 0 {
+					continue
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom >= 0 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	idom[0] = -1
+	fc.IDom = idom
+	return nil
+}
+
+// Dominates reports whether block a dominates block b.
+func (fc *FuncCFG) Dominates(a, b int) bool {
+	for b >= 0 {
+		if a == b {
+			return true
+		}
+		b = fc.IDom[b]
+	}
+	return false
+}
+
+// findLoops detects natural loops from back edges (u -> v with v dom u) and
+// merges loops sharing a header, as the paper's loop marking step does
+// before asking the user for bounds.
+func findLoops(fc *FuncCFG) {
+	byHeader := map[int]*Loop{}
+	var headers []int
+	for _, e := range fc.Edges {
+		if e.From < 0 || e.To < 0 {
+			continue
+		}
+		if !fc.Dominates(e.To, e.From) {
+			continue
+		}
+		header := e.To
+		l, ok := byHeader[header]
+		if !ok {
+			l = &Loop{Header: header}
+			byHeader[header] = l
+			headers = append(headers, header)
+		}
+		l.BackEdges = append(l.BackEdges, e.ID)
+		// Natural loop body: header plus all blocks reaching e.From
+		// without passing through the header.
+		inLoop := map[int]bool{header: true}
+		stack := []int{e.From}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if inLoop[b] {
+				continue
+			}
+			inLoop[b] = true
+			stack = append(stack, fc.Preds(b)...)
+		}
+		for b := range inLoop {
+			if !l.Contains(b) {
+				l.Blocks = append(l.Blocks, b)
+			}
+		}
+	}
+	sort.Ints(headers)
+	for _, h := range headers {
+		l := byHeader[h]
+		sort.Ints(l.Blocks)
+		// Entry edges: edges into the header from outside the loop
+		// (including the function entry edge when the header is block 0).
+		for _, id := range fc.Blocks[l.Header].In {
+			e := fc.Edges[id]
+			if e.From < 0 || !l.Contains(e.From) {
+				l.EntryEdges = append(l.EntryEdges, id)
+			}
+		}
+		sort.Ints(l.BackEdges)
+		fc.Loops = append(fc.Loops, *l)
+	}
+	// Outermost first: loops whose headers dominate other headers come
+	// first; fall back to block order, which the sort above provides.
+	sort.SliceStable(fc.Loops, func(i, j int) bool {
+		li, lj := fc.Loops[i], fc.Loops[j]
+		if fc.Dominates(li.Header, lj.Header) && li.Header != lj.Header {
+			return true
+		}
+		if fc.Dominates(lj.Header, li.Header) && li.Header != lj.Header {
+			return false
+		}
+		return li.Header < lj.Header
+	})
+}

@@ -1,0 +1,312 @@
+// Package constraint implements the program functionality constraint
+// language of Section III.C: user-provided loop bounds and linear path
+// facts over block execution counts (x-variables), edge counts
+// (d-variables) and call-site counts (f-variables), combined with the
+// conjunction (&) and disjunction (|) operators. Disjunctions expand to a
+// set of conjunctive constraint sets — "a set of constraint sets, where at
+// least one constraint set member must be satisfied".
+//
+// An annotation file contains one section per function:
+//
+//	; check_data from Park's thesis (paper Fig. 5)
+//	func check_data {
+//	    loop 1: 1 .. 10                       ; eqs (14)-(15)
+//	    (x3 = 0 & x5 = 1) | (x3 = 1 & x5 = 0) ; eq (16)
+//	    x3 = x8                               ; eq (17)
+//	}
+//	func task {
+//	    x12 = check_data.x8 @ f1              ; eq (18)
+//	}
+//
+// Variables are written the way cinderella's annotated-source listing
+// labels them: x<i> for the i-th basic block, d<i> for the i-th CFG edge,
+// f<i> for the i-th call site, all 1-based within the section's function.
+// A variable may be qualified with another function (check_data.x8) and
+// with a call-site context (@ f1), the paper's x8.f1 notation. Coefficients
+// may use juxtaposition (10 x1) or an explicit star (10*x1).
+package constraint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VarKind distinguishes the three count-variable families of the paper.
+type VarKind uint8
+
+const (
+	// VarBlock is an x-variable: executions of a basic block.
+	VarBlock VarKind = iota
+	// VarEdge is a d-variable: traversals of a CFG edge.
+	VarEdge
+	// VarCall is an f-variable: executions of a call site.
+	VarCall
+)
+
+func (k VarKind) String() string {
+	switch k {
+	case VarBlock:
+		return "x"
+	case VarEdge:
+		return "d"
+	case VarCall:
+		return "f"
+	}
+	return "?"
+}
+
+// Var is a symbolic reference to a count variable. It is resolved against
+// the program CFG by package ipet.
+type Var struct {
+	// Func is the owning function name.
+	Func string
+	// Kind selects the variable family.
+	Kind VarKind
+	// Index is the 1-based number as displayed in the annotated listing.
+	Index int
+	// CallSiteFunc/CallSite qualify the count to executions reached via
+	// call site f<CallSite> of function CallSiteFunc (the paper's x8.f1).
+	// CallSite == 0 means the aggregate over all contexts.
+	CallSiteFunc string
+	CallSite     int
+}
+
+func (v Var) String() string {
+	s := fmt.Sprintf("%s.%s%d", v.Func, v.Kind, v.Index)
+	if v.CallSite != 0 {
+		s += fmt.Sprintf("@%s.f%d", v.CallSiteFunc, v.CallSite)
+	}
+	return s
+}
+
+// RelOp is a linear relation comparator.
+type RelOp uint8
+
+const (
+	OpEQ RelOp = iota
+	OpLE
+	OpGE
+)
+
+func (op RelOp) String() string {
+	switch op {
+	case OpEQ:
+		return "="
+	case OpLE:
+		return "<="
+	}
+	return ">="
+}
+
+// Rel is a normalized linear relation: sum(Terms[v] * v) Op RHS.
+type Rel struct {
+	Terms map[Var]int64
+	Op    RelOp
+	RHS   int64
+	// Source is the original text for diagnostics.
+	Source string
+}
+
+func (r Rel) String() string {
+	vars := make([]Var, 0, len(r.Terms))
+	for v := range r.Terms {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].String() < vars[j].String() })
+	var b strings.Builder
+	for i, v := range vars {
+		coef := r.Terms[v]
+		if i > 0 {
+			if coef >= 0 {
+				b.WriteString(" + ")
+			} else {
+				b.WriteString(" - ")
+				coef = -coef
+			}
+		} else if coef < 0 {
+			b.WriteString("-")
+			coef = -coef
+		}
+		if coef != 1 {
+			fmt.Fprintf(&b, "%d ", coef)
+		}
+		b.WriteString(v.String())
+	}
+	if len(vars) == 0 {
+		b.WriteString("0")
+	}
+	fmt.Fprintf(&b, " %s %d", r.Op, r.RHS)
+	return b.String()
+}
+
+// Formula is a boolean combination of relations.
+type Formula interface{ formulaNode() }
+
+// Atom is a single relation.
+type Atom struct{ Rel Rel }
+
+// And is a conjunction of formulas.
+type And struct{ Parts []Formula }
+
+// Or is a disjunction of formulas.
+type Or struct{ Parts []Formula }
+
+func (*Atom) formulaNode() {}
+func (*And) formulaNode()  {}
+func (*Or) formulaNode()   {}
+
+// LoopBound gives the iteration bound for one detected loop: per entry into
+// the loop, the loop iterates (traverses a back edge to the header) between
+// Lo and Hi times — the paper's "values 1 and 10" for check_data.
+type LoopBound struct {
+	// Loop is the 1-based loop number in the function's detection order.
+	Loop   int
+	Lo, Hi int64
+	Line   int
+}
+
+// Section holds the annotations of one function.
+type Section struct {
+	Func       string
+	LoopBounds []LoopBound
+	Formulas   []Formula
+	Line       int
+}
+
+// File is a parsed annotation file.
+type File struct {
+	Sections []Section
+}
+
+// Merge combines annotation files: sections for the same function are
+// concatenated (loop bounds and formulas are all asserted facts, so the
+// conjunction of two sound files is sound). Later loop bounds for the same
+// loop tighten earlier ones by plain conjunction at solve time.
+func Merge(files ...*File) *File {
+	out := &File{}
+	idx := map[string]int{}
+	for _, f := range files {
+		if f == nil {
+			continue
+		}
+		for _, sec := range f.Sections {
+			i, ok := idx[sec.Func]
+			if !ok {
+				idx[sec.Func] = len(out.Sections)
+				out.Sections = append(out.Sections, Section{Func: sec.Func, Line: sec.Line})
+				i = len(out.Sections) - 1
+			}
+			out.Sections[i].LoopBounds = append(out.Sections[i].LoopBounds, sec.LoopBounds...)
+			out.Sections[i].Formulas = append(out.Sections[i].Formulas, sec.Formulas...)
+		}
+	}
+	return out
+}
+
+// Section returns the section for a function, if present.
+func (f *File) Section(name string) (*Section, bool) {
+	for i := range f.Sections {
+		if f.Sections[i].Func == name {
+			return &f.Sections[i], true
+		}
+	}
+	return nil, false
+}
+
+// ConjunctiveSet is one conjunction of relations produced by DNF expansion.
+type ConjunctiveSet []Rel
+
+// DNF expands a formula into disjunctive normal form: a set of conjunctive
+// constraint sets, at least one of which must hold. Expansion is the cross
+// product described in Section III.D ("the size of the constraint sets is
+// doubled every time a functionality constraint with disjunction operator
+// is added"); maxSets guards against blowup.
+func DNF(f Formula, maxSets int) ([]ConjunctiveSet, error) {
+	sets, err := dnf(f, maxSets)
+	if err != nil {
+		return nil, err
+	}
+	return sets, nil
+}
+
+func dnf(f Formula, maxSets int) ([]ConjunctiveSet, error) {
+	switch x := f.(type) {
+	case *Atom:
+		return []ConjunctiveSet{{x.Rel}}, nil
+	case *Or:
+		var out []ConjunctiveSet
+		for _, p := range x.Parts {
+			sub, err := dnf(p, maxSets)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+			if len(out) > maxSets {
+				return nil, fmt.Errorf("constraint: DNF expansion exceeds %d sets", maxSets)
+			}
+		}
+		return out, nil
+	case *And:
+		out := []ConjunctiveSet{{}}
+		for _, p := range x.Parts {
+			sub, err := dnf(p, maxSets)
+			if err != nil {
+				return nil, err
+			}
+			var next []ConjunctiveSet
+			for _, a := range out {
+				for _, b := range sub {
+					merged := make(ConjunctiveSet, 0, len(a)+len(b))
+					merged = append(merged, a...)
+					merged = append(merged, b...)
+					next = append(next, merged)
+					if len(next) > maxSets {
+						return nil, fmt.Errorf("constraint: DNF expansion exceeds %d sets", maxSets)
+					}
+				}
+			}
+			out = next
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("constraint: unknown formula node %T", f)
+}
+
+// CrossProduct combines the DNF expansions of several formulas into the
+// overall set of constraint sets ("by intersecting all the functionality
+// constraints we will obtain two functionality constraint sets").
+func CrossProduct(formulas []Formula, maxSets int) ([]ConjunctiveSet, error) {
+	if len(formulas) == 0 {
+		return []ConjunctiveSet{{}}, nil
+	}
+	parts := make([]Formula, len(formulas))
+	copy(parts, formulas)
+	return DNF(&And{Parts: parts}, maxSets)
+}
+
+// Satisfied reports whether an assignment satisfies every relation of the
+// set. Missing variables evaluate as zero.
+func (cs ConjunctiveSet) Satisfied(assign map[Var]int64) bool {
+	for _, r := range cs {
+		lhs := int64(0)
+		for v, coef := range r.Terms {
+			lhs += coef * assign[v]
+		}
+		switch r.Op {
+		case OpEQ:
+			if lhs != r.RHS {
+				return false
+			}
+		case OpLE:
+			if lhs > r.RHS {
+				return false
+			}
+		case OpGE:
+			if lhs < r.RHS {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,47 @@
+package constraint
+
+import "testing"
+
+func TestMerge(t *testing.T) {
+	a, err := Parse(`
+func f {
+    loop 1: 1 .. 5
+    x1 = x2
+}
+func g {
+    loop 1: 3 .. 3
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(`
+func f {
+    loop 2: 0 .. 9
+}
+func h {
+    x4 = 0
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Merge(a, nil, b)
+	if len(m.Sections) != 3 {
+		t.Fatalf("sections = %d", len(m.Sections))
+	}
+	f, ok := m.Section("f")
+	if !ok || len(f.LoopBounds) != 2 || len(f.Formulas) != 1 {
+		t.Fatalf("f section: %+v", f)
+	}
+	if f.LoopBounds[0].Loop != 1 || f.LoopBounds[1].Loop != 2 {
+		t.Fatalf("loop bounds: %+v", f.LoopBounds)
+	}
+	if _, ok := m.Section("h"); !ok {
+		t.Fatal("h section missing")
+	}
+	// Merge of nothing is empty, not nil.
+	if e := Merge(); e == nil || len(e.Sections) != 0 {
+		t.Fatalf("empty merge: %+v", e)
+	}
+}

@@ -1,0 +1,466 @@
+package constraint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokenizer for the annotation language.
+type ctok struct {
+	kind string // "int", "ident", or the punctuation itself
+	text string
+	ival int64
+	line int
+}
+
+// lexAnnotations tokenizes the file. Newlines separate statements (the
+// juxtaposition coefficient syntax "10 x1" would otherwise glue adjacent
+// lines together) except inside parentheses, which allow multi-line
+// disjunctions.
+func lexAnnotations(src string) ([]ctok, error) {
+	var toks []ctok
+	line := 1
+	i := 0
+	depth := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			if depth == 0 && len(toks) > 0 && toks[len(toks)-1].kind != "nl" {
+				toks = append(toks, ctok{kind: "nl", line: line})
+			}
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == ';' || c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			v, err := strconv.ParseInt(src[i:j], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("constraint: line %d: bad integer %q", line, src[i:j])
+			}
+			toks = append(toks, ctok{kind: "int", text: src[i:j], ival: v, line: line})
+			i = j
+		case c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'):
+			j := i
+			for j < len(src) && (src[j] == '_' || (src[j] >= 'a' && src[j] <= 'z') ||
+				(src[j] >= 'A' && src[j] <= 'Z') || (src[j] >= '0' && src[j] <= '9')) {
+				j++
+			}
+			toks = append(toks, ctok{kind: "ident", text: src[i:j], line: line})
+			i = j
+		default:
+			for _, p := range []string{"..", "<=", ">=", "(", ")", "{", "}", "&", "|", "=", "<", ">", "+", "-", "*", ".", "@", ":", ","} {
+				if strings.HasPrefix(src[i:], p) {
+					if p == "(" {
+						depth++
+					} else if p == ")" && depth > 0 {
+						depth--
+					}
+					toks = append(toks, ctok{kind: p, text: p, line: line})
+					i += len(p)
+					goto next
+				}
+			}
+			return nil, fmt.Errorf("constraint: line %d: unexpected character %q", line, string(c))
+		next:
+		}
+	}
+	toks = append(toks, ctok{kind: "eof", line: line})
+	return toks, nil
+}
+
+type cparser struct {
+	toks []ctok
+	pos  int
+	// fn is the current section's function name (scope for bare vars).
+	fn string
+}
+
+// Parse parses an annotation file.
+func Parse(src string) (*File, error) {
+	toks, err := lexAnnotations(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &cparser{toks: toks}
+	f := &File{}
+	p.skipNL()
+	for p.cur().kind != "eof" {
+		sec, err := p.section()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := f.Section(sec.Func); dup {
+			return nil, fmt.Errorf("constraint: line %d: duplicate section for %q", sec.Line, sec.Func)
+		}
+		f.Sections = append(f.Sections, *sec)
+		p.skipNL()
+	}
+	return f, nil
+}
+
+func (p *cparser) cur() ctok { return p.toks[p.pos] }
+
+func (p *cparser) skipNL() {
+	for p.cur().kind == "nl" {
+		p.advance()
+	}
+}
+
+func (p *cparser) advance() ctok {
+	t := p.toks[p.pos]
+	if p.pos+1 < len(p.toks) {
+		p.pos++
+	}
+	return t
+}
+
+func (p *cparser) expect(kind string) (ctok, error) {
+	t := p.cur()
+	if t.kind != kind {
+		return t, fmt.Errorf("constraint: line %d: expected %q, found %q", t.line, kind, t.text)
+	}
+	return p.advance(), nil
+}
+
+func (p *cparser) section() (*Section, error) {
+	kw, err := p.expect("ident")
+	if err != nil {
+		return nil, err
+	}
+	if kw.text != "func" {
+		return nil, fmt.Errorf("constraint: line %d: expected \"func\", found %q", kw.line, kw.text)
+	}
+	name, err := p.expect("ident")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	sec := &Section{Func: name.text, Line: kw.line}
+	p.fn = name.text
+	p.skipNL()
+	for p.cur().kind != "}" {
+		if p.cur().kind == "eof" {
+			return nil, fmt.Errorf("constraint: line %d: unterminated section %q", kw.line, name.text)
+		}
+		if p.cur().kind == "ident" && p.cur().text == "loop" {
+			lb, err := p.loopBound()
+			if err != nil {
+				return nil, err
+			}
+			sec.LoopBounds = append(sec.LoopBounds, *lb)
+			p.skipNL()
+			continue
+		}
+		f, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		sec.Formulas = append(sec.Formulas, f)
+		p.skipNL()
+	}
+	p.advance() // }
+	return sec, nil
+}
+
+func (p *cparser) loopBound() (*LoopBound, error) {
+	kw := p.advance() // loop
+	n, err := p.expect("int")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(":"); err != nil {
+		return nil, err
+	}
+	lo, err := p.expect("int")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(".."); err != nil {
+		return nil, err
+	}
+	hi, err := p.expect("int")
+	if err != nil {
+		return nil, err
+	}
+	if n.ival < 1 {
+		return nil, fmt.Errorf("constraint: line %d: loop numbers are 1-based", kw.line)
+	}
+	if lo.ival < 0 || hi.ival < lo.ival {
+		return nil, fmt.Errorf("constraint: line %d: bad loop bound %d .. %d", kw.line, lo.ival, hi.ival)
+	}
+	return &LoopBound{Loop: int(n.ival), Lo: lo.ival, Hi: hi.ival, Line: kw.line}, nil
+}
+
+func (p *cparser) orExpr() (Formula, error) {
+	f, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Formula{f}
+	for p.cur().kind == "|" {
+		p.advance()
+		g, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, g)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return &Or{Parts: parts}, nil
+}
+
+func (p *cparser) andExpr() (Formula, error) {
+	f, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Formula{f}
+	for p.cur().kind == "&" {
+		p.advance()
+		g, err := p.atom()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, g)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return &And{Parts: parts}, nil
+}
+
+func (p *cparser) atom() (Formula, error) {
+	if p.cur().kind == "(" {
+		p.advance()
+		f, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	return p.relation()
+}
+
+// linExpr is an unnormalized linear expression.
+type linExpr struct {
+	terms map[Var]int64
+	cnst  int64
+}
+
+func (p *cparser) relation() (Formula, error) {
+	start := p.cur().line
+	lhs, err := p.linExpr()
+	if err != nil {
+		return nil, err
+	}
+	var atoms []Formula
+	prev := lhs
+	for {
+		opTok := p.cur()
+		var op RelOp
+		strict := int64(0)
+		switch opTok.kind {
+		case "=":
+			op = OpEQ
+		case "<=":
+			op = OpLE
+		case ">=":
+			op = OpGE
+		case "<":
+			op = OpLE
+			strict = -1 // a < b  ==  a <= b - 1 over integers
+		case ">":
+			op = OpGE
+			strict = 1
+		default:
+			if len(atoms) == 0 {
+				return nil, fmt.Errorf("constraint: line %d: expected comparison operator, found %q", opTok.line, opTok.text)
+			}
+			if len(atoms) == 1 {
+				return atoms[0], nil
+			}
+			return &And{Parts: atoms}, nil
+		}
+		p.advance()
+		rhs, err := p.linExpr()
+		if err != nil {
+			return nil, err
+		}
+		atoms = append(atoms, &Atom{Rel: normalize(prev, op, rhs, strict, start)})
+		prev = rhs
+	}
+}
+
+// normalize moves everything to the left side: lhs - rhs Op 0, then the
+// constant to the right: terms Op -const (+ strictness adjustment).
+func normalize(lhs linExpr, op RelOp, rhs linExpr, strict int64, line int) Rel {
+	terms := map[Var]int64{}
+	for v, c := range lhs.terms {
+		terms[v] += c
+	}
+	for v, c := range rhs.terms {
+		terms[v] -= c
+	}
+	for v, c := range terms {
+		if c == 0 {
+			delete(terms, v)
+		}
+	}
+	r := Rel{
+		Terms:  terms,
+		Op:     op,
+		RHS:    rhs.cnst - lhs.cnst + strict,
+		Source: fmt.Sprintf("line %d", line),
+	}
+	return r
+}
+
+func (p *cparser) linExpr() (linExpr, error) {
+	e := linExpr{terms: map[Var]int64{}}
+	sign := int64(1)
+	if p.cur().kind == "-" {
+		sign = -1
+		p.advance()
+	}
+	if err := p.term(&e, sign); err != nil {
+		return e, err
+	}
+	for {
+		switch p.cur().kind {
+		case "+":
+			p.advance()
+			if err := p.term(&e, 1); err != nil {
+				return e, err
+			}
+		case "-":
+			p.advance()
+			if err := p.term(&e, -1); err != nil {
+				return e, err
+			}
+		default:
+			return e, nil
+		}
+	}
+}
+
+// term parses [INT ['*']] var | INT | var into e with the given sign.
+func (p *cparser) term(e *linExpr, sign int64) error {
+	coef := int64(1)
+	haveCoef := false
+	if p.cur().kind == "int" {
+		coef = p.advance().ival
+		haveCoef = true
+		if p.cur().kind == "*" {
+			p.advance()
+		}
+	}
+	// A bare integer term (no following variable).
+	if p.cur().kind != "ident" {
+		if !haveCoef {
+			return fmt.Errorf("constraint: line %d: expected term, found %q", p.cur().line, p.cur().text)
+		}
+		e.cnst += sign * coef
+		return nil
+	}
+	v, err := p.varRef()
+	if err != nil {
+		return err
+	}
+	e.terms[v] += sign * coef
+	if e.terms[v] == 0 {
+		delete(e.terms, v)
+	}
+	return nil
+}
+
+// varRef parses [func '.'] (x|d|f)<n> ['@' [func '.'] f<n>].
+func (p *cparser) varRef() (Var, error) {
+	t, err := p.expect("ident")
+	if err != nil {
+		return Var{}, err
+	}
+	fn := p.fn
+	name := t.text
+	if p.cur().kind == "." {
+		p.advance()
+		fn = name
+		t2, err := p.expect("ident")
+		if err != nil {
+			return Var{}, err
+		}
+		name = t2.text
+	}
+	kind, idx, ok := splitVarName(name)
+	if !ok {
+		return Var{}, fmt.Errorf("constraint: line %d: %q is not a variable (want x<n>, d<n> or f<n>)", t.line, name)
+	}
+	v := Var{Func: fn, Kind: kind, Index: idx}
+	if p.cur().kind == "@" {
+		p.advance()
+		ct, err := p.expect("ident")
+		if err != nil {
+			return Var{}, err
+		}
+		ctxFn := p.fn
+		ctxName := ct.text
+		if p.cur().kind == "." {
+			p.advance()
+			ctxFn = ct.text
+			ct2, err := p.expect("ident")
+			if err != nil {
+				return Var{}, err
+			}
+			ctxName = ct2.text
+		}
+		k, n, ok := splitVarName(ctxName)
+		if !ok || k != VarCall {
+			return Var{}, fmt.Errorf("constraint: line %d: context %q must be a call site f<n>", ct.line, ctxName)
+		}
+		v.CallSiteFunc = ctxFn
+		v.CallSite = n
+	}
+	return v, nil
+}
+
+func splitVarName(name string) (VarKind, int, bool) {
+	if len(name) < 2 {
+		return 0, 0, false
+	}
+	var kind VarKind
+	switch name[0] {
+	case 'x':
+		kind = VarBlock
+	case 'd':
+		kind = VarEdge
+	case 'f':
+		kind = VarCall
+	default:
+		return 0, 0, false
+	}
+	n, err := strconv.Atoi(name[1:])
+	if err != nil || n < 1 {
+		return 0, 0, false
+	}
+	return kind, n, true
+}

@@ -1,0 +1,202 @@
+// Package eval implements the measurement machinery of the paper's two
+// experiments.
+//
+// Experiment 1 (Table II) computes the *calculated bound*: "insert a
+// counter into each basic block of the routine, run the routine with [the
+// extreme] data set and record the values of all the counters, multiply
+// each counter value with the slowest (fastest) running time for that basic
+// block as provided by cinderella, add up all these products."
+//
+// Experiment 2 (Table III) computes the *measured bound* on the board
+// simulator: the routine runs with its worst-case data set and the
+// instruction cache flushed before the call (paper: "the cache memory is
+// flushed before each function call"); the best case runs warm.
+package eval
+
+import (
+	"fmt"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/cfg"
+	"cinderella/internal/march"
+	"cinderella/internal/sim"
+)
+
+// Setup prepares machine state (input data, globals) before a measured or
+// counted run. A nil Setup leaves the loaded image untouched.
+type Setup func(m *sim.Machine) error
+
+// Bound is an interval of cycle counts.
+type Bound struct {
+	Lo, Hi int64
+}
+
+// Pessimism computes the paper's pessimism metric for this (estimated)
+// bound against a reference bound: [(ref.Lo-est.Lo)/ref.Lo,
+// (est.Hi-ref.Hi)/ref.Hi].
+func Pessimism(est, ref Bound) (lo, hi float64) {
+	if ref.Lo != 0 {
+		lo = float64(ref.Lo-est.Lo) / float64(ref.Lo)
+	}
+	if ref.Hi != 0 {
+		hi = float64(est.Hi-ref.Hi) / float64(ref.Hi)
+	}
+	return lo, hi
+}
+
+// Encloses reports whether est contains ref (Fig. 1's requirement).
+func (b Bound) Encloses(ref Bound) bool { return b.Lo <= ref.Lo && b.Hi >= ref.Hi }
+
+// newMachine builds a fresh machine for an executable.
+func newMachine(exe *asm.Executable, cfgSim sim.Config) (*sim.Machine, error) {
+	return sim.New(exe, cfgSim)
+}
+
+// CountRun executes root once with block counters installed on every block
+// of every function reachable from root, and returns the per-function
+// counts in block-index order.
+func CountRun(exe *asm.Executable, prog *cfg.Program, root string, setup Setup, cfgSim sim.Config) (map[string][]int64, error) {
+	m, err := newMachine(exe, cfgSim)
+	if err != nil {
+		return nil, err
+	}
+	reach, err := prog.Reachable(root)
+	if err != nil {
+		return nil, err
+	}
+	var addrs []uint32
+	for _, fn := range reach {
+		for _, b := range prog.Funcs[fn].Blocks {
+			addrs = append(addrs, b.Start)
+		}
+	}
+	m.WatchBlocks(addrs)
+	if setup != nil {
+		if err := setup(m); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := m.CallNamed(root); err != nil {
+		return nil, err
+	}
+	raw := m.BlockCounts()
+	out := map[string][]int64{}
+	for _, fn := range reach {
+		fc := prog.Funcs[fn]
+		counts := make([]int64, len(fc.Blocks))
+		for i, b := range fc.Blocks {
+			counts[i] = int64(raw[b.Start])
+		}
+		out[fn] = counts
+	}
+	return out, nil
+}
+
+// Calculated combines observed block counts with cinderella's block costs:
+// the upper calculated bound uses worst-case costs, the lower bound
+// best-case costs.
+func Calculated(counts map[string][]int64, costs map[string][]march.BlockCost, worst bool) (int64, error) {
+	total := int64(0)
+	for fn, cnts := range counts {
+		cs, ok := costs[fn]
+		if !ok {
+			return 0, fmt.Errorf("eval: no costs for function %q", fn)
+		}
+		if len(cs) != len(cnts) {
+			return 0, fmt.Errorf("eval: %q has %d cost entries for %d blocks", fn, len(cs), len(cnts))
+		}
+		for i, n := range cnts {
+			if worst {
+				total += n * cs[i].Worst
+			} else {
+				total += n * cs[i].Best
+			}
+		}
+	}
+	return total, nil
+}
+
+// CalculatedBound runs the Experiment 1 protocol end to end: one counted
+// run per extreme-case data set, products with the cost brackets.
+func CalculatedBound(exe *asm.Executable, prog *cfg.Program, root string,
+	costs map[string][]march.BlockCost, worstSetup, bestSetup Setup, cfgSim sim.Config) (Bound, error) {
+	worstCounts, err := CountRun(exe, prog, root, worstSetup, cfgSim)
+	if err != nil {
+		return Bound{}, fmt.Errorf("eval: worst-case counted run: %w", err)
+	}
+	hi, err := Calculated(worstCounts, costs, true)
+	if err != nil {
+		return Bound{}, err
+	}
+	bestCounts, err := CountRun(exe, prog, root, bestSetup, cfgSim)
+	if err != nil {
+		return Bound{}, fmt.Errorf("eval: best-case counted run: %w", err)
+	}
+	lo, err := Calculated(bestCounts, costs, false)
+	if err != nil {
+		return Bound{}, err
+	}
+	return Bound{Lo: lo, Hi: hi}, nil
+}
+
+// MeasuredWorst runs root with the worst-case data and a flushed
+// instruction cache and returns the elapsed cycles.
+func MeasuredWorst(exe *asm.Executable, root string, setup Setup, cfgSim sim.Config) (int64, error) {
+	m, err := newMachine(exe, cfgSim)
+	if err != nil {
+		return 0, err
+	}
+	if setup != nil {
+		if err := setup(m); err != nil {
+			return 0, err
+		}
+	}
+	m.Cache().Flush()
+	before := m.Cycles()
+	if _, err := m.CallNamed(root); err != nil {
+		return 0, err
+	}
+	return int64(m.Cycles() - before), nil
+}
+
+// MeasuredBest runs root once to warm the cache, re-applies the best-case
+// data and measures a warm run.
+func MeasuredBest(exe *asm.Executable, root string, setup Setup, cfgSim sim.Config) (int64, error) {
+	m, err := newMachine(exe, cfgSim)
+	if err != nil {
+		return 0, err
+	}
+	apply := func() error {
+		if setup != nil {
+			return setup(m)
+		}
+		return nil
+	}
+	if err := apply(); err != nil {
+		return 0, err
+	}
+	if _, err := m.CallNamed(root); err != nil {
+		return 0, err
+	}
+	if err := apply(); err != nil {
+		return 0, err
+	}
+	before := m.Cycles()
+	if _, err := m.CallNamed(root); err != nil {
+		return 0, err
+	}
+	return int64(m.Cycles() - before), nil
+}
+
+// MeasuredBound runs the Experiment 2 protocol for both extremes.
+func MeasuredBound(exe *asm.Executable, root string, worstSetup, bestSetup Setup, cfgSim sim.Config) (Bound, error) {
+	hi, err := MeasuredWorst(exe, root, worstSetup, cfgSim)
+	if err != nil {
+		return Bound{}, fmt.Errorf("eval: measured worst: %w", err)
+	}
+	lo, err := MeasuredBest(exe, root, bestSetup, cfgSim)
+	if err != nil {
+		return Bound{}, fmt.Errorf("eval: measured best: %w", err)
+	}
+	return Bound{Lo: lo, Hi: hi}, nil
+}

@@ -1,0 +1,177 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"cinderella/internal/cc"
+	"cinderella/internal/cfg"
+	"cinderella/internal/march"
+	"cinderella/internal/sim"
+)
+
+const src = `
+int n;
+int main() { return work(); }
+int work() {
+    int i, s;
+    s = 0;
+    for (i = 0; i < n; i++) {
+        s += i * i;
+    }
+    return s;
+}
+`
+
+func TestPessimismMath(t *testing.T) {
+	est := Bound{Lo: 80, Hi: 240}
+	ref := Bound{Lo: 100, Hi: 200}
+	lo, hi := Pessimism(est, ref)
+	if lo != 0.2 || hi != 0.2 {
+		t.Fatalf("pessimism = [%v, %v]", lo, hi)
+	}
+	if !est.Encloses(ref) {
+		t.Fatal("enclosure")
+	}
+	if ref.Encloses(est) {
+		t.Fatal("reverse enclosure")
+	}
+	// Zero reference sides are left at zero pessimism rather than dividing.
+	lo, hi = Pessimism(est, Bound{})
+	if lo != 0 || hi != 0 {
+		t.Fatalf("zero-ref pessimism = [%v, %v]", lo, hi)
+	}
+}
+
+func TestCalculatedMissingFunction(t *testing.T) {
+	_, err := Calculated(map[string][]int64{"ghost": {1}}, map[string][]march.BlockCost{}, true)
+	if err == nil || !strings.Contains(err.Error(), "no costs") {
+		t.Fatalf("err = %v", err)
+	}
+	_, err = Calculated(
+		map[string][]int64{"f": {1, 2}},
+		map[string][]march.BlockCost{"f": {{Best: 1, Worst: 2}}},
+		true)
+	if err == nil || !strings.Contains(err.Error(), "cost entries") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCountRunAndCalculated(t *testing.T) {
+	exe, _, err := cc.Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Build(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := map[string][]march.BlockCost{}
+	for name, fc := range prog.Funcs {
+		costs[name] = march.CostsOf(fc, march.DefaultOptions())
+	}
+	setN := func(n int32) Setup {
+		return func(m *sim.Machine) error { return m.WriteWord(exe.Symbols["g_n"], n) }
+	}
+
+	counts, err := CountRun(exe, prog, "work", setN(5), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The entry block runs once; the loop body runs 5 times. Find the body
+	// as the most frequent block.
+	var maxCount int64
+	for _, c := range counts["work"] {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount != 6 { // loop header runs n+1 = 6 times
+		t.Fatalf("max block count = %d, want 6", maxCount)
+	}
+
+	hi, err := Calculated(counts, costs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := Calculated(counts, costs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo <= 0 || hi <= lo {
+		t.Fatalf("calculated [%d, %d]", lo, hi)
+	}
+
+	// The same run measured on the board lies within [lo, hi].
+	cycles, err := MeasuredWorst(exe, "work", setN(5), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles < lo || cycles > hi {
+		t.Fatalf("measured %d outside calculated [%d, %d]", cycles, lo, hi)
+	}
+}
+
+func TestCalculatedBoundOrdering(t *testing.T) {
+	exe, _, err := cc.Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Build(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := map[string][]march.BlockCost{}
+	for name, fc := range prog.Funcs {
+		costs[name] = march.CostsOf(fc, march.DefaultOptions())
+	}
+	setN := func(n int32) Setup {
+		return func(m *sim.Machine) error { return m.WriteWord(exe.Symbols["g_n"], n) }
+	}
+	b, err := CalculatedBound(exe, prog, "work", costs, setN(20), setN(0), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lo <= 0 || b.Lo >= b.Hi {
+		t.Fatalf("bound %v", b)
+	}
+}
+
+func TestMeasuredWarmVsFlushed(t *testing.T) {
+	exe, _, err := cc.Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setN := func(n int32) Setup {
+		return func(m *sim.Machine) error { return m.WriteWord(exe.Symbols["g_n"], n) }
+	}
+	cold, err := MeasuredWorst(exe, "work", setN(10), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := MeasuredBest(exe, "work", setN(10), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm >= cold {
+		t.Fatalf("warm %d >= cold %d", warm, cold)
+	}
+	// Same data, so the difference is purely cache state.
+	b, err := MeasuredBound(exe, "work", setN(10), setN(10), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lo != warm || b.Hi != cold {
+		t.Fatalf("bound %v, want [%d, %d]", b, warm, cold)
+	}
+}
+
+func TestMeasuredUnknownFunction(t *testing.T) {
+	exe, _, err := cc.Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasuredWorst(exe, "ghost", nil, sim.Config{}); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxNodes bounds the branch-and-bound search; path-analysis problems solve
+// at the root, so hitting this indicates a malformed problem.
+const MaxNodes = 200000
+
+// Solve optimizes the problem. For Integer problems it runs branch and
+// bound over LP relaxations; otherwise it is a single simplex solve.
+func Solve(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sol := &Solution{}
+
+	status, obj, x, pivots := simplex(p)
+	sol.Stats.LPSolves++
+	sol.Stats.Pivots += pivots
+	if status != Optimal {
+		sol.Status = status
+		return sol, nil
+	}
+	if !p.Integer || isIntegral(x) {
+		sol.Stats.RootIntegral = isIntegral(x)
+		sol.Status = Optimal
+		sol.Objective = obj
+		sol.Values = roundIfIntegral(x, p.Integer)
+		return sol, nil
+	}
+
+	// Branch and bound, depth-first with best-bound pruning.
+	type node struct {
+		extra []Constraint
+		bound float64
+	}
+	better := func(a, b float64) bool {
+		if p.Sense == Maximize {
+			return a > b+1e-9
+		}
+		return a < b-1e-9
+	}
+
+	var best *Solution
+	stack := []node{{bound: obj}}
+	nodes := 0
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if best != nil && !better(nd.bound, best.Objective) {
+			continue
+		}
+		nodes++
+		if nodes > MaxNodes {
+			return nil, fmt.Errorf("ilp: branch-and-bound node limit exceeded (%d)", MaxNodes)
+		}
+		sub := &Problem{
+			Sense:       p.Sense,
+			NumVars:     p.NumVars,
+			Objective:   p.Objective,
+			Constraints: append(append([]Constraint{}, p.Constraints...), nd.extra...),
+		}
+		status, obj, x, pivots := simplex(sub)
+		sol.Stats.LPSolves++
+		sol.Stats.Pivots += pivots
+		if nodes > 1 || len(nd.extra) > 0 {
+			sol.Stats.Branches++
+		}
+		if status == Unbounded {
+			// An unbounded subproblem means the original is unbounded in
+			// the integer sense too (rational polyhedra).
+			sol.Status = Unbounded
+			return sol, nil
+		}
+		if status != Optimal {
+			continue
+		}
+		if best != nil && !better(obj, best.Objective) {
+			continue
+		}
+		if bi := mostFractional(x); bi < 0 {
+			cand := &Solution{Status: Optimal, Objective: obj, Values: roundIfIntegral(x, true)}
+			if best == nil || better(obj, best.Objective) {
+				best = cand
+			}
+			continue
+		} else {
+			floor := math.Floor(x[bi])
+			left := append(append([]Constraint{}, nd.extra...),
+				Constraint{Coeffs: map[int]float64{bi: 1}, Rel: LE, RHS: floor})
+			right := append(append([]Constraint{}, nd.extra...),
+				Constraint{Coeffs: map[int]float64{bi: 1}, Rel: GE, RHS: floor + 1})
+			stack = append(stack, node{extra: left, bound: obj}, node{extra: right, bound: obj})
+		}
+	}
+	if best == nil {
+		sol.Status = Infeasible
+		return sol, nil
+	}
+	sol.Status = Optimal
+	sol.Objective = best.Objective
+	sol.Values = best.Values
+	return sol, nil
+}
+
+func isIntegral(x []float64) bool {
+	for _, v := range x {
+		if math.Abs(v-math.Round(v)) > intTol {
+			return false
+		}
+	}
+	return true
+}
+
+// mostFractional returns the index of the variable farthest from an
+// integer, or -1 when all are integral.
+func mostFractional(x []float64) int {
+	best := -1
+	bestFrac := intTol
+	for i, v := range x {
+		f := math.Abs(v - math.Round(v))
+		if f > bestFrac {
+			bestFrac = f
+			best = i
+		}
+	}
+	return best
+}
+
+func roundIfIntegral(x []float64, round bool) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	if round {
+		for i, v := range out {
+			out[i] = math.Round(v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+// Package ilp is a pure-Go integer linear programming solver: a two-phase
+// dense-tableau primal simplex with a branch-and-bound layer.
+//
+// The paper solves its path-analysis problems with a branch-and-bound ILP
+// package and reports that "in practice ... the first call to the linear
+// program package resulted in an integer valued solution" because the
+// structural constraints form a network-flow matrix (Section III.D). This
+// solver records per-solve statistics (LP calls, branches, whether the root
+// relaxation was integral) precisely so that observation can be reproduced
+// as experiment E-S1.
+//
+// All variables are constrained to x >= 0. Problems are expressed with
+// sparse coefficient maps; sizes in this domain are tiny (tens of variables)
+// so the simplex works on a dense tableau.
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sense selects optimization direction.
+type Sense int
+
+const (
+	Maximize Sense = iota
+	Minimize
+)
+
+func (s Sense) String() string {
+	if s == Minimize {
+		return "min"
+	}
+	return "max"
+}
+
+// Relation is a constraint comparator.
+type Relation int
+
+const (
+	LE Relation = iota // <=
+	GE                 // >=
+	EQ                 // ==
+)
+
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	}
+	return "="
+}
+
+// Constraint is sum(Coeffs[i] * x_i) Rel RHS.
+type Constraint struct {
+	Coeffs map[int]float64
+	Rel    Relation
+	RHS    float64
+	// Name is an optional diagnostic tag (e.g. "x3 = d3 + d5").
+	Name string
+}
+
+// Problem is an (integer) linear program over variables x_0..x_{NumVars-1},
+// all implicitly >= 0.
+type Problem struct {
+	Sense       Sense
+	NumVars     int
+	Objective   map[int]float64
+	Constraints []Constraint
+	// Integer requires an all-integer solution (branch and bound).
+	Integer bool
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Stats describes the work a solve performed.
+type Stats struct {
+	// LPSolves counts simplex invocations (1 when the root relaxation
+	// already yields the answer).
+	LPSolves int
+	// Branches counts branch-and-bound nodes explored beyond the root.
+	Branches int
+	// RootIntegral reports that the first LP relaxation was integral —
+	// the paper's key practical observation.
+	RootIntegral bool
+	// Pivots counts simplex pivot operations across all LP solves.
+	Pivots int
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	// Values holds the optimum assignment (length NumVars).
+	Values []float64
+	Stats  Stats
+}
+
+// intTol is the integrality tolerance for branch and bound.
+const intTol = 1e-6
+
+// eps is the general numeric tolerance of the simplex.
+const eps = 1e-9
+
+// Validate performs structural sanity checks on the problem.
+func (p *Problem) Validate() error {
+	if p.NumVars <= 0 {
+		return fmt.Errorf("ilp: problem has no variables")
+	}
+	check := func(m map[int]float64, where string) error {
+		for i, v := range m {
+			if i < 0 || i >= p.NumVars {
+				return fmt.Errorf("ilp: %s references variable %d (have %d)", where, i, p.NumVars)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("ilp: %s has non-finite coefficient for x%d", where, i)
+			}
+		}
+		return nil
+	}
+	if err := check(p.Objective, "objective"); err != nil {
+		return err
+	}
+	for ci, c := range p.Constraints {
+		where := c.Name
+		if where == "" {
+			where = fmt.Sprintf("constraint %d", ci)
+		}
+		if err := check(c.Coeffs, where); err != nil {
+			return err
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return fmt.Errorf("ilp: %s has non-finite rhs", where)
+		}
+	}
+	return nil
+}
+
+// Feasible reports whether x satisfies every constraint of p within tol.
+func (p *Problem) Feasible(x []float64, tol float64) bool {
+	if len(x) != p.NumVars {
+		return false
+	}
+	for _, v := range x {
+		if v < -tol {
+			return false
+		}
+	}
+	for _, c := range p.Constraints {
+		lhs := 0.0
+		for i, coef := range c.Coeffs {
+			lhs += coef * x[i]
+		}
+		switch c.Rel {
+		case LE:
+			if lhs > c.RHS+tol {
+				return false
+			}
+		case GE:
+			if lhs < c.RHS-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EvalObjective computes the objective value at x.
+func (p *Problem) EvalObjective(x []float64) float64 {
+	v := 0.0
+	for i, coef := range p.Objective {
+		v += coef * x[i]
+	}
+	return v
+}
+
+// String renders the problem in LP-file-like form for debugging.
+func (p *Problem) String() string {
+	s := fmt.Sprintf("%s ", p.Sense)
+	s += renderLinear(p.Objective) + "\ns.t.\n"
+	for _, c := range p.Constraints {
+		s += "  " + renderLinear(c.Coeffs) + " " + c.Rel.String() + " " + trimFloat(c.RHS)
+		if c.Name != "" {
+			s += "   ; " + c.Name
+		}
+		s += "\n"
+	}
+	return s
+}
+
+func renderLinear(m map[int]float64) string {
+	idxs := make([]int, 0, len(m))
+	for i := range m {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	s := ""
+	for n, i := range idxs {
+		coef := m[i]
+		if n > 0 {
+			if coef >= 0 {
+				s += " + "
+			} else {
+				s += " - "
+				coef = -coef
+			}
+		} else if coef < 0 {
+			s += "-"
+			coef = -coef
+		}
+		if coef != 1 {
+			s += trimFloat(coef) + " "
+		}
+		s += fmt.Sprintf("x%d", i)
+	}
+	if s == "" {
+		return "0"
+	}
+	return s
+}
+
+func trimFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}

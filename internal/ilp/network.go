@@ -1,0 +1,91 @@
+package ilp
+
+import "math"
+
+// IsNetworkMatrix reports whether the constraint matrix is recognizably
+// totally unimodular by the classic two-nonzeros test: every coefficient is
+// 0 or ±1, every column carries at most two nonzero entries, and the rows
+// admit a bipartition in which a column's two same-signed entries fall in
+// different parts and opposite-signed entries fall in the same part.
+//
+// Flow-conservation systems (one row per block for inflow, one for outflow)
+// always pass: this is the paper's Section III.D observation that
+// structural constraints — and functionality constraints limited to the
+// IDL-expressible forms — make the ILP "equivalent to a network flow
+// problem, which can be solved in polynomial time", so the first LP
+// relaxation is integral whenever the right-hand sides are integers.
+// General functionality constraints (k·x loop bounds, disjunction members)
+// fall outside the test, which is exactly when the paper says the problem
+// is "a general ILP" in principle — though never in their practice, an
+// observation the solver's Stats reproduce.
+func IsNetworkMatrix(p *Problem) bool {
+	type entry struct {
+		row  int
+		sign int
+	}
+	cols := map[int][]entry{}
+	for ri, c := range p.Constraints {
+		for v, coef := range c.Coeffs {
+			switch {
+			case coef == 0:
+			case math.Abs(coef-1) < 1e-12:
+				cols[v] = append(cols[v], entry{ri, +1})
+			case math.Abs(coef+1) < 1e-12:
+				cols[v] = append(cols[v], entry{ri, -1})
+			default:
+				return false
+			}
+		}
+		if c.RHS != math.Trunc(c.RHS) {
+			return false
+		}
+	}
+
+	// Build the row-bipartition constraint graph: an edge for every column
+	// with two nonzeros; parity 1 (different parts) for same signs,
+	// parity 0 (same part) for opposite signs.
+	type edge struct {
+		to     int
+		parity int
+	}
+	adj := map[int][]edge{}
+	for _, es := range cols {
+		if len(es) > 2 {
+			return false
+		}
+		if len(es) == 2 {
+			parity := 0
+			if es[0].sign == es[1].sign {
+				parity = 1
+			}
+			adj[es[0].row] = append(adj[es[0].row], edge{es[1].row, parity})
+			adj[es[1].row] = append(adj[es[1].row], edge{es[0].row, parity})
+		}
+	}
+
+	// Two-color with parity constraints (union-find-free BFS).
+	color := map[int]int{}
+	for start := range adj {
+		if _, seen := color[start]; seen {
+			continue
+		}
+		color[start] = 0
+		queue := []int{start}
+		for len(queue) > 0 {
+			r := queue[0]
+			queue = queue[1:]
+			for _, e := range adj[r] {
+				want := color[r] ^ e.parity
+				if c, seen := color[e.to]; seen {
+					if c != want {
+						return false
+					}
+					continue
+				}
+				color[e.to] = want
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return true
+}

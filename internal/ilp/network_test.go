@@ -1,0 +1,155 @@
+package ilp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNetworkMatrixFlowSystem(t *testing.T) {
+	// A diamond CFG's flow equations: x0 = d_in; x0 = d1 + d2;
+	// x1 = d1; x1 = d3; x2 = d2; x2 = d4; x3 = d3 + d4; x3 = d_out.
+	// Variables: 0..3 blocks, 4..9 edges (in, d1, d2, d3, d4, out).
+	eq := func(coeffs map[int]float64, rhs float64) Constraint {
+		return Constraint{Coeffs: coeffs, Rel: EQ, RHS: rhs}
+	}
+	p := &Problem{
+		Sense:     Maximize,
+		NumVars:   10,
+		Objective: map[int]float64{0: 3, 1: 5, 2: 2, 3: 4},
+		Constraints: []Constraint{
+			eq(map[int]float64{0: 1, 4: -1}, 0),
+			eq(map[int]float64{0: 1, 5: -1, 6: -1}, 0),
+			eq(map[int]float64{1: 1, 5: -1}, 0),
+			eq(map[int]float64{1: 1, 7: -1}, 0),
+			eq(map[int]float64{2: 1, 6: -1}, 0),
+			eq(map[int]float64{2: 1, 8: -1}, 0),
+			eq(map[int]float64{3: 1, 7: -1, 8: -1}, 0),
+			eq(map[int]float64{3: 1, 9: -1}, 0),
+			eq(map[int]float64{4: 1}, 1),
+		},
+	}
+	if !IsNetworkMatrix(p) {
+		t.Fatal("flow system not recognized as network matrix")
+	}
+	// And the guarantee it implies: the LP relaxation is integral.
+	p.Integer = true
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || !sol.Stats.RootIntegral {
+		t.Fatalf("flow LP not integral at root: %+v", sol)
+	}
+}
+
+func TestNetworkMatrixRejectsGeneralCoefficients(t *testing.T) {
+	// A k-scaled loop bound (x <= 10*e) is outside the incidence form.
+	p := &Problem{
+		NumVars: 2,
+		Constraints: []Constraint{
+			{Coeffs: map[int]float64{0: 1, 1: -10}, Rel: LE, RHS: 0},
+		},
+	}
+	if IsNetworkMatrix(p) {
+		t.Fatal("scaled constraint accepted")
+	}
+}
+
+func TestNetworkMatrixRejectsTripleColumns(t *testing.T) {
+	p := &Problem{
+		NumVars: 1,
+		Constraints: []Constraint{
+			{Coeffs: map[int]float64{0: 1}, Rel: EQ, RHS: 1},
+			{Coeffs: map[int]float64{0: 1}, Rel: LE, RHS: 2},
+			{Coeffs: map[int]float64{0: -1}, Rel: LE, RHS: 0},
+		},
+	}
+	if IsNetworkMatrix(p) {
+		t.Fatal("three-entry column accepted")
+	}
+}
+
+func TestNetworkMatrixRejectsFractionalRHS(t *testing.T) {
+	p := &Problem{
+		NumVars: 1,
+		Constraints: []Constraint{
+			{Coeffs: map[int]float64{0: 1}, Rel: LE, RHS: 2.5},
+		},
+	}
+	if IsNetworkMatrix(p) {
+		t.Fatal("fractional rhs accepted")
+	}
+}
+
+func TestNetworkMatrixRejectsOddCycle(t *testing.T) {
+	// Three rows pairwise linked with "different part" parity: an odd
+	// cycle, not 2-colorable, hence not an incidence structure.
+	p := &Problem{
+		NumVars: 3,
+		Constraints: []Constraint{
+			{Coeffs: map[int]float64{0: 1, 1: 1}, Rel: EQ, RHS: 1}, // rows 0-?
+			{Coeffs: map[int]float64{0: 1, 2: 1}, Rel: EQ, RHS: 1},
+			{Coeffs: map[int]float64{1: 1, 2: 1}, Rel: EQ, RHS: 1},
+		},
+	}
+	// Columns: v0 in rows {0,1} same sign, v1 in {0,2} same sign,
+	// v2 in {1,2} same sign: triangle with all-odd parities.
+	if IsNetworkMatrix(p) {
+		t.Fatal("odd parity cycle accepted")
+	}
+}
+
+// TestNetworkImpliesIntegralRoot property-checks the point of the
+// recognition: random recognized systems solve integrally at the root.
+func TestNetworkImpliesIntegralRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		// Random layered flow network: source -> layer1 -> layer2 -> sink.
+		l1 := rng.Intn(3) + 1
+		l2 := rng.Intn(3) + 1
+		// Variables: arcs source->l1 (l1), l1->l2 (l1*l2), l2->sink (l2).
+		n := l1 + l1*l2 + l2
+		p := &Problem{Sense: Maximize, NumVars: n, Integer: true, Objective: map[int]float64{}}
+		arcIn := func(i int) int { return i }
+		arcMid := func(i, j int) int { return l1 + i*l2 + j }
+		arcOut := func(j int) int { return l1 + l1*l2 + j }
+		// Conservation at each l1 node: in = sum mid.
+		for i := 0; i < l1; i++ {
+			c := Constraint{Coeffs: map[int]float64{arcIn(i): 1}, Rel: EQ}
+			for j := 0; j < l2; j++ {
+				c.Coeffs[arcMid(i, j)] = -1
+			}
+			p.Constraints = append(p.Constraints, c)
+		}
+		// Conservation at each l2 node: sum mid = out.
+		for j := 0; j < l2; j++ {
+			c := Constraint{Coeffs: map[int]float64{arcOut(j): -1}, Rel: EQ}
+			for i := 0; i < l1; i++ {
+				c.Coeffs[arcMid(i, j)] = 1
+			}
+			p.Constraints = append(p.Constraints, c)
+		}
+		// Capacities on source arcs keep it bounded.
+		for i := 0; i < l1; i++ {
+			p.Constraints = append(p.Constraints, Constraint{
+				Coeffs: map[int]float64{arcIn(i): 1}, Rel: LE, RHS: float64(1 + rng.Intn(9)),
+			})
+		}
+		for v := 0; v < n; v++ {
+			p.Objective[v] = float64(rng.Intn(7))
+		}
+		if !IsNetworkMatrix(p) {
+			t.Fatalf("trial %d: generated network not recognized", trial)
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		if !sol.Stats.RootIntegral {
+			t.Fatalf("trial %d: network problem needed branching", trial)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package ilp
+
+import "math"
+
+// simplex solves the LP relaxation of p (ignoring Integer) with a two-phase
+// dense-tableau primal simplex. It returns the status, optimum objective,
+// variable values and the pivot count.
+//
+// Standard form used internally: maximize cᵀx subject to rows of
+// (A|b) with b >= 0, a slack for every <=, a surplus plus artificial for
+// every >=, and an artificial for every =. Phase 1 drives the artificials
+// to zero; phase 2 optimizes the real objective.
+func simplex(p *Problem) (Status, float64, []float64, int) {
+	m := len(p.Constraints)
+	n := p.NumVars
+
+	// Count auxiliary columns.
+	numSlack := 0
+	numArt := 0
+	for _, c := range p.Constraints {
+		switch c.Rel {
+		case LE, GE:
+			numSlack++
+		}
+	}
+	// Artificials: decide per row after normalizing sign.
+	type rowSpec struct {
+		rel Relation
+		rhs float64
+	}
+	specs := make([]rowSpec, m)
+	rows := make([][]float64, m)
+	for i, c := range p.Constraints {
+		row := make([]float64, n)
+		for j, v := range c.Coeffs {
+			row[j] = v
+		}
+		rel, rhs := c.Rel, c.RHS
+		if rhs < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		rows[i] = row
+		specs[i] = rowSpec{rel, rhs}
+	}
+	for _, s := range specs {
+		if s.rel == GE || s.rel == EQ {
+			numArt++
+		}
+	}
+
+	total := n + numSlack + numArt
+	width := total + 1 // + rhs column
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	slackCol := n
+	artCol := n + numSlack
+	artStart := artCol
+	for i := range rows {
+		r := make([]float64, width)
+		copy(r, rows[i])
+		r[total] = specs[i].rhs
+		switch specs[i].rel {
+		case LE:
+			r[slackCol] = 1
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			r[slackCol] = -1
+			slackCol++
+			r[artCol] = 1
+			basis[i] = artCol
+			artCol++
+		case EQ:
+			r[artCol] = 1
+			basis[i] = artCol
+			artCol++
+		}
+		tab[i] = r
+	}
+
+	pivots := 0
+	pivot := func(row, col int) {
+		pivots++
+		pr := tab[row]
+		pv := pr[col]
+		for j := 0; j <= total; j++ {
+			pr[j] /= pv
+		}
+		for i := range tab {
+			if i == row {
+				continue
+			}
+			f := tab[i][col]
+			if f == 0 {
+				continue
+			}
+			ri := tab[i]
+			for j := 0; j <= total; j++ {
+				ri[j] -= f * pr[j]
+			}
+		}
+		basis[row] = col
+	}
+
+	// optimize runs primal simplex on the given objective coefficients
+	// (maximization). allowed limits the entering columns. Returns false if
+	// unbounded. The reduced-cost row is maintained incrementally and
+	// updated on every pivot alongside the tableau.
+	optimize := func(obj []float64, allowed int) bool {
+		// Price out the current basis: rc[j] = c_j - sum_i c_B(i)*tab[i][j].
+		rc := make([]float64, total+1)
+		copy(rc, obj)
+		for i, b := range basis {
+			cb := obj[b]
+			if cb == 0 {
+				continue
+			}
+			ri := tab[i]
+			for j := 0; j <= total; j++ {
+				rc[j] -= cb * ri[j]
+			}
+		}
+		iter := 0
+		blandAfter := 50 * (m + total + 10)
+		for {
+			iter++
+			useBland := iter > blandAfter
+			bestCol := -1
+			bestVal := eps
+			for j := 0; j < allowed; j++ {
+				if rc[j] > eps {
+					if useBland {
+						bestCol = j
+						break
+					}
+					if rc[j] > bestVal {
+						bestVal = rc[j]
+						bestCol = j
+					}
+				}
+			}
+			if bestCol < 0 {
+				return true // optimal
+			}
+			// Ratio test.
+			bestRow := -1
+			bestRatio := math.Inf(1)
+			for i := range tab {
+				a := tab[i][bestCol]
+				if a > eps {
+					ratio := tab[i][total] / a
+					if ratio < bestRatio-eps ||
+						(math.Abs(ratio-bestRatio) <= eps && (bestRow < 0 || basis[i] < basis[bestRow])) {
+						bestRatio = ratio
+						bestRow = i
+					}
+				}
+			}
+			if bestRow < 0 {
+				return false // unbounded
+			}
+			pivot(bestRow, bestCol)
+			// Update the reduced-cost row against the (normalized) pivot row.
+			f := rc[bestCol]
+			if f != 0 {
+				pr := tab[bestRow]
+				for j := 0; j <= total; j++ {
+					rc[j] -= f * pr[j]
+				}
+				rc[bestCol] = 0
+			}
+		}
+	}
+
+	// Phase 1: maximize -(sum of artificials).
+	if numArt > 0 {
+		obj1 := make([]float64, total+1)
+		for j := artStart; j < total; j++ {
+			obj1[j] = -1
+		}
+		if !optimize(obj1, total) {
+			// Phase 1 cannot be unbounded (objective bounded by 0), but
+			// guard anyway.
+			return Infeasible, 0, nil, pivots
+		}
+		sumArt := 0.0
+		for i, b := range basis {
+			if b >= artStart {
+				sumArt += tab[i][total]
+			}
+		}
+		if sumArt > 1e-7 {
+			return Infeasible, 0, nil, pivots
+		}
+		// Drive remaining artificials out of the basis where possible.
+		for i, b := range basis {
+			if b < artStart {
+				continue
+			}
+			done := false
+			for j := 0; j < artStart && !done; j++ {
+				if math.Abs(tab[i][j]) > eps {
+					pivot(i, j)
+					done = true
+				}
+			}
+			// If the row is all zeros over real columns it is redundant;
+			// the artificial stays basic at value 0, which is harmless as
+			// long as phase 2 never lets it re-enter (allowed=artStart).
+		}
+	}
+
+	// Phase 2: original objective over real + slack columns only.
+	obj2 := make([]float64, total+1)
+	sign := 1.0
+	if p.Sense == Minimize {
+		sign = -1
+	}
+	for j, v := range p.Objective {
+		obj2[j] = sign * v
+	}
+	if !optimize(obj2, artStart) {
+		return Unbounded, 0, nil, pivots
+	}
+
+	x := make([]float64, p.NumVars)
+	for i, b := range basis {
+		if b < p.NumVars {
+			x[b] = tab[i][total]
+			if x[b] < 0 && x[b] > -1e-7 {
+				x[b] = 0
+			}
+		}
+	}
+	objVal := 0.0
+	for j, v := range p.Objective {
+		objVal += v * x[j]
+	}
+	return Optimal, objVal, x, pivots
+}

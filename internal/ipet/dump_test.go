@@ -1,0 +1,48 @@
+package ipet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDumpILP(t *testing.T) {
+	an, _, _ := analyzerFor(t, checkDataASM, "check_data")
+	annotate(t, an, checkDataAnnots)
+	var b strings.Builder
+	if err := an.DumpILP(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"variables: 23",
+		"ctx 0: check_data",
+		"worst-case objective",
+		"x1 = sum(in)",
+		"d1 = 1",
+		"loop 1 upper 10",
+		"functionality constraint sets: 2 generated, 0 pruned as null",
+		"set 1:",
+		"set 2:",
+		"check_data.x4 - check_data.x9 = 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpILPNoAnnotations(t *testing.T) {
+	an, _, _ := analyzerFor(t, `
+main:
+        beq r1, r0, .L
+        nop
+.L:     halt
+`, "main")
+	var b strings.Builder
+	if err := an.DumpILP(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "(empty: structural and loop constraints only)") {
+		t.Errorf("dump missing empty-set marker:\n%s", b.String())
+	}
+}

@@ -1,0 +1,259 @@
+package ipet
+
+import (
+	"testing"
+
+	"cinderella/internal/constraint"
+	"cinderella/internal/ilp"
+)
+
+// These tests assert the *literal* structural equations of the paper,
+// coefficient by coefficient, not just their solutions.
+
+// eqSet normalizes a constraint system into comparable strings of the form
+// rendered by ilp.Problem, keyed per equation.
+func hasEquation(t *testing.T, cons []ilp.Constraint, coeffs map[int]float64, rel ilp.Relation, rhs float64) bool {
+	t.Helper()
+	for _, c := range cons {
+		if c.Rel != rel || c.RHS != rhs || len(c.Coeffs) != len(coeffs) {
+			continue
+		}
+		match := true
+		for v, want := range coeffs {
+			if c.Coeffs[v] != want {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFig2Equations checks eqs. (2)-(5): for the if-then-else CFG,
+// x1 = d1 = d2 + d3, x2 = d2 = d4, x3 = d3 = d5, x4 = d4 + d5 = d6.
+func TestFig2Equations(t *testing.T) {
+	an, _, _ := analyzerFor(t, `
+main:
+        beq r1, r0, .Lelse
+        addi r2, r0, 1
+        jmp .Ljoin
+.Lelse: addi r2, r0, 2
+.Ljoin: add r3, r2, r0
+        halt
+`, "main")
+	cons := an.StructuralConstraints()
+
+	// Variable indices: blocks 0..3 then edges 4..9 (entry d1, then the
+	// CFG edges in discovery order: taken d3', fall d2', jmp, fall, exit).
+	x := func(i int) int { return an.blockVar(0, i) }
+	d := func(i int) int { return an.edgeVar(0, i) }
+
+	// x1 = d1 (the entry edge) — eq (2) left half.
+	if !hasEquation(t, cons, map[int]float64{x(0): 1, d(0): -1}, ilp.EQ, 0) {
+		t.Error("missing x1 = d1")
+	}
+	// x1 = d_taken + d_fall — eq (2) right half (paper's d2 + d3).
+	if !hasEquation(t, cons, map[int]float64{x(0): 1, d(1): -1, d(2): -1}, ilp.EQ, 0) {
+		t.Error("missing x1 = d2 + d3")
+	}
+	// x4 = d4 + d5 (join in-flow), x4 = d6 (exit) — eq (5).
+	fc := an.Prog.Funcs["main"]
+	join := fc.Blocks[3]
+	inCoeffs := map[int]float64{x(3): 1}
+	for _, e := range join.In {
+		inCoeffs[d(e)] = -1
+	}
+	if len(join.In) != 2 || !hasEquation(t, cons, inCoeffs, ilp.EQ, 0) {
+		t.Error("missing x4 = d4 + d5")
+	}
+	outCoeffs := map[int]float64{x(3): 1}
+	for _, e := range join.Out {
+		outCoeffs[d(e)] = -1
+	}
+	if len(join.Out) != 1 || !hasEquation(t, cons, outCoeffs, ilp.EQ, 0) {
+		t.Error("missing x4 = d6")
+	}
+	// d1 = 1 — eq (13).
+	if !hasEquation(t, cons, map[int]float64{d(0): 1}, ilp.EQ, 1) {
+		t.Error("missing d1 = 1")
+	}
+	// Exactly 2 equations per block plus the entry equation.
+	if len(cons) != 2*len(fc.Blocks)+1 {
+		t.Errorf("constraint count = %d, want %d", len(cons), 2*len(fc.Blocks)+1)
+	}
+}
+
+// TestFig3Equations checks eq. (7): the loop header's count equals both
+// d2 + d4 (entry + back edge) and d3 + d5 (body + exit).
+func TestFig3Equations(t *testing.T) {
+	an, _, _ := analyzerFor(t, `
+main:
+        add r2, r1, r0
+.Lhead: slti r3, r2, 10
+        beq r3, r0, .Lexit
+        addi r2, r2, 1
+        jmp .Lhead
+.Lexit: add r4, r2, r0
+        halt
+`, "main")
+	cons := an.StructuralConstraints()
+	fc := an.Prog.Funcs["main"]
+	header := fc.Blocks[1]
+	if len(header.In) != 2 || len(header.Out) != 2 {
+		t.Fatalf("header degree: in %d out %d", len(header.In), len(header.Out))
+	}
+	x2 := an.blockVar(0, 1)
+	in := map[int]float64{x2: 1}
+	for _, e := range header.In {
+		in[an.edgeVar(0, e)] = -1
+	}
+	out := map[int]float64{x2: 1}
+	for _, e := range header.Out {
+		out[an.edgeVar(0, e)] = -1
+	}
+	if !hasEquation(t, cons, in, ilp.EQ, 0) {
+		t.Error("missing x2 = d2 + d4")
+	}
+	if !hasEquation(t, cons, out, ilp.EQ, 0) {
+		t.Error("missing x2 = d3 + d5")
+	}
+}
+
+// TestFig4Equations checks eqs. (10)-(12): x1 = d1 = f1, x2 = f1 = f2, and
+// the callee's entry flow d2 = f1 + f2 (realized as one instance per call
+// site whose entries sum to the f-variables).
+func TestFig4Equations(t *testing.T) {
+	an, _, _ := analyzerFor(t, `
+main:
+        addi r2, r0, 10
+        call store
+        shli r2, r2, 1
+        call store
+        halt
+store:
+        add r3, r2, r0
+        ret
+`, "main")
+	cons := an.StructuralConstraints()
+	fc := an.Prog.Funcs["main"]
+	f1 := an.edgeVar(0, fc.Calls[0])
+	f2 := an.edgeVar(0, fc.Calls[1])
+	x1 := an.blockVar(0, 0)
+	x2 := an.blockVar(0, 1)
+
+	// x1 = f1 (out-flow of the first call block).
+	if !hasEquation(t, cons, map[int]float64{x1: 1, f1: -1}, ilp.EQ, 0) {
+		t.Error("missing x1 = f1")
+	}
+	// x2 = f1 (in) and x2 = f2 (out) — eq (11).
+	if !hasEquation(t, cons, map[int]float64{x2: 1, f1: -1}, ilp.EQ, 0) {
+		t.Error("missing x2 = f1")
+	}
+	if !hasEquation(t, cons, map[int]float64{x2: 1, f2: -1}, ilp.EQ, 0) {
+		t.Error("missing x2 = f2")
+	}
+	// Eq (12): each store instance's entry equals its call site, so the
+	// aggregate entry flow is f1 + f2.
+	storeFC := an.Prog.Funcs["store"]
+	var links int
+	for _, ctx := range an.Contexts() {
+		if ctx.Func != "store" {
+			continue
+		}
+		fv := f1
+		if ctx.Path[len(ctx.Path)-1].EdgeID == fc.Calls[1] {
+			fv = f2
+		}
+		entry := an.edgeVar(ctx.ID, storeFC.EntryEdge)
+		if !hasEquation(t, cons, map[int]float64{entry: 1, fv: -1}, ilp.EQ, 0) {
+			t.Errorf("missing d_entry(%s) = f", ctx)
+		}
+		links++
+	}
+	if links != 2 {
+		t.Fatalf("store instances = %d", links)
+	}
+}
+
+// TestApplyErrors covers the diagnostic paths of annotation application.
+func TestApplyErrors(t *testing.T) {
+	an, _, _ := analyzerFor(t, checkDataASM, "check_data")
+	cases := []struct {
+		annots string
+		sub    string
+	}{
+		{"func nosuch { x1 = 1 }", "unknown function"},
+		{"func check_data { loop 9: 1 .. 2 }", "annotation names loop 9"},
+	}
+	for _, c := range cases {
+		f, err := constraint.Parse(c.annots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := an.Apply(f); err == nil || !containsStr(err.Error(), c.sub) {
+			t.Errorf("Apply(%q) err = %v, want %q", c.annots, err, c.sub)
+		}
+	}
+}
+
+// TestResolveErrors covers bad variable references in formulas.
+func TestResolveErrors(t *testing.T) {
+	srcWithCall := checkDataASM + `
+        .text
+task:
+        call check_data
+        halt
+`
+	cases := []struct {
+		annots string
+		sub    string
+	}{
+		{"func check_data { x99 = 1 \n loop 1: 1 .. 10 }", "names x99"},
+		{"func check_data { d99 = 1 \n loop 1: 1 .. 10 }", "names d99"},
+		{"func check_data { f1 = 1 \n loop 1: 1 .. 10 }", "call sites"},
+		{"func task { x1 = check_data.x1 @ f9 }\nfunc check_data { loop 1: 1 .. 10 }", "names f9"},
+		{"func task { x1 = task.x1 @ f1 }\nfunc check_data { loop 1: 1 .. 10 }", "calls check_data"},
+	}
+	for _, c := range cases {
+		an, _, _ := analyzerFor(t, srcWithCall, "task")
+		f, err := constraint.Parse(c.annots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := an.Apply(f); err != nil {
+			if !containsStr(err.Error(), c.sub) {
+				t.Errorf("Apply(%q) = %v, want %q", c.annots, err, c.sub)
+			}
+			continue
+		}
+		_, err = an.Estimate()
+		if err == nil || !containsStr(err.Error(), c.sub) {
+			t.Errorf("Estimate after %q = %v, want %q", c.annots, err, c.sub)
+		}
+	}
+}
+
+// TestStructuralNetworkOnFigures: the Section III.D theorem applies to all
+// the figure examples.
+func TestStructuralNetworkOnFigures(t *testing.T) {
+	srcs := []string{
+		"main:\n beq r1, r0, .L\n nop\n.L: halt\n",
+		checkDataASM,
+	}
+	for i, src := range srcs {
+		an, _, _ := analyzerFor(t, src, firstFunc(src))
+		if !an.StructuralNetworkMatrix() {
+			t.Errorf("case %d: structural system not a network matrix", i)
+		}
+	}
+}
+
+func firstFunc(src string) string {
+	if containsStr(src, "check_data:") {
+		return "check_data"
+	}
+	return "main"
+}

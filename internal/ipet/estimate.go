@@ -1,0 +1,349 @@
+package ipet
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"cinderella/internal/constraint"
+	"cinderella/internal/ilp"
+	"cinderella/internal/march"
+)
+
+// BoundReport is one extreme-case estimate: the cycle bound, the block
+// counts that achieve it (aggregated over contexts, per function), and the
+// functionality constraint set that produced it.
+type BoundReport struct {
+	Cycles int64
+	// Counts maps function name to per-block execution counts x_i at the
+	// optimum, summed over call contexts.
+	Counts map[string][]int64
+	// SetIndex identifies the winning functionality constraint set.
+	SetIndex int
+}
+
+// Estimate is the full result of a timing analysis: the estimated bound
+// [BCET, WCET] of Fig. 1 plus the solver statistics the paper reports.
+type Estimate struct {
+	WCET BoundReport
+	BCET BoundReport
+	// NumSets is the number of functionality constraint sets after DNF
+	// expansion (the "Sets" column of Table I).
+	NumSets int
+	// PrunedSets counts trivially-null sets dropped before solving (dhry:
+	// 8 generated, 5 pruned, 3 solved).
+	PrunedSets int
+	// SolvedSets is NumSets - PrunedSets.
+	SolvedSets int
+	// LPSolves and Branches accumulate ILP work across all solves.
+	LPSolves int
+	Branches int
+	// AllRootIntegral reports whether every ILP solved at the first LP
+	// relaxation — the paper's Section VI observation.
+	AllRootIntegral bool
+}
+
+// buildSets expands the functionality annotations into conjunctive ILP
+// constraint sets, pruning trivially-null sets when enabled.
+func (a *Analyzer) buildSets() (sets [][]ilp.Constraint, total, pruned int, err error) {
+	var formulas []constraint.Formula
+	if a.annots != nil {
+		for _, sec := range a.annots.Sections {
+			if _, reachable := a.ctxByFunc[sec.Func]; !reachable {
+				continue
+			}
+			formulas = append(formulas, sec.Formulas...)
+		}
+	}
+	conjSets, err := constraint.CrossProduct(formulas, a.Opts.MaxSets)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	total = len(conjSets)
+	for _, cs := range conjSets {
+		ilpSet := make([]ilp.Constraint, 0, len(cs))
+		for _, r := range cs {
+			c, err := a.relToILP(r)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			ilpSet = append(ilpSet, c)
+		}
+		if a.Opts.PruneNullSets && triviallyNull(ilpSet) {
+			pruned++
+			continue
+		}
+		sets = append(sets, ilpSet)
+	}
+	return sets, total, pruned, nil
+}
+
+// triviallyNull detects contradictions among single-variable constraints by
+// interval intersection — the paper's example being "x_i >= 1 intersected
+// with x_i = 0".
+func triviallyNull(set []ilp.Constraint) bool {
+	type iv struct{ lo, hi float64 }
+	bounds := map[int]*iv{}
+	get := func(v int) *iv {
+		b, ok := bounds[v]
+		if !ok {
+			b = &iv{lo: 0, hi: math.Inf(1)} // variables are nonnegative
+			bounds[v] = b
+		}
+		return b
+	}
+	for _, c := range set {
+		if len(c.Coeffs) != 1 {
+			continue
+		}
+		var v int
+		var coef float64
+		for vv, cc := range c.Coeffs {
+			v, coef = vv, cc
+		}
+		if coef == 0 {
+			continue
+		}
+		val := c.RHS / coef
+		rel := c.Rel
+		if coef < 0 {
+			switch rel {
+			case ilp.LE:
+				rel = ilp.GE
+			case ilp.GE:
+				rel = ilp.LE
+			}
+		}
+		b := get(v)
+		switch rel {
+		case ilp.EQ:
+			b.lo = math.Max(b.lo, val)
+			b.hi = math.Min(b.hi, val)
+		case ilp.LE:
+			b.hi = math.Min(b.hi, val)
+		case ilp.GE:
+			b.lo = math.Max(b.lo, val)
+		}
+		if b.lo > b.hi+1e-9 {
+			return true
+		}
+	}
+	return false
+}
+
+// firstIterSplit adds the Section IV refinement to a worst-case objective:
+// blocks of cache-resident loops get a first-iteration variable xf with
+// xf <= x and xf <= (loop entries); the objective charges full miss costs
+// only to xf and steady-state costs to the rest.
+type objective struct {
+	coeffs map[int]float64
+	extra  []ilp.Constraint
+	nVars  int
+}
+
+func (a *Analyzer) worstObjective() objective {
+	obj := objective{coeffs: map[int]float64{}, nVars: a.nVars}
+	for _, ctx := range a.contexts {
+		fc := a.Prog.Funcs[ctx.Func]
+		costs := a.costs[ctx.Func]
+
+		// innermost[b] is the smallest cache-resident loop containing b.
+		var innermost map[int]int
+		if a.Opts.SplitFirstIteration {
+			innermost = map[int]int{}
+			for li := range fc.Loops {
+				if !march.LoopCacheResident(fc, &fc.Loops[li], a.Opts.March.Cache) {
+					continue
+				}
+				for _, b := range fc.Loops[li].Blocks {
+					cur, ok := innermost[b]
+					if !ok || len(fc.Loops[li].Blocks) < len(fc.Loops[cur].Blocks) {
+						innermost[b] = li
+					}
+				}
+			}
+		}
+
+		for b := range fc.Blocks {
+			x := a.blockVar(ctx.ID, b)
+			li, split := -1, false
+			if innermost != nil {
+				li, split = innermost[b]
+			}
+			if !split {
+				obj.coeffs[x] += float64(costs[b].Worst)
+				continue
+			}
+			loop := fc.Loops[li]
+			xf := obj.nVars
+			obj.nVars++
+			// Steady cost on every execution, the miss surcharge only on
+			// first-iteration executions.
+			obj.coeffs[x] += float64(costs[b].WorstSteady)
+			obj.coeffs[xf] += float64(costs[b].Worst - costs[b].WorstSteady)
+			// xf <= x
+			obj.extra = append(obj.extra, ilp.Constraint{
+				Coeffs: map[int]float64{xf: 1, x: -1},
+				Rel:    ilp.LE,
+				Name:   fmt.Sprintf("%s: first-iter x%d", ctx, b+1),
+			})
+			// xf <= sum of loop entry edges
+			entry := ilp.Constraint{
+				Coeffs: map[int]float64{xf: 1},
+				Rel:    ilp.LE,
+				Name:   fmt.Sprintf("%s: first-iter x%d <= loop entries", ctx, b+1),
+			}
+			for _, e := range loop.EntryEdges {
+				entry.Coeffs[a.edgeVar(ctx.ID, e)] -= 1
+			}
+			obj.extra = append(obj.extra, entry)
+		}
+	}
+	return obj
+}
+
+func (a *Analyzer) bestObjective() objective {
+	obj := objective{coeffs: map[int]float64{}, nVars: a.nVars}
+	for _, ctx := range a.contexts {
+		costs := a.costs[ctx.Func]
+		fc := a.Prog.Funcs[ctx.Func]
+		for b := range fc.Blocks {
+			obj.coeffs[a.blockVar(ctx.ID, b)] += float64(costs[b].Best)
+		}
+	}
+	return obj
+}
+
+// Estimate runs the full analysis: expand functionality constraint sets,
+// solve one ILP per set and direction, and take the extremes.
+func (a *Analyzer) Estimate() (*Estimate, error) {
+	sets, total, pruned, err := a.buildSets()
+	if err != nil {
+		return nil, err
+	}
+	est := &Estimate{NumSets: total, PrunedSets: pruned, SolvedSets: len(sets), AllRootIntegral: true}
+	if len(sets) == 0 {
+		return nil, fmt.Errorf("ipet: all %d functionality constraint sets are null", total)
+	}
+
+	structural := a.StructuralConstraints()
+	loops := a.LoopBoundConstraints()
+	base := append(append([]ilp.Constraint{}, structural...), loops...)
+
+	solveDir := func(sense ilp.Sense, obj objective) (*BoundReport, error) {
+		var best *BoundReport
+		feasible := false
+		for si, set := range sets {
+			p := &ilp.Problem{
+				Sense:     sense,
+				NumVars:   obj.nVars,
+				Integer:   true,
+				Objective: obj.coeffs,
+			}
+			p.Constraints = append(p.Constraints, base...)
+			p.Constraints = append(p.Constraints, obj.extra...)
+			p.Constraints = append(p.Constraints, set...)
+			sol, err := ilp.Solve(p)
+			if err != nil {
+				return nil, err
+			}
+			est.LPSolves += sol.Stats.LPSolves
+			est.Branches += sol.Stats.Branches
+			switch sol.Status {
+			case ilp.Unbounded:
+				msg := "ipet: ILP unbounded — a loop lacks a bound"
+				if missing := a.MissingLoopBounds(); len(missing) > 0 {
+					msg += ": " + strings.Join(missing, "; ")
+				}
+				return nil, fmt.Errorf("%s", msg)
+			case ilp.Infeasible:
+				continue
+			}
+			feasible = true
+			if !sol.Stats.RootIntegral {
+				est.AllRootIntegral = false
+			}
+			val := int64(math.Round(sol.Objective))
+			if best == nil ||
+				(sense == ilp.Maximize && val > best.Cycles) ||
+				(sense == ilp.Minimize && val < best.Cycles) {
+				best = &BoundReport{Cycles: val, SetIndex: si, Counts: a.aggregateCounts(sol.Values)}
+			}
+		}
+		if !feasible {
+			return nil, fmt.Errorf("ipet: every functionality constraint set is infeasible against the structural constraints")
+		}
+		return best, nil
+	}
+
+	worst, err := solveDir(ilp.Maximize, a.worstObjective())
+	if err != nil {
+		return nil, err
+	}
+	bcet, err := solveDir(ilp.Minimize, a.bestObjective())
+	if err != nil {
+		return nil, err
+	}
+	est.WCET = *worst
+	est.BCET = *bcet
+	if est.BCET.Cycles > est.WCET.Cycles {
+		return nil, fmt.Errorf("ipet: internal error: BCET %d exceeds WCET %d", est.BCET.Cycles, est.WCET.Cycles)
+	}
+	return est, nil
+}
+
+// aggregateCounts sums per-context block counts into per-function counts.
+func (a *Analyzer) aggregateCounts(values []float64) map[string][]int64 {
+	out := map[string][]int64{}
+	for _, ctx := range a.contexts {
+		fc := a.Prog.Funcs[ctx.Func]
+		counts, ok := out[ctx.Func]
+		if !ok {
+			counts = make([]int64, len(fc.Blocks))
+			out[ctx.Func] = counts
+		}
+		for b := range fc.Blocks {
+			counts[b] += int64(math.Round(values[a.blockVar(ctx.ID, b)]))
+		}
+	}
+	return out
+}
+
+// BlockCosts exposes the cost bracket used for a function's blocks.
+func (a *Analyzer) BlockCosts(fn string) []march.BlockCost {
+	return a.costs[fn]
+}
+
+// StructuralNetworkMatrix reports whether the intraprocedural structural
+// constraints (the flow equations of Section III.B, per function instance)
+// form a recognizable network (totally unimodular) matrix — the Section
+// III.D explanation for why "the branch-and-bound ILP solver finds that the
+// solution of the very first linear program call ... is integer valued".
+//
+// The interprocedural splice rows (d_entry(callee) = f_site, eq. 12) give
+// call-edge columns a third entry and fall outside the two-nonzero
+// sufficient test; integrality across the splice is the paper's empirical
+// observation, which Stats.RootIntegral tracks on every solve.
+func (a *Analyzer) StructuralNetworkMatrix() bool {
+	var rows []ilp.Constraint
+	for _, ctx := range a.contexts {
+		fc := a.Prog.Funcs[ctx.Func]
+		for _, b := range fc.Blocks {
+			inC := ilp.Constraint{Coeffs: map[int]float64{a.blockVar(ctx.ID, b.Index): 1}, Rel: ilp.EQ}
+			for _, e := range b.In {
+				inC.Coeffs[a.edgeVar(ctx.ID, e)] -= 1
+			}
+			outC := ilp.Constraint{Coeffs: map[int]float64{a.blockVar(ctx.ID, b.Index): 1}, Rel: ilp.EQ}
+			for _, e := range b.Out {
+				outC.Coeffs[a.edgeVar(ctx.ID, e)] -= 1
+			}
+			rows = append(rows, inC, outC)
+		}
+	}
+	rootFC := a.Prog.Funcs[a.Root]
+	rows = append(rows, ilp.Constraint{
+		Coeffs: map[int]float64{a.edgeVar(0, rootFC.EntryEdge): 1}, Rel: ilp.EQ, RHS: 1,
+	})
+	p := &ilp.Problem{NumVars: a.nVars, Constraints: rows}
+	return ilp.IsNetworkMatrix(p)
+}

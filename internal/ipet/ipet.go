@@ -1,0 +1,239 @@
+// Package ipet implements the paper's contribution: implicit path
+// enumeration. Program path analysis is cast as integer linear programs
+// over basic-block execution counts — maximize (or minimize) sum(c_i * x_i)
+// subject to structural constraints extracted from the CFG and
+// user-provided functionality constraint sets — so that the extreme-case
+// paths are never enumerated explicitly (Section III).
+//
+// Functions are analyzed context-sensitively: each call site instantiates a
+// fresh copy of the callee's count variables, which is exactly the paper's
+// device for eq. (18): "for purpose of analysis, a separate set of x_i
+// variables is used for this instance of the call". Aggregate variables
+// (the plain x8 of eq. (17)) are sums over all instances.
+package ipet
+
+import (
+	"fmt"
+	"sort"
+
+	"cinderella/internal/cfg"
+	"cinderella/internal/constraint"
+	"cinderella/internal/march"
+)
+
+// Options tunes the analysis.
+type Options struct {
+	// March configures the block cost model.
+	March march.Options
+	// SplitFirstIteration enables the Section IV refinement: the first
+	// iteration of a cache-resident loop pays miss costs, later iterations
+	// pay steady-state costs.
+	SplitFirstIteration bool
+	// PruneNullSets drops trivially-infeasible conjunctive sets before
+	// invoking the ILP solver (Section III.D; dhry drops 8 sets to 3).
+	PruneNullSets bool
+	// MaxSets bounds the disjunctive cross product.
+	MaxSets int
+	// MaxContexts bounds context expansion.
+	MaxContexts int
+}
+
+// DefaultOptions returns the standard analysis configuration.
+func DefaultOptions() Options {
+	return Options{
+		March:         march.DefaultOptions(),
+		PruneNullSets: true,
+		MaxSets:       4096,
+		MaxContexts:   10000,
+	}
+}
+
+// Context is one instantiation of a function's count variables: the chain
+// of call sites from the analysis root.
+type Context struct {
+	ID   int
+	Func string
+	// Path is the chain of call edges from the root: Path[i] identifies a
+	// call edge (by function name and edge ID) whose callee is the next
+	// element's function. Empty for the root context.
+	Path []CallRef
+}
+
+// CallRef names one call edge.
+type CallRef struct {
+	Caller string
+	EdgeID int
+}
+
+func (c *Context) String() string {
+	s := c.Func
+	if len(c.Path) > 0 {
+		s += " via"
+		for _, r := range c.Path {
+			s += fmt.Sprintf(" %s:d%d", r.Caller, r.EdgeID+1)
+		}
+	}
+	return s
+}
+
+// varKind is an internal ILP variable family.
+type varKind uint8
+
+const (
+	vBlock varKind = iota
+	vEdge
+	vFirstIter // first-iteration share of a block count (Section IV split)
+)
+
+// varKey identifies an ILP variable.
+type varKey struct {
+	ctx  int
+	kind varKind
+	idx  int // block index or edge ID
+}
+
+// Analyzer holds the analysis model for one root function.
+type Analyzer struct {
+	Prog *cfg.Program
+	Root string
+	Opts Options
+
+	contexts []*Context
+	// ctxByFunc indexes contexts per function name.
+	ctxByFunc map[string][]*Context
+	// ctxChild maps (parent ctx, call edge) to the callee context.
+	ctxChild map[[2]int]*Context
+
+	vars   map[varKey]int
+	nVars  int
+	annots *constraint.File
+
+	// costs caches block cost brackets per function.
+	costs map[string][]march.BlockCost
+}
+
+// New builds an analyzer for the given root function.
+func New(prog *cfg.Program, root string, opts Options) (*Analyzer, error) {
+	if opts.MaxSets == 0 {
+		opts.MaxSets = DefaultOptions().MaxSets
+	}
+	if opts.MaxContexts == 0 {
+		opts.MaxContexts = DefaultOptions().MaxContexts
+	}
+	if opts.March.Cache.SizeBytes == 0 {
+		opts.March = march.DefaultOptions()
+	}
+	if _, err := prog.Reachable(root); err != nil {
+		return nil, err
+	}
+	a := &Analyzer{
+		Prog:      prog,
+		Root:      root,
+		Opts:      opts,
+		ctxByFunc: map[string][]*Context{},
+		ctxChild:  map[[2]int]*Context{},
+		vars:      map[varKey]int{},
+		costs:     map[string][]march.BlockCost{},
+	}
+	if err := a.expandContexts(root, nil); err != nil {
+		return nil, err
+	}
+	// Allocate block and edge variables for every context.
+	for _, c := range a.contexts {
+		fc := prog.Funcs[c.Func]
+		for b := range fc.Blocks {
+			a.vars[varKey{c.ID, vBlock, b}] = a.nVars
+			a.nVars++
+		}
+		for e := range fc.Edges {
+			a.vars[varKey{c.ID, vEdge, e}] = a.nVars
+			a.nVars++
+		}
+	}
+	for name := range prog.Funcs {
+		a.costs[name] = march.CostsOf(prog.Funcs[name], opts.March)
+	}
+	return a, nil
+}
+
+func (a *Analyzer) expandContexts(fn string, path []CallRef) error {
+	if len(a.contexts) >= a.Opts.MaxContexts {
+		return fmt.Errorf("ipet: context expansion exceeds %d", a.Opts.MaxContexts)
+	}
+	ctx := &Context{ID: len(a.contexts), Func: fn, Path: append([]CallRef{}, path...)}
+	a.contexts = append(a.contexts, ctx)
+	a.ctxByFunc[fn] = append(a.ctxByFunc[fn], ctx)
+	fc := a.Prog.Funcs[fn]
+	for _, eid := range fc.Calls {
+		callee := fc.Edges[eid].Callee
+		child := len(a.contexts)
+		if err := a.expandContexts(callee, append(path, CallRef{Caller: fn, EdgeID: eid})); err != nil {
+			return err
+		}
+		a.ctxChild[[2]int{ctx.ID, eid}] = a.contexts[child]
+	}
+	return nil
+}
+
+// Contexts returns all contexts, root first.
+func (a *Analyzer) Contexts() []*Context { return a.contexts }
+
+// NumVars returns the number of ILP variables in the structural model.
+func (a *Analyzer) NumVars() int { return a.nVars }
+
+// blockVar returns the ILP variable of block b in context ctx.
+func (a *Analyzer) blockVar(ctx, b int) int { return a.vars[varKey{ctx, vBlock, b}] }
+
+// edgeVar returns the ILP variable of edge e in context ctx.
+func (a *Analyzer) edgeVar(ctx, e int) int { return a.vars[varKey{ctx, vEdge, e}] }
+
+// Apply registers the functionality annotations (loop bounds and path
+// facts). Sections naming functions outside the call tree are rejected.
+func (a *Analyzer) Apply(file *constraint.File) error {
+	for _, sec := range file.Sections {
+		if _, ok := a.ctxByFunc[sec.Func]; !ok {
+			if _, exists := a.Prog.Funcs[sec.Func]; !exists {
+				return fmt.Errorf("ipet: annotations name unknown function %q", sec.Func)
+			}
+			// A section for an unreached function is legal but inert.
+			continue
+		}
+		fc := a.Prog.Funcs[sec.Func]
+		for _, lb := range sec.LoopBounds {
+			if lb.Loop > len(fc.Loops) {
+				return fmt.Errorf("ipet: %s has %d loops, annotation names loop %d", sec.Func, len(fc.Loops), lb.Loop)
+			}
+		}
+	}
+	a.annots = file
+	return nil
+}
+
+// MissingLoopBounds lists loops of reachable functions that have no bound
+// annotation — "the minimum user information required to perform timing
+// analysis is the loop bound information".
+func (a *Analyzer) MissingLoopBounds() []string {
+	var missing []string
+	names := make([]string, 0, len(a.ctxByFunc))
+	for name := range a.ctxByFunc {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fc := a.Prog.Funcs[name]
+		bounded := map[int]bool{}
+		if a.annots != nil {
+			if sec, ok := a.annots.Section(name); ok {
+				for _, lb := range sec.LoopBounds {
+					bounded[lb.Loop] = true
+				}
+			}
+		}
+		for i := range fc.Loops {
+			if !bounded[i+1] {
+				missing = append(missing, fmt.Sprintf("%s loop %d (header block x%d)", name, i+1, fc.Loops[i].Header+1))
+			}
+		}
+	}
+	return missing
+}

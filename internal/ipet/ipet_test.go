@@ -1,0 +1,397 @@
+package ipet
+
+import (
+	"strings"
+	"testing"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/cfg"
+	"cinderella/internal/constraint"
+	"cinderella/internal/eval"
+	"cinderella/internal/march"
+	"cinderella/internal/sim"
+)
+
+func analyzerFor(t *testing.T, src, root string) (*Analyzer, *asm.Executable, *cfg.Program) {
+	t.Helper()
+	exe, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	prog, err := cfg.Build(exe)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	an, err := New(prog, root, DefaultOptions())
+	if err != nil {
+		t.Fatalf("ipet.New: %v", err)
+	}
+	return an, exe, prog
+}
+
+func annotate(t *testing.T, an *Analyzer, annots string) {
+	t.Helper()
+	f, err := constraint.Parse(annots)
+	if err != nil {
+		t.Fatalf("annotations: %v", err)
+	}
+	if err := an.Apply(f); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+}
+
+func estimate(t *testing.T, an *Analyzer) *Estimate {
+	t.Helper()
+	est, err := an.Estimate()
+	if err != nil {
+		t.Fatalf("estimate: %v", err)
+	}
+	return est
+}
+
+// TestFig2IfThenElse reproduces the structural-constraint example of Fig. 2:
+// a diamond whose arms are mutually exclusive per execution.
+func TestFig2IfThenElse(t *testing.T) {
+	an, _, _ := analyzerFor(t, `
+main:
+        beq r1, r0, .Lelse   ; B1: if (p)
+        addi r2, r0, 1       ; B2: q = 1
+        jmp .Ljoin
+.Lelse:
+        addi r2, r0, 2       ; B3: q = 2
+.Ljoin:
+        add r3, r2, r0       ; B4: r = q
+        halt
+`, "main")
+	est := estimate(t, an)
+	counts := est.WCET.Counts["main"]
+	if counts[0] != 1 || counts[3] != 1 {
+		t.Fatalf("x1/x4 = %v, want 1", counts)
+	}
+	if counts[1]+counts[2] != 1 {
+		t.Fatalf("x2+x3 = %d, want 1 (counts %v)", counts[1]+counts[2], counts)
+	}
+	// The worst case takes the then arm (it carries the jmp penalty).
+	if counts[1] != 1 {
+		t.Fatalf("worst case should take the jmp arm: %v", counts)
+	}
+	// Best case takes the cheaper else arm.
+	bcounts := est.BCET.Counts["main"]
+	if bcounts[1] != 0 || bcounts[2] != 1 {
+		t.Fatalf("best-case counts: %v", bcounts)
+	}
+	if est.NumSets != 1 || est.SolvedSets != 1 {
+		t.Fatalf("sets: %+v", est)
+	}
+	if !est.AllRootIntegral {
+		t.Fatal("pure structural problem should solve at the root LP")
+	}
+}
+
+// TestFig3WhileLoop reproduces Fig. 3: a while loop whose bound comes from
+// a user annotation; the ILP scales the body count accordingly.
+func TestFig3WhileLoop(t *testing.T) {
+	src := `
+main:
+        add r2, r1, r0       ; B1: q = p
+.Lhead: slti r3, r2, 10     ; B2: while (q < 10)
+        beq r3, r0, .Lexit
+        addi r2, r2, 1       ; B3: q++
+        jmp .Lhead
+.Lexit: add r4, r2, r0       ; B4: r = q
+        halt
+`
+	an, _, _ := analyzerFor(t, src, "main")
+	annotate(t, an, "func main { loop 1: 0 .. 10 }\n")
+	est := estimate(t, an)
+	counts := est.WCET.Counts["main"]
+	// Worst case: body (B3) runs 10 times, header 11 times.
+	if counts[2] != 10 {
+		t.Fatalf("body count = %d, want 10 (counts %v)", counts[2], counts)
+	}
+	if counts[1] != 11 {
+		t.Fatalf("header count = %d, want 11", counts[1])
+	}
+	// Best case: zero iterations.
+	if est.BCET.Counts["main"][2] != 0 {
+		t.Fatalf("best-case body count = %d", est.BCET.Counts["main"][2])
+	}
+
+	// Without the annotation the ILP is unbounded and the error must name
+	// the loop.
+	an2, _, _ := analyzerFor(t, src, "main")
+	_, err := an2.Estimate()
+	if err == nil || !strings.Contains(err.Error(), "loop") {
+		t.Fatalf("err = %v", err)
+	}
+	if missing := an2.MissingLoopBounds(); len(missing) != 1 {
+		t.Fatalf("missing = %v", missing)
+	}
+}
+
+// TestFig4FunctionCalls reproduces Fig. 4: two calls to store() produce two
+// f-edges; the callee's counts follow d2 = f1 + f2 (eq. 12) — here realized
+// as one callee instance per call site summing to the aggregate.
+func TestFig4FunctionCalls(t *testing.T) {
+	an, _, _ := analyzerFor(t, `
+main:
+        addi r2, r0, 10      ; B1: i = 10; store(i)
+        call store
+        shli r2, r2, 1       ; B2: n = 2*i; store(n)
+        call store
+        halt
+store:
+        add r3, r2, r0
+        ret
+`, "main")
+	if len(an.Contexts()) != 3 { // main, store@f1, store@f2
+		t.Fatalf("contexts = %d: %v", len(an.Contexts()), an.Contexts())
+	}
+	est := estimate(t, an)
+	if got := est.WCET.Counts["store"][0]; got != 2 {
+		t.Fatalf("store executes %d times, want 2", got)
+	}
+	if got := est.BCET.Counts["store"][0]; got != 2 {
+		t.Fatalf("store best-case executes %d times, want 2", got)
+	}
+}
+
+// checkDataASM is the check_data routine of Fig. 5 written at the assembly
+// level with the paper's block structure. Block numbering (1-based):
+//
+//	x1 init, x2 while header, x3 data[i]<0 test, x4 then arm
+//	(wrongone=i; morecheck=0; extra work), x5 ++i test, x6 morecheck=0,
+//	x7 wrongone>=0 test, x8 return 1, x9 return 0.
+const checkDataASM = `
+check_data:
+        la   r10, data
+        addi r2, r0, 1        ; morecheck = 1
+        addi r3, r0, 0        ; i = 0
+        addi r4, r0, -1       ; wrongone = -1
+.Lwhile:
+        beq  r2, r0, .Ldone   ; x2: while (morecheck)
+        shli r5, r3, 2        ; x3: if (data[i] < 0)
+        add  r5, r10, r5
+        lw   r6, 0(r5)
+        bge  r6, r0, .Lelse
+        add  r4, r3, r0       ; x4: wrongone = i; morecheck = 0
+        addi r2, r0, 0
+        mul  r9, r3, r3
+        mul  r9, r9, r9
+        jmp  .Lwhile
+.Lelse:
+        addi r3, r3, 1        ; x5: if (++i >= DATASIZE)
+        slti r5, r3, 10
+        bne  r5, r0, .Lwhile
+        addi r2, r0, 0        ; x6: morecheck = 0
+        jmp  .Lwhile
+.Ldone:
+        bge  r4, r0, .Lret0   ; x7: if (wrongone >= 0)
+        addi r1, r0, 1        ; x8: return 1
+        ret
+.Lret0:
+        addi r1, r0, 0        ; x9: return 0
+        ret
+        .data
+data:   .space 40
+`
+
+// checkDataAnnots carries the paper's constraints (14)-(17) transcribed to
+// this block numbering: the loop bound 1..10, the mutual exclusion of the
+// two loop arms (eq. 16), and "line 6 and line 13 always execute together"
+// (eq. 17): here x4 = x9.
+const checkDataAnnots = `
+func check_data {
+    loop 1: 1 .. 10
+    (x4 = 0 & x6 = 1) | (x4 = 1 & x6 = 0)
+    x4 = x9
+}
+`
+
+// checkDataAnnotsTight adds one more path fact, following the paper's
+// "after that, the user can provide additional information so as to
+// tighten the estimated bound": the morecheck=0 arm (x6) executes only
+// after the ++i test has run DATASIZE times. Crossed with eq. (16) this
+// generates four sets of which two are trivially null and pruned.
+const checkDataAnnotsTight = `
+func check_data {
+    loop 1: 1 .. 10
+    (x4 = 0 & x6 = 1) | (x4 = 1 & x6 = 0)
+    x4 = x9
+    (x6 = 0 & x5 <= 10) | (x6 = 1 & x5 = 10)
+}
+`
+
+// TestFig5CheckData reproduces the running example: two functionality
+// constraint sets, solved exactly, with zero path pessimism against the
+// calculated bound (Table II row 1).
+func TestFig5CheckData(t *testing.T) {
+	an, exe, prog := analyzerFor(t, checkDataASM, "check_data")
+	fc := prog.Funcs["check_data"]
+	if len(fc.Blocks) != 9 {
+		t.Fatalf("blocks = %d, want the paper's 9:\n%s", len(fc.Blocks), fc)
+	}
+	annotate(t, an, checkDataAnnots)
+	est := estimate(t, an)
+	if est.NumSets != 2 {
+		t.Fatalf("sets = %d, want 2 (Table I row check_data)", est.NumSets)
+	}
+	if est.PrunedSets != 0 || est.SolvedSets != 2 {
+		t.Fatalf("pruned/solved = %d/%d", est.PrunedSets, est.SolvedSets)
+	}
+	if !est.AllRootIntegral {
+		t.Fatal("check_data ILPs should solve at the root LP")
+	}
+	_ = exe
+}
+
+// TestFig5CheckDataCalculated runs the full Experiment 1 comparison with
+// the tightened annotation set: zero path pessimism in both directions.
+func TestFig5CheckDataCalculated(t *testing.T) {
+	an, exe, prog := analyzerFor(t, checkDataASM, "check_data")
+	annotate(t, an, checkDataAnnotsTight)
+	est := estimate(t, an)
+	if est.NumSets != 4 || est.PrunedSets != 2 || est.SolvedSets != 2 {
+		t.Fatalf("sets generated/pruned/solved = %d/%d/%d, want 4/2/2",
+			est.NumSets, est.PrunedSets, est.SolvedSets)
+	}
+
+	dataAddr := exe.Symbols["data"]
+	set := func(vals [10]int32) eval.Setup {
+		return func(m *sim.Machine) error {
+			for i, v := range vals {
+				if err := m.WriteWord(dataAddr+uint32(4*i), v); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	var worstData, bestData [10]int32
+	for i := range worstData {
+		worstData[i] = 1
+	}
+	worstData[9] = -1 // 10 iterations, exit through the expensive arm
+	bestData[0] = -1  // 1 iteration
+
+	calc, err := eval.CalculatedBound(exe, prog, "check_data",
+		blockCostMap(an, prog), set(worstData), set(bestData), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The all-positive data set exits through the x6 arm; it may or may
+	// not beat the then-arm exit, so take the max of both candidates, as
+	// the paper's "careful study of the program" does.
+	var cleanData [10]int32
+	for i := range cleanData {
+		cleanData[i] = 1
+	}
+	counts2, err := eval.CountRun(exe, prog, "check_data", set(cleanData), sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt, err := eval.Calculated(counts2, blockCostMap(an, prog), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt > calc.Hi {
+		calc.Hi = alt
+	}
+
+	estBound := eval.Bound{Lo: est.BCET.Cycles, Hi: est.WCET.Cycles}
+	if !estBound.Encloses(calc) {
+		t.Fatalf("estimated %v does not enclose calculated %v", estBound, calc)
+	}
+	// Zero path pessimism: with the full constraints the analysis is exact.
+	if estBound.Hi != calc.Hi {
+		t.Fatalf("WCET pessimism: estimated %d vs calculated %d", estBound.Hi, calc.Hi)
+	}
+	if estBound.Lo != calc.Lo {
+		t.Fatalf("BCET pessimism: estimated %d vs calculated %d", estBound.Lo, calc.Lo)
+	}
+}
+
+// TestFig5ConstraintsTighten: dropping eq. (16)/(17) loosens the bound, as
+// the paper's "additional information ... to tighten the estimated bound"
+// narrative describes.
+func TestFig5ConstraintsTighten(t *testing.T) {
+	anLoose, _, _ := analyzerFor(t, checkDataASM, "check_data")
+	annotate(t, anLoose, "func check_data { loop 1: 1 .. 10 }\n")
+	loose := estimate(t, anLoose)
+
+	anTight, _, _ := analyzerFor(t, checkDataASM, "check_data")
+	annotate(t, anTight, checkDataAnnots)
+	tight := estimate(t, anTight)
+
+	if tight.WCET.Cycles >= loose.WCET.Cycles {
+		t.Fatalf("constraints did not tighten: tight %d vs loose %d",
+			tight.WCET.Cycles, loose.WCET.Cycles)
+	}
+	// The loose solution takes the expensive then-arm every iteration.
+	if loose.WCET.Counts["check_data"][3] != 10 {
+		t.Fatalf("loose x4 = %d, want 10", loose.WCET.Counts["check_data"][3])
+	}
+	// The tight solution takes it at most once.
+	if tight.WCET.Counts["check_data"][3] > 1 {
+		t.Fatalf("tight x4 = %d, want <= 1", tight.WCET.Counts["check_data"][3])
+	}
+}
+
+// TestFig6CallerContext reproduces eq. (18): clear_data executes only when
+// check_data (called at f1) returns 0 — expressed with a context-qualified
+// variable.
+func TestFig6CallerContext(t *testing.T) {
+	src := checkDataASM + `
+        .text
+task:
+        call check_data       ; B1: status = check_data()  [f1]
+        bne  r1, r0, .Lskip   ; B2: if (!status)
+        call clear_data       ; B3: clear_data()           [f2]
+.Lskip:
+        halt                  ; B4
+clear_data:
+        la   r10, data
+        addi r3, r0, 0
+.Lclr:  shli r5, r3, 2
+        add  r5, r10, r5
+        sw   r0, 0(r5)
+        addi r3, r3, 1
+        slti r5, r3, 10
+        bne  r5, r0, .Lclr
+        ret
+`
+	an, _, _ := analyzerFor(t, src, "task")
+	// check_data's x9 (return 0) happens iff wrongone >= 0; clear_data
+	// (task x3) executes exactly when that instance returned 0.
+	annotate(t, an, checkDataAnnots+`
+func task {
+    x3 = check_data.x9 @ f1
+}
+func clear_data {
+    loop 1: 10 .. 10
+}
+`)
+	est := estimate(t, an)
+	// In the worst case clear_data runs, so check_data's return-0 block
+	// must be taken in the f1 instance.
+	if est.WCET.Counts["task"][2] != 1 {
+		t.Fatalf("task x3 = %d (counts %v)", est.WCET.Counts["task"][2], est.WCET.Counts["task"])
+	}
+	if est.WCET.Counts["check_data"][8] != 1 {
+		t.Fatalf("check_data x9 = %d", est.WCET.Counts["check_data"][8])
+	}
+	// Best case: check_data returns 1 and clear_data never runs.
+	if est.BCET.Counts["clear_data"][0] != 0 {
+		t.Fatalf("best-case clear_data ran: %v", est.BCET.Counts["clear_data"])
+	}
+}
+
+// blockCostMap adapts analyzer costs for the eval package.
+func blockCostMap(an *Analyzer, prog *cfg.Program) map[string][]march.BlockCost {
+	out := map[string][]march.BlockCost{}
+	for name := range prog.Funcs {
+		out[name] = an.BlockCosts(name)
+	}
+	return out
+}

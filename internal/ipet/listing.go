@@ -1,0 +1,55 @@
+package ipet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// AnnotatedListing renders the variable numbering of every reachable
+// function — cinderella's annotated-source view (Section V), adapted to the
+// assembly level: for each function it lists the basic blocks with their
+// x-variables, address ranges and cost brackets, the edges with their
+// d-variables, the call sites with their f-variables, and the loops
+// awaiting bound annotations.
+func (a *Analyzer) AnnotatedListing() string {
+	var b strings.Builder
+	names := make([]string, 0, len(a.ctxByFunc))
+	for name := range a.ctxByFunc {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fc := a.Prog.Funcs[name]
+		costs := a.costs[name]
+		fmt.Fprintf(&b, "func %s  (%d instance", name, len(a.ctxByFunc[name]))
+		if len(a.ctxByFunc[name]) != 1 {
+			b.WriteString("s")
+		}
+		b.WriteString(")\n")
+		for _, blk := range fc.Blocks {
+			fmt.Fprintf(&b, "  x%-3d [%#06x,%#06x)  %2d instrs  cost [%d,%d]",
+				blk.Index+1, blk.Start, blk.End, blk.NumInstrs(), costs[blk.Index].Best, costs[blk.Index].Worst)
+			if blk.FirstLine > 0 {
+				fmt.Fprintf(&b, "  asm lines %d-%d", blk.FirstLine, blk.LastLine)
+			}
+			b.WriteString("\n")
+		}
+		for _, e := range fc.Edges {
+			fmt.Fprintf(&b, "  d%-3d B%d -> B%d (%s)", e.ID+1, e.From+1, e.To+1, e.Kind)
+			if e.Callee != "" {
+				fmt.Fprintf(&b, " -> %s", e.Callee)
+			}
+			b.WriteString("\n")
+		}
+		for i, eid := range fc.Calls {
+			fmt.Fprintf(&b, "  f%-3d = d%d, calls %s\n", i+1, eid+1, fc.Edges[eid].Callee)
+		}
+		for i, l := range fc.Loops {
+			fmt.Fprintf(&b, "  loop %d: header x%d, %d blocks — annotate with \"loop %d: <lo> .. <hi>\"\n",
+				i+1, l.Header+1, len(l.Blocks), i+1)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

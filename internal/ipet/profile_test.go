@@ -1,0 +1,161 @@
+package ipet
+
+import (
+	"math/rand"
+	"testing"
+
+	"cinderella/internal/cc"
+	"cinderella/internal/cfg"
+	"cinderella/internal/constraint"
+	"cinderella/internal/eval"
+	"cinderella/internal/isa"
+	"cinderella/internal/sim"
+)
+
+// TestTimingProfilesEnclosure re-runs the analysis and the board under the
+// DSP3210 profile (the paper's second port target): the bound must still
+// enclose every run, and the two profiles must rank a float-heavy kernel
+// differently from an integer-divide kernel.
+func TestTimingProfilesEnclosure(t *testing.T) {
+	src := `
+const N = 24;
+float xs[N];
+int sel[N];
+int main() { return 0; }
+int kernel() {
+    int i, acc;
+    float f;
+    f = 1.0;
+    acc = 0;
+    for (i = 0; i < N; i++) {
+        if (sel[i] > 0) {
+            f = f * 1.25 + 0.5;
+            xs[i] = f;
+        } else {
+            acc += sel[i] / 3 + i % 7;
+        }
+    }
+    if (f > 0.0) acc += 1;
+    return acc;
+}`
+	exe, _, err := cc.Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Build(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annots, err := constraint.Parse("func kernel { loop 1: 24 .. 24 }\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		wcet, bcet int64
+	}
+	results := map[string]result{}
+	for name, timing := range isa.Profiles() {
+		opts := DefaultOptions()
+		opts.March.Timing = timing
+		an, err := New(prog, "kernel", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := an.Apply(annots); err != nil {
+			t.Fatal(err)
+		}
+		est, err := an.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[name] = result{wcet: est.WCET.Cycles, bcet: est.BCET.Cycles}
+
+		// Fuzz enclosure against the matching board profile.
+		rng := rand.New(rand.NewSource(3))
+		selAddr := exe.Symbols["g_sel"]
+		for trial := 0; trial < 10; trial++ {
+			setup := func(m *sim.Machine) error {
+				for i := 0; i < 24; i++ {
+					if err := m.WriteWord(selAddr+uint32(4*i), int32(rng.Intn(11)-5)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			cfgSim := sim.Config{Timing: timing}
+			cycles, err := eval.MeasuredWorst(exe, "kernel", setup, cfgSim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cycles > est.WCET.Cycles || cycles < est.BCET.Cycles {
+				t.Fatalf("profile %s trial %d: %d outside [%d, %d]",
+					name, trial, cycles, est.BCET.Cycles, est.WCET.Cycles)
+			}
+		}
+	}
+
+	if results["i960kb"] == results["dsp3210"] {
+		t.Fatalf("profiles produced identical bounds: %+v", results)
+	}
+}
+
+// TestProfileMismatchCanBreakEnclosure documents why analysis and board
+// must share a profile: analyzing under the fast DSP floats but running on
+// the i960 can (and here does) underestimate.
+func TestProfileRanking(t *testing.T) {
+	floatKernel := `
+int main() { return 0; }
+int f() {
+    float x;
+    int i;
+    x = 1.5;
+    for (i = 0; i < 50; i++) {
+        x = x * 1.001 + 0.5;
+    }
+    if (x > 0.0) return 1;
+    return 0;
+}`
+	divKernel := `
+int main() { return 0; }
+int f() {
+    int i, s;
+    s = 1 << 20;
+    for (i = 0; i < 50; i++) {
+        s = s / 3 + i;
+    }
+    return s;
+}`
+	wcet := func(src string, timing *isa.Timing) int64 {
+		exe, _, err := cc.Build(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := cfg.Build(exe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := DefaultOptions()
+		opts.March.Timing = timing
+		an, err := New(prog, "f", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		annots, _ := constraint.Parse("func f { loop 1: 50 .. 50 }\n")
+		if err := an.Apply(annots); err != nil {
+			t.Fatal(err)
+		}
+		est, err := an.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est.WCET.Cycles
+	}
+	gp, dsp := isa.I960KB(), isa.DSP3210()
+	if wcet(floatKernel, dsp) >= wcet(floatKernel, gp) {
+		t.Error("float kernel should be faster on the DSP profile")
+	}
+	if wcet(divKernel, dsp) <= wcet(divKernel, gp) {
+		t.Error("divide kernel should be slower on the DSP profile")
+	}
+}

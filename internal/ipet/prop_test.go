@@ -1,0 +1,285 @@
+package ipet
+
+import (
+	"math/rand"
+	"testing"
+
+	"cinderella/internal/cc"
+	"cinderella/internal/cfg"
+	"cinderella/internal/constraint"
+	"cinderella/internal/eval"
+	"cinderella/internal/sim"
+)
+
+// TestEnclosureFuzz is the Fig. 1 invariant, fuzz-tested end to end: for a
+// compiled program with data-dependent control flow, the estimated bound
+// [BCET, WCET] encloses the cycles of every concrete run, and the
+// Experiment 1 calculated bound likewise falls inside the estimate.
+func TestEnclosureFuzz(t *testing.T) {
+	src := `
+const N = 16;
+int input[N];
+int scratch[N];
+int main() { return 0; }
+int helper(int v) {
+    if (v % 2 == 0) return v * 3;
+    return v + 7;
+}
+int work() {
+    int i, j, acc;
+    acc = 0;
+    for (i = 0; i < N; i++) {
+        if (input[i] < 0) {
+            scratch[i] = helper(input[i]);
+        } else {
+            for (j = 0; j < 4; j++) {
+                acc += input[i] >> j;
+            }
+            scratch[i] = acc;
+        }
+        if (acc > 100000) break;
+    }
+    for (i = 0; i < N; i++) acc += scratch[i];
+    return acc;
+}`
+	exe, _, err := cc.Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Build(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := New(prog, "work", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count the loops the compiler produced and bound them generously.
+	fc := prog.Funcs["work"]
+	annots := "func work {\n"
+	for i := range fc.Loops {
+		annots += "  loop " + itoa(i+1) + ": 0 .. 16\n"
+	}
+	annots += "}\n"
+	file, err := constraint.Parse(annots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := an.Apply(file); err != nil {
+		t.Fatal(err)
+	}
+	est, err := an.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.BCET.Cycles <= 0 || est.WCET.Cycles <= est.BCET.Cycles {
+		t.Fatalf("degenerate estimate: [%d, %d]", est.BCET.Cycles, est.WCET.Cycles)
+	}
+
+	inputAddr := exe.Symbols["g_input"]
+	costs := blockCostMap(an, prog)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		vals := make([]int32, 16)
+		for i := range vals {
+			vals[i] = int32(rng.Intn(2001) - 1000)
+		}
+		setup := func(m *sim.Machine) error {
+			for i, v := range vals {
+				if err := m.WriteWord(inputAddr+uint32(4*i), v); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// Cold measured run must fall inside the estimate.
+		cycles, err := eval.MeasuredWorst(exe, "work", setup, sim.Config{})
+		if err != nil {
+			t.Fatalf("trial %d: %v (input %v)", trial, err, vals)
+		}
+		if cycles < est.BCET.Cycles || cycles > est.WCET.Cycles {
+			t.Fatalf("trial %d: measured %d outside estimate [%d, %d] (input %v)",
+				trial, cycles, est.BCET.Cycles, est.WCET.Cycles, vals)
+		}
+		// Warm run too.
+		warm, err := eval.MeasuredBest(exe, "work", setup, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm < est.BCET.Cycles || warm > est.WCET.Cycles {
+			t.Fatalf("trial %d: warm %d outside estimate [%d, %d]",
+				trial, warm, est.BCET.Cycles, est.WCET.Cycles)
+		}
+		// Calculated bound (counted run x cost bracket) is enclosed too.
+		counts, err := eval.CountRun(exe, prog, "work", setup, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := eval.Calculated(counts, costs, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, err := eval.Calculated(counts, costs, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hi > est.WCET.Cycles {
+			t.Fatalf("trial %d: calculated worst %d exceeds WCET %d", trial, hi, est.WCET.Cycles)
+		}
+		if lo < est.BCET.Cycles {
+			t.Fatalf("trial %d: calculated best %d below BCET %d", trial, lo, est.BCET.Cycles)
+		}
+		// Calculated-lo uses all-hit costs, calculated-hi all-miss costs:
+		// a concrete run with the same input lies between them.
+		if lo > cycles {
+			t.Fatalf("trial %d: calculated best %d above measured %d", trial, lo, cycles)
+		}
+		if hi < cycles {
+			t.Fatalf("trial %d: calculated worst %d below measured %d", trial, hi, cycles)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// TestSplitFirstIteration verifies the Section IV refinement: treating the
+// first loop iteration separately tightens the WCET of a cache-resident
+// loop while still enclosing the measured cold run.
+func TestSplitFirstIteration(t *testing.T) {
+	src := `
+int sink;
+int main() { return 0; }
+int spin() {
+    int i, s;
+    s = 0;
+    for (i = 0; i < 100; i++) {
+        s += i * 3 + (i & 7);
+    }
+    sink = s;
+    return s;
+}`
+	exe, _, err := cc.Build(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Build(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annots := "func spin { loop 1: 100 .. 100 }\n"
+	file, err := constraint.Parse(annots)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(split bool) int64 {
+		opts := DefaultOptions()
+		opts.SplitFirstIteration = split
+		an, err := New(prog, "spin", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := an.Apply(file); err != nil {
+			t.Fatal(err)
+		}
+		est, err := an.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est.WCET.Cycles
+	}
+
+	noSplit := run(false)
+	withSplit := run(true)
+	if withSplit >= noSplit {
+		t.Fatalf("split did not tighten: %d vs %d", withSplit, noSplit)
+	}
+	measured, err := eval.MeasuredWorst(exe, "spin", nil, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if measured > withSplit {
+		t.Fatalf("split WCET %d below measured %d (unsound)", withSplit, measured)
+	}
+	// The refinement removes most of the all-miss pessimism: the split
+	// bound should be much closer to the measurement.
+	gapSplit := float64(withSplit-measured) / float64(measured)
+	gapNoSplit := float64(noSplit-measured) / float64(measured)
+	if gapSplit > gapNoSplit/2 {
+		t.Fatalf("split gap %.2f not much tighter than %.2f", gapSplit, gapNoSplit)
+	}
+}
+
+// TestBCETWCETOrdering: for a selection of programs, BCET <= WCET always
+// holds and both are positive.
+func TestBCETWCETOrdering(t *testing.T) {
+	srcs := []string{
+		`int main() { return 3; }`,
+		`int main() { int i, s; s = 0; for (i = 0; i < 5; i++) s += i; return s; }`,
+		`int f(int x) { return x * 2; } int main() { return f(4) + f(5); }`,
+	}
+	for i, src := range srcs {
+		exe, _, err := cc.Build(src)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		prog, err := cfg.Build(exe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, err := New(prog, "main", DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var annots string
+		if len(prog.Funcs["main"].Loops) > 0 {
+			annots = "func main { loop 1: 5 .. 5 }\n"
+		}
+		if annots != "" {
+			file, err := constraint.Parse(annots)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := an.Apply(file); err != nil {
+				t.Fatal(err)
+			}
+		}
+		est, err := an.Estimate()
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if est.BCET.Cycles <= 0 || est.BCET.Cycles > est.WCET.Cycles {
+			t.Fatalf("case %d: bad bound [%d, %d]", i, est.BCET.Cycles, est.WCET.Cycles)
+		}
+	}
+}
+
+// TestAnnotatedListing smoke-checks the Section V annotated view.
+func TestAnnotatedListing(t *testing.T) {
+	an, _, _ := analyzerFor(t, checkDataASM, "check_data")
+	listing := an.AnnotatedListing()
+	for _, want := range []string{"func check_data", "x1", "d1", "loop 1: header x2", "cost ["} {
+		if !containsStr(listing, want) {
+			t.Errorf("listing missing %q:\n%s", want, listing)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

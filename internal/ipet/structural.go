@@ -1,0 +1,192 @@
+package ipet
+
+import (
+	"fmt"
+
+	"cinderella/internal/constraint"
+	"cinderella/internal/ilp"
+)
+
+// StructuralConstraints derives the flow equations of Section III.B
+// automatically from the CFGs: at each block the execution count equals
+// both the sum of incoming and the sum of outgoing edge counts; the
+// analysis root's entry edge is traversed exactly once (eq. 13); and each
+// callee instance's entry edge equals its call-site f-variable (eq. 12,
+// specialized per context).
+func (a *Analyzer) StructuralConstraints() []ilp.Constraint {
+	var out []ilp.Constraint
+	for _, ctx := range a.contexts {
+		fc := a.Prog.Funcs[ctx.Func]
+		for _, b := range fc.Blocks {
+			inC := ilp.Constraint{
+				Coeffs: map[int]float64{a.blockVar(ctx.ID, b.Index): 1},
+				Rel:    ilp.EQ,
+				Name:   fmt.Sprintf("%s: x%d = sum(in)", ctx, b.Index+1),
+			}
+			for _, e := range b.In {
+				inC.Coeffs[a.edgeVar(ctx.ID, e)] -= 1
+			}
+			out = append(out, inC)
+
+			outC := ilp.Constraint{
+				Coeffs: map[int]float64{a.blockVar(ctx.ID, b.Index): 1},
+				Rel:    ilp.EQ,
+				Name:   fmt.Sprintf("%s: x%d = sum(out)", ctx, b.Index+1),
+			}
+			for _, e := range b.Out {
+				outC.Coeffs[a.edgeVar(ctx.ID, e)] -= 1
+			}
+			out = append(out, outC)
+		}
+		// Link call edges to callee instances: d_entry(callee@site) = f_site.
+		for _, eid := range fc.Calls {
+			child := a.ctxChild[[2]int{ctx.ID, eid}]
+			childFC := a.Prog.Funcs[child.Func]
+			out = append(out, ilp.Constraint{
+				Coeffs: map[int]float64{
+					a.edgeVar(child.ID, childFC.EntryEdge): 1,
+					a.edgeVar(ctx.ID, eid):                 -1,
+				},
+				Rel:  ilp.EQ,
+				Name: fmt.Sprintf("%s entry = %s:f-edge d%d", child, ctx, eid+1),
+			})
+		}
+	}
+	// The program is executed once: d1 = 1 for the root (eq. 13).
+	rootFC := a.Prog.Funcs[a.Root]
+	out = append(out, ilp.Constraint{
+		Coeffs: map[int]float64{a.edgeVar(0, rootFC.EntryEdge): 1},
+		Rel:    ilp.EQ,
+		RHS:    1,
+		Name:   fmt.Sprintf("%s: d%d = 1", a.Root, rootFC.EntryEdge+1),
+	})
+	return out
+}
+
+// LoopBoundConstraints materializes the loop annotations per context: a
+// bound [lo, hi] states that the loop iterates (traverses a back edge)
+// between lo and hi times per entry into the loop — the paper's
+// "1 x1 <= x2 <= 10 x1" with the values the user supplies ("all the user
+// has to provide are the values 1 and 10"), generalized to arbitrary
+// entry- and back-edge sets:
+//
+//	lo * sum(entry edges) <= sum(back edges) <= hi * sum(entry edges)
+func (a *Analyzer) LoopBoundConstraints() []ilp.Constraint {
+	if a.annots == nil {
+		return nil
+	}
+	var out []ilp.Constraint
+	for _, ctx := range a.contexts {
+		sec, ok := a.annots.Section(ctx.Func)
+		if !ok {
+			continue
+		}
+		fc := a.Prog.Funcs[ctx.Func]
+		for _, lb := range sec.LoopBounds {
+			loop := fc.Loops[lb.Loop-1]
+			upper := ilp.Constraint{
+				Coeffs: map[int]float64{},
+				Rel:    ilp.LE,
+				Name:   fmt.Sprintf("%s: loop %d upper %d", ctx, lb.Loop, lb.Hi),
+			}
+			lower := ilp.Constraint{
+				Coeffs: map[int]float64{},
+				Rel:    ilp.GE,
+				Name:   fmt.Sprintf("%s: loop %d lower %d", ctx, lb.Loop, lb.Lo),
+			}
+			for _, e := range loop.BackEdges {
+				upper.Coeffs[a.edgeVar(ctx.ID, e)] += 1
+				lower.Coeffs[a.edgeVar(ctx.ID, e)] += 1
+			}
+			for _, e := range loop.EntryEdges {
+				upper.Coeffs[a.edgeVar(ctx.ID, e)] -= float64(lb.Hi)
+				lower.Coeffs[a.edgeVar(ctx.ID, e)] -= float64(lb.Lo)
+			}
+			out = append(out, upper, lower)
+		}
+	}
+	return out
+}
+
+// resolveVar expands a symbolic constraint variable into ILP terms,
+// multiplying each context instance by coef.
+func (a *Analyzer) resolveVar(v constraint.Var, coef float64, into map[int]float64) error {
+	ctxs := a.ctxByFunc[v.Func]
+	if len(ctxs) == 0 {
+		return fmt.Errorf("ipet: constraint names %q, which is not in the call tree of %s", v.Func, a.Root)
+	}
+	fc := a.Prog.Funcs[v.Func]
+
+	// Filter to the requested call-site context, if any (eq. 18).
+	if v.CallSite != 0 {
+		callerFC, ok := a.Prog.Funcs[v.CallSiteFunc]
+		if !ok {
+			return fmt.Errorf("ipet: constraint names unknown caller %q", v.CallSiteFunc)
+		}
+		if v.CallSite > len(callerFC.Calls) {
+			return fmt.Errorf("ipet: %s has %d call sites, constraint names f%d", v.CallSiteFunc, len(callerFC.Calls), v.CallSite)
+		}
+		edge := callerFC.Calls[v.CallSite-1]
+		if callerFC.Edges[edge].Callee != v.Func {
+			return fmt.Errorf("ipet: %s.f%d calls %s, not %s", v.CallSiteFunc, v.CallSite, callerFC.Edges[edge].Callee, v.Func)
+		}
+		var filtered []*Context
+		for _, c := range ctxs {
+			if len(c.Path) == 0 {
+				continue
+			}
+			last := c.Path[len(c.Path)-1]
+			if last.Caller == v.CallSiteFunc && last.EdgeID == edge {
+				filtered = append(filtered, c)
+			}
+		}
+		if len(filtered) == 0 {
+			return fmt.Errorf("ipet: no instance of %s reached via %s.f%d", v.Func, v.CallSiteFunc, v.CallSite)
+		}
+		ctxs = filtered
+	}
+
+	switch v.Kind {
+	case constraint.VarBlock:
+		if v.Index > len(fc.Blocks) {
+			return fmt.Errorf("ipet: %s has %d blocks, constraint names x%d", v.Func, len(fc.Blocks), v.Index)
+		}
+		for _, c := range ctxs {
+			into[a.blockVar(c.ID, v.Index-1)] += coef
+		}
+	case constraint.VarEdge:
+		if v.Index > len(fc.Edges) {
+			return fmt.Errorf("ipet: %s has %d edges, constraint names d%d", v.Func, len(fc.Edges), v.Index)
+		}
+		for _, c := range ctxs {
+			into[a.edgeVar(c.ID, v.Index-1)] += coef
+		}
+	case constraint.VarCall:
+		if v.Index > len(fc.Calls) {
+			return fmt.Errorf("ipet: %s has %d call sites, constraint names f%d", v.Func, len(fc.Calls), v.Index)
+		}
+		for _, c := range ctxs {
+			into[a.edgeVar(c.ID, fc.Calls[v.Index-1])] += coef
+		}
+	}
+	return nil
+}
+
+// relToILP converts a normalized constraint relation to an ILP constraint.
+func (a *Analyzer) relToILP(r constraint.Rel) (ilp.Constraint, error) {
+	c := ilp.Constraint{Coeffs: map[int]float64{}, RHS: float64(r.RHS), Name: r.String()}
+	switch r.Op {
+	case constraint.OpEQ:
+		c.Rel = ilp.EQ
+	case constraint.OpLE:
+		c.Rel = ilp.LE
+	case constraint.OpGE:
+		c.Rel = ilp.GE
+	}
+	for v, coef := range r.Terms {
+		if err := a.resolveVar(v, float64(coef), c.Coeffs); err != nil {
+			return c, err
+		}
+	}
+	return c, nil
+}

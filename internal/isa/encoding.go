@@ -1,0 +1,86 @@
+package isa
+
+import "fmt"
+
+// Instruction word layout:
+//
+//	bits 31..24  opcode
+//	format R:    rd[23:20] rs1[19:16] rs2[15:12]
+//	format I:    rd[23:20] rs1[19:16] imm16[15:0]   (imm sign-extended)
+//	format B:    rs1[23:20] rs2[19:16] imm16[15:0]  (signed word offset from pc+4)
+//	format J:    imm24[23:0]                        (absolute word address)
+
+// Encode packs an instruction into its 32-bit machine word. It returns an
+// error when an operand does not fit its field, so the assembler can report
+// range problems at assembly time rather than producing corrupt images.
+func Encode(ins Instruction) (uint32, error) {
+	if !ins.Op.Valid() {
+		return 0, fmt.Errorf("isa: encode: invalid opcode %d", ins.Op)
+	}
+	if ins.Rd >= NumIntRegs || ins.Rs1 >= NumIntRegs || ins.Rs2 >= NumIntRegs {
+		return 0, fmt.Errorf("isa: encode %s: register field out of range", ins.Op)
+	}
+	w := uint32(ins.Op) << 24
+	info := InfoFor(ins.Op)
+	switch info.Format {
+	case FmtNone:
+		return w, nil
+	case FmtR:
+		w |= uint32(ins.Rd)<<20 | uint32(ins.Rs1)<<16 | uint32(ins.Rs2)<<12
+		return w, nil
+	case FmtI:
+		if ins.Imm < -(1<<15) || ins.Imm >= 1<<15 {
+			return 0, fmt.Errorf("isa: encode %s: immediate %d out of 16-bit range", ins.Op, ins.Imm)
+		}
+		w |= uint32(ins.Rd)<<20 | uint32(ins.Rs1)<<16 | uint32(uint16(ins.Imm))
+		return w, nil
+	case FmtB:
+		if ins.Imm < -(1<<15) || ins.Imm >= 1<<15 {
+			return 0, fmt.Errorf("isa: encode %s: branch offset %d out of 16-bit range", ins.Op, ins.Imm)
+		}
+		w |= uint32(ins.Rs1)<<20 | uint32(ins.Rs2)<<16 | uint32(uint16(ins.Imm))
+		return w, nil
+	case FmtJ:
+		if ins.Imm < 0 || ins.Imm >= 1<<24 {
+			return 0, fmt.Errorf("isa: encode %s: target word %d out of 24-bit range", ins.Op, ins.Imm)
+		}
+		w |= uint32(ins.Imm) & 0xffffff
+		return w, nil
+	}
+	return 0, fmt.Errorf("isa: encode %s: unknown format", ins.Op)
+}
+
+// Decode unpacks a 32-bit machine word into an instruction.
+func Decode(w uint32) (Instruction, error) {
+	op := Opcode(w >> 24)
+	if !op.Valid() {
+		return Instruction{}, fmt.Errorf("isa: decode: invalid opcode byte %#x", w>>24)
+	}
+	ins := Instruction{Op: op}
+	switch InfoFor(op).Format {
+	case FmtNone:
+	case FmtR:
+		ins.Rd = uint8(w >> 20 & 0xf)
+		ins.Rs1 = uint8(w >> 16 & 0xf)
+		ins.Rs2 = uint8(w >> 12 & 0xf)
+	case FmtI:
+		ins.Rd = uint8(w >> 20 & 0xf)
+		ins.Rs1 = uint8(w >> 16 & 0xf)
+		ins.Imm = int32(int16(uint16(w & 0xffff)))
+	case FmtB:
+		ins.Rs1 = uint8(w >> 20 & 0xf)
+		ins.Rs2 = uint8(w >> 16 & 0xf)
+		ins.Imm = int32(int16(uint16(w & 0xffff)))
+	case FmtJ:
+		ins.Imm = int32(w & 0xffffff)
+	}
+	return ins, nil
+}
+
+// IsBlockTerminator reports whether the instruction ends a basic block in
+// the sense of the paper's CFG construction: branches, jumps, calls (which
+// carry f-edges to the callee CFG) and halt all terminate blocks.
+func IsBlockTerminator(op Opcode) bool {
+	info := InfoFor(op)
+	return info.Branch || info.Jump || op == OpHalt
+}

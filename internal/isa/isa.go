@@ -1,0 +1,312 @@
+// Package isa defines CR32, a synthetic 32-bit RISC instruction set with the
+// micro-architectural traits of the Intel i960KB targeted by the paper: a
+// small fixed-width instruction encoding, a four-stage pipeline timing model,
+// an on-chip floating point unit, and a 512-byte direct-mapped instruction
+// cache (modelled in package cache).
+//
+// CR32 stands in for the i960KB: the timing analysis in package ipet operates
+// on assembly-level control flow graphs, so any RISC ISA with branches, calls
+// and memory operations exercises the identical analysis code path.
+package isa
+
+import "fmt"
+
+// Word is the machine word: 32 bits, also the fixed instruction width.
+const WordBytes = 4
+
+// Register file sizes.
+const (
+	NumIntRegs   = 16
+	NumFloatRegs = 16
+)
+
+// Conventional register assignments used by the assembler and compiler.
+const (
+	RegZero = 0  // r0: hardwired to zero
+	RegRV   = 1  // r1: integer return value
+	RegFP   = 13 // r13: frame pointer
+	RegLR   = 14 // r14: link register (written by CALL)
+	RegSP   = 15 // r15: stack pointer
+)
+
+// FRegRV is the floating-point return value register (f1).
+const FRegRV = 1
+
+// Opcode identifies a CR32 machine operation.
+type Opcode uint8
+
+// Instruction opcodes. The numeric values are the encoded opcode byte and
+// must remain stable: executables store them.
+const (
+	OpNop Opcode = iota
+	OpHalt
+
+	// Integer register-register ALU (format R): rd <- rs1 op rs2.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr // logical right shift
+	OpSra // arithmetic right shift
+	OpSlt // rd = (rs1 < rs2) signed
+	OpSltu
+
+	// Integer immediate ALU (format I): rd <- rs1 op signext(imm16).
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpShli
+	OpShri
+	OpSrai
+	OpSlti
+	OpLui // rd <- imm16 << 16
+
+	// Memory (format I): address = rs1 + signext(imm16).
+	OpLw // rd <- mem32[addr]
+	OpSw // mem32[addr] <- rd
+	OpLb // rd <- signext(mem8[addr])
+	OpLbu
+	OpSb  // mem8[addr] <- rd & 0xff
+	OpFld // fd <- mem64[addr] (float64)
+	OpFst // mem64[addr] <- fd
+
+	// Control (format B: pc-relative word offset; format J: absolute word).
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpBgeu
+	OpJmp  // format J: absolute jump
+	OpCall // format J: lr <- pc+4; jump absolute
+	OpJr   // format R: jump to rs1 (used for returns)
+
+	// Floating point (register fields address the float register file).
+	OpFadd
+	OpFsub
+	OpFmul
+	OpFdiv
+	OpFneg
+	OpFabs
+	OpFsqrt
+	OpFsin
+	OpFcos
+	OpFatan
+	OpFexp
+	OpFlog
+	OpFmov
+	OpFcvtIF // fd <- float64(rs1): rs1 is an integer register
+	OpFcvtFI // rd <- int32(trunc(fs1)): rd is an integer register
+	OpFeq    // rd <- (fs1 == fs2), rd integer
+	OpFlt    // rd <- (fs1 <  fs2)
+	OpFle    // rd <- (fs1 <= fs2)
+
+	numOpcodes
+)
+
+// Format describes how an instruction's operand fields are laid out.
+type Format uint8
+
+const (
+	FmtNone Format = iota // no operands (NOP, HALT)
+	FmtR                  // rd, rs1, rs2
+	FmtI                  // rd, rs1, imm16
+	FmtB                  // rs1, rs2, imm16 (pc-relative word offset)
+	FmtJ                  // imm24 (absolute word address)
+)
+
+// Info is the static description of an opcode.
+type Info struct {
+	Name   string
+	Format Format
+	// ExecCycles is the execute-stage latency in cycles, excluding
+	// instruction fetch, branch penalties and hazard stalls. This mirrors
+	// the per-instruction tables of the i960KB programmer's reference the
+	// paper reads block costs from.
+	ExecCycles int
+	// Load reports that the instruction writes a register from memory
+	// (source of load-use hazards).
+	Load bool
+	// Store reports that the instruction writes memory.
+	Store bool
+	// Branch reports conditional control transfer (format B).
+	Branch bool
+	// Jump reports unconditional control transfer (JMP, CALL, JR).
+	Jump bool
+	// FloatDst and FloatSrc report which register file the fields address.
+	FloatDst bool
+	FloatSrc bool
+}
+
+var infos = [numOpcodes]Info{
+	OpNop:  {Name: "nop", Format: FmtNone, ExecCycles: 1},
+	OpHalt: {Name: "halt", Format: FmtNone, ExecCycles: 1},
+
+	OpAdd:  {Name: "add", Format: FmtR, ExecCycles: 1},
+	OpSub:  {Name: "sub", Format: FmtR, ExecCycles: 1},
+	OpMul:  {Name: "mul", Format: FmtR, ExecCycles: 5},
+	OpDiv:  {Name: "div", Format: FmtR, ExecCycles: 20},
+	OpRem:  {Name: "rem", Format: FmtR, ExecCycles: 20},
+	OpAnd:  {Name: "and", Format: FmtR, ExecCycles: 1},
+	OpOr:   {Name: "or", Format: FmtR, ExecCycles: 1},
+	OpXor:  {Name: "xor", Format: FmtR, ExecCycles: 1},
+	OpShl:  {Name: "shl", Format: FmtR, ExecCycles: 1},
+	OpShr:  {Name: "shr", Format: FmtR, ExecCycles: 1},
+	OpSra:  {Name: "sra", Format: FmtR, ExecCycles: 1},
+	OpSlt:  {Name: "slt", Format: FmtR, ExecCycles: 1},
+	OpSltu: {Name: "sltu", Format: FmtR, ExecCycles: 1},
+
+	OpAddi: {Name: "addi", Format: FmtI, ExecCycles: 1},
+	OpAndi: {Name: "andi", Format: FmtI, ExecCycles: 1},
+	OpOri:  {Name: "ori", Format: FmtI, ExecCycles: 1},
+	OpXori: {Name: "xori", Format: FmtI, ExecCycles: 1},
+	OpShli: {Name: "shli", Format: FmtI, ExecCycles: 1},
+	OpShri: {Name: "shri", Format: FmtI, ExecCycles: 1},
+	OpSrai: {Name: "srai", Format: FmtI, ExecCycles: 1},
+	OpSlti: {Name: "slti", Format: FmtI, ExecCycles: 1},
+	OpLui:  {Name: "lui", Format: FmtI, ExecCycles: 1},
+
+	OpLw:  {Name: "lw", Format: FmtI, ExecCycles: 3, Load: true},
+	OpSw:  {Name: "sw", Format: FmtI, ExecCycles: 2, Store: true},
+	OpLb:  {Name: "lb", Format: FmtI, ExecCycles: 3, Load: true},
+	OpLbu: {Name: "lbu", Format: FmtI, ExecCycles: 3, Load: true},
+	OpSb:  {Name: "sb", Format: FmtI, ExecCycles: 2, Store: true},
+	OpFld: {Name: "fld", Format: FmtI, ExecCycles: 4, Load: true, FloatDst: true},
+	OpFst: {Name: "fst", Format: FmtI, ExecCycles: 3, Store: true, FloatDst: true},
+
+	OpBeq:  {Name: "beq", Format: FmtB, ExecCycles: 1, Branch: true},
+	OpBne:  {Name: "bne", Format: FmtB, ExecCycles: 1, Branch: true},
+	OpBlt:  {Name: "blt", Format: FmtB, ExecCycles: 1, Branch: true},
+	OpBge:  {Name: "bge", Format: FmtB, ExecCycles: 1, Branch: true},
+	OpBltu: {Name: "bltu", Format: FmtB, ExecCycles: 1, Branch: true},
+	OpBgeu: {Name: "bgeu", Format: FmtB, ExecCycles: 1, Branch: true},
+	OpJmp:  {Name: "jmp", Format: FmtJ, ExecCycles: 1, Jump: true},
+	OpCall: {Name: "call", Format: FmtJ, ExecCycles: 2, Jump: true},
+	OpJr:   {Name: "jr", Format: FmtR, ExecCycles: 2, Jump: true},
+
+	OpFadd:   {Name: "fadd", Format: FmtR, ExecCycles: 7, FloatDst: true, FloatSrc: true},
+	OpFsub:   {Name: "fsub", Format: FmtR, ExecCycles: 7, FloatDst: true, FloatSrc: true},
+	OpFmul:   {Name: "fmul", Format: FmtR, ExecCycles: 12, FloatDst: true, FloatSrc: true},
+	OpFdiv:   {Name: "fdiv", Format: FmtR, ExecCycles: 35, FloatDst: true, FloatSrc: true},
+	OpFneg:   {Name: "fneg", Format: FmtR, ExecCycles: 1, FloatDst: true, FloatSrc: true},
+	OpFabs:   {Name: "fabs", Format: FmtR, ExecCycles: 1, FloatDst: true, FloatSrc: true},
+	OpFsqrt:  {Name: "fsqrt", Format: FmtR, ExecCycles: 40, FloatDst: true, FloatSrc: true},
+	OpFsin:   {Name: "fsin", Format: FmtR, ExecCycles: 90, FloatDst: true, FloatSrc: true},
+	OpFcos:   {Name: "fcos", Format: FmtR, ExecCycles: 90, FloatDst: true, FloatSrc: true},
+	OpFatan:  {Name: "fatan", Format: FmtR, ExecCycles: 100, FloatDst: true, FloatSrc: true},
+	OpFexp:   {Name: "fexp", Format: FmtR, ExecCycles: 110, FloatDst: true, FloatSrc: true},
+	OpFlog:   {Name: "flog", Format: FmtR, ExecCycles: 120, FloatDst: true, FloatSrc: true},
+	OpFmov:   {Name: "fmov", Format: FmtR, ExecCycles: 1, FloatDst: true, FloatSrc: true},
+	OpFcvtIF: {Name: "fcvtif", Format: FmtR, ExecCycles: 5, FloatDst: true},
+	OpFcvtFI: {Name: "fcvtfi", Format: FmtR, ExecCycles: 5, FloatSrc: true},
+	OpFeq:    {Name: "feq", Format: FmtR, ExecCycles: 3, FloatSrc: true},
+	OpFlt:    {Name: "flt", Format: FmtR, ExecCycles: 3, FloatSrc: true},
+	OpFle:    {Name: "fle", Format: FmtR, ExecCycles: 3, FloatSrc: true},
+}
+
+// NumOpcodes is the number of defined opcodes.
+const NumOpcodes = int(numOpcodes)
+
+// InfoFor returns the static description of op.
+func InfoFor(op Opcode) Info {
+	if int(op) >= int(numOpcodes) {
+		return Info{Name: fmt.Sprintf("op%d", op), Format: FmtNone, ExecCycles: 1}
+	}
+	return infos[op]
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return int(op) < int(numOpcodes) }
+
+// String returns the assembler mnemonic for op.
+func (op Opcode) String() string { return InfoFor(op).Name }
+
+// opsByName maps mnemonics back to opcodes, for the assembler.
+var opsByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, numOpcodes)
+	for op := Opcode(0); op < numOpcodes; op++ {
+		m[infos[op].Name] = op
+	}
+	return m
+}()
+
+// OpcodeByName returns the opcode for an assembler mnemonic.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+// Instruction is a decoded CR32 instruction. Rd/Rs1/Rs2 address the integer
+// or floating register file depending on the opcode (see Info.FloatDst /
+// Info.FloatSrc); Imm holds the sign-extended immediate for formats I and B
+// and the absolute word address for format J.
+type Instruction struct {
+	Op  Opcode
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32
+}
+
+// Pipeline timing parameters of the modelled core. These are shared by the
+// simulator (package sim) and the static cost model (package march) so that
+// the static model brackets the simulator by construction.
+const (
+	// BranchTakenPenalty is the pipeline refill cost paid when control
+	// transfers away from the fall-through path.
+	BranchTakenPenalty = 2
+	// LoadUseStall is the interlock stall when an instruction reads a
+	// register loaded by the immediately preceding instruction.
+	LoadUseStall = 1
+)
+
+func (i Instruction) String() string {
+	info := InfoFor(i.Op)
+	switch info.Format {
+	case FmtNone:
+		return info.Name
+	case FmtR:
+		if i.Op == OpJr {
+			return fmt.Sprintf("%s r%d", info.Name, i.Rs1)
+		}
+		p := "r"
+		if info.FloatDst || info.FloatSrc {
+			p = "f"
+		}
+		dp, sp := p, p
+		if i.Op == OpFcvtIF {
+			dp, sp = "f", "r"
+		}
+		if i.Op == OpFcvtFI || i.Op == OpFeq || i.Op == OpFlt || i.Op == OpFle {
+			dp, sp = "r", "f"
+		}
+		switch i.Op {
+		case OpFneg, OpFabs, OpFsqrt, OpFsin, OpFcos, OpFatan, OpFexp, OpFlog, OpFmov, OpFcvtIF, OpFcvtFI:
+			return fmt.Sprintf("%s %s%d, %s%d", info.Name, dp, i.Rd, sp, i.Rs1)
+		}
+		return fmt.Sprintf("%s %s%d, %s%d, %s%d", info.Name, dp, i.Rd, sp, i.Rs1, sp, i.Rs2)
+	case FmtI:
+		switch i.Op {
+		case OpLw, OpLb, OpLbu:
+			return fmt.Sprintf("%s r%d, %d(r%d)", info.Name, i.Rd, i.Imm, i.Rs1)
+		case OpSw, OpSb:
+			return fmt.Sprintf("%s r%d, %d(r%d)", info.Name, i.Rd, i.Imm, i.Rs1)
+		case OpFld, OpFst:
+			return fmt.Sprintf("%s f%d, %d(r%d)", info.Name, i.Rd, i.Imm, i.Rs1)
+		case OpLui:
+			return fmt.Sprintf("%s r%d, %d", info.Name, i.Rd, i.Imm)
+		}
+		return fmt.Sprintf("%s r%d, r%d, %d", info.Name, i.Rd, i.Rs1, i.Imm)
+	case FmtB:
+		return fmt.Sprintf("%s r%d, r%d, %d", info.Name, i.Rs1, i.Rs2, i.Imm)
+	case FmtJ:
+		return fmt.Sprintf("%s %#x", info.Name, uint32(i.Imm)*WordBytes)
+	}
+	return info.Name
+}

@@ -1,0 +1,175 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeNamesUniqueAndRoundTrip(t *testing.T) {
+	seen := map[string]Opcode{}
+	for op := Opcode(0); op < numOpcodes; op++ {
+		name := op.String()
+		if name == "" {
+			t.Fatalf("opcode %d has empty name", op)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("mnemonic %q used by both %d and %d", name, prev, op)
+		}
+		seen[name] = op
+		back, ok := OpcodeByName(name)
+		if !ok || back != op {
+			t.Fatalf("OpcodeByName(%q) = %v, %v; want %v", name, back, ok, op)
+		}
+	}
+}
+
+func TestOpcodeByNameUnknown(t *testing.T) {
+	if _, ok := OpcodeByName("frobnicate"); ok {
+		t.Fatal("unknown mnemonic resolved")
+	}
+}
+
+func TestEveryOpcodeHasPositiveCost(t *testing.T) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		if InfoFor(op).ExecCycles <= 0 {
+			t.Errorf("opcode %s has non-positive ExecCycles", op)
+		}
+	}
+}
+
+func TestEncodeDecodeAllFormats(t *testing.T) {
+	cases := []Instruction{
+		{Op: OpNop},
+		{Op: OpHalt},
+		{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpSltu, Rd: 15, Rs1: 14, Rs2: 13},
+		{Op: OpAddi, Rd: 4, Rs1: 5, Imm: -32768},
+		{Op: OpAddi, Rd: 4, Rs1: 5, Imm: 32767},
+		{Op: OpLui, Rd: 7, Imm: 4096},
+		{Op: OpLw, Rd: 2, Rs1: 15, Imm: -8},
+		{Op: OpSb, Rd: 3, Rs1: 6, Imm: 255},
+		{Op: OpFld, Rd: 9, Rs1: 15, Imm: 16},
+		{Op: OpBeq, Rs1: 1, Rs2: 2, Imm: -100},
+		{Op: OpBgeu, Rs1: 0, Rs2: 9, Imm: 12},
+		{Op: OpJmp, Imm: 0xabcde},
+		{Op: OpCall, Imm: 1},
+		{Op: OpJr, Rs1: RegLR},
+		{Op: OpFadd, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: OpFcvtIF, Rd: 5, Rs1: 6},
+		{Op: OpFeq, Rd: 2, Rs1: 3, Rs2: 4},
+	}
+	for _, ins := range cases {
+		w, err := Encode(ins)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", ins, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%v)): %v", ins, err)
+		}
+		if got != ins {
+			t.Fatalf("round trip: got %+v want %+v", got, ins)
+		}
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	bad := []Instruction{
+		{Op: OpAddi, Rd: 1, Rs1: 2, Imm: 32768},
+		{Op: OpAddi, Rd: 1, Rs1: 2, Imm: -32769},
+		{Op: OpBeq, Rs1: 1, Rs2: 2, Imm: 1 << 20},
+		{Op: OpJmp, Imm: -1},
+		{Op: OpJmp, Imm: 1 << 24},
+		{Op: OpAdd, Rd: 16},
+		{Op: Opcode(200)},
+	}
+	for _, ins := range bad {
+		if _, err := Encode(ins); err == nil {
+			t.Errorf("Encode(%+v) succeeded, want range error", ins)
+		}
+	}
+}
+
+func TestDecodeInvalidOpcode(t *testing.T) {
+	if _, err := Decode(uint32(numOpcodes) << 24); err == nil {
+		t.Fatal("decoding invalid opcode byte succeeded")
+	}
+}
+
+// TestEncodeDecodeQuick property-tests the round trip over randomly drawn
+// well-formed instructions.
+func TestEncodeDecodeQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen := func() Instruction {
+		op := Opcode(rng.Intn(int(numOpcodes)))
+		ins := Instruction{Op: op}
+		switch InfoFor(op).Format {
+		case FmtR:
+			ins.Rd = uint8(rng.Intn(NumIntRegs))
+			ins.Rs1 = uint8(rng.Intn(NumIntRegs))
+			ins.Rs2 = uint8(rng.Intn(NumIntRegs))
+		case FmtI:
+			ins.Rd = uint8(rng.Intn(NumIntRegs))
+			ins.Rs1 = uint8(rng.Intn(NumIntRegs))
+			ins.Imm = int32(rng.Intn(1<<16)) - 1<<15
+		case FmtB:
+			ins.Rs1 = uint8(rng.Intn(NumIntRegs))
+			ins.Rs2 = uint8(rng.Intn(NumIntRegs))
+			ins.Imm = int32(rng.Intn(1<<16)) - 1<<15
+		case FmtJ:
+			ins.Imm = int32(rng.Intn(1 << 24))
+		}
+		return ins
+	}
+	f := func(seed uint16) bool {
+		_ = seed
+		ins := gen()
+		w, err := Encode(ins)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(w)
+		return err == nil && got == ins
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockTerminators(t *testing.T) {
+	want := map[Opcode]bool{
+		OpBeq: true, OpBne: true, OpBlt: true, OpBge: true, OpBltu: true, OpBgeu: true,
+		OpJmp: true, OpCall: true, OpJr: true, OpHalt: true,
+	}
+	for op := Opcode(0); op < numOpcodes; op++ {
+		if got := IsBlockTerminator(op); got != want[op] {
+			t.Errorf("IsBlockTerminator(%s) = %v, want %v", op, got, want[op])
+		}
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	cases := map[string]Instruction{
+		"nop":             {Op: OpNop},
+		"add r1, r2, r3":  {Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		"addi r4, r5, -1": {Op: OpAddi, Rd: 4, Rs1: 5, Imm: -1},
+		"lw r2, 8(r15)":   {Op: OpLw, Rd: 2, Rs1: 15, Imm: 8},
+		"sw r2, -4(r13)":  {Op: OpSw, Rd: 2, Rs1: 13, Imm: -4},
+		"fld f3, 0(r15)":  {Op: OpFld, Rd: 3, Rs1: 15},
+		"lui r7, 16":      {Op: OpLui, Rd: 7, Imm: 16},
+		"beq r1, r2, -3":  {Op: OpBeq, Rs1: 1, Rs2: 2, Imm: -3},
+		"jr r14":          {Op: OpJr, Rs1: 14},
+		"fadd f1, f2, f3": {Op: OpFadd, Rd: 1, Rs1: 2, Rs2: 3},
+		"fsqrt f1, f2":    {Op: OpFsqrt, Rd: 1, Rs1: 2},
+		"fcvtif f5, r6":   {Op: OpFcvtIF, Rd: 5, Rs1: 6},
+		"fcvtfi r5, f6":   {Op: OpFcvtFI, Rd: 5, Rs1: 6},
+		"feq r2, f3, f4":  {Op: OpFeq, Rd: 2, Rs1: 3, Rs2: 4},
+		"jmp 0x400":       {Op: OpJmp, Imm: 0x100},
+	}
+	for want, ins := range cases {
+		if got := ins.String(); got != want {
+			t.Errorf("String(%+v) = %q, want %q", ins, got, want)
+		}
+	}
+}

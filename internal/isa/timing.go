@@ -1,0 +1,91 @@
+package isa
+
+import "fmt"
+
+// Timing is a processor timing profile: per-opcode execute-stage latencies
+// plus the pipeline penalty parameters. The simulator and the static cost
+// model both consume the same profile, which is what keeps the analysis
+// bracket sound per construction.
+//
+// The paper's conclusion reports "porting cinderella to handle programs
+// running on other hardware platforms. In collaboration with AT&T, we have
+// completed a port for the AT&T DSP3210 processor." Profiles make that
+// port a data change: the same analysis runs against any table.
+type Timing struct {
+	Name string
+	// Exec is the execute-stage latency per opcode.
+	Exec [NumOpcodes]int
+	// BranchTakenPenalty is the pipeline refill after a taken transfer.
+	BranchTakenPenalty int
+	// LoadUseStall is the interlock when a load's value is used
+	// immediately.
+	LoadUseStall int
+}
+
+// Validate checks that every defined opcode has a positive latency.
+func (t *Timing) Validate() error {
+	if t == nil {
+		return fmt.Errorf("isa: nil timing profile")
+	}
+	for op := 0; op < NumOpcodes; op++ {
+		if t.Exec[op] <= 0 {
+			return fmt.Errorf("isa: profile %q has non-positive latency for %s", t.Name, Opcode(op))
+		}
+	}
+	if t.BranchTakenPenalty < 0 || t.LoadUseStall < 0 {
+		return fmt.Errorf("isa: profile %q has negative penalties", t.Name)
+	}
+	return nil
+}
+
+// I960KB is the default profile, matching the per-opcode ExecCycles table
+// of this package (a 4-stage pipelined 32-bit RISC with a microcoded
+// integer divider and a sequential FPU, in the spirit of the i960KB).
+func I960KB() *Timing {
+	t := &Timing{
+		Name:               "i960kb",
+		BranchTakenPenalty: BranchTakenPenalty,
+		LoadUseStall:       LoadUseStall,
+	}
+	for op := 0; op < NumOpcodes; op++ {
+		t.Exec[op] = infos[op].ExecCycles
+	}
+	return t
+}
+
+// DSP3210 approximates AT&T's DSP3210 floating-point DSP, the paper's
+// second port target: single-cycle pipelined floating multiply-add
+// hardware, hardware assistance for the float transcendentals, but weak
+// integer divide and a deeper taken-branch penalty.
+func DSP3210() *Timing {
+	t := I960KB()
+	t.Name = "dsp3210"
+	// Floating point is the DSP's home turf.
+	t.Exec[OpFadd] = 2
+	t.Exec[OpFsub] = 2
+	t.Exec[OpFmul] = 2
+	t.Exec[OpFdiv] = 18
+	t.Exec[OpFsqrt] = 22
+	t.Exec[OpFsin] = 40
+	t.Exec[OpFcos] = 40
+	t.Exec[OpFatan] = 48
+	t.Exec[OpFexp] = 52
+	t.Exec[OpFlog] = 56
+	t.Exec[OpFcvtIF] = 2
+	t.Exec[OpFcvtFI] = 2
+	// Integer multiply rides the MAC unit; divide is emulated.
+	t.Exec[OpMul] = 1
+	t.Exec[OpDiv] = 36
+	t.Exec[OpRem] = 36
+	// Deeper pipeline: taken transfers cost more.
+	t.BranchTakenPenalty = 3
+	return t
+}
+
+// Profiles returns the built-in timing profiles by name.
+func Profiles() map[string]*Timing {
+	return map[string]*Timing{
+		"i960kb":  I960KB(),
+		"dsp3210": DSP3210(),
+	}
+}

@@ -1,0 +1,63 @@
+package isa
+
+import "testing"
+
+func TestProfilesValidate(t *testing.T) {
+	for name, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("profile key %q has Name %q", name, p.Name)
+		}
+	}
+}
+
+func TestI960KBMatchesInfoTable(t *testing.T) {
+	p := I960KB()
+	for op := Opcode(0); op < numOpcodes; op++ {
+		if p.Exec[op] != InfoFor(op).ExecCycles {
+			t.Errorf("%s: profile %d != info %d", op, p.Exec[op], InfoFor(op).ExecCycles)
+		}
+	}
+	if p.BranchTakenPenalty != BranchTakenPenalty || p.LoadUseStall != LoadUseStall {
+		t.Error("penalty mismatch")
+	}
+}
+
+func TestDSP3210Character(t *testing.T) {
+	dsp := DSP3210()
+	gp := I960KB()
+	if dsp.Exec[OpFmul] >= gp.Exec[OpFmul] {
+		t.Error("DSP float multiply should be faster")
+	}
+	if dsp.Exec[OpMul] >= gp.Exec[OpMul] {
+		t.Error("DSP integer multiply should ride the MAC")
+	}
+	if dsp.Exec[OpDiv] <= gp.Exec[OpDiv] {
+		t.Error("DSP integer divide should be emulated (slower)")
+	}
+	if dsp.BranchTakenPenalty <= gp.BranchTakenPenalty {
+		t.Error("DSP pipeline should pay more for taken branches")
+	}
+	if dsp.Exec[OpAdd] != gp.Exec[OpAdd] {
+		t.Error("basic ALU should be unchanged")
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	var nilT *Timing
+	if err := nilT.Validate(); err == nil {
+		t.Error("nil profile accepted")
+	}
+	bad := I960KB()
+	bad.Exec[OpAdd] = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero latency accepted")
+	}
+	neg := I960KB()
+	neg.LoadUseStall = -1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative stall accepted")
+	}
+}

@@ -1,0 +1,223 @@
+// Package march is the micro-architectural model of Section IV: it assigns
+// every basic block a best-case and worst-case execution cost c_i, assuming
+// all cache hits for the best case and all cache misses for the worst case,
+// with pipeline effects (load-use interlocks, branch-taken refills) analyzed
+// between adjacent instructions inside the block.
+//
+// The costs bracket the simulator (package sim) by construction: for any
+// single execution of a block, Best <= simulated cycles <= Worst. That is
+// the property that makes the estimated bound of the ILP enclose the
+// measured bound (Fig. 1), and it is fuzz-tested in package ipet.
+//
+// The paper notes the all-miss assumption "can be very pessimistic" for
+// loops and suggests treating the first iteration as a separate block with
+// its own cost (Section IV). WorstSteady plus LoopCacheResident implement
+// that refinement; package ipet applies it when Options.SplitFirstIteration
+// is on.
+package march
+
+import (
+	"cinderella/internal/cache"
+	"cinderella/internal/cfg"
+	"cinderella/internal/isa"
+)
+
+// Options configures the cost model.
+type Options struct {
+	// Cache is the instruction cache geometry (miss penalty, line size).
+	Cache cache.Config
+	// Timing is the processor timing profile. Default isa.I960KB(). The
+	// same profile must drive the simulator for the bracket to be
+	// meaningful (package eval wires this up).
+	Timing *isa.Timing
+	// ModelPipeline enables exact intra-block load-use interlock analysis.
+	// When false, the model pessimistically charges a stall on every
+	// instruction (the ablation of DESIGN.md: "pipeline-adjacency
+	// modelling on/off").
+	ModelPipeline bool
+}
+
+// DefaultOptions mirrors the modelled i960KB.
+func DefaultOptions() Options {
+	return Options{Cache: cache.DefaultConfig(), Timing: isa.I960KB(), ModelPipeline: true}
+}
+
+func (o Options) timing() *isa.Timing {
+	if o.Timing == nil {
+		return isa.I960KB()
+	}
+	return o.Timing
+}
+
+// BlockCost is the cost bracket of one basic block, in cycles per
+// execution.
+type BlockCost struct {
+	// Best assumes every fetch hits and conditional branches fall through.
+	Best int64
+	// Worst assumes every fetch misses, conditional branches are taken,
+	// and a possible cross-block load-use stall hits the first
+	// instruction.
+	Worst int64
+	// WorstSteady is Worst computed with all-hit fetches: the worst-case
+	// cost of a steady-state loop iteration whose code is cache-resident.
+	WorstSteady int64
+}
+
+// CostOf computes the cost bracket of a block.
+func CostOf(b *cfg.Block, opts Options) BlockCost {
+	var c BlockCost
+	missPenalty := int64(opts.Cache.MissPenalty)
+	timing := opts.timing()
+
+	var prevLoadReg = -1
+	var prevLoadFloat bool
+	for i, ins := range b.Instrs {
+		info := isa.InfoFor(ins.Op)
+		exec := int64(timing.Exec[ins.Op])
+
+		// Fetch: one cycle, plus the miss penalty in the worst case.
+		c.Best += 1 + exec
+		c.Worst += 1 + missPenalty + exec
+		c.WorstSteady += 1 + exec
+
+		// Load-use interlock.
+		stall := int64(0)
+		switch {
+		case !opts.ModelPipeline:
+			// Crude model: assume every instruction may stall.
+			stall = int64(timing.LoadUseStall)
+		case i == 0:
+			// Cross-block stall: unknown predecessor; charge the worst
+			// case when the instruction reads any register at all.
+			if readsAnyReg(ins) {
+				stall = int64(timing.LoadUseStall)
+			}
+		case prevLoadReg >= 0 && readsReg(ins, prevLoadReg, prevLoadFloat):
+			stall = int64(timing.LoadUseStall)
+			// An exact intra-block stall happens in the best case too.
+			c.Best += stall
+		}
+		c.Worst += stall
+		c.WorstSteady += stall
+
+		if info.Load {
+			prevLoadReg = int(ins.Rd)
+			prevLoadFloat = info.FloatDst
+		} else {
+			prevLoadReg = -1
+		}
+	}
+
+	// Control-transfer penalty on the terminator.
+	last := b.Instrs[len(b.Instrs)-1]
+	lastInfo := isa.InfoFor(last.Op)
+	switch {
+	case lastInfo.Branch:
+		// Taken in the worst case, fall-through in the best.
+		c.Worst += int64(timing.BranchTakenPenalty)
+		c.WorstSteady += int64(timing.BranchTakenPenalty)
+	case lastInfo.Jump:
+		// Unconditional: always pays the refill.
+		c.Best += int64(timing.BranchTakenPenalty)
+		c.Worst += int64(timing.BranchTakenPenalty)
+		c.WorstSteady += int64(timing.BranchTakenPenalty)
+	}
+	return c
+}
+
+// CostsOf computes brackets for every block of a function.
+func CostsOf(fc *cfg.FuncCFG, opts Options) []BlockCost {
+	out := make([]BlockCost, len(fc.Blocks))
+	for i, b := range fc.Blocks {
+		out[i] = CostOf(b, opts)
+	}
+	return out
+}
+
+// LoopCacheResident reports whether a loop's code provably stays resident
+// in a direct-mapped cache across iterations: no two instructions of the
+// loop map to the same cache line with different tags, and the loop body
+// performs no calls (a callee could evict loop lines).
+//
+// When true, every fetch after the first full iteration hits, so
+// WorstSteady is a sound per-iteration bound for iterations 2..n.
+func LoopCacheResident(fc *cfg.FuncCFG, loop *cfg.Loop, cacheCfg cache.Config) bool {
+	lineBytes := uint32(cacheCfg.LineBytes)
+	lines := uint32(cacheCfg.SizeBytes) / lineBytes
+	owner := map[uint32]uint32{} // line index -> line address
+	for _, bi := range loop.Blocks {
+		b := fc.Blocks[bi]
+		// Calls inside the loop may evict arbitrary lines.
+		for _, id := range b.Out {
+			if fc.Edges[id].Kind == cfg.EdgeCall {
+				return false
+			}
+		}
+		for pc := b.Start; pc < b.End; pc += isa.WordBytes {
+			lineAddr := pc / lineBytes
+			idx := lineAddr % lines
+			if prev, ok := owner[idx]; ok && prev != lineAddr {
+				return false // conflict miss inside the loop
+			}
+			owner[idx] = lineAddr
+		}
+	}
+	return true
+}
+
+// readsAnyReg reports whether the instruction reads at least one register
+// (of either file) that could have been written by a load.
+func readsAnyReg(ins isa.Instruction) bool {
+	for r := 0; r < isa.NumIntRegs; r++ {
+		if readsReg(ins, r, false) || readsReg(ins, r, true) {
+			return true
+		}
+	}
+	return false
+}
+
+// readsReg mirrors the simulator's interlock logic (sim.readsReg); the two
+// must stay in agreement, which the ipet bracket fuzz test enforces
+// end-to-end.
+func readsReg(ins isa.Instruction, r int, float bool) bool {
+	if !float && r == isa.RegZero {
+		return false
+	}
+	type use struct {
+		reg   int
+		float bool
+	}
+	var uses []use
+	switch ins.Op {
+	case isa.OpNop, isa.OpHalt, isa.OpLui, isa.OpJmp, isa.OpCall:
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpRem, isa.OpAnd,
+		isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr, isa.OpSra, isa.OpSlt, isa.OpSltu:
+		uses = []use{{int(ins.Rs1), false}, {int(ins.Rs2), false}}
+	case isa.OpAddi, isa.OpAndi, isa.OpOri, isa.OpXori, isa.OpShli, isa.OpShri,
+		isa.OpSrai, isa.OpSlti:
+		uses = []use{{int(ins.Rs1), false}}
+	case isa.OpLw, isa.OpLb, isa.OpLbu, isa.OpFld:
+		uses = []use{{int(ins.Rs1), false}}
+	case isa.OpSw, isa.OpSb:
+		uses = []use{{int(ins.Rs1), false}, {int(ins.Rd), false}}
+	case isa.OpFst:
+		uses = []use{{int(ins.Rs1), false}, {int(ins.Rd), true}}
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu, isa.OpBgeu:
+		uses = []use{{int(ins.Rs1), false}, {int(ins.Rs2), false}}
+	case isa.OpJr:
+		uses = []use{{int(ins.Rs1), false}}
+	case isa.OpFadd, isa.OpFsub, isa.OpFmul, isa.OpFdiv, isa.OpFeq, isa.OpFlt, isa.OpFle:
+		uses = []use{{int(ins.Rs1), true}, {int(ins.Rs2), true}}
+	case isa.OpFneg, isa.OpFabs, isa.OpFsqrt, isa.OpFsin, isa.OpFcos, isa.OpFatan,
+		isa.OpFexp, isa.OpFlog, isa.OpFmov, isa.OpFcvtFI:
+		uses = []use{{int(ins.Rs1), true}}
+	case isa.OpFcvtIF:
+		uses = []use{{int(ins.Rs1), false}}
+	}
+	for _, u := range uses {
+		if u.reg == r && u.float == float {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,236 @@
+package march
+
+import (
+	"testing"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/cache"
+	"cinderella/internal/cfg"
+	"cinderella/internal/isa"
+)
+
+func blockOf(t *testing.T, src, fn string, idx int) (*cfg.FuncCFG, *cfg.Block) {
+	t.Helper()
+	exe, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := cfg.Build(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := p.Funcs[fn]
+	return fc, fc.Blocks[idx]
+}
+
+func TestStraightBlockCosts(t *testing.T) {
+	_, b := blockOf(t, `
+main:
+        addi r1, r0, 1   ; 1+1
+        add  r2, r1, r1  ; 1+1
+        halt             ; 1+1
+`, "main", 0)
+	c := CostOf(b, DefaultOptions())
+	// Best: 3 instrs * (fetch 1 + exec 1) = 6.
+	if c.Best != 6 {
+		t.Fatalf("Best = %d, want 6", c.Best)
+	}
+	// Worst: + miss penalty 8 per fetch, + cross-block stall on first
+	// instruction? addi reads r0 only, so no stall; add reads r1 written
+	// by addi but addi is not a load, so no interlock either.
+	if c.Worst != 6+3*8 {
+		t.Fatalf("Worst = %d, want %d", c.Worst, 6+3*8)
+	}
+	if c.WorstSteady != 6 {
+		t.Fatalf("WorstSteady = %d, want 6", c.WorstSteady)
+	}
+}
+
+func TestLoadUseStallCounted(t *testing.T) {
+	_, b := blockOf(t, `
+main:
+        lw  r1, 0(r0)    ; load
+        add r2, r1, r1   ; dependent: +1 stall in best and worst
+        halt
+`, "main", 0)
+	c := CostOf(b, DefaultOptions())
+	// Best: lw(1+3) + add(1+1)+stall(1) + halt(1+1) = 9.
+	if c.Best != 9 {
+		t.Fatalf("Best = %d, want 9", c.Best)
+	}
+	// Worst adds 8 per fetch; no cross-block stall on the first
+	// instruction (lw's base is r0, which never interlocks).
+	if c.Worst != 9+24 {
+		t.Fatalf("Worst = %d, want %d", c.Worst, 9+24)
+	}
+}
+
+func TestCrossBlockStallChargedToWorstOnly(t *testing.T) {
+	_, b := blockOf(t, `
+main:
+        add r2, r1, r1   ; reads r1: a predecessor load could interlock
+        halt
+`, "main", 0)
+	c := CostOf(b, DefaultOptions())
+	if c.Best != 4 { // 2*(1+1), no stall in best
+		t.Fatalf("Best = %d", c.Best)
+	}
+	if c.Worst != 4+16+1 { // misses + cross-block stall
+		t.Fatalf("Worst = %d", c.Worst)
+	}
+}
+
+func TestBranchPenalties(t *testing.T) {
+	fc, b := blockOf(t, `
+main:
+        beq r1, r2, .L
+        nop
+.L:     halt
+`, "main", 0)
+	_ = fc
+	c := CostOf(b, DefaultOptions())
+	// Block 0 is just the beq: best = fetch+exec = 2 (+1 worst-only
+	// cross-block stall since beq reads r1/r2), worst adds miss 8 and
+	// taken penalty 2.
+	if c.Best != 2 {
+		t.Fatalf("Best = %d", c.Best)
+	}
+	if c.Worst != 2+8+1+2 {
+		t.Fatalf("Worst = %d", c.Worst)
+	}
+}
+
+func TestJumpPenaltyInBothBounds(t *testing.T) {
+	_, b := blockOf(t, `
+main:
+.Lloop: jmp .Lloop
+`, "main", 0)
+	c := CostOf(b, DefaultOptions())
+	if c.Best != 1+1+2 { // fetch + exec + refill
+		t.Fatalf("Best = %d", c.Best)
+	}
+	if c.Worst != 1+8+1+2 {
+		t.Fatalf("Worst = %d", c.Worst)
+	}
+}
+
+func TestPipelineAblation(t *testing.T) {
+	_, b := blockOf(t, `
+main:
+        addi r1, r0, 1
+        addi r2, r0, 2
+        addi r3, r0, 3
+        halt
+`, "main", 0)
+	exact := CostOf(b, DefaultOptions())
+	crude := CostOf(b, Options{Cache: cache.DefaultConfig(), ModelPipeline: false})
+	if crude.Worst <= exact.Worst {
+		t.Fatalf("crude model %d not more pessimistic than exact %d", crude.Worst, exact.Worst)
+	}
+	if crude.Best != exact.Best {
+		t.Fatalf("ablation changed the best case: %d vs %d", crude.Best, exact.Best)
+	}
+	// Crude charges one stall per instruction; the exact model charges
+	// none here (the first instruction only reads r0, no interlocks).
+	if crude.Worst != exact.Worst+int64(len(b.Instrs)) {
+		t.Fatalf("crude = %d, exact = %d", crude.Worst, exact.Worst)
+	}
+}
+
+func TestCostsOfCoversAllBlocks(t *testing.T) {
+	fc, _ := blockOf(t, `
+main:
+        beq r1, r2, .L
+        nop
+.L:     halt
+`, "main", 0)
+	costs := CostsOf(fc, DefaultOptions())
+	if len(costs) != len(fc.Blocks) {
+		t.Fatalf("%d costs for %d blocks", len(costs), len(fc.Blocks))
+	}
+	for i, c := range costs {
+		if c.Best <= 0 || c.Worst < c.Best || c.WorstSteady < c.Best || c.Worst < c.WorstSteady {
+			t.Fatalf("block %d: bad bracket %+v", i, c)
+		}
+	}
+}
+
+func TestLoopCacheResident(t *testing.T) {
+	// Tiny loop: trivially resident in a 512-byte cache.
+	fc, _ := blockOf(t, `
+main:
+        addi r1, r0, 10
+.Lloop: addi r1, r1, -1
+        bne r1, r0, .Lloop
+        halt
+`, "main", 0)
+	if len(fc.Loops) != 1 {
+		t.Fatalf("loops = %d", len(fc.Loops))
+	}
+	if !LoopCacheResident(fc, &fc.Loops[0], cache.DefaultConfig()) {
+		t.Fatal("tiny loop not resident")
+	}
+	// With a 2-line (32-byte) cache the loop spanning >32 bytes conflicts.
+	small := cache.Config{SizeBytes: 8, LineBytes: 4, MissPenalty: 8}
+	fc2, _ := blockOf(t, `
+main:
+        addi r1, r0, 10
+.Lloop: addi r1, r1, -1
+        nop
+        nop
+        nop
+        nop
+        nop
+        bne r1, r0, .Lloop
+        halt
+`, "main", 0)
+	if LoopCacheResident(fc2, &fc2.Loops[0], small) {
+		t.Fatal("oversized loop reported resident")
+	}
+}
+
+func TestLoopWithCallNotResident(t *testing.T) {
+	fc, _ := blockOf(t, `
+main:
+        addi r1, r0, 10
+.Lloop: call helper
+        addi r1, r1, -1
+        bne r1, r0, .Lloop
+        halt
+helper:
+        ret
+`, "main", 0)
+	if len(fc.Loops) != 1 {
+		t.Fatalf("loops = %d", len(fc.Loops))
+	}
+	if LoopCacheResident(fc, &fc.Loops[0], cache.DefaultConfig()) {
+		t.Fatal("loop with call reported resident")
+	}
+}
+
+func TestReadsRegAgreesWithKeyCases(t *testing.T) {
+	cases := []struct {
+		ins   isa.Instruction
+		reg   int
+		float bool
+		want  bool
+	}{
+		{isa.Instruction{Op: isa.OpSw, Rd: 7, Rs1: 2}, 7, false, true},
+		{isa.Instruction{Op: isa.OpFadd, Rs1: 4, Rs2: 5}, 4, true, true},
+		{isa.Instruction{Op: isa.OpFadd, Rs1: 4, Rs2: 5}, 4, false, false},
+		{isa.Instruction{Op: isa.OpAdd, Rs1: 0, Rs2: 0}, 0, false, false},
+		{isa.Instruction{Op: isa.OpJr, Rs1: 14}, 14, false, true},
+		{isa.Instruction{Op: isa.OpLui, Rd: 3}, 3, false, false},
+	}
+	for _, c := range cases {
+		if got := readsReg(c.ins, c.reg, c.float); got != c.want {
+			t.Errorf("readsReg(%v, %d, %v) = %v", c.ins, c.reg, c.float, got)
+		}
+	}
+	if readsAnyReg(isa.Instruction{Op: isa.OpNop}) {
+		t.Error("nop reads a register")
+	}
+	if !readsAnyReg(isa.Instruction{Op: isa.OpBeq, Rs1: 1, Rs2: 2}) {
+		t.Error("beq reads no register")
+	}
+}

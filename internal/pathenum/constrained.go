@@ -1,0 +1,222 @@
+package pathenum
+
+import (
+	"fmt"
+
+	"cinderella/internal/cfg"
+	"cinderella/internal/constraint"
+)
+
+// Constrained enumeration: the Park/Shaw lineage did not stop at loop
+// bounds — "the set of statically feasible program paths and other path
+// information can be expressed by regular expressions", which are then
+// intersected and examined explicitly (Section II). EnumerateConstrained
+// realizes that idea against the same functionality-constraint language the
+// ILP uses: every complete path's block/edge counts are checked against the
+// disjunctive constraint sets, and infeasible paths are discarded.
+//
+// Besides serving as the baseline, this is an independent oracle: on small
+// programs the constrained explicit extreme must equal the ILP's bound
+// exactly (TestConstrainedAgreesWithIPET).
+//
+// Restrictions compared to the ILP: analysis is intraprocedural for the
+// constraint check (constraint variables must refer to the root function)
+// and, being explicit, it inherits the exponential blowup the paper
+// escapes.
+func EnumerateConstrained(prog *cfg.Program, root string, opts Options,
+	sets []constraint.ConjunctiveSet) (*Result, error) {
+	if opts.MaxPaths == 0 {
+		opts.MaxPaths = 50_000_000
+	}
+	if _, err := prog.Reachable(root); err != nil {
+		return nil, err
+	}
+	fc := prog.Funcs[root]
+	for _, cs := range sets {
+		for _, r := range cs {
+			for v := range r.Terms {
+				if v.Func != root || v.CallSite != 0 {
+					return nil, fmt.Errorf("pathenum: constraint %s is not intraprocedural to %s", r, root)
+				}
+				switch v.Kind {
+				case constraint.VarBlock:
+					if v.Index > len(fc.Blocks) {
+						return nil, fmt.Errorf("pathenum: %s has no block x%d", root, v.Index)
+					}
+				case constraint.VarEdge:
+					if v.Index > len(fc.Edges) {
+						return nil, fmt.Errorf("pathenum: %s has no edge d%d", root, v.Index)
+					}
+				case constraint.VarCall:
+					if v.Index > len(fc.Calls) {
+						return nil, fmt.Errorf("pathenum: %s has no call site f%d", root, v.Index)
+					}
+				}
+			}
+		}
+	}
+
+	// Callee extremes come from the unconstrained enumeration (constraints
+	// are intraprocedural).
+	e := &enumerator{prog: prog, opts: opts, memo: map[string]*Result{}}
+	calleeRes := map[string]*Result{}
+	for _, callee := range fc.Callees() {
+		r, err := e.function(callee)
+		if err != nil {
+			return nil, err
+		}
+		calleeRes[callee] = r
+	}
+
+	bounds := opts.Bounds[root]
+	if len(bounds) < len(fc.Loops) {
+		return nil, fmt.Errorf("pathenum: %q has %d loops but %d bounds", root, len(fc.Loops), len(bounds))
+	}
+	costs, ok := opts.Costs[root]
+	if !ok {
+		return nil, fmt.Errorf("pathenum: no costs for %q", root)
+	}
+
+	budget := make([]int64, len(fc.Loops))
+	for i := range budget {
+		budget[i] = bounds[i]
+	}
+	backEdgeLoop := map[int]int{}
+	entryEdgeLoops := map[int][]int{}
+	for li, l := range fc.Loops {
+		for _, eid := range l.BackEdges {
+			backEdgeLoop[eid] = li
+		}
+		for _, eid := range l.EntryEdges {
+			entryEdgeLoops[eid] = append(entryEdgeLoops[eid], li)
+		}
+	}
+
+	blockCounts := make([]int64, len(fc.Blocks))
+	edgeCounts := make([]int64, len(fc.Edges))
+	edgeCounts[fc.EntryEdge] = 1 // the synthetic entry is traversed once
+
+	feasible := func() bool {
+		if len(sets) == 0 {
+			return true
+		}
+		for _, cs := range sets {
+			sat := true
+			for _, r := range cs {
+				lhs := int64(0)
+				for v, coef := range r.Terms {
+					var val int64
+					switch v.Kind {
+					case constraint.VarBlock:
+						val = blockCounts[v.Index-1]
+					case constraint.VarEdge:
+						val = edgeCounts[v.Index-1]
+					case constraint.VarCall:
+						val = edgeCounts[fc.Calls[v.Index-1]]
+					}
+					lhs += coef * val
+				}
+				okRel := false
+				switch r.Op {
+				case constraint.OpEQ:
+					okRel = lhs == r.RHS
+				case constraint.OpLE:
+					okRel = lhs <= r.RHS
+				case constraint.OpGE:
+					okRel = lhs >= r.RHS
+				}
+				if !okRel {
+					sat = false
+					break
+				}
+			}
+			if sat {
+				return true
+			}
+		}
+		return false
+	}
+
+	res := &Result{Complete: true}
+	first := true
+
+	var walk func(block int, worst, best int64) error
+	walk = func(block int, worst, best int64) error {
+		if res.PathsExplored >= opts.MaxPaths {
+			res.Complete = false
+			return nil
+		}
+		b := fc.Blocks[block]
+		blockCounts[block]++
+		worst += costs[block].Worst
+		best += costs[block].Best
+		for _, eid := range b.Out {
+			edge := fc.Edges[eid]
+			w, bst := worst, best
+			if edge.Kind == cfg.EdgeCall {
+				cr := calleeRes[edge.Callee]
+				w += cr.Worst
+				bst += cr.Best
+				if !cr.Complete {
+					res.Complete = false
+				}
+			}
+			edgeCounts[eid]++
+			if edge.To < 0 {
+				res.PathsExplored++
+				if feasible() {
+					if first || w > res.Worst {
+						res.Worst = w
+					}
+					if first || bst < res.Best {
+						res.Best = bst
+					}
+					first = false
+				}
+				edgeCounts[eid]--
+				continue
+			}
+			step := func() error { return walk(edge.To, w, bst) }
+			if li, isBack := backEdgeLoop[eid]; isBack {
+				if budget[li] == 0 {
+					edgeCounts[eid]--
+					continue
+				}
+				budget[li]--
+				if err := step(); err != nil {
+					return err
+				}
+				budget[li]++
+			} else if loops := entryEdgeLoops[eid]; len(loops) > 0 {
+				saved := make([]int64, len(budget))
+				copy(saved, budget)
+				for _, li := range loops {
+					budget[li] = bounds[li]
+					for lj, l2 := range fc.Loops {
+						if lj != li && containsAll(fc.Loops[li].Blocks, l2.Blocks) {
+							budget[lj] = bounds[lj]
+						}
+					}
+				}
+				if err := step(); err != nil {
+					return err
+				}
+				copy(budget, saved)
+			} else {
+				if err := step(); err != nil {
+					return err
+				}
+			}
+			edgeCounts[eid]--
+		}
+		blockCounts[block]--
+		return nil
+	}
+	if err := walk(0, 0, 0); err != nil {
+		return nil, err
+	}
+	if first {
+		return nil, fmt.Errorf("pathenum: no feasible path of %q satisfies the constraints", root)
+	}
+	return res, nil
+}

@@ -1,0 +1,166 @@
+package pathenum
+
+import (
+	"strings"
+	"testing"
+
+	"cinderella/internal/bench"
+	"cinderella/internal/constraint"
+	"cinderella/internal/ipet"
+	"cinderella/internal/march"
+)
+
+func TestConstraintFiltersPaths(t *testing.T) {
+	src := `
+main:
+        beq r1, r0, .Lelse
+        mul r2, r2, r2       ; expensive arm = x2
+        jmp .Ljoin
+.Lelse: addi r2, r0, 1       ; cheap arm = x3
+.Ljoin: halt
+`
+	prog, costs := buildCFG(t, src, false)
+
+	enumerate := func(annot string) *Result {
+		t.Helper()
+		var sets []constraint.ConjunctiveSet
+		if annot != "" {
+			f, err := constraint.Parse(annot)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sets, err = constraint.CrossProduct(f.Sections[0].Formulas, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := EnumerateConstrained(prog, "main", Options{
+			Bounds: map[string][]int64{"main": {}},
+			Costs:  costs,
+		}, sets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	free := enumerate("")
+	// Forbidding the expensive arm lowers the worst case to the cheap
+	// path's worst cost; the best case already followed that path.
+	forced := enumerate("func main { x2 = 0 }")
+	if forced.Worst >= free.Worst {
+		t.Fatalf("constraint did not prune the expensive path: %d vs %d", forced.Worst, free.Worst)
+	}
+	if forced.Best != free.Best {
+		t.Fatalf("best-case path changed: %d vs %d", forced.Best, free.Best)
+	}
+	// And symmetrically: forbidding the cheap arm raises the best case.
+	forcedMul := enumerate("func main { x3 = 0 }")
+	if forcedMul.Best <= free.Best {
+		t.Fatalf("constraint did not prune the cheap path: %d vs %d", forcedMul.Best, free.Best)
+	}
+	if forcedMul.Worst != free.Worst {
+		t.Fatalf("worst-case path changed: %d vs %d", forcedMul.Worst, free.Worst)
+	}
+	// A disjunction keeps both.
+	both := enumerate("func main { (x2 = 1) | (x3 = 1) }")
+	if both.Worst != free.Worst || both.Best != free.Best {
+		t.Fatalf("disjunction changed the bounds: %+v vs %+v", both, free)
+	}
+}
+
+func TestConstrainedInfeasibleEverywhere(t *testing.T) {
+	prog, costs := buildCFG(t, "main:\n nop\n halt\n", false)
+	f, err := constraint.Parse("func main { x1 = 5 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, _ := constraint.CrossProduct(f.Sections[0].Formulas, 10)
+	_, err = EnumerateConstrained(prog, "main", Options{
+		Bounds: map[string][]int64{"main": {}},
+		Costs:  costs,
+	}, sets)
+	if err == nil || !strings.Contains(err.Error(), "no feasible path") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConstrainedRejectsForeignVariables(t *testing.T) {
+	prog, costs := buildCFG(t, "main:\n call f\n halt\nf:\n ret\n", false)
+	cases := []string{
+		"func f { x1 = 1 }",     // wrong function
+		"func main { x99 = 1 }", // no such block
+		"func main { d99 = 1 }", // no such edge
+		"func main { f9 = 1 }",  // no such call site
+	}
+	for _, annot := range cases {
+		file, err := constraint.Parse(annot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets, _ := constraint.CrossProduct(file.Sections[0].Formulas, 10)
+		_, err = EnumerateConstrained(prog, "main", Options{
+			Bounds: map[string][]int64{"main": {}, "f": {}},
+			Costs:  costs,
+		}, sets)
+		if err == nil {
+			t.Errorf("annot %q accepted", annot)
+		}
+	}
+}
+
+// TestConstrainedAgreesWithIPET is the oracle experiment: on check_data,
+// Park-style explicit enumeration filtered by the very same functionality
+// constraint sets must find exactly the ILP's bounds — the two methods
+// compute the same optimum; only the amount of work differs.
+func TestConstrainedAgreesWithIPET(t *testing.T) {
+	bm, ok := bench.ByName("check_data")
+	if !ok {
+		t.Fatal("missing benchmark")
+	}
+	bt, err := bm.Build(ipet.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	file, err := constraint.Parse(bm.Annotations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, _ := file.Section("check_data")
+	sets, err := constraint.CrossProduct(sec.Formulas, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := bt.CFG.Funcs["check_data"]
+	bounds := make([]int64, len(fc.Loops))
+	for _, lb := range sec.LoopBounds {
+		bounds[lb.Loop-1] = lb.Hi
+	}
+	costs := map[string][]march.BlockCost{}
+	for name, f := range bt.CFG.Funcs {
+		costs[name] = march.CostsOf(f, march.DefaultOptions())
+	}
+
+	res, err := EnumerateConstrained(bt.CFG, "check_data", Options{
+		Bounds: map[string][]int64{"check_data": bounds},
+		Costs:  costs,
+	}, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("enumeration incomplete")
+	}
+	if res.Worst != bt.Est.WCET.Cycles {
+		t.Errorf("explicit WCET %d != ILP %d", res.Worst, bt.Est.WCET.Cycles)
+	}
+	if res.Best != bt.Est.BCET.Cycles {
+		t.Errorf("explicit BCET %d != ILP %d", res.Best, bt.Est.BCET.Cycles)
+	}
+	// The paper's point stands: the explicit method had to walk every
+	// feasible path to learn what one LP call already knew.
+	if res.PathsExplored < 10 {
+		t.Errorf("suspiciously few paths: %d", res.PathsExplored)
+	}
+}

@@ -1,0 +1,195 @@
+// Package pathenum is the prior-art baseline the paper argues against
+// (Section II): explicit enumeration of program paths in the style of Park
+// and Shaw. Every entry-to-exit path is walked with per-loop iteration
+// budgets, and the extreme cost is the maximum (minimum) over all walked
+// paths.
+//
+// The number of feasible paths is typically exponential in program size —
+// "this runs out of steam rather quickly" — which experiment E-S2
+// (BenchmarkExplicitVsImplicit) makes measurable against the ILP approach.
+package pathenum
+
+import (
+	"fmt"
+
+	"cinderella/internal/cfg"
+	"cinderella/internal/march"
+)
+
+// Result reports an explicit enumeration.
+type Result struct {
+	// Worst and Best are the extreme path costs in cycles.
+	Worst, Best int64
+	// PathsExplored counts complete entry-to-exit paths walked for the
+	// worst-case search (the best-case search walks the same set).
+	PathsExplored int64
+	// Complete is false when the MaxPaths cap stopped the search; the
+	// bounds are then unsound.
+	Complete bool
+}
+
+// Options configures the enumeration.
+type Options struct {
+	// Bounds gives, per function, the maximum iteration count (back-edge
+	// traversals per entry) of each loop, indexed as in cfg.FuncCFG.Loops.
+	Bounds map[string][]int64
+	// Costs gives per-function block cost brackets.
+	Costs map[string][]march.BlockCost
+	// MaxPaths caps the search. Default 50 million.
+	MaxPaths int64
+}
+
+// Enumerate walks every path of root, treating call sites as atomic steps
+// whose cost is the callee's (recursively enumerated) extreme path cost.
+func Enumerate(prog *cfg.Program, root string, opts Options) (*Result, error) {
+	if opts.MaxPaths == 0 {
+		opts.MaxPaths = 50_000_000
+	}
+	if _, err := prog.Reachable(root); err != nil {
+		return nil, err
+	}
+	e := &enumerator{prog: prog, opts: opts, memo: map[string]*Result{}}
+	return e.function(root)
+}
+
+type enumerator struct {
+	prog *cfg.Program
+	opts Options
+	memo map[string]*Result
+}
+
+func (e *enumerator) function(name string) (*Result, error) {
+	if r, ok := e.memo[name]; ok {
+		return r, nil
+	}
+	fc := e.prog.Funcs[name]
+	costs, ok := e.opts.Costs[name]
+	if !ok {
+		return nil, fmt.Errorf("pathenum: no costs for %q", name)
+	}
+	bounds := e.opts.Bounds[name]
+	if len(bounds) < len(fc.Loops) {
+		return nil, fmt.Errorf("pathenum: %q has %d loops but %d bounds", name, len(fc.Loops), len(bounds))
+	}
+	// Callee results first (the call graph is acyclic).
+	calleeRes := map[string]*Result{}
+	for _, callee := range fc.Callees() {
+		r, err := e.function(callee)
+		if err != nil {
+			return nil, err
+		}
+		calleeRes[callee] = r
+	}
+
+	res := &Result{Complete: true}
+	first := true
+
+	// budget[i] is the remaining iteration budget of loop i.
+	budget := make([]int64, len(fc.Loops))
+	for i := range budget {
+		budget[i] = bounds[i]
+	}
+	// backEdgeLoop maps edge ID -> loop index.
+	backEdgeLoop := map[int]int{}
+	entryEdgeLoops := map[int][]int{}
+	for li, l := range fc.Loops {
+		for _, eid := range l.BackEdges {
+			backEdgeLoop[eid] = li
+		}
+		for _, eid := range l.EntryEdges {
+			entryEdgeLoops[eid] = append(entryEdgeLoops[eid], li)
+		}
+	}
+
+	var walk func(block int, worst, best int64) error
+	walk = func(block int, worst, best int64) error {
+		if res.PathsExplored >= e.opts.MaxPaths {
+			res.Complete = false
+			return nil
+		}
+		b := fc.Blocks[block]
+		worst += costs[block].Worst
+		best += costs[block].Best
+		for _, eid := range b.Out {
+			edge := fc.Edges[eid]
+			w, bst := worst, best
+			if edge.Kind == cfg.EdgeCall {
+				cr := calleeRes[edge.Callee]
+				w += cr.Worst
+				bst += cr.Best
+				if !cr.Complete {
+					res.Complete = false
+				}
+			}
+			if edge.To < 0 {
+				// A complete path.
+				res.PathsExplored++
+				if first || w > res.Worst {
+					res.Worst = w
+				}
+				if first || bst < res.Best {
+					res.Best = bst
+				}
+				first = false
+				continue
+			}
+			if li, isBack := backEdgeLoop[eid]; isBack {
+				if budget[li] == 0 {
+					continue // bound exhausted: path infeasible
+				}
+				budget[li]--
+				if err := walk(edge.To, w, bst); err != nil {
+					return err
+				}
+				budget[li]++
+				continue
+			}
+			// Entering a loop from outside resets its budget (and the
+			// budgets of loops nested inside it).
+			if loops := entryEdgeLoops[eid]; len(loops) > 0 {
+				saved := make([]int64, len(budget))
+				copy(saved, budget)
+				for _, li := range loops {
+					budget[li] = bounds[li]
+					for lj, l2 := range fc.Loops {
+						if lj != li && containsAll(fc.Loops[li].Blocks, l2.Blocks) {
+							budget[lj] = bounds[lj]
+						}
+					}
+				}
+				if err := walk(edge.To, w, bst); err != nil {
+					return err
+				}
+				copy(budget, saved)
+				continue
+			}
+			if err := walk(edge.To, w, bst); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(0, 0, 0); err != nil {
+		return nil, err
+	}
+	if first {
+		return nil, fmt.Errorf("pathenum: %q has no complete path within bounds", name)
+	}
+	e.memo[name] = res
+	return res, nil
+}
+
+// containsAll reports whether outer (sorted) contains every element of
+// inner (sorted).
+func containsAll(outer, inner []int) bool {
+	i := 0
+	for _, v := range inner {
+		for i < len(outer) && outer[i] < v {
+			i++
+		}
+		if i >= len(outer) || outer[i] != v {
+			return false
+		}
+	}
+	return true
+}

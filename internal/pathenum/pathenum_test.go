@@ -1,0 +1,286 @@
+package pathenum
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/cc"
+	"cinderella/internal/cfg"
+	"cinderella/internal/constraint"
+	"cinderella/internal/ipet"
+	"cinderella/internal/march"
+)
+
+func buildCFG(t *testing.T, src string, mc bool) (*cfg.Program, map[string][]march.BlockCost) {
+	t.Helper()
+	var exe *asm.Executable
+	var err error
+	if mc {
+		exe, _, err = cc.Build(src)
+	} else {
+		exe, err = asm.Assemble(src)
+	}
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	prog, err := cfg.Build(exe)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	costs := map[string][]march.BlockCost{}
+	for name, fc := range prog.Funcs {
+		costs[name] = march.CostsOf(fc, march.DefaultOptions())
+	}
+	return prog, costs
+}
+
+// diamondChain builds main with n sequential if/else diamonds (2^n paths).
+func diamondChain(n int) string {
+	var b strings.Builder
+	b.WriteString("main:\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "        beq r1, r0, .La%d\n", i)
+		fmt.Fprintf(&b, "        mul r2, r2, r2\n") // expensive arm
+		fmt.Fprintf(&b, "        jmp .Lb%d\n", i)
+		fmt.Fprintf(&b, ".La%d:  addi r2, r2, 1\n", i)
+		fmt.Fprintf(&b, ".Lb%d:  addi r3, r3, 1\n", i)
+	}
+	b.WriteString("        halt\n")
+	return b.String()
+}
+
+func TestDiamondChainPathCount(t *testing.T) {
+	for _, n := range []int{1, 3, 6, 10} {
+		prog, costs := buildCFG(t, diamondChain(n), false)
+		res, err := Enumerate(prog, "main", Options{
+			Bounds: map[string][]int64{"main": {}},
+			Costs:  costs,
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.PathsExplored != 1<<uint(n) {
+			t.Fatalf("n=%d: paths = %d, want %d", n, res.PathsExplored, 1<<uint(n))
+		}
+		if !res.Complete {
+			t.Fatalf("n=%d: incomplete", n)
+		}
+		if res.Worst <= res.Best {
+			t.Fatalf("n=%d: worst %d <= best %d", n, res.Worst, res.Best)
+		}
+	}
+}
+
+// TestAgreesWithIPETOnDiamonds: both methods must find the same extremes;
+// only the work differs.
+func TestAgreesWithIPETOnDiamonds(t *testing.T) {
+	src := diamondChain(8)
+	prog, costs := buildCFG(t, src, false)
+	res, err := Enumerate(prog, "main", Options{
+		Bounds: map[string][]int64{"main": {}},
+		Costs:  costs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := ipet.New(prog, "main", ipet.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := an.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.WCET.Cycles != res.Worst {
+		t.Fatalf("WCET: ipet %d vs enumeration %d", est.WCET.Cycles, res.Worst)
+	}
+	if est.BCET.Cycles != res.Best {
+		t.Fatalf("BCET: ipet %d vs enumeration %d", est.BCET.Cycles, res.Best)
+	}
+}
+
+func TestLoopBudget(t *testing.T) {
+	src := `
+main:
+        addi r1, r0, 0
+.Lhead: slti r2, r1, 10
+        beq r2, r0, .Ldone
+        addi r1, r1, 1
+        jmp .Lhead
+.Ldone: halt
+`
+	prog, costs := buildCFG(t, src, false)
+	res, err := Enumerate(prog, "main", Options{
+		Bounds: map[string][]int64{"main": {10}},
+		Costs:  costs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paths: exit after 0,1,...,10 iterations = 11 paths.
+	if res.PathsExplored != 11 {
+		t.Fatalf("paths = %d, want 11", res.PathsExplored)
+	}
+	// Agreement with IPET under the matching annotation.
+	an, err := ipet.New(prog, "main", ipet.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := constraint.Parse("func main { loop 1: 0 .. 10 }\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := an.Apply(file); err != nil {
+		t.Fatal(err)
+	}
+	est, err := an.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.WCET.Cycles != res.Worst || est.BCET.Cycles != res.Best {
+		t.Fatalf("ipet [%d,%d] vs enumeration [%d,%d]",
+			est.BCET.Cycles, est.WCET.Cycles, res.Best, res.Worst)
+	}
+}
+
+func TestCallsAreAtomicSteps(t *testing.T) {
+	src := `
+main:
+        call f
+        call f
+        halt
+f:
+        beq r1, r0, .La
+        mul r2, r2, r2
+.La:    ret
+`
+	prog, costs := buildCFG(t, src, false)
+	res, err := Enumerate(prog, "main", Options{
+		Bounds: map[string][]int64{"main": {}, "f": {}},
+		Costs:  costs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// main contributes 1 path; f's 2 paths are enumerated once (memoized).
+	if res.PathsExplored != 1 {
+		t.Fatalf("paths = %d, want 1", res.PathsExplored)
+	}
+	if !res.Complete {
+		t.Fatal("incomplete")
+	}
+	// Worst must include twice f's worst arm.
+	an, err := ipet.New(prog, "main", ipet.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := an.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.WCET.Cycles != res.Worst {
+		t.Fatalf("ipet %d vs enumeration %d", est.WCET.Cycles, res.Worst)
+	}
+}
+
+func TestMaxPathsCap(t *testing.T) {
+	prog, costs := buildCFG(t, diamondChain(20), false)
+	res, err := Enumerate(prog, "main", Options{
+		Bounds:   map[string][]int64{"main": {}},
+		Costs:    costs,
+		MaxPaths: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Complete {
+		t.Fatal("cap not honored")
+	}
+	if res.PathsExplored < 1000 {
+		t.Fatalf("explored %d", res.PathsExplored)
+	}
+}
+
+func TestMissingBoundsError(t *testing.T) {
+	src := "main:\n.L: jmp .L\n"
+	prog, costs := buildCFG(t, src, false)
+	if _, err := Enumerate(prog, "main", Options{
+		Bounds: map[string][]int64{"main": {}},
+		Costs:  costs,
+	}); err == nil || !strings.Contains(err.Error(), "bounds") {
+		t.Fatalf("err = %v", err)
+	}
+	// A loop with no exit has no complete path even with a bound.
+	if _, err := Enumerate(prog, "main", Options{
+		Bounds: map[string][]int64{"main": {5}},
+		Costs:  costs,
+	}); err == nil || !strings.Contains(err.Error(), "no complete path") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNestedLoopsOnCompiledCode(t *testing.T) {
+	src := `
+int main() { return 0; }
+int f() {
+    int i, j, s;
+    s = 0;
+    for (i = 0; i < 3; i++)
+        for (j = 0; j < 4; j++)
+            s += i * j;
+    return s;
+}`
+	prog, costs := buildCFG(t, src, true)
+	fc := prog.Funcs["f"]
+	if len(fc.Loops) != 2 {
+		t.Fatalf("loops = %d", len(fc.Loops))
+	}
+	bounds := make([]int64, len(fc.Loops))
+	for i, l := range fc.Loops {
+		// Outer loop (more blocks) iterates 3 times, inner 4 times.
+		if len(l.Blocks) > len(fc.Loops[1-i].Blocks) {
+			bounds[i] = 3
+		} else {
+			bounds[i] = 4
+		}
+	}
+	res, err := Enumerate(prog, "f", Options{
+		Bounds: map[string][]int64{"f": bounds, "main": {}},
+		Costs:  costs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.Worst <= 0 {
+		t.Fatalf("res = %+v", res)
+	}
+	// IPET's aggregated loop bound can only be looser or equal.
+	an, err := ipet.New(prog, "f", ipet.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	annots := "func f {\n"
+	for i := range fc.Loops {
+		annots += fmt.Sprintf("  loop %d: 0 .. %d\n", i+1, bounds[i])
+	}
+	annots += "}\n"
+	file, err := constraint.Parse(annots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := an.Apply(file); err != nil {
+		t.Fatal(err)
+	}
+	est, err := an.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.WCET.Cycles < res.Worst {
+		t.Fatalf("ipet WCET %d below enumeration %d (unsound)", est.WCET.Cycles, res.Worst)
+	}
+	if est.BCET.Cycles > res.Best {
+		t.Fatalf("ipet BCET %d above enumeration %d (unsound)", est.BCET.Cycles, res.Best)
+	}
+}

@@ -1,0 +1,334 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"cinderella/internal/isa"
+)
+
+// Step fetches and executes one instruction and returns the cycles it
+// consumed (fetch + execute + penalties).
+func (m *Machine) Step() (int, error) {
+	if m.halted {
+		return 0, m.fault("step on halted machine")
+	}
+	if m.pc%isa.WordBytes != 0 || m.pc+isa.WordBytes > m.exe.TextBytes {
+		return 0, m.fault("instruction fetch outside text segment")
+	}
+	if m.counts != nil {
+		if _, ok := m.counts[m.pc]; ok {
+			m.counts[m.pc]++
+		}
+	}
+	ins, err := m.exe.Instr(m.pc)
+	if err != nil {
+		return 0, m.fault("%v", err)
+	}
+	info := isa.InfoFor(ins.Op)
+
+	cost := 1 + m.icache.Access(m.pc) // base fetch cycle + miss penalty
+	cost += m.cfg.Timing.Exec[ins.Op]
+	if m.lastLoadReg >= 0 && readsReg(ins, m.lastLoadReg, m.lastLoadFloat) {
+		cost += m.cfg.Timing.LoadUseStall
+	}
+	m.lastLoadReg = -1
+
+	next := m.pc + isa.WordBytes
+	taken := false
+
+	switch ins.Op {
+	case isa.OpNop:
+	case isa.OpHalt:
+		m.halted = true
+
+	case isa.OpAdd:
+		m.SetReg(int(ins.Rd), m.regs[ins.Rs1]+m.regs[ins.Rs2])
+	case isa.OpSub:
+		m.SetReg(int(ins.Rd), m.regs[ins.Rs1]-m.regs[ins.Rs2])
+	case isa.OpMul:
+		m.SetReg(int(ins.Rd), m.regs[ins.Rs1]*m.regs[ins.Rs2])
+	case isa.OpDiv:
+		if m.regs[ins.Rs2] == 0 {
+			return 0, m.fault("integer division by zero")
+		}
+		m.SetReg(int(ins.Rd), m.regs[ins.Rs1]/m.regs[ins.Rs2])
+	case isa.OpRem:
+		if m.regs[ins.Rs2] == 0 {
+			return 0, m.fault("integer remainder by zero")
+		}
+		m.SetReg(int(ins.Rd), m.regs[ins.Rs1]%m.regs[ins.Rs2])
+	case isa.OpAnd:
+		m.SetReg(int(ins.Rd), m.regs[ins.Rs1]&m.regs[ins.Rs2])
+	case isa.OpOr:
+		m.SetReg(int(ins.Rd), m.regs[ins.Rs1]|m.regs[ins.Rs2])
+	case isa.OpXor:
+		m.SetReg(int(ins.Rd), m.regs[ins.Rs1]^m.regs[ins.Rs2])
+	case isa.OpShl:
+		m.SetReg(int(ins.Rd), m.regs[ins.Rs1]<<(uint32(m.regs[ins.Rs2])&31))
+	case isa.OpShr:
+		m.SetReg(int(ins.Rd), int32(uint32(m.regs[ins.Rs1])>>(uint32(m.regs[ins.Rs2])&31)))
+	case isa.OpSra:
+		m.SetReg(int(ins.Rd), m.regs[ins.Rs1]>>(uint32(m.regs[ins.Rs2])&31))
+	case isa.OpSlt:
+		m.SetReg(int(ins.Rd), b2i(m.regs[ins.Rs1] < m.regs[ins.Rs2]))
+	case isa.OpSltu:
+		m.SetReg(int(ins.Rd), b2i(uint32(m.regs[ins.Rs1]) < uint32(m.regs[ins.Rs2])))
+
+	case isa.OpAddi:
+		m.SetReg(int(ins.Rd), m.regs[ins.Rs1]+ins.Imm)
+	case isa.OpSlti:
+		m.SetReg(int(ins.Rd), b2i(m.regs[ins.Rs1] < ins.Imm))
+	// The logical immediates zero-extend their 16-bit field (as on MIPS),
+	// which is what makes the lui+ori expansion of li/la work.
+	case isa.OpAndi:
+		m.SetReg(int(ins.Rd), int32(uint32(m.regs[ins.Rs1])&uint32(uint16(ins.Imm))))
+	case isa.OpOri:
+		m.SetReg(int(ins.Rd), int32(uint32(m.regs[ins.Rs1])|uint32(uint16(ins.Imm))))
+	case isa.OpXori:
+		m.SetReg(int(ins.Rd), int32(uint32(m.regs[ins.Rs1])^uint32(uint16(ins.Imm))))
+	case isa.OpShli:
+		m.SetReg(int(ins.Rd), m.regs[ins.Rs1]<<(uint32(ins.Imm)&31))
+	case isa.OpShri:
+		m.SetReg(int(ins.Rd), int32(uint32(m.regs[ins.Rs1])>>(uint32(ins.Imm)&31)))
+	case isa.OpSrai:
+		m.SetReg(int(ins.Rd), m.regs[ins.Rs1]>>(uint32(ins.Imm)&31))
+	case isa.OpLui:
+		m.SetReg(int(ins.Rd), int32(uint32(uint16(ins.Imm))<<16))
+
+	case isa.OpLw:
+		v, err := m.ReadWord(uint32(m.regs[ins.Rs1] + ins.Imm))
+		if err != nil {
+			return 0, err
+		}
+		m.SetReg(int(ins.Rd), v)
+		m.lastLoadReg, m.lastLoadFloat = int(ins.Rd), false
+	case isa.OpSw:
+		if err := m.WriteWord(uint32(m.regs[ins.Rs1]+ins.Imm), m.regs[ins.Rd]); err != nil {
+			return 0, err
+		}
+	case isa.OpLb:
+		v, err := m.LoadByte(uint32(m.regs[ins.Rs1] + ins.Imm))
+		if err != nil {
+			return 0, err
+		}
+		m.SetReg(int(ins.Rd), int32(int8(v)))
+		m.lastLoadReg, m.lastLoadFloat = int(ins.Rd), false
+	case isa.OpLbu:
+		v, err := m.LoadByte(uint32(m.regs[ins.Rs1] + ins.Imm))
+		if err != nil {
+			return 0, err
+		}
+		m.SetReg(int(ins.Rd), int32(v))
+		m.lastLoadReg, m.lastLoadFloat = int(ins.Rd), false
+	case isa.OpSb:
+		if err := m.StoreByte(uint32(m.regs[ins.Rs1]+ins.Imm), byte(m.regs[ins.Rd])); err != nil {
+			return 0, err
+		}
+	case isa.OpFld:
+		v, err := m.ReadFloat(uint32(m.regs[ins.Rs1] + ins.Imm))
+		if err != nil {
+			return 0, err
+		}
+		m.fregs[ins.Rd] = v
+		m.lastLoadReg, m.lastLoadFloat = int(ins.Rd), true
+	case isa.OpFst:
+		if err := m.WriteFloat(uint32(m.regs[ins.Rs1]+ins.Imm), m.fregs[ins.Rd]); err != nil {
+			return 0, err
+		}
+
+	case isa.OpBeq:
+		taken = m.regs[ins.Rs1] == m.regs[ins.Rs2]
+	case isa.OpBne:
+		taken = m.regs[ins.Rs1] != m.regs[ins.Rs2]
+	case isa.OpBlt:
+		taken = m.regs[ins.Rs1] < m.regs[ins.Rs2]
+	case isa.OpBge:
+		taken = m.regs[ins.Rs1] >= m.regs[ins.Rs2]
+	case isa.OpBltu:
+		taken = uint32(m.regs[ins.Rs1]) < uint32(m.regs[ins.Rs2])
+	case isa.OpBgeu:
+		taken = uint32(m.regs[ins.Rs1]) >= uint32(m.regs[ins.Rs2])
+	case isa.OpJmp:
+		next = uint32(ins.Imm) * isa.WordBytes
+		taken = true
+	case isa.OpCall:
+		m.SetReg(isa.RegLR, int32(m.pc+isa.WordBytes))
+		next = uint32(ins.Imm) * isa.WordBytes
+		taken = true
+	case isa.OpJr:
+		target := uint32(m.regs[ins.Rs1])
+		if target%isa.WordBytes != 0 {
+			return 0, m.fault("jr to misaligned address %#x", target)
+		}
+		next = target
+		taken = true
+
+	case isa.OpFadd:
+		m.fregs[ins.Rd] = m.fregs[ins.Rs1] + m.fregs[ins.Rs2]
+	case isa.OpFsub:
+		m.fregs[ins.Rd] = m.fregs[ins.Rs1] - m.fregs[ins.Rs2]
+	case isa.OpFmul:
+		m.fregs[ins.Rd] = m.fregs[ins.Rs1] * m.fregs[ins.Rs2]
+	case isa.OpFdiv:
+		m.fregs[ins.Rd] = m.fregs[ins.Rs1] / m.fregs[ins.Rs2]
+	case isa.OpFneg:
+		m.fregs[ins.Rd] = -m.fregs[ins.Rs1]
+	case isa.OpFabs:
+		m.fregs[ins.Rd] = math.Abs(m.fregs[ins.Rs1])
+	case isa.OpFsqrt:
+		m.fregs[ins.Rd] = math.Sqrt(m.fregs[ins.Rs1])
+	case isa.OpFsin:
+		m.fregs[ins.Rd] = math.Sin(m.fregs[ins.Rs1])
+	case isa.OpFcos:
+		m.fregs[ins.Rd] = math.Cos(m.fregs[ins.Rs1])
+	case isa.OpFatan:
+		m.fregs[ins.Rd] = math.Atan(m.fregs[ins.Rs1])
+	case isa.OpFexp:
+		m.fregs[ins.Rd] = math.Exp(m.fregs[ins.Rs1])
+	case isa.OpFlog:
+		m.fregs[ins.Rd] = math.Log(m.fregs[ins.Rs1])
+	case isa.OpFmov:
+		m.fregs[ins.Rd] = m.fregs[ins.Rs1]
+	case isa.OpFcvtIF:
+		m.fregs[ins.Rd] = float64(m.regs[ins.Rs1])
+	case isa.OpFcvtFI:
+		m.SetReg(int(ins.Rd), clampToInt32(m.fregs[ins.Rs1]))
+	case isa.OpFeq:
+		m.SetReg(int(ins.Rd), b2i(m.fregs[ins.Rs1] == m.fregs[ins.Rs2]))
+	case isa.OpFlt:
+		m.SetReg(int(ins.Rd), b2i(m.fregs[ins.Rs1] < m.fregs[ins.Rs2]))
+	case isa.OpFle:
+		m.SetReg(int(ins.Rd), b2i(m.fregs[ins.Rs1] <= m.fregs[ins.Rs2]))
+
+	default:
+		return 0, m.fault("unimplemented opcode %v", ins.Op)
+	}
+
+	if info.Branch && taken {
+		next = uint32(int64(m.pc) + isa.WordBytes + int64(ins.Imm)*isa.WordBytes)
+	}
+	if taken {
+		cost += m.cfg.Timing.BranchTakenPenalty
+	}
+
+	m.pc = next
+	m.cycles += uint64(cost)
+	m.steps++
+	if m.steps > m.cfg.MaxSteps {
+		return cost, m.fault("step watchdog exceeded (%d instructions)", m.cfg.MaxSteps)
+	}
+	return cost, nil
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func clampToInt32(f float64) int32 {
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case f >= math.MaxInt32:
+		return math.MaxInt32
+	case f <= math.MinInt32:
+		return math.MinInt32
+	}
+	return int32(f)
+}
+
+// readsReg reports whether ins reads register r of the given register file,
+// mirroring the pipeline's interlock logic.
+func readsReg(ins isa.Instruction, r int, float bool) bool {
+	if !float && r == isa.RegZero {
+		return false // r0 never interlocks
+	}
+	type use struct {
+		reg   int
+		float bool
+	}
+	var uses []use
+	switch ins.Op {
+	case isa.OpNop, isa.OpHalt, isa.OpLui, isa.OpJmp, isa.OpCall:
+	case isa.OpAdd, isa.OpSub, isa.OpMul, isa.OpDiv, isa.OpRem, isa.OpAnd,
+		isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr, isa.OpSra, isa.OpSlt, isa.OpSltu:
+		uses = []use{{int(ins.Rs1), false}, {int(ins.Rs2), false}}
+	case isa.OpAddi, isa.OpAndi, isa.OpOri, isa.OpXori, isa.OpShli, isa.OpShri,
+		isa.OpSrai, isa.OpSlti:
+		uses = []use{{int(ins.Rs1), false}}
+	case isa.OpLw, isa.OpLb, isa.OpLbu, isa.OpFld:
+		uses = []use{{int(ins.Rs1), false}}
+	case isa.OpSw, isa.OpSb:
+		uses = []use{{int(ins.Rs1), false}, {int(ins.Rd), false}}
+	case isa.OpFst:
+		uses = []use{{int(ins.Rs1), false}, {int(ins.Rd), true}}
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu, isa.OpBgeu:
+		uses = []use{{int(ins.Rs1), false}, {int(ins.Rs2), false}}
+	case isa.OpJr:
+		uses = []use{{int(ins.Rs1), false}}
+	case isa.OpFadd, isa.OpFsub, isa.OpFmul, isa.OpFdiv, isa.OpFeq, isa.OpFlt, isa.OpFle:
+		uses = []use{{int(ins.Rs1), true}, {int(ins.Rs2), true}}
+	case isa.OpFneg, isa.OpFabs, isa.OpFsqrt, isa.OpFsin, isa.OpFcos, isa.OpFatan,
+		isa.OpFexp, isa.OpFlog, isa.OpFmov, isa.OpFcvtFI:
+		uses = []use{{int(ins.Rs1), true}}
+	case isa.OpFcvtIF:
+		uses = []use{{int(ins.Rs1), false}}
+	}
+	for _, u := range uses {
+		if u.reg == r && u.float == float {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes until HALT, a fault, or the watchdog fires.
+func (m *Machine) Run() error {
+	for !m.halted {
+		if _, err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Call runs the function at addr with the given integer arguments and
+// returns the integer return value (register rv). Arguments are passed on
+// the stack per the compiler's convention: every argument occupies an
+// 8-byte slot, and at function entry argument i is the word at sp + 8*i.
+// The machine state (globals, cache) is otherwise left as-is so callers can
+// implement warm or flushed measurement protocols.
+func (m *Machine) Call(addr uint32, args ...int32) (int32, error) {
+	sp := uint32(m.regs[isa.RegSP])
+	sp -= uint32(8 * len(args))
+	for i, a := range args {
+		if err := m.WriteWord(sp+uint32(8*i), a); err != nil {
+			return 0, err
+		}
+	}
+	savedSP := m.regs[isa.RegSP]
+	m.regs[isa.RegSP] = int32(sp)
+	stop := StopAddr
+	m.SetReg(isa.RegLR, int32(stop))
+	m.pc = addr
+	m.halted = false
+	for m.pc != StopAddr && !m.halted {
+		if _, err := m.Step(); err != nil {
+			return 0, err
+		}
+	}
+	m.regs[isa.RegSP] = savedSP
+	return m.regs[isa.RegRV], nil
+}
+
+// CallNamed is Call addressing the function by symbol name.
+func (m *Machine) CallNamed(name string, args ...int32) (int32, error) {
+	f, ok := m.exe.FunctionNamed(name)
+	if !ok {
+		return 0, fmt.Errorf("sim: no function %q", name)
+	}
+	return m.Call(f.Addr, args...)
+}

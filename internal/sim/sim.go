@@ -1,0 +1,284 @@
+// Package sim is a cycle-counting simulator for CR32 executables. It stands
+// in for the paper's Intel QT960 evaluation board (20 MHz i960KB): it
+// executes programs deterministically and charges cycles according to the
+// same pipeline parameters the static cost model (package march) brackets —
+// per-instruction execute latencies, instruction-cache hit/miss fetch costs,
+// a branch-taken pipeline refill penalty, and a load-use interlock stall.
+//
+// Experiment 2's measurement protocol is reproduced with Flush (invalidate
+// the I-cache before a worst-case call) and warm re-runs for the best case.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/cache"
+	"cinderella/internal/isa"
+)
+
+// StopAddr is the sentinel return address installed by Call: when the
+// machine is about to fetch from it, the call has returned.
+const StopAddr uint32 = 0xfffffffc
+
+// Config describes the simulated machine.
+type Config struct {
+	// MemSize is the size of simulated memory in bytes; the stack grows
+	// down from the top. Default 1 MiB.
+	MemSize int
+	// Cache is the instruction cache geometry. Default cache.DefaultConfig.
+	Cache cache.Config
+	// Timing is the processor timing profile. Default isa.I960KB().
+	Timing *isa.Timing
+	// MaxSteps bounds execution as a runaway watchdog. Default 200M.
+	MaxSteps uint64
+}
+
+// DefaultConfig returns the standard board configuration.
+func DefaultConfig() Config {
+	return Config{MemSize: 1 << 20, Cache: cache.DefaultConfig(), Timing: isa.I960KB(), MaxSteps: 200_000_000}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MemSize == 0 {
+		c.MemSize = d.MemSize
+	}
+	if c.Cache == (cache.Config{}) {
+		c.Cache = d.Cache
+	}
+	if c.Timing == nil {
+		c.Timing = d.Timing
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = d.MaxSteps
+	}
+	return c
+}
+
+// Fault is a runtime error raised by the simulated machine.
+type Fault struct {
+	PC   uint32
+	Line int // assembly source line when known, else 0
+	Msg  string
+}
+
+func (f *Fault) Error() string {
+	if f.Line > 0 {
+		return fmt.Sprintf("sim: fault at pc=%#x (asm line %d): %s", f.PC, f.Line, f.Msg)
+	}
+	return fmt.Sprintf("sim: fault at pc=%#x: %s", f.PC, f.Msg)
+}
+
+// Machine is a simulated CR32 processor plus memory. Construct with New.
+type Machine struct {
+	exe *asm.Executable
+	cfg Config
+
+	mem   []byte
+	regs  [isa.NumIntRegs]int32
+	fregs [isa.NumFloatRegs]float64
+	pc    uint32
+
+	icache *cache.Cache
+
+	cycles uint64
+	steps  uint64
+	halted bool
+
+	// lastLoadReg is the destination register of the previous instruction
+	// when it was a load (for load-use interlock modelling); -1 otherwise.
+	// lastLoadFloat distinguishes the register file.
+	lastLoadReg   int
+	lastLoadFloat bool
+
+	// counts tracks executions of watched addresses (basic-block entries),
+	// implementing the paper's "insert a counter into each basic block"
+	// without perturbing timing.
+	counts map[uint32]uint64
+}
+
+// New builds a machine loaded with exe.
+func New(exe *asm.Executable, cfg Config) (*Machine, error) {
+	cfg = cfg.withDefaults()
+	if len(exe.Mem) > cfg.MemSize {
+		return nil, fmt.Errorf("sim: image (%d bytes) exceeds memory (%d bytes)", len(exe.Mem), cfg.MemSize)
+	}
+	if err := cfg.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	ic, err := cache.New(cfg.Cache)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{exe: exe, cfg: cfg, icache: ic, lastLoadReg: -1}
+	m.mem = make([]byte, cfg.MemSize)
+	copy(m.mem, exe.Mem)
+	m.pc = exe.Entry
+	m.regs[isa.RegSP] = int32(cfg.MemSize)
+	return m, nil
+}
+
+// Reset restores memory to the loaded image, clears registers, flushes the
+// cache and rewinds the program counter to the entry point.
+func (m *Machine) Reset() {
+	for i := range m.mem {
+		m.mem[i] = 0
+	}
+	copy(m.mem, m.exe.Mem)
+	m.regs = [isa.NumIntRegs]int32{}
+	m.fregs = [isa.NumFloatRegs]float64{}
+	m.regs[isa.RegSP] = int32(m.cfg.MemSize)
+	m.pc = m.exe.Entry
+	m.cycles, m.steps = 0, 0
+	m.halted = false
+	m.lastLoadReg = -1
+	m.icache.Flush()
+	m.icache.ResetStats()
+	for k := range m.counts {
+		delete(m.counts, k)
+	}
+}
+
+// Cycles returns total cycles charged so far.
+func (m *Machine) Cycles() uint64 { return m.cycles }
+
+// Steps returns the number of instructions executed so far.
+func (m *Machine) Steps() uint64 { return m.steps }
+
+// PC returns the current program counter.
+func (m *Machine) PC() uint32 { return m.pc }
+
+// SetPC repositions the program counter (a debugger-style entry point used
+// by harnesses that drive a routine with Step instead of Call). The target
+// must be word-aligned inside the text segment or the StopAddr sentinel.
+func (m *Machine) SetPC(addr uint32) error {
+	if addr != StopAddr && (addr%isa.WordBytes != 0 || addr+isa.WordBytes > m.exe.TextBytes) {
+		return fmt.Errorf("sim: SetPC target %#x outside text segment", addr)
+	}
+	m.pc = addr
+	m.halted = false
+	m.lastLoadReg = -1
+	return nil
+}
+
+// Halted reports whether a HALT instruction has executed.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Cache exposes the instruction cache (for Flush and statistics).
+func (m *Machine) Cache() *cache.Cache { return m.icache }
+
+// Reg returns integer register r.
+func (m *Machine) Reg(r int) int32 { return m.regs[r] }
+
+// SetReg sets integer register r (writes to r0 are ignored).
+func (m *Machine) SetReg(r int, v int32) {
+	if r != isa.RegZero {
+		m.regs[r] = v
+	}
+}
+
+// FReg returns float register r.
+func (m *Machine) FReg(r int) float64 { return m.fregs[r] }
+
+// SetFReg sets float register r.
+func (m *Machine) SetFReg(r int, v float64) { m.fregs[r] = v }
+
+// WatchBlocks registers basic-block entry addresses whose execution counts
+// should be recorded.
+func (m *Machine) WatchBlocks(addrs []uint32) {
+	if m.counts == nil {
+		m.counts = make(map[uint32]uint64, len(addrs))
+	}
+	for _, a := range addrs {
+		m.counts[a] = 0
+	}
+}
+
+// BlockCounts returns the recorded execution count per watched address.
+func (m *Machine) BlockCounts() map[uint32]uint64 {
+	out := make(map[uint32]uint64, len(m.counts))
+	for k, v := range m.counts {
+		out[k] = v
+	}
+	return out
+}
+
+func (m *Machine) fault(format string, args ...interface{}) error {
+	return &Fault{PC: m.pc, Line: m.exe.Lines[m.pc], Msg: fmt.Sprintf(format, args...)}
+}
+
+// checkAddr validates a data access of size bytes at addr.
+func (m *Machine) checkAddr(addr uint32, size uint32) error {
+	if addr%size != 0 {
+		return m.fault("misaligned %d-byte access at %#x", size, addr)
+	}
+	if uint64(addr)+uint64(size) > uint64(len(m.mem)) {
+		return m.fault("out-of-bounds %d-byte access at %#x", size, addr)
+	}
+	return nil
+}
+
+// ReadWord reads a 32-bit word from data memory.
+func (m *Machine) ReadWord(addr uint32) (int32, error) {
+	if err := m.checkAddr(addr, 4); err != nil {
+		return 0, err
+	}
+	return int32(uint32(m.mem[addr]) | uint32(m.mem[addr+1])<<8 |
+		uint32(m.mem[addr+2])<<16 | uint32(m.mem[addr+3])<<24), nil
+}
+
+// WriteWord writes a 32-bit word to data memory.
+func (m *Machine) WriteWord(addr uint32, v int32) error {
+	if err := m.checkAddr(addr, 4); err != nil {
+		return err
+	}
+	u := uint32(v)
+	m.mem[addr] = byte(u)
+	m.mem[addr+1] = byte(u >> 8)
+	m.mem[addr+2] = byte(u >> 16)
+	m.mem[addr+3] = byte(u >> 24)
+	return nil
+}
+
+// ReadFloat reads a float64 from data memory.
+func (m *Machine) ReadFloat(addr uint32) (float64, error) {
+	if err := m.checkAddr(addr, 8); err != nil {
+		return 0, err
+	}
+	var bits uint64
+	for i := uint32(0); i < 8; i++ {
+		bits |= uint64(m.mem[addr+i]) << (8 * i)
+	}
+	return math.Float64frombits(bits), nil
+}
+
+// WriteFloat writes a float64 to data memory.
+func (m *Machine) WriteFloat(addr uint32, v float64) error {
+	if err := m.checkAddr(addr, 8); err != nil {
+		return err
+	}
+	bits := math.Float64bits(v)
+	for i := uint32(0); i < 8; i++ {
+		m.mem[addr+i] = byte(bits >> (8 * i))
+	}
+	return nil
+}
+
+// LoadByte reads one byte of data memory.
+func (m *Machine) LoadByte(addr uint32) (byte, error) {
+	if uint64(addr) >= uint64(len(m.mem)) {
+		return 0, m.fault("out-of-bounds byte access at %#x", addr)
+	}
+	return m.mem[addr], nil
+}
+
+// StoreByte writes one byte of data memory.
+func (m *Machine) StoreByte(addr uint32, v byte) error {
+	if uint64(addr) >= uint64(len(m.mem)) {
+		return m.fault("out-of-bounds byte access at %#x", addr)
+	}
+	m.mem[addr] = v
+	return nil
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/isa"
+)
+
+func TestSetPC(t *testing.T) {
+	m := build(t, "main:\n nop\n nop\n halt\n")
+	if err := m.SetPC(4); err != nil {
+		t.Fatal(err)
+	}
+	if m.PC() != 4 {
+		t.Fatalf("pc = %#x", m.PC())
+	}
+	if err := m.SetPC(2); err == nil {
+		t.Fatal("misaligned SetPC accepted")
+	}
+	if err := m.SetPC(0x1000); err == nil {
+		t.Fatal("out-of-text SetPC accepted")
+	}
+	if err := m.SetPC(StopAddr); err != nil {
+		t.Fatalf("StopAddr SetPC rejected: %v", err)
+	}
+}
+
+func TestSetPCClearsHalt(t *testing.T) {
+	m := build(t, "main:\n halt\n nop\n")
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted() {
+		t.Fatal("not halted")
+	}
+	if err := m.SetPC(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Halted() {
+		t.Fatal("SetPC did not clear halt")
+	}
+}
+
+func TestFloatMemoryAlignmentFaults(t *testing.T) {
+	m := build(t, "main:\n halt\n")
+	if _, err := m.ReadFloat(4); err == nil {
+		t.Fatal("misaligned float read accepted")
+	}
+	if err := m.WriteFloat(12, 1.0); err == nil {
+		t.Fatal("misaligned float write accepted")
+	}
+	if _, err := m.ReadFloat(uint32(1 << 20)); err == nil {
+		t.Fatal("oob float read accepted")
+	}
+}
+
+func TestByteMemoryFaults(t *testing.T) {
+	m := build(t, "main:\n halt\n")
+	if _, err := m.LoadByte(1 << 21); err == nil {
+		t.Fatal("oob byte load accepted")
+	}
+	if err := m.StoreByte(1<<21, 1); err == nil {
+		t.Fatal("oob byte store accepted")
+	}
+	if err := m.StoreByte(100, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := m.LoadByte(100); err != nil || v != 0xAB {
+		t.Fatalf("byte round trip: %v %v", v, err)
+	}
+}
+
+func TestFetchOutsideText(t *testing.T) {
+	m := build(t, "main:\n jmp 0x100\n")
+	err := m.Run()
+	if err == nil || !strings.Contains(err.Error(), "outside text") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemainderAndDivideFaultMessages(t *testing.T) {
+	m := build(t, "main:\n li r1, 7\n rem r2, r1, r0\n halt\n")
+	if err := m.Run(); err == nil || !strings.Contains(err.Error(), "remainder by zero") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStoreConditionalOps(t *testing.T) {
+	// Exercise bltu/bgeu with boundary values.
+	m := build(t, `
+main:
+        li r1, -1           ; 0xffffffff: maximal unsigned
+        li r2, 1
+        bltu r1, r2, .La    ; not taken (unsigned)
+        addi r3, r0, 1
+.La:
+        bgeu r1, r2, .Lb    ; taken
+        addi r4, r0, 1
+.Lb:    halt
+`)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reg(3) != 1 {
+		t.Fatal("bltu mis-taken")
+	}
+	if m.Reg(4) != 0 {
+		t.Fatal("bgeu not taken")
+	}
+}
+
+func TestCallNamedUnknown(t *testing.T) {
+	m := build(t, "main:\n halt\n")
+	if _, err := m.CallNamed("ghost"); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+}
+
+func TestDefaultConfigTiming(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Timing == nil || cfg.Timing.Name != "i960kb" {
+		t.Fatalf("default timing: %+v", cfg.Timing)
+	}
+	exe := buildExe(t, "main:\n halt\n")
+	bad := isa.I960KB()
+	bad.Exec[isa.OpAdd] = 0
+	if _, err := New(exe, Config{Timing: bad}); err == nil {
+		t.Fatal("invalid timing accepted")
+	}
+}
+
+func buildExe(t *testing.T, src string) *asm.Executable {
+	t.Helper()
+	return build(t, src).exe
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"cinderella/internal/bench"
+	"cinderella/internal/eval"
+	"cinderella/internal/ipet"
+	"cinderella/internal/sim"
+)
+
+// diffCounts compares the ILP's worst-case block counts against the
+// observed counts of the worst-case data run, weighted by worst cost.
+func diffCounts(name string) {
+	b, _ := bench.ByName(name)
+	bt, err := b.Build(ipet.DefaultOptions())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var setup eval.Setup
+	if b.WorstSetup != nil {
+		setup = func(m *sim.Machine) error { return b.WorstSetup(m, bt.Exe) }
+	}
+	counts, err := eval.CountRun(bt.Exe, bt.CFG, b.Root, setup, sim.Config{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	costs := bt.Costs()
+	type row struct {
+		fn  string
+		blk int
+		est int64
+		obs int64
+		gap int64
+	}
+	var rows []row
+	for fn, est := range bt.Est.WCET.Counts {
+		for i := range est {
+			gap := (est[i] - counts[fn][i]) * costs[fn][i].Worst
+			if gap != 0 {
+				rows = append(rows, row{fn, i + 1, est[i], counts[fn][i], gap})
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].gap > rows[j].gap })
+	total := int64(0)
+	for _, r := range rows {
+		total += r.gap
+	}
+	fmt.Printf("== %s: est WCET %d, total weighted gap %d\n", name, bt.Est.WCET.Cycles, total)
+	for i, r := range rows {
+		if i > 14 {
+			break
+		}
+		fmt.Printf("  %s x%d: est %d obs %d  gap %d\n", r.fn, r.blk, r.est, r.obs, r.gap)
+	}
+}

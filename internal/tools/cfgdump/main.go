@@ -1,0 +1,76 @@
+// Command cfgdump is a maintenance tool for the benchmark annotations: it
+// prints the annotated CFG listing of a registered Table I benchmark (the
+// block/edge/call-site numbering the annotation language refers to),
+// optionally the instructions of one function, and with -diff the weighted
+// gap between the ILP's worst-case block counts and the counts observed on
+// the worst-case data run — the view used to chase path pessimism down to
+// zero.
+//
+//	go run ./internal/tools/cfgdump <bench> [function]
+//	go run ./internal/tools/cfgdump -diff <bench>
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"cinderella/internal/bench"
+	"cinderella/internal/cc"
+	"cinderella/internal/cfg"
+	"cinderella/internal/ipet"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: cfgdump <bench> [function] | cfgdump -diff <bench>")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	if os.Args[1] == "-diff" {
+		if len(os.Args) < 3 {
+			usage()
+		}
+		diffCounts(os.Args[2])
+		return
+	}
+	b, ok := bench.ByName(os.Args[1])
+	if !ok {
+		fmt.Fprintf(os.Stderr, "cfgdump: no benchmark %q\n", os.Args[1])
+		os.Exit(1)
+	}
+	exe, _, err := cc.Build(b.Source)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := cfg.Build(exe)
+	if err != nil {
+		fatal(err)
+	}
+	an, err := ipet.New(prog, b.Root, ipet.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(an.AnnotatedListing())
+	if len(os.Args) > 2 {
+		fc, ok := prog.Funcs[os.Args[2]]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "cfgdump: no function %q\n", os.Args[2])
+			os.Exit(1)
+		}
+		for _, blk := range fc.Blocks {
+			fmt.Printf("-- x%d:\n", blk.Index+1)
+			for pc := blk.Start; pc < blk.End; pc += 4 {
+				ins, _ := exe.Instr(pc)
+				fmt.Printf("    %06x %s\n", pc, ins)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cfgdump:", err)
+	os.Exit(1)
+}
