@@ -30,6 +30,7 @@ func BenchmarkTable1(b *testing.B) {
 	for _, bm := range bench.All() {
 		bm := bm
 		b.Run(bm.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			var bt *bench.Built
 			for i := 0; i < b.N; i++ {
 				var err error
@@ -51,6 +52,7 @@ func BenchmarkTable2(b *testing.B) {
 	for _, bm := range bench.All() {
 		bm := bm
 		b.Run(bm.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			bt, err := bm.Build(ipet.DefaultOptions())
 			if err != nil {
 				b.Fatal(err)
@@ -78,6 +80,7 @@ func BenchmarkTable3(b *testing.B) {
 	for _, bm := range bench.All() {
 		bm := bm
 		b.Run(bm.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			bt, err := bm.Build(ipet.DefaultOptions())
 			if err != nil {
 				b.Fatal(err)
@@ -101,6 +104,7 @@ func BenchmarkTable3(b *testing.B) {
 // ---- Figure 1: the estimated bound encloses the actual bound ----
 
 func BenchmarkFig1BoundEnclosure(b *testing.B) {
+	b.ReportAllocs()
 	bm, _ := bench.ByName("check_data")
 	bt, err := bm.Build(ipet.DefaultOptions())
 	if err != nil {
@@ -123,6 +127,7 @@ func BenchmarkFig1BoundEnclosure(b *testing.B) {
 // paper's illustrative examples.
 func figurePipeline(b *testing.B, src, root string, annots string) *ipet.Estimate {
 	b.Helper()
+	b.ReportAllocs()
 	exe, err := asm.Assemble(src)
 	if err != nil {
 		b.Fatal(err)
@@ -201,6 +206,7 @@ store:
 
 // Figure 5: check_data with the full functionality constraints (eqs. 14-17).
 func BenchmarkFig5CheckData(b *testing.B) {
+	b.ReportAllocs()
 	bm, _ := bench.ByName("check_data")
 	var est *ipet.Estimate
 	for i := 0; i < b.N; i++ {
@@ -217,6 +223,7 @@ func BenchmarkFig5CheckData(b *testing.B) {
 // Figure 6: the caller-context constraint (eq. 18) via fullsearch's
 // context-qualified dist1 facts.
 func BenchmarkFig6CallerContext(b *testing.B) {
+	b.ReportAllocs()
 	bm, _ := bench.ByName("fullsearch")
 	var bt *bench.Built
 	for i := 0; i < b.N; i++ {
@@ -243,6 +250,7 @@ func BenchmarkILPSolve(b *testing.B) {
 	for _, bm := range bench.All() {
 		bm := bm
 		b.Run(bm.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			var est *ipet.Estimate
 			for i := 0; i < b.N; i++ {
 				bt, err := bm.Build(ipet.DefaultOptions())
@@ -293,6 +301,7 @@ func BenchmarkExplicitVsImplicit(b *testing.B) {
 			"main": march.CostsOf(prog.Funcs["main"], march.DefaultOptions()),
 		}
 		b.Run(fmt.Sprintf("explicit/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var res *pathenum.Result
 			for i := 0; i < b.N; i++ {
 				res, err = pathenum.Enumerate(prog, "main", pathenum.Options{
@@ -306,6 +315,7 @@ func BenchmarkExplicitVsImplicit(b *testing.B) {
 			b.ReportMetric(float64(res.PathsExplored), "paths")
 		})
 		b.Run(fmt.Sprintf("implicit/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var est *ipet.Estimate
 			for i := 0; i < b.N; i++ {
 				an, err := ipet.New(prog, "main", ipet.DefaultOptions())
@@ -335,6 +345,7 @@ func BenchmarkAblationPipelineModel(b *testing.B) {
 			name = "crude"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			opts := ipet.DefaultOptions()
 			opts.March.ModelPipeline = exact
 			var bt *bench.Built
@@ -360,6 +371,7 @@ func BenchmarkAblationFirstIterSplit(b *testing.B) {
 			name = "split"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			opts := ipet.DefaultOptions()
 			opts.SplitFirstIteration = split
 			var bt *bench.Built
@@ -393,6 +405,7 @@ func BenchmarkAblationNullPruning(b *testing.B) {
 			name = "unpruned"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			opts := ipet.DefaultOptions()
 			opts.PruneNullSets = prune
 			var bt *bench.Built
@@ -406,5 +419,54 @@ func BenchmarkAblationNullPruning(b *testing.B) {
 			b.ReportMetric(float64(bt.Est.SolvedSets), "sets_solved")
 			b.ReportMetric(float64(bt.Est.LPSolves), "lp_calls")
 		})
+	}
+}
+
+// ---- E-S3: parallel constraint-set solving (Workers fan-out) ----
+
+// BenchmarkEstimateParallel times a full Estimate — the sets x {max,min}
+// ILP jobs — at several worker-pool sizes over the two multi-set
+// benchmarks. Pruning is disabled so dhry presents all 8 generated sets
+// (16 jobs) to the pool; every worker count produces the identical bound
+// (asserted here and, under -race, by TestParallelEstimateDeterminism).
+func BenchmarkEstimateParallel(b *testing.B) {
+	for _, name := range []string{"dhry", "des"} {
+		bm, ok := bench.ByName(name)
+		if !ok {
+			b.Fatalf("unknown benchmark %q", name)
+		}
+		var baseline *ipet.Estimate
+		for _, workers := range []int{1, 2, 4, 8} {
+			workers := workers
+			b.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				opts := ipet.DefaultOptions()
+				opts.PruneNullSets = false
+				opts.Workers = workers
+				bt, err := bm.Build(opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var est *ipet.Estimate
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					est, err = bt.An.Estimate()
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if workers == 1 {
+					baseline = est
+				} else if baseline != nil &&
+					(est.WCET.Cycles != baseline.WCET.Cycles || est.BCET.Cycles != baseline.BCET.Cycles) {
+					b.Fatalf("workers=%d bound [%d,%d] != sequential [%d,%d]",
+						workers, est.BCET.Cycles, est.WCET.Cycles,
+						baseline.BCET.Cycles, baseline.WCET.Cycles)
+				}
+				b.ReportMetric(float64(est.SolvedSets*2), "ilp_jobs")
+				b.ReportMetric(float64(est.WCET.Cycles), "wcet_cycles")
+			})
+		}
 	}
 }

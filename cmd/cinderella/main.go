@@ -44,6 +44,7 @@ func main() {
 		table2    = flag.Bool("table2", false, "print the Table II analog (estimated vs calculated)")
 		table3    = flag.Bool("table3", false, "print the Table III analog (estimated vs measured)")
 		stats     = flag.Bool("stats", false, "print ILP solver statistics (Section VI observation)")
+		workers   = flag.Int("j", 0, "concurrent ILP solves across constraint sets (0 = GOMAXPROCS, 1 = sequential)")
 		mhz       = flag.Float64("mhz", 20, "clock frequency used to report times (the QT960 runs at 20 MHz)")
 		profile   = flag.String("profile", "i960kb", "processor timing profile (i960kb, dsp3210)")
 	)
@@ -56,6 +57,7 @@ func main() {
 	opts := ipet.DefaultOptions()
 	opts.SplitFirstIteration = *split
 	opts.PruneNullSets = !*noPrune
+	opts.Workers = *workers
 	opts.March.Timing = timing
 
 	if *table1 || *table2 || *table3 || *stats {

@@ -6,6 +6,7 @@ import (
 	"cinderella/internal/cc"
 	"cinderella/internal/cfg"
 	"cinderella/internal/eval"
+	"cinderella/internal/ilp"
 	"cinderella/internal/ipet"
 )
 
@@ -328,5 +329,45 @@ func TestCompilesDeterministically(t *testing.T) {
 	}
 	if _, err := cfg.Build(exe1); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBenchProgramsSparseDenseDifferential rebuilds the whole suite with
+// the solver's sparse/dense self-check armed: every simplex call made
+// while estimating the 13 benchmarks is replayed through the dense oracle,
+// and any divergence in status or objective panics. This extends the
+// fixture-level differential of internal/ilp to the production workloads.
+func TestBenchProgramsSparseDenseDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebuilds the full suite twice per LP")
+	}
+	ilp.SetSelfCheck(true)
+	defer ilp.SetSelfCheck(false)
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			if _, err := b.Build(ipet.DefaultOptions()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkBuild times the full pipeline — compile, CFG, annotate,
+// estimate — for the two ILP-heaviest benchmarks of the suite.
+func BenchmarkBuild(b *testing.B) {
+	for _, name := range []string{"dhry", "fullsearch"} {
+		bm, ok := ByName(name)
+		if !ok {
+			b.Fatalf("unknown benchmark %q", name)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bm.Build(ipet.DefaultOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

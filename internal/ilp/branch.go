@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -12,7 +13,19 @@ const MaxNodes = 200000
 // Solve optimizes the problem. For Integer problems it runs branch and
 // bound over LP relaxations; otherwise it is a single simplex solve.
 func Solve(p *Problem) (*Solution, error) {
+	return SolveCtx(context.Background(), p)
+}
+
+// SolveCtx is Solve with cancellation: the context is checked before the
+// root relaxation and between branch-and-bound nodes, so a concurrent
+// caller (the parallel constraint-set fan-out of package ipet) can abandon
+// in-flight solves once a sibling job has failed. Returns ctx.Err() when
+// cancelled.
+func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	sol := &Solution{}
@@ -48,6 +61,9 @@ func Solve(p *Problem) (*Solution, error) {
 	stack := []node{{bound: obj}}
 	nodes := 0
 	for len(stack) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if best != nil && !better(nd.bound, best.Objective) {
@@ -61,6 +77,7 @@ func Solve(p *Problem) (*Solution, error) {
 			Sense:       p.Sense,
 			NumVars:     p.NumVars,
 			Objective:   p.Objective,
+			Prefix:      p.Prefix,
 			Constraints: append(append([]Constraint{}, p.Constraints...), nd.extra...),
 		}
 		status, obj, x, pivots := simplex(sub)

@@ -66,9 +66,15 @@ type Constraint struct {
 // Problem is an (integer) linear program over variables x_0..x_{NumVars-1},
 // all implicitly >= 0.
 type Problem struct {
-	Sense       Sense
-	NumVars     int
-	Objective   map[int]float64
+	Sense     Sense
+	NumVars   int
+	Objective map[int]float64
+	// Prefix holds constraint rows pre-lowered with Pack, logically
+	// preceding Constraints. Callers solving many problems that share a
+	// common row prefix (one ILP per functionality constraint set) pack
+	// the shared rows once and attach them here; the rows are read-only
+	// and safe to share across concurrent Solves.
+	Prefix      []PackedRow
 	Constraints []Constraint
 	// Integer requires an all-integer solution (branch and bound).
 	Integer bool
@@ -124,7 +130,12 @@ const intTol = 1e-6
 // eps is the general numeric tolerance of the simplex.
 const eps = 1e-9
 
-// Validate performs structural sanity checks on the problem.
+// Validate performs structural sanity checks on the problem. A problem
+// with NumVars <= 0 is rejected outright — there is nothing to optimize —
+// so Solve reports a distinct error for it rather than a degenerate
+// Optimal 0 solution (an empty constraint list with NumVars > 0 is legal:
+// the feasible region is the nonnegative orthant and the solve reports
+// Unbounded or Optimal at the origin accordingly).
 func (p *Problem) Validate() error {
 	if p.NumVars <= 0 {
 		return fmt.Errorf("ilp: problem has no variables")
@@ -142,6 +153,22 @@ func (p *Problem) Validate() error {
 	}
 	if err := check(p.Objective, "objective"); err != nil {
 		return err
+	}
+	for ri, r := range p.Prefix {
+		if len(r.Cols) != len(r.Vals) {
+			return fmt.Errorf("ilp: packed row %d has %d columns but %d values", ri, len(r.Cols), len(r.Vals))
+		}
+		for k, col := range r.Cols {
+			if col < 0 || int(col) >= p.NumVars {
+				return fmt.Errorf("ilp: packed row %d references variable %d (have %d)", ri, col, p.NumVars)
+			}
+			if math.IsNaN(r.Vals[k]) || math.IsInf(r.Vals[k], 0) {
+				return fmt.Errorf("ilp: packed row %d has non-finite coefficient for x%d", ri, col)
+			}
+		}
+		if math.IsNaN(r.RHS) || math.IsInf(r.RHS, 0) {
+			return fmt.Errorf("ilp: packed row %d has non-finite rhs", ri)
+		}
 	}
 	for ci, c := range p.Constraints {
 		where := c.Name
@@ -168,24 +195,32 @@ func (p *Problem) Feasible(x []float64, tol float64) bool {
 			return false
 		}
 	}
+	holds := func(lhs float64, rel Relation, rhs float64) bool {
+		switch rel {
+		case LE:
+			return lhs <= rhs+tol
+		case GE:
+			return lhs >= rhs-tol
+		default:
+			return math.Abs(lhs-rhs) <= tol
+		}
+	}
+	for _, r := range p.Prefix {
+		lhs := 0.0
+		for k, col := range r.Cols {
+			lhs += r.Vals[k] * x[col]
+		}
+		if !holds(lhs, r.Rel, r.RHS) {
+			return false
+		}
+	}
 	for _, c := range p.Constraints {
 		lhs := 0.0
 		for i, coef := range c.Coeffs {
 			lhs += coef * x[i]
 		}
-		switch c.Rel {
-		case LE:
-			if lhs > c.RHS+tol {
-				return false
-			}
-		case GE:
-			if lhs < c.RHS-tol {
-				return false
-			}
-		case EQ:
-			if math.Abs(lhs-c.RHS) > tol {
-				return false
-			}
+		if !holds(lhs, c.Rel, c.RHS) {
+			return false
 		}
 	}
 	return true
@@ -204,6 +239,10 @@ func (p *Problem) EvalObjective(x []float64) float64 {
 func (p *Problem) String() string {
 	s := fmt.Sprintf("%s ", p.Sense)
 	s += renderLinear(p.Objective) + "\ns.t.\n"
+	for _, r := range p.Prefix {
+		c := r.unpack()
+		s += "  " + renderLinear(c.Coeffs) + " " + c.Rel.String() + " " + trimFloat(c.RHS) + "\n"
+	}
 	for _, c := range p.Constraints {
 		s += "  " + renderLinear(c.Coeffs) + " " + c.Rel.String() + " " + trimFloat(c.RHS)
 		if c.Name != "" {

@@ -368,6 +368,108 @@ func TestStringRendering(t *testing.T) {
 	}
 }
 
+// TestDegenerateProblems pins the documented behavior on empty and
+// near-empty inputs: NumVars == 0 is a distinct Validate error (never a
+// silent Optimal 0), an empty constraint list resolves at the origin
+// (Unbounded when the objective improves off it, Optimal 0 otherwise), and
+// single-row constant or degenerate systems get their mathematically
+// correct status.
+func TestDegenerateProblems(t *testing.T) {
+	cases := []struct {
+		name    string
+		p       *Problem
+		wantErr bool
+		status  Status
+		obj     float64
+	}{
+		{
+			name:    "no variables",
+			p:       &Problem{NumVars: 0, Sense: Maximize},
+			wantErr: true,
+		},
+		{
+			name:    "no variables with constraints",
+			p:       &Problem{NumVars: 0, Constraints: []Constraint{c(map[int]float64{}, LE, 1)}},
+			wantErr: true,
+		},
+		{
+			name:   "empty constraints improving objective",
+			p:      &Problem{NumVars: 1, Sense: Maximize, Objective: map[int]float64{0: 1}},
+			status: Unbounded,
+		},
+		{
+			name:   "empty constraints minimizing",
+			p:      &Problem{NumVars: 1, Sense: Minimize, Objective: map[int]float64{0: 1}},
+			status: Optimal, obj: 0,
+		},
+		{
+			name:   "empty constraints worsening objective",
+			p:      &Problem{NumVars: 2, Sense: Maximize, Objective: map[int]float64{0: -3, 1: -1}},
+			status: Optimal, obj: 0,
+		},
+		{
+			name:   "empty constraints zero objective",
+			p:      &Problem{NumVars: 3, Sense: Maximize},
+			status: Optimal, obj: 0,
+		},
+		{
+			name: "single constant row infeasible",
+			p: &Problem{NumVars: 1, Sense: Maximize, Objective: map[int]float64{0: 1},
+				Constraints: []Constraint{c(map[int]float64{}, GE, 5)}},
+			status: Infeasible,
+		},
+		{
+			name: "single constant row redundant",
+			p: &Problem{NumVars: 1, Sense: Minimize, Objective: map[int]float64{0: 2},
+				Constraints: []Constraint{c(map[int]float64{}, LE, 5)}},
+			status: Optimal, obj: 0,
+		},
+		{
+			name: "single trivial equality",
+			p: &Problem{NumVars: 1, Sense: Minimize, Objective: map[int]float64{0: 1},
+				Constraints: []Constraint{c(map[int]float64{}, EQ, 0)}},
+			status: Optimal, obj: 0,
+		},
+		{
+			name: "single row pins variable",
+			p: &Problem{NumVars: 1, Sense: Maximize, Objective: map[int]float64{0: 7},
+				Constraints: []Constraint{c(map[int]float64{0: 1}, EQ, 3)}},
+			status: Optimal, obj: 21,
+		},
+		{
+			name: "single row all coefficients zero with nonzero rhs",
+			p: &Problem{NumVars: 2, Sense: Maximize, Objective: map[int]float64{0: 1},
+				Constraints: []Constraint{c(map[int]float64{0: 0, 1: 0}, EQ, 4)}},
+			status: Infeasible,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sol, err := Solve(tc.p)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Solve accepted %s (got %+v)", tc.name, sol)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Solve: %v", err)
+			}
+			if sol.Status != tc.status {
+				t.Fatalf("status = %v, want %v", sol.Status, tc.status)
+			}
+			if tc.status == Optimal && math.Abs(sol.Objective-tc.obj) > 1e-6 {
+				t.Fatalf("objective = %v, want %v", sol.Objective, tc.obj)
+			}
+			// The degenerate paths must agree with the dense oracle too.
+			dStatus, dObj, _, _ := denseSimplex(tc.p)
+			if dStatus != tc.status || (tc.status == Optimal && math.Abs(dObj-tc.obj) > 1e-6) {
+				t.Fatalf("dense oracle disagrees: %v %v", dStatus, dObj)
+			}
+		})
+	}
+}
+
 func contains(s, sub string) bool {
 	return len(s) >= len(sub) && (func() bool {
 		for i := 0; i+len(sub) <= len(s); i++ {

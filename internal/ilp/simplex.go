@@ -2,15 +2,21 @@ package ilp
 
 import "math"
 
-// simplex solves the LP relaxation of p (ignoring Integer) with a two-phase
-// dense-tableau primal simplex. It returns the status, optimum objective,
-// variable values and the pivot count.
+// denseSimplex solves the LP relaxation of p (ignoring Integer) with a
+// two-phase dense-tableau primal simplex. It returns the status, optimum
+// objective, variable values and the pivot count.
+//
+// This is the original reference implementation, retained as the
+// differential oracle for the sparse-aware production simplex in sparse.go
+// (see SetSelfCheck): both perform the same pivot sequence, so they must
+// agree on status and objective. It reads only p.Constraints — callers
+// with a packed Prefix go through unpackProblem first.
 //
 // Standard form used internally: maximize cᵀx subject to rows of
 // (A|b) with b >= 0, a slack for every <=, a surplus plus artificial for
 // every >=, and an artificial for every =. Phase 1 drives the artificials
 // to zero; phase 2 optimizes the real objective.
-func simplex(p *Problem) (Status, float64, []float64, int) {
+func denseSimplex(p *Problem) (Status, float64, []float64, int) {
 	m := len(p.Constraints)
 	n := p.NumVars
 

@@ -1,0 +1,403 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// The constraint rows of this domain are network-flow sparse: a block
+// equation touches the block variable and its few incident edges, a loop
+// bound touches the entry and back edges, so almost every tableau column is
+// zero in almost every row. The production simplex below exploits that: it
+// builds rows directly from the sparse coefficient form (skipping zeros),
+// keeps a per-row upper bound on the last nonzero column so inner loops
+// never walk the untouched tail of the tableau, updates rows during a pivot
+// only at the pivot row's nonzero columns, and draws all of its working
+// memory (tableau rows, reduced costs, basis, objectives) from a sync.Pool
+// arena so the branch-and-bound re-solves and the per-set parallel fan-out
+// of package ipet stop hammering the allocator.
+//
+// The original dense implementation is retained in simplex.go as
+// denseSimplex, the differential oracle: both perform mathematically
+// identical pivots (the sparse inner loops skip only coefficients that are
+// exactly zero), and SetSelfCheck can force every production solve to be
+// verified against it.
+
+// scratch is the pooled working memory of one simplex call.
+type scratch struct {
+	tab   [][]float64
+	basis []int
+	hi    []int // hi[i] bounds the last nonzero column of row i (rhs excluded)
+	rc    []float64
+	obj   []float64
+	cols  []int // nonzero columns of the current pivot row
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// getScratch returns an arena with m zeroed tableau rows of the given
+// width and the side arrays sized to match.
+func getScratch(m, width int) *scratch {
+	s := scratchPool.Get().(*scratch)
+	if cap(s.tab) < m {
+		s.tab = append(s.tab[:cap(s.tab)], make([][]float64, m-cap(s.tab))...)
+	}
+	s.tab = s.tab[:m]
+	for i := range s.tab {
+		if cap(s.tab[i]) < width {
+			s.tab[i] = make([]float64, width)
+		} else {
+			s.tab[i] = s.tab[i][:width]
+			clear(s.tab[i])
+		}
+	}
+	if cap(s.basis) < m {
+		s.basis = make([]int, m)
+		s.hi = make([]int, m)
+	}
+	s.basis = s.basis[:m]
+	s.hi = s.hi[:m]
+	if cap(s.rc) < width {
+		s.rc = make([]float64, width)
+		s.obj = make([]float64, width)
+	}
+	s.rc = s.rc[:width]
+	s.obj = s.obj[:width]
+	return s
+}
+
+// selfCheck, when enabled via SetSelfCheck, verifies every sparse solve
+// against the dense oracle.
+var selfCheck atomic.Bool
+
+// SetSelfCheck toggles differential verification: with it on, every
+// simplex solve is re-run through the retained dense-tableau oracle and
+// the two must agree on status and objective (within 1e-6), panicking
+// otherwise. Intended for tests; the dense re-solve roughly doubles the
+// cost of every LP.
+func SetSelfCheck(on bool) { selfCheck.Store(on) }
+
+// simplex solves the LP relaxation of p (ignoring Integer): it lowers
+// Prefix and Constraints into the pooled sparse-aware tableau and runs the
+// two-phase primal simplex. Degenerate inputs get a defined treatment
+// rather than a silent Optimal 0: with no constraint rows at all the
+// origin is the unique basic point, so the result is Unbounded when the
+// objective improves off the origin and Optimal at x = 0 otherwise; a
+// problem with NumVars == 0 never reaches here through Solve (Validate
+// rejects it) but a direct call gets the same origin treatment over an
+// empty solution vector, with infeasible constant rows (e.g. 0 >= 5)
+// reported as Infeasible by phase 1.
+func simplex(p *Problem) (Status, float64, []float64, int) {
+	status, obj, x, pivots := sparseSimplex(p)
+	if selfCheck.Load() {
+		dStatus, dObj, _, _ := denseSimplex(unpackProblem(p))
+		if dStatus != status || (status == Optimal && math.Abs(dObj-obj) > 1e-6) {
+			panic(fmt.Sprintf("ilp: sparse/dense divergence: sparse %v %.9g, dense %v %.9g on\n%s",
+				status, obj, dStatus, dObj, unpackProblem(p)))
+		}
+	}
+	return status, obj, x, pivots
+}
+
+func sparseSimplex(p *Problem) (Status, float64, []float64, int) {
+	n := p.NumVars
+	mPre := len(p.Prefix)
+	m := mPre + len(p.Constraints)
+
+	sign := 1.0
+	if p.Sense == Minimize {
+		sign = -1
+	}
+
+	// No rows: the origin is the only basic feasible point.
+	if m == 0 {
+		for j, v := range p.Objective {
+			if j < n && sign*v > eps {
+				return Unbounded, 0, nil, 0
+			}
+		}
+		return Optimal, 0, make([]float64, n), 0
+	}
+
+	// Pass 1: count auxiliary columns from the normalized relations.
+	numSlack, numArt := 0, 0
+	countRel := func(rel Relation) {
+		switch rel {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+	for i := range p.Prefix {
+		countRel(p.Prefix[i].Rel)
+	}
+	for i := range p.Constraints {
+		rel := p.Constraints[i].Rel
+		if p.Constraints[i].RHS < 0 {
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		countRel(rel)
+	}
+
+	total := n + numSlack + numArt
+	width := total + 1 // + rhs column
+	s := getScratch(m, width)
+	defer scratchPool.Put(s)
+	tab, basis, hi := s.tab, s.basis, s.hi
+
+	// Pass 2: build the rows sparsely, tracking each row's nonzero bound.
+	slackCol := n
+	artCol := n + numSlack
+	artStart := artCol
+	for i := 0; i < m; i++ {
+		r := tab[i]
+		var rel Relation
+		var rhs float64
+		top := 0
+		if i < mPre {
+			pr := &p.Prefix[i]
+			for k, col := range pr.Cols {
+				r[col] = pr.Vals[k]
+			}
+			if len(pr.Cols) > 0 {
+				top = int(pr.Cols[len(pr.Cols)-1])
+			}
+			rel, rhs = pr.Rel, pr.RHS
+		} else {
+			c := &p.Constraints[i-mPre]
+			rel, rhs = c.Rel, c.RHS
+			neg := rhs < 0
+			if neg {
+				rhs = -rhs
+				switch rel {
+				case LE:
+					rel = GE
+				case GE:
+					rel = LE
+				}
+			}
+			for j, v := range c.Coeffs {
+				if v == 0 {
+					continue
+				}
+				if neg {
+					v = -v
+				}
+				r[j] = v
+				if j > top {
+					top = j
+				}
+			}
+		}
+		r[total] = rhs
+		switch rel {
+		case LE:
+			r[slackCol] = 1
+			basis[i] = slackCol
+			top = slackCol
+			slackCol++
+		case GE:
+			r[slackCol] = -1
+			slackCol++
+			r[artCol] = 1
+			basis[i] = artCol
+			top = artCol
+			artCol++
+		case EQ:
+			r[artCol] = 1
+			basis[i] = artCol
+			top = artCol
+			artCol++
+		}
+		hi[i] = top
+	}
+
+	pivots := 0
+	pivot := func(row, col int) {
+		pivots++
+		pr := tab[row]
+		pv := pr[col]
+		hr := hi[row]
+		s.cols = s.cols[:0]
+		for j := 0; j <= hr; j++ {
+			if pr[j] != 0 {
+				pr[j] /= pv
+				s.cols = append(s.cols, j)
+			}
+		}
+		pr[total] /= pv
+		for i := range tab {
+			if i == row {
+				continue
+			}
+			ri := tab[i]
+			f := ri[col]
+			if f == 0 {
+				continue
+			}
+			for _, j := range s.cols {
+				ri[j] -= f * pr[j]
+			}
+			ri[col] = 0 // pr[col] == 1 exactly, so the update lands on zero
+			ri[total] -= f * pr[total]
+			if hr > hi[i] {
+				hi[i] = hr
+			}
+		}
+		basis[row] = col
+	}
+
+	// optimize runs primal simplex on the given objective coefficients
+	// (maximization). allowed limits the entering columns. Returns false if
+	// unbounded. The reduced-cost row is maintained incrementally against
+	// the pivot row's nonzero columns.
+	rc := s.rc
+	optimize := func(obj []float64, allowed int) bool {
+		// Price out the current basis: rc[j] = c_j - sum_i c_B(i)*tab[i][j].
+		copy(rc, obj)
+		for i, b := range basis {
+			cb := obj[b]
+			if cb == 0 {
+				continue
+			}
+			ri := tab[i]
+			for j := 0; j <= hi[i]; j++ {
+				if v := ri[j]; v != 0 {
+					rc[j] -= cb * v
+				}
+			}
+			rc[total] -= cb * ri[total]
+		}
+		iter := 0
+		blandAfter := 50 * (m + total + 10)
+		for {
+			iter++
+			useBland := iter > blandAfter
+			bestCol := -1
+			bestVal := eps
+			for j := 0; j < allowed; j++ {
+				if rc[j] > eps {
+					if useBland {
+						bestCol = j
+						break
+					}
+					if rc[j] > bestVal {
+						bestVal = rc[j]
+						bestCol = j
+					}
+				}
+			}
+			if bestCol < 0 {
+				return true // optimal
+			}
+			// Ratio test.
+			bestRow := -1
+			bestRatio := math.Inf(1)
+			for i := range tab {
+				a := tab[i][bestCol]
+				if a > eps {
+					ratio := tab[i][total] / a
+					if ratio < bestRatio-eps ||
+						(math.Abs(ratio-bestRatio) <= eps && (bestRow < 0 || basis[i] < basis[bestRow])) {
+						bestRatio = ratio
+						bestRow = i
+					}
+				}
+			}
+			if bestRow < 0 {
+				return false // unbounded
+			}
+			pivot(bestRow, bestCol)
+			// Update the reduced-cost row against the (normalized) pivot
+			// row, touching only its nonzero columns.
+			f := rc[bestCol]
+			if f != 0 {
+				pr := tab[bestRow]
+				for _, j := range s.cols {
+					rc[j] -= f * pr[j]
+				}
+				rc[bestCol] = 0
+				rc[total] -= f * pr[total]
+			}
+		}
+	}
+
+	// Phase 1: maximize -(sum of artificials).
+	if numArt > 0 {
+		obj1 := s.obj
+		clear(obj1)
+		for j := artStart; j < total; j++ {
+			obj1[j] = -1
+		}
+		if !optimize(obj1, total) {
+			// Phase 1 cannot be unbounded (objective bounded by 0), but
+			// guard anyway.
+			return Infeasible, 0, nil, pivots
+		}
+		sumArt := 0.0
+		for i, b := range basis {
+			if b >= artStart {
+				sumArt += tab[i][total]
+			}
+		}
+		if sumArt > 1e-7 {
+			return Infeasible, 0, nil, pivots
+		}
+		// Drive remaining artificials out of the basis where possible.
+		for i, b := range basis {
+			if b < artStart {
+				continue
+			}
+			done := false
+			stop := artStart
+			if hi[i]+1 < stop {
+				stop = hi[i] + 1
+			}
+			for j := 0; j < stop && !done; j++ {
+				if math.Abs(tab[i][j]) > eps {
+					pivot(i, j)
+					done = true
+				}
+			}
+			// If the row is all zeros over real columns it is redundant;
+			// the artificial stays basic at value 0, which is harmless as
+			// long as phase 2 never lets it re-enter (allowed=artStart).
+		}
+	}
+
+	// Phase 2: original objective over real + slack columns only.
+	obj2 := s.obj
+	clear(obj2)
+	for j, v := range p.Objective {
+		obj2[j] = sign * v
+	}
+	if !optimize(obj2, artStart) {
+		return Unbounded, 0, nil, pivots
+	}
+
+	x := make([]float64, p.NumVars)
+	for i, b := range basis {
+		if b < p.NumVars {
+			x[b] = tab[i][total]
+			if x[b] < 0 && x[b] > -1e-7 {
+				x[b] = 0
+			}
+		}
+	}
+	objVal := 0.0
+	for j, v := range p.Objective {
+		objVal += v * x[j]
+	}
+	return Optimal, objVal, x, pivots
+}

@@ -1,9 +1,14 @@
 package ipet
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"cinderella/internal/constraint"
 	"cinderella/internal/ilp"
@@ -214,9 +219,92 @@ func (a *Analyzer) bestObjective() objective {
 	return obj
 }
 
+// solveResult carries one (direction, set) ILP outcome to the reducer.
+type solveResult struct {
+	err    error
+	status ilp.Status
+	cycles int64
+	values []float64
+	stats  ilp.Stats
+}
+
+// solveSet solves one functionality constraint set in one direction. The
+// shared base rows (structural + loop bounds + objective extras) arrive
+// pre-lowered in prefix, so each job only contributes its set-specific
+// tail.
+func (a *Analyzer) solveSet(ctx context.Context, sense ilp.Sense, obj *objective, prefix []ilp.PackedRow, set []ilp.Constraint) solveResult {
+	p := &ilp.Problem{
+		Sense:       sense,
+		NumVars:     obj.nVars,
+		Integer:     true,
+		Objective:   obj.coeffs,
+		Prefix:      prefix,
+		Constraints: set,
+	}
+	sol, err := ilp.SolveCtx(ctx, p)
+	if err != nil {
+		return solveResult{err: err}
+	}
+	return solveResult{
+		status: sol.Status,
+		cycles: int64(math.Round(sol.Objective)),
+		values: sol.Values,
+		stats:  sol.Stats,
+	}
+}
+
+// reduceDir folds one direction's per-set results in set order — the same
+// tie-break as the sequential loop (a later set wins only when strictly
+// better), so the outcome is independent of job completion order.
+func (a *Analyzer) reduceDir(est *Estimate, sense ilp.Sense, results []solveResult) (*BoundReport, error) {
+	var best *BoundReport
+	var bestValues []float64
+	feasible := false
+	for si := range results {
+		r := &results[si]
+		est.LPSolves += r.stats.LPSolves
+		est.Branches += r.stats.Branches
+		switch r.status {
+		case ilp.Unbounded:
+			msg := "ipet: ILP unbounded — a loop lacks a bound"
+			if missing := a.MissingLoopBounds(); len(missing) > 0 {
+				msg += ": " + strings.Join(missing, "; ")
+			}
+			return nil, fmt.Errorf("%s", msg)
+		case ilp.Infeasible:
+			continue
+		}
+		feasible = true
+		if !r.stats.RootIntegral {
+			est.AllRootIntegral = false
+		}
+		if best == nil ||
+			(sense == ilp.Maximize && r.cycles > best.Cycles) ||
+			(sense == ilp.Minimize && r.cycles < best.Cycles) {
+			best = &BoundReport{Cycles: r.cycles, SetIndex: si}
+			bestValues = r.values
+		}
+	}
+	if !feasible {
+		return nil, fmt.Errorf("ipet: every functionality constraint set is infeasible against the structural constraints")
+	}
+	best.Counts = a.aggregateCounts(bestValues)
+	return best, nil
+}
+
 // Estimate runs the full analysis: expand functionality constraint sets,
 // solve one ILP per set and direction, and take the extremes.
 func (a *Analyzer) Estimate() (*Estimate, error) {
+	return a.EstimateContext(context.Background())
+}
+
+// EstimateContext is Estimate with cancellation. The sets × {max,min} ILP
+// jobs are dispatched to a bounded worker pool of Opts.Workers goroutines
+// (0 selects GOMAXPROCS, 1 runs the plain sequential loop); results are
+// reduced in deterministic set order regardless of completion order, so
+// every worker count produces the identical Estimate. The first error
+// cancels all in-flight jobs.
+func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 	sets, total, pruned, err := a.buildSets()
 	if err != nil {
 		return nil, err
@@ -230,57 +318,87 @@ func (a *Analyzer) Estimate() (*Estimate, error) {
 	loops := a.LoopBoundConstraints()
 	base := append(append([]ilp.Constraint{}, structural...), loops...)
 
-	solveDir := func(sense ilp.Sense, obj objective) (*BoundReport, error) {
-		var best *BoundReport
-		feasible := false
-		for si, set := range sets {
-			p := &ilp.Problem{
-				Sense:     sense,
-				NumVars:   obj.nVars,
-				Integer:   true,
-				Objective: obj.coeffs,
-			}
-			p.Constraints = append(p.Constraints, base...)
-			p.Constraints = append(p.Constraints, obj.extra...)
-			p.Constraints = append(p.Constraints, set...)
-			sol, err := ilp.Solve(p)
-			if err != nil {
-				return nil, err
-			}
-			est.LPSolves += sol.Stats.LPSolves
-			est.Branches += sol.Stats.Branches
-			switch sol.Status {
-			case ilp.Unbounded:
-				msg := "ipet: ILP unbounded — a loop lacks a bound"
-				if missing := a.MissingLoopBounds(); len(missing) > 0 {
-					msg += ": " + strings.Join(missing, "; ")
-				}
-				return nil, fmt.Errorf("%s", msg)
-			case ilp.Infeasible:
-				continue
-			}
-			feasible = true
-			if !sol.Stats.RootIntegral {
-				est.AllRootIntegral = false
-			}
-			val := int64(math.Round(sol.Objective))
-			if best == nil ||
-				(sense == ilp.Maximize && val > best.Cycles) ||
-				(sense == ilp.Minimize && val < best.Cycles) {
-				best = &BoundReport{Cycles: val, SetIndex: si, Counts: a.aggregateCounts(sol.Values)}
-			}
+	// Each direction shares base plus its objective's extra rows across
+	// all sets; lower that prefix to the solver's normalized sparse row
+	// form once instead of once per set ILP.
+	dirs := []struct {
+		sense ilp.Sense
+		obj   objective
+	}{
+		{ilp.Maximize, a.worstObjective()},
+		{ilp.Minimize, a.bestObjective()},
+	}
+	prefixes := make([][]ilp.PackedRow, len(dirs))
+	for d := range dirs {
+		rows := base
+		if extra := dirs[d].obj.extra; len(extra) > 0 {
+			rows = append(append(make([]ilp.Constraint, 0, len(base)+len(extra)), base...), extra...)
 		}
-		if !feasible {
-			return nil, fmt.Errorf("ipet: every functionality constraint set is infeasible against the structural constraints")
-		}
-		return best, nil
+		prefixes[d] = ilp.Pack(rows)
 	}
 
-	worst, err := solveDir(ilp.Maximize, a.worstObjective())
+	numJobs := len(dirs) * len(sets)
+	results := make([]solveResult, numJobs)
+	workers := a.Opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numJobs {
+		workers = numJobs
+	}
+	if workers <= 1 {
+		// Sequential path: identical to the pre-pool analyzer, stopping at
+		// the first error.
+		for j := 0; j < numJobs; j++ {
+			d, si := j/len(sets), j%len(sets)
+			results[j] = a.solveSet(ctx, dirs[d].sense, &dirs[d].obj, prefixes[d], sets[si])
+			if results[j].err != nil {
+				break
+			}
+		}
+	} else {
+		jctx, cancel := context.WithCancel(ctx)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					j := int(next.Add(1) - 1)
+					if j >= numJobs || jctx.Err() != nil {
+						return
+					}
+					d, si := j/len(sets), j%len(sets)
+					r := a.solveSet(jctx, dirs[d].sense, &dirs[d].obj, prefixes[d], sets[si])
+					results[j] = r
+					if r.err != nil {
+						cancel()
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		cancel()
+	}
+
+	// Propagate the first real failure in job order; jobs abandoned by the
+	// resulting cancellation report context.Canceled and are skipped.
+	for j := range results {
+		if err := results[j].err; err != nil && !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	worst, err := a.reduceDir(est, dirs[0].sense, results[:len(sets)])
 	if err != nil {
 		return nil, err
 	}
-	bcet, err := solveDir(ilp.Minimize, a.bestObjective())
+	bcet, err := a.reduceDir(est, dirs[1].sense, results[len(sets):])
 	if err != nil {
 		return nil, err
 	}

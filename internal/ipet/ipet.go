@@ -36,6 +36,12 @@ type Options struct {
 	MaxSets int
 	// MaxContexts bounds context expansion.
 	MaxContexts int
+	// Workers bounds the number of concurrent ILP solves in Estimate: the
+	// sets × {max,min} jobs are dispatched to a pool of this size. 0
+	// selects runtime.GOMAXPROCS(0); 1 forces the fully sequential path.
+	// The result is deterministic — identical to Workers == 1 — at every
+	// setting, because jobs are reduced in set order after completion.
+	Workers int
 }
 
 // DefaultOptions returns the standard analysis configuration.

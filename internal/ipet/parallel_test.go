@@ -1,0 +1,197 @@
+package ipet
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/cfg"
+	"cinderella/internal/constraint"
+)
+
+// manySetProgram builds a chain of n if-then-else diamonds plus the
+// annotation that pins each diamond to exactly one arm via a disjunction,
+// so the DNF cross product yields 2^n functionality constraint sets — the
+// stress workload for the parallel solve scheduler. Diamond i occupies
+// blocks x(3i+1) (condition), x(3i+2) (then), x(3i+3) (else).
+func manySetProgram(n int) (src, annots string) {
+	var sb, ab strings.Builder
+	sb.WriteString("main:\n")
+	ab.WriteString("func main {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "        beq r1, r0, .La%d\n", i)
+		fmt.Fprintf(&sb, "        mul r2, r2, r2\n")
+		fmt.Fprintf(&sb, "        jmp .Lb%d\n", i)
+		fmt.Fprintf(&sb, ".La%d:  addi r2, r2, 1\n", i)
+		fmt.Fprintf(&sb, ".Lb%d:  addi r3, r3, 1\n", i)
+		fmt.Fprintf(&ab, "    (x%d = 1 & x%d = 0) | (x%d = 0 & x%d = 1)\n",
+			3*i+2, 3*i+3, 3*i+2, 3*i+3)
+	}
+	sb.WriteString("        halt\n")
+	ab.WriteString("}\n")
+	return sb.String(), ab.String()
+}
+
+func estimateWithWorkers(t *testing.T, src, annots string, workers int) *Estimate {
+	t.Helper()
+	exe, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	prog, err := cfg.Build(exe)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	opts := DefaultOptions()
+	opts.Workers = workers
+	an, err := New(prog, "main", opts)
+	if err != nil {
+		t.Fatalf("ipet.New: %v", err)
+	}
+	if annots != "" {
+		f, err := constraint.Parse(annots)
+		if err != nil {
+			t.Fatalf("annotations: %v", err)
+		}
+		if err := an.Apply(f); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+	}
+	est, err := an.Estimate()
+	if err != nil {
+		t.Fatalf("estimate (workers=%d): %v", workers, err)
+	}
+	return est
+}
+
+// TestParallelEstimateDeterminism runs the 32-set stress workload at
+// several worker counts and requires every field of the Estimate — cycles,
+// winning set index, block counts, set statistics — to match the
+// sequential result exactly. Run under -race in CI this doubles as the
+// regression gate for the worker pool.
+func TestParallelEstimateDeterminism(t *testing.T) {
+	src, annots := manySetProgram(5)
+	seq := estimateWithWorkers(t, src, annots, 1)
+	if seq.NumSets != 32 {
+		t.Fatalf("stress workload has %d sets, want 32", seq.NumSets)
+	}
+	for _, workers := range []int{2, 4, 8, 0} {
+		par := estimateWithWorkers(t, src, annots, workers)
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d diverges from sequential:\nseq: %+v\npar: %+v", workers, seq, par)
+		}
+	}
+}
+
+// TestParallelBenchmarksIdentical repeats the determinism check on the
+// paper's own multi-set workload shapes (dhry-style pruned disjunctions):
+// a smaller diamond chain where some disjuncts are trivially null and get
+// pruned, exercising the pruned-set bookkeeping under the pool.
+func TestParallelBenchmarksIdentical(t *testing.T) {
+	src, _ := manySetProgram(3)
+	// First diamond pinned both ways (one disjunct null: x2 can't be 1 and
+	// 0 at once after intersecting with the second formula's x2 = 1).
+	annots := `func main {
+    (x2 = 1 & x3 = 0) | (x2 = 0 & x3 = 1)
+    x2 = 1
+    (x5 = 1 & x6 = 0) | (x5 = 0 & x6 = 1)
+    (x8 = 1 & x9 = 0) | (x8 = 0 & x9 = 1)
+}
+`
+	seq := estimateWithWorkers(t, src, annots, 1)
+	if seq.PrunedSets == 0 {
+		t.Fatalf("expected pruned sets in the workload, got %+v", seq)
+	}
+	for _, workers := range []int{4, 8} {
+		par := estimateWithWorkers(t, src, annots, workers)
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d diverges:\nseq: %+v\npar: %+v", workers, seq, par)
+		}
+	}
+}
+
+// TestParallelUnboundedDiagnostic: the missing-loop-bound diagnostic must
+// survive the parallel path with cancellation of sibling jobs.
+func TestParallelUnboundedDiagnostic(t *testing.T) {
+	src := `
+main:
+        add r2, r1, r0
+.Lhead: slti r3, r2, 10
+        beq r3, r0, .Lexit
+        addi r2, r2, 1
+        jmp .Lhead
+.Lexit: halt
+`
+	// A disjunction so both directions have several jobs in flight.
+	annots := `func main {
+    (x1 = 1) | (x1 = 1 & x4 = 1)
+}
+`
+	exe, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Build(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		opts := DefaultOptions()
+		opts.Workers = workers
+		an, err := New(prog, "main", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := constraint.Parse(annots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := an.Apply(f); err != nil {
+			t.Fatal(err)
+		}
+		_, err = an.Estimate()
+		if err == nil || !strings.Contains(err.Error(), "loop lacks a bound") {
+			t.Fatalf("workers=%d: error = %v, want unbounded-loop diagnostic", workers, err)
+		}
+		if !strings.Contains(err.Error(), "main loop 1") {
+			t.Fatalf("workers=%d: diagnostic misses the loop name: %v", workers, err)
+		}
+	}
+}
+
+// TestEstimateContextCancelled: an already-cancelled context aborts the
+// solve instead of returning a bound.
+func TestEstimateContextCancelled(t *testing.T) {
+	src, annots := manySetProgram(4)
+	exe, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Build(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		opts := DefaultOptions()
+		opts.Workers = workers
+		an, err := New(prog, "main", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := constraint.Parse(annots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := an.Apply(f); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := an.EstimateContext(ctx); err == nil {
+			t.Fatalf("workers=%d: cancelled estimate succeeded", workers)
+		}
+	}
+}
