@@ -7,7 +7,7 @@
 //
 //	cinderella -src prog.mc -root f -annot prog.ann
 //	cinderella -src prog.mc -root f -list          # annotated listing
-//	cinderella -bench check_data                   # built-in Table I row
+//	cinderella -bench check_data -stats            # built-in Table I row + solver counters
 //	cinderella -table1 -table2 -table3 -stats      # reproduce the tables
 package main
 
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"cinderella/internal/asm"
 	"cinderella/internal/autobound"
@@ -43,7 +44,7 @@ func main() {
 		table1    = flag.Bool("table1", false, "print the Table I analog for the benchmark suite")
 		table2    = flag.Bool("table2", false, "print the Table II analog (estimated vs calculated)")
 		table3    = flag.Bool("table3", false, "print the Table III analog (estimated vs measured)")
-		stats     = flag.Bool("stats", false, "print ILP solver statistics (Section VI observation)")
+		stats     = flag.Bool("stats", false, "print ILP solver statistics (suite-wide without a program, per-estimate with one)")
 		workers   = flag.Int("j", 0, "concurrent ILP solves across constraint sets (0 = GOMAXPROCS, 1 = sequential)")
 		mhz       = flag.Float64("mhz", 20, "clock frequency used to report times (the QT960 runs at 20 MHz)")
 		profile   = flag.String("profile", "i960kb", "processor timing profile (i960kb, dsp3210)")
@@ -60,7 +61,8 @@ func main() {
 	opts.Workers = *workers
 	opts.March.Timing = timing
 
-	if *table1 || *table2 || *table3 || *stats {
+	singleRun := *srcPath != "" || *asmPath != "" || *benchName != ""
+	if *table1 || *table2 || *table3 || (*stats && !singleRun) {
 		rows, err := bench.RunAll(opts)
 		if err != nil {
 			fatal(err)
@@ -213,6 +215,15 @@ func main() {
 		est.NumSets, est.PrunedSets, est.SolvedSets)
 	fmt.Printf("ILP: %d LP calls, %d branch-and-bound nodes, root integral: %v\n",
 		est.LPSolves, est.Branches, est.AllRootIntegral)
+	if *stats {
+		s := est.Stats
+		fmt.Printf("solver: sets %d total, %d null-pruned, %d deduped, %d incumbent-skipped, %d solved\n",
+			s.SetsTotal, s.PrunedNull, s.Deduped, s.IncumbentSkipped, s.Solved)
+		fmt.Printf("solver: %d warm dual-simplex solves, %d cold solves, %d simplex pivots\n",
+			s.WarmSolves, s.ColdSolves, s.Pivots)
+		fmt.Printf("solver: build %s, solve %s\n",
+			s.BuildTime.Round(time.Microsecond), s.SolveTime.Round(time.Microsecond))
+	}
 
 	fmt.Println("\nworst-case block counts and costs:")
 	printCounts(an, est.WCET.Counts)

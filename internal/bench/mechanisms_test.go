@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"cinderella/internal/ipet"
+)
+
+// benchReport is the projection of an Estimate that must be invariant under
+// every solver mechanism and worker count: both bound reports (cycles,
+// extreme-case counts, winning set index) and the set bookkeeping.
+type benchReport struct {
+	WCET, BCET                      ipet.BoundReport
+	NumSets, PrunedSets, SolvedSets int
+}
+
+func benchReportOf(est *ipet.Estimate) benchReport {
+	return benchReport{
+		WCET:       est.WCET,
+		BCET:       est.BCET,
+		NumSets:    est.NumSets,
+		PrunedSets: est.PrunedSets,
+		SolvedSets: est.SolvedSets,
+	}
+}
+
+// TestMechanismTogglesOnBenchmarks is the acceptance gate for the
+// incremental cross-product machinery on the paper's own workloads: for
+// dhry (8 sets, 5 null) and des, toggling set dedup, warm start and
+// incumbent pruning in every combination — at one and at four workers —
+// must reproduce the exhaustive cold sequential bound report bit for bit.
+func TestMechanismTogglesOnBenchmarks(t *testing.T) {
+	for _, name := range []string{"dhry", "des"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			bm, ok := ByName(name)
+			if !ok {
+				t.Fatalf("unknown benchmark %q", name)
+			}
+			coldOpts := ipet.DefaultOptions()
+			coldOpts.Workers = 1
+			coldOpts.DedupSets, coldOpts.WarmStart, coldOpts.IncumbentPrune = false, false, false
+			cold, err := bm.Build(coldOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := benchReportOf(cold.Est)
+			masks := []int{1, 2, 4, 7}
+			if !testing.Short() {
+				masks = []int{0, 1, 2, 3, 4, 5, 6, 7}
+			}
+			for _, mask := range masks {
+				dedup, warm, prune := mask&1 != 0, mask&2 != 0, mask&4 != 0
+				for _, workers := range []int{1, 4} {
+					opts := ipet.DefaultOptions()
+					opts.Workers = workers
+					opts.DedupSets, opts.WarmStart, opts.IncumbentPrune = dedup, warm, prune
+					bt, err := bm.Build(opts)
+					if err != nil {
+						t.Fatalf("dedup=%v warm=%v prune=%v workers=%d: %v",
+							dedup, warm, prune, workers, err)
+					}
+					if got := benchReportOf(bt.Est); !reflect.DeepEqual(want, got) {
+						t.Errorf("dedup=%v warm=%v prune=%v workers=%d diverges:\nwant: %+v\ngot:  %+v",
+							dedup, warm, prune, workers, want, got)
+					}
+				}
+			}
+		})
+	}
+}

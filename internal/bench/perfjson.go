@@ -1,0 +1,66 @@
+// Benchmark artifact emission: BENCH_estimate.json records the estimate
+// benchmark's timing and solver-work counters so regressions in the
+// incremental cross-product machinery (set dedup, warm starts, incumbent
+// pruning) show up as reviewable diffs, not just local benchmark noise.
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+
+	"cinderella/internal/ipet"
+)
+
+// EstimatePerf is one row of BENCH_estimate.json: a named estimate
+// workload with its per-operation cost and the solver-work breakdown of a
+// steady-state Estimate call.
+type EstimatePerf struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+
+	SetsTotal        int `json:"sets_total"`
+	SetsSolved       int `json:"sets_solved"`
+	Deduped          int `json:"sets_deduped"`
+	IncumbentSkipped int `json:"sets_incumbent_skipped"`
+	Pivots           int `json:"pivots"`
+	WarmSolves       int `json:"warm_solves"`
+	ColdSolves       int `json:"cold_solves"`
+
+	WCET int64 `json:"wcet_cycles"`
+	BCET int64 `json:"bcet_cycles"`
+}
+
+// FillFromEstimate copies the solver-work counters and bounds of est.
+func (p *EstimatePerf) FillFromEstimate(est *ipet.Estimate) {
+	p.SetsTotal = est.Stats.SetsTotal
+	p.SetsSolved = est.SolvedSets
+	p.Deduped = est.Stats.Deduped
+	p.IncumbentSkipped = est.Stats.IncumbentSkipped
+	p.Pivots = est.Stats.Pivots
+	p.WarmSolves = est.Stats.WarmSolves
+	p.ColdSolves = est.Stats.ColdSolves
+	p.WCET = est.WCET.Cycles
+	p.BCET = est.BCET.Cycles
+}
+
+// WriteEstimatePerf writes the records as indented JSON.
+func WriteEstimatePerf(w io.Writer, recs []EstimatePerf) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// WriteEstimatePerfFile writes the records to path.
+func WriteEstimatePerfFile(path string, recs []EstimatePerf) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEstimatePerf(f, recs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

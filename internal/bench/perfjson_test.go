@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/cfg"
+	"cinderella/internal/constraint"
+	"cinderella/internal/ipet"
+)
+
+// estimateWorkload is one named analyzer the perf artifact measures.
+type estimateWorkload struct {
+	name string
+	an   *ipet.Analyzer
+}
+
+// explosionWorkload builds the n-diamond path-explosion chain (2^n
+// functionality sets) used by examples/pathexplosion, as an analyzer.
+func explosionWorkload(n int, opts ipet.Options) (*ipet.Analyzer, error) {
+	var sb, ab strings.Builder
+	sb.WriteString("main:\n")
+	ab.WriteString("func main {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "        beq r1, r0, .La%d\n", i)
+		fmt.Fprintf(&sb, "        mul r2, r2, r2\n")
+		fmt.Fprintf(&sb, "        jmp .Lb%d\n", i)
+		fmt.Fprintf(&sb, ".La%d:  addi r2, r2, 1\n", i)
+		fmt.Fprintf(&sb, ".Lb%d:  addi r3, r3, 1\n", i)
+		fmt.Fprintf(&ab, "    (x%d = 1 & x%d = 0) | (x%d = 0 & x%d = 1)\n",
+			3*i+2, 3*i+3, 3*i+2, 3*i+3)
+	}
+	sb.WriteString("        halt\n")
+	ab.WriteString("}\n")
+	exe, err := asm.Assemble(sb.String())
+	if err != nil {
+		return nil, err
+	}
+	prog, err := cfg.Build(exe)
+	if err != nil {
+		return nil, err
+	}
+	an, err := ipet.New(prog, "main", opts)
+	if err != nil {
+		return nil, err
+	}
+	f, err := constraint.Parse(ab.String())
+	if err != nil {
+		return nil, err
+	}
+	if err := an.Apply(f); err != nil {
+		return nil, err
+	}
+	return an, nil
+}
+
+// TestWriteEstimateBenchJSON measures steady-state Estimate cost on the
+// multi-set workloads — dhry, des, and the 64-set path-explosion chain —
+// with the incremental machinery off (the exhaustive cold solver) and on,
+// and writes the rows to BENCH_estimate.json. The artifact lands in
+// $CINDERELLA_BENCH_JSON when set (CI and refresh runs), otherwise in a
+// temp dir. On the 64-set workload the incremental path must spend at most
+// half the cold path's simplex pivots.
+func TestWriteEstimateBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs timed benchmarks")
+	}
+	mode := func(incremental bool) ipet.Options {
+		opts := ipet.DefaultOptions()
+		opts.Workers = 1
+		if !incremental {
+			opts.DedupSets, opts.WarmStart, opts.IncumbentPrune = false, false, false
+		}
+		return opts
+	}
+	var workloads []estimateWorkload
+	for _, incremental := range []bool{false, true} {
+		suffix := "/cold"
+		if incremental {
+			suffix = "/incremental"
+		}
+		for _, name := range []string{"dhry", "des"} {
+			bm, ok := ByName(name)
+			if !ok {
+				t.Fatalf("unknown benchmark %q", name)
+			}
+			opts := mode(incremental)
+			opts.PruneNullSets = false // dhry presents all 8 sets
+			bt, err := bm.Build(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			workloads = append(workloads, estimateWorkload{name + suffix, bt.An})
+		}
+		an, err := explosionWorkload(6, mode(incremental))
+		if err != nil {
+			t.Fatal(err)
+		}
+		workloads = append(workloads, estimateWorkload{"explosion64" + suffix, an})
+	}
+
+	recs := make([]EstimatePerf, 0, len(workloads))
+	for _, w := range workloads {
+		var est *ipet.Estimate
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var err error
+				est, err = w.an.Estimate()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rec := EstimatePerf{
+			Name:        w.name,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: float64(res.AllocsPerOp()),
+		}
+		rec.FillFromEstimate(est)
+		recs = append(recs, rec)
+	}
+
+	byName := map[string]EstimatePerf{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	coldP, incrP := byName["explosion64/cold"].Pivots, byName["explosion64/incremental"].Pivots
+	if incrP*2 > coldP {
+		t.Errorf("explosion64 pivots: cold %d, incremental %d — want at least a 2x reduction", coldP, incrP)
+	}
+	for _, name := range []string{"dhry", "des", "explosion64"} {
+		c, i := byName[name+"/cold"], byName[name+"/incremental"]
+		if c.WCET != i.WCET || c.BCET != i.BCET {
+			t.Errorf("%s: incremental bound [%d,%d] != cold [%d,%d]",
+				name, i.BCET, i.WCET, c.BCET, c.WCET)
+		}
+	}
+
+	path := os.Getenv("CINDERELLA_BENCH_JSON")
+	if path == "" {
+		path = filepath.Join(t.TempDir(), "BENCH_estimate.json")
+	}
+	if err := WriteEstimatePerfFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []EstimatePerf
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("artifact does not round-trip: %v", err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("artifact has %d rows, want %d", len(back), len(recs))
+	}
+	t.Logf("wrote %s (%d rows); explosion64 pivots cold %d -> incremental %d",
+		path, len(recs), coldP, incrP)
+}

@@ -1,0 +1,52 @@
+package constraint
+
+import "testing"
+
+// TestDNFCallContextPreserved: DNF expansion over @-qualified variables
+// (the paper's x8.f1 notation, eq. 18) must carry the call-site qualifier
+// through to the conjunctive sets unchanged, and sets differing only in the
+// qualifier must remain distinct — downstream set dedup keys on the lowered
+// variables, so losing the qualifier here would silently merge constraint
+// sets that pin different call contexts.
+func TestDNFCallContextPreserved(t *testing.T) {
+	f := parse(t, `
+func main {
+    (store.x1 @ f1 = 1 & store.x1 @ f2 = 0) | (store.x1 @ f1 = 0 & store.x1 @ f2 = 1)
+}
+`)
+	sec, ok := f.Section("main")
+	if !ok {
+		t.Fatal("missing section")
+	}
+	sets, err := CrossProduct(sec.Formulas, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 {
+		t.Fatalf("sets = %d, want 2", len(sets))
+	}
+	// Each set pins both contexts; collect the value assigned per call site
+	// and per set.
+	valueOf := func(set ConjunctiveSet) map[int]int64 {
+		vals := map[int]int64{}
+		for _, r := range set {
+			if len(r.Terms) != 1 || r.Op != OpEQ {
+				t.Fatalf("unexpected relation shape: %v", r)
+			}
+			for v := range r.Terms {
+				if v.Func != "store" || v.CallSiteFunc != "main" || v.CallSite == 0 {
+					t.Fatalf("call-site qualifier lost in DNF: %+v", v)
+				}
+				vals[v.CallSite] = r.RHS
+			}
+		}
+		return vals
+	}
+	v0, v1 := valueOf(sets[0]), valueOf(sets[1])
+	if len(v0) != 2 || len(v1) != 2 {
+		t.Fatalf("each set must pin both call sites: %v / %v", v0, v1)
+	}
+	if v0[1] == v1[1] || v0[2] == v1[2] {
+		t.Fatalf("DNF merged sets that differ only in call-context rows: %v / %v", v0, v1)
+	}
+}

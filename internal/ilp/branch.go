@@ -16,12 +16,29 @@ func Solve(p *Problem) (*Solution, error) {
 	return SolveCtx(context.Background(), p)
 }
 
+// SolveOptions tunes SolveCtxOpts beyond the plain Solve behavior.
+type SolveOptions struct {
+	// Cutoff, together with UseCutoff, gives the solver an incumbent bound
+	// from a sibling problem: once a relaxation proves the optimum is
+	// strictly worse than Cutoff (below it for Maximize, above it for
+	// Minimize), the solve stops with Status Dominated instead of
+	// computing the exact value. Branch-and-bound additionally prunes
+	// every node whose LP bound is worse than Cutoff.
+	Cutoff    float64
+	UseCutoff bool
+}
+
 // SolveCtx is Solve with cancellation: the context is checked before the
 // root relaxation and between branch-and-bound nodes, so a concurrent
 // caller (the parallel constraint-set fan-out of package ipet) can abandon
 // in-flight solves once a sibling job has failed. Returns ctx.Err() when
 // cancelled.
 func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
+	return SolveCtxOpts(ctx, p, SolveOptions{})
+}
+
+// SolveCtxOpts is SolveCtx with incumbent-cutoff support (SolveOptions).
+func SolveCtxOpts(ctx context.Context, p *Problem, opts SolveOptions) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -29,12 +46,27 @@ func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 		return nil, err
 	}
 	sol := &Solution{}
+	worseThanCutoff := func(v float64) bool {
+		if !opts.UseCutoff {
+			return false
+		}
+		if p.Sense == Maximize {
+			return v < opts.Cutoff-1e-9
+		}
+		return v > opts.Cutoff+1e-9
+	}
 
 	status, obj, x, pivots := simplex(p)
 	sol.Stats.LPSolves++
 	sol.Stats.Pivots += pivots
 	if status != Optimal {
 		sol.Status = status
+		return sol, nil
+	}
+	if worseThanCutoff(obj) {
+		// The relaxation bounds the integer optimum, so the whole problem
+		// is strictly worse than the caller's incumbent.
+		sol.Status = Dominated
 		return sol, nil
 	}
 	if !p.Integer || isIntegral(x) {
@@ -58,6 +90,7 @@ func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 	}
 
 	var best *Solution
+	prunedByCutoff := false
 	stack := []node{{bound: obj}}
 	nodes := 0
 	for len(stack) > 0 {
@@ -67,6 +100,10 @@ func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if best != nil && !better(nd.bound, best.Objective) {
+			continue
+		}
+		if worseThanCutoff(nd.bound) {
+			prunedByCutoff = true
 			continue
 		}
 		nodes++
@@ -95,6 +132,10 @@ func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 		if status != Optimal {
 			continue
 		}
+		if worseThanCutoff(obj) {
+			prunedByCutoff = true
+			continue
+		}
 		if best != nil && !better(obj, best.Objective) {
 			continue
 		}
@@ -114,7 +155,11 @@ func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 		}
 	}
 	if best == nil {
-		sol.Status = Infeasible
+		if prunedByCutoff {
+			sol.Status = Dominated
+		} else {
+			sol.Status = Infeasible
+		}
 		return sol, nil
 	}
 	sol.Status = Optimal

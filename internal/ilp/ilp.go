@@ -87,6 +87,11 @@ const (
 	Optimal Status = iota
 	Infeasible
 	Unbounded
+	// Dominated reports a solve abandoned under a cutoff (SolveOptions or
+	// WarmStart.SolveSet): the LP relaxation proved the optimum is strictly
+	// worse than the caller's incumbent, so the exact value was never
+	// computed. Only produced when a cutoff was supplied.
+	Dominated
 )
 
 func (s Status) String() string {
@@ -97,6 +102,8 @@ func (s Status) String() string {
 		return "infeasible"
 	case Unbounded:
 		return "unbounded"
+	case Dominated:
+		return "dominated"
 	}
 	return "unknown"
 }

@@ -25,7 +25,11 @@ import (
 // exactly zero), and SetSelfCheck can force every production solve to be
 // verified against it.
 
-// scratch is the pooled working memory of one simplex call.
+// scratch is the pooled working memory of one simplex call. After a
+// successful solve through sparseSimplexOn it also records the tableau
+// layout (m, total, artStart), so a caller that owns the scratch (the
+// warm-start layer) can keep the final basis/tableau/reduced costs and
+// restart a dual simplex from them.
 type scratch struct {
 	tab   [][]float64
 	basis []int
@@ -33,14 +37,18 @@ type scratch struct {
 	rc    []float64
 	obj   []float64
 	cols  []int // nonzero columns of the current pivot row
+
+	// Layout of the most recent solve: row count, column count before the
+	// rhs (real + slack + artificial), and the first artificial column
+	// (phase 2 and any warm restart must never let artificials re-enter).
+	m, total, artStart int
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 
-// getScratch returns an arena with m zeroed tableau rows of the given
-// width and the side arrays sized to match.
-func getScratch(m, width int) *scratch {
-	s := scratchPool.Get().(*scratch)
+// ensure sizes the arena to m zeroed tableau rows of the given width with
+// the side arrays sized to match.
+func (s *scratch) ensure(m, width int) {
 	if cap(s.tab) < m {
 		s.tab = append(s.tab[:cap(s.tab)], make([][]float64, m-cap(s.tab))...)
 	}
@@ -65,7 +73,6 @@ func getScratch(m, width int) *scratch {
 	}
 	s.rc = s.rc[:width]
 	s.obj = s.obj[:width]
-	return s
 }
 
 // selfCheck, when enabled via SetSelfCheck, verifies every sparse solve
@@ -102,6 +109,17 @@ func simplex(p *Problem) (Status, float64, []float64, int) {
 }
 
 func sparseSimplex(p *Problem) (Status, float64, []float64, int) {
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
+	return sparseSimplexOn(p, s)
+}
+
+// sparseSimplexOn runs the two-phase primal simplex in the caller's
+// scratch. On an Optimal return the scratch holds the final tableau, basis,
+// per-row nonzero bounds, the phase-2 reduced-cost row (rc[total] = -z in
+// the internal maximization sense), and the recorded layout — everything a
+// warm restart needs.
+func sparseSimplexOn(p *Problem, s *scratch) (Status, float64, []float64, int) {
 	n := p.NumVars
 	mPre := len(p.Prefix)
 	m := mPre + len(p.Constraints)
@@ -152,8 +170,8 @@ func sparseSimplex(p *Problem) (Status, float64, []float64, int) {
 
 	total := n + numSlack + numArt
 	width := total + 1 // + rhs column
-	s := getScratch(m, width)
-	defer scratchPool.Put(s)
+	s.ensure(m, width)
+	s.m, s.total, s.artStart = m, total, n+numSlack
 	tab, basis, hi := s.tab, s.basis, s.hi
 
 	// Pass 2: build the rows sparsely, tracking each row's nonzero bound.
@@ -226,36 +244,7 @@ func sparseSimplex(p *Problem) (Status, float64, []float64, int) {
 	pivots := 0
 	pivot := func(row, col int) {
 		pivots++
-		pr := tab[row]
-		pv := pr[col]
-		hr := hi[row]
-		s.cols = s.cols[:0]
-		for j := 0; j <= hr; j++ {
-			if pr[j] != 0 {
-				pr[j] /= pv
-				s.cols = append(s.cols, j)
-			}
-		}
-		pr[total] /= pv
-		for i := range tab {
-			if i == row {
-				continue
-			}
-			ri := tab[i]
-			f := ri[col]
-			if f == 0 {
-				continue
-			}
-			for _, j := range s.cols {
-				ri[j] -= f * pr[j]
-			}
-			ri[col] = 0 // pr[col] == 1 exactly, so the update lands on zero
-			ri[total] -= f * pr[total]
-			if hr > hi[i] {
-				hi[i] = hr
-			}
-		}
-		basis[row] = col
+		s.pivot(row, col, total)
 	}
 
 	// optimize runs primal simplex on the given objective coefficients
@@ -400,4 +389,41 @@ func sparseSimplex(p *Problem) (Status, float64, []float64, int) {
 		objVal += v * x[j]
 	}
 	return Optimal, objVal, x, pivots
+}
+
+// pivot performs one tableau pivot at (row, col), normalizing the pivot row
+// and eliminating the column from every other row. The rhs lives at index
+// total. The pivot row's nonzero columns are left in s.cols so the caller
+// can update its reduced-cost row against them.
+func (s *scratch) pivot(row, col, total int) {
+	pr := s.tab[row]
+	pv := pr[col]
+	hr := s.hi[row]
+	s.cols = s.cols[:0]
+	for j := 0; j <= hr; j++ {
+		if pr[j] != 0 {
+			pr[j] /= pv
+			s.cols = append(s.cols, j)
+		}
+	}
+	pr[total] /= pv
+	for i := range s.tab {
+		if i == row {
+			continue
+		}
+		ri := s.tab[i]
+		f := ri[col]
+		if f == 0 {
+			continue
+		}
+		for _, j := range s.cols {
+			ri[j] -= f * pr[j]
+		}
+		ri[col] = 0 // pr[col] == 1 exactly, so the update lands on zero
+		ri[total] -= f * pr[total]
+		if hr > s.hi[i] {
+			s.hi[i] = hr
+		}
+	}
+	s.basis[row] = col
 }

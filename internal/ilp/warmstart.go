@@ -1,0 +1,298 @@
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// WarmStart retains the optimal tableau of a base problem — the shared
+// Prefix rows plus an objective, with no set-specific constraints — so that
+// the many sibling problems of one analysis direction (one ILP per
+// functionality constraint set, all sharing the base) can be re-solved by
+// dual simplex from the base basis with only their delta rows attached,
+// instead of paying a full two-phase cold solve each.
+//
+// The retained tableau is read-only after NewWarmStart; SolveSet copies it
+// into pooled scratch, so concurrent SolveSet calls on one WarmStart are
+// safe.
+type WarmStart struct {
+	prob       *Problem
+	sign       float64 // +1 Maximize, -1 Minimize (internal max sense)
+	ok         bool
+	baseStatus Status
+	basePivots int
+	baseObj    float64
+	baseX      []float64
+	base       *scratch // final tableau, basis, hi, phase-2 reduced costs
+}
+
+// NewWarmStart solves the base problem once with the cold two-phase
+// simplex and retains the optimal tableau. The problem must consist of
+// Prefix rows only (no Constraints — those are the per-set deltas). When
+// the base is not solvable to optimality (infeasible, unbounded, or
+// degenerate with no rows), Ready reports false and every SolveSet call
+// asks the caller to fall back to a cold solve.
+func NewWarmStart(p *Problem) *WarmStart {
+	w := &WarmStart{prob: p, sign: 1, baseStatus: Infeasible}
+	if p.Sense == Minimize {
+		w.sign = -1
+	}
+	if len(p.Constraints) != 0 || len(p.Prefix) == 0 {
+		return w
+	}
+	s := new(scratch) // owned, never pooled: the tableau outlives the call
+	status, obj, x, pivots := sparseSimplexOn(p, s)
+	w.baseStatus = status
+	w.basePivots = pivots
+	if status != Optimal {
+		return w
+	}
+	w.ok = true
+	w.base = s
+	w.baseObj = obj
+	w.baseX = x
+	return w
+}
+
+// Ready reports whether the base tableau is available for warm solves.
+func (w *WarmStart) Ready() bool { return w.ok }
+
+// BaseStatus returns the base solve's status (Optimal when Ready).
+func (w *WarmStart) BaseStatus() Status { return w.baseStatus }
+
+// BasePivots returns the pivot count of the one-time base solve.
+func (w *WarmStart) BasePivots() int { return w.basePivots }
+
+// SolveSet re-solves the base problem with the given delta rows appended,
+// by dual simplex from the retained base optimum. It returns the LP
+// relaxation's result: the caller handles integrality (the root is
+// integral in this domain almost always; a fractional root falls back to
+// the cold branch-and-bound path).
+//
+// When useCutoff is set, cutoff is a bound in the problem's own sense: the
+// solve returns Dominated as soon as the (monotonically tightening) dual
+// bound proves the optimum is strictly worse than cutoff — below it for
+// Maximize, above it for Minimize — without finishing the solve.
+//
+// The final result ok=false means the warm path gave up (anti-cycling
+// iteration cap) and the caller must re-solve cold; the returned pivot
+// count is still valid work performed.
+func (w *WarmStart) SolveSet(set []Constraint, cutoff float64, useCutoff bool) (status Status, obj float64, x []float64, pivots int, ok bool) {
+	if !w.ok {
+		return Infeasible, 0, nil, 0, false
+	}
+	if len(set) == 0 {
+		return Optimal, w.baseObj, append([]float64(nil), w.baseX...), 0, true
+	}
+	status, obj, x, pivots, ok = w.solveDelta(set, cutoff, useCutoff)
+	if ok && selfCheck.Load() {
+		w.checkAgainstCold(set, status, obj, cutoff)
+	}
+	return status, obj, x, pivots, ok
+}
+
+func (w *WarmStart) solveDelta(set []Constraint, cutoff float64, useCutoff bool) (Status, float64, []float64, int, bool) {
+	b := w.base
+	m0, total0 := b.m, b.total
+
+	// Every delta row is lowered to <= form and carried by one fresh slack
+	// column; an equality contributes a <= and a >= (negated <=) pair.
+	k := 0
+	for i := range set {
+		if set[i].Rel == EQ {
+			k += 2
+		} else {
+			k++
+		}
+	}
+	m := m0 + k
+	total := total0 + k
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
+	s.ensure(m, total+1)
+
+	// Copy the base tableau, shifting the rhs right past the new slack
+	// columns (which ensure left zeroed).
+	for i := 0; i < m0; i++ {
+		src, dst := b.tab[i], s.tab[i]
+		copy(dst[:total0], src[:total0])
+		dst[total] = src[total0]
+		s.basis[i] = b.basis[i]
+		s.hi[i] = b.hi[i]
+	}
+	rc := s.rc
+	copy(rc[:total0], b.rc[:total0])
+	for j := total0; j < total; j++ {
+		rc[j] = 0
+	}
+	rc[total] = b.rc[total0] // -z of the base optimum
+
+	// Append the delta rows, eliminating basic columns against the base
+	// tableau so each new row is expressed over nonbasic columns plus its
+	// own (basic) slack. In a canonical tableau every basic column is a
+	// unit vector, so a single pass cannot reintroduce an eliminated one.
+	row, slack := m0, total0
+	appendLE := func(coeffs map[int]float64, negate bool, rhs float64) {
+		r := s.tab[row]
+		for j, v := range coeffs {
+			if v == 0 {
+				continue
+			}
+			if negate {
+				v = -v
+			}
+			r[j] = v
+		}
+		r[total] = rhs
+		for i := 0; i < m0; i++ {
+			f := r[s.basis[i]]
+			if f == 0 {
+				continue
+			}
+			ri := s.tab[i]
+			for j := 0; j <= s.hi[i]; j++ {
+				if ri[j] != 0 {
+					r[j] -= f * ri[j]
+				}
+			}
+			r[total] -= f * ri[total]
+		}
+		r[slack] = 1
+		s.basis[row] = slack
+		s.hi[row] = slack
+		row++
+		slack++
+	}
+	for i := range set {
+		c := &set[i]
+		switch c.Rel {
+		case LE:
+			appendLE(c.Coeffs, false, c.RHS)
+		case GE:
+			appendLE(c.Coeffs, true, -c.RHS)
+		case EQ:
+			appendLE(c.Coeffs, false, c.RHS)
+			appendLE(c.Coeffs, true, -c.RHS)
+		}
+	}
+
+	// Dual simplex: the basis stays dual feasible (rc <= 0 over admissible
+	// columns); drive the negative right-hand sides out. Base artificial
+	// columns must never re-enter; the fresh slacks may.
+	admissible := func(j int) bool { return j < b.artStart || j >= total0 }
+	internalCutoff := w.sign * cutoff
+	pivots := 0
+	blandAfter := 50 * (m + total + 10)
+	hardCap := 10 * blandAfter
+	for iter := 0; ; iter++ {
+		// The dual bound -rc[total] tightens monotonically toward the
+		// optimum; once it proves the set strictly worse than the caller's
+		// incumbent, the exact value no longer matters.
+		if useCutoff && -rc[total] < internalCutoff-1e-7 {
+			return Dominated, 0, nil, pivots, true
+		}
+		if iter > hardCap {
+			return Infeasible, 0, nil, pivots, false // give up; cold fallback
+		}
+		useBland := iter > blandAfter
+		lr := -1
+		worst := -1e-7
+		for i := 0; i < m; i++ {
+			if v := s.tab[i][total]; v < worst {
+				lr = i
+				if useBland {
+					break
+				}
+				worst = v
+			}
+		}
+		if lr < 0 {
+			break // primal feasible again: optimal
+		}
+		pr := s.tab[lr]
+		ec := -1
+		bestRatio := math.Inf(1)
+		for j := 0; j < total; j++ {
+			a := pr[j]
+			if a < -eps && admissible(j) {
+				ratio := rc[j] / a // >= 0: rc <= 0, a < 0
+				if ec < 0 || ratio < bestRatio-eps {
+					bestRatio = ratio
+					ec = j
+					if useBland && ratio <= eps {
+						break
+					}
+				}
+			}
+		}
+		if ec < 0 {
+			// The row reads sum(nonneg terms) <= negative: infeasible.
+			return Infeasible, 0, nil, pivots, true
+		}
+		s.pivot(lr, ec, total)
+		pivots++
+		if f := rc[ec]; f != 0 {
+			npr := s.tab[lr]
+			for _, j := range s.cols {
+				rc[j] -= f * npr[j]
+			}
+			rc[ec] = 0
+			rc[total] -= f * npr[total]
+		}
+	}
+
+	x := make([]float64, w.prob.NumVars)
+	for i := 0; i < m; i++ {
+		if bc := s.basis[i]; bc < w.prob.NumVars {
+			v := s.tab[i][total]
+			if v < 0 && v > -1e-7 {
+				v = 0
+			}
+			x[bc] = v
+		}
+	}
+	obj := 0.0
+	for j, v := range w.prob.Objective {
+		obj += v * x[j]
+	}
+	return Optimal, obj, x, pivots, true
+}
+
+// checkAgainstCold is the SetSelfCheck differential for the warm path: the
+// same base + delta problem is re-solved through the cold production
+// simplex (itself checked against the dense oracle when enabled) and the
+// outcomes must agree.
+func (w *WarmStart) checkAgainstCold(set []Constraint, status Status, obj, cutoff float64) {
+	cold := &Problem{
+		Sense:       w.prob.Sense,
+		NumVars:     w.prob.NumVars,
+		Objective:   w.prob.Objective,
+		Prefix:      w.prob.Prefix,
+		Constraints: set,
+	}
+	cStatus, cObj, _, _ := simplex(cold)
+	switch status {
+	case Optimal:
+		if cStatus != Optimal || math.Abs(cObj-obj) > 1e-6 {
+			panic(fmt.Sprintf("ilp: warm/cold divergence: warm optimal %.9g, cold %v %.9g on\n%s",
+				obj, cStatus, cObj, unpackProblem(cold)))
+		}
+	case Infeasible:
+		if cStatus != Infeasible {
+			panic(fmt.Sprintf("ilp: warm/cold divergence: warm infeasible, cold %v %.9g on\n%s",
+				cStatus, cObj, unpackProblem(cold)))
+		}
+	case Dominated:
+		// Domination claims the optimum is strictly worse than the cutoff;
+		// an infeasible set is vacuously dominated.
+		if cStatus == Optimal && !(w.sign*cObj < w.sign*cutoff+1e-6) {
+			panic(fmt.Sprintf("ilp: warm/cold divergence: warm dominated under cutoff %.9g (%v), cold optimal %.9g on\n%s",
+				cutoff, w.prob.Sense, cObj, unpackProblem(cold)))
+		}
+	}
+}
+
+// IsIntegral reports whether every entry of x is integral within the
+// branch-and-bound tolerance — exported so callers consuming a warm LP
+// solve can decide whether it already answers the integer problem.
+func IsIntegral(x []float64) bool { return isIntegral(x) }

@@ -2,14 +2,18 @@ package ipet
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"cinderella/internal/cache"
 	"cinderella/internal/constraint"
 	"cinderella/internal/ilp"
 	"cinderella/internal/march"
@@ -25,6 +29,41 @@ type BoundReport struct {
 	Counts map[string][]int64
 	// SetIndex identifies the winning functionality constraint set.
 	SetIndex int
+}
+
+// Stats breaks down the work of one Estimate across the incremental
+// cross-product machinery (set dedup, warm-started dual simplex, incumbent
+// pruning). Set counters are per expansion; job counters are per
+// (direction, distinct set) solve. Work counters (WarmSolves, ColdSolves,
+// Pivots) and the incumbent counters depend on solve timing when Workers >
+// 1 and IncumbentPrune is on; everything the analysis reports — bounds,
+// counts, winning sets — does not.
+type Stats struct {
+	// SetsTotal is the number of conjunctive sets after DNF expansion.
+	SetsTotal int
+	// PrunedNull counts trivially-null sets dropped before any solve.
+	PrunedNull int
+	// Deduped counts surviving sets answered by a canonically identical
+	// earlier set instead of their own solve.
+	Deduped int
+	// IncumbentSkipped counts solve jobs abandoned once the LP relaxation
+	// proved the set strictly worse than the shared incumbent.
+	IncumbentSkipped int
+	// Solved counts solve jobs carried to completion (optimal or
+	// infeasible).
+	Solved int
+	// WarmSolves counts jobs concluded by the warm dual-simplex path;
+	// ColdSolves counts full two-phase solves (base solves, fallbacks,
+	// disabled warm start, and the winner's canonicalizing re-solve).
+	WarmSolves int
+	ColdSolves int
+	// Pivots counts simplex pivots across every solve of the estimate —
+	// the primary cost metric the warm start attacks.
+	Pivots int
+	// BuildTime covers set expansion, canonicalization, prefix packing and
+	// base solves; SolveTime covers the per-set solve fan-out and reduce.
+	BuildTime time.Duration
+	SolveTime time.Duration
 }
 
 // Estimate is the full result of a timing analysis: the estimated bound
@@ -46,6 +85,9 @@ type Estimate struct {
 	// AllRootIntegral reports whether every ILP solved at the first LP
 	// relaxation — the paper's Section VI observation.
 	AllRootIntegral bool
+	// Stats details the incremental-solving work (dedup, warm start,
+	// incumbent pruning) behind this estimate.
+	Stats Stats
 }
 
 // buildSets expands the functionality annotations into conjunctive ILP
@@ -136,6 +178,44 @@ func triviallyNull(set []ilp.Constraint) bool {
 	return false
 }
 
+// canonicalSetKey serializes a conjunctive set to a canonical binary form
+// over the lowered ILP rows: coefficients sign- and order-normalized (via
+// ilp.Pack, plus a sign convention for homogeneous equalities), rows
+// sorted, names excluded. Two sets with equal keys describe the identical
+// feasible region, so one solve answers both. Context-qualified facts
+// (x12 = x8 @ f1) lower to context-specific variable columns and therefore
+// never collide with their aggregate counterparts.
+func canonicalSetKey(set []ilp.Constraint) string {
+	rows := ilp.Pack(set)
+	encoded := make([]string, len(rows))
+	for ri, r := range rows {
+		// A homogeneous equality (rhs 0) is sign-ambiguous after Pack's
+		// rhs >= 0 normalization; orient it by its first coefficient.
+		flip := r.Rel == ilp.EQ && r.RHS == 0 && len(r.Vals) > 0 && r.Vals[0] < 0
+		b := make([]byte, 0, 9+12*len(r.Cols))
+		b = append(b, byte(r.Rel))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(r.RHS))
+		for k, col := range r.Cols {
+			v := r.Vals[k]
+			if flip {
+				v = -v
+			}
+			b = binary.LittleEndian.AppendUint32(b, uint32(col))
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+		encoded[ri] = string(b)
+	}
+	sort.Strings(encoded)
+	var sb strings.Builder
+	for _, e := range encoded {
+		var lb [4]byte
+		binary.LittleEndian.PutUint32(lb[:], uint32(len(e)))
+		sb.Write(lb[:])
+		sb.WriteString(e)
+	}
+	return sb.String()
+}
+
 // firstIterSplit adds the Section IV refinement to a worst-case objective:
 // blocks of cache-resident loops get a first-iteration variable xf with
 // xf <= x and xf <= (loop entries); the objective charges full miss costs
@@ -219,6 +299,109 @@ func (a *Analyzer) bestObjective() objective {
 	return obj
 }
 
+// direction bundles everything one objective sense shares across its
+// per-set solves: the objective, the pre-lowered shared rows, and (when
+// enabled and available) the warm-start base tableau.
+type direction struct {
+	sense  ilp.Sense
+	obj    objective
+	prefix []ilp.PackedRow
+	warm   *ilp.WarmStart
+}
+
+// solverPlan is the memoized per-analyzer solver setup: the expanded
+// constraint sets with their canonical-dedup structure and the two solve
+// directions. Apply invalidates it (annotations change the sets); repeated
+// Estimate calls on unchanged annotations reuse it, including the warm
+// base tableaus.
+type solverPlan struct {
+	sets          [][]ilp.Constraint
+	total, pruned int
+	// repOf[i] is the index of the earliest set canonically identical to
+	// set i (i itself when distinct); distinct lists the representatives
+	// in set order.
+	repOf    []int
+	distinct []int
+	deduped  int
+	dirs     []direction
+	// Work performed building the plan (warm base solves), charged to the
+	// Estimate call that triggered the build.
+	setupLP, setupPivots, setupCold int
+}
+
+// solverSetup returns the memoized solver plan, building it on first use.
+// fresh reports whether this call performed the build (and so should count
+// the setup work in its statistics).
+func (a *Analyzer) solverSetup() (plan *solverPlan, fresh bool, err error) {
+	a.planMu.Lock()
+	defer a.planMu.Unlock()
+	if a.plan != nil {
+		return a.plan, false, nil
+	}
+	sets, total, pruned, err := a.buildSets()
+	if err != nil {
+		return nil, false, err
+	}
+	plan = &solverPlan{sets: sets, total: total, pruned: pruned}
+	plan.repOf = make([]int, len(sets))
+	plan.distinct = make([]int, 0, len(sets))
+	if a.Opts.DedupSets {
+		keys := cache.NewKeyed[string, int]()
+		for i := range sets {
+			i := i
+			rep, hit := keys.GetOrCompute(canonicalSetKey(sets[i]), func() int { return i })
+			plan.repOf[i] = rep
+			if hit {
+				plan.deduped++
+			} else {
+				plan.distinct = append(plan.distinct, i)
+			}
+		}
+	} else {
+		for i := range sets {
+			plan.repOf[i] = i
+			plan.distinct = append(plan.distinct, i)
+		}
+	}
+
+	structural := a.StructuralConstraints()
+	loops := a.LoopBoundConstraints()
+	base := append(append([]ilp.Constraint{}, structural...), loops...)
+
+	// Each direction shares base plus its objective's extra rows across
+	// all sets; lower that prefix to the solver's normalized sparse row
+	// form once instead of once per set ILP, and (warm start) solve it
+	// once to seed the per-set dual simplex re-solves.
+	dirSpecs := []struct {
+		sense ilp.Sense
+		obj   objective
+	}{
+		{ilp.Maximize, a.worstObjective()},
+		{ilp.Minimize, a.bestObjective()},
+	}
+	for _, ds := range dirSpecs {
+		rows := base
+		if extra := ds.obj.extra; len(extra) > 0 {
+			rows = append(append(make([]ilp.Constraint, 0, len(base)+len(extra)), base...), extra...)
+		}
+		d := direction{sense: ds.sense, obj: ds.obj, prefix: ilp.Pack(rows)}
+		if a.Opts.WarmStart {
+			d.warm = ilp.NewWarmStart(&ilp.Problem{
+				Sense:     ds.sense,
+				NumVars:   ds.obj.nVars,
+				Objective: ds.obj.coeffs,
+				Prefix:    d.prefix,
+			})
+			plan.setupLP++
+			plan.setupCold++
+			plan.setupPivots += d.warm.BasePivots()
+		}
+		plan.dirs = append(plan.dirs, d)
+	}
+	a.plan = plan
+	return plan, true, nil
+}
+
 // solveResult carries one (direction, set) ILP outcome to the reducer.
 type solveResult struct {
 	err    error
@@ -226,52 +409,111 @@ type solveResult struct {
 	cycles int64
 	values []float64
 	stats  ilp.Stats
+	// warm marks a result concluded on the warm dual-simplex path (its
+	// values may sit on an alternate optimal vertex); cold marks that a
+	// full two-phase solve ran; dup marks a result copied from the set's
+	// canonical representative. The winner's counts are re-derived from a
+	// plain cold solve whenever warm or dup is set, keeping the reported
+	// BoundReport bit-identical to the exhaustive path.
+	warm bool
+	cold bool
+	dup  bool
 }
 
 // solveSet solves one functionality constraint set in one direction. The
 // shared base rows (structural + loop bounds + objective extras) arrive
-// pre-lowered in prefix, so each job only contributes its set-specific
-// tail.
-func (a *Analyzer) solveSet(ctx context.Context, sense ilp.Sense, obj *objective, prefix []ilp.PackedRow, set []ilp.Constraint) solveResult {
+// pre-lowered in d.prefix, so each job only contributes its set-specific
+// tail. With useCutoff, cutoff is the direction's incumbent bound in
+// cycles: the solve may conclude Dominated as soon as the set is provably
+// unable to match it (strictly — ties are never abandoned, preserving the
+// first-set-wins reduce order).
+func (a *Analyzer) solveSet(ctx context.Context, d *direction, set []ilp.Constraint, cutoff int64, useCutoff bool) solveResult {
+	// A cancelled estimate must not burn a simplex run per queued set.
+	if err := ctx.Err(); err != nil {
+		return solveResult{err: err}
+	}
+	var r solveResult
+	// Integer cycle counts make the half-open margin exact: a set is
+	// abandoned only when its optimum provably differs from the incumbent
+	// by at least one cycle in the losing direction.
+	cut := float64(cutoff)
+	if d.sense == ilp.Maximize {
+		cut -= 0.5
+	} else {
+		cut += 0.5
+	}
+
+	if d.warm != nil && d.warm.Ready() {
+		status, obj, x, pivots, ok := d.warm.SolveSet(set, cut, useCutoff)
+		r.stats.Pivots += pivots
+		if ok {
+			r.stats.LPSolves++
+			switch status {
+			case ilp.Infeasible, ilp.Dominated:
+				r.warm = true
+				r.status = status
+				return r
+			case ilp.Optimal:
+				if ilp.IsIntegral(x) {
+					r.warm = true
+					r.status = status
+					r.stats.RootIntegral = true
+					r.cycles = int64(math.Round(obj))
+					r.values = x
+					return r
+				}
+				// Fractional warm root: branch and bound needs the cold
+				// path. Rare in this domain (network-matrix structure).
+			}
+		}
+	}
+
 	p := &ilp.Problem{
-		Sense:       sense,
-		NumVars:     obj.nVars,
+		Sense:       d.sense,
+		NumVars:     d.obj.nVars,
 		Integer:     true,
-		Objective:   obj.coeffs,
-		Prefix:      prefix,
+		Objective:   d.obj.coeffs,
+		Prefix:      d.prefix,
 		Constraints: set,
 	}
-	sol, err := ilp.SolveCtx(ctx, p)
+	sol, err := ilp.SolveCtxOpts(ctx, p, ilp.SolveOptions{Cutoff: cut, UseCutoff: useCutoff})
 	if err != nil {
 		return solveResult{err: err}
 	}
-	return solveResult{
-		status: sol.Status,
-		cycles: int64(math.Round(sol.Objective)),
-		values: sol.Values,
-		stats:  sol.Stats,
-	}
+	r.cold = true
+	r.status = sol.Status
+	r.cycles = int64(math.Round(sol.Objective))
+	r.values = sol.Values
+	r.stats.LPSolves += sol.Stats.LPSolves
+	r.stats.Branches += sol.Stats.Branches
+	r.stats.Pivots += sol.Stats.Pivots
+	r.stats.RootIntegral = sol.Stats.RootIntegral
+	return r
 }
 
 // reduceDir folds one direction's per-set results in set order — the same
 // tie-break as the sequential loop (a later set wins only when strictly
-// better), so the outcome is independent of job completion order.
-func (a *Analyzer) reduceDir(est *Estimate, sense ilp.Sense, results []solveResult) (*BoundReport, error) {
+// better), so the outcome is independent of job completion order. Dominated
+// results are skipped: they are provably strictly worse than the incumbent
+// that pruned them, so they can neither win nor tie.
+func (a *Analyzer) reduceDir(est *Estimate, sense ilp.Sense, results []solveResult) (*BoundReport, *solveResult, error) {
 	var best *BoundReport
-	var bestValues []float64
+	var bestRes *solveResult
 	feasible := false
 	for si := range results {
 		r := &results[si]
-		est.LPSolves += r.stats.LPSolves
-		est.Branches += r.stats.Branches
 		switch r.status {
 		case ilp.Unbounded:
 			msg := "ipet: ILP unbounded — a loop lacks a bound"
 			if missing := a.MissingLoopBounds(); len(missing) > 0 {
 				msg += ": " + strings.Join(missing, "; ")
 			}
-			return nil, fmt.Errorf("%s", msg)
+			return nil, nil, fmt.Errorf("%s", msg)
 		case ilp.Infeasible:
+			continue
+		case ilp.Dominated:
+			// An incumbent exists only once some set solved to optimality,
+			// so skipping dominated sets never hides the last feasible one.
 			continue
 		}
 		feasible = true
@@ -282,14 +524,74 @@ func (a *Analyzer) reduceDir(est *Estimate, sense ilp.Sense, results []solveResu
 			(sense == ilp.Maximize && r.cycles > best.Cycles) ||
 			(sense == ilp.Minimize && r.cycles < best.Cycles) {
 			best = &BoundReport{Cycles: r.cycles, SetIndex: si}
-			bestValues = r.values
+			bestRes = r
 		}
 	}
 	if !feasible {
-		return nil, fmt.Errorf("ipet: every functionality constraint set is infeasible against the structural constraints")
+		return nil, nil, fmt.Errorf("ipet: every functionality constraint set is infeasible against the structural constraints")
 	}
-	best.Counts = a.aggregateCounts(bestValues)
-	return best, nil
+	return best, bestRes, nil
+}
+
+// finishDir fills the winning BoundReport's counts. When the winner was
+// answered by the warm path or copied from a canonical duplicate, its
+// values may come from an alternate optimal vertex or a differently
+// ordered row list; one plain cold re-solve of the winning set re-derives
+// the exact counts the exhaustive path reports.
+func (a *Analyzer) finishDir(ctx context.Context, est *Estimate, d *direction, plan *solverPlan, best *BoundReport, win *solveResult) error {
+	if !win.warm && !win.dup {
+		best.Counts = a.aggregateCounts(win.values)
+		return nil
+	}
+	p := &ilp.Problem{
+		Sense:       d.sense,
+		NumVars:     d.obj.nVars,
+		Integer:     true,
+		Objective:   d.obj.coeffs,
+		Prefix:      d.prefix,
+		Constraints: plan.sets[best.SetIndex],
+	}
+	sol, err := ilp.SolveCtx(ctx, p)
+	if err != nil {
+		return err
+	}
+	est.LPSolves += sol.Stats.LPSolves
+	est.Branches += sol.Stats.Branches
+	est.Stats.Pivots += sol.Stats.Pivots
+	est.Stats.ColdSolves++
+	if sol.Status != ilp.Optimal || int64(math.Round(sol.Objective)) != best.Cycles {
+		return fmt.Errorf("ipet: internal error: canonical re-solve of set %d returned %v %g, want %d cycles",
+			best.SetIndex+1, sol.Status, sol.Objective, best.Cycles)
+	}
+	best.Counts = a.aggregateCounts(sol.Values)
+	return nil
+}
+
+// incumbent tracking: one atomic best bound per direction, initialized to
+// a sentinel meaning "none yet".
+func incumbentInit(sense ilp.Sense) int64 {
+	if sense == ilp.Maximize {
+		return math.MinInt64
+	}
+	return math.MaxInt64
+}
+
+func incumbentLoad(inc *atomic.Int64, sense ilp.Sense) (int64, bool) {
+	v := inc.Load()
+	return v, v != incumbentInit(sense)
+}
+
+func incumbentOffer(inc *atomic.Int64, sense ilp.Sense, cycles int64) {
+	for {
+		cur := inc.Load()
+		if (sense == ilp.Maximize && cycles <= cur) ||
+			(sense == ilp.Minimize && cycles >= cur) {
+			return
+		}
+		if inc.CompareAndSwap(cur, cycles) {
+			return
+		}
+	}
 }
 
 // Estimate runs the full analysis: expand functionality constraint sets,
@@ -298,47 +600,61 @@ func (a *Analyzer) Estimate() (*Estimate, error) {
 	return a.EstimateContext(context.Background())
 }
 
-// EstimateContext is Estimate with cancellation. The sets × {max,min} ILP
-// jobs are dispatched to a bounded worker pool of Opts.Workers goroutines
-// (0 selects GOMAXPROCS, 1 runs the plain sequential loop); results are
-// reduced in deterministic set order regardless of completion order, so
-// every worker count produces the identical Estimate. The first error
-// cancels all in-flight jobs.
+// EstimateContext is Estimate with cancellation. Distinct sets × {max,min}
+// ILP jobs are dispatched to a bounded worker pool of Opts.Workers
+// goroutines (0 selects GOMAXPROCS, 1 runs the plain sequential loop);
+// results are reduced in deterministic set order regardless of completion
+// order, so every worker count produces the identical bound report. The
+// first error cancels all in-flight jobs.
 func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
-	sets, total, pruned, err := a.buildSets()
+	tBuild := time.Now()
+	plan, fresh, err := a.solverSetup()
 	if err != nil {
 		return nil, err
 	}
-	est := &Estimate{NumSets: total, PrunedSets: pruned, SolvedSets: len(sets), AllRootIntegral: true}
-	if len(sets) == 0 {
-		return nil, fmt.Errorf("ipet: all %d functionality constraint sets are null", total)
+	est := &Estimate{
+		NumSets:         plan.total,
+		PrunedSets:      plan.pruned,
+		SolvedSets:      len(plan.sets),
+		AllRootIntegral: true,
 	}
-
-	structural := a.StructuralConstraints()
-	loops := a.LoopBoundConstraints()
-	base := append(append([]ilp.Constraint{}, structural...), loops...)
-
-	// Each direction shares base plus its objective's extra rows across
-	// all sets; lower that prefix to the solver's normalized sparse row
-	// form once instead of once per set ILP.
-	dirs := []struct {
-		sense ilp.Sense
-		obj   objective
-	}{
-		{ilp.Maximize, a.worstObjective()},
-		{ilp.Minimize, a.bestObjective()},
+	est.Stats.SetsTotal = plan.total
+	est.Stats.PrunedNull = plan.pruned
+	est.Stats.Deduped = plan.deduped
+	if fresh {
+		est.LPSolves += plan.setupLP
+		est.Stats.ColdSolves += plan.setupCold
+		est.Stats.Pivots += plan.setupPivots
 	}
-	prefixes := make([][]ilp.PackedRow, len(dirs))
-	for d := range dirs {
-		rows := base
-		if extra := dirs[d].obj.extra; len(extra) > 0 {
-			rows = append(append(make([]ilp.Constraint, 0, len(base)+len(extra)), base...), extra...)
-		}
-		prefixes[d] = ilp.Pack(rows)
+	if len(plan.sets) == 0 {
+		return nil, fmt.Errorf("ipet: all %d functionality constraint sets are null", plan.total)
 	}
+	est.Stats.BuildTime = time.Since(tBuild)
 
-	numJobs := len(dirs) * len(sets)
+	tSolve := time.Now()
+	dirs := plan.dirs
+	nd := len(plan.distinct)
+	numJobs := len(dirs) * nd
 	results := make([]solveResult, numJobs)
+	incumbents := make([]atomic.Int64, len(dirs))
+	for d := range dirs {
+		incumbents[d].Store(incumbentInit(dirs[d].sense))
+	}
+	runJob := func(jctx context.Context, j int) solveResult {
+		d, k := j/nd, j%nd
+		dir := &dirs[d]
+		var cutoff int64
+		useCutoff := false
+		if a.Opts.IncumbentPrune {
+			cutoff, useCutoff = incumbentLoad(&incumbents[d], dir.sense)
+		}
+		r := a.solveSet(jctx, dir, plan.sets[plan.distinct[k]], cutoff, useCutoff)
+		if r.err == nil && r.status == ilp.Optimal {
+			incumbentOffer(&incumbents[d], dir.sense, r.cycles)
+		}
+		return r
+	}
+
 	workers := a.Opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -350,8 +666,7 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 		// Sequential path: identical to the pre-pool analyzer, stopping at
 		// the first error.
 		for j := 0; j < numJobs; j++ {
-			d, si := j/len(sets), j%len(sets)
-			results[j] = a.solveSet(ctx, dirs[d].sense, &dirs[d].obj, prefixes[d], sets[si])
+			results[j] = runJob(ctx, j)
 			if results[j].err != nil {
 				break
 			}
@@ -369,8 +684,7 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 					if j >= numJobs || jctx.Err() != nil {
 						return
 					}
-					d, si := j/len(sets), j%len(sets)
-					r := a.solveSet(jctx, dirs[d].sense, &dirs[d].obj, prefixes[d], sets[si])
+					r := runJob(jctx, j)
 					results[j] = r
 					if r.err != nil {
 						cancel()
@@ -394,14 +708,59 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 		return nil, err
 	}
 
-	worst, err := a.reduceDir(est, dirs[0].sense, results[:len(sets)])
+	// Work statistics accumulate once per distinct job, in job order, so
+	// duplicate fan-out below cannot double-count a representative.
+	for j := range results {
+		r := &results[j]
+		est.LPSolves += r.stats.LPSolves
+		est.Branches += r.stats.Branches
+		est.Stats.Pivots += r.stats.Pivots
+		if r.warm {
+			est.Stats.WarmSolves++
+		}
+		if r.cold {
+			est.Stats.ColdSolves++
+		}
+		switch r.status {
+		case ilp.Dominated:
+			est.Stats.IncumbentSkipped++
+		case ilp.Optimal, ilp.Infeasible:
+			est.Stats.Solved++
+		}
+	}
+
+	// Fan distinct results back out to the full per-set arrays the reduce
+	// walks, marking copies so a duplicate winner gets canonical counts.
+	nSets := len(plan.sets)
+	full := make([]solveResult, len(dirs)*nSets)
+	for d := range dirs {
+		for k, si := range plan.distinct {
+			full[d*nSets+si] = results[d*nd+k]
+		}
+		for i := 0; i < nSets; i++ {
+			if rep := plan.repOf[i]; rep != i {
+				cp := full[d*nSets+rep]
+				cp.dup = true
+				full[d*nSets+i] = cp
+			}
+		}
+	}
+
+	worst, worstRes, err := a.reduceDir(est, dirs[0].sense, full[:nSets])
 	if err != nil {
 		return nil, err
 	}
-	bcet, err := a.reduceDir(est, dirs[1].sense, results[len(sets):])
+	bcet, bcetRes, err := a.reduceDir(est, dirs[1].sense, full[nSets:])
 	if err != nil {
 		return nil, err
 	}
+	if err := a.finishDir(ctx, est, &dirs[0], plan, worst, worstRes); err != nil {
+		return nil, err
+	}
+	if err := a.finishDir(ctx, est, &dirs[1], plan, bcet, bcetRes); err != nil {
+		return nil, err
+	}
+	est.Stats.SolveTime = time.Since(tSolve)
 	est.WCET = *worst
 	est.BCET = *bcet
 	if est.BCET.Cycles > est.WCET.Cycles {

@@ -15,6 +15,7 @@ package ipet
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"cinderella/internal/cfg"
 	"cinderella/internal/constraint"
@@ -42,15 +43,35 @@ type Options struct {
 	// The result is deterministic — identical to Workers == 1 — at every
 	// setting, because jobs are reduced in set order after completion.
 	Workers int
+	// DedupSets canonicalizes each surviving conjunctive set (sorted,
+	// coefficient-normalized rows over the lowered ILP variables) and
+	// solves each distinct set once, fanning the result back out to its
+	// duplicates. Sets differing only in call-context rows lower to
+	// different variables and are never merged.
+	DedupSets bool
+	// WarmStart solves the shared structural system once per objective
+	// sense and re-solves each constraint set by dual simplex from that
+	// base optimum, with only the set's delta rows attached. Fractional
+	// roots and pathological pivots fall back to the cold solver.
+	WarmStart bool
+	// IncumbentPrune shares the best bound found so far across the solve
+	// pool and abandons any set whose LP relaxation proves it strictly
+	// worse than the incumbent (such sets report as incumbent-skipped in
+	// Stats). The bound, extreme-case counts, and winning set index are
+	// unaffected: a pruned set can never win or tie the winner.
+	IncumbentPrune bool
 }
 
 // DefaultOptions returns the standard analysis configuration.
 func DefaultOptions() Options {
 	return Options{
-		March:         march.DefaultOptions(),
-		PruneNullSets: true,
-		MaxSets:       4096,
-		MaxContexts:   10000,
+		March:          march.DefaultOptions(),
+		PruneNullSets:  true,
+		MaxSets:        4096,
+		MaxContexts:    10000,
+		DedupSets:      true,
+		WarmStart:      true,
+		IncumbentPrune: true,
 	}
 }
 
@@ -116,6 +137,12 @@ type Analyzer struct {
 
 	// costs caches block cost brackets per function.
 	costs map[string][]march.BlockCost
+
+	// planMu guards plan, the memoized solver setup (expanded sets, packed
+	// prefixes, warm-start bases) shared by repeated Estimate calls.
+	// Apply invalidates it; see solverSetup in estimate.go.
+	planMu sync.Mutex
+	plan   *solverPlan
 }
 
 // New builds an analyzer for the given root function.
@@ -212,6 +239,11 @@ func (a *Analyzer) Apply(file *constraint.File) error {
 		}
 	}
 	a.annots = file
+	// New annotations change the constraint sets and loop-bound rows, so
+	// any memoized solver setup is stale.
+	a.planMu.Lock()
+	a.plan = nil
+	a.planMu.Unlock()
 	return nil
 }
 

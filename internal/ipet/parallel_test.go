@@ -15,8 +15,9 @@ import (
 // manySetProgram builds a chain of n if-then-else diamonds plus the
 // annotation that pins each diamond to exactly one arm via a disjunction,
 // so the DNF cross product yields 2^n functionality constraint sets — the
-// stress workload for the parallel solve scheduler. Diamond i occupies
-// blocks x(3i+1) (condition), x(3i+2) (then), x(3i+3) (else).
+// stress workload for the parallel solve scheduler, and the same shape as
+// examples/pathexplosion. Diamond i occupies blocks x(3i+1) (condition),
+// x(3i+2) (then), x(3i+3) (else).
 func manySetProgram(n int) (src, annots string) {
 	var sb, ab strings.Builder
 	sb.WriteString("main:\n")
@@ -35,7 +36,9 @@ func manySetProgram(n int) (src, annots string) {
 	return sb.String(), ab.String()
 }
 
-func estimateWithWorkers(t *testing.T, src, annots string, workers int) *Estimate {
+// estimateOpts assembles, analyzes and estimates src with the given option
+// mutation applied on top of the defaults.
+func estimateOpts(t *testing.T, src, annots string, mutate func(*Options)) *Estimate {
 	t.Helper()
 	exe, err := asm.Assemble(src)
 	if err != nil {
@@ -46,7 +49,9 @@ func estimateWithWorkers(t *testing.T, src, annots string, workers int) *Estimat
 		t.Fatalf("cfg: %v", err)
 	}
 	opts := DefaultOptions()
-	opts.Workers = workers
+	if mutate != nil {
+		mutate(&opts)
+	}
 	an, err := New(prog, "main", opts)
 	if err != nil {
 		t.Fatalf("ipet.New: %v", err)
@@ -62,16 +67,54 @@ func estimateWithWorkers(t *testing.T, src, annots string, workers int) *Estimat
 	}
 	est, err := an.Estimate()
 	if err != nil {
-		t.Fatalf("estimate (workers=%d): %v", workers, err)
+		t.Fatalf("estimate: %v", err)
 	}
 	return est
 }
 
+func estimateWithWorkers(t *testing.T, src, annots string, workers int) *Estimate {
+	t.Helper()
+	return estimateOpts(t, src, annots, func(o *Options) { o.Workers = workers })
+}
+
+// report projects an Estimate onto everything the analysis promises to hold
+// invariant across worker counts and solver mechanisms: the two bound
+// reports (cycles, counts, winning set) and the set bookkeeping. Work
+// counters (pivots, warm/cold splits, incumbent skips) legitimately vary
+// with the mechanism mix and — under parallel incumbent pruning — with job
+// timing, so they are deliberately excluded here and compared separately
+// where they are deterministic.
+type report struct {
+	WCET, BCET                      BoundReport
+	NumSets, PrunedSets, SolvedSets int
+}
+
+func reportOf(est *Estimate) report {
+	return report{
+		WCET:       est.WCET,
+		BCET:       est.BCET,
+		NumSets:    est.NumSets,
+		PrunedSets: est.PrunedSets,
+		SolvedSets: est.SolvedSets,
+	}
+}
+
+// stripTimes returns a copy with the wall-clock fields zeroed so the rest
+// of the Estimate can be compared with reflect.DeepEqual.
+func stripTimes(est *Estimate) Estimate {
+	cp := *est
+	cp.Stats.BuildTime = 0
+	cp.Stats.SolveTime = 0
+	return cp
+}
+
 // TestParallelEstimateDeterminism runs the 32-set stress workload at
-// several worker counts and requires every field of the Estimate — cycles,
-// winning set index, block counts, set statistics — to match the
-// sequential result exactly. Run under -race in CI this doubles as the
-// regression gate for the worker pool.
+// several worker counts and requires the bound reports and set statistics
+// to match the sequential result exactly. With incumbent pruning disabled,
+// every distinct job runs to completion whatever the schedule, so the full
+// Estimate — including pivot and solve counters — must be identical too.
+// Run under -race in CI this doubles as the regression gate for the worker
+// pool.
 func TestParallelEstimateDeterminism(t *testing.T) {
 	src, annots := manySetProgram(5)
 	seq := estimateWithWorkers(t, src, annots, 1)
@@ -80,16 +123,30 @@ func TestParallelEstimateDeterminism(t *testing.T) {
 	}
 	for _, workers := range []int{2, 4, 8, 0} {
 		par := estimateWithWorkers(t, src, annots, workers)
-		if !reflect.DeepEqual(seq, par) {
-			t.Errorf("workers=%d diverges from sequential:\nseq: %+v\npar: %+v", workers, seq, par)
+		if !reflect.DeepEqual(reportOf(seq), reportOf(par)) {
+			t.Errorf("workers=%d diverges from sequential:\nseq: %+v\npar: %+v",
+				workers, reportOf(seq), reportOf(par))
+		}
+	}
+	noPrune := func(w int) *Estimate {
+		return estimateOpts(t, src, annots, func(o *Options) {
+			o.Workers = w
+			o.IncumbentPrune = false
+		})
+	}
+	seqFull := stripTimes(noPrune(1))
+	for _, workers := range []int{4, 8} {
+		parFull := stripTimes(noPrune(workers))
+		if !reflect.DeepEqual(seqFull, parFull) {
+			t.Errorf("workers=%d (no pruning) diverges in full stats:\nseq: %+v\npar: %+v",
+				workers, seqFull, parFull)
 		}
 	}
 }
 
-// TestParallelBenchmarksIdentical repeats the determinism check on the
-// paper's own multi-set workload shapes (dhry-style pruned disjunctions):
-// a smaller diamond chain where some disjuncts are trivially null and get
-// pruned, exercising the pruned-set bookkeeping under the pool.
+// TestParallelBenchmarksIdentical repeats the determinism check on a
+// workload where some disjuncts are trivially null and get pruned,
+// exercising the pruned-set bookkeeping under the pool.
 func TestParallelBenchmarksIdentical(t *testing.T) {
 	src, _ := manySetProgram(3)
 	// First diamond pinned both ways (one disjunct null: x2 can't be 1 and
@@ -107,9 +164,102 @@ func TestParallelBenchmarksIdentical(t *testing.T) {
 	}
 	for _, workers := range []int{4, 8} {
 		par := estimateWithWorkers(t, src, annots, workers)
-		if !reflect.DeepEqual(seq, par) {
-			t.Errorf("workers=%d diverges:\nseq: %+v\npar: %+v", workers, seq, par)
+		if !reflect.DeepEqual(reportOf(seq), reportOf(par)) {
+			t.Errorf("workers=%d diverges:\nseq: %+v\npar: %+v",
+				workers, reportOf(seq), reportOf(par))
 		}
+	}
+}
+
+// TestMechanismTogglesIdentical is the correctness gate for the incremental
+// machinery on the 64-set path-explosion workload: every combination of
+// {set dedup, warm start, incumbent pruning}, at every worker count, must
+// produce a bound report bit-identical to the exhaustive cold sequential
+// solve (all mechanisms off, one worker).
+func TestMechanismTogglesIdentical(t *testing.T) {
+	src, annots := manySetProgram(6)
+	baseline := estimateOpts(t, src, annots, func(o *Options) {
+		o.Workers = 1
+		o.DedupSets, o.WarmStart, o.IncumbentPrune = false, false, false
+	})
+	if baseline.NumSets != 64 {
+		t.Fatalf("workload has %d sets, want 64", baseline.NumSets)
+	}
+	want := reportOf(baseline)
+	for mask := 0; mask < 8; mask++ {
+		dedup, warm, prune := mask&1 != 0, mask&2 != 0, mask&4 != 0
+		for _, workers := range []int{1, 3, 8} {
+			est := estimateOpts(t, src, annots, func(o *Options) {
+				o.Workers = workers
+				o.DedupSets, o.WarmStart, o.IncumbentPrune = dedup, warm, prune
+			})
+			if got := reportOf(est); !reflect.DeepEqual(want, got) {
+				t.Errorf("dedup=%v warm=%v prune=%v workers=%d diverges:\nwant: %+v\ngot:  %+v",
+					dedup, warm, prune, workers, want, got)
+			}
+		}
+	}
+}
+
+// TestPivotReduction is the performance gate of the incremental machinery:
+// on the 64-set workload, warm starts plus incumbent pruning must cut total
+// simplex pivots at least in half relative to the exhaustive cold path
+// (the PR-1 solver). Run sequentially so both counters are deterministic.
+func TestPivotReduction(t *testing.T) {
+	src, annots := manySetProgram(6)
+	cold := estimateOpts(t, src, annots, func(o *Options) {
+		o.Workers = 1
+		o.DedupSets, o.WarmStart, o.IncumbentPrune = false, false, false
+	})
+	fast := estimateOpts(t, src, annots, func(o *Options) { o.Workers = 1 })
+	if !reflect.DeepEqual(reportOf(cold), reportOf(fast)) {
+		t.Fatalf("bounds diverge:\ncold: %+v\nfast: %+v", reportOf(cold), reportOf(fast))
+	}
+	if fast.Stats.Pivots*2 > cold.Stats.Pivots {
+		t.Errorf("pivots: cold %d, all mechanisms %d — want at least a 2x reduction",
+			cold.Stats.Pivots, fast.Stats.Pivots)
+	}
+	t.Logf("pivots: cold %d, incremental %d (%.1fx)",
+		cold.Stats.Pivots, fast.Stats.Pivots,
+		float64(cold.Stats.Pivots)/float64(fast.Stats.Pivots))
+}
+
+// TestSolveSetCancelled: solveSet must notice a dead context before paying
+// for a simplex run, so a cancelled estimate drains its queued jobs without
+// burning a solve each.
+func TestSolveSetCancelled(t *testing.T) {
+	src, annots := manySetProgram(2)
+	exe, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Build(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := New(prog, "main", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := constraint.Parse(annots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := an.Apply(f); err != nil {
+		t.Fatal(err)
+	}
+	plan, _, err := an.solverSetup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := an.solveSet(ctx, &plan.dirs[0], plan.sets[0], 0, false)
+	if r.err == nil {
+		t.Fatal("solveSet on a cancelled context returned no error")
+	}
+	if r.stats.Pivots != 0 || r.stats.LPSolves != 0 || r.warm || r.cold {
+		t.Fatalf("solveSet did work despite cancellation: %+v", r)
 	}
 }
 
