@@ -46,6 +46,9 @@ func main() {
 		table3    = flag.Bool("table3", false, "print the Table III analog (estimated vs measured)")
 		stats     = flag.Bool("stats", false, "print ILP solver statistics (suite-wide without a program, per-estimate with one)")
 		workers   = flag.Int("j", 0, "concurrent ILP solves across constraint sets (0 = GOMAXPROCS, 1 = sequential)")
+		deadline  = flag.Duration("deadline", 0, "wall-clock budget for the solve phase; on expiry report a sound envelope instead of failing")
+		budget    = flag.Int("budget", 0, "total simplex-pivot budget across all solves; deterministic anytime cutoff (0 = unlimited)")
+		maxSets   = flag.Int("max-sets", 0, "cap on constraint sets; overflowing disjunctions are soundly widened instead of rejected (0 = default cap, fail on overflow)")
 		mhz       = flag.Float64("mhz", 20, "clock frequency used to report times (the QT960 runs at 20 MHz)")
 		profile   = flag.String("profile", "i960kb", "processor timing profile (i960kb, dsp3210)")
 	)
@@ -60,6 +63,12 @@ func main() {
 	opts.PruneNullSets = !*noPrune
 	opts.Workers = *workers
 	opts.March.Timing = timing
+	opts.Deadline = *deadline
+	opts.Budget = *budget
+	if *maxSets > 0 {
+		opts.MaxSets = *maxSets
+		opts.WidenSets = true
+	}
 
 	singleRun := *srcPath != "" || *asmPath != "" || *benchName != ""
 	if *table1 || *table2 || *table3 || (*stats && !singleRun) {
@@ -211,6 +220,10 @@ func main() {
 			float64(est.BCET.Cycles)/(*mhz), float64(est.WCET.Cycles)/(*mhz), *mhz)
 	}
 	fmt.Println()
+	if !est.WCET.Exact || !est.BCET.Exact {
+		fmt.Printf("bound is a sound envelope, not exact: WCET exact=%v slack=%s, BCET exact=%v slack=%s\n",
+			est.WCET.Exact, slackString(est.WCET.Slack), est.BCET.Exact, slackString(est.BCET.Slack))
+	}
 	fmt.Printf("functionality constraint sets: %d generated, %d null pruned, %d solved\n",
 		est.NumSets, est.PrunedSets, est.SolvedSets)
 	fmt.Printf("ILP: %d LP calls, %d branch-and-bound nodes, root integral: %v\n",
@@ -223,6 +236,10 @@ func main() {
 			s.WarmSolves, s.ColdSolves, s.Pivots)
 		fmt.Printf("solver: build %s, solve %s\n",
 			s.BuildTime.Round(time.Microsecond), s.SolveTime.Round(time.Microsecond))
+		if s.SetsWidened > 0 || s.SetsUnsolved > 0 || s.DeadlineHit {
+			fmt.Printf("solver: %d sets widened, %d sets unsolved, deadline hit: %v\n",
+				s.SetsWidened, s.SetsUnsolved, s.DeadlineHit)
+		}
 	}
 
 	fmt.Println("\nworst-case block counts and costs:")
@@ -231,7 +248,20 @@ func main() {
 	printCounts(an, est.BCET.Counts)
 }
 
+// slackString renders a BoundReport.Slack for the user: -1 means the
+// envelope has no exactly-solved witness to measure distance from.
+func slackString(s int64) string {
+	if s < 0 {
+		return "unknown"
+	}
+	return fmt.Sprintf("%d", s)
+}
+
 func printCounts(an *ipet.Analyzer, counts map[string][]int64) {
+	if counts == nil {
+		fmt.Println("  (none: bound is a relaxation envelope with no witness path)")
+		return
+	}
 	var fns []string
 	for fn := range counts {
 		fns = append(fns, fn)

@@ -28,6 +28,11 @@ type EstimatePerf struct {
 	WarmSolves       int `json:"warm_solves"`
 	ColdSolves       int `json:"cold_solves"`
 
+	SetsWidened  int  `json:"sets_widened"`
+	SetsUnsolved int  `json:"sets_unsolved"`
+	DeadlineHit  bool `json:"deadline_hit"`
+	Exact        bool `json:"exact"`
+
 	WCET int64 `json:"wcet_cycles"`
 	BCET int64 `json:"bcet_cycles"`
 }
@@ -41,6 +46,10 @@ func (p *EstimatePerf) FillFromEstimate(est *ipet.Estimate) {
 	p.Pivots = est.Stats.Pivots
 	p.WarmSolves = est.Stats.WarmSolves
 	p.ColdSolves = est.Stats.ColdSolves
+	p.SetsWidened = est.Stats.SetsWidened
+	p.SetsUnsolved = est.Stats.SetsUnsolved
+	p.DeadlineHit = est.Stats.DeadlineHit
+	p.Exact = est.WCET.Exact && est.BCET.Exact
 	p.WCET = est.WCET.Cycles
 	p.BCET = est.BCET.Cycles
 }

@@ -1,0 +1,116 @@
+package constraint
+
+// Widening: a sound over-approximation of a formula by a single
+// conjunctive set. The DNF cross product of Section III.D is worst-case
+// exponential; when an analysis must bound the number of conjunctive sets
+// it keeps, a disjunction can be replaced by the relations shared by all
+// of its disjuncts. Dropping the non-shared rows only enlarges the
+// feasible region (it is a superset of the union of the disjuncts'
+// regions), so a WCET maximized — or a BCET minimized — over the widened
+// set still encloses the true bound. The price is tightness, never
+// soundness.
+
+// relKey is the canonical identity used when intersecting relation lists:
+// Rel.String() sorts variables and normalizes coefficient rendering, so
+// syntactically reordered copies of one fact compare equal.
+func relKey(r Rel) string { return r.String() }
+
+// Union returns the relations common to every given set — the widened
+// conjunction whose feasible region contains the union of the sets'
+// regions. Rows keep the first set's order; with zero sets the result is
+// the empty (unconstrained) set.
+func Union(sets ...ConjunctiveSet) ConjunctiveSet {
+	if len(sets) == 0 {
+		return ConjunctiveSet{}
+	}
+	keep := make(ConjunctiveSet, 0, len(sets[0]))
+	seen := map[string]bool{}
+	for _, r := range sets[0] {
+		k := relKey(r)
+		if seen[k] {
+			continue // a repeated row adds nothing to the intersection
+		}
+		seen[k] = true
+		inAll := true
+		for _, other := range sets[1:] {
+			found := false
+			for _, o := range other {
+				if relKey(o) == k {
+					found = true
+					break
+				}
+			}
+			if !found {
+				inAll = false
+				break
+			}
+		}
+		if inAll {
+			keep = append(keep, r)
+		}
+	}
+	return keep
+}
+
+// Widen collapses a formula to one conjunctive set that every satisfying
+// assignment of the formula also satisfies: atoms and conjunctions keep
+// all their relations, a disjunction keeps only the relations common to
+// all of its (recursively widened) parts.
+func Widen(f Formula) ConjunctiveSet {
+	switch x := f.(type) {
+	case *Atom:
+		return ConjunctiveSet{x.Rel}
+	case *And:
+		var out ConjunctiveSet
+		for _, p := range x.Parts {
+			out = append(out, Widen(p)...)
+		}
+		return out
+	case *Or:
+		parts := make([]ConjunctiveSet, 0, len(x.Parts))
+		for _, p := range x.Parts {
+			parts = append(parts, Widen(p))
+		}
+		return Union(parts...)
+	}
+	return nil
+}
+
+// CrossProductWiden is CrossProduct with graceful degradation: formulas
+// whose DNF expansion would push the running product past maxSets are
+// widened (see Widen) instead of failing the whole analysis. Every set a
+// widened formula touched is flagged in the returned slice, so callers
+// can mark the resulting bound as sound-but-not-exact. When no formula
+// overflows, the output is identical to CrossProduct and no set is
+// flagged.
+func CrossProductWiden(formulas []Formula, maxSets int) ([]ConjunctiveSet, []bool, error) {
+	if maxSets < 1 {
+		maxSets = 1
+	}
+	out := []ConjunctiveSet{{}}
+	widened := []bool{false}
+	for _, f := range formulas {
+		sub, err := dnf(f, maxSets)
+		if err == nil && len(out)*len(sub) <= maxSets {
+			next := make([]ConjunctiveSet, 0, len(out)*len(sub))
+			nw := make([]bool, 0, len(out)*len(sub))
+			for i, a := range out {
+				for _, b := range sub {
+					merged := make(ConjunctiveSet, 0, len(a)+len(b))
+					merged = append(merged, a...)
+					merged = append(merged, b...)
+					next = append(next, merged)
+					nw = append(nw, widened[i])
+				}
+			}
+			out, widened = next, nw
+			continue
+		}
+		rows := Widen(f)
+		for i := range out {
+			out[i] = append(out[i], rows...)
+			widened[i] = true
+		}
+	}
+	return out, widened, nil
+}

@@ -1,0 +1,151 @@
+package constraint
+
+import (
+	"reflect"
+	"testing"
+)
+
+// parseFormulas parses an annotation body for one function and returns its
+// formulas.
+func parseFormulas(t *testing.T, body string) []Formula {
+	t.Helper()
+	f, err := Parse("func f {\n" + body + "\n}\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	sec, ok := f.Section("f")
+	if !ok {
+		t.Fatal("no section f")
+	}
+	return sec.Formulas
+}
+
+func setStrings(cs ConjunctiveSet) []string {
+	out := make([]string, len(cs))
+	for i, r := range cs {
+		out[i] = r.String()
+	}
+	return out
+}
+
+func TestWidenDisjunctionKeepsSharedRows(t *testing.T) {
+	fs := parseFormulas(t, "(x1 = 1 & x2 <= 3 & x3 = 0) | (x1 = 1 & x2 <= 3 & x3 = 1)")
+	if len(fs) != 1 {
+		t.Fatalf("got %d formulas, want 1", len(fs))
+	}
+	got := setStrings(Widen(fs[0]))
+	want := setStrings(ConjunctiveSet{
+		mustRel(t, "x1 = 1"), mustRel(t, "x2 <= 3"),
+	})
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Widen = %v, want %v", got, want)
+	}
+}
+
+func TestWidenDisjointDisjunctionIsUnconstrained(t *testing.T) {
+	fs := parseFormulas(t, "(x1 = 1 & x2 = 0) | (x1 = 0 & x2 = 1)")
+	if got := Widen(fs[0]); len(got) != 0 {
+		t.Errorf("Widen of disjoint disjunction = %v, want empty", setStrings(got))
+	}
+}
+
+func TestWidenAtomAndConjunction(t *testing.T) {
+	fs := parseFormulas(t, "x1 = 4\nx2 <= 7")
+	all := Widen(&And{Parts: fs})
+	if len(all) != 2 {
+		t.Fatalf("Widen(And) kept %d rows, want 2", len(all))
+	}
+}
+
+// mustRel parses one relation via a single-line annotation.
+func mustRel(t *testing.T, s string) Rel {
+	t.Helper()
+	fs := parseFormulas(t, s)
+	if len(fs) != 1 {
+		t.Fatalf("%q parsed to %d formulas", s, len(fs))
+	}
+	a, ok := fs[0].(*Atom)
+	if !ok {
+		t.Fatalf("%q is %T, want Atom", s, fs[0])
+	}
+	return a.Rel
+}
+
+func TestUnionEmptyAndDuplicateRows(t *testing.T) {
+	r1, r2 := mustRel(t, "x1 = 1"), mustRel(t, "x2 >= 2")
+	if got := Union(); len(got) != 0 {
+		t.Errorf("Union() = %v, want empty", got)
+	}
+	got := Union(ConjunctiveSet{r1, r1, r2}, ConjunctiveSet{r2, r1})
+	want := []string{r1.String(), r2.String()}
+	if !reflect.DeepEqual(setStrings(got), want) {
+		t.Errorf("Union = %v, want %v", setStrings(got), want)
+	}
+}
+
+// TestCrossProductWidenMatchesExactWhenUnderCap pins the degradation-free
+// path: same sets in the same order as CrossProduct, nothing flagged.
+func TestCrossProductWidenMatchesExactWhenUnderCap(t *testing.T) {
+	fs := parseFormulas(t, "(x1 = 0) | (x1 >= 1)\n(x2 = 0) | (x2 >= 1)\nx3 <= 9")
+	exact, err := CrossProduct(fs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, flags, err := CrossProductWiden(fs, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wide) != len(exact) {
+		t.Fatalf("widened product has %d sets, exact %d", len(wide), len(exact))
+	}
+	for i := range wide {
+		if flags[i] {
+			t.Errorf("set %d flagged widened under cap", i)
+		}
+		if !reflect.DeepEqual(setStrings(wide[i]), setStrings(exact[i])) {
+			t.Errorf("set %d: %v != exact %v", i, setStrings(wide[i]), setStrings(exact[i]))
+		}
+	}
+}
+
+// TestCrossProductWidenOverflow pins the degraded path: with a cap the
+// exact product rejects, the widened product stays within the cap, flags
+// its sets, and every widened set keeps the disjuncts' shared rows.
+func TestCrossProductWidenOverflow(t *testing.T) {
+	fs := parseFormulas(t,
+		"x9 = 1\n"+
+			"(x1 = 0 & x5 <= 2) | (x1 >= 1 & x5 <= 2)\n"+
+			"(x2 = 0 & x6 <= 3) | (x2 >= 1 & x6 <= 3)")
+	if _, err := CrossProduct(fs, 2); err == nil {
+		t.Fatal("exact cross product under cap 2 should fail")
+	}
+	wide, flags, err := CrossProductWiden(fs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wide) > 2 {
+		t.Fatalf("widened product has %d sets, cap 2", len(wide))
+	}
+	sawWidened := false
+	for i, cs := range wide {
+		if !flags[i] {
+			continue
+		}
+		sawWidened = true
+		if want := "f.x6 <= 3"; !containsRel(cs, want) {
+			t.Errorf("widened set %d lacks shared row %q: %v", i, want, setStrings(cs))
+		}
+	}
+	if !sawWidened {
+		t.Error("no set flagged widened despite overflow")
+	}
+}
+
+func containsRel(cs ConjunctiveSet, s string) bool {
+	for _, r := range cs {
+		if r.String() == s {
+			return true
+		}
+	}
+	return false
+}

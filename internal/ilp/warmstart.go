@@ -63,6 +63,13 @@ func (w *WarmStart) BaseStatus() Status { return w.baseStatus }
 // BasePivots returns the pivot count of the one-time base solve.
 func (w *WarmStart) BasePivots() int { return w.basePivots }
 
+// BaseObjective returns the base LP relaxation's optimal objective when
+// Ready. Because every per-set problem only adds rows to the base, this
+// value bounds every set's optimum from above for Maximize (below for
+// Minimize) — the envelope an anytime analysis reports for sets it never
+// got to solve.
+func (w *WarmStart) BaseObjective() (float64, bool) { return w.baseObj, w.ok }
+
 // SolveSet re-solves the base problem with the given delta rows appended,
 // by dual simplex from the retained base optimum. It returns the LP
 // relaxation's result: the caller handles integrality (the root is

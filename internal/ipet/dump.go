@@ -13,7 +13,7 @@ import (
 // structural constraints, the loop-bound constraints, and each surviving
 // functionality constraint set.
 func (a *Analyzer) DumpILP(w io.Writer) error {
-	sets, total, pruned, err := a.buildSets()
+	sets, widened, total, pruned, err := a.buildSets()
 	if err != nil {
 		return err
 	}
@@ -40,7 +40,11 @@ func (a *Analyzer) DumpILP(w io.Writer) error {
 	fmt.Fprintf(w, "\nfunctionality constraint sets: %d generated, %d pruned as null\n",
 		total, pruned)
 	for i, set := range sets {
-		fmt.Fprintf(w, "\nset %d:\n", i+1)
+		mark := ""
+		if widened[i] {
+			mark = " (widened: sound over-approximation of an overflowing disjunction)"
+		}
+		fmt.Fprintf(w, "\nset %d:%s\n", i+1, mark)
 		if len(set) == 0 {
 			fmt.Fprintf(w, "  (empty: structural and loop constraints only)\n")
 			continue

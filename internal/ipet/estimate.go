@@ -25,10 +25,22 @@ import (
 type BoundReport struct {
 	Cycles int64
 	// Counts maps function name to per-block execution counts x_i at the
-	// optimum, summed over call contexts.
+	// optimum, summed over call contexts. Nil when the bound is a pure
+	// relaxation envelope (no solved set achieved it).
 	Counts map[string][]int64
-	// SetIndex identifies the winning functionality constraint set.
+	// SetIndex identifies the winning functionality constraint set; -1
+	// when the bound is the relaxation envelope over unsolved sets.
 	SetIndex int
+	// Exact reports that Cycles is the true ILP extreme: every constraint
+	// set was solved un-widened and none was abandoned to a deadline,
+	// budget, or crash. A non-exact bound is still sound — WCET from
+	// above, BCET from below — just possibly loose.
+	Exact bool
+	// Slack bounds the looseness of a non-exact bound when an exactly
+	// solved set is available as a witness: the true extreme lies within
+	// Slack cycles of Cycles (on the inside). Zero when Exact; -1 when no
+	// exact witness exists and the looseness is unknown.
+	Slack int64
 }
 
 // Stats breaks down the work of one Estimate across the incremental
@@ -64,6 +76,17 @@ type Stats struct {
 	// base solves; SolveTime covers the per-set solve fan-out and reduce.
 	BuildTime time.Duration
 	SolveTime time.Duration
+	// SetsWidened counts sets whose constraints were soundly relaxed: sets
+	// produced by Options.WidenSets collapsing an overflowing disjunction,
+	// plus solve jobs that crashed and were absorbed into the relaxation
+	// envelope rather than silently dropped.
+	SetsWidened int
+	// SetsUnsolved counts per-set solve jobs never carried to completion
+	// because the deadline or pivot budget expired (or the job crashed);
+	// their contribution to the bound is the relaxation envelope.
+	SetsUnsolved int
+	// DeadlineHit reports that Options.Deadline expired during the solve.
+	DeadlineHit bool
 }
 
 // Estimate is the full result of a timing analysis: the estimated bound
@@ -91,8 +114,13 @@ type Estimate struct {
 }
 
 // buildSets expands the functionality annotations into conjunctive ILP
-// constraint sets, pruning trivially-null sets when enabled.
-func (a *Analyzer) buildSets() (sets [][]ilp.Constraint, total, pruned int, err error) {
+// constraint sets, pruning trivially-null sets when enabled. With
+// Opts.WidenSets, formulas whose expansion would overflow Opts.MaxSets
+// are soundly widened instead of failing; widened[i] flags the surviving
+// sets touched by widening. Pruning a widened set is sound: its feasible
+// region contains every region it replaced, so widened-null implies
+// all-null.
+func (a *Analyzer) buildSets() (sets [][]ilp.Constraint, widened []bool, total, pruned int, err error) {
 	var formulas []constraint.Formula
 	if a.annots != nil {
 		for _, sec := range a.annots.Sections {
@@ -102,17 +130,24 @@ func (a *Analyzer) buildSets() (sets [][]ilp.Constraint, total, pruned int, err 
 			formulas = append(formulas, sec.Formulas...)
 		}
 	}
-	conjSets, err := constraint.CrossProduct(formulas, a.Opts.MaxSets)
+	var conjSets []constraint.ConjunctiveSet
+	var wide []bool
+	if a.Opts.WidenSets {
+		conjSets, wide, err = constraint.CrossProductWiden(formulas, a.Opts.MaxSets)
+	} else {
+		conjSets, err = constraint.CrossProduct(formulas, a.Opts.MaxSets)
+		wide = make([]bool, len(conjSets))
+	}
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, nil, 0, 0, err
 	}
 	total = len(conjSets)
-	for _, cs := range conjSets {
+	for i, cs := range conjSets {
 		ilpSet := make([]ilp.Constraint, 0, len(cs))
 		for _, r := range cs {
 			c, err := a.relToILP(r)
 			if err != nil {
-				return nil, 0, 0, err
+				return nil, nil, 0, 0, err
 			}
 			ilpSet = append(ilpSet, c)
 		}
@@ -121,8 +156,9 @@ func (a *Analyzer) buildSets() (sets [][]ilp.Constraint, total, pruned int, err 
 			continue
 		}
 		sets = append(sets, ilpSet)
+		widened = append(widened, wide[i])
 	}
-	return sets, total, pruned, nil
+	return sets, widened, total, pruned, nil
 }
 
 // triviallyNull detects contradictions among single-variable constraints by
@@ -307,6 +343,14 @@ type direction struct {
 	obj    objective
 	prefix []ilp.PackedRow
 	warm   *ilp.WarmStart
+	// relax is the base LP relaxation's optimum (structural + loop +
+	// objective rows, no set rows). Adding rows only shrinks the feasible
+	// region, so relax dominates every per-set optimum: it is the sound
+	// envelope reported for sets the analysis never finished. Taken from
+	// the warm base when available, otherwise solved once in solverSetup
+	// when a budgeted run may need it.
+	relax   float64
+	relaxOK bool
 }
 
 // solverPlan is the memoized per-analyzer solver setup: the expanded
@@ -317,6 +361,10 @@ type direction struct {
 type solverPlan struct {
 	sets          [][]ilp.Constraint
 	total, pruned int
+	// widened[i] marks set i as a sound widening of several original sets
+	// (Options.WidenSets); nWidened counts them.
+	widened  []bool
+	nWidened int
 	// repOf[i] is the index of the earliest set canonically identical to
 	// set i (i itself when distinct); distinct lists the representatives
 	// in set order.
@@ -338,11 +386,16 @@ func (a *Analyzer) solverSetup() (plan *solverPlan, fresh bool, err error) {
 	if a.plan != nil {
 		return a.plan, false, nil
 	}
-	sets, total, pruned, err := a.buildSets()
+	sets, widened, total, pruned, err := a.buildSets()
 	if err != nil {
 		return nil, false, err
 	}
-	plan = &solverPlan{sets: sets, total: total, pruned: pruned}
+	plan = &solverPlan{sets: sets, total: total, pruned: pruned, widened: widened}
+	for _, w := range widened {
+		if w {
+			plan.nWidened++
+		}
+	}
 	plan.repOf = make([]int, len(sets))
 	plan.distinct = make([]int, 0, len(sets))
 	if a.Opts.DedupSets {
@@ -396,6 +449,28 @@ func (a *Analyzer) solverSetup() (plan *solverPlan, fresh bool, err error) {
 			plan.setupCold++
 			plan.setupPivots += d.warm.BasePivots()
 		}
+		if d.warm != nil && d.warm.Ready() {
+			// The warm base already holds the relaxation envelope.
+			d.relax, d.relaxOK = d.warm.BaseObjective()
+		} else if a.Opts.Deadline > 0 || a.Opts.Budget > 0 {
+			// A budgeted run may need the envelope for sets it abandons;
+			// solve the base LP once here. Unbudgeted runs skip this so
+			// their statistics stay identical to the exhaustive path.
+			sol, err := ilp.Solve(&ilp.Problem{
+				Sense:     ds.sense,
+				NumVars:   ds.obj.nVars,
+				Objective: ds.obj.coeffs,
+				Prefix:    d.prefix,
+			})
+			if err == nil {
+				plan.setupLP += sol.Stats.LPSolves
+				plan.setupCold++
+				plan.setupPivots += sol.Stats.Pivots
+				if sol.Status == ilp.Optimal {
+					d.relax, d.relaxOK = sol.Objective, true
+				}
+			}
+		}
 		plan.dirs = append(plan.dirs, d)
 	}
 	a.plan = plan
@@ -418,7 +493,23 @@ type solveResult struct {
 	warm bool
 	cold bool
 	dup  bool
+	// done marks that the job actually ran (a worker wrote this result);
+	// a zero-value slot left by an early pool shutdown must not read as an
+	// optimal zero-cycle solve.
+	done bool
+	// unsolved marks a job abandoned to the deadline/pivot budget (or a
+	// crash): its set contributes the direction's relaxation envelope.
+	unsolved bool
+	// crashed carries a recovered per-set solver panic; the set degrades
+	// to the envelope instead of being dropped, and crashMsg surfaces in
+	// the error when no envelope is available.
+	crashed  bool
+	crashMsg string
 }
+
+// testCrashJob, when set to j+1, makes solve job j panic — the test hook
+// for the worker panic-recovery path. Zero disables it.
+var testCrashJob atomic.Int32
 
 // solveSet solves one functionality constraint set in one direction. The
 // shared base rows (structural + loop bounds + objective extras) arrive
@@ -496,12 +587,33 @@ func (a *Analyzer) solveSet(ctx context.Context, d *direction, set []ilp.Constra
 // better), so the outcome is independent of job completion order. Dominated
 // results are skipped: they are provably strictly worse than the incumbent
 // that pruned them, so they can neither win nor tie.
-func (a *Analyzer) reduceDir(est *Estimate, sense ilp.Sense, results []solveResult) (*BoundReport, *solveResult, error) {
+//
+// Unsolved results (deadline, budget, crash) degrade the direction to its
+// relaxation envelope: the base LP optimum dominates every per-set
+// optimum, so reporting it for the unsolved sets — and therefore for the
+// whole direction, since it also dominates every solved incumbent — is
+// sound and independent of which jobs happened to finish. A degraded or
+// widened-winner report carries Exact=false; Slack is measured against
+// the best exactly solved, un-widened set when one exists.
+func (a *Analyzer) reduceDir(est *Estimate, d *direction, plan *solverPlan, results []solveResult) (*BoundReport, *solveResult, error) {
+	sense := d.sense
 	var best *BoundReport
 	var bestRes *solveResult
-	feasible := false
+	feasible, degraded := false, false
+	crashMsg := ""
+	unsolved := 0
+	haveExact := false
+	var exactInc int64
 	for si := range results {
 		r := &results[si]
+		if r.unsolved {
+			degraded = true
+			unsolved++
+			if r.crashed && crashMsg == "" {
+				crashMsg = r.crashMsg
+			}
+			continue
+		}
 		switch r.status {
 		case ilp.Unbounded:
 			msg := "ipet: ILP unbounded — a loop lacks a bound"
@@ -526,9 +638,64 @@ func (a *Analyzer) reduceDir(est *Estimate, sense ilp.Sense, results []solveResu
 			best = &BoundReport{Cycles: r.cycles, SetIndex: si}
 			bestRes = r
 		}
+		if !plan.widened[si] && r.status == ilp.Optimal {
+			if !haveExact ||
+				(sense == ilp.Maximize && r.cycles > exactInc) ||
+				(sense == ilp.Minimize && r.cycles < exactInc) {
+				exactInc, haveExact = r.cycles, true
+			}
+		}
+	}
+	if degraded {
+		if !d.relaxOK {
+			if crashMsg != "" {
+				return nil, nil, fmt.Errorf("ipet: a constraint-set solve crashed (%s) and no relaxation envelope is available to absorb it", crashMsg)
+			}
+			return nil, nil, fmt.Errorf("ipet: budget expired with %d sets unsolved and no relaxation envelope available", unsolved)
+		}
+		// The tightest sound integer envelope: the per-set integer optima
+		// lie at or inside the base LP optimum.
+		var cycles int64
+		if sense == ilp.Maximize {
+			cycles = int64(math.Floor(d.relax + 1e-6))
+		} else {
+			cycles = int64(math.Ceil(d.relax - 1e-6))
+		}
+		if best != nil &&
+			((sense == ilp.Maximize && best.Cycles > cycles) ||
+				(sense == ilp.Minimize && best.Cycles < cycles)) {
+			// Numerically the envelope dominates every incumbent; keep the
+			// guard so a rounding edge can never shrink the bound.
+			cycles = best.Cycles
+		}
+		rep := &BoundReport{Cycles: cycles, SetIndex: -1, Slack: -1}
+		if haveExact {
+			if sense == ilp.Maximize {
+				rep.Slack = cycles - exactInc
+			} else {
+				rep.Slack = exactInc - cycles
+			}
+		}
+		return rep, nil, nil
 	}
 	if !feasible {
 		return nil, nil, fmt.Errorf("ipet: every functionality constraint set is infeasible against the structural constraints")
+	}
+	best.Exact = !plan.widened[best.SetIndex]
+	switch {
+	case best.Exact:
+		best.Slack = 0
+	case haveExact:
+		// A widened winner dominates the sets it replaced; the true
+		// extreme lies between the best exact witness and the widened
+		// bound.
+		if sense == ilp.Maximize {
+			best.Slack = best.Cycles - exactInc
+		} else {
+			best.Slack = exactInc - best.Cycles
+		}
+	default:
+		best.Slack = -1
 	}
 	return best, bestRes, nil
 }
@@ -621,6 +788,7 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 	est.Stats.SetsTotal = plan.total
 	est.Stats.PrunedNull = plan.pruned
 	est.Stats.Deduped = plan.deduped
+	est.Stats.SetsWidened = plan.nWidened
 	if fresh {
 		est.LPSolves += plan.setupLP
 		est.Stats.ColdSolves += plan.setupCold
@@ -640,7 +808,52 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 	for d := range dirs {
 		incumbents[d].Store(incumbentInit(dirs[d].sense))
 	}
-	runJob := func(jctx context.Context, j int) solveResult {
+	// Anytime budgets. The pivot budget is a shared monotone counter
+	// seeded with the plan's setup pivots, checked before each job
+	// launches; the wall-clock deadline additionally cancels in-flight
+	// solves through an internal derived context, which keeps the caller's
+	// own ctx distinguishable: caller cancellation is an error, analyzer
+	// deadline expiry degrades to the envelope.
+	budget := int64(a.Opts.Budget)
+	var spent atomic.Int64
+	spent.Store(int64(plan.setupPivots))
+	var hitDeadline atomic.Bool
+	var deadlineAt time.Time
+	jobCtx := ctx
+	if a.Opts.Deadline > 0 {
+		deadlineAt = tBuild.Add(a.Opts.Deadline)
+		var cancelDeadline context.CancelFunc
+		jobCtx, cancelDeadline = context.WithDeadline(ctx, deadlineAt)
+		defer cancelDeadline()
+	}
+	expired := func() bool {
+		if budget > 0 && spent.Load() >= budget {
+			return true
+		}
+		if !deadlineAt.IsZero() && !time.Now().Before(deadlineAt) {
+			hitDeadline.Store(true)
+			return true
+		}
+		return false
+	}
+
+	runJob := func(jctx context.Context, j int) (r solveResult) {
+		// A panicking set solve must degrade the set, not kill the
+		// estimate: the recovered set joins the relaxation envelope like a
+		// budget-expired one, and the panic text is preserved for the case
+		// where no envelope exists to absorb it.
+		defer func() {
+			if p := recover(); p != nil {
+				r = solveResult{done: true, unsolved: true, crashed: true,
+					crashMsg: fmt.Sprint(p)}
+			}
+		}()
+		if expired() {
+			return solveResult{done: true, unsolved: true}
+		}
+		if tc := testCrashJob.Load(); tc != 0 && int(tc-1) == j {
+			panic(fmt.Sprintf("ipet: test-injected crash in job %d", j))
+		}
 		d, k := j/nd, j%nd
 		dir := &dirs[d]
 		var cutoff int64
@@ -648,7 +861,9 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 		if a.Opts.IncumbentPrune {
 			cutoff, useCutoff = incumbentLoad(&incumbents[d], dir.sense)
 		}
-		r := a.solveSet(jctx, dir, plan.sets[plan.distinct[k]], cutoff, useCutoff)
+		r = a.solveSet(jctx, dir, plan.sets[plan.distinct[k]], cutoff, useCutoff)
+		r.done = true
+		spent.Add(int64(r.stats.Pivots))
 		if r.err == nil && r.status == ilp.Optimal {
 			incumbentOffer(&incumbents[d], dir.sense, r.cycles)
 		}
@@ -666,13 +881,13 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 		// Sequential path: identical to the pre-pool analyzer, stopping at
 		// the first error.
 		for j := 0; j < numJobs; j++ {
-			results[j] = runJob(ctx, j)
+			results[j] = runJob(jobCtx, j)
 			if results[j].err != nil {
 				break
 			}
 		}
 	} else {
-		jctx, cancel := context.WithCancel(ctx)
+		jctx, cancel := context.WithCancel(jobCtx)
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
@@ -697,21 +912,58 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 		cancel()
 	}
 
-	// Propagate the first real failure in job order; jobs abandoned by the
-	// resulting cancellation report context.Canceled and are skipped.
+	// Propagate the first real failure in job order. Jobs the analyzer's
+	// own deadline interrupted — directly (DeadlineExceeded) or through
+	// the pool shutdown it triggered (Canceled) — degrade to unsolved;
+	// jobs abandoned by a sibling's real-error cancellation still report
+	// context.Canceled and are skipped so the real error surfaces. The
+	// caller's own context expiring or being cancelled stays an error,
+	// checked last so it wins over any degraded reading.
 	for j := range results {
-		if err := results[j].err; err != nil && !errors.Is(err, context.Canceled) {
-			return nil, err
+		r := &results[j]
+		if !r.done {
+			// Never dispatched: the pool shut down (deadline, or a sibling
+			// error that is reported below) before this job started.
+			r.unsolved = true
+			continue
 		}
+		err := r.err
+		if err == nil {
+			continue
+		}
+		if a.Opts.Deadline > 0 && ctx.Err() == nil &&
+			(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+			r.err = nil
+			r.unsolved = true
+			hitDeadline.Store(true)
+			continue
+		}
+		if errors.Is(err, context.Canceled) {
+			continue
+		}
+		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// A deadline that expired before the pool dispatched anything leaves
+	// no per-job trace; the derived context still records it.
+	if a.Opts.Deadline > 0 && errors.Is(jobCtx.Err(), context.DeadlineExceeded) {
+		hitDeadline.Store(true)
+	}
+	est.Stats.DeadlineHit = hitDeadline.Load()
 
 	// Work statistics accumulate once per distinct job, in job order, so
 	// duplicate fan-out below cannot double-count a representative.
 	for j := range results {
 		r := &results[j]
+		if r.unsolved {
+			est.Stats.SetsUnsolved++
+			if r.crashed {
+				est.Stats.SetsWidened++
+			}
+			continue
+		}
 		est.LPSolves += r.stats.LPSolves
 		est.Branches += r.stats.Branches
 		est.Stats.Pivots += r.stats.Pivots
@@ -746,19 +998,23 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 		}
 	}
 
-	worst, worstRes, err := a.reduceDir(est, dirs[0].sense, full[:nSets])
+	worst, worstRes, err := a.reduceDir(est, &dirs[0], plan, full[:nSets])
 	if err != nil {
 		return nil, err
 	}
-	bcet, bcetRes, err := a.reduceDir(est, dirs[1].sense, full[nSets:])
+	bcet, bcetRes, err := a.reduceDir(est, &dirs[1], plan, full[nSets:])
 	if err != nil {
 		return nil, err
 	}
-	if err := a.finishDir(ctx, est, &dirs[0], plan, worst, worstRes); err != nil {
-		return nil, err
+	if worstRes != nil {
+		if err := a.finishDir(ctx, est, &dirs[0], plan, worst, worstRes); err != nil {
+			return nil, err
+		}
 	}
-	if err := a.finishDir(ctx, est, &dirs[1], plan, bcet, bcetRes); err != nil {
-		return nil, err
+	if bcetRes != nil {
+		if err := a.finishDir(ctx, est, &dirs[1], plan, bcet, bcetRes); err != nil {
+			return nil, err
+		}
 	}
 	est.Stats.SolveTime = time.Since(tSolve)
 	est.WCET = *worst

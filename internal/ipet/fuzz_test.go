@@ -1,0 +1,113 @@
+package ipet
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"cinderella/internal/autobound"
+	"cinderella/internal/cc"
+	"cinderella/internal/cfg"
+	"cinderella/internal/constraint"
+	"cinderella/internal/progfuzz"
+)
+
+// FuzzEstimateSound is the soundness metamorphic property of the anytime
+// layer: for any program and any resource budget, the degraded estimate
+// must bracket the unrestricted one — WCET from above, BCET from below —
+// and a report claiming Exact must equal it. Programs come from progfuzz
+// via the real compiler; disjunctions are integer tautologies
+// (x = 0) | (x >= 1) over f's blocks, which leave the exact bound
+// untouched while multiplying the constraint sets the budget has to cut.
+func FuzzEstimateSound(f *testing.F) {
+	f.Add(int64(1), uint16(1), uint16(1), uint16(3))
+	f.Add(int64(7), uint16(40), uint16(2), uint16(2))
+	f.Add(int64(23), uint16(0), uint16(4), uint16(1))
+	f.Add(int64(1000), uint16(500), uint16(8), uint16(0))
+	f.Add(int64(4242), uint16(3), uint16(1), uint16(3))
+	f.Fuzz(func(t *testing.T, seed int64, budget, maxSets, nDisj uint16) {
+		src := progfuzz.Generate(seed)
+		exe, _, err := cc.Build(src)
+		if err != nil {
+			t.Skip() // not a generatable program under this mutated seed
+		}
+		prog, err := cfg.Build(exe)
+		if err != nil {
+			t.Skip()
+		}
+		res := autobound.Derive(prog)
+		totalLoops := 0
+		for _, fc := range prog.Funcs {
+			totalLoops += len(fc.Loops)
+		}
+		if len(res.Bounds) != totalLoops {
+			t.Skip() // a loop the derivation cannot bound: exact run impossible
+		}
+
+		// Tautological disjunctions over f's blocks: true of every integer
+		// execution, so the exact bound is unchanged while the cross
+		// product doubles per formula.
+		fc := prog.Funcs["f"]
+		var ab strings.Builder
+		ab.WriteString("func f {\n")
+		for i := 0; i < int(nDisj%4); i++ {
+			blk := 1 + (int(budget)+i*3)%len(fc.Blocks)
+			fmt.Fprintf(&ab, "    (x%d = 0) | (x%d >= 1)\n", blk, blk)
+		}
+		ab.WriteString("}\n")
+		taut, err := constraint.Parse(ab.String())
+		if err != nil {
+			t.Fatalf("tautology annotations: %v\n%s", err, ab.String())
+		}
+		annots := constraint.Merge(res.File(), taut)
+
+		estimate := func(mutate func(*Options)) *Estimate {
+			opts := DefaultOptions()
+			opts.Workers = 1
+			if mutate != nil {
+				mutate(&opts)
+			}
+			an, err := New(prog, "f", opts)
+			if err != nil {
+				t.Fatalf("seed %d: New: %v", seed, err)
+			}
+			if err := an.Apply(annots); err != nil {
+				t.Fatalf("seed %d: Apply: %v", seed, err)
+			}
+			est, err := an.Estimate()
+			if err != nil {
+				t.Fatalf("seed %d: estimate: %v\n%s", seed, err, src)
+			}
+			return est
+		}
+
+		exact := estimate(nil)
+		if !exact.WCET.Exact || !exact.BCET.Exact {
+			t.Fatalf("seed %d: unrestricted run not exact: WCET %+v BCET %+v",
+				seed, exact.WCET, exact.BCET)
+		}
+		cases := []struct {
+			label  string
+			mutate func(*Options)
+		}{
+			{"budget", func(o *Options) { o.Budget = 1 + int(budget%512) }},
+			{"widen", func(o *Options) {
+				o.MaxSets = 1 + int(maxSets%8)
+				o.WidenSets = true
+			}},
+			{"budget+widen", func(o *Options) {
+				o.Budget = 1 + int(budget%64)
+				o.MaxSets = 1 + int(maxSets%4)
+				o.WidenSets = true
+			}},
+			{"deadline", func(o *Options) {
+				o.Deadline = time.Duration(1+budget%5) * time.Microsecond
+			}},
+		}
+		for _, tc := range cases {
+			got := estimate(tc.mutate)
+			checkBrackets(t, fmt.Sprintf("seed %d %s", seed, tc.label), exact, got)
+		}
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"cinderella/internal/cfg"
 	"cinderella/internal/constraint"
@@ -60,6 +61,26 @@ type Options struct {
 	// Stats). The bound, extreme-case counts, and winning set index are
 	// unaffected: a pruned set can never win or tie the winner.
 	IncumbentPrune bool
+	// Deadline bounds the wall clock of one Estimate call. When it expires
+	// no further constraint-set solves start, in-flight solves are
+	// abandoned, and the estimate degrades to the sound envelope: the base
+	// LP relaxation bound (which dominates every set's optimum) replaces
+	// the unsolved sets, and the report carries Exact=false. Zero means no
+	// deadline. Cancellation or expiry of the caller's own context remains
+	// an error — only the analyzer's internal deadline degrades.
+	Deadline time.Duration
+	// Budget bounds the total simplex pivots one Estimate may spend,
+	// including the plan's base solves. Once spent, remaining solve jobs
+	// are not launched and report through the sound envelope, exactly as
+	// under Deadline but deterministically. Zero means unlimited.
+	Budget int
+	// WidenSets replaces the hard MaxSets failure with sound widening:
+	// when the disjunctive cross product would exceed MaxSets, the
+	// overflowing formula is collapsed to the relations shared by all its
+	// disjuncts (constraint.Widen). Dropping the non-shared rows only
+	// enlarges the feasible region, so the bound stays safe; reports whose
+	// winning set was widened carry Exact=false.
+	WidenSets bool
 }
 
 // DefaultOptions returns the standard analysis configuration.

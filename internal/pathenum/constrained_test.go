@@ -1,6 +1,8 @@
 package pathenum
 
 import (
+	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -158,9 +160,142 @@ func TestConstrainedAgreesWithIPET(t *testing.T) {
 	if res.Best != bt.Est.BCET.Cycles {
 		t.Errorf("explicit BCET %d != ILP %d", res.Best, bt.Est.BCET.Cycles)
 	}
+	// The unbudgeted ILP must advertise exactness — and Exact=true must
+	// mean equality with the explicit oracle, which the asserts above pin.
+	if !bt.Est.WCET.Exact || !bt.Est.BCET.Exact {
+		t.Errorf("unbudgeted ILP reports non-exact bounds: WCET %+v BCET %+v",
+			bt.Est.WCET, bt.Est.BCET)
+	}
+	if bt.Est.WCET.Slack != 0 || bt.Est.BCET.Slack != 0 {
+		t.Errorf("exact bounds carry slack: WCET %d BCET %d",
+			bt.Est.WCET.Slack, bt.Est.BCET.Slack)
+	}
 	// The paper's point stands: the explicit method had to walk every
 	// feasible path to learn what one LP call already knew.
 	if res.PathsExplored < 10 {
 		t.Errorf("suspiciously few paths: %d", res.PathsExplored)
+	}
+}
+
+// TestAnytimeBracketsOracle cross-checks the graceful-degradation layer
+// against the explicit enumerator on fuzzed loop-free programs (loop-free
+// so the enumerated path set is exactly the ILP's feasible region and the
+// unrestricted ILP must equal the oracle). Random chains of diamonds with
+// random arm weights and random annotations — arm-pinning disjunctions
+// and redundant atoms — are analyzed three ways: unrestricted (must equal
+// the oracle exactly), pivot-budgeted, and set-widened (both must bracket
+// it: WCET from above, BCET from below, with Exact=false honesty).
+func TestAnytimeBracketsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trials := 25
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(4)
+		var sb, ab strings.Builder
+		sb.WriteString("main:\n")
+		ab.WriteString("func main {\n")
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&sb, "        beq r1, r0, .La%d\n", i)
+			for k := rng.Intn(3); k >= 0; k-- {
+				sb.WriteString("        mul r2, r2, r2\n")
+			}
+			fmt.Fprintf(&sb, "        jmp .Lb%d\n", i)
+			fmt.Fprintf(&sb, ".La%d:  addi r2, r2, 1\n", i)
+			for k := rng.Intn(2); k > 0; k-- {
+				fmt.Fprintf(&sb, "        addi r2, r2, %d\n", k)
+			}
+			fmt.Fprintf(&sb, ".Lb%d:  addi r3, r3, 1\n", i)
+			then, els := 3*i+2, 3*i+3
+			switch rng.Intn(3) {
+			case 0: // pin to exactly one arm via a disjunction
+				fmt.Fprintf(&ab, "    (x%d = 1 & x%d = 0) | (x%d = 0 & x%d = 1)\n",
+					then, els, then, els)
+			case 1: // redundant single-block fact
+				fmt.Fprintf(&ab, "    x%d <= 1\n", then)
+			}
+		}
+		sb.WriteString("        halt\n")
+		ab.WriteString("}\n")
+		prog, costs := buildCFG(t, sb.String(), false)
+
+		file, err := constraint.Parse(ab.String())
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, ab.String())
+		}
+		var sets []constraint.ConjunctiveSet
+		if len(file.Sections) > 0 {
+			sets, err = constraint.CrossProduct(file.Sections[0].Formulas, 1024)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+		oracle, err := EnumerateConstrained(prog, "main", Options{
+			Bounds: map[string][]int64{"main": {}},
+			Costs:  costs,
+		}, sets)
+		if err != nil {
+			t.Fatalf("trial %d: enumerate: %v\n%s", trial, err, sb.String())
+		}
+		if !oracle.Complete {
+			t.Fatalf("trial %d: oracle enumeration incomplete", trial)
+		}
+
+		estimate := func(mutate func(*ipet.Options)) *ipet.Estimate {
+			opts := ipet.DefaultOptions()
+			opts.Workers = 1
+			if mutate != nil {
+				mutate(&opts)
+			}
+			an, err := ipet.New(prog, "main", opts)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if err := an.Apply(file); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			est, err := an.Estimate()
+			if err != nil {
+				t.Fatalf("trial %d: estimate: %v\n%s%s", trial, err, sb.String(), ab.String())
+			}
+			return est
+		}
+
+		exact := estimate(nil)
+		if exact.WCET.Cycles != oracle.Worst || exact.BCET.Cycles != oracle.Best {
+			t.Fatalf("trial %d: ILP [%d, %d] != oracle [%d, %d]\n%s%s",
+				trial, exact.BCET.Cycles, exact.WCET.Cycles, oracle.Best, oracle.Worst,
+				sb.String(), ab.String())
+		}
+		if !exact.WCET.Exact || !exact.BCET.Exact {
+			t.Fatalf("trial %d: unrestricted run not exact", trial)
+		}
+		degraded := []struct {
+			label  string
+			mutate func(*ipet.Options)
+		}{
+			{"budget=1", func(o *ipet.Options) { o.Budget = 1 }},
+			{"widen", func(o *ipet.Options) { o.MaxSets = 2; o.WidenSets = true }},
+		}
+		for _, tc := range degraded {
+			got := estimate(tc.mutate)
+			if got.WCET.Cycles < oracle.Worst {
+				t.Errorf("trial %d %s: WCET %d below oracle %d — unsound",
+					trial, tc.label, got.WCET.Cycles, oracle.Worst)
+			}
+			if got.BCET.Cycles > oracle.Best {
+				t.Errorf("trial %d %s: BCET %d above oracle %d — unsound",
+					trial, tc.label, got.BCET.Cycles, oracle.Best)
+			}
+			if got.WCET.Exact && got.WCET.Cycles != oracle.Worst {
+				t.Errorf("trial %d %s: WCET claims exact but %d != oracle %d",
+					trial, tc.label, got.WCET.Cycles, oracle.Worst)
+			}
+			if got.BCET.Exact && got.BCET.Cycles != oracle.Best {
+				t.Errorf("trial %d %s: BCET claims exact but %d != oracle %d",
+					trial, tc.label, got.BCET.Cycles, oracle.Best)
+			}
+		}
 	}
 }
