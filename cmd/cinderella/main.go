@@ -9,13 +9,24 @@
 //	cinderella -src prog.mc -root f -list          # annotated listing
 //	cinderella -bench check_data -stats            # built-in Table I row + solver counters
 //	cinderella -table1 -table2 -table3 -stats      # reproduce the tables
+//
+// Repeating -annot (or giving -scenarios, a file listing annotation files
+// one per line) switches to batch mode: the front end and solver state are
+// prepared once, and every annotation scenario is estimated off that shared
+// session — the paper's annotate/solve/refine loop without re-paying the
+// setup per query:
+//
+//	cinderella -src prog.mc -annot a.ann -annot b.ann -stats
+//	cinderella -src prog.mc -scenarios scenarios.txt
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"cinderella/internal/asm"
@@ -33,7 +44,7 @@ func main() {
 		srcPath   = flag.String("src", "", "MC source file to analyze")
 		asmPath   = flag.String("asm", "", "CR32 assembly file to analyze")
 		root      = flag.String("root", "main", "function whose bound is estimated")
-		annotPath = flag.String("annot", "", "functionality annotation file")
+		scenarios = flag.String("scenarios", "", "file listing annotation files, one per line; each line is a scenario estimated off one shared session")
 		list      = flag.Bool("list", false, "print the annotated CFG listing and exit")
 		dumpLP    = flag.Bool("lp", false, "print the integer linear programs instead of solving")
 		split     = flag.Bool("split", false, "enable first-iteration cache splitting (Section IV)")
@@ -52,6 +63,8 @@ func main() {
 		mhz       = flag.Float64("mhz", 20, "clock frequency used to report times (the QT960 runs at 20 MHz)")
 		profile   = flag.String("profile", "i960kb", "processor timing profile (i960kb, dsp3210)")
 	)
+	var annotPaths multiFlag
+	flag.Var(&annotPaths, "annot", "functionality annotation file (repeat for batch mode: each file is one scenario)")
 	flag.Parse()
 
 	timing, ok := isa.Profiles()[*profile]
@@ -143,12 +156,29 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	scenarioPaths := append([]string(nil), annotPaths...)
+	if *scenarios != "" {
+		listed, err := readScenarioList(*scenarios)
+		if err != nil {
+			fatal(err)
+		}
+		scenarioPaths = append(scenarioPaths, listed...)
+	}
+	if len(scenarioPaths) > 1 {
+		if *list || *dumpLP {
+			fatal(fmt.Errorf("batch mode (repeated -annot or -scenarios) is incompatible with -list and -lp"))
+		}
+		runBatch(prog, analyzed, opts, scenarioPaths, *auto, *stats, *mhz)
+		return
+	}
+
 	an, err := ipet.New(prog, analyzed, opts)
 	if err != nil {
 		fatal(err)
 	}
-	if *annotPath != "" {
-		text, err := os.ReadFile(*annotPath)
+	if len(scenarioPaths) == 1 {
+		text, err := os.ReadFile(scenarioPaths[0])
 		if err != nil {
 			fatal(err)
 		}
@@ -213,11 +243,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	printReport(an.Session, est, analyzed, *mhz, *stats)
+}
 
+// printReport writes one estimate's report: the bound, solver summary, and
+// extreme-case counts. Shared by the single-run and batch paths.
+func printReport(sess *ipet.Session, est *ipet.Estimate, analyzed string, mhz float64, stats bool) {
 	fmt.Printf("function %s: estimated bound [%d, %d] cycles", analyzed, est.BCET.Cycles, est.WCET.Cycles)
-	if *mhz > 0 {
+	if mhz > 0 {
 		fmt.Printf("  ([%.1f, %.1f] us at %g MHz)",
-			float64(est.BCET.Cycles)/(*mhz), float64(est.WCET.Cycles)/(*mhz), *mhz)
+			float64(est.BCET.Cycles)/mhz, float64(est.WCET.Cycles)/mhz, mhz)
 	}
 	fmt.Println()
 	if !est.WCET.Exact || !est.BCET.Exact {
@@ -228,10 +263,10 @@ func main() {
 		est.NumSets, est.PrunedSets, est.SolvedSets)
 	fmt.Printf("ILP: %d LP calls, %d branch-and-bound nodes, root integral: %v\n",
 		est.LPSolves, est.Branches, est.AllRootIntegral)
-	if *stats {
+	if stats {
 		s := est.Stats
-		fmt.Printf("solver: sets %d total, %d null-pruned, %d deduped, %d incumbent-skipped, %d solved\n",
-			s.SetsTotal, s.PrunedNull, s.Deduped, s.IncumbentSkipped, s.Solved)
+		fmt.Printf("solver: sets %d total, %d null-pruned, %d deduped, %d incumbent-skipped, %d cache hits, %d solved\n",
+			s.SetsTotal, s.PrunedNull, s.Deduped, s.IncumbentSkipped, s.CacheHits, s.Solved)
 		fmt.Printf("solver: %d warm dual-simplex solves, %d cold solves, %d simplex pivots\n",
 			s.WarmSolves, s.ColdSolves, s.Pivots)
 		fmt.Printf("solver: build %s, solve %s\n",
@@ -243,9 +278,92 @@ func main() {
 	}
 
 	fmt.Println("\nworst-case block counts and costs:")
-	printCounts(an, est.WCET.Counts)
+	printCounts(sess, est.WCET.Counts)
 	fmt.Println("\nbest-case block counts:")
-	printCounts(an, est.BCET.Counts)
+	printCounts(sess, est.BCET.Counts)
+}
+
+// runBatch estimates every annotation scenario off one prepared session:
+// the CFGs, structural constraints, cost model, and lowered solver rows are
+// built once, and scenarios that share loop bounds or constraint sets reuse
+// each other's solves through the session caches.
+func runBatch(prog *cfg.Program, analyzed string, opts ipet.Options, paths []string, auto, stats bool, mhz float64) {
+	sess, err := ipet.Prepare(prog, analyzed, opts)
+	if err != nil {
+		fatal(err)
+	}
+	var base []*constraint.File
+	if auto {
+		res := autobound.Derive(prog)
+		for _, db := range res.Bounds {
+			fmt.Printf("autobound: %s loop %d: %d .. %d  (%s)\n", db.Func, db.Loop, db.Lo, db.Hi, db.Why)
+		}
+		base = append(base, res.File())
+	}
+	for i, path := range paths {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		file, err := constraint.Parse(string(text))
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		files := append(append([]*constraint.File{}, base...), file)
+		an, err := sess.Analyzer(constraint.Merge(files...))
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		if missing := an.MissingLoopBounds(); len(missing) > 0 {
+			fatal(fmt.Errorf("%s: loops without bound annotations: %s", path, strings.Join(missing, "; ")))
+		}
+		est, err := an.Estimate()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Printf("== scenario %d/%d: %s\n", i+1, len(paths), path)
+		printReport(sess, est, analyzed, mhz, stats)
+	}
+	if stats {
+		bases, solves, finishes := sess.CacheStats()
+		fmt.Printf("\nsession caches: %d warm bases, %d set outcomes, %d count vectors\n", bases, solves, finishes)
+	}
+}
+
+// readScenarioList parses a -scenarios file: one annotation file path per
+// line, blank lines and #-comments ignored.
+func readScenarioList(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// multiFlag collects the values of a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
 }
 
 // slackString renders a BoundReport.Slack for the user: -1 means the
@@ -257,7 +375,7 @@ func slackString(s int64) string {
 	return fmt.Sprintf("%d", s)
 }
 
-func printCounts(an *ipet.Analyzer, counts map[string][]int64) {
+func printCounts(sess *ipet.Session, counts map[string][]int64) {
 	if counts == nil {
 		fmt.Println("  (none: bound is a relaxation envelope with no witness path)")
 		return
@@ -268,7 +386,7 @@ func printCounts(an *ipet.Analyzer, counts map[string][]int64) {
 	}
 	sort.Strings(fns)
 	for _, fn := range fns {
-		costs := an.BlockCosts(fn)
+		costs := sess.BlockCosts(fn)
 		for i, n := range counts[fn] {
 			if n == 0 {
 				continue

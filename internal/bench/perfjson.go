@@ -24,6 +24,7 @@ type EstimatePerf struct {
 	SetsSolved       int `json:"sets_solved"`
 	Deduped          int `json:"sets_deduped"`
 	IncumbentSkipped int `json:"sets_incumbent_skipped"`
+	CacheHits        int `json:"cache_hits"`
 	Pivots           int `json:"pivots"`
 	WarmSolves       int `json:"warm_solves"`
 	ColdSolves       int `json:"cold_solves"`
@@ -43,6 +44,7 @@ func (p *EstimatePerf) FillFromEstimate(est *ipet.Estimate) {
 	p.SetsSolved = est.SolvedSets
 	p.Deduped = est.Stats.Deduped
 	p.IncumbentSkipped = est.Stats.IncumbentSkipped
+	p.CacheHits = est.Stats.CacheHits
 	p.Pivots = est.Stats.Pivots
 	p.WarmSolves = est.Stats.WarmSolves
 	p.ColdSolves = est.Stats.ColdSolves

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -20,9 +21,10 @@ type estimateWorkload struct {
 	an   *ipet.Analyzer
 }
 
-// explosionWorkload builds the n-diamond path-explosion chain (2^n
-// functionality sets) used by examples/pathexplosion, as an analyzer.
-func explosionWorkload(n int, opts ipet.Options) (*ipet.Analyzer, error) {
+// explosionProgram builds the n-diamond path-explosion chain (2^n
+// functionality sets) used by examples/pathexplosion, returning the CFG and
+// the annotation text.
+func explosionProgram(n int) (*cfg.Program, string, error) {
 	var sb, ab strings.Builder
 	sb.WriteString("main:\n")
 	ab.WriteString("func main {\n")
@@ -39,9 +41,18 @@ func explosionWorkload(n int, opts ipet.Options) (*ipet.Analyzer, error) {
 	ab.WriteString("}\n")
 	exe, err := asm.Assemble(sb.String())
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	prog, err := cfg.Build(exe)
+	if err != nil {
+		return nil, "", err
+	}
+	return prog, ab.String(), nil
+}
+
+// explosionWorkload is explosionProgram wrapped as a one-shot analyzer.
+func explosionWorkload(n int, opts ipet.Options) (*ipet.Analyzer, error) {
+	prog, annots, err := explosionProgram(n)
 	if err != nil {
 		return nil, err
 	}
@@ -49,7 +60,7 @@ func explosionWorkload(n int, opts ipet.Options) (*ipet.Analyzer, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := constraint.Parse(ab.String())
+	f, err := constraint.Parse(annots)
 	if err != nil {
 		return nil, err
 	}
@@ -66,10 +77,10 @@ func explosionWorkload(n int, opts ipet.Options) (*ipet.Analyzer, error) {
 // $CINDERELLA_BENCH_JSON when set (CI and refresh runs), otherwise in a
 // temp dir. On the 64-set workload the incremental path must spend at most
 // half the cold path's simplex pivots.
-func TestWriteEstimateBenchJSON(t *testing.T) {
-	if testing.Short() {
-		t.Skip("runs timed benchmarks")
-	}
+// perfWorkloads builds the cold/incremental analyzer pairs the perf
+// artifact and the CI pivot-regression gate both measure.
+func perfWorkloads(t *testing.T) []estimateWorkload {
+	t.Helper()
 	mode := func(incremental bool) ipet.Options {
 		opts := ipet.DefaultOptions()
 		opts.Workers = 1
@@ -103,6 +114,14 @@ func TestWriteEstimateBenchJSON(t *testing.T) {
 		}
 		workloads = append(workloads, estimateWorkload{"explosion64" + suffix, an})
 	}
+	return workloads
+}
+
+func TestWriteEstimateBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs timed benchmarks")
+	}
+	workloads := perfWorkloads(t)
 
 	recs := make([]EstimatePerf, 0, len(workloads))
 	for _, w := range workloads {
@@ -142,6 +161,8 @@ func TestWriteEstimateBenchJSON(t *testing.T) {
 		}
 	}
 
+	recs = append(recs, sessionRows(t)...)
+
 	path := os.Getenv("CINDERELLA_BENCH_JSON")
 	if path == "" {
 		path = filepath.Join(t.TempDir(), "BENCH_estimate.json")
@@ -162,4 +183,244 @@ func TestWriteEstimateBenchJSON(t *testing.T) {
 	}
 	t.Logf("wrote %s (%d rows); explosion64 pivots cold %d -> incremental %d",
 		path, len(recs), coldP, incrP)
+}
+
+// sessionRows measures the prepared-session workflow: one session estimates
+// a two-scenario rotation (the benchmark's annotations and a one-disjunct
+// perturbation) after warm-up, against the one-shot path that rebuilds an
+// Analyzer from the CFG for every query. The warm session call must be at
+// least 3x cheaper than the one-shot in both ns/op and simplex pivots, and
+// its BoundReports must be bit-identical to the one-shot's.
+func sessionRows(t *testing.T) []EstimatePerf {
+	t.Helper()
+	workloads, opts := sessionBenchWorkloads(t)
+	var rows []EstimatePerf
+	for _, w := range workloads {
+		files := w.files
+		oneShot := func(si int) *ipet.Estimate {
+			an, err := ipet.New(w.prog, w.root, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := an.Apply(files[si]); err != nil {
+				t.Fatal(err)
+			}
+			est, err := an.Estimate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return est
+		}
+		ans, warm := warmSession(t, w, opts)
+		ref := [2]*ipet.Estimate{oneShot(0), oneShot(1)}
+		for si := range files {
+			if !reflect.DeepEqual(warm[si].WCET, ref[si].WCET) || !reflect.DeepEqual(warm[si].BCET, ref[si].BCET) {
+				t.Errorf("%s scenario %d: session report diverges from one-shot: [%d,%d] vs [%d,%d]",
+					w.name, si, warm[si].BCET.Cycles, warm[si].WCET.Cycles, ref[si].BCET.Cycles, ref[si].WCET.Cycles)
+			}
+		}
+		warmPivots := warm[0].Stats.Pivots + warm[1].Stats.Pivots
+		coldPivots := ref[0].Stats.Pivots + ref[1].Stats.Pivots
+		if warmPivots*3 > coldPivots {
+			t.Errorf("%s: warm session pivots %d vs one-shot %d — want at least a 3x reduction",
+				w.name, warmPivots, coldPivots)
+		}
+
+		sessRes := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ans[i%2].Estimate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		oneRes := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				an, err := ipet.New(w.prog, w.root, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := an.Apply(files[i%2]); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := an.Estimate(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if float64(sessRes.NsPerOp())*3 > float64(oneRes.NsPerOp()) {
+			t.Errorf("%s: warm session %d ns/op vs one-shot %d ns/op — want at least 3x",
+				w.name, sessRes.NsPerOp(), oneRes.NsPerOp())
+		}
+
+		oneRow := EstimatePerf{
+			Name:        w.name + "/oneshot",
+			NsPerOp:     float64(oneRes.NsPerOp()),
+			AllocsPerOp: float64(oneRes.AllocsPerOp()),
+		}
+		oneRow.FillFromEstimate(ref[1])
+		sessRow := EstimatePerf{
+			Name:        w.name + "/session",
+			NsPerOp:     float64(sessRes.NsPerOp()),
+			AllocsPerOp: float64(sessRes.AllocsPerOp()),
+		}
+		sessRow.FillFromEstimate(warm[1])
+		rows = append(rows, oneRow, sessRow)
+		t.Logf("%s: session %d ns/op %d pivots vs one-shot %d ns/op %d pivots",
+			w.name, sessRes.NsPerOp(), warmPivots, oneRes.NsPerOp(), coldPivots)
+	}
+	return rows
+}
+
+// sessionBench is one prepared-session workload: a program plus two
+// annotation scenarios, the benchmark's own and a one-disjunct
+// perturbation.
+type sessionBench struct {
+	name  string
+	prog  *cfg.Program
+	root  string
+	files [2]*constraint.File
+}
+
+func sessionBenchWorkloads(t *testing.T) ([]sessionBench, ipet.Options) {
+	t.Helper()
+	opts := ipet.DefaultOptions()
+	opts.Workers = 1
+	opts.PruneNullSets = false // match the dhry cold/incremental rows
+	// Dominated outcomes depend on the run's incumbent and are never cached,
+	// so a session replay would re-prove domination per call; with pruning
+	// off every set solves to a cacheable Optimal/Infeasible once. The
+	// one-shot baseline runs the same options, keeping the comparison fair.
+	opts.IncumbentPrune = false
+
+	parse := func(name, text string) *constraint.File {
+		f, err := constraint.Parse(text)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return f
+	}
+
+	dhryBM, ok := ByName("dhry")
+	if !ok {
+		t.Fatal("unknown benchmark dhry")
+	}
+	dhryBuilt, err := dhryBM.Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbed := strings.Replace(dhryBM.Annotations, "(x23 = 0)", "(x23 <= 0)", 1)
+	if perturbed == dhryBM.Annotations {
+		t.Fatal("dhry perturbation found nothing to replace")
+	}
+
+	exProg, exAnnots, err := explosionProgram(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exPerturbed := strings.Replace(exAnnots, "(x17 = 1", "(x17 <= 1", 1)
+	if exPerturbed == exAnnots {
+		t.Fatal("explosion perturbation found nothing to replace")
+	}
+
+	return []sessionBench{
+		{
+			name: "dhry", prog: dhryBuilt.CFG, root: dhryBM.Root,
+			files: [2]*constraint.File{parse("dhry", dhryBM.Annotations), parse("dhry'", perturbed)},
+		},
+		{
+			name: "explosion64", prog: exProg, root: "main",
+			files: [2]*constraint.File{parse("explosion64", exAnnots), parse("explosion64'", exPerturbed)},
+		},
+	}, opts
+}
+
+// warmSession runs the session workflow on a workload: one prepared
+// session, one analyzer per scenario (the session shares the front end and
+// solver caches, the analyzer memoizes its plan), two rotations. The first
+// rotation fills the caches; the returned estimates are the warm steady
+// state of the second.
+func warmSession(t *testing.T, w sessionBench, opts ipet.Options) ([2]*ipet.Analyzer, [2]*ipet.Estimate) {
+	t.Helper()
+	sess, err := ipet.Prepare(w.prog, w.root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ans [2]*ipet.Analyzer
+	for si := range w.files {
+		if ans[si], err = sess.Analyzer(w.files[si]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var warm [2]*ipet.Estimate
+	for round := 0; round < 2; round++ {
+		for si := range w.files {
+			warm[si], err = ans[si].Estimate()
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return ans, warm
+}
+
+// TestEstimatePivotRegressionVsCommitted is the CI bench-smoke gate: it
+// replays the perf workloads (whose pivot counters are deterministic at
+// Workers=1) and fails when one spends far more simplex pivots than the
+// committed BENCH_estimate.json row — a solver-work regression that pure
+// timing noise could hide. Refresh the artifact after intentional solver
+// changes with:
+//
+//	CINDERELLA_BENCH_JSON=$PWD/BENCH_estimate.json go test -run TestWriteEstimateBenchJSON ./internal/bench/
+func TestEstimatePivotRegressionVsCommitted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the estimate workloads")
+	}
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_estimate.json"))
+	if os.IsNotExist(err) {
+		t.Skip("no committed BENCH_estimate.json")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var committed []EstimatePerf
+	if err := json.Unmarshal(data, &committed); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]EstimatePerf{}
+	for _, r := range committed {
+		byName[r.Name] = r
+	}
+	check := func(name string, pivots int) {
+		c, ok := byName[name]
+		if !ok {
+			t.Errorf("committed artifact lacks row %q; refresh BENCH_estimate.json", name)
+			return
+		}
+		// Generous bound: small solver changes legitimately shift pivot
+		// counts, the gate is for order-of-magnitude regressions.
+		if limit := c.Pivots+c.Pivots/4+16; pivots > limit {
+			t.Errorf("%s: %d pivots vs committed %d (limit %d) — solver-work regression",
+				name, pivots, c.Pivots, limit)
+		}
+	}
+
+	for _, w := range perfWorkloads(t) {
+		// The artifact records the steady state (memoized plan, warm bases
+		// built): measure the second Estimate.
+		var est *ipet.Estimate
+		for i := 0; i < 2; i++ {
+			var err error
+			if est, err = w.an.Estimate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check(w.name, est.Stats.Pivots)
+	}
+	workloads, opts := sessionBenchWorkloads(t)
+	for _, w := range workloads {
+		_, warm := warmSession(t, w, opts)
+		check(w.name+"/session", warm[1].Stats.Pivots)
+	}
 }

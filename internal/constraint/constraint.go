@@ -204,6 +204,65 @@ func Merge(files ...*File) *File {
 	return out
 }
 
+// Clone returns a deep copy of the file: sections, loop bounds, formulas,
+// and relation term maps share no mutable state with the receiver. An
+// analyzer clones what Apply receives, so a caller that keeps editing its
+// annotation objects to build the next scenario cannot corrupt a live
+// analysis.
+func (f *File) Clone() *File {
+	if f == nil {
+		return nil
+	}
+	out := &File{Sections: make([]Section, len(f.Sections))}
+	for i := range f.Sections {
+		out.Sections[i] = f.Sections[i].clone()
+	}
+	return out
+}
+
+func (s *Section) clone() Section {
+	c := *s
+	c.LoopBounds = append([]LoopBound(nil), s.LoopBounds...)
+	if s.Formulas != nil {
+		c.Formulas = make([]Formula, len(s.Formulas))
+		for i, fm := range s.Formulas {
+			c.Formulas[i] = cloneFormula(fm)
+		}
+	}
+	return c
+}
+
+func cloneFormula(f Formula) Formula {
+	switch n := f.(type) {
+	case *Atom:
+		return &Atom{Rel: n.Rel.clone()}
+	case *And:
+		parts := make([]Formula, len(n.Parts))
+		for i, p := range n.Parts {
+			parts[i] = cloneFormula(p)
+		}
+		return &And{Parts: parts}
+	case *Or:
+		parts := make([]Formula, len(n.Parts))
+		for i, p := range n.Parts {
+			parts[i] = cloneFormula(p)
+		}
+		return &Or{Parts: parts}
+	}
+	return f
+}
+
+func (r Rel) clone() Rel {
+	c := r
+	if r.Terms != nil {
+		c.Terms = make(map[Var]int64, len(r.Terms))
+		for v, coef := range r.Terms {
+			c.Terms[v] = coef
+		}
+	}
+	return c
+}
+
 // Section returns the section for a function, if present.
 func (f *File) Section(name string) (*Section, bool) {
 	for i := range f.Sections {

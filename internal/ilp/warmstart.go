@@ -17,7 +17,9 @@ import (
 // safe.
 type WarmStart struct {
 	prob       *Problem
-	sign       float64 // +1 Maximize, -1 Minimize (internal max sense)
+	red        *presolved // non-nil when the structural presolve shrank the base
+	nTab       int        // variable count of the retained tableau's problem
+	sign       float64    // +1 Maximize, -1 Minimize (internal max sense)
 	ok         bool
 	baseStatus Status
 	basePivots int
@@ -40,8 +42,29 @@ func NewWarmStart(p *Problem) *WarmStart {
 	if len(p.Constraints) != 0 || len(p.Prefix) == 0 {
 		return w
 	}
+	// Structural presolve: substitute away variables the base rows pin down
+	// (fixed counts, equal-count pairs, null branches) so the retained
+	// tableau — and every per-set dual-simplex re-solve on top of it — works
+	// in the smaller space. A presolve-detected contradiction means the base
+	// itself is infeasible; leave the warm start not-ready and let the cold
+	// path report that per set.
+	solveProb := p
+	red, infeasible := presolveBase(p)
+	if infeasible {
+		return w
+	}
+	if red != nil {
+		w.red = red
+		solveProb = &Problem{
+			Sense:     p.Sense,
+			NumVars:   red.nRed,
+			Objective: red.obj,
+			Prefix:    red.rows,
+		}
+	}
+	w.nTab = solveProb.NumVars
 	s := new(scratch) // owned, never pooled: the tableau outlives the call
-	status, obj, x, pivots := sparseSimplexOn(p, s)
+	status, obj, x, pivots := sparseSimplexOn(solveProb, s)
 	w.baseStatus = status
 	w.basePivots = pivots
 	if status != Optimal {
@@ -49,6 +72,10 @@ func NewWarmStart(p *Problem) *WarmStart {
 	}
 	w.ok = true
 	w.base = s
+	if w.red != nil {
+		obj += w.red.objOffset
+		x = w.red.reconstruct(x)
+	}
 	w.baseObj = obj
 	w.baseX = x
 	return w
@@ -88,25 +115,70 @@ func (w *WarmStart) SolveSet(set []Constraint, cutoff float64, useCutoff bool) (
 	if !w.ok {
 		return Infeasible, 0, nil, 0, false
 	}
-	if len(set) == 0 {
-		return Optimal, w.baseObj, append([]float64(nil), w.baseX...), 0, true
+	rows, setInfeasible := w.lowerSet(set)
+	switch {
+	case setInfeasible:
+		// A delta row reduced to a violated constant (e.g. it pins a
+		// presolve-fixed variable to a different value): the set is
+		// infeasible without touching the tableau.
+		status, ok = Infeasible, true
+	case len(rows) == 0:
+		// Every delta row is implied by the base (or the set was empty):
+		// the base optimum answers the set — unless the incumbent cutoff
+		// already proves it uninteresting, matching the dual bound check a
+		// tableau solve would hit on its first iteration.
+		if useCutoff && w.sign*w.baseObj < w.sign*cutoff-1e-7 {
+			status, ok = Dominated, true
+		} else {
+			status, obj, x, ok = Optimal, w.baseObj, append([]float64(nil), w.baseX...), true
+		}
+	default:
+		status, obj, x, pivots, ok = w.solveDelta(rows, cutoff, useCutoff)
 	}
-	status, obj, x, pivots, ok = w.solveDelta(set, cutoff, useCutoff)
 	if ok && selfCheck.Load() {
 		w.checkAgainstCold(set, status, obj, cutoff)
 	}
 	return status, obj, x, pivots, ok
 }
 
-func (w *WarmStart) solveDelta(set []Constraint, cutoff float64, useCutoff bool) (Status, float64, []float64, int, bool) {
+// lowerSet translates per-set delta constraints into the tableau's variable
+// space, dropping rows the base substitution already satisfies and
+// reporting sets it outright contradicts.
+func (w *WarmStart) lowerSet(set []Constraint) (rows []deltaRow, infeasible bool) {
+	rows = make([]deltaRow, 0, len(set))
+	for i := range set {
+		c := &set[i]
+		var (
+			coeffs map[int]float64
+			rhs    float64
+			fate   rowFate
+		)
+		if w.red == nil {
+			coeffs, rhs = c.Coeffs, c.RHS
+			fate = emptyRowFate(coeffs, c.Rel, rhs)
+		} else {
+			coeffs, rhs, fate = w.red.lowerConstraint(c)
+		}
+		switch fate {
+		case rowInfeasible:
+			return nil, true
+		case rowRedundant:
+			continue
+		}
+		rows = append(rows, deltaRow{coeffs: coeffs, rel: c.Rel, rhs: rhs})
+	}
+	return rows, false
+}
+
+func (w *WarmStart) solveDelta(rows []deltaRow, cutoff float64, useCutoff bool) (Status, float64, []float64, int, bool) {
 	b := w.base
 	m0, total0 := b.m, b.total
 
 	// Every delta row is lowered to <= form and carried by one fresh slack
 	// column; an equality contributes a <= and a >= (negated <=) pair.
 	k := 0
-	for i := range set {
-		if set[i].Rel == EQ {
+	for i := range rows {
+		if rows[i].rel == EQ {
 			k += 2
 		} else {
 			k++
@@ -170,16 +242,16 @@ func (w *WarmStart) solveDelta(set []Constraint, cutoff float64, useCutoff bool)
 		row++
 		slack++
 	}
-	for i := range set {
-		c := &set[i]
-		switch c.Rel {
+	for i := range rows {
+		c := &rows[i]
+		switch c.rel {
 		case LE:
-			appendLE(c.Coeffs, false, c.RHS)
+			appendLE(c.coeffs, false, c.rhs)
 		case GE:
-			appendLE(c.Coeffs, true, -c.RHS)
+			appendLE(c.coeffs, true, -c.rhs)
 		case EQ:
-			appendLE(c.Coeffs, false, c.RHS)
-			appendLE(c.Coeffs, true, -c.RHS)
+			appendLE(c.coeffs, false, c.rhs)
+			appendLE(c.coeffs, true, -c.rhs)
 		}
 	}
 
@@ -187,7 +259,14 @@ func (w *WarmStart) solveDelta(set []Constraint, cutoff float64, useCutoff bool)
 	// columns); drive the negative right-hand sides out. Base artificial
 	// columns must never re-enter; the fresh slacks may.
 	admissible := func(j int) bool { return j < b.artStart || j >= total0 }
-	internalCutoff := w.sign * cutoff
+	// The tableau's dual bound -rc[total] tracks the reduced objective when
+	// a presolve is active; shift the caller's full-space cutoff by the
+	// fixed-variable contribution before comparing.
+	var off float64
+	if w.red != nil {
+		off = w.red.objOffset
+	}
+	internalCutoff := w.sign * (cutoff - off)
 	pivots := 0
 	blandAfter := 50 * (m + total + 10)
 	hardCap := 10 * blandAfter
@@ -248,15 +327,18 @@ func (w *WarmStart) solveDelta(set []Constraint, cutoff float64, useCutoff bool)
 		}
 	}
 
-	x := make([]float64, w.prob.NumVars)
+	x := make([]float64, w.nTab)
 	for i := 0; i < m; i++ {
-		if bc := s.basis[i]; bc < w.prob.NumVars {
+		if bc := s.basis[i]; bc < w.nTab {
 			v := s.tab[i][total]
 			if v < 0 && v > -1e-7 {
 				v = 0
 			}
 			x[bc] = v
 		}
+	}
+	if w.red != nil {
+		x = w.red.reconstruct(x)
 	}
 	obj := 0.0
 	for j, v := range w.prob.Objective {

@@ -13,7 +13,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"cinderella/internal/cache"
 	"cinderella/internal/constraint"
 	"cinderella/internal/ilp"
 	"cinderella/internal/march"
@@ -72,6 +71,11 @@ type Stats struct {
 	// Pivots counts simplex pivots across every solve of the estimate —
 	// the primary cost metric the warm start attacks.
 	Pivots int
+	// CacheHits counts per-set solve jobs answered by a prepared session's
+	// persistent cross-estimate cache with no simplex work at all. Always
+	// zero for analyzers made by New; see Prepare. Cache-answered jobs are
+	// not counted in Solved, WarmSolves, or ColdSolves.
+	CacheHits int
 	// BuildTime covers set expansion, canonicalization, prefix packing and
 	// base solves; SolveTime covers the per-set solve fan-out and reduce.
 	BuildTime time.Duration
@@ -262,7 +266,7 @@ type objective struct {
 	nVars  int
 }
 
-func (a *Analyzer) worstObjective() objective {
+func (a *Session) worstObjective() objective {
 	obj := objective{coeffs: map[int]float64{}, nVars: a.nVars}
 	for _, ctx := range a.contexts {
 		fc := a.Prog.Funcs[ctx.Func]
@@ -323,7 +327,7 @@ func (a *Analyzer) worstObjective() objective {
 	return obj
 }
 
-func (a *Analyzer) bestObjective() objective {
+func (a *Session) bestObjective() objective {
 	obj := objective{coeffs: map[int]float64{}, nVars: a.nVars}
 	for _, ctx := range a.contexts {
 		costs := a.costs[ctx.Func]
@@ -371,7 +375,13 @@ type solverPlan struct {
 	repOf    []int
 	distinct []int
 	deduped  int
-	dirs     []direction
+	// keys[i] is the canonical key of set i, computed when dedup or a
+	// persistent session needs it (nil otherwise); loopKey identifies the
+	// loop-bound rows this plan appended to the shared structural prefix
+	// (persistent sessions only).
+	keys    []string
+	loopKey string
+	dirs    []direction
 	// Work performed building the plan (warm base solves), charged to the
 	// Estimate call that triggered the build.
 	setupLP, setupPivots, setupCold int
@@ -398,15 +408,21 @@ func (a *Analyzer) solverSetup() (plan *solverPlan, fresh bool, err error) {
 	}
 	plan.repOf = make([]int, len(sets))
 	plan.distinct = make([]int, 0, len(sets))
-	if a.Opts.DedupSets {
-		keys := cache.NewKeyed[string, int]()
+	if a.Opts.DedupSets || a.persist {
+		plan.keys = make([]string, len(sets))
 		for i := range sets {
-			i := i
-			rep, hit := keys.GetOrCompute(canonicalSetKey(sets[i]), func() int { return i })
-			plan.repOf[i] = rep
-			if hit {
+			plan.keys[i] = canonicalSetKey(sets[i])
+		}
+	}
+	if a.Opts.DedupSets {
+		byKey := make(map[string]int, len(sets))
+		for i := range sets {
+			if rep, hit := byKey[plan.keys[i]]; hit {
+				plan.repOf[i] = rep
 				plan.deduped++
 			} else {
+				byKey[plan.keys[i]] = i
+				plan.repOf[i] = i
 				plan.distinct = append(plan.distinct, i)
 			}
 		}
@@ -417,37 +433,47 @@ func (a *Analyzer) solverSetup() (plan *solverPlan, fresh bool, err error) {
 		}
 	}
 
-	structural := a.StructuralConstraints()
-	loops := a.LoopBoundConstraints()
-	base := append(append([]ilp.Constraint{}, structural...), loops...)
-
-	// Each direction shares base plus its objective's extra rows across
-	// all sets; lower that prefix to the solver's normalized sparse row
-	// form once instead of once per set ILP, and (warm start) solve it
-	// once to seed the per-set dual simplex re-solves.
-	dirSpecs := []struct {
-		sense ilp.Sense
-		obj   objective
-	}{
-		{ilp.Maximize, a.worstObjective()},
-		{ilp.Minimize, a.bestObjective()},
+	// The structural rows and each direction's objective extras were
+	// lowered once when the session was built; only the loop-bound rows
+	// depend on the annotations. The concatenation order (structural, loop
+	// bounds, extras) matches what a single Pack of the full row list
+	// produced before the session split, so solves see identical tableaux.
+	loops := ilp.Pack(a.LoopBoundConstraints())
+	if a.persist {
+		plan.loopKey = packedRowsKey(loops)
 	}
-	for _, ds := range dirSpecs {
-		rows := base
-		if extra := ds.obj.extra; len(extra) > 0 {
-			rows = append(append(make([]ilp.Constraint, 0, len(base)+len(extra)), base...), extra...)
-		}
-		d := direction{sense: ds.sense, obj: ds.obj, prefix: ilp.Pack(rows)}
+	for di := range a.dirBases {
+		db := &a.dirBases[di]
+		prefix := make([]ilp.PackedRow, 0, len(a.packedStructural)+len(loops)+len(db.packedExtra))
+		prefix = append(prefix, a.packedStructural...)
+		prefix = append(prefix, loops...)
+		prefix = append(prefix, db.packedExtra...)
+		d := direction{sense: db.sense, obj: db.obj, prefix: prefix}
 		if a.Opts.WarmStart {
-			d.warm = ilp.NewWarmStart(&ilp.Problem{
-				Sense:     ds.sense,
-				NumVars:   ds.obj.nVars,
-				Objective: ds.obj.coeffs,
-				Prefix:    d.prefix,
-			})
-			plan.setupLP++
-			plan.setupCold++
-			plan.setupPivots += d.warm.BasePivots()
+			newBase := func() *warmBaseEntry {
+				w := ilp.NewWarmStart(&ilp.Problem{
+					Sense:     db.sense,
+					NumVars:   db.obj.nVars,
+					Objective: db.obj.coeffs,
+					Prefix:    prefix,
+				})
+				return &warmBaseEntry{warm: w, pivots: w.BasePivots()}
+			}
+			var entry *warmBaseEntry
+			var hit bool
+			if a.persist {
+				// Warm bases persist across Estimate calls keyed by the
+				// loop rows; only the call that builds one is charged.
+				entry, hit = a.baseCache.GetOrCompute(baseKey(di, plan.loopKey), newBase)
+			} else {
+				entry = newBase()
+			}
+			d.warm = entry.warm
+			if !hit {
+				plan.setupLP++
+				plan.setupCold++
+				plan.setupPivots += entry.pivots
+			}
 		}
 		if d.warm != nil && d.warm.Ready() {
 			// The warm base already holds the relaxation envelope.
@@ -457,9 +483,9 @@ func (a *Analyzer) solverSetup() (plan *solverPlan, fresh bool, err error) {
 			// solve the base LP once here. Unbudgeted runs skip this so
 			// their statistics stay identical to the exhaustive path.
 			sol, err := ilp.Solve(&ilp.Problem{
-				Sense:     ds.sense,
-				NumVars:   ds.obj.nVars,
-				Objective: ds.obj.coeffs,
+				Sense:     db.sense,
+				NumVars:   db.obj.nVars,
+				Objective: db.obj.coeffs,
 				Prefix:    d.prefix,
 			})
 			if err == nil {
@@ -493,6 +519,11 @@ type solveResult struct {
 	warm bool
 	cold bool
 	dup  bool
+	// cacheHit marks a result answered by a persistent session's per-set
+	// outcome cache. It always rides with dup: cached outcomes carry no
+	// value vector, so a cache-hit winner re-derives counts exactly like a
+	// duplicate's.
+	cacheHit bool
 	// done marks that the job actually ran (a worker wrote this result);
 	// a zero-value slot left by an early pool shutdown must not read as an
 	// optimal zero-cycle solve.
@@ -701,14 +732,26 @@ func (a *Analyzer) reduceDir(est *Estimate, d *direction, plan *solverPlan, resu
 }
 
 // finishDir fills the winning BoundReport's counts. When the winner was
-// answered by the warm path or copied from a canonical duplicate, its
-// values may come from an alternate optimal vertex or a differently
-// ordered row list; one plain cold re-solve of the winning set re-derives
-// the exact counts the exhaustive path reports.
-func (a *Analyzer) finishDir(ctx context.Context, est *Estimate, d *direction, plan *solverPlan, best *BoundReport, win *solveResult) error {
+// answered by the warm path, copied from a canonical duplicate, or served
+// from a session's outcome cache, its values may come from an alternate
+// optimal vertex or a differently ordered row list (or not exist at all);
+// one plain cold re-solve of the winning set re-derives the exact counts
+// the exhaustive path reports. Prepared sessions retain that canonical
+// count vector, keyed order-sensitively by the winning set's own rows, so
+// a repeat scenario skips the re-solve and still reports identical counts.
+func (a *Analyzer) finishDir(ctx context.Context, est *Estimate, di int, plan *solverPlan, best *BoundReport, win *solveResult) error {
 	if !win.warm && !win.dup {
 		best.Counts = a.aggregateCounts(win.values)
 		return nil
+	}
+	d := &plan.dirs[di]
+	var key string
+	if a.persist {
+		key = finishKey(di, plan.loopKey, plan.sets[best.SetIndex])
+		if vals, ok := a.finishCache.Get(key); ok {
+			best.Counts = a.aggregateCounts(vals)
+			return nil
+		}
 	}
 	p := &ilp.Problem{
 		Sense:       d.sense,
@@ -729,6 +772,9 @@ func (a *Analyzer) finishDir(ctx context.Context, est *Estimate, d *direction, p
 	if sol.Status != ilp.Optimal || int64(math.Round(sol.Objective)) != best.Cycles {
 		return fmt.Errorf("ipet: internal error: canonical re-solve of set %d returned %v %g, want %d cycles",
 			best.SetIndex+1, sol.Status, sol.Objective, best.Cycles)
+	}
+	if a.persist {
+		a.finishCache.Put(key, sol.Values)
 	}
 	best.Counts = a.aggregateCounts(sol.Values)
 	return nil
@@ -856,16 +902,43 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 		}
 		d, k := j/nd, j%nd
 		dir := &dirs[d]
+		si := plan.distinct[k]
+		var key string
+		if a.persist {
+			// A prior Estimate on this session may have solved this exact
+			// (direction, loop rows, set region) already; its outcome is
+			// cutoff-independent and transfers without any simplex work.
+			key = solveKey(d, plan.loopKey, plan.keys[si])
+			if v, ok := a.solveCache.Get(key); ok {
+				r = solveResult{done: true, dup: true, cacheHit: true, status: v.status, cycles: v.cycles}
+				r.stats.RootIntegral = v.rootIntegral
+				if v.status == ilp.Optimal {
+					incumbentOffer(&incumbents[d], dir.sense, v.cycles)
+				}
+				return r
+			}
+		}
 		var cutoff int64
 		useCutoff := false
 		if a.Opts.IncumbentPrune {
 			cutoff, useCutoff = incumbentLoad(&incumbents[d], dir.sense)
 		}
-		r = a.solveSet(jctx, dir, plan.sets[plan.distinct[k]], cutoff, useCutoff)
+		r = a.solveSet(jctx, dir, plan.sets[si], cutoff, useCutoff)
 		r.done = true
 		spent.Add(int64(r.stats.Pivots))
 		if r.err == nil && r.status == ilp.Optimal {
 			incumbentOffer(&incumbents[d], dir.sense, r.cycles)
+		}
+		// Only conclusive, cutoff-independent outcomes persist: an optimal
+		// cycle count or proven infeasibility. Dominated depends on the
+		// incumbent of this run; abandoned jobs prove nothing.
+		if a.persist && r.err == nil && !r.unsolved &&
+			(r.status == ilp.Optimal || r.status == ilp.Infeasible) {
+			a.solveCache.Put(key, cachedSolve{
+				status:       r.status,
+				cycles:       r.cycles,
+				rootIntegral: r.stats.RootIntegral,
+			})
 		}
 		return r
 	}
@@ -964,6 +1037,10 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 			}
 			continue
 		}
+		if r.cacheHit {
+			est.Stats.CacheHits++
+			continue
+		}
 		est.LPSolves += r.stats.LPSolves
 		est.Branches += r.stats.Branches
 		est.Stats.Pivots += r.stats.Pivots
@@ -1007,12 +1084,12 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 		return nil, err
 	}
 	if worstRes != nil {
-		if err := a.finishDir(ctx, est, &dirs[0], plan, worst, worstRes); err != nil {
+		if err := a.finishDir(ctx, est, 0, plan, worst, worstRes); err != nil {
 			return nil, err
 		}
 	}
 	if bcetRes != nil {
-		if err := a.finishDir(ctx, est, &dirs[1], plan, bcet, bcetRes); err != nil {
+		if err := a.finishDir(ctx, est, 1, plan, bcet, bcetRes); err != nil {
 			return nil, err
 		}
 	}
@@ -1026,7 +1103,7 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 }
 
 // aggregateCounts sums per-context block counts into per-function counts.
-func (a *Analyzer) aggregateCounts(values []float64) map[string][]int64 {
+func (a *Session) aggregateCounts(values []float64) map[string][]int64 {
 	out := map[string][]int64{}
 	for _, ctx := range a.contexts {
 		fc := a.Prog.Funcs[ctx.Func]
@@ -1043,7 +1120,7 @@ func (a *Analyzer) aggregateCounts(values []float64) map[string][]int64 {
 }
 
 // BlockCosts exposes the cost bracket used for a function's blocks.
-func (a *Analyzer) BlockCosts(fn string) []march.BlockCost {
+func (a *Session) BlockCosts(fn string) []march.BlockCost {
 	return a.costs[fn]
 }
 
@@ -1057,7 +1134,7 @@ func (a *Analyzer) BlockCosts(fn string) []march.BlockCost {
 // call-edge columns a third entry and fall outside the two-nonzero
 // sufficient test; integrality across the splice is the paper's empirical
 // observation, which Stats.RootIntegral tracks on every solve.
-func (a *Analyzer) StructuralNetworkMatrix() bool {
+func (a *Session) StructuralNetworkMatrix() bool {
 	var rows []ilp.Constraint
 	for _, ctx := range a.contexts {
 		fc := a.Prog.Funcs[ctx.Func]

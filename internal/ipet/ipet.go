@@ -140,24 +140,15 @@ type varKey struct {
 	idx  int // block index or edge ID
 }
 
-// Analyzer holds the analysis model for one root function.
+// Analyzer binds one set of functionality annotations to a session's
+// shared analysis model. The model fields (Prog, Root, Opts, contexts,
+// variables, costs) are promoted from the embedded Session; the analyzer
+// itself owns only the annotations and the memoized solver plan derived
+// from them.
 type Analyzer struct {
-	Prog *cfg.Program
-	Root string
-	Opts Options
+	*Session
 
-	contexts []*Context
-	// ctxByFunc indexes contexts per function name.
-	ctxByFunc map[string][]*Context
-	// ctxChild maps (parent ctx, call edge) to the callee context.
-	ctxChild map[[2]int]*Context
-
-	vars   map[varKey]int
-	nVars  int
 	annots *constraint.File
-
-	// costs caches block cost brackets per function.
-	costs map[string][]march.BlockCost
 
 	// planMu guards plan, the memoized solver setup (expanded sets, packed
 	// prefixes, warm-start bases) shared by repeated Estimate calls.
@@ -166,51 +157,19 @@ type Analyzer struct {
 	plan   *solverPlan
 }
 
-// New builds an analyzer for the given root function.
+// New builds a standalone analyzer for the given root function. It is the
+// one-shot path: the session it wraps is private and does not persist
+// solver results across Estimate calls. Use Prepare to share one session
+// across many annotation scenarios.
 func New(prog *cfg.Program, root string, opts Options) (*Analyzer, error) {
-	if opts.MaxSets == 0 {
-		opts.MaxSets = DefaultOptions().MaxSets
-	}
-	if opts.MaxContexts == 0 {
-		opts.MaxContexts = DefaultOptions().MaxContexts
-	}
-	if opts.March.Cache.SizeBytes == 0 {
-		opts.March = march.DefaultOptions()
-	}
-	if _, err := prog.Reachable(root); err != nil {
+	s, err := newSession(prog, root, opts)
+	if err != nil {
 		return nil, err
 	}
-	a := &Analyzer{
-		Prog:      prog,
-		Root:      root,
-		Opts:      opts,
-		ctxByFunc: map[string][]*Context{},
-		ctxChild:  map[[2]int]*Context{},
-		vars:      map[varKey]int{},
-		costs:     map[string][]march.BlockCost{},
-	}
-	if err := a.expandContexts(root, nil); err != nil {
-		return nil, err
-	}
-	// Allocate block and edge variables for every context.
-	for _, c := range a.contexts {
-		fc := prog.Funcs[c.Func]
-		for b := range fc.Blocks {
-			a.vars[varKey{c.ID, vBlock, b}] = a.nVars
-			a.nVars++
-		}
-		for e := range fc.Edges {
-			a.vars[varKey{c.ID, vEdge, e}] = a.nVars
-			a.nVars++
-		}
-	}
-	for name := range prog.Funcs {
-		a.costs[name] = march.CostsOf(prog.Funcs[name], opts.March)
-	}
-	return a, nil
+	return &Analyzer{Session: s}, nil
 }
 
-func (a *Analyzer) expandContexts(fn string, path []CallRef) error {
+func (a *Session) expandContexts(fn string, path []CallRef) error {
 	if len(a.contexts) >= a.Opts.MaxContexts {
 		return fmt.Errorf("ipet: context expansion exceeds %d", a.Opts.MaxContexts)
 	}
@@ -230,16 +189,16 @@ func (a *Analyzer) expandContexts(fn string, path []CallRef) error {
 }
 
 // Contexts returns all contexts, root first.
-func (a *Analyzer) Contexts() []*Context { return a.contexts }
+func (a *Session) Contexts() []*Context { return a.contexts }
 
 // NumVars returns the number of ILP variables in the structural model.
-func (a *Analyzer) NumVars() int { return a.nVars }
+func (a *Session) NumVars() int { return a.nVars }
 
 // blockVar returns the ILP variable of block b in context ctx.
-func (a *Analyzer) blockVar(ctx, b int) int { return a.vars[varKey{ctx, vBlock, b}] }
+func (a *Session) blockVar(ctx, b int) int { return a.vars[varKey{ctx, vBlock, b}] }
 
 // edgeVar returns the ILP variable of edge e in context ctx.
-func (a *Analyzer) edgeVar(ctx, e int) int { return a.vars[varKey{ctx, vEdge, e}] }
+func (a *Session) edgeVar(ctx, e int) int { return a.vars[varKey{ctx, vEdge, e}] }
 
 // Apply registers the functionality annotations (loop bounds and path
 // facts). Sections naming functions outside the call tree are rejected.
@@ -259,7 +218,10 @@ func (a *Analyzer) Apply(file *constraint.File) error {
 			}
 		}
 	}
-	a.annots = file
+	// Deep-copy: a caller mutating its annotation objects after Apply (to
+	// build the next scenario, say) must not corrupt this analyzer's —
+	// or, through a shared session's caches, another analyzer's — view.
+	a.annots = file.Clone()
 	// New annotations change the constraint sets and loop-bound rows, so
 	// any memoized solver setup is stale.
 	a.planMu.Lock()

@@ -1,0 +1,250 @@
+package ipet
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+
+	"cinderella/internal/cache"
+	"cinderella/internal/cfg"
+	"cinderella/internal/constraint"
+	"cinderella/internal/ilp"
+	"cinderella/internal/march"
+)
+
+// Session owns everything about an analysis that does not depend on the
+// functionality annotations: the disassembled program with its CFGs, the
+// context expansion and ILP variable layout, the structural flow
+// constraints, the block cost model, and the per-direction objectives with
+// their rows lowered to the solver's sparse form. The interactive workflow
+// of Section V — supply annotations, read the bound, refine, repeat —
+// builds this once with Prepare and then runs any number of annotation
+// variants through Estimate, instead of paying the whole front end per
+// query.
+//
+// A prepared session additionally retains solver results across Estimate
+// calls: warm-start base tableaux keyed by the loop-bound rows, the
+// outcome (optimal cycles or infeasibility) of every distinct conjunctive
+// set it has solved, and the winners' canonical count vectors. Scenarios
+// that share loop bounds and some constraint sets — the common case when
+// the user tweaks one formula among many — skip the shared solves
+// entirely. Reports remain bit-identical to a fresh one-shot Analyzer at
+// every worker count: cached outcomes are cutoff-independent values, and
+// winning counts are always the result of the same canonical cold solve
+// the one-shot path runs.
+//
+// A Session is immutable after Prepare apart from its internal caches,
+// which are mutex-guarded: concurrent Estimate calls are safe.
+type Session struct {
+	Prog *cfg.Program
+	Root string
+	Opts Options
+
+	contexts []*Context
+	// ctxByFunc indexes contexts per function name.
+	ctxByFunc map[string][]*Context
+	// ctxChild maps (parent ctx, call edge) to the callee context.
+	ctxChild map[[2]int]*Context
+
+	vars  map[varKey]int
+	nVars int
+
+	// costs caches block cost brackets per function.
+	costs map[string][]march.BlockCost
+
+	// Prepared solver front end: the structural rows lowered to packed form
+	// once, and one dirBase per objective sense. Per-annotation prefixes are
+	// assembled by concatenation (structural + loop rows + objective
+	// extras), preserving the exact row order of the un-prepared path.
+	packedStructural []ilp.PackedRow
+	dirBases         []dirBase
+
+	// persist marks a session built by Prepare: the caches below carry
+	// solver state across Estimate calls. Analyzers made by New leave it
+	// off so their per-call statistics stay those of a standalone run.
+	persist     bool
+	baseCache   *cache.Keyed[string, *warmBaseEntry]
+	solveCache  *cache.Keyed[string, cachedSolve]
+	finishCache *cache.Keyed[string, []float64]
+}
+
+// dirBase is the annotation-independent half of a solve direction.
+type dirBase struct {
+	sense       ilp.Sense
+	obj         objective
+	packedExtra []ilp.PackedRow // the objective's extra rows, lowered once
+}
+
+// warmBaseEntry caches one warm-start base tableau with the pivot work its
+// one-time solve cost, so only the Estimate that built it is charged.
+type warmBaseEntry struct {
+	warm   *ilp.WarmStart
+	pivots int
+}
+
+// cachedSolve is the cutoff-independent outcome of one (direction, loop
+// rows, conjunctive set) solve: optimal cycles or infeasibility. Dominated
+// and abandoned results are never cached — they depend on the incumbent
+// and budget of the run that produced them.
+type cachedSolve struct {
+	status       ilp.Status
+	cycles       int64
+	rootIntegral bool
+}
+
+// Prepare builds a reusable session for the given root function. The
+// returned session retains warm bases, per-set outcomes, and winner counts
+// across Estimate calls; see Session.
+func Prepare(prog *cfg.Program, root string, opts Options) (*Session, error) {
+	s, err := newSession(prog, root, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.persist = true
+	return s, nil
+}
+
+func newSession(prog *cfg.Program, root string, opts Options) (*Session, error) {
+	if opts.MaxSets == 0 {
+		opts.MaxSets = DefaultOptions().MaxSets
+	}
+	if opts.MaxContexts == 0 {
+		opts.MaxContexts = DefaultOptions().MaxContexts
+	}
+	if opts.March.Cache.SizeBytes == 0 {
+		opts.March = march.DefaultOptions()
+	}
+	if _, err := prog.Reachable(root); err != nil {
+		return nil, err
+	}
+	s := &Session{
+		Prog:      prog,
+		Root:      root,
+		Opts:      opts,
+		ctxByFunc: map[string][]*Context{},
+		ctxChild:  map[[2]int]*Context{},
+		vars:      map[varKey]int{},
+		costs:     map[string][]march.BlockCost{},
+	}
+	if err := s.expandContexts(root, nil); err != nil {
+		return nil, err
+	}
+	// Allocate block and edge variables for every context.
+	for _, c := range s.contexts {
+		fc := prog.Funcs[c.Func]
+		for b := range fc.Blocks {
+			s.vars[varKey{c.ID, vBlock, b}] = s.nVars
+			s.nVars++
+		}
+		for e := range fc.Edges {
+			s.vars[varKey{c.ID, vEdge, e}] = s.nVars
+			s.nVars++
+		}
+	}
+	for name := range prog.Funcs {
+		s.costs[name] = march.CostsOf(prog.Funcs[name], opts.March)
+	}
+
+	s.packedStructural = ilp.Pack(s.StructuralConstraints())
+	for _, ds := range []struct {
+		sense ilp.Sense
+		obj   objective
+	}{
+		{ilp.Maximize, s.worstObjective()},
+		{ilp.Minimize, s.bestObjective()},
+	} {
+		db := dirBase{sense: ds.sense, obj: ds.obj}
+		if len(ds.obj.extra) > 0 {
+			db.packedExtra = ilp.Pack(ds.obj.extra)
+		}
+		s.dirBases = append(s.dirBases, db)
+	}
+	s.baseCache = cache.NewKeyed[string, *warmBaseEntry]()
+	s.solveCache = cache.NewKeyed[string, cachedSolve]()
+	s.finishCache = cache.NewKeyed[string, []float64]()
+	return s, nil
+}
+
+// Analyzer binds one set of annotations to the session's shared model. Any
+// number of analyzers may coexist; each owns only its annotations and
+// memoized solver plan, everything else is the session's.
+func (s *Session) Analyzer(file *constraint.File) (*Analyzer, error) {
+	a := &Analyzer{Session: s}
+	if file != nil {
+		if err := a.Apply(file); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// Estimate runs the full analysis for one annotation scenario against the
+// session's shared state.
+func (s *Session) Estimate(file *constraint.File) (*Estimate, error) {
+	return s.EstimateContext(context.Background(), file)
+}
+
+// EstimateContext is Estimate with cancellation.
+func (s *Session) EstimateContext(ctx context.Context, file *constraint.File) (*Estimate, error) {
+	a, err := s.Analyzer(file)
+	if err != nil {
+		return nil, err
+	}
+	return a.EstimateContext(ctx)
+}
+
+// CacheStats reports the sizes of a prepared session's persistent caches:
+// warm base tableaux, distinct per-set outcomes, and winner count vectors.
+func (s *Session) CacheStats() (bases, solves, finishes int) {
+	return s.baseCache.Len(), s.solveCache.Len(), s.finishCache.Len()
+}
+
+// packedRowsKey serializes lowered rows order-sensitively (names excluded).
+// Unlike canonicalSetKey it distinguishes row order, which matters wherever
+// the identity of the solve — not just the feasible region — is cached.
+func packedRowsKey(rows []ilp.PackedRow) string {
+	var sb strings.Builder
+	for _, r := range rows {
+		var b [13]byte
+		b[0] = byte(r.Rel)
+		binary.LittleEndian.PutUint64(b[1:9], math.Float64bits(r.RHS))
+		binary.LittleEndian.PutUint32(b[9:13], uint32(len(r.Cols)))
+		sb.Write(b[:])
+		for k, col := range r.Cols {
+			var e [12]byte
+			binary.LittleEndian.PutUint32(e[:4], uint32(col))
+			binary.LittleEndian.PutUint64(e[4:], math.Float64bits(r.Vals[k]))
+			sb.Write(e[:])
+		}
+	}
+	return sb.String()
+}
+
+// baseKey identifies a warm base: direction plus the exact loop-bound rows
+// appended to the structural prefix.
+func baseKey(di int, loopKey string) string {
+	return fmt.Sprintf("%d|%s", di, loopKey)
+}
+
+// solveKey identifies a per-set outcome: direction, the loop rows of the
+// base, and the set's canonical (order-insensitive) form. Two scenarios
+// whose sets share this key describe the identical ILP feasible region, so
+// the optimal cycle count and feasibility transfer.
+func solveKey(di int, loopKey, setKey string) string {
+	var lb [4]byte
+	binary.LittleEndian.PutUint32(lb[:], uint32(len(loopKey)))
+	return fmt.Sprintf("%d|%s%s%s", di, lb[:], loopKey, setKey)
+}
+
+// finishKey identifies a winner's canonical count vector. The winning
+// counts come from a cold solve of the set's rows as written, so the key
+// is order-sensitive: a scenario listing the same rows in another order
+// re-derives its own counts, keeping reports bit-identical to the one-shot
+// path.
+func finishKey(di int, loopKey string, set []ilp.Constraint) string {
+	var lb [4]byte
+	binary.LittleEndian.PutUint32(lb[:], uint32(len(loopKey)))
+	return fmt.Sprintf("%d|%s%s%s", di, lb[:], loopKey, packedRowsKey(ilp.Pack(set)))
+}

@@ -13,7 +13,7 @@ import (
 // analysis root's entry edge is traversed exactly once (eq. 13); and each
 // callee instance's entry edge equals its call-site f-variable (eq. 12,
 // specialized per context).
-func (a *Analyzer) StructuralConstraints() []ilp.Constraint {
+func (a *Session) StructuralConstraints() []ilp.Constraint {
 	var out []ilp.Constraint
 	for _, ctx := range a.contexts {
 		fc := a.Prog.Funcs[ctx.Func]
@@ -110,7 +110,7 @@ func (a *Analyzer) LoopBoundConstraints() []ilp.Constraint {
 
 // resolveVar expands a symbolic constraint variable into ILP terms,
 // multiplying each context instance by coef.
-func (a *Analyzer) resolveVar(v constraint.Var, coef float64, into map[int]float64) error {
+func (a *Session) resolveVar(v constraint.Var, coef float64, into map[int]float64) error {
 	ctxs := a.ctxByFunc[v.Func]
 	if len(ctxs) == 0 {
 		return fmt.Errorf("ipet: constraint names %q, which is not in the call tree of %s", v.Func, a.Root)
@@ -173,7 +173,7 @@ func (a *Analyzer) resolveVar(v constraint.Var, coef float64, into map[int]float
 }
 
 // relToILP converts a normalized constraint relation to an ILP constraint.
-func (a *Analyzer) relToILP(r constraint.Rel) (ilp.Constraint, error) {
+func (a *Session) relToILP(r constraint.Rel) (ilp.Constraint, error) {
 	c := ilp.Constraint{Coeffs: map[int]float64{}, RHS: float64(r.RHS), Name: r.String()}
 	switch r.Op {
 	case constraint.OpEQ:
