@@ -22,6 +22,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -60,6 +61,7 @@ func main() {
 		deadline  = flag.Duration("deadline", 0, "wall-clock budget for the solve phase; on expiry report a sound envelope instead of failing")
 		budget    = flag.Int("budget", 0, "total simplex-pivot budget across all solves; deterministic anytime cutoff (0 = unlimited)")
 		maxSets   = flag.Int("max-sets", 0, "cap on constraint sets; overflowing disjunctions are soundly widened instead of rejected (0 = default cap, fail on overflow)")
+		certify   = flag.Bool("certify", false, "back every bound with an exact rational check: verify each solve's optimality certificate in big.Rat arithmetic and re-solve unverifiable claims with an exact rational simplex")
 		mhz       = flag.Float64("mhz", 20, "clock frequency used to report times (the QT960 runs at 20 MHz)")
 		profile   = flag.String("profile", "i960kb", "processor timing profile (i960kb, dsp3210)")
 	)
@@ -78,6 +80,7 @@ func main() {
 	opts.March.Timing = timing
 	opts.Deadline = *deadline
 	opts.Budget = *budget
+	opts.Certify = *certify
 	if *maxSets > 0 {
 		opts.MaxSets = *maxSets
 		opts.WidenSets = true
@@ -177,16 +180,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	annotName := "annotations"
 	if len(scenarioPaths) == 1 {
 		text, err := os.ReadFile(scenarioPaths[0])
 		if err != nil {
 			fatal(err)
 		}
 		annots = string(text)
+		annotName = scenarioPaths[0]
 	}
 	var files []*constraint.File
 	if annots != "" {
-		file, err := constraint.Parse(annots)
+		// ParseNamed stamps the file name and line numbers so annotation
+		// errors surface as file:line diagnostics.
+		file, err := constraint.ParseNamed(annotName, annots)
 		if err != nil {
 			fatal(err)
 		}
@@ -241,9 +248,20 @@ func main() {
 
 	est, err := an.Estimate()
 	if err != nil {
-		fatal(err)
+		fatal(estimateErr(err))
 	}
 	printReport(an.Session, est, analyzed, *mhz, *stats)
+}
+
+// estimateErr expands the typed infeasibility error with advice: total
+// infeasibility means the annotations contradict each other or the control
+// flow, which the user fixes in the annotation file, not the program.
+func estimateErr(err error) error {
+	var ie *ipet.InfeasibleError
+	if errors.As(err, &ie) {
+		return fmt.Errorf("%w\nthe functionality annotations admit no execution at all — check them for contradictory facts (run -lp to see the constraint sets)", err)
+	}
+	return err
 }
 
 // printReport writes one estimate's report: the bound, solver summary, and
@@ -258,6 +276,10 @@ func printReport(sess *ipet.Session, est *ipet.Estimate, analyzed string, mhz fl
 	if !est.WCET.Exact || !est.BCET.Exact {
 		fmt.Printf("bound is a sound envelope, not exact: WCET exact=%v slack=%s, BCET exact=%v slack=%s\n",
 			est.WCET.Exact, slackString(est.WCET.Slack), est.BCET.Exact, slackString(est.BCET.Slack))
+	}
+	if est.WCET.Certified || est.BCET.Certified {
+		fmt.Printf("certified: every claim verified in exact rational arithmetic (%d rechecked exactly, %d certificate failures, %d suspect pivots)\n",
+			est.WCET.RecheckedSets+est.BCET.RecheckedSets, est.Stats.CertFailures, est.Stats.SuspectPivots)
 	}
 	fmt.Printf("functionality constraint sets: %d generated, %d null pruned, %d solved\n",
 		est.NumSets, est.PrunedSets, est.SolvedSets)
@@ -305,9 +327,9 @@ func runBatch(prog *cfg.Program, analyzed string, opts ipet.Options, paths []str
 		if err != nil {
 			fatal(err)
 		}
-		file, err := constraint.Parse(string(text))
+		file, err := constraint.ParseNamed(path, string(text))
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", path, err))
+			fatal(err)
 		}
 		files := append(append([]*constraint.File{}, base...), file)
 		an, err := sess.Analyzer(constraint.Merge(files...))
@@ -319,7 +341,7 @@ func runBatch(prog *cfg.Program, analyzed string, opts ipet.Options, paths []str
 		}
 		est, err := an.Estimate()
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", path, err))
+			fatal(fmt.Errorf("%s: %w", path, estimateErr(err)))
 		}
 		if i > 0 {
 			fmt.Println()

@@ -34,6 +34,14 @@ type EstimatePerf struct {
 	DeadlineHit  bool `json:"deadline_hit"`
 	Exact        bool `json:"exact"`
 
+	// Certificate-layer counters (ipet.Options.Certify): whether both bounds
+	// were backed by exact rational checks, and the work the layer performed.
+	Certified     bool `json:"certified"`
+	RecheckedSets int  `json:"rechecked_sets"`
+	CertFailures  int  `json:"cert_failures"`
+	ExactResolves int  `json:"exact_resolves"`
+	SuspectPivots int  `json:"suspect_pivots"`
+
 	WCET int64 `json:"wcet_cycles"`
 	BCET int64 `json:"bcet_cycles"`
 }
@@ -52,6 +60,11 @@ func (p *EstimatePerf) FillFromEstimate(est *ipet.Estimate) {
 	p.SetsUnsolved = est.Stats.SetsUnsolved
 	p.DeadlineHit = est.Stats.DeadlineHit
 	p.Exact = est.WCET.Exact && est.BCET.Exact
+	p.Certified = est.WCET.Certified && est.BCET.Certified
+	p.RecheckedSets = est.WCET.RecheckedSets + est.BCET.RecheckedSets
+	p.CertFailures = est.Stats.CertFailures
+	p.ExactResolves = est.Stats.ExactResolves
+	p.SuspectPivots = est.Stats.SuspectPivots
 	p.WCET = est.WCET.Cycles
 	p.BCET = est.BCET.Cycles
 }

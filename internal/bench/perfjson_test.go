@@ -114,6 +114,28 @@ func perfWorkloads(t *testing.T) []estimateWorkload {
 		}
 		workloads = append(workloads, estimateWorkload{"explosion64" + suffix, an})
 	}
+	// Certified rows: the incremental configuration plus the exact-rational
+	// verification layer, so the artifact records certification overhead
+	// against the matching /incremental row.
+	certOpts := mode(true)
+	certOpts.Certify = true
+	certOpts.PruneNullSets = false
+	dhryBM, ok := ByName("dhry")
+	if !ok {
+		t.Fatal("unknown benchmark dhry")
+	}
+	bt, err := dhryBM.Build(certOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads = append(workloads, estimateWorkload{"dhry/certified", bt.An})
+	exOpts := mode(true)
+	exOpts.Certify = true
+	exAn, err := explosionWorkload(6, exOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads = append(workloads, estimateWorkload{"explosion64/certified", exAn})
 	return workloads
 }
 
@@ -160,6 +182,19 @@ func TestWriteEstimateBenchJSON(t *testing.T) {
 				name, i.BCET, i.WCET, c.BCET, c.WCET)
 		}
 	}
+	for _, name := range []string{"dhry", "explosion64"} {
+		u, c := byName[name+"/incremental"], byName[name+"/certified"]
+		if !c.Certified {
+			t.Errorf("%s/certified row is not certified: %+v", name, c)
+		}
+		if c.WCET != u.WCET || c.BCET != u.BCET {
+			t.Errorf("%s: certified bound [%d,%d] != uncertified [%d,%d]",
+				name, c.BCET, c.WCET, u.BCET, u.WCET)
+		}
+		if c.CertFailures != 0 {
+			t.Errorf("%s/certified: %d certificate failures on a healthy solver", name, c.CertFailures)
+		}
+	}
 
 	recs = append(recs, sessionRows(t)...)
 
@@ -183,6 +218,53 @@ func TestWriteEstimateBenchJSON(t *testing.T) {
 	}
 	t.Logf("wrote %s (%d rows); explosion64 pivots cold %d -> incremental %d",
 		path, len(recs), coldP, incrP)
+}
+
+// TestCertifiedBenchmarksIdentical is the certification bit-identity gate
+// on the real Table I programs: a certified dhry/des analysis must report
+// exactly the bounds, counts, and winning sets of the uncertified one at
+// every worker count — the exact layer only confirms, never moves, a
+// healthy solver's answer.
+func TestCertifiedBenchmarksIdentical(t *testing.T) {
+	for _, name := range []string{"dhry", "des"} {
+		bm, ok := ByName(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", name)
+		}
+		plainOpts := ipet.DefaultOptions()
+		plainOpts.Workers = 1
+		plainBuilt, err := bm.Build(plainOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := plainBuilt.Est
+		for _, workers := range []int{1, 4} {
+			opts := ipet.DefaultOptions()
+			opts.Workers = workers
+			opts.Certify = true
+			bt, err := bm.Build(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cert := bt.Est
+			if !cert.WCET.Certified || !cert.BCET.Certified {
+				t.Errorf("%s workers=%d: bounds not certified: %+v / %+v",
+					name, workers, cert.WCET, cert.BCET)
+			}
+			if cert.Stats.CertFailures != 0 {
+				t.Errorf("%s workers=%d: %d certificate failures on a healthy solver",
+					name, workers, cert.Stats.CertFailures)
+			}
+			// Strip the certificate-layer fields; everything else must match.
+			w, b := cert.WCET, cert.BCET
+			w.Certified, w.RecheckedSets = false, 0
+			b.Certified, b.RecheckedSets = false, 0
+			if !reflect.DeepEqual(w, plain.WCET) || !reflect.DeepEqual(b, plain.BCET) {
+				t.Errorf("%s workers=%d: certified report diverges from uncertified:\ncert WCET:  %+v\nplain WCET: %+v\ncert BCET:  %+v\nplain BCET: %+v",
+					name, workers, w, plain.WCET, b, plain.BCET)
+			}
+		}
+	}
 }
 
 // sessionRows measures the prepared-session workflow: one session estimates

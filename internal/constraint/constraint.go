@@ -106,6 +106,12 @@ type Rel struct {
 	RHS   int64
 	// Source is the original text for diagnostics.
 	Source string
+	// File and Line locate the relation in its annotation source: File is
+	// the name given to ParseNamed (empty under Parse or for relations built
+	// in memory), Line the 1-based source line (0 when built in memory).
+	// They survive Merge, so a diagnostic always points at the right file.
+	File string
+	Line int
 }
 
 func (r Rel) String() string {
@@ -164,6 +170,8 @@ type LoopBound struct {
 	Loop   int
 	Lo, Hi int64
 	Line   int
+	// File is the annotation file the bound came from (set by ParseNamed).
+	File string
 }
 
 // Section holds the annotations of one function.
@@ -172,11 +180,18 @@ type Section struct {
 	LoopBounds []LoopBound
 	Formulas   []Formula
 	Line       int
+	// File is the annotation file the section came from (set by ParseNamed).
+	// Per-relation and per-loop-bound positions carry their own File so that
+	// Merge-combined sections keep accurate diagnostics.
+	File string
 }
 
 // File is a parsed annotation file.
 type File struct {
 	Sections []Section
+	// Name is the source file name as given to ParseNamed; empty under
+	// Parse.
+	Name string
 }
 
 // Merge combines annotation files: sections for the same function are
@@ -194,7 +209,7 @@ func Merge(files ...*File) *File {
 			i, ok := idx[sec.Func]
 			if !ok {
 				idx[sec.Func] = len(out.Sections)
-				out.Sections = append(out.Sections, Section{Func: sec.Func, Line: sec.Line})
+				out.Sections = append(out.Sections, Section{Func: sec.Func, Line: sec.Line, File: sec.File})
 				i = len(out.Sections) - 1
 			}
 			out.Sections[i].LoopBounds = append(out.Sections[i].LoopBounds, sec.LoopBounds...)

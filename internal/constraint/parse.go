@@ -112,6 +112,45 @@ func Parse(src string) (*File, error) {
 	return f, nil
 }
 
+// ParseNamed parses an annotation file and stamps name as the source file
+// on every diagnostic position — the File itself, its sections, loop bounds,
+// and relations — so errors raised later (ipet.Apply, set expansion) can
+// point at file:line. Parse errors are prefixed with the name too.
+func ParseNamed(name, src string) (*File, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	f.Name = name
+	for si := range f.Sections {
+		sec := &f.Sections[si]
+		sec.File = name
+		for li := range sec.LoopBounds {
+			sec.LoopBounds[li].File = name
+		}
+		for _, fm := range sec.Formulas {
+			stampFormula(fm, name)
+		}
+	}
+	return f, nil
+}
+
+// stampFormula sets File on every relation of a formula tree in place.
+func stampFormula(f Formula, name string) {
+	switch n := f.(type) {
+	case *Atom:
+		n.Rel.File = name
+	case *And:
+		for _, p := range n.Parts {
+			stampFormula(p, name)
+		}
+	case *Or:
+		for _, p := range n.Parts {
+			stampFormula(p, name)
+		}
+	}
+}
+
 func (p *cparser) cur() ctok { return p.toks[p.pos] }
 
 func (p *cparser) skipNL() {
@@ -332,6 +371,7 @@ func normalize(lhs linExpr, op RelOp, rhs linExpr, strict int64, line int) Rel {
 		Op:     op,
 		RHS:    rhs.cnst - lhs.cnst + strict,
 		Source: fmt.Sprintf("line %d", line),
+		Line:   line,
 	}
 	return r
 }

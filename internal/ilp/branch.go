@@ -26,6 +26,11 @@ type SolveOptions struct {
 	// every node whose LP bound is worse than Cutoff.
 	Cutoff    float64
 	UseCutoff bool
+	// WantCert asks the solve to attach the root relaxation's optimal-basis
+	// certificate to the Solution (Solution.Cert) when the root already
+	// answers the problem, so a certifying caller can re-verify the result
+	// in exact arithmetic.
+	WantCert bool
 }
 
 // SolveCtx is Solve with cancellation: the context is checked before the
@@ -51,14 +56,16 @@ func SolveCtxOpts(ctx context.Context, p *Problem, opts SolveOptions) (*Solution
 			return false
 		}
 		if p.Sense == Maximize {
-			return v < opts.Cutoff-1e-9
+			return v < opts.Cutoff-eps
 		}
-		return v > opts.Cutoff+1e-9
+		return v > opts.Cutoff+eps
 	}
 
-	status, obj, x, pivots := simplex(p)
+	root := simplexFull(p, opts.WantCert)
+	status, obj, x := root.status, root.obj, root.x
 	sol.Stats.LPSolves++
-	sol.Stats.Pivots += pivots
+	sol.Stats.Pivots += root.pivots
+	sol.Stats.SuspectPivots += root.suspect
 	if status != Optimal {
 		sol.Status = status
 		return sol, nil
@@ -74,6 +81,7 @@ func SolveCtxOpts(ctx context.Context, p *Problem, opts SolveOptions) (*Solution
 		sol.Status = Optimal
 		sol.Objective = obj
 		sol.Values = roundIfIntegral(x, p.Integer)
+		sol.Cert = root.cert
 		return sol, nil
 	}
 
@@ -84,9 +92,9 @@ func SolveCtxOpts(ctx context.Context, p *Problem, opts SolveOptions) (*Solution
 	}
 	better := func(a, b float64) bool {
 		if p.Sense == Maximize {
-			return a > b+1e-9
+			return a > b+eps
 		}
-		return a < b-1e-9
+		return a < b-eps
 	}
 
 	var best *Solution
@@ -117,9 +125,11 @@ func SolveCtxOpts(ctx context.Context, p *Problem, opts SolveOptions) (*Solution
 			Prefix:      p.Prefix,
 			Constraints: append(append([]Constraint{}, p.Constraints...), nd.extra...),
 		}
-		status, obj, x, pivots := simplex(sub)
+		sub2 := simplexFull(sub, false)
+		status, obj, x := sub2.status, sub2.obj, sub2.x
 		sol.Stats.LPSolves++
-		sol.Stats.Pivots += pivots
+		sol.Stats.Pivots += sub2.pivots
+		sol.Stats.SuspectPivots += sub2.suspect
 		if nodes > 1 || len(nd.extra) > 0 {
 			sol.Stats.Branches++
 		}

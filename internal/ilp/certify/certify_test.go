@@ -1,0 +1,278 @@
+package certify
+
+import (
+	"context"
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"cinderella/internal/ilp"
+)
+
+func cn(coeffs map[int]float64, rel ilp.Relation, rhs float64) ilp.Constraint {
+	return ilp.Constraint{Coeffs: coeffs, Rel: rel, RHS: rhs}
+}
+
+// randomProblems generates boxed random problems (every variable carries an
+// upper bound, so integer solves terminate) across senses and relation
+// kinds, in the style of the ilp differential suite.
+func randomProblems(seed int64, trials int, integer bool) []*ilp.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	var ps []*ilp.Problem
+	for trial := 0; trial < trials; trial++ {
+		n := 2 + rng.Intn(3)
+		p := &ilp.Problem{
+			Sense: ilp.Sense(rng.Intn(2)), NumVars: n,
+			Objective: map[int]float64{}, Integer: integer,
+		}
+		var rows []ilp.Constraint
+		for i := 0; i < n; i++ {
+			p.Objective[i] = float64(rng.Intn(11) - 5)
+			rows = append(rows, cn(map[int]float64{i: 1}, ilp.LE, float64(1+rng.Intn(6))))
+		}
+		for r := 0; r < 1+rng.Intn(3); r++ {
+			coeffs := map[int]float64{}
+			for i := 0; i < n; i++ {
+				if rng.Intn(2) == 0 {
+					coeffs[i] = float64(rng.Intn(7) - 3)
+				}
+			}
+			if len(coeffs) == 0 {
+				coeffs[0] = 1
+			}
+			rows = append(rows, cn(coeffs, ilp.Relation(rng.Intn(3)), float64(rng.Intn(13)-4)))
+		}
+		// Exercise the shared-prefix layout half the time.
+		if rng.Intn(2) == 0 {
+			half := len(rows) / 2
+			p.Prefix = ilp.Pack(rows[:half])
+			p.Constraints = rows[half:]
+		} else {
+			p.Constraints = rows
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// TestCertifyColdDifferential runs the float64 solver with certificates on
+// random problems and checks that every certificate verifies exactly, that
+// the exact objective matches the float one, and that the exact rational
+// solver reproduces status and optimum independently.
+func TestCertifyColdDifferential(t *testing.T) {
+	ctx := context.Background()
+	certified := 0
+	for i, p := range randomProblems(7, 150, true) {
+		sol, err := ilp.SolveCtxOpts(ctx, p, ilp.SolveOptions{WantCert: true})
+		if err != nil {
+			t.Fatalf("problem %d: solve: %v", i, err)
+		}
+		ex, err := SolveExact(ctx, p)
+		if err != nil {
+			t.Fatalf("problem %d: exact: %v", i, err)
+		}
+		if ex.Status != sol.Status {
+			t.Fatalf("problem %d: float status %v, exact %v\n%s", i, sol.Status, ex.Status, p)
+		}
+		if sol.Status == ilp.Optimal {
+			exObj, _ := ex.Objective.Float64()
+			if math.Abs(exObj-sol.Objective) > 1e-6 {
+				t.Fatalf("problem %d: float obj %v, exact %v\n%s", i, sol.Objective, exObj, p)
+			}
+		}
+		if sol.Cert == nil {
+			continue
+		}
+		certified++
+		res, err := Verify(p, sol.Cert)
+		if err != nil {
+			t.Fatalf("problem %d: certificate rejected: %v\n%s", i, err, p)
+		}
+		if res.Objective.Cmp(ex.Objective) != 0 {
+			t.Fatalf("problem %d: certified obj %s, exact obj %s\n%s",
+				i, res.Objective.RatString(), ex.Objective.RatString(), p)
+		}
+	}
+	if certified < 50 {
+		t.Fatalf("only %d certificates emitted; root-integral rate suspiciously low", certified)
+	}
+}
+
+// TestCertifyDensePath certifies the dense oracle's solves: all three
+// solver paths must emit checkable certificates.
+func TestCertifyDensePath(t *testing.T) {
+	certified := 0
+	for i, p := range randomProblems(11, 80, false) {
+		sol, err := ilp.SolveDenseCert(p)
+		if err != nil {
+			t.Fatalf("problem %d: %v", i, err)
+		}
+		if sol.Cert == nil {
+			continue
+		}
+		certified++
+		res, err := Verify(p, sol.Cert)
+		if err != nil {
+			t.Fatalf("problem %d: dense certificate rejected: %v\n%s", i, err, p)
+		}
+		got, _ := res.Objective.Float64()
+		if math.Abs(got-sol.Objective) > 1e-6 {
+			t.Fatalf("problem %d: dense obj %v, certified %v", i, sol.Objective, got)
+		}
+	}
+	if certified == 0 {
+		t.Fatal("no dense certificates emitted")
+	}
+}
+
+// TestCertifyWarmPath certifies warm dual-simplex solves: a presolve-free
+// warm start over a shared base, with per-set deltas covering <=, >= and =
+// (the = case exercises the pair-split lowering).
+func TestCertifyWarmPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	ctx := context.Background()
+	certified := 0
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(3)
+		base := &ilp.Problem{
+			Sense: ilp.Sense(rng.Intn(2)), NumVars: n, Objective: map[int]float64{},
+		}
+		var baseRows []ilp.Constraint
+		for i := 0; i < n; i++ {
+			base.Objective[i] = float64(rng.Intn(9) - 3)
+			baseRows = append(baseRows, cn(map[int]float64{i: 1}, ilp.LE, float64(2+rng.Intn(6))))
+		}
+		base.Prefix = ilp.Pack(baseRows)
+		w := ilp.NewWarmStartOpts(base, ilp.WarmOptions{DisablePresolve: true})
+		if !w.Ready() {
+			t.Fatalf("trial %d: base not ready", trial)
+		}
+		for s := 0; s < 4; s++ {
+			var set []ilp.Constraint
+			for r := 0; r < 1+rng.Intn(2); r++ {
+				coeffs := map[int]float64{}
+				for i := 0; i < n; i++ {
+					if rng.Intn(2) == 0 {
+						coeffs[i] = float64(rng.Intn(5) - 2)
+					}
+				}
+				set = append(set, cn(coeffs, ilp.Relation(rng.Intn(3)), float64(rng.Intn(9)-2)))
+			}
+			r := w.SolveSetFull(set, 0, false, true)
+			if !r.OK || r.Status != ilp.Optimal || r.Cert == nil {
+				continue
+			}
+			certified++
+			full := &ilp.Problem{
+				Sense: base.Sense, NumVars: n, Objective: base.Objective,
+				Prefix: base.Prefix, Constraints: set,
+			}
+			res, err := Verify(full, r.Cert)
+			if err != nil {
+				t.Fatalf("trial %d set %d: warm certificate rejected: %v\n%s", trial, s, err, full)
+			}
+			got, _ := res.Objective.Float64()
+			if math.Abs(got-r.Objective) > 1e-6 {
+				t.Fatalf("trial %d set %d: warm obj %v, certified %v", trial, s, r.Objective, got)
+			}
+			ex, err := SolveExact(ctx, full)
+			if err != nil || ex.Status != ilp.Optimal {
+				t.Fatalf("trial %d set %d: exact re-solve: %v %v", trial, s, ex, err)
+			}
+			if res.Objective.Cmp(ex.Objective) != 0 {
+				t.Fatalf("trial %d set %d: certified %s, exact %s",
+					trial, s, res.Objective.RatString(), ex.Objective.RatString())
+			}
+		}
+	}
+	if certified < 20 {
+		t.Fatalf("only %d warm certificates exercised", certified)
+	}
+}
+
+// TestVerifyRejectsTamperedCertificate corrupts a valid certificate in the
+// ways a broken solver would and asserts Verify refuses each.
+func TestVerifyRejectsTamperedCertificate(t *testing.T) {
+	p := &ilp.Problem{
+		Sense: ilp.Maximize, NumVars: 2, Objective: map[int]float64{0: 3, 1: 2},
+		Constraints: []ilp.Constraint{
+			cn(map[int]float64{0: 1, 1: 1}, ilp.LE, 4),
+			cn(map[int]float64{0: 1, 1: 3}, ilp.LE, 6),
+		},
+	}
+	sol, err := ilp.SolveCtxOpts(context.Background(), p, ilp.SolveOptions{WantCert: true})
+	if err != nil || sol.Status != ilp.Optimal || sol.Cert == nil {
+		t.Fatalf("setup solve: %+v %v", sol, err)
+	}
+	if _, err := Verify(p, sol.Cert); err != nil {
+		t.Fatalf("genuine certificate rejected: %v", err)
+	}
+
+	tamper := func(name string, mutate func(c *ilp.Certificate)) {
+		c := &ilp.Certificate{Warm: sol.Cert.Warm, Basis: append([]int(nil), sol.Cert.Basis...)}
+		mutate(c)
+		if _, err := Verify(p, c); err == nil {
+			t.Errorf("%s: tampered certificate verified", name)
+		}
+	}
+	tamper("basis swapped to slack", func(c *ilp.Certificate) { c.Basis[0] = 2 }) // x0 out, slack 0 in: suboptimal vertex
+	tamper("duplicate column", func(c *ilp.Certificate) { c.Basis[1] = c.Basis[0] })
+	tamper("out of range", func(c *ilp.Certificate) { c.Basis[0] = 99 })
+	tamper("truncated", func(c *ilp.Certificate) { c.Basis = c.Basis[:1] })
+	if _, err := Verify(p, nil); err == nil {
+		t.Error("nil certificate verified")
+	}
+}
+
+// TestSolveExactKnapsack pins the exact branch-and-bound on the knapsack
+// fixture whose root relaxation is fractional.
+func TestSolveExactKnapsack(t *testing.T) {
+	p := &ilp.Problem{
+		Sense: ilp.Maximize, NumVars: 4, Integer: true,
+		Objective: map[int]float64{0: 8, 1: 11, 2: 6, 3: 4},
+		Constraints: []ilp.Constraint{
+			cn(map[int]float64{0: 5, 1: 7, 2: 4, 3: 3}, ilp.LE, 14),
+			cn(map[int]float64{0: 1}, ilp.LE, 1),
+			cn(map[int]float64{1: 1}, ilp.LE, 1),
+			cn(map[int]float64{2: 1}, ilp.LE, 1),
+			cn(map[int]float64{3: 1}, ilp.LE, 1),
+		},
+	}
+	ex, err := SolveExact(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Status != ilp.Optimal || ex.Objective.Cmp(big.NewRat(21, 1)) != 0 {
+		t.Fatalf("exact knapsack: %v %v, want optimal 21", ex.Status, ex.Objective)
+	}
+	if ex.RootIntegral {
+		t.Fatal("knapsack root should be fractional")
+	}
+	if !ratsIntegral(ex.X) {
+		t.Fatalf("exact optimum not integral: %v", ex.X)
+	}
+}
+
+// TestSolveExactDegenerate covers the no-rows and infeasible corners.
+func TestSolveExactDegenerate(t *testing.T) {
+	ctx := context.Background()
+	unb := &ilp.Problem{Sense: ilp.Maximize, NumVars: 1, Objective: map[int]float64{0: 1}}
+	if ex, err := SolveExact(ctx, unb); err != nil || ex.Status != ilp.Unbounded {
+		t.Fatalf("unbounded: %+v %v", ex, err)
+	}
+	inf := &ilp.Problem{
+		Sense: ilp.Maximize, NumVars: 1, Objective: map[int]float64{0: 1},
+		Constraints: []ilp.Constraint{
+			cn(map[int]float64{0: 1}, ilp.LE, 3),
+			cn(map[int]float64{0: 1}, ilp.GE, 5),
+		},
+	}
+	if ex, err := SolveExact(ctx, inf); err != nil || ex.Status != ilp.Infeasible {
+		t.Fatalf("infeasible: %+v %v", ex, err)
+	}
+	origin := &ilp.Problem{Sense: ilp.Minimize, NumVars: 2, Objective: map[int]float64{0: 1, 1: 1}}
+	if ex, err := SolveExact(ctx, origin); err != nil || ex.Status != ilp.Optimal || ex.Objective.Sign() != 0 {
+		t.Fatalf("origin: %+v %v", ex, err)
+	}
+}

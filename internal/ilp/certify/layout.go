@@ -1,0 +1,287 @@
+// Package certify is the exact verification layer of the float64 simplex
+// kernels: it re-checks a reported optimum against the optimal-basis
+// certificate the solver emitted (ilp.Certificate), entirely in rational
+// arithmetic (math/big.Rat, to which every float64 coefficient converts
+// exactly), and provides an exact rational simplex fallback for solves the
+// certificate cannot vouch for.
+//
+// The checker never trusts solver-computed numbers: it rebuilds the
+// standard form itself from the Problem using the same deterministic
+// lowering the solver used (cold two-phase layout or warm delta layout,
+// per Certificate.Warm), takes only the basis column indices from the
+// certificate, and derives the basic solution, the dual prices and every
+// reduced cost exactly. A verified certificate is a proof: the basic
+// solution is feasible for the original rows, and weak duality over the
+// exactly-nonpositive reduced costs shows no feasible point does better.
+package certify
+
+import (
+	"fmt"
+	"math/big"
+
+	"cinderella/internal/ilp"
+)
+
+// stdRow is one row of the exact standard form A·x = b over x >= 0.
+type stdRow struct {
+	cols []int
+	vals []*big.Rat
+	rhs  *big.Rat
+}
+
+// stdForm is the exact standard form of a Problem under one of the two
+// deterministic lowerings of the float64 solvers. Columns are: the n real
+// variables, then slack/surplus columns, then artificial columns (cold
+// layout), then — warm layout only — one fresh slack per lowered delta row.
+type stdForm struct {
+	n     int // real columns
+	total int // all columns
+	m     int
+	rows  []stdRow
+	// isArt marks artificial columns: excluded from the reduced-cost
+	// optimality check (an original-feasible point always extends with
+	// artificials at zero) and barred from entering in the exact solver.
+	isArt []bool
+	// initBasis is the per-row starting basis of the cold layout (slack for
+	// <=, artificial for >= and =); meaningless for the warm layout, whose
+	// solves start from the retained base basis instead.
+	initBasis []int
+	// numArt counts artificial columns (phase 1 needed when > 0).
+	numArt int
+}
+
+func ratOf(f float64) *big.Rat {
+	r := new(big.Rat)
+	r.SetFloat64(f) // exact: Validate rejected NaN/Inf
+	return r
+}
+
+// normRel flips a raw constraint into the sign-normalized form the solvers
+// lower (RHS >= 0, LE/GE swapped when the RHS was negative).
+func normRel(rel ilp.Relation, rhs float64) (ilp.Relation, bool) {
+	if rhs >= 0 {
+		return rel, false
+	}
+	switch rel {
+	case ilp.LE:
+		return ilp.GE, true
+	case ilp.GE:
+		return ilp.LE, true
+	}
+	return rel, true
+}
+
+// coldForm rebuilds the cold two-phase standard form of p exactly: Prefix
+// rows as packed (already normalized), Constraints sign-normalized, one
+// slack per <=, surplus+artificial per >=, artificial per =, columns
+// assigned in row order exactly as the sparse and dense kernels do.
+func coldForm(p *ilp.Problem) *stdForm {
+	n := p.NumVars
+	type spec struct {
+		cols []int
+		vals []*big.Rat
+		rel  ilp.Relation
+		rhs  *big.Rat
+	}
+	specs := make([]spec, 0, len(p.Prefix)+len(p.Constraints))
+	for i := range p.Prefix {
+		r := &p.Prefix[i]
+		s := spec{rel: r.Rel, rhs: ratOf(r.RHS)}
+		for k, col := range r.Cols {
+			s.cols = append(s.cols, int(col))
+			s.vals = append(s.vals, ratOf(r.Vals[k]))
+		}
+		specs = append(specs, s)
+	}
+	for i := range p.Constraints {
+		c := &p.Constraints[i]
+		rel, neg := normRel(c.Rel, c.RHS)
+		rhs := c.RHS
+		if neg {
+			rhs = -rhs
+		}
+		s := spec{rel: rel, rhs: ratOf(rhs)}
+		// Iterate columns in sorted order for determinism of the row's
+		// sparse form; the column assignment below depends only on rel.
+		for _, j := range sortedCols(c.Coeffs) {
+			v := c.Coeffs[j]
+			if v == 0 {
+				continue
+			}
+			if neg {
+				v = -v
+			}
+			s.cols = append(s.cols, j)
+			s.vals = append(s.vals, ratOf(v))
+		}
+		specs = append(specs, s)
+	}
+
+	numSlack, numArt := 0, 0
+	for i := range specs {
+		switch specs[i].rel {
+		case ilp.LE:
+			numSlack++
+		case ilp.GE:
+			numSlack++
+			numArt++
+		case ilp.EQ:
+			numArt++
+		}
+	}
+	sf := &stdForm{
+		n:      n,
+		total:  n + numSlack + numArt,
+		m:      len(specs),
+		numArt: numArt,
+	}
+	sf.isArt = make([]bool, sf.total)
+	for j := n + numSlack; j < sf.total; j++ {
+		sf.isArt[j] = true
+	}
+	sf.rows = make([]stdRow, sf.m)
+	sf.initBasis = make([]int, sf.m)
+	slackCol, artCol := n, n+numSlack
+	one := big.NewRat(1, 1)
+	negOne := big.NewRat(-1, 1)
+	for i := range specs {
+		s := &specs[i]
+		row := stdRow{cols: s.cols, vals: s.vals, rhs: s.rhs}
+		switch s.rel {
+		case ilp.LE:
+			row.cols = append(row.cols, slackCol)
+			row.vals = append(row.vals, one)
+			sf.initBasis[i] = slackCol
+			slackCol++
+		case ilp.GE:
+			row.cols = append(row.cols, slackCol)
+			row.vals = append(row.vals, negOne)
+			slackCol++
+			row.cols = append(row.cols, artCol)
+			row.vals = append(row.vals, one)
+			sf.initBasis[i] = artCol
+			artCol++
+		case ilp.EQ:
+			row.cols = append(row.cols, artCol)
+			row.vals = append(row.vals, one)
+			sf.initBasis[i] = artCol
+			artCol++
+		}
+		sf.rows[i] = row
+	}
+	return sf
+}
+
+// warmForm rebuilds the warm-path standard form: the base (Prefix rows
+// only) lowered cold, then each per-set constraint lowered to <= rows each
+// carried by one fresh slack — >= negated, = split into a <=/>= pair, no
+// sign normalization — with constant rows the base trivially satisfies
+// dropped, exactly as WarmStart.SolveSet does. Returns an error when a
+// constant row is a contradiction: such a set reports Infeasible without a
+// tableau and can never have produced a certificate.
+func warmForm(p *ilp.Problem) (*stdForm, error) {
+	base := coldForm(&ilp.Problem{
+		Sense:     p.Sense,
+		NumVars:   p.NumVars,
+		Objective: p.Objective,
+		Prefix:    p.Prefix,
+	})
+	type delta struct {
+		cols []int
+		vals []*big.Rat
+		rhs  *big.Rat
+	}
+	var deltas []delta
+	lower := func(c *ilp.Constraint, negate bool) {
+		d := delta{rhs: ratOf(c.RHS)}
+		if negate {
+			d.rhs.Neg(d.rhs)
+		}
+		for _, j := range sortedCols(c.Coeffs) {
+			v := c.Coeffs[j]
+			if v == 0 {
+				continue
+			}
+			if negate {
+				v = -v
+			}
+			d.cols = append(d.cols, j)
+			d.vals = append(d.vals, ratOf(v))
+		}
+		deltas = append(deltas, d)
+	}
+	for i := range p.Constraints {
+		c := &p.Constraints[i]
+		dropped, infeasible := ilp.DroppedDeltaRow(c)
+		if infeasible {
+			return nil, fmt.Errorf("certify: set constraint %d is a constant contradiction; the warm path cannot have certified it", i)
+		}
+		if dropped {
+			continue
+		}
+		switch c.Rel {
+		case ilp.LE:
+			lower(c, false)
+		case ilp.GE:
+			lower(c, true)
+		case ilp.EQ:
+			lower(c, false)
+			lower(c, true)
+		}
+	}
+
+	k := len(deltas)
+	sf := &stdForm{
+		n:      base.n,
+		total:  base.total + k,
+		m:      base.m + k,
+		numArt: base.numArt,
+	}
+	sf.isArt = make([]bool, sf.total)
+	copy(sf.isArt, base.isArt)
+	sf.rows = make([]stdRow, 0, sf.m)
+	sf.rows = append(sf.rows, base.rows...)
+	one := big.NewRat(1, 1)
+	for i, d := range deltas {
+		slack := base.total + i
+		sf.rows = append(sf.rows, stdRow{
+			cols: append(d.cols, slack),
+			vals: append(d.vals, one),
+			rhs:  d.rhs,
+		})
+	}
+	return sf, nil
+}
+
+func sortedCols(coeffs map[int]float64) []int {
+	cols := make([]int, 0, len(coeffs))
+	for j := range coeffs {
+		cols = append(cols, j)
+	}
+	// Insertion sort: coefficient maps in this domain hold a handful of
+	// entries.
+	for i := 1; i < len(cols); i++ {
+		for k := i; k > 0 && cols[k] < cols[k-1]; k-- {
+			cols[k], cols[k-1] = cols[k-1], cols[k]
+		}
+	}
+	return cols
+}
+
+// internalObj is the objective in the solver's internal maximization sense
+// over standard-form columns: sign * Objective on real columns, zero on
+// auxiliary ones.
+func internalObj(p *ilp.Problem, total int) []*big.Rat {
+	c := make([]*big.Rat, total)
+	for j := range c {
+		c[j] = new(big.Rat)
+	}
+	neg := p.Sense == ilp.Minimize
+	for j, v := range p.Objective {
+		c[j].SetFloat64(v)
+		if neg {
+			c[j].Neg(c[j])
+		}
+	}
+	return c
+}

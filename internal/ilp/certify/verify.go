@@ -1,0 +1,265 @@
+package certify
+
+import (
+	"fmt"
+	"math/big"
+
+	"cinderella/internal/ilp"
+)
+
+// Result is the exact account of a verified certificate or an exact solve:
+// the optimum in the problem's own sense and the optimal assignment, both
+// as rationals (integral rationals whenever the problem is integer).
+type Result struct {
+	// Objective is the exact optimum value.
+	Objective *big.Rat
+	// X is the exact optimal assignment over the real variables.
+	X []*big.Rat
+}
+
+// Verify checks cert against p in exact rational arithmetic and returns
+// the certified optimum, or an error describing why the certificate does
+// not prove the claim. The checks, all exact:
+//
+//   - the basis is well-formed (m distinct in-range columns) and the basis
+//     matrix is nonsingular;
+//   - the basic solution x_B = B⁻¹b is nonnegative and the induced real
+//     assignment satisfies every original Prefix/Constraints row — so the
+//     point is genuinely feasible, even if a zero-valued artificial is
+//     still basic;
+//   - every non-artificial nonbasic column has a nonpositive reduced cost
+//     c_j − c_B·B⁻¹·A_j in the internal maximization sense — so by weak
+//     duality no feasible point beats x;
+//   - for an Integer problem, x is integral, making the LP certificate a
+//     certificate of the ILP optimum too.
+//
+// Verify rebuilds the standard form from p itself (cold or warm lowering
+// per cert.Warm); the certificate contributes only the basis column
+// indices, so it cannot misrepresent the feasible region.
+func Verify(p *ilp.Problem, cert *ilp.Certificate) (*Result, error) {
+	if cert == nil {
+		return nil, fmt.Errorf("certify: no certificate")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var (
+		sf  *stdForm
+		err error
+	)
+	if cert.Warm {
+		sf, err = warmForm(p)
+	} else {
+		sf = coldForm(p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if sf.m == 0 {
+		return nil, fmt.Errorf("certify: problem has no rows; no basis to check")
+	}
+	if len(cert.Basis) != sf.m {
+		return nil, fmt.Errorf("certify: basis names %d rows, standard form has %d", len(cert.Basis), sf.m)
+	}
+	seen := make(map[int]int, sf.m) // column -> basis position
+	for i, j := range cert.Basis {
+		if j < 0 || j >= sf.total {
+			return nil, fmt.Errorf("certify: basis column %d out of range [0,%d)", j, sf.total)
+		}
+		if _, dup := seen[j]; dup {
+			return nil, fmt.Errorf("certify: column %d basic in two rows", j)
+		}
+		seen[j] = i
+	}
+
+	// Basis matrix B (column i = standard-form column cert.Basis[i]), its
+	// transpose, and the right-hand side. Both copies are built up front:
+	// gaussSolve consumes its matrix.
+	B := make([][]*big.Rat, sf.m)
+	Bt := make([][]*big.Rat, sf.m)
+	b := make([]*big.Rat, sf.m)
+	for r := range B {
+		B[r] = ratZeros(sf.m)
+		Bt[r] = ratZeros(sf.m)
+	}
+	for r := range B {
+		b[r] = new(big.Rat).Set(sf.rows[r].rhs)
+		for k, col := range sf.rows[r].cols {
+			if i, basic := seen[col]; basic {
+				B[r][i].Add(B[r][i], sf.rows[r].vals[k])
+				Bt[i][r].Add(Bt[i][r], sf.rows[r].vals[k])
+			}
+		}
+	}
+
+	xB, ok := gaussSolve(B, b)
+	if !ok {
+		return nil, fmt.Errorf("certify: basis matrix is singular")
+	}
+	for i, v := range xB {
+		if v.Sign() < 0 {
+			return nil, fmt.Errorf("certify: basic variable for column %d is negative (%s)", cert.Basis[i], v.RatString())
+		}
+	}
+
+	// The real-variable assignment, and its exact feasibility against the
+	// original rows. This is load-bearing, not belt-and-braces: a leftover
+	// artificial basic at a nonzero value satisfies the standard form but
+	// not the original row it patches.
+	x := ratZeros(sf.n)
+	for i, j := range cert.Basis {
+		if j < sf.n {
+			x[j].Set(xB[i])
+		}
+	}
+	if err := checkOriginalRows(p, x); err != nil {
+		return nil, err
+	}
+	if p.Integer {
+		for j, v := range x {
+			if !v.IsInt() {
+				return nil, fmt.Errorf("certify: x%d = %s is not integral", j, v.RatString())
+			}
+		}
+	}
+
+	// Dual prices y solve Bᵀy = c_B; reduced costs must be nonpositive on
+	// every admissible (non-artificial) nonbasic column.
+	cInt := internalObj(p, sf.total)
+	cB := make([]*big.Rat, sf.m)
+	for r := range cB {
+		cB[r] = new(big.Rat).Set(cInt[cert.Basis[r]])
+	}
+	y, ok := gaussSolve(Bt, cB)
+	if !ok {
+		return nil, fmt.Errorf("certify: basis matrix is singular (dual)")
+	}
+	yA := ratZeros(sf.total)
+	tmp := new(big.Rat)
+	for r := range sf.rows {
+		if y[r].Sign() == 0 {
+			continue
+		}
+		for k, col := range sf.rows[r].cols {
+			tmp.Mul(y[r], sf.rows[r].vals[k])
+			yA[col].Add(yA[col], tmp)
+		}
+	}
+	for j := 0; j < sf.total; j++ {
+		if sf.isArt[j] {
+			continue
+		}
+		if _, basic := seen[j]; basic {
+			continue
+		}
+		rc := new(big.Rat).Sub(cInt[j], yA[j])
+		if rc.Sign() > 0 {
+			return nil, fmt.Errorf("certify: nonbasic column %d has positive reduced cost %s; basis is not optimal", j, rc.RatString())
+		}
+	}
+
+	obj := new(big.Rat)
+	for j, v := range p.Objective {
+		tmp.SetFloat64(v)
+		tmp.Mul(tmp, x[j])
+		obj.Add(obj, tmp)
+	}
+	return &Result{Objective: obj, X: x}, nil
+}
+
+// checkOriginalRows verifies x >= 0 and every Prefix/Constraints row of p
+// at x, exactly.
+func checkOriginalRows(p *ilp.Problem, x []*big.Rat) error {
+	for j, v := range x {
+		if v.Sign() < 0 {
+			return fmt.Errorf("certify: x%d = %s is negative", j, v.RatString())
+		}
+	}
+	lhs := new(big.Rat)
+	tmp := new(big.Rat)
+	holds := func(rel ilp.Relation, rhs *big.Rat) bool {
+		switch rel {
+		case ilp.LE:
+			return lhs.Cmp(rhs) <= 0
+		case ilp.GE:
+			return lhs.Cmp(rhs) >= 0
+		}
+		return lhs.Cmp(rhs) == 0
+	}
+	for ri := range p.Prefix {
+		r := &p.Prefix[ri]
+		lhs.SetInt64(0)
+		for k, col := range r.Cols {
+			tmp.SetFloat64(r.Vals[k])
+			tmp.Mul(tmp, x[col])
+			lhs.Add(lhs, tmp)
+		}
+		if !holds(r.Rel, ratOf(r.RHS)) {
+			return fmt.Errorf("certify: solution violates prefix row %d", ri)
+		}
+	}
+	for ci := range p.Constraints {
+		c := &p.Constraints[ci]
+		lhs.SetInt64(0)
+		for j, v := range c.Coeffs {
+			tmp.SetFloat64(v)
+			tmp.Mul(tmp, x[j])
+			lhs.Add(lhs, tmp)
+		}
+		if !holds(c.Rel, ratOf(c.RHS)) {
+			return fmt.Errorf("certify: solution violates constraint %d (%s)", ci, c.Name)
+		}
+	}
+	return nil
+}
+
+func ratZeros(n int) []*big.Rat {
+	z := make([]*big.Rat, n)
+	for i := range z {
+		z[i] = new(big.Rat)
+	}
+	return z
+}
+
+// gaussSolve solves M·z = rhs by Gaussian elimination with nonzero
+// pivoting, consuming M and rhs. Returns ok=false when M is singular.
+func gaussSolve(M [][]*big.Rat, rhs []*big.Rat) ([]*big.Rat, bool) {
+	m := len(M)
+	tmp := new(big.Rat)
+	for col := 0; col < m; col++ {
+		pr := -1
+		for r := col; r < m; r++ {
+			if M[r][col].Sign() != 0 {
+				pr = r
+				break
+			}
+		}
+		if pr < 0 {
+			return nil, false
+		}
+		M[col], M[pr] = M[pr], M[col]
+		rhs[col], rhs[pr] = rhs[pr], rhs[col]
+		inv := new(big.Rat).Inv(M[col][col])
+		for j := col; j < m; j++ {
+			M[col][j].Mul(M[col][j], inv)
+		}
+		rhs[col].Mul(rhs[col], inv)
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			f := M[r][col]
+			if f.Sign() == 0 {
+				continue
+			}
+			f = new(big.Rat).Set(f)
+			for j := col; j < m; j++ {
+				tmp.Mul(f, M[col][j])
+				M[r][j].Sub(M[r][j], tmp)
+			}
+			tmp.Mul(f, rhs[col])
+			rhs[r].Sub(rhs[r], tmp)
+		}
+	}
+	return rhs, true
+}

@@ -120,6 +120,11 @@ type Stats struct {
 	RootIntegral bool
 	// Pivots counts simplex pivot operations across all LP solves.
 	Pivots int
+	// SuspectPivots counts pivots whose element fell outside the
+	// well-conditioned magnitude range (see suspectPivotLo/Hi): the float64
+	// result may be poisoned by cancellation and deserves exact
+	// re-verification.
+	SuspectPivots int
 }
 
 // Solution is the result of Solve.
@@ -129,13 +134,12 @@ type Solution struct {
 	// Values holds the optimum assignment (length NumVars).
 	Values []float64
 	Stats  Stats
+	// Cert is the optimal-basis certificate of the root relaxation,
+	// present only when the solve was asked for one (SolveOptions.WantCert),
+	// ended Optimal, and the answer came straight from the root LP (an
+	// integer optimum found by branching has no single-basis certificate).
+	Cert *Certificate
 }
-
-// intTol is the integrality tolerance for branch and bound.
-const intTol = 1e-6
-
-// eps is the general numeric tolerance of the simplex.
-const eps = 1e-9
 
 // Validate performs structural sanity checks on the problem. A problem
 // with NumVars <= 0 is rejected outright — there is nothing to optimize —

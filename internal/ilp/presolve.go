@@ -18,11 +18,6 @@ import "math"
 // SetSelfCheck differential replays reduced solves against the unreduced
 // cold solver, so a presolve defect cannot pass silently.
 
-// presolveTol is the tolerance for treating a substituted coefficient or
-// right-hand side as zero. Base rows in this domain carry small integers,
-// so anything below it is float noise.
-const presolveTol = 1e-7
-
 // presolved maps between an original base problem and its reduced form.
 type presolved struct {
 	n    int   // original variable count

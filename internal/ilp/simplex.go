@@ -17,6 +17,31 @@ import "math"
 // every >=, and an artificial for every =. Phase 1 drives the artificials
 // to zero; phase 2 optimizes the real objective.
 func denseSimplex(p *Problem) (Status, float64, []float64, int) {
+	status, obj, x, pivots, _ := denseSimplexBasis(p)
+	return status, obj, x, pivots
+}
+
+// SolveDenseCert solves the LP relaxation of p through the dense oracle and
+// attaches the optimal-basis certificate, so the exact checker can verify
+// the reference path with the same machinery as the production kernels. It
+// reads only p.Constraints (the packed Prefix, if any, must be unpacked by
+// the caller) and ignores p.Integer.
+func SolveDenseCert(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	full := unpackProblem(p)
+	status, obj, x, pivots, basis := denseSimplexBasis(full)
+	sol := &Solution{Status: status, Objective: obj, Values: x}
+	sol.Stats.LPSolves = 1
+	sol.Stats.Pivots = pivots
+	if status == Optimal && len(basis) > 0 {
+		sol.Cert = &Certificate{Basis: append([]int(nil), basis...)}
+	}
+	return sol, nil
+}
+
+func denseSimplexBasis(p *Problem) (Status, float64, []float64, int, []int) {
 	m := len(p.Constraints)
 	n := p.NumVars
 
@@ -196,7 +221,7 @@ func denseSimplex(p *Problem) (Status, float64, []float64, int) {
 		if !optimize(obj1, total) {
 			// Phase 1 cannot be unbounded (objective bounded by 0), but
 			// guard anyway.
-			return Infeasible, 0, nil, pivots
+			return Infeasible, 0, nil, pivots, nil
 		}
 		sumArt := 0.0
 		for i, b := range basis {
@@ -204,8 +229,8 @@ func denseSimplex(p *Problem) (Status, float64, []float64, int) {
 				sumArt += tab[i][total]
 			}
 		}
-		if sumArt > 1e-7 {
-			return Infeasible, 0, nil, pivots
+		if sumArt > feasTol {
+			return Infeasible, 0, nil, pivots, nil
 		}
 		// Drive remaining artificials out of the basis where possible.
 		for i, b := range basis {
@@ -235,14 +260,14 @@ func denseSimplex(p *Problem) (Status, float64, []float64, int) {
 		obj2[j] = sign * v
 	}
 	if !optimize(obj2, artStart) {
-		return Unbounded, 0, nil, pivots
+		return Unbounded, 0, nil, pivots, nil
 	}
 
 	x := make([]float64, p.NumVars)
 	for i, b := range basis {
 		if b < p.NumVars {
 			x[b] = tab[i][total]
-			if x[b] < 0 && x[b] > -1e-7 {
+			if x[b] < 0 && x[b] > -feasTol {
 				x[b] = 0
 			}
 		}
@@ -251,5 +276,5 @@ func denseSimplex(p *Problem) (Status, float64, []float64, int) {
 	for j, v := range p.Objective {
 		objVal += v * x[j]
 	}
-	return Optimal, objVal, x, pivots
+	return Optimal, objVal, x, pivots, basis
 }

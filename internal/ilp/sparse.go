@@ -42,6 +42,11 @@ type scratch struct {
 	// rhs (real + slack + artificial), and the first artificial column
 	// (phase 2 and any warm restart must never let artificials re-enter).
 	m, total, artStart int
+
+	// suspect counts ill-conditioned pivots of the current solve: pivot
+	// elements whose magnitude fell outside [suspectPivotLo, suspectPivotHi],
+	// after which float64 row updates can no longer be trusted blindly.
+	suspect int
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
@@ -97,15 +102,42 @@ func SetSelfCheck(on bool) { selfCheck.Store(on) }
 // empty solution vector, with infeasible constant rows (e.g. 0 >= 5)
 // reported as Infeasible by phase 1.
 func simplex(p *Problem) (Status, float64, []float64, int) {
-	status, obj, x, pivots := sparseSimplex(p)
+	r := simplexFull(p, false)
+	return r.status, r.obj, r.x, r.pivots
+}
+
+// lpResult is one simplex call's outcome plus the certification metadata
+// (suspect-pivot count, optimal-basis certificate) the plain 4-tuple
+// signature of simplex cannot carry.
+type lpResult struct {
+	status  Status
+	obj     float64
+	x       []float64
+	pivots  int
+	suspect int
+	cert    *Certificate
+}
+
+// simplexFull is simplex with certification metadata: it additionally
+// reports the solve's suspect-pivot count and, when wantCert is set and the
+// solve ended Optimal on a nonempty tableau, the final basis as a
+// Certificate for exact re-verification.
+func simplexFull(p *Problem, wantCert bool) lpResult {
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
+	status, obj, x, pivots := sparseSimplexOn(p, s)
+	r := lpResult{status: status, obj: obj, x: x, pivots: pivots, suspect: s.suspect}
+	if wantCert && status == Optimal && s.m > 0 {
+		r.cert = &Certificate{Basis: append([]int(nil), s.basis[:s.m]...)}
+	}
 	if selfCheck.Load() {
 		dStatus, dObj, _, _ := denseSimplex(unpackProblem(p))
-		if dStatus != status || (status == Optimal && math.Abs(dObj-obj) > 1e-6) {
+		if dStatus != status || (status == Optimal && math.Abs(dObj-obj) > agreeTol) {
 			panic(fmt.Sprintf("ilp: sparse/dense divergence: sparse %v %.9g, dense %v %.9g on\n%s",
 				status, obj, dStatus, dObj, unpackProblem(p)))
 		}
 	}
-	return status, obj, x, pivots
+	return r
 }
 
 func sparseSimplex(p *Problem) (Status, float64, []float64, int) {
@@ -123,6 +155,7 @@ func sparseSimplexOn(p *Problem, s *scratch) (Status, float64, []float64, int) {
 	n := p.NumVars
 	mPre := len(p.Prefix)
 	m := mPre + len(p.Constraints)
+	s.m, s.suspect = 0, 0 // no layout recorded yet for this solve
 
 	sign := 1.0
 	if p.Sense == Minimize {
@@ -270,8 +303,17 @@ func sparseSimplexOn(p *Problem, s *scratch) (Status, float64, []float64, int) {
 		}
 		iter := 0
 		blandAfter := 50 * (m + total + 10)
+		// Bland's rule guarantees termination only under exact pivoting; a
+		// corrupted tableau (an injected fault, or float64 gone genuinely
+		// bad) could cycle forever, so give up after a generous hard cap.
+		// Reporting unbounded is the conservative surrender: it never
+		// certifies, so a certifying caller re-solves exactly.
+		hardCap := 10 * blandAfter
 		for {
 			iter++
+			if iter > hardCap {
+				return false
+			}
 			useBland := iter > blandAfter
 			bestCol := -1
 			bestVal := eps
@@ -340,7 +382,7 @@ func sparseSimplexOn(p *Problem, s *scratch) (Status, float64, []float64, int) {
 				sumArt += tab[i][total]
 			}
 		}
-		if sumArt > 1e-7 {
+		if sumArt > feasTol {
 			return Infeasible, 0, nil, pivots
 		}
 		// Drive remaining artificials out of the basis where possible.
@@ -369,7 +411,7 @@ func sparseSimplexOn(p *Problem, s *scratch) (Status, float64, []float64, int) {
 	obj2 := s.obj
 	clear(obj2)
 	for j, v := range p.Objective {
-		obj2[j] = sign * v
+		obj2[j] = injectFault(FaultObjective, sign*v)
 	}
 	if !optimize(obj2, artStart) {
 		return Unbounded, 0, nil, pivots
@@ -379,7 +421,7 @@ func sparseSimplexOn(p *Problem, s *scratch) (Status, float64, []float64, int) {
 	for i, b := range basis {
 		if b < p.NumVars {
 			x[b] = tab[i][total]
-			if x[b] < 0 && x[b] > -1e-7 {
+			if x[b] < 0 && x[b] > -feasTol {
 				x[b] = 0
 			}
 		}
@@ -397,7 +439,10 @@ func sparseSimplexOn(p *Problem, s *scratch) (Status, float64, []float64, int) {
 // can update its reduced-cost row against them.
 func (s *scratch) pivot(row, col, total int) {
 	pr := s.tab[row]
-	pv := pr[col]
+	pv := injectFault(FaultPivot, pr[col])
+	if a := math.Abs(pv); a < suspectPivotLo || a > suspectPivotHi {
+		s.suspect++
+	}
 	hr := s.hi[row]
 	s.cols = s.cols[:0]
 	for j := 0; j <= hr; j++ {

@@ -25,7 +25,17 @@ type WarmStart struct {
 	basePivots int
 	baseObj    float64
 	baseX      []float64
-	base       *scratch // final tableau, basis, hi, phase-2 reduced costs
+	base       *scratch     // final tableau, basis, hi, phase-2 reduced costs
+	baseCert   *Certificate // base optimal basis, when certifiable (no presolve)
+}
+
+// WarmOptions tunes NewWarmStartOpts.
+type WarmOptions struct {
+	// DisablePresolve skips the structural presolve, so the retained
+	// tableau works in the original variable space. A certifying caller
+	// needs this: certificates name standard-form columns of the original
+	// problem, and a presolved tableau's basis does not translate.
+	DisablePresolve bool
 }
 
 // NewWarmStart solves the base problem once with the cold two-phase
@@ -35,6 +45,11 @@ type WarmStart struct {
 // degenerate with no rows), Ready reports false and every SolveSet call
 // asks the caller to fall back to a cold solve.
 func NewWarmStart(p *Problem) *WarmStart {
+	return NewWarmStartOpts(p, WarmOptions{})
+}
+
+// NewWarmStartOpts is NewWarmStart with options.
+func NewWarmStartOpts(p *Problem, opts WarmOptions) *WarmStart {
 	w := &WarmStart{prob: p, sign: 1, baseStatus: Infeasible}
 	if p.Sense == Minimize {
 		w.sign = -1
@@ -49,17 +64,19 @@ func NewWarmStart(p *Problem) *WarmStart {
 	// itself is infeasible; leave the warm start not-ready and let the cold
 	// path report that per set.
 	solveProb := p
-	red, infeasible := presolveBase(p)
-	if infeasible {
-		return w
-	}
-	if red != nil {
-		w.red = red
-		solveProb = &Problem{
-			Sense:     p.Sense,
-			NumVars:   red.nRed,
-			Objective: red.obj,
-			Prefix:    red.rows,
+	if !opts.DisablePresolve {
+		red, infeasible := presolveBase(p)
+		if infeasible {
+			return w
+		}
+		if red != nil {
+			w.red = red
+			solveProb = &Problem{
+				Sense:     p.Sense,
+				NumVars:   red.nRed,
+				Objective: red.obj,
+				Prefix:    red.rows,
+			}
 		}
 	}
 	w.nTab = solveProb.NumVars
@@ -75,6 +92,8 @@ func NewWarmStart(p *Problem) *WarmStart {
 	if w.red != nil {
 		obj += w.red.objOffset
 		x = w.red.reconstruct(x)
+	} else if s.m > 0 {
+		w.baseCert = &Certificate{Warm: true, Basis: append([]int(nil), s.basis[:s.m]...)}
 	}
 	w.baseObj = obj
 	w.baseX = x
@@ -112,33 +131,64 @@ func (w *WarmStart) BaseObjective() (float64, bool) { return w.baseObj, w.ok }
 // iteration cap) and the caller must re-solve cold; the returned pivot
 // count is still valid work performed.
 func (w *WarmStart) SolveSet(set []Constraint, cutoff float64, useCutoff bool) (status Status, obj float64, x []float64, pivots int, ok bool) {
+	r := w.SolveSetFull(set, cutoff, useCutoff, false)
+	return r.Status, r.Objective, r.X, r.Pivots, r.OK
+}
+
+// SetSolution is the full result of one warm per-set solve.
+type SetSolution struct {
+	Status    Status
+	Objective float64
+	// X holds the optimum assignment (length NumVars) when Optimal.
+	X      []float64
+	Pivots int
+	// Suspect counts ill-conditioned pivots of this solve.
+	Suspect int
+	// Cert is the optimal-basis certificate, present when the solve was
+	// asked for one, ended Optimal, and the warm start runs without a
+	// presolve (a presolved basis names reduced columns and cannot be
+	// checked against the original problem).
+	Cert *Certificate
+	// OK false means the warm path gave up and the caller must solve cold.
+	OK bool
+}
+
+// SolveSetFull is SolveSet returning the full per-solve result, including
+// the suspect-pivot count and, when wantCert is set, the optimal-basis
+// certificate for exact re-verification.
+func (w *WarmStart) SolveSetFull(set []Constraint, cutoff float64, useCutoff, wantCert bool) SetSolution {
 	if !w.ok {
-		return Infeasible, 0, nil, 0, false
+		return SetSolution{Status: Infeasible}
 	}
+	var r SetSolution
 	rows, setInfeasible := w.lowerSet(set)
 	switch {
 	case setInfeasible:
 		// A delta row reduced to a violated constant (e.g. it pins a
 		// presolve-fixed variable to a different value): the set is
 		// infeasible without touching the tableau.
-		status, ok = Infeasible, true
+		r = SetSolution{Status: Infeasible, OK: true}
 	case len(rows) == 0:
 		// Every delta row is implied by the base (or the set was empty):
 		// the base optimum answers the set — unless the incumbent cutoff
 		// already proves it uninteresting, matching the dual bound check a
 		// tableau solve would hit on its first iteration.
-		if useCutoff && w.sign*w.baseObj < w.sign*cutoff-1e-7 {
-			status, ok = Dominated, true
+		if useCutoff && w.sign*w.baseObj < w.sign*cutoff-cutoffTol {
+			r = SetSolution{Status: Dominated, OK: true}
 		} else {
-			status, obj, x, ok = Optimal, w.baseObj, append([]float64(nil), w.baseX...), true
+			r = SetSolution{Status: Optimal, Objective: w.baseObj,
+				X: append([]float64(nil), w.baseX...), OK: true}
+			if wantCert {
+				r.Cert = w.baseCert
+			}
 		}
 	default:
-		status, obj, x, pivots, ok = w.solveDelta(rows, cutoff, useCutoff)
+		r = w.solveDelta(rows, cutoff, useCutoff, wantCert)
 	}
-	if ok && selfCheck.Load() {
-		w.checkAgainstCold(set, status, obj, cutoff)
+	if r.OK && selfCheck.Load() {
+		w.checkAgainstCold(set, r.Status, r.Objective, cutoff)
 	}
-	return status, obj, x, pivots, ok
+	return r
 }
 
 // lowerSet translates per-set delta constraints into the tableau's variable
@@ -170,7 +220,7 @@ func (w *WarmStart) lowerSet(set []Constraint) (rows []deltaRow, infeasible bool
 	return rows, false
 }
 
-func (w *WarmStart) solveDelta(rows []deltaRow, cutoff float64, useCutoff bool) (Status, float64, []float64, int, bool) {
+func (w *WarmStart) solveDelta(rows []deltaRow, cutoff float64, useCutoff, wantCert bool) SetSolution {
 	b := w.base
 	m0, total0 := b.m, b.total
 
@@ -189,13 +239,14 @@ func (w *WarmStart) solveDelta(rows []deltaRow, cutoff float64, useCutoff bool) 
 	s := scratchPool.Get().(*scratch)
 	defer scratchPool.Put(s)
 	s.ensure(m, total+1)
+	s.suspect = 0
 
 	// Copy the base tableau, shifting the rhs right past the new slack
 	// columns (which ensure left zeroed).
 	for i := 0; i < m0; i++ {
 		src, dst := b.tab[i], s.tab[i]
 		copy(dst[:total0], src[:total0])
-		dst[total] = src[total0]
+		dst[total] = injectFault(FaultWarmBase, src[total0])
 		s.basis[i] = b.basis[i]
 		s.hi[i] = b.hi[i]
 	}
@@ -274,15 +325,16 @@ func (w *WarmStart) solveDelta(rows []deltaRow, cutoff float64, useCutoff bool) 
 		// The dual bound -rc[total] tightens monotonically toward the
 		// optimum; once it proves the set strictly worse than the caller's
 		// incumbent, the exact value no longer matters.
-		if useCutoff && -rc[total] < internalCutoff-1e-7 {
-			return Dominated, 0, nil, pivots, true
+		if useCutoff && -rc[total] < internalCutoff-cutoffTol {
+			return SetSolution{Status: Dominated, Pivots: pivots, Suspect: s.suspect, OK: true}
 		}
 		if iter > hardCap {
-			return Infeasible, 0, nil, pivots, false // give up; cold fallback
+			// Give up; cold fallback. The pivot count is still valid work.
+			return SetSolution{Status: Infeasible, Pivots: pivots, Suspect: s.suspect}
 		}
 		useBland := iter > blandAfter
 		lr := -1
-		worst := -1e-7
+		worst := -feasTol
 		for i := 0; i < m; i++ {
 			if v := s.tab[i][total]; v < worst {
 				lr = i
@@ -313,7 +365,7 @@ func (w *WarmStart) solveDelta(rows []deltaRow, cutoff float64, useCutoff bool) 
 		}
 		if ec < 0 {
 			// The row reads sum(nonneg terms) <= negative: infeasible.
-			return Infeasible, 0, nil, pivots, true
+			return SetSolution{Status: Infeasible, Pivots: pivots, Suspect: s.suspect, OK: true}
 		}
 		s.pivot(lr, ec, total)
 		pivots++
@@ -331,7 +383,7 @@ func (w *WarmStart) solveDelta(rows []deltaRow, cutoff float64, useCutoff bool) 
 	for i := 0; i < m; i++ {
 		if bc := s.basis[i]; bc < w.nTab {
 			v := s.tab[i][total]
-			if v < 0 && v > -1e-7 {
+			if v < 0 && v > -feasTol {
 				v = 0
 			}
 			x[bc] = v
@@ -344,7 +396,11 @@ func (w *WarmStart) solveDelta(rows []deltaRow, cutoff float64, useCutoff bool) 
 	for j, v := range w.prob.Objective {
 		obj += v * x[j]
 	}
-	return Optimal, obj, x, pivots, true
+	r := SetSolution{Status: Optimal, Objective: obj, X: x, Pivots: pivots, Suspect: s.suspect, OK: true}
+	if wantCert && w.red == nil {
+		r.Cert = &Certificate{Warm: true, Basis: append([]int(nil), s.basis[:m]...)}
+	}
+	return r
 }
 
 // checkAgainstCold is the SetSelfCheck differential for the warm path: the
@@ -362,7 +418,7 @@ func (w *WarmStart) checkAgainstCold(set []Constraint, status Status, obj, cutof
 	cStatus, cObj, _, _ := simplex(cold)
 	switch status {
 	case Optimal:
-		if cStatus != Optimal || math.Abs(cObj-obj) > 1e-6 {
+		if cStatus != Optimal || math.Abs(cObj-obj) > agreeTol {
 			panic(fmt.Sprintf("ilp: warm/cold divergence: warm optimal %.9g, cold %v %.9g on\n%s",
 				obj, cStatus, cObj, unpackProblem(cold)))
 		}
@@ -374,7 +430,7 @@ func (w *WarmStart) checkAgainstCold(set []Constraint, status Status, obj, cutof
 	case Dominated:
 		// Domination claims the optimum is strictly worse than the cutoff;
 		// an infeasible set is vacuously dominated.
-		if cStatus == Optimal && !(w.sign*cObj < w.sign*cutoff+1e-6) {
+		if cStatus == Optimal && !(w.sign*cObj < w.sign*cutoff+agreeTol) {
 			panic(fmt.Sprintf("ilp: warm/cold divergence: warm dominated under cutoff %.9g (%v), cold optimal %.9g on\n%s",
 				cutoff, w.prob.Sense, cObj, unpackProblem(cold)))
 		}

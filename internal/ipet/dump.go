@@ -17,7 +17,10 @@ func (a *Analyzer) DumpILP(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	obj := a.worstObjective()
+	obj, err := a.worstObjective()
+	if err != nil {
+		return err
+	}
 
 	fmt.Fprintf(w, "variables: %d (block and edge counts across %d contexts)\n",
 		a.nVars, len(a.contexts))

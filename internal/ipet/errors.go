@@ -1,0 +1,50 @@
+package ipet
+
+import "fmt"
+
+// InfeasibleError reports that the functionality annotations contradict the
+// structural constraints: every conjunctive constraint set is infeasible
+// against the flow equations, or (AllNull) every set was already pruned as
+// trivially null before any solve ran. It distinguishes an annotation
+// contradiction — something the user can fix by revising their facts — from
+// a solver failure. Retrieve it with errors.As.
+type InfeasibleError struct {
+	// Sets is the number of constraint sets after DNF expansion.
+	Sets int
+	// AllNull reports that every set was pruned as trivially null (by the
+	// single-variable interval check) before the solver ran.
+	AllNull bool
+}
+
+func (e *InfeasibleError) Error() string {
+	if e.AllNull {
+		return fmt.Sprintf("ipet: all %d functionality constraint sets are null", e.Sets)
+	}
+	return "ipet: every functionality constraint set is infeasible against the structural constraints"
+}
+
+// AnnotationError is a structured annotation diagnostic: what is wrong and
+// where (file and line of the offending annotation, when known). Apply and
+// Estimate wrap every annotation-content failure in one of these so callers
+// can point the user at the exact source position.
+type AnnotationError struct {
+	// File is the annotation file name as given to constraint.ParseNamed;
+	// empty when the file was parsed without a name or built in memory.
+	File string
+	// Line is the 1-based source line of the offending annotation; 0 when
+	// the annotation was built programmatically.
+	Line int
+	// Msg describes the problem.
+	Msg string
+}
+
+func (e *AnnotationError) Error() string {
+	pos := e.File
+	if pos == "" {
+		pos = "annotations"
+	}
+	if e.Line > 0 {
+		pos = fmt.Sprintf("%s:%d", pos, e.Line)
+	}
+	return fmt.Sprintf("ipet: %s: %s", pos, e.Msg)
+}

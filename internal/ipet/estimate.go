@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/big"
 	"runtime"
 	"sort"
 	"strings"
@@ -15,6 +16,7 @@ import (
 
 	"cinderella/internal/constraint"
 	"cinderella/internal/ilp"
+	"cinderella/internal/ilp/certify"
 	"cinderella/internal/march"
 )
 
@@ -40,6 +42,17 @@ type BoundReport struct {
 	// Slack cycles of Cycles (on the inside). Zero when Exact; -1 when no
 	// exact witness exists and the looseness is unknown.
 	Slack int64
+	// Certified reports that, under Options.Certify, every per-set claim
+	// this bound reduces over was backed by an exact rational check: a
+	// verified optimal-basis certificate or an exact re-solve. Always false
+	// without Certify, and false for envelope reports (an unsolved set has
+	// no claim to certify).
+	Certified bool
+	// RecheckedSets counts the distinct per-set claims of this direction
+	// that the certificate layer could not vouch for and re-solved exactly
+	// (rejected or missing certificates, infeasibility claims, suspect
+	// solves). Zero without Options.Certify.
+	RecheckedSets int
 }
 
 // Stats breaks down the work of one Estimate across the incremental
@@ -91,6 +104,19 @@ type Stats struct {
 	SetsUnsolved int
 	// DeadlineHit reports that Options.Deadline expired during the solve.
 	DeadlineHit bool
+	// SuspectPivots counts float64 simplex pivots whose pivot element fell
+	// outside the well-conditioned magnitude window — the ill-conditioning
+	// signal that, under Options.Certify, routes a claim to the exact
+	// fallback.
+	SuspectPivots int
+	// CertFailures counts per-set claims whose certificate was rejected by
+	// the exact checker (or whose certified value contradicted the claim);
+	// each was re-solved exactly. Zero without Options.Certify — and zero on
+	// a healthy solver.
+	CertFailures int
+	// ExactResolves counts exact rational re-solves performed under
+	// Options.Certify: one per claim without a verifiable certificate.
+	ExactResolves int
 }
 
 // Estimate is the full result of a timing analysis: the estimated bound
@@ -266,7 +292,21 @@ type objective struct {
 	nVars  int
 }
 
-func (a *Session) worstObjective() objective {
+// addCost accumulates an integer cycle cost into an objective coefficient,
+// guarding the exactly-representable integer range of float64: beyond
+// ±2^53 (ilp.MaxExactCoeff) the float sum could silently round away cycles
+// and corrupt the bound, so the analysis errors out instead of wrapping.
+// Within the guard every partial sum is an exact integer.
+func addCost(coeffs map[int]float64, x int, c int64) error {
+	v := coeffs[x] + float64(c)
+	if math.Abs(v) > float64(ilp.MaxExactCoeff) {
+		return fmt.Errorf("ipet: objective coefficient of variable %d overflows the exact float64 integer range (|%.6g| > 2^53); block costs are too large to analyze soundly", x, v)
+	}
+	coeffs[x] = v
+	return nil
+}
+
+func (a *Session) worstObjective() (objective, error) {
 	obj := objective{coeffs: map[int]float64{}, nVars: a.nVars}
 	for _, ctx := range a.contexts {
 		fc := a.Prog.Funcs[ctx.Func]
@@ -296,7 +336,9 @@ func (a *Session) worstObjective() objective {
 				li, split = innermost[b]
 			}
 			if !split {
-				obj.coeffs[x] += float64(costs[b].Worst)
+				if err := addCost(obj.coeffs, x, costs[b].Worst); err != nil {
+					return obj, err
+				}
 				continue
 			}
 			loop := fc.Loops[li]
@@ -304,8 +346,12 @@ func (a *Session) worstObjective() objective {
 			obj.nVars++
 			// Steady cost on every execution, the miss surcharge only on
 			// first-iteration executions.
-			obj.coeffs[x] += float64(costs[b].WorstSteady)
-			obj.coeffs[xf] += float64(costs[b].Worst - costs[b].WorstSteady)
+			if err := addCost(obj.coeffs, x, costs[b].WorstSteady); err != nil {
+				return obj, err
+			}
+			if err := addCost(obj.coeffs, xf, costs[b].Worst-costs[b].WorstSteady); err != nil {
+				return obj, err
+			}
 			// xf <= x
 			obj.extra = append(obj.extra, ilp.Constraint{
 				Coeffs: map[int]float64{xf: 1, x: -1},
@@ -324,19 +370,21 @@ func (a *Session) worstObjective() objective {
 			obj.extra = append(obj.extra, entry)
 		}
 	}
-	return obj
+	return obj, nil
 }
 
-func (a *Session) bestObjective() objective {
+func (a *Session) bestObjective() (objective, error) {
 	obj := objective{coeffs: map[int]float64{}, nVars: a.nVars}
 	for _, ctx := range a.contexts {
 		costs := a.costs[ctx.Func]
 		fc := a.Prog.Funcs[ctx.Func]
 		for b := range fc.Blocks {
-			obj.coeffs[a.blockVar(ctx.ID, b)] += float64(costs[b].Best)
+			if err := addCost(obj.coeffs, a.blockVar(ctx.ID, b), costs[b].Best); err != nil {
+				return obj, err
+			}
 		}
 	}
-	return obj
+	return obj, nil
 }
 
 // direction bundles everything one objective sense shares across its
@@ -451,12 +499,16 @@ func (a *Analyzer) solverSetup() (plan *solverPlan, fresh bool, err error) {
 		d := direction{sense: db.sense, obj: db.obj, prefix: prefix}
 		if a.Opts.WarmStart {
 			newBase := func() *warmBaseEntry {
-				w := ilp.NewWarmStart(&ilp.Problem{
+				// Certify needs the un-presolved base: the exact checker
+				// re-derives the warm tableau layout from the problem, which
+				// presolve row-elimination would obscure. The base optimum
+				// (and so every bound) is identical either way.
+				w := ilp.NewWarmStartOpts(&ilp.Problem{
 					Sense:     db.sense,
 					NumVars:   db.obj.nVars,
 					Objective: db.obj.coeffs,
 					Prefix:    prefix,
-				})
+				}, ilp.WarmOptions{DisablePresolve: a.Opts.Certify})
 				return &warmBaseEntry{warm: w, pivots: w.BasePivots()}
 			}
 			var entry *warmBaseEntry
@@ -536,6 +588,13 @@ type solveResult struct {
 	// the error when no envelope is available.
 	crashed  bool
 	crashMsg string
+	// certified marks a claim backed by an exact rational check (verified
+	// certificate or exact re-solve); certFailures and exactResolves count
+	// the certificate layer's work on this claim. All zero without
+	// Options.Certify.
+	certified     bool
+	certFailures  int
+	exactResolves int
 }
 
 // testCrashJob, when set to j+1, makes solve job j panic — the test hook
@@ -555,6 +614,7 @@ func (a *Analyzer) solveSet(ctx context.Context, d *direction, set []ilp.Constra
 		return solveResult{err: err}
 	}
 	var r solveResult
+	certOn := a.Opts.Certify
 	// Integer cycle counts make the half-open margin exact: a set is
 	// abandoned only when its optimum provably differs from the incumbent
 	// by at least one cycle in the losing direction.
@@ -565,23 +625,51 @@ func (a *Analyzer) solveSet(ctx context.Context, d *direction, set []ilp.Constra
 		cut += 0.5
 	}
 
+	// The full problem, shared by the cold path and the certificate layer
+	// (the warm path never materializes it on its own).
+	var p *ilp.Problem
+	problem := func() *ilp.Problem {
+		if p == nil {
+			p = &ilp.Problem{
+				Sense:       d.sense,
+				NumVars:     d.obj.nVars,
+				Integer:     true,
+				Objective:   d.obj.coeffs,
+				Prefix:      d.prefix,
+				Constraints: set,
+			}
+		}
+		return p
+	}
+
 	if d.warm != nil && d.warm.Ready() {
-		status, obj, x, pivots, ok := d.warm.SolveSet(set, cut, useCutoff)
-		r.stats.Pivots += pivots
-		if ok {
+		ws := d.warm.SolveSetFull(set, cut, useCutoff, certOn)
+		r.stats.Pivots += ws.Pivots
+		r.stats.SuspectPivots += ws.Suspect
+		if ws.OK {
 			r.stats.LPSolves++
-			switch status {
+			switch ws.Status {
 			case ilp.Infeasible, ilp.Dominated:
 				r.warm = true
-				r.status = status
+				r.status = ws.Status
+				if certOn {
+					if err := a.certifyOutcome(ctx, &r, problem(), nil); err != nil {
+						return solveResult{err: err}
+					}
+				}
 				return r
 			case ilp.Optimal:
-				if ilp.IsIntegral(x) {
+				if ilp.IsIntegral(ws.X) {
 					r.warm = true
-					r.status = status
+					r.status = ws.Status
 					r.stats.RootIntegral = true
-					r.cycles = int64(math.Round(obj))
-					r.values = x
+					r.cycles = int64(math.Round(ws.Objective))
+					r.values = ws.X
+					if certOn {
+						if err := a.certifyOutcome(ctx, &r, problem(), ws.Cert); err != nil {
+							return solveResult{err: err}
+						}
+					}
 					return r
 				}
 				// Fractional warm root: branch and bound needs the cold
@@ -590,15 +678,7 @@ func (a *Analyzer) solveSet(ctx context.Context, d *direction, set []ilp.Constra
 		}
 	}
 
-	p := &ilp.Problem{
-		Sense:       d.sense,
-		NumVars:     d.obj.nVars,
-		Integer:     true,
-		Objective:   d.obj.coeffs,
-		Prefix:      d.prefix,
-		Constraints: set,
-	}
-	sol, err := ilp.SolveCtxOpts(ctx, p, ilp.SolveOptions{Cutoff: cut, UseCutoff: useCutoff})
+	sol, err := ilp.SolveCtxOpts(ctx, problem(), ilp.SolveOptions{Cutoff: cut, UseCutoff: useCutoff, WantCert: certOn})
 	if err != nil {
 		return solveResult{err: err}
 	}
@@ -609,8 +689,75 @@ func (a *Analyzer) solveSet(ctx context.Context, d *direction, set []ilp.Constra
 	r.stats.LPSolves += sol.Stats.LPSolves
 	r.stats.Branches += sol.Stats.Branches
 	r.stats.Pivots += sol.Stats.Pivots
+	r.stats.SuspectPivots += sol.Stats.SuspectPivots
 	r.stats.RootIntegral = sol.Stats.RootIntegral
+	if certOn {
+		if err := a.certifyOutcome(ctx, &r, problem(), sol.Cert); err != nil {
+			return solveResult{err: err}
+		}
+	}
 	return r
+}
+
+// certifyOutcome backs one per-set claim with an exact rational check, per
+// Options.Certify. An Optimal claim from a clean solve (no suspect pivots)
+// carrying a certificate is verified exactly: if the certificate proves the
+// claimed cycle count, the claim stands as-is. Everything else — a rejected
+// certificate, a certified value contradicting the claim, a missing
+// certificate (branch-and-bound answers, infeasibility and domination
+// claims), or any suspect solve — is re-solved from scratch by the exact
+// rational simplex, and the float claim is replaced wholesale by the exact
+// outcome. Either way the resulting claim is exactly right.
+func (a *Analyzer) certifyOutcome(ctx context.Context, r *solveResult, p *ilp.Problem, cert *ilp.Certificate) error {
+	if r.status == ilp.Optimal && cert != nil && r.stats.SuspectPivots == 0 {
+		if res, err := certify.Verify(p, cert); err == nil {
+			if ex, ok := ratInt64(res.Objective); ok && ex == r.cycles {
+				r.certified = true
+				return nil
+			}
+			// The basis proves a different optimum than the solver claimed:
+			// the claim itself is wrong even though a valid certificate
+			// exists. Treat it as a certification failure.
+		}
+		r.certFailures++
+	}
+	r.exactResolves++
+	exr, err := certify.SolveExact(ctx, p)
+	if err != nil {
+		return err
+	}
+	r.stats.LPSolves += exr.LPSolves
+	r.status = exr.Status
+	r.certified = true
+	if exr.Status == ilp.Optimal {
+		ex, ok := ratInt64(exr.Objective)
+		if !ok {
+			return fmt.Errorf("ipet: exact optimum %s is not an integer cycle count", exr.Objective.RatString())
+		}
+		r.cycles = ex
+		r.values = ratFloats(exr.X)
+		r.stats.RootIntegral = exr.RootIntegral
+	}
+	return nil
+}
+
+// ratInt64 converts an exact rational to an int64; ok is false when v is
+// not an integer or does not fit.
+func ratInt64(v *big.Rat) (int64, bool) {
+	if !v.IsInt() || !v.Num().IsInt64() {
+		return 0, false
+	}
+	return v.Num().Int64(), true
+}
+
+// ratFloats converts exact values to float64; in this domain they are
+// integral and far below 2^53, so the conversion is exact.
+func ratFloats(x []*big.Rat) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i], _ = v.Float64()
+	}
+	return out
 }
 
 // reduceDir folds one direction's per-set results in set order — the same
@@ -710,7 +857,7 @@ func (a *Analyzer) reduceDir(est *Estimate, d *direction, plan *solverPlan, resu
 		return rep, nil, nil
 	}
 	if !feasible {
-		return nil, nil, fmt.Errorf("ipet: every functionality constraint set is infeasible against the structural constraints")
+		return nil, nil, &InfeasibleError{Sets: plan.total}
 	}
 	best.Exact = !plan.widened[best.SetIndex]
 	switch {
@@ -761,22 +908,62 @@ func (a *Analyzer) finishDir(ctx context.Context, est *Estimate, di int, plan *s
 		Prefix:      d.prefix,
 		Constraints: plan.sets[best.SetIndex],
 	}
-	sol, err := ilp.SolveCtx(ctx, p)
+	sol, err := ilp.SolveCtxOpts(ctx, p, ilp.SolveOptions{WantCert: a.Opts.Certify})
 	if err != nil {
 		return err
 	}
 	est.LPSolves += sol.Stats.LPSolves
 	est.Branches += sol.Stats.Branches
 	est.Stats.Pivots += sol.Stats.Pivots
+	est.Stats.SuspectPivots += sol.Stats.SuspectPivots
 	est.Stats.ColdSolves++
-	if sol.Status != ilp.Optimal || int64(math.Round(sol.Objective)) != best.Cycles {
+	vals := sol.Values
+	ok := sol.Status == ilp.Optimal && int64(math.Round(sol.Objective)) == best.Cycles
+	if a.Opts.Certify {
+		// The canonical count re-solve is a fresh float64 claim and is backed
+		// like any other: a clean, verified certificate proving the winner's
+		// cycle count lets the float counts stand; anything else — including
+		// a re-solve that contradicts the (already certified) winning bound —
+		// falls back to the exact solver, whose optimum must agree.
+		certOK := false
+		if ok && sol.Cert != nil && sol.Stats.SuspectPivots == 0 {
+			if res, verr := certify.Verify(p, sol.Cert); verr == nil {
+				if ex, exOK := ratInt64(res.Objective); exOK && ex == best.Cycles {
+					certOK = true
+				}
+			}
+			if !certOK {
+				est.Stats.CertFailures++
+			}
+		}
+		if !certOK {
+			est.Stats.ExactResolves++
+			exr, err := certify.SolveExact(ctx, p)
+			if err != nil {
+				return err
+			}
+			est.LPSolves += exr.LPSolves
+			var ex int64
+			exOK := false
+			if exr.Status == ilp.Optimal {
+				ex, exOK = ratInt64(exr.Objective)
+			}
+			if !exOK || ex != best.Cycles {
+				return fmt.Errorf("ipet: internal error: exact canonical re-solve of set %d returned %v, want %d cycles",
+					best.SetIndex+1, exr.Status, best.Cycles)
+			}
+			vals = ratFloats(exr.X)
+			ok = true
+		}
+	}
+	if !ok {
 		return fmt.Errorf("ipet: internal error: canonical re-solve of set %d returned %v %g, want %d cycles",
 			best.SetIndex+1, sol.Status, sol.Objective, best.Cycles)
 	}
 	if a.persist {
-		a.finishCache.Put(key, sol.Values)
+		a.finishCache.Put(key, vals)
 	}
-	best.Counts = a.aggregateCounts(sol.Values)
+	best.Counts = a.aggregateCounts(vals)
 	return nil
 }
 
@@ -841,7 +1028,7 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 		est.Stats.Pivots += plan.setupPivots
 	}
 	if len(plan.sets) == 0 {
-		return nil, fmt.Errorf("ipet: all %d functionality constraint sets are null", plan.total)
+		return nil, &InfeasibleError{Sets: plan.total, AllNull: true}
 	}
 	est.Stats.BuildTime = time.Since(tBuild)
 
@@ -908,9 +1095,12 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 			// A prior Estimate on this session may have solved this exact
 			// (direction, loop rows, set region) already; its outcome is
 			// cutoff-independent and transfers without any simplex work.
+			// A certifying run only accepts hits that were certified when
+			// produced; an uncertified cached claim falls through to a fresh
+			// (certified) solve.
 			key = solveKey(d, plan.loopKey, plan.keys[si])
-			if v, ok := a.solveCache.Get(key); ok {
-				r = solveResult{done: true, dup: true, cacheHit: true, status: v.status, cycles: v.cycles}
+			if v, ok := a.solveCache.Get(key); ok && (!a.Opts.Certify || v.certified) {
+				r = solveResult{done: true, dup: true, cacheHit: true, status: v.status, cycles: v.cycles, certified: v.certified}
 				r.stats.RootIntegral = v.rootIntegral
 				if v.status == ilp.Optimal {
 					incumbentOffer(&incumbents[d], dir.sense, v.cycles)
@@ -920,7 +1110,10 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 		}
 		var cutoff int64
 		useCutoff := false
-		if a.Opts.IncumbentPrune {
+		// Certify disables incumbent pruning: a Dominated claim carries no
+		// certificate and cannot be checked, and exact-resolving every pruned
+		// set would cost more than the pruning saves. Bounds are unaffected.
+		if a.Opts.IncumbentPrune && !a.Opts.Certify {
 			cutoff, useCutoff = incumbentLoad(&incumbents[d], dir.sense)
 		}
 		r = a.solveSet(jctx, dir, plan.sets[si], cutoff, useCutoff)
@@ -932,12 +1125,17 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 		// Only conclusive, cutoff-independent outcomes persist: an optimal
 		// cycle count or proven infeasibility. Dominated depends on the
 		// incumbent of this run; abandoned jobs prove nothing.
+		// A suspect uncertified outcome is additionally barred from the cache:
+		// its ill-conditioning signal would be invisible to a later certifying
+		// run that trusted the cached value.
 		if a.persist && r.err == nil && !r.unsolved &&
-			(r.status == ilp.Optimal || r.status == ilp.Infeasible) {
+			(r.status == ilp.Optimal || r.status == ilp.Infeasible) &&
+			(r.stats.SuspectPivots == 0 || r.certified) {
 			a.solveCache.Put(key, cachedSolve{
 				status:       r.status,
 				cycles:       r.cycles,
 				rootIntegral: r.stats.RootIntegral,
+				certified:    r.certified,
 			})
 		}
 		return r
@@ -1044,6 +1242,9 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 		est.LPSolves += r.stats.LPSolves
 		est.Branches += r.stats.Branches
 		est.Stats.Pivots += r.stats.Pivots
+		est.Stats.SuspectPivots += r.stats.SuspectPivots
+		est.Stats.CertFailures += r.certFailures
+		est.Stats.ExactResolves += r.exactResolves
 		if r.warm {
 			est.Stats.WarmSolves++
 		}
@@ -1082,6 +1283,26 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 	bcet, bcetRes, err := a.reduceDir(est, &dirs[1], plan, full[nSets:])
 	if err != nil {
 		return nil, err
+	}
+	if a.Opts.Certify {
+		// A direction's bound is Certified when every distinct claim it
+		// reduced over was backed by the exact layer; envelope reports
+		// (SetIndex < 0) reduce over unsolved sets and never qualify.
+		for d, rep := range []*BoundReport{worst, bcet} {
+			allCert := rep.SetIndex >= 0
+			rechecked := 0
+			for k := 0; k < nd; k++ {
+				r := &results[d*nd+k]
+				if r.exactResolves > 0 {
+					rechecked++
+				}
+				if !r.done || r.unsolved || !r.certified {
+					allCert = false
+				}
+			}
+			rep.Certified = allCert
+			rep.RecheckedSets = rechecked
+		}
 	}
 	if worstRes != nil {
 		if err := a.finishDir(ctx, est, 0, plan, worst, worstRes); err != nil {

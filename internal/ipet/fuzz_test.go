@@ -104,10 +104,27 @@ func FuzzEstimateSound(f *testing.F) {
 			{"deadline", func(o *Options) {
 				o.Deadline = time.Duration(1+budget%5) * time.Microsecond
 			}},
+			{"certify", func(o *Options) { o.Certify = true }},
 		}
 		for _, tc := range cases {
 			got := estimate(tc.mutate)
 			checkBrackets(t, fmt.Sprintf("seed %d %s", seed, tc.label), exact, got)
+			if tc.label == "certify" {
+				// An unrestricted certified run must reproduce the exact
+				// bound precisely (not merely bracket it), with every claim
+				// backed and zero failures on a healthy solver.
+				if got.WCET.Cycles != exact.WCET.Cycles || got.BCET.Cycles != exact.BCET.Cycles {
+					t.Errorf("seed %d certify: bounds [%d, %d] != exact [%d, %d]",
+						seed, got.BCET.Cycles, got.WCET.Cycles, exact.BCET.Cycles, exact.WCET.Cycles)
+				}
+				if !got.WCET.Certified || !got.BCET.Certified {
+					t.Errorf("seed %d certify: uncertified bounds: %+v / %+v", seed, got.WCET, got.BCET)
+				}
+				if got.Stats.CertFailures != 0 {
+					t.Errorf("seed %d certify: %d certificate failures on a healthy solver",
+						seed, got.Stats.CertFailures)
+				}
+			}
 		}
 	})
 }

@@ -74,6 +74,21 @@ type Options struct {
 	// are not launched and report through the sound envelope, exactly as
 	// under Deadline but deterministically. Zero means unlimited.
 	Budget int
+	// Certify backs every reported bound with an exact math/big.Rat check:
+	// each per-set float64 solve must produce an optimal-basis certificate
+	// that verifies in exact rational arithmetic (feasibility of the basic
+	// solution against the original rows, nonpositive reduced costs, and
+	// integrality); claims without a verifiable certificate — rejected
+	// certificates, infeasibility claims, solves with suspect
+	// (ill-conditioned) pivots — are re-solved from scratch by the exact
+	// rational simplex of internal/ilp/certify. The reported bound is
+	// therefore exactly right even if the float64 kernels misbehave; the
+	// price is the exact fallback's cost on every claim the certificates
+	// cannot vouch for. Certify disables incumbent pruning (a pruned set's
+	// domination claim cannot be certified) and warm-base presolve (the
+	// certificate checker re-derives the warm tableau layout, which presolve
+	// would obscure); bounds and counts are unchanged by either.
+	Certify bool
 	// WidenSets replaces the hard MaxSets failure with sound widening:
 	// when the disjunctive cross product would exceed MaxSets, the
 	// overflowing formula is collapsed to the relations shared by all its
@@ -201,20 +216,39 @@ func (a *Session) blockVar(ctx, b int) int { return a.vars[varKey{ctx, vBlock, b
 func (a *Session) edgeVar(ctx, e int) int { return a.vars[varKey{ctx, vEdge, e}] }
 
 // Apply registers the functionality annotations (loop bounds and path
-// facts). Sections naming functions outside the call tree are rejected.
+// facts). The whole file is validated up front — sections naming unknown
+// functions, loop bounds out of the detected range or malformed, and
+// formula variables that do not resolve against the CFG are all rejected
+// with an *AnnotationError carrying the file and line — so a malformed
+// annotation can never surface later as a panic or a silent skip inside
+// Estimate.
 func (a *Analyzer) Apply(file *constraint.File) error {
 	for _, sec := range file.Sections {
 		if _, ok := a.ctxByFunc[sec.Func]; !ok {
 			if _, exists := a.Prog.Funcs[sec.Func]; !exists {
-				return fmt.Errorf("ipet: annotations name unknown function %q", sec.Func)
+				return &AnnotationError{File: sec.File, Line: sec.Line,
+					Msg: fmt.Sprintf("annotations name unknown function %q", sec.Func)}
 			}
 			// A section for an unreached function is legal but inert.
 			continue
 		}
 		fc := a.Prog.Funcs[sec.Func]
 		for _, lb := range sec.LoopBounds {
-			if lb.Loop > len(fc.Loops) {
-				return fmt.Errorf("ipet: %s has %d loops, annotation names loop %d", sec.Func, len(fc.Loops), lb.Loop)
+			// Loop < 1 can only come from a programmatically built file (the
+			// parser rejects it), but unchecked it would index fc.Loops[-1]
+			// when the bound rows are materialized.
+			if lb.Loop < 1 || lb.Loop > len(fc.Loops) {
+				return &AnnotationError{File: lb.File, Line: lb.Line,
+					Msg: fmt.Sprintf("%s has %d loops (1-based), annotation names loop %d", sec.Func, len(fc.Loops), lb.Loop)}
+			}
+			if lb.Lo < 0 || lb.Hi < lb.Lo {
+				return &AnnotationError{File: lb.File, Line: lb.Line,
+					Msg: fmt.Sprintf("bad bound %d .. %d for %s loop %d", lb.Lo, lb.Hi, sec.Func, lb.Loop)}
+			}
+		}
+		for _, fm := range sec.Formulas {
+			if err := a.checkFormula(fm); err != nil {
+				return err
 			}
 		}
 	}

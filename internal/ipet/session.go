@@ -92,6 +92,11 @@ type cachedSolve struct {
 	status       ilp.Status
 	cycles       int64
 	rootIntegral bool
+	// certified marks an outcome that was backed by an exact rational check
+	// when it was produced. A certifying run only accepts certified hits
+	// (an uncertified cached value would smuggle an unchecked claim into a
+	// certified report); uncertified runs accept both.
+	certified bool
 }
 
 // Prepare builds a reusable session for the given root function. The
@@ -148,12 +153,20 @@ func newSession(prog *cfg.Program, root string, opts Options) (*Session, error) 
 	}
 
 	s.packedStructural = ilp.Pack(s.StructuralConstraints())
+	worst, err := s.worstObjective()
+	if err != nil {
+		return nil, err
+	}
+	best, err := s.bestObjective()
+	if err != nil {
+		return nil, err
+	}
 	for _, ds := range []struct {
 		sense ilp.Sense
 		obj   objective
 	}{
-		{ilp.Maximize, s.worstObjective()},
-		{ilp.Minimize, s.bestObjective()},
+		{ilp.Maximize, worst},
+		{ilp.Minimize, best},
 	} {
 		db := dirBase{sense: ds.sense, obj: ds.obj}
 		if len(ds.obj.extra) > 0 {

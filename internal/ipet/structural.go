@@ -110,10 +110,12 @@ func (a *Analyzer) LoopBoundConstraints() []ilp.Constraint {
 
 // resolveVar expands a symbolic constraint variable into ILP terms,
 // multiplying each context instance by coef.
+// resolveVar errors are bare messages (no "ipet:" prefix): the callers wrap
+// them in an *AnnotationError carrying the relation's file and line.
 func (a *Session) resolveVar(v constraint.Var, coef float64, into map[int]float64) error {
 	ctxs := a.ctxByFunc[v.Func]
 	if len(ctxs) == 0 {
-		return fmt.Errorf("ipet: constraint names %q, which is not in the call tree of %s", v.Func, a.Root)
+		return fmt.Errorf("constraint names %q, which is not in the call tree of %s", v.Func, a.Root)
 	}
 	fc := a.Prog.Funcs[v.Func]
 
@@ -121,14 +123,14 @@ func (a *Session) resolveVar(v constraint.Var, coef float64, into map[int]float6
 	if v.CallSite != 0 {
 		callerFC, ok := a.Prog.Funcs[v.CallSiteFunc]
 		if !ok {
-			return fmt.Errorf("ipet: constraint names unknown caller %q", v.CallSiteFunc)
+			return fmt.Errorf("constraint names unknown caller %q", v.CallSiteFunc)
 		}
 		if v.CallSite > len(callerFC.Calls) {
-			return fmt.Errorf("ipet: %s has %d call sites, constraint names f%d", v.CallSiteFunc, len(callerFC.Calls), v.CallSite)
+			return fmt.Errorf("%s has %d call sites, constraint names f%d", v.CallSiteFunc, len(callerFC.Calls), v.CallSite)
 		}
 		edge := callerFC.Calls[v.CallSite-1]
 		if callerFC.Edges[edge].Callee != v.Func {
-			return fmt.Errorf("ipet: %s.f%d calls %s, not %s", v.CallSiteFunc, v.CallSite, callerFC.Edges[edge].Callee, v.Func)
+			return fmt.Errorf("%s.f%d calls %s, not %s", v.CallSiteFunc, v.CallSite, callerFC.Edges[edge].Callee, v.Func)
 		}
 		var filtered []*Context
 		for _, c := range ctxs {
@@ -141,7 +143,7 @@ func (a *Session) resolveVar(v constraint.Var, coef float64, into map[int]float6
 			}
 		}
 		if len(filtered) == 0 {
-			return fmt.Errorf("ipet: no instance of %s reached via %s.f%d", v.Func, v.CallSiteFunc, v.CallSite)
+			return fmt.Errorf("no instance of %s reached via %s.f%d", v.Func, v.CallSiteFunc, v.CallSite)
 		}
 		ctxs = filtered
 	}
@@ -149,21 +151,21 @@ func (a *Session) resolveVar(v constraint.Var, coef float64, into map[int]float6
 	switch v.Kind {
 	case constraint.VarBlock:
 		if v.Index > len(fc.Blocks) {
-			return fmt.Errorf("ipet: %s has %d blocks, constraint names x%d", v.Func, len(fc.Blocks), v.Index)
+			return fmt.Errorf("%s has %d blocks, constraint names x%d", v.Func, len(fc.Blocks), v.Index)
 		}
 		for _, c := range ctxs {
 			into[a.blockVar(c.ID, v.Index-1)] += coef
 		}
 	case constraint.VarEdge:
 		if v.Index > len(fc.Edges) {
-			return fmt.Errorf("ipet: %s has %d edges, constraint names d%d", v.Func, len(fc.Edges), v.Index)
+			return fmt.Errorf("%s has %d edges, constraint names d%d", v.Func, len(fc.Edges), v.Index)
 		}
 		for _, c := range ctxs {
 			into[a.edgeVar(c.ID, v.Index-1)] += coef
 		}
 	case constraint.VarCall:
 		if v.Index > len(fc.Calls) {
-			return fmt.Errorf("ipet: %s has %d call sites, constraint names f%d", v.Func, len(fc.Calls), v.Index)
+			return fmt.Errorf("%s has %d call sites, constraint names f%d", v.Func, len(fc.Calls), v.Index)
 		}
 		for _, c := range ctxs {
 			into[a.edgeVar(c.ID, fc.Calls[v.Index-1])] += coef
@@ -173,6 +175,8 @@ func (a *Session) resolveVar(v constraint.Var, coef float64, into map[int]float6
 }
 
 // relToILP converts a normalized constraint relation to an ILP constraint.
+// Resolution failures come back as *AnnotationError at the relation's source
+// position.
 func (a *Session) relToILP(r constraint.Rel) (ilp.Constraint, error) {
 	c := ilp.Constraint{Coeffs: map[int]float64{}, RHS: float64(r.RHS), Name: r.String()}
 	switch r.Op {
@@ -185,8 +189,34 @@ func (a *Session) relToILP(r constraint.Rel) (ilp.Constraint, error) {
 	}
 	for v, coef := range r.Terms {
 		if err := a.resolveVar(v, float64(coef), c.Coeffs); err != nil {
-			return c, err
+			return c, &AnnotationError{File: r.File, Line: r.Line,
+				Msg: fmt.Sprintf("%v (in %q)", err, r.String())}
 		}
 	}
 	return c, nil
+}
+
+// checkFormula resolves every relation of a formula tree against the CFG
+// without keeping the rows: Apply runs it so malformed formulas fail at
+// annotation time with a positioned diagnostic instead of surfacing — or
+// worse, being skipped — during set expansion.
+func (a *Session) checkFormula(f constraint.Formula) error {
+	switch n := f.(type) {
+	case *constraint.Atom:
+		_, err := a.relToILP(n.Rel)
+		return err
+	case *constraint.And:
+		for _, p := range n.Parts {
+			if err := a.checkFormula(p); err != nil {
+				return err
+			}
+		}
+	case *constraint.Or:
+		for _, p := range n.Parts {
+			if err := a.checkFormula(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
