@@ -36,6 +36,7 @@ import (
 	"cinderella/internal/cc"
 	"cinderella/internal/cfg"
 	"cinderella/internal/constraint"
+	"cinderella/internal/ilp"
 	"cinderella/internal/ipet"
 	"cinderella/internal/isa"
 )
@@ -64,6 +65,7 @@ func main() {
 		certify   = flag.Bool("certify", false, "back every bound with an exact rational check: verify each solve's optimality certificate in big.Rat arithmetic and re-solve unverifiable claims with an exact rational simplex")
 		mhz       = flag.Float64("mhz", 20, "clock frequency used to report times (the QT960 runs at 20 MHz)")
 		profile   = flag.String("profile", "i960kb", "processor timing profile (i960kb, dsp3210)")
+		kernels   = flag.String("kernels", "all", "solver fast-path kernels: all, network, revised, or tableau (tableau disables both fast paths; routing never changes a bound)")
 	)
 	var annotPaths multiFlag
 	flag.Var(&annotPaths, "annot", "functionality annotation file (repeat for batch mode: each file is one scenario)")
@@ -73,6 +75,19 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown timing profile %q (have i960kb, dsp3210)", *profile))
 	}
+	switch *kernels {
+	case "all":
+		ilp.SetKernels(true, true)
+	case "network":
+		ilp.SetKernels(true, false)
+	case "revised":
+		ilp.SetKernels(false, true)
+	case "tableau":
+		ilp.SetKernels(false, false)
+	default:
+		fatal(fmt.Errorf("unknown -kernels value %q (have all, network, revised, tableau)", *kernels))
+	}
+
 	opts := ipet.DefaultOptions()
 	opts.SplitFirstIteration = *split
 	opts.PruneNullSets = !*noPrune
@@ -291,6 +306,8 @@ func printReport(sess *ipet.Session, est *ipet.Estimate, analyzed string, mhz fl
 			s.SetsTotal, s.PrunedNull, s.Deduped, s.IncumbentSkipped, s.CacheHits, s.Solved)
 		fmt.Printf("solver: %d warm dual-simplex solves, %d cold solves, %d simplex pivots\n",
 			s.WarmSolves, s.ColdSolves, s.Pivots)
+		fmt.Printf("solver: %d network-flow solves, %d revised-kernel pivots, %d refactorizations\n",
+			s.NetworkSolves, s.RevisedPivots, s.Refactorizations)
 		fmt.Printf("solver: build %s, solve %s\n",
 			s.BuildTime.Round(time.Microsecond), s.SolveTime.Round(time.Microsecond))
 		if s.SetsWidened > 0 || s.SetsUnsolved > 0 || s.DeadlineHit {

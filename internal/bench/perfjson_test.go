@@ -120,15 +120,17 @@ func perfWorkloads(t *testing.T) []estimateWorkload {
 	certOpts := mode(true)
 	certOpts.Certify = true
 	certOpts.PruneNullSets = false
-	dhryBM, ok := ByName("dhry")
-	if !ok {
-		t.Fatal("unknown benchmark dhry")
+	for _, name := range []string{"dhry", "des"} {
+		bm, ok := ByName(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", name)
+		}
+		bt, err := bm.Build(certOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workloads = append(workloads, estimateWorkload{name + "/certified", bt.An})
 	}
-	bt, err := dhryBM.Build(certOpts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	workloads = append(workloads, estimateWorkload{"dhry/certified", bt.An})
 	exOpts := mode(true)
 	exOpts.Certify = true
 	exAn, err := explosionWorkload(6, exOpts)
@@ -182,7 +184,7 @@ func TestWriteEstimateBenchJSON(t *testing.T) {
 				name, i.BCET, i.WCET, c.BCET, c.WCET)
 		}
 	}
-	for _, name := range []string{"dhry", "explosion64"} {
+	for _, name := range []string{"dhry", "des", "explosion64"} {
 		u, c := byName[name+"/incremental"], byName[name+"/certified"]
 		if !c.Certified {
 			t.Errorf("%s/certified row is not certified: %+v", name, c)
@@ -397,6 +399,19 @@ func sessionBenchWorkloads(t *testing.T) ([]sessionBench, ipet.Options) {
 		t.Fatal("dhry perturbation found nothing to replace")
 	}
 
+	desBM, ok := ByName("des")
+	if !ok {
+		t.Fatal("unknown benchmark des")
+	}
+	desBuilt, err := desBM.Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desPerturbed := strings.Replace(desBM.Annotations, "x8 = 28", "x8 <= 28", 1)
+	if desPerturbed == desBM.Annotations {
+		t.Fatal("des perturbation found nothing to replace")
+	}
+
 	exProg, exAnnots, err := explosionProgram(6)
 	if err != nil {
 		t.Fatal(err)
@@ -410,6 +425,10 @@ func sessionBenchWorkloads(t *testing.T) ([]sessionBench, ipet.Options) {
 		{
 			name: "dhry", prog: dhryBuilt.CFG, root: dhryBM.Root,
 			files: [2]*constraint.File{parse("dhry", dhryBM.Annotations), parse("dhry'", perturbed)},
+		},
+		{
+			name: "des", prog: desBuilt.CFG, root: desBM.Root,
+			files: [2]*constraint.File{parse("des", desBM.Annotations), parse("des'", desPerturbed)},
 		},
 		{
 			name: "explosion64", prog: exProg, root: "main",
@@ -487,6 +506,19 @@ func TestEstimatePivotRegressionVsCommitted(t *testing.T) {
 				name, pivots, c.Pivots, limit)
 		}
 	}
+	checkAllocs := func(name string, allocs float64) {
+		c, ok := byName[name]
+		if !ok || c.AllocsPerOp == 0 {
+			return // pivot check already flags a missing row
+		}
+		// Same spirit as the pivot gate: catch the steady-state solve paths
+		// growing per-op allocations (a pooled scratch regressing to fresh
+		// slices), not runtime-version jitter.
+		if limit := c.AllocsPerOp*1.25 + 64; allocs > limit {
+			t.Errorf("%s: %.0f allocs/op vs committed %.0f (limit %.0f) — allocation regression",
+				name, allocs, c.AllocsPerOp, limit)
+		}
+	}
 
 	for _, w := range perfWorkloads(t) {
 		// The artifact records the steady state (memoized plan, warm bases
@@ -499,6 +531,12 @@ func TestEstimatePivotRegressionVsCommitted(t *testing.T) {
 			}
 		}
 		check(w.name, est.Stats.Pivots)
+		an := w.an
+		checkAllocs(w.name, testing.AllocsPerRun(3, func() {
+			if _, err := an.Estimate(); err != nil {
+				t.Fatal(err)
+			}
+		}))
 	}
 	workloads, opts := sessionBenchWorkloads(t)
 	for _, w := range workloads {

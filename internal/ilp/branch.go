@@ -61,11 +61,20 @@ func SolveCtxOpts(ctx context.Context, p *Problem, opts SolveOptions) (*Solution
 		return v > opts.Cutoff+eps
 	}
 
+	addKernelStats := func(r *lpResult) {
+		sol.Stats.LPSolves++
+		sol.Stats.Pivots += r.pivots
+		sol.Stats.SuspectPivots += r.suspect
+		if r.network {
+			sol.Stats.NetworkSolves++
+		}
+		sol.Stats.RevisedPivots += r.revisedPivots
+		sol.Stats.Refactorizations += r.refactors
+	}
+
 	root := simplexFull(p, opts.WantCert)
 	status, obj, x := root.status, root.obj, root.x
-	sol.Stats.LPSolves++
-	sol.Stats.Pivots += root.pivots
-	sol.Stats.SuspectPivots += root.suspect
+	addKernelStats(&root)
 	if status != Optimal {
 		sol.Status = status
 		return sol, nil
@@ -127,9 +136,7 @@ func SolveCtxOpts(ctx context.Context, p *Problem, opts SolveOptions) (*Solution
 		}
 		sub2 := simplexFull(sub, false)
 		status, obj, x := sub2.status, sub2.obj, sub2.x
-		sol.Stats.LPSolves++
-		sol.Stats.Pivots += sub2.pivots
-		sol.Stats.SuspectPivots += sub2.suspect
+		addKernelStats(&sub2)
 		if nodes > 1 || len(nd.extra) > 0 {
 			sol.Stats.Branches++
 		}

@@ -44,4 +44,21 @@ type Certificate struct {
 	// ordered Prefix first, then Constraints (for Warm: base rows first,
 	// then the lowered delta rows).
 	Basis []int
+
+	// Flow marks a certificate from the network-simplex kernel, which does
+	// not carry a tableau basis. Instead it names a primal point X and a
+	// dual price Y per original row (Prefix rows first, then Constraints,
+	// in the internal maximization sense), both integral by construction.
+	// The checker verifies strong duality directly: X feasible, Y
+	// sign-feasible per row relation, AᵀY ≥ ĉ componentwise, and
+	// YᵀB = ĉᵀX exactly — which proves optimality by weak duality without
+	// trusting the kernel's spanning tree.
+	Flow bool
+	// X is the claimed optimal assignment (length NumVars); Flow only.
+	X []float64
+	// Y holds one dual price per original row, Prefix rows first then
+	// Constraints, against the rows exactly as stored in the Problem
+	// (Prefix rows are already sign-normalized by Pack; Constraints are
+	// taken as written, unnormalized); Flow only.
+	Y []float64
 }

@@ -1,0 +1,154 @@
+package certify
+
+import (
+	"fmt"
+	"math/big"
+
+	"cinderella/internal/ilp"
+)
+
+// verifyFlow checks a network-kernel certificate (ilp.Certificate.Flow) in
+// exact rational arithmetic. The flow kernel works on a transformed
+// min-cost-flow network, but its certificate is expressed against the
+// original rows exactly as stored — a primal assignment X over the real
+// variables and one dual multiplier per row (Prefix first, then
+// Constraints), in the solver's internal maximization sense. That makes
+// the check pure LP duality, with no reference to the network transform:
+//
+//   - X >= 0 and X satisfies every original row (primal feasibility);
+//   - each Y_i has the sign its row's relation admits for a maximization
+//     dual — y >= 0 for <=, y <= 0 for >=, free for = — so yᵀ·(Ax) is
+//     bounded by yᵀ·b at any feasible point;
+//   - Aᵀ·Y >= c componentwise over the real columns (dual feasibility
+//     against the internal-sense objective), so yᵀb bounds cᵀx from above
+//     for every feasible x;
+//   - Yᵀ·b == cᵀ·X (strong duality), pinning X as optimal, not merely
+//     feasible;
+//   - for an Integer problem, X is integral, lifting the LP proof to the
+//     ILP.
+func verifyFlow(p *ilp.Problem, cert *ilp.Certificate) (*Result, error) {
+	n := p.NumVars
+	m := len(p.Prefix) + len(p.Constraints)
+	if m == 0 {
+		return nil, fmt.Errorf("certify: problem has no rows; nothing for a flow certificate to prove")
+	}
+	if len(cert.X) != n {
+		return nil, fmt.Errorf("certify: flow certificate has %d primal values, problem has %d variables", len(cert.X), n)
+	}
+	if len(cert.Y) != m {
+		return nil, fmt.Errorf("certify: flow certificate has %d duals, problem has %d rows", len(cert.Y), m)
+	}
+
+	x := make([]*big.Rat, n)
+	for j, v := range cert.X {
+		x[j] = ratOf(v)
+	}
+	if err := checkOriginalRows(p, x); err != nil {
+		return nil, err
+	}
+	if p.Integer {
+		for j, v := range x {
+			if !v.IsInt() {
+				return nil, fmt.Errorf("certify: x%d = %s is not integral", j, v.RatString())
+			}
+		}
+	}
+
+	// Row views as stored: relation, rhs, and coefficient walk.
+	y := make([]*big.Rat, m)
+	for i, v := range cert.Y {
+		y[i] = ratOf(v)
+	}
+	rel := func(i int) ilp.Relation {
+		if i < len(p.Prefix) {
+			return p.Prefix[i].Rel
+		}
+		return p.Constraints[i-len(p.Prefix)].Rel
+	}
+	rhs := func(i int) *big.Rat {
+		if i < len(p.Prefix) {
+			return ratOf(p.Prefix[i].RHS)
+		}
+		return ratOf(p.Constraints[i-len(p.Prefix)].RHS)
+	}
+	for i := 0; i < m; i++ {
+		switch rel(i) {
+		case ilp.LE:
+			if y[i].Sign() < 0 {
+				return nil, fmt.Errorf("certify: dual y%d = %s is negative on a <= row", i, y[i].RatString())
+			}
+		case ilp.GE:
+			if y[i].Sign() > 0 {
+				return nil, fmt.Errorf("certify: dual y%d = %s is positive on a >= row", i, y[i].RatString())
+			}
+		}
+	}
+
+	// Dual feasibility: (Aᵀ·Y)_j >= c_j for every real column, in the
+	// internal maximization sense.
+	cInt := internalObj(p, n)
+	yA := ratZeros(n)
+	tmp := new(big.Rat)
+	addRow := func(i int, cols []int, vals []*big.Rat) {
+		if y[i].Sign() == 0 {
+			return
+		}
+		for k, col := range cols {
+			tmp.Mul(y[i], vals[k])
+			yA[col].Add(yA[col], tmp)
+		}
+	}
+	for i := range p.Prefix {
+		r := &p.Prefix[i]
+		cols := make([]int, len(r.Cols))
+		vals := make([]*big.Rat, len(r.Cols))
+		for k, col := range r.Cols {
+			cols[k] = int(col)
+			vals[k] = ratOf(r.Vals[k])
+		}
+		addRow(i, cols, vals)
+	}
+	for ci := range p.Constraints {
+		c := &p.Constraints[ci]
+		cols := sortedCols(c.Coeffs)
+		vals := make([]*big.Rat, len(cols))
+		for k, j := range cols {
+			vals[k] = ratOf(c.Coeffs[j])
+		}
+		addRow(len(p.Prefix)+ci, cols, vals)
+	}
+	for j := 0; j < n; j++ {
+		if yA[j].Cmp(cInt[j]) < 0 {
+			return nil, fmt.Errorf("certify: flow dual is infeasible at column %d (yᵀA = %s < c = %s)", j, yA[j].RatString(), cInt[j].RatString())
+		}
+	}
+
+	// Strong duality: Yᵀ·b == cᵀ·X.
+	dual := new(big.Rat)
+	for i := 0; i < m; i++ {
+		if y[i].Sign() == 0 {
+			continue
+		}
+		tmp.Mul(y[i], rhs(i))
+		dual.Add(dual, tmp)
+	}
+	primal := new(big.Rat)
+	for j := 0; j < n; j++ {
+		if cInt[j].Sign() == 0 {
+			continue
+		}
+		tmp.Mul(cInt[j], x[j])
+		primal.Add(primal, tmp)
+	}
+	if primal.Cmp(dual) != 0 {
+		return nil, fmt.Errorf("certify: flow duality gap (primal %s, dual %s)", primal.RatString(), dual.RatString())
+	}
+
+	obj := new(big.Rat)
+	for j, v := range p.Objective {
+		tmp.SetFloat64(v)
+		tmp.Mul(tmp, x[j])
+		obj.Add(obj, tmp)
+	}
+	return &Result{Objective: obj, X: x}, nil
+}

@@ -43,6 +43,9 @@ func Verify(p *ilp.Problem, cert *ilp.Certificate) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if cert.Flow {
+		return verifyFlow(p, cert)
+	}
 	var (
 		sf  *stdForm
 		err error

@@ -18,7 +18,40 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 )
+
+// Kernel-disable bits of kernelsOff: the zero value leaves every kernel
+// enabled, so the fast paths are on by default.
+const (
+	kernelNetwork uint32 = 1 << iota
+	kernelRevised
+)
+
+var kernelsOff atomic.Uint32
+
+// SetKernels toggles the solver's fast-path kernels globally: the network
+// min-cost-flow kernel and the revised factored-basis simplex. Disabling
+// both routes every solve through the retained full-tableau kernel.
+// Routing never changes an answer — every kernel is differential-checked
+// against the same oracles — so the toggles exist for benchmarking and for
+// isolating a kernel under test.
+func SetKernels(network, revised bool) {
+	var off uint32
+	if !network {
+		off |= kernelNetwork
+	}
+	if !revised {
+		off |= kernelRevised
+	}
+	kernelsOff.Store(off)
+}
+
+// KernelsEnabled reports the current kernel toggles.
+func KernelsEnabled() (network, revised bool) {
+	off := kernelsOff.Load()
+	return off&kernelNetwork == 0, off&kernelRevised == 0
+}
 
 // Sense selects optimization direction.
 type Sense int
@@ -118,13 +151,25 @@ type Stats struct {
 	// RootIntegral reports that the first LP relaxation was integral —
 	// the paper's key practical observation.
 	RootIntegral bool
-	// Pivots counts simplex pivot operations across all LP solves.
+	// Pivots counts simplex pivot operations across all LP solves,
+	// whichever kernel performed them (tableau, revised, or network-arc
+	// pivots of the flow kernel).
 	Pivots int
 	// SuspectPivots counts pivots whose element fell outside the
 	// well-conditioned magnitude range (see suspectPivotLo/Hi): the float64
 	// result may be poisoned by cancellation and deserves exact
 	// re-verification.
 	SuspectPivots int
+	// NetworkSolves counts LP solves answered by the min-cost-flow fast
+	// path — the paper's polynomial-time route for structural and
+	// IDL-expressible constraint sets.
+	NetworkSolves int
+	// RevisedPivots counts the subset of Pivots performed by the revised
+	// (factored-basis) simplex kernel.
+	RevisedPivots int
+	// Refactorizations counts basis refactorizations of the revised
+	// kernel (its eta file rebuilt from scratch to shed drift and length).
+	Refactorizations int
 }
 
 // Solution is the result of Solve.

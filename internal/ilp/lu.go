@@ -1,0 +1,379 @@
+package ilp
+
+import "math"
+
+// The factored-basis machinery of the revised simplex kernel: a
+// product-form-of-the-inverse eta file with periodic refactorization.
+//
+// The basis inverse is never formed. It is represented as B = E_1·E_2·…·E_k
+// where each eta matrix E is the identity with one column r replaced by a
+// (sparse) vector w — exactly the transformation one pivot applies. Solving
+// B·v = a (FTRAN) applies the eta inverses left to right; solving yᵀ·B = c
+// (BTRAN) applies their transposes right to left. Each application touches
+// only an eta's nonzeros, which is what makes a revised pivot O(nnz)
+// instead of O(rows·cols).
+//
+// The file grows by one eta per pivot, so both the work per solve and the
+// accumulated float64 drift grow with it. Every revisedRefactorEvery pivots
+// the file is rebuilt from scratch out of the current basis columns —
+// singleton-ish columns first, partial pivoting over the unused rows — and
+// the basic values are re-derived from the original right-hand side, which
+// sheds the drift along with the length.
+
+// revisedRefactorEvery is the eta-file growth budget between
+// refactorizations.
+const revisedRefactorEvery = 24
+
+// revisedSingularTol is the smallest refactorization pivot magnitude
+// accepted before the basis is declared numerically singular and the
+// revised kernel gives up (the router falls back to the tableau).
+const revisedSingularTol = 1e-11
+
+// etaCol is one elementary transformation: identity with column r replaced
+// by w, stored as the diagonal element wr plus the off-diagonal nonzeros.
+type etaCol struct {
+	r    int32
+	wr   float64
+	rows []int32
+	vals []float64
+}
+
+// etaFile is the product-form basis representation. Off-diagonal nonzeros
+// of all etas share two arena slices, so a pivot costs at most one arena
+// growth, not two fresh slices.
+type etaFile struct {
+	etas     []etaCol
+	rowArena []int32
+	valArena []float64
+}
+
+func (f *etaFile) reset() {
+	f.etas = f.etas[:0]
+	f.rowArena = f.rowArena[:0]
+	f.valArena = f.valArena[:0]
+}
+
+// push appends the eta of a pivot at row r with FTRAN'd entering column w.
+// Returns false when the pivot element is unusable.
+func (f *etaFile) push(w []float64, r int) bool {
+	wr := w[r]
+	if wr == 0 || math.IsNaN(wr) || math.IsInf(wr, 0) {
+		return false
+	}
+	lo := len(f.rowArena)
+	for i, v := range w {
+		if i != r && v != 0 {
+			f.rowArena = append(f.rowArena, int32(i))
+			f.valArena = append(f.valArena, v)
+		}
+	}
+	if wr == 1 && len(f.rowArena) == lo {
+		return true // exact identity: nothing to record
+	}
+	f.etas = append(f.etas, etaCol{
+		r:    int32(r),
+		wr:   wr,
+		rows: f.rowArena[lo:len(f.rowArena):len(f.rowArena)],
+		vals: f.valArena[lo:len(f.valArena):len(f.valArena)],
+	})
+	return true
+}
+
+// ftran solves B·z = v in place: apply every eta inverse in file order.
+func (f *etaFile) ftran(v []float64) {
+	for k := range f.etas {
+		e := &f.etas[k]
+		vr := v[e.r]
+		if vr == 0 {
+			continue
+		}
+		z := vr / e.wr
+		v[e.r] = z
+		for i, row := range e.rows {
+			v[row] -= e.vals[i] * z
+		}
+	}
+}
+
+// btran solves yᵀ·B = vᵀ in place: apply every eta transpose inverse in
+// reverse file order.
+func (f *etaFile) btran(v []float64) {
+	for k := len(f.etas) - 1; k >= 0; k-- {
+		e := &f.etas[k]
+		s := v[e.r]
+		for i, row := range e.rows {
+			s -= e.vals[i] * v[row]
+		}
+		v[e.r] = s / e.wr
+	}
+}
+
+// ftranS is ftran with support tracking: pos lists the rows where v is
+// (possibly) nonzero, mark flags them, and fill-in rows are appended as
+// the etas introduce them. The caller owns clearing both afterwards.
+func (f *etaFile) ftranS(v []float64, pos []int32, mark []bool) []int32 {
+	for k := range f.etas {
+		e := &f.etas[k]
+		vr := v[e.r]
+		if vr == 0 {
+			continue
+		}
+		z := vr / e.wr
+		v[e.r] = z
+		for i, row := range e.rows {
+			if !mark[row] {
+				mark[row] = true
+				pos = append(pos, row)
+			}
+			v[row] -= e.vals[i] * z
+		}
+	}
+	return pos
+}
+
+// pushS is push restricted to a tracked support, so recording the eta
+// costs O(nnz) instead of a dense scan.
+func (f *etaFile) pushS(w []float64, pos []int32, r int) bool {
+	wr := w[r]
+	if wr == 0 || math.IsNaN(wr) || math.IsInf(wr, 0) {
+		return false
+	}
+	lo := len(f.rowArena)
+	for _, i := range pos {
+		if int(i) != r && w[i] != 0 {
+			f.rowArena = append(f.rowArena, i)
+			f.valArena = append(f.valArena, w[i])
+		}
+	}
+	if wr == 1 && len(f.rowArena) == lo {
+		return true // exact identity: nothing to record
+	}
+	f.etas = append(f.etas, etaCol{
+		r:    int32(r),
+		wr:   wr,
+		rows: f.rowArena[lo:len(f.rowArena):len(f.rowArena)],
+		vals: f.valArena[lo:len(f.valArena):len(f.valArena)],
+	})
+	return true
+}
+
+// refactorize rebuilds the eta file from the current basis columns and
+// re-derives the basic values from the original right-hand side. Columns
+// are processed sparsest-first (an LP basis is mostly slacks and
+// near-triangular structure, which then factor with almost no fill), each
+// pivoting at the largest-magnitude entry over the not-yet-pivoted rows.
+// The row a column ends up pivoted in may differ from the row it was basic
+// in before; the basis array is re-associated accordingly, which changes
+// nothing observable — a basis is a set of columns, the row pairing is
+// bookkeeping. Returns false when some column cannot pivot anywhere
+// (numerically singular basis).
+func (s *revScratch) refactorize() bool {
+	m := s.m
+	s.etas.reset()
+	if cap(s.ord) < m {
+		s.ord = make([]int32, m)
+		s.newBasis = make([]int, m)
+	}
+	s.ord = s.ord[:m]
+	s.newBasis = s.newBasis[:m]
+	s.used = growBool(s.used, m)
+	s.mark = growBool(s.mark, m)
+	s.done = growBool(s.done, m)
+	s.rCnt = growI32(s.rCnt, m)
+	s.rPtr = growI32(s.rPtr, m+1)
+	for i := range s.used {
+		s.used[i] = false
+		s.mark[i] = false
+		s.done[i] = false
+		s.rCnt[i] = 0
+		s.rPtr[i] = 0
+	}
+	s.rPtr[m] = 0
+
+	// Row-form copy of the basis submatrix (column ordinals per row), for
+	// the peeling phase below.
+	bnnz := 0
+	for oi := 0; oi < m; oi++ {
+		j := s.basis[oi]
+		bnnz += int(s.colPtr[j+1] - s.colPtr[j])
+	}
+	s.rCol = growI32(s.rCol, bnnz)
+	s.rVal = growF64(s.rVal, bnnz)
+	for oi := 0; oi < m; oi++ {
+		j := s.basis[oi]
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			s.rPtr[s.colRow[k]+1]++
+		}
+	}
+	for r := 0; r < m; r++ {
+		s.rPtr[r+1] += s.rPtr[r]
+		s.rCnt[r] = s.rPtr[r+1] - s.rPtr[r]
+	}
+	s.cur = growI32(s.cur, m)
+	copy(s.cur[:m], s.rPtr[:m])
+	for oi := 0; oi < m; oi++ {
+		j := s.basis[oi]
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			r := s.colRow[k]
+			s.rCol[s.cur[r]] = int32(oi)
+			s.rVal[s.cur[r]] = s.colVal[k]
+			s.cur[r]++
+		}
+	}
+
+	// Phase 1 — singleton-row peeling. A row touched by exactly one
+	// remaining basis column can be pivoted there with NO fill: no other
+	// remaining column has an entry in that row, so every later FTRAN
+	// skips the eta, and the eta itself is just the original column. An
+	// LP basis over flow equations is near-triangular, so this usually
+	// factors almost everything; only the "bump" (loop structure) is left
+	// to the general phase. Rows whose only entry is numerically tiny are
+	// left for the bump rather than pivoted unstably.
+	peeled := 0
+	rq := s.rq[:0]
+	for r := 0; r < m; r++ {
+		if s.rCnt[r] == 1 {
+			rq = append(rq, int32(r))
+		}
+	}
+	for len(rq) > 0 {
+		r := int(rq[len(rq)-1])
+		rq = rq[:len(rq)-1]
+		if s.used[r] || s.rCnt[r] != 1 {
+			continue
+		}
+		oi, pv := -1, 0.0
+		for k := s.rPtr[r]; k < s.rPtr[r+1]; k++ {
+			if !s.done[s.rCol[k]] {
+				oi, pv = int(s.rCol[k]), s.rVal[k]
+				break
+			}
+		}
+		if oi < 0 || math.Abs(pv) < revisedSingularTol {
+			continue
+		}
+		j := s.basis[oi]
+		// Emit the eta straight from the column: prior etas cannot touch it.
+		f := &s.etas
+		lo := len(f.rowArena)
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			if int(s.colRow[k]) != r {
+				f.rowArena = append(f.rowArena, s.colRow[k])
+				f.valArena = append(f.valArena, s.colVal[k])
+			}
+		}
+		if !(pv == 1 && len(f.rowArena) == lo) {
+			f.etas = append(f.etas, etaCol{
+				r:    int32(r),
+				wr:   pv,
+				rows: f.rowArena[lo:len(f.rowArena):len(f.rowArena)],
+				vals: f.valArena[lo:len(f.valArena):len(f.valArena)],
+			})
+		}
+		s.done[oi] = true
+		s.used[r] = true
+		s.newBasis[r] = j
+		peeled++
+		for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+			r2 := s.colRow[k]
+			if s.used[r2] {
+				continue
+			}
+			s.rCnt[r2]--
+			if s.rCnt[r2] == 1 {
+				rq = append(rq, r2)
+			}
+		}
+	}
+	s.rq = rq[:0]
+
+	// Phase 2 — the bump: remaining columns sparsest-first (counting sort,
+	// stable on row position), FTRAN'd with support tracking, pivoting at
+	// the largest-magnitude entry over the unused rows.
+	rest := m - peeled
+	if rest > 0 {
+		nnz := func(i int) int {
+			j := s.basis[i]
+			return int(s.colPtr[j+1] - s.colPtr[j])
+		}
+		maxn := 0
+		for i := 0; i < m; i++ {
+			if !s.done[i] {
+				if c := nnz(i); c > maxn {
+					maxn = c
+				}
+			}
+		}
+		if cap(s.cnt) < maxn+2 {
+			s.cnt = make([]int32, maxn+2)
+		}
+		s.cnt = s.cnt[:maxn+2]
+		for i := range s.cnt {
+			s.cnt[i] = 0
+		}
+		for i := 0; i < m; i++ {
+			if !s.done[i] {
+				s.cnt[nnz(i)+1]++
+			}
+		}
+		for k := 1; k <= maxn; k++ {
+			s.cnt[k] += s.cnt[k-1]
+		}
+		ord := s.ord[:rest]
+		for i := 0; i < m; i++ {
+			if !s.done[i] {
+				c := nnz(i)
+				ord[s.cnt[c]] = int32(i)
+				s.cnt[c]++
+			}
+		}
+		w := s.work
+		clear(w)
+		pos := s.pos[:0]
+		clearSupport := func() {
+			for _, r := range pos {
+				w[r] = 0
+				s.mark[r] = false
+			}
+			s.pos = pos[:0]
+		}
+		for _, oi := range ord {
+			j := s.basis[oi]
+			pos = pos[:0]
+			for k := s.colPtr[j]; k < s.colPtr[j+1]; k++ {
+				r := s.colRow[k]
+				w[r] = s.colVal[k]
+				if !s.mark[r] {
+					s.mark[r] = true
+					pos = append(pos, r)
+				}
+			}
+			pos = s.etas.ftranS(w, pos, s.mark)
+			best, bestAbs := -1, revisedSingularTol
+			for _, r := range pos {
+				if s.used[r] {
+					continue
+				}
+				if a := math.Abs(w[r]); a > bestAbs {
+					bestAbs, best = a, int(r)
+				}
+			}
+			if best < 0 || !s.etas.pushS(w, pos, best) {
+				clearSupport()
+				return false
+			}
+			s.used[best] = true
+			s.newBasis[best] = j
+			for _, r := range pos {
+				w[r] = 0
+				s.mark[r] = false
+			}
+		}
+		s.pos = pos[:0]
+	}
+	copy(s.basis, s.newBasis)
+	// Fresh basic values from the original right-hand side.
+	copy(s.xB, s.bvec)
+	s.etas.ftran(s.xB)
+	return true
+}

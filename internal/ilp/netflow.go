@@ -1,0 +1,1032 @@
+package ilp
+
+import (
+	"math"
+	"math/big"
+	"sync"
+)
+
+// The network fast path of the solver router. When a problem's rows are
+// recognizably a min-cost-flow instance — every coefficient exactly 0 or
+// ±1, at most two nonzero conservation entries per column, integral
+// right-hand sides and objective, and the rows two-colorable so that each
+// column's entries orient into one +1 (tail) and one -1 (head) — the
+// problem is converted to a bounded-arc min-cost-flow network and solved
+// with a spanning-tree network simplex in exact integer arithmetic. This is
+// the paper's Section III.D observation made operational: structural flow
+// constraints (and the IDL-expressible functionality forms, which lower to
+// single-variable bound rows) keep the ILP "equivalent to a network flow
+// problem", so the fast path returns an integral vertex with no float
+// drift, and optimality certificates come for free from the node
+// potentials.
+//
+// Conversion is conservative: any row the converter cannot express exactly
+// (a k·x loop bound, a fractional coefficient, a column touching three
+// conservation rows) rejects the whole problem and the router falls
+// through to the general kernels, so the fast path can never change an
+// answer — only the route taken to it.
+
+const (
+	// netMaxMag bounds the integer magnitudes (right-hand sides, objective
+	// coefficients) the network kernel accepts. Staying well under 2^32
+	// keeps every intermediate quantity — node balances, flows, potentials,
+	// reduced costs — inside int64 with a wide margin.
+	netMaxMag = int64(1) << 31
+	// netCapInf is the sentinel for an unbounded arc capacity (and an
+	// unset upper bound). Any ratio-test limit at or above it means the
+	// pushed flow is genuinely unbounded.
+	netCapInf = int64(1) << 60
+)
+
+// Arc states of the bounded-variable network simplex.
+const (
+	netLower uint8 = iota // nonbasic at its lower bound (flow 0)
+	netTree               // basic: in the spanning tree
+	netUpper              // nonbasic at its upper bound (flow == cap)
+)
+
+// netArc is one arc of the converted flow network: a problem variable
+// (varIdx >= 0), a row slack (varIdx == -1), or a phase-1 artificial
+// (varIdx == -2). cost is the phase-2 cost in the minimization sense.
+type netArc struct {
+	tail, head int32
+	cap        int64
+	cost       int64
+	varIdx     int32
+}
+
+// netOutcome is the result of one network-simplex phase.
+type netOutcome int
+
+const (
+	netOptimal netOutcome = iota
+	netUnbounded
+	netGiveUp
+)
+
+// netWork is the pooled working memory of one network solve: the
+// conversion state (bounds, conservation-row entries, coloring) and the
+// simplex state (arcs, flows, spanning tree, potentials).
+type netWork struct {
+	cHat         []int64 // internal maximization objective, integral
+	lb, ub       []int64 // variable bounds from single-entry rows
+	lbRow, ubRow []int32 // binding bound row (certificate order), -1 none
+	lbSgn, ubSgn []int8  // the binding row's normalized coefficient sign
+	rowNeg       []bool  // Constraints row was sign-normalized (RHS < 0)
+
+	// Conservation rows, one node each; ground is node len(consOrig).
+	consOrig []int32
+	consNeg  []bool
+	consRel  []Relation
+	consRHS  []int64
+	flip     []int8
+
+	// Per-variable entries in conservation rows (pre-flip signs).
+	entCnt  []int8
+	entNode [][2]int32
+	entSgn  [][2]int8
+
+	// Row two-coloring worklist and edge list (edge e = variable edgeVar[e]).
+	color   []int8
+	edgeVar []int32
+	queue   []int32
+
+	arcs   []netArc
+	flow   []int64
+	state  []uint8
+	varArc []int32
+	b      []int64
+	xInt   []int64
+
+	pi        []int64
+	parent    []int32
+	parentArc []int32
+	depth     []int32
+	adjHead   []int32
+	adjNext   []int32
+	cyc       []int32
+	cycDir    []int8
+
+	yRow []int64
+	yA   []int64
+
+	// One materialized row during classification (avoids per-row iterator
+	// closures, which dominated the solve's allocations).
+	rowJ []int32
+	rowV []float64
+
+	pivots int
+}
+
+var netPool = sync.Pool{New: func() any { return new(netWork) }}
+
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growI8(s []int8, n int) []int8 {
+	if cap(s) < n {
+		return make([]int8, n)
+	}
+	return s[:n]
+}
+
+// networkSolve attempts the network fast path. ok reports whether the
+// kernel answered: false means the problem was not expressible (or the
+// solve gave up / failed self-verification) and the caller must fall
+// through to a general kernel. All returned statuses are definitive.
+func networkSolve(p *Problem, wantCert bool) (lpResult, bool) {
+	nw := netPool.Get().(*netWork)
+	defer netPool.Put(nw)
+	r, ok := nw.solve(p, wantCert)
+	if ok {
+		r.network = true
+	}
+	return r, ok
+}
+
+func (nw *netWork) solve(p *Problem, wantCert bool) (lpResult, bool) {
+	n := p.NumVars
+	rowsTotal := len(p.Prefix) + len(p.Constraints)
+	signMul := int64(1)
+	if p.Sense == Minimize {
+		signMul = -1
+	}
+
+	// Objective: must be exactly integral and in magnitude range.
+	nw.cHat = growI64(nw.cHat, n)
+	clear(nw.cHat)
+	for j, v := range p.Objective {
+		if v != math.Trunc(v) || math.Abs(v) > float64(netMaxMag) {
+			return lpResult{}, false
+		}
+		nw.cHat[j] = signMul * int64(v)
+	}
+
+	nw.lb = growI64(nw.lb, n)
+	nw.ub = growI64(nw.ub, n)
+	nw.lbRow = growI32(nw.lbRow, n)
+	nw.ubRow = growI32(nw.ubRow, n)
+	nw.lbSgn = growI8(nw.lbSgn, n)
+	nw.ubSgn = growI8(nw.ubSgn, n)
+	nw.entCnt = growI8(nw.entCnt, n)
+	if cap(nw.entNode) < n {
+		nw.entNode = make([][2]int32, n)
+		nw.entSgn = make([][2]int8, n)
+	}
+	nw.entNode = nw.entNode[:n]
+	nw.entSgn = nw.entSgn[:n]
+	if cap(nw.rowNeg) < rowsTotal {
+		nw.rowNeg = make([]bool, rowsTotal)
+	}
+	nw.rowNeg = nw.rowNeg[:rowsTotal]
+	for j := 0; j < n; j++ {
+		nw.lb[j], nw.ub[j] = 0, netCapInf
+		nw.lbRow[j], nw.ubRow[j] = -1, -1
+		nw.entCnt[j] = 0
+	}
+	nw.consOrig = nw.consOrig[:0]
+	nw.consNeg = nw.consNeg[:0]
+	nw.consRel = nw.consRel[:0]
+	nw.consRHS = nw.consRHS[:0]
+
+	// boundRow folds one single-variable row (normalized form s·x rel rhs)
+	// into the variable's bounds, remembering which row set the binding
+	// value so the certificate can charge its dual there.
+	infeasible := false
+	boundRow := func(rowIdx int, j int, s int8, rel Relation, rhs int64) {
+		setLB := func(v int64) {
+			if v > nw.lb[j] {
+				nw.lb[j] = v
+				nw.lbRow[j] = int32(rowIdx)
+				nw.lbSgn[j] = s
+			}
+		}
+		setUB := func(v int64) {
+			if v < nw.ub[j] {
+				nw.ub[j] = v
+				nw.ubRow[j] = int32(rowIdx)
+				nw.ubSgn[j] = s
+			}
+		}
+		if s > 0 {
+			switch rel {
+			case LE:
+				setUB(rhs)
+			case GE:
+				setLB(rhs)
+			case EQ:
+				setLB(rhs)
+				setUB(rhs)
+			}
+		} else {
+			// -x rel rhs is x flip(rel) -rhs.
+			switch rel {
+			case LE:
+				setLB(-rhs)
+			case GE:
+				setUB(-rhs)
+			case EQ:
+				setLB(-rhs)
+				setUB(-rhs)
+			}
+		}
+	}
+
+	// classify lowers one normalized row — materialized into nw.rowJ/rowV
+	// by the caller — empty rows are checked outright, single-entry rows
+	// become bounds, wider rows become conservation nodes. Returns false to
+	// reject the conversion.
+	classify := func(rowIdx int, rel Relation, rhsF float64, neg bool) bool {
+		if rhsF != math.Trunc(rhsF) || math.Abs(rhsF) > float64(netMaxMag) {
+			return false
+		}
+		rhs := int64(rhsF)
+		nw.rowNeg[rowIdx] = neg
+		// First scan: count nonzeros and validate coefficients.
+		nnz := 0
+		var oneJ int
+		var oneS int8
+		for k, v := range nw.rowV {
+			switch v {
+			case 0:
+				continue
+			case 1:
+				oneJ, oneS = int(nw.rowJ[k]), 1
+			case -1:
+				oneJ, oneS = int(nw.rowJ[k]), -1
+			default:
+				return false
+			}
+			nnz++
+		}
+		switch {
+		case nnz == 0:
+			ok := false
+			switch rel {
+			case LE:
+				ok = rhs >= 0
+			case GE:
+				ok = rhs <= 0
+			case EQ:
+				ok = rhs == 0
+			}
+			if !ok {
+				infeasible = true
+			}
+		case nnz == 1:
+			boundRow(rowIdx, oneJ, oneS, rel, rhs)
+		default:
+			v := int32(len(nw.consOrig))
+			nw.consOrig = append(nw.consOrig, int32(rowIdx))
+			nw.consNeg = append(nw.consNeg, neg)
+			nw.consRel = append(nw.consRel, rel)
+			nw.consRHS = append(nw.consRHS, rhs)
+			for k, val := range nw.rowV {
+				if val == 0 {
+					continue
+				}
+				j := nw.rowJ[k]
+				if nw.entCnt[j] >= 2 {
+					return false
+				}
+				s := int8(1)
+				if val < 0 {
+					s = -1
+				}
+				nw.entNode[j][nw.entCnt[j]] = v
+				nw.entSgn[j][nw.entCnt[j]] = s
+				nw.entCnt[j]++
+			}
+		}
+		return true
+	}
+
+	for i := range p.Prefix {
+		pr := &p.Prefix[i]
+		nw.rowJ = append(nw.rowJ[:0], pr.Cols...)
+		nw.rowV = append(nw.rowV[:0], pr.Vals...)
+		if !classify(i, pr.Rel, pr.RHS, false) {
+			return lpResult{}, false
+		}
+	}
+	for ci := range p.Constraints {
+		c := &p.Constraints[ci]
+		rel, rhs, neg := c.Rel, c.RHS, false
+		if rhs < 0 {
+			neg = true
+			rhs = -rhs
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		nw.rowJ, nw.rowV = nw.rowJ[:0], nw.rowV[:0]
+		for j, v := range c.Coeffs {
+			if neg {
+				v = -v
+			}
+			nw.rowJ = append(nw.rowJ, int32(j))
+			nw.rowV = append(nw.rowV, v)
+		}
+		if !classify(len(p.Prefix)+ci, rel, rhs, neg) {
+			return lpResult{}, false
+		}
+	}
+	if infeasible {
+		return lpResult{status: Infeasible}, true
+	}
+	for j := 0; j < n; j++ {
+		if nw.lb[j] > nw.ub[j] {
+			return lpResult{status: Infeasible}, true
+		}
+	}
+
+	// Two-color the conservation rows so each column's pair orients into
+	// one tail and one head: same-signed entries must land in opposite
+	// parts (parity 1), opposite-signed in the same part (parity 0).
+	nNodes := len(nw.consOrig)
+	ground := int32(nNodes)
+	nw.color = growI8(nw.color, nNodes)
+	nw.flip = growI8(nw.flip, nNodes)
+	for v := range nw.color {
+		nw.color[v] = -1
+	}
+	nw.edgeVar = nw.edgeVar[:0]
+	for j := 0; j < n; j++ {
+		if nw.entCnt[j] == 2 {
+			nw.edgeVar = append(nw.edgeVar, int32(j))
+		}
+	}
+	nw.adjHead = growI32(nw.adjHead, nNodes)
+	nw.adjNext = growI32(nw.adjNext, 2*len(nw.edgeVar))
+	for v := range nw.adjHead {
+		nw.adjHead[v] = -1
+	}
+	for e, j := range nw.edgeVar {
+		a, b := nw.entNode[j][0], nw.entNode[j][1]
+		nw.adjNext[2*e] = nw.adjHead[a]
+		nw.adjHead[a] = int32(2 * e)
+		nw.adjNext[2*e+1] = nw.adjHead[b]
+		nw.adjHead[b] = int32(2*e + 1)
+	}
+	nw.queue = nw.queue[:0]
+	for start := 0; start < nNodes; start++ {
+		if nw.color[start] >= 0 {
+			continue
+		}
+		nw.color[start] = 0
+		nw.queue = append(nw.queue[:0], int32(start))
+		for len(nw.queue) > 0 {
+			cur := nw.queue[len(nw.queue)-1]
+			nw.queue = nw.queue[:len(nw.queue)-1]
+			for t := nw.adjHead[cur]; t >= 0; t = nw.adjNext[t] {
+				j := nw.edgeVar[t/2]
+				other := nw.entNode[j][0]
+				if other == cur {
+					other = nw.entNode[j][1]
+				}
+				parity := int8(0)
+				if nw.entSgn[j][0] == nw.entSgn[j][1] {
+					parity = 1
+				}
+				want := nw.color[cur] ^ parity
+				if c := nw.color[other]; c >= 0 {
+					if c != want {
+						return lpResult{}, false
+					}
+					continue
+				}
+				nw.color[other] = want
+				nw.queue = append(nw.queue, other)
+			}
+		}
+	}
+	for v := 0; v < nNodes; v++ {
+		nw.flip[v] = 1 - 2*nw.color[v]
+	}
+
+	// Build arcs: one per variable touching a conservation row (fixed-cost
+	// direction from the post-flip signs), then one slack arc per
+	// inequality row, then the artificial spanning tree.
+	nw.arcs = nw.arcs[:0]
+	nw.varArc = growI32(nw.varArc, n)
+	nw.xInt = growI64(nw.xInt, n)
+	for j := 0; j < n; j++ {
+		nw.varArc[j] = -1
+		cnt := nw.entCnt[j]
+		if cnt == 0 {
+			continue
+		}
+		var tail, head int32
+		if cnt == 1 {
+			v := nw.entNode[j][0]
+			if nw.flip[v]*nw.entSgn[j][0] > 0 {
+				tail, head = v, ground
+			} else {
+				tail, head = ground, v
+			}
+		} else {
+			v0, v1 := nw.entNode[j][0], nw.entNode[j][1]
+			s0 := nw.flip[v0] * nw.entSgn[j][0]
+			s1 := nw.flip[v1] * nw.entSgn[j][1]
+			if s0 == s1 {
+				return lpResult{}, false // coloring failed to orient (defensive)
+			}
+			if s0 > 0 {
+				tail, head = v0, v1
+			} else {
+				tail, head = v1, v0
+			}
+		}
+		capHi := netCapInf
+		if nw.ub[j] < netCapInf {
+			capHi = nw.ub[j] - nw.lb[j]
+		}
+		nw.varArc[j] = int32(len(nw.arcs))
+		nw.arcs = append(nw.arcs, netArc{tail: tail, head: head, cap: capHi, cost: -nw.cHat[j], varIdx: int32(j)})
+	}
+	for v := 0; v < nNodes; v++ {
+		rel := nw.consRel[v]
+		if nw.flip[v] < 0 {
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		switch rel {
+		case LE:
+			nw.arcs = append(nw.arcs, netArc{tail: int32(v), head: ground, cap: netCapInf, varIdx: -1})
+		case GE:
+			nw.arcs = append(nw.arcs, netArc{tail: ground, head: int32(v), cap: netCapInf, varIdx: -1})
+		}
+	}
+
+	// Node balances after the lower-bound shift y = x - lb: outflow minus
+	// inflow at each row node; ground's balance is the implied remainder.
+	nw.b = growI64(nw.b, nNodes+1)
+	clear(nw.b)
+	for v := 0; v < nNodes; v++ {
+		nw.b[v] = int64(nw.flip[v]) * nw.consRHS[v]
+	}
+	for j := 0; j < n; j++ {
+		if nw.lb[j] == 0 {
+			continue
+		}
+		for k := int8(0); k < nw.entCnt[j]; k++ {
+			v := nw.entNode[j][k]
+			nw.b[v] -= int64(nw.flip[v]*nw.entSgn[j][k]) * nw.lb[j]
+		}
+	}
+	var sum int64
+	for v := 0; v < nNodes; v++ {
+		sum += nw.b[v]
+	}
+	nw.b[ground] = -sum
+
+	artStart := len(nw.arcs)
+	for v := 0; v < nNodes; v++ {
+		if nw.b[v] >= 0 {
+			nw.arcs = append(nw.arcs, netArc{tail: int32(v), head: ground, cap: netCapInf, varIdx: -2})
+		} else {
+			nw.arcs = append(nw.arcs, netArc{tail: ground, head: int32(v), cap: netCapInf, varIdx: -2})
+		}
+	}
+	nw.flow = growI64(nw.flow, len(nw.arcs))
+	nw.state = nw.stateSlice(len(nw.arcs))
+	for a := range nw.arcs {
+		nw.flow[a] = 0
+		nw.state[a] = netLower
+	}
+	needPhase1 := false
+	for a := artStart; a < len(nw.arcs); a++ {
+		v := nw.arcs[a].tail
+		if v == ground {
+			v = nw.arcs[a].head
+		}
+		f := nw.b[v]
+		if f < 0 {
+			f = -f
+		}
+		nw.flow[a] = f
+		nw.state[a] = netTree
+		if f != 0 {
+			needPhase1 = true
+		}
+	}
+
+	nw.pivots = 0
+	nNodeAll := nNodes + 1
+	if nNodes > 0 {
+		if needPhase1 {
+			switch nw.optimize(nNodeAll, 1) {
+			case netGiveUp, netUnbounded:
+				return lpResult{}, false
+			}
+			var artFlow int64
+			for a := artStart; a < len(nw.arcs); a++ {
+				artFlow += nw.flow[a]
+			}
+			if artFlow > 0 {
+				return lpResult{status: Infeasible, pivots: nw.pivots}, true
+			}
+		}
+		// Artificials carry no flow now; cap them at zero so no phase-2
+		// cycle can route through one, and run the real objective.
+		for a := artStart; a < len(nw.arcs); a++ {
+			nw.arcs[a].cap = 0
+		}
+		switch nw.optimize(nNodeAll, 2) {
+		case netGiveUp:
+			return lpResult{}, false
+		case netUnbounded:
+			return lpResult{status: Unbounded, pivots: nw.pivots}, true
+		}
+	} else {
+		nw.pi = growI64(nw.pi, 1)
+		nw.pi[0] = 0
+	}
+
+	// Extract: arc variables read their shifted flow, bound-only variables
+	// sit on whichever bound the objective prefers.
+	for j := 0; j < n; j++ {
+		if a := nw.varArc[j]; a >= 0 {
+			nw.xInt[j] = nw.lb[j] + nw.flow[a]
+			continue
+		}
+		if nw.cHat[j] > 0 {
+			if nw.ub[j] >= netCapInf {
+				return lpResult{status: Unbounded, pivots: nw.pivots}, true
+			}
+			nw.xInt[j] = nw.ub[j]
+		} else {
+			nw.xInt[j] = nw.lb[j]
+		}
+	}
+
+	x := make([]float64, n)
+	for j := range x {
+		x[j] = float64(nw.xInt[j])
+	}
+	objVal := 0.0
+	for j, v := range p.Objective {
+		objVal += v * x[j]
+	}
+	r := lpResult{status: Optimal, obj: objVal, x: x, pivots: nw.pivots}
+	if wantCert && rowsTotal > 0 {
+		cert, ok := nw.buildCert(p)
+		if !ok {
+			return lpResult{}, false
+		}
+		r.cert = cert
+	}
+	return r, true
+}
+
+func (nw *netWork) stateSlice(n int) []uint8 {
+	if cap(nw.state) < n {
+		return make([]uint8, n)
+	}
+	return nw.state[:n]
+}
+
+// rebuildTree recomputes parents, depths, and node potentials by BFS from
+// the ground root over the current spanning tree. phase selects the cost
+// vector (1 on artificials in phase 1, the real costs in phase 2).
+func (nw *netWork) rebuildTree(nNodeAll, phase int) bool {
+	nw.pi = growI64(nw.pi, nNodeAll)
+	nw.parent = growI32(nw.parent, nNodeAll)
+	nw.parentArc = growI32(nw.parentArc, nNodeAll)
+	nw.depth = growI32(nw.depth, nNodeAll)
+	nw.adjHead = growI32(nw.adjHead, nNodeAll)
+	nw.adjNext = growI32(nw.adjNext, 2*len(nw.arcs))
+	for v := 0; v < nNodeAll; v++ {
+		nw.adjHead[v] = -1
+		nw.parent[v] = -2 // unvisited
+	}
+	for a := range nw.arcs {
+		if nw.state[a] != netTree {
+			continue
+		}
+		t, h := nw.arcs[a].tail, nw.arcs[a].head
+		nw.adjNext[2*a] = nw.adjHead[t]
+		nw.adjHead[t] = int32(2 * a)
+		nw.adjNext[2*a+1] = nw.adjHead[h]
+		nw.adjHead[h] = int32(2*a + 1)
+	}
+	ground := int32(nNodeAll - 1)
+	nw.parent[ground] = -1
+	nw.parentArc[ground] = -1
+	nw.depth[ground] = 0
+	nw.pi[ground] = 0
+	nw.queue = append(nw.queue[:0], ground)
+	seen := 1
+	for len(nw.queue) > 0 {
+		cur := nw.queue[len(nw.queue)-1]
+		nw.queue = nw.queue[:len(nw.queue)-1]
+		for t := nw.adjHead[cur]; t >= 0; t = nw.adjNext[t] {
+			a := t / 2
+			arc := &nw.arcs[a]
+			other := arc.tail
+			if other == cur {
+				other = arc.head
+			}
+			if nw.parent[other] != -2 {
+				continue
+			}
+			c := nw.netCost(int(a), phase)
+			if arc.tail == cur {
+				nw.pi[other] = nw.pi[cur] - c // other is the head
+			} else {
+				nw.pi[other] = nw.pi[cur] + c // other is the tail
+			}
+			nw.parent[other] = cur
+			nw.parentArc[other] = a
+			nw.depth[other] = nw.depth[cur] + 1
+			nw.queue = append(nw.queue, other)
+			seen++
+		}
+	}
+	return seen == nNodeAll
+}
+
+func (nw *netWork) netCost(a, phase int) int64 {
+	if phase == 1 {
+		if nw.arcs[a].varIdx == -2 {
+			return 1
+		}
+		return 0
+	}
+	return nw.arcs[a].cost
+}
+
+func (nw *netWork) capRem(a int) int64 {
+	if nw.arcs[a].cap >= netCapInf {
+		return netCapInf
+	}
+	return nw.arcs[a].cap - nw.flow[a]
+}
+
+// optimize runs the bounded-arc network simplex on the current spanning
+// tree: Dantzig most-violating entering arc (lowest index on ties),
+// Bland's rule after the same iteration threshold the tableau kernels use,
+// leaving arc the lowest-indexed blocker on the tree cycle. All arithmetic
+// is integer, so every intermediate flow is exact.
+func (nw *netWork) optimize(nNodeAll, phase int) netOutcome {
+	iter := 0
+	blandAfter := 50 * (nNodeAll + len(nw.arcs) + 10)
+	hardCap := 10 * blandAfter
+	// Parents, depths, and potentials are rebuilt only when a pivot
+	// actually changes the spanning tree; bound-flip pivots reuse them.
+	if !nw.rebuildTree(nNodeAll, phase) {
+		return netGiveUp
+	}
+	for {
+		iter++
+		if iter > hardCap {
+			return netGiveUp
+		}
+		useBland := iter > blandAfter
+		enter := -1
+		var bestViol int64
+		for a := range nw.arcs {
+			arc := &nw.arcs[a]
+			if arc.varIdx == -2 {
+				continue // artificials never re-enter
+			}
+			st := nw.state[a]
+			if st == netTree {
+				continue
+			}
+			rc := nw.netCost(a, phase) - nw.pi[arc.tail] + nw.pi[arc.head]
+			var viol int64
+			if st == netLower && rc < 0 {
+				viol = -rc
+			} else if st == netUpper && rc > 0 {
+				viol = rc
+			} else {
+				continue
+			}
+			if useBland {
+				enter = a
+				break
+			}
+			if viol > bestViol {
+				bestViol, enter = viol, a
+			}
+		}
+		if enter < 0 {
+			return netOptimal
+		}
+		arc := &nw.arcs[enter]
+		down := nw.state[enter] == netUpper
+		// Pushing delta along the entering arc is balanced by delta along
+		// the tree path from its head back to its tail (reversed when the
+		// arc leaves its upper bound).
+		u, w := arc.head, arc.tail
+		if down {
+			u, w = w, u
+		}
+		nw.cyc = nw.cyc[:0]
+		nw.cycDir = nw.cycDir[:0]
+		au, aw := u, w
+		// Collect the w-side first so directions can be assigned per side:
+		// on the u→LCA climb the path runs child→parent, on the LCA→w
+		// descent it runs parent→child.
+		for nw.depth[au] > nw.depth[aw] {
+			pa := nw.parentArc[au]
+			dir := int8(-1)
+			if nw.arcs[pa].tail == au {
+				dir = 1 // traversing au→parent along the arc's direction
+			}
+			nw.cyc = append(nw.cyc, pa)
+			nw.cycDir = append(nw.cycDir, dir)
+			au = nw.parent[au]
+		}
+		for nw.depth[aw] > nw.depth[au] {
+			pa := nw.parentArc[aw]
+			dir := int8(-1)
+			if nw.arcs[pa].head == aw {
+				dir = 1 // traversing parent→aw along the arc's direction
+			}
+			nw.cyc = append(nw.cyc, pa)
+			nw.cycDir = append(nw.cycDir, dir)
+			aw = nw.parent[aw]
+		}
+		for au != aw {
+			pa := nw.parentArc[au]
+			dir := int8(-1)
+			if nw.arcs[pa].tail == au {
+				dir = 1
+			}
+			nw.cyc = append(nw.cyc, pa)
+			nw.cycDir = append(nw.cycDir, dir)
+			au = nw.parent[au]
+
+			pb := nw.parentArc[aw]
+			dirB := int8(-1)
+			if nw.arcs[pb].head == aw {
+				dirB = 1
+			}
+			nw.cyc = append(nw.cyc, pb)
+			nw.cycDir = append(nw.cycDir, dirB)
+			aw = nw.parent[aw]
+		}
+
+		delta := nw.flow[enter]
+		if !down {
+			delta = nw.capRem(enter)
+		}
+		blocking := enter
+		for k, pa := range nw.cyc {
+			var lim int64
+			if nw.cycDir[k] > 0 {
+				lim = nw.capRem(int(pa))
+			} else {
+				lim = nw.flow[pa]
+			}
+			if lim < delta || (lim == delta && int(pa) < blocking) {
+				delta, blocking = lim, int(pa)
+			}
+		}
+		if delta >= netCapInf {
+			if phase == 1 {
+				return netGiveUp // phase 1 is bounded below; this is corruption
+			}
+			return netUnbounded
+		}
+		if down {
+			nw.flow[enter] -= delta
+		} else {
+			nw.flow[enter] += delta
+		}
+		for k, pa := range nw.cyc {
+			nw.flow[pa] += int64(nw.cycDir[k]) * delta
+		}
+		nw.pivots++
+		if blocking == enter {
+			// The entering arc blocked itself: a bound flip, tree unchanged.
+			if down {
+				nw.state[enter] = netLower
+			} else {
+				nw.state[enter] = netUpper
+			}
+			continue
+		}
+		nw.state[enter] = netTree
+		if nw.flow[blocking] == 0 {
+			nw.state[blocking] = netLower
+		} else {
+			nw.state[blocking] = netUpper
+		}
+		if !nw.rebuildTree(nNodeAll, phase) {
+			return netGiveUp
+		}
+	}
+}
+
+// buildCert assembles the flow certificate — the integral primal point and
+// one dual price per original row — and self-verifies it end to end in
+// exact arithmetic before returning it. Conservation rows read their dual
+// off the node potential; a nonbasic arc with a nonzero reduced cost
+// charges that cost to the bound row that pinned it, which keeps the dual
+// objective exactly equal to the primal one (complementary slackness by
+// construction). A verification failure returns ok=false and the caller
+// abandons the fast path entirely.
+func (nw *netWork) buildCert(p *Problem) (*Certificate, bool) {
+	n := p.NumVars
+	rowsTotal := len(p.Prefix) + len(p.Constraints)
+	nNodes := len(nw.consOrig)
+	nw.yRow = growI64(nw.yRow, rowsTotal)
+	clear(nw.yRow)
+
+	for v := 0; v < nNodes; v++ {
+		g := int64(1)
+		if nw.consNeg[v] {
+			g = -1
+		}
+		nw.yRow[nw.consOrig[v]] = g * int64(nw.flip[v]) * -nw.pi[v]
+	}
+
+	charge := func(row int32, sgn int8, wNorm int64) bool {
+		if row < 0 {
+			return false
+		}
+		w := wNorm * int64(sgn)
+		if nw.rowNeg[row] {
+			w = -w
+		}
+		nw.yRow[row] += w
+		return true
+	}
+	for j := 0; j < n; j++ {
+		a := nw.varArc[j]
+		if a < 0 {
+			// Bound-only variable: its "reduced cost" is -cHat.
+			if nw.cHat[j] > 0 {
+				if !charge(nw.ubRow[j], nw.ubSgn[j], nw.cHat[j]) {
+					return nil, false
+				}
+			} else if nw.cHat[j] < 0 && nw.lb[j] > 0 {
+				if !charge(nw.lbRow[j], nw.lbSgn[j], nw.cHat[j]) {
+					return nil, false
+				}
+			}
+			continue
+		}
+		if nw.state[a] == netTree {
+			continue
+		}
+		arc := &nw.arcs[a]
+		rc := arc.cost - nw.pi[arc.tail] + nw.pi[arc.head]
+		if rc == 0 {
+			continue
+		}
+		if nw.state[a] == netLower {
+			if nw.lb[j] > 0 {
+				if !charge(nw.lbRow[j], nw.lbSgn[j], -rc) {
+					return nil, false
+				}
+			} else if rc < 0 {
+				return nil, false // optimality violated with nothing to charge
+			}
+		} else {
+			if !charge(nw.ubRow[j], nw.ubSgn[j], -rc) {
+				return nil, false
+			}
+		}
+	}
+
+	// Exact self-verification: primal feasibility and dual sign per stored
+	// row, componentwise dual feasibility, and strong duality. Products of
+	// duals and right-hand sides can exceed int64, so the two objective
+	// sums accumulate in big.Int.
+	nw.yA = growI64(nw.yA, n)
+	clear(nw.yA)
+	primal := new(big.Int)
+	dual := new(big.Int)
+	tmp := new(big.Int)
+	fac := new(big.Int)
+	addProd := func(acc *big.Int, a, b int64) {
+		tmp.SetInt64(a)
+		fac.SetInt64(b)
+		tmp.Mul(tmp, fac)
+		acc.Add(acc, tmp)
+	}
+	checkRow := func(rowIdx int, cols func(yield func(j int, v float64) bool), rel Relation, rhsF float64) bool {
+		rhs := int64(rhsF)
+		y := nw.yRow[rowIdx]
+		switch rel {
+		case LE:
+			if y < 0 {
+				return false
+			}
+		case GE:
+			if y > 0 {
+				return false
+			}
+		}
+		var lhs int64
+		ok := true
+		cols(func(j int, v float64) bool {
+			var a int64
+			switch v {
+			case 1:
+				a = 1
+			case -1:
+				a = -1
+			case 0:
+				return true
+			default:
+				ok = false
+				return false
+			}
+			lhs += a * nw.xInt[j]
+			if y != 0 {
+				nw.yA[j] += y * a
+			}
+			return true
+		})
+		if !ok {
+			return false
+		}
+		switch rel {
+		case LE:
+			ok = lhs <= rhs
+		case GE:
+			ok = lhs >= rhs
+		case EQ:
+			ok = lhs == rhs
+		}
+		if !ok {
+			return false
+		}
+		addProd(dual, y, rhs)
+		return true
+	}
+	for i := range p.Prefix {
+		pr := &p.Prefix[i]
+		ok := checkRow(i, func(yield func(int, float64) bool) {
+			for k, col := range pr.Cols {
+				if !yield(int(col), pr.Vals[k]) {
+					return
+				}
+			}
+		}, pr.Rel, pr.RHS)
+		if !ok {
+			return nil, false
+		}
+	}
+	for ci := range p.Constraints {
+		c := &p.Constraints[ci]
+		ok := checkRow(len(p.Prefix)+ci, func(yield func(int, float64) bool) {
+			for j, v := range c.Coeffs {
+				if !yield(j, v) {
+					return
+				}
+			}
+		}, c.Rel, c.RHS)
+		if !ok {
+			return nil, false
+		}
+	}
+	for j := 0; j < n; j++ {
+		if nw.xInt[j] < 0 {
+			return nil, false
+		}
+		if nw.yA[j] < nw.cHat[j] {
+			return nil, false
+		}
+		addProd(primal, nw.cHat[j], nw.xInt[j])
+	}
+	if primal.Cmp(dual) != 0 {
+		return nil, false
+	}
+
+	cert := &Certificate{
+		Flow: true,
+		X:    make([]float64, n),
+		Y:    make([]float64, rowsTotal),
+	}
+	for j := 0; j < n; j++ {
+		cert.X[j] = float64(nw.xInt[j])
+	}
+	for i := 0; i < rowsTotal; i++ {
+		cert.Y[i] = float64(nw.yRow[i])
+	}
+	return cert, true
+}

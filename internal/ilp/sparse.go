@@ -107,8 +107,9 @@ func simplex(p *Problem) (Status, float64, []float64, int) {
 }
 
 // lpResult is one simplex call's outcome plus the certification metadata
-// (suspect-pivot count, optimal-basis certificate) the plain 4-tuple
-// signature of simplex cannot carry.
+// (suspect-pivot count, optimal-basis certificate) and the kernel
+// accounting (which kernel answered, its revised-pivot and refactorization
+// counts) the plain 4-tuple signature of simplex cannot carry.
 type lpResult struct {
 	status  Status
 	obj     float64
@@ -116,26 +117,73 @@ type lpResult struct {
 	pivots  int
 	suspect int
 	cert    *Certificate
+
+	// network marks a solve answered by the min-cost-flow kernel;
+	// revisedPivots/refactors count the revised kernel's work. Both feed
+	// Stats.NetworkSolves / Stats.RevisedPivots / Stats.Refactorizations.
+	network       bool
+	revisedPivots int
+	refactors     int
 }
 
-// simplexFull is simplex with certification metadata: it additionally
-// reports the solve's suspect-pivot count and, when wantCert is set and the
-// solve ended Optimal on a nonempty tableau, the final basis as a
-// Certificate for exact re-verification.
+// simplexFull is simplex with certification metadata: it routes the solve
+// to the cheapest sound kernel (see routeSimplex) and additionally reports
+// the solve's suspect-pivot count and, when wantCert is set and the solve
+// ended Optimal on a nonempty row set, an optimality certificate for exact
+// re-verification.
 func simplexFull(p *Problem, wantCert bool) lpResult {
+	r := routeSimplex(p, wantCert)
+	if selfCheck.Load() {
+		dStatus, dObj, _, _ := denseSimplex(unpackProblem(p))
+		if dStatus != r.status || (r.status == Optimal && math.Abs(dObj-r.obj) > agreeTol) {
+			panic(fmt.Sprintf("ilp: kernel/dense divergence: kernel %v %.9g, dense %v %.9g on\n%s",
+				r.status, r.obj, dStatus, dObj, unpackProblem(p)))
+		}
+	}
+	return r
+}
+
+// routeSimplex picks the cheapest sound kernel for one LP solve:
+//
+//   - the network fast path, when the rows convert exactly to a
+//     min-cost-flow instance (integer arithmetic, certificates for free);
+//   - the revised simplex, whose factored-basis pivots touch O(nnz)
+//     entries instead of a full tableau row set;
+//   - the retained full-tableau kernel, the fallback that accepts
+//     everything.
+//
+// A kernel that declines (inexpressible rows, a singular refactorization,
+// an iteration cap) falls through to the next, so routing can never change
+// an answer — only the work done to reach it. With a fault injector
+// installed everything runs on the tableau kernel: the documented fault
+// sites are tableau computations, and the certification tests that inject
+// them must keep faulting the solver that actually answers.
+func routeSimplex(p *Problem, wantCert bool) lpResult {
+	if len(p.Prefix)+len(p.Constraints) > 0 && faultInjector.Load() == nil {
+		off := kernelsOff.Load()
+		if off&kernelNetwork == 0 {
+			if r, ok := networkSolve(p, wantCert); ok {
+				return r
+			}
+		}
+		if off&kernelRevised == 0 {
+			if r, ok := revisedSimplex(p, wantCert); ok {
+				return r
+			}
+		}
+	}
+	return tableauSimplex(p, wantCert)
+}
+
+// tableauSimplex is the retained full-tableau kernel behind the pooled
+// scratch arena.
+func tableauSimplex(p *Problem, wantCert bool) lpResult {
 	s := scratchPool.Get().(*scratch)
 	defer scratchPool.Put(s)
 	status, obj, x, pivots := sparseSimplexOn(p, s)
 	r := lpResult{status: status, obj: obj, x: x, pivots: pivots, suspect: s.suspect}
 	if wantCert && status == Optimal && s.m > 0 {
 		r.cert = &Certificate{Basis: append([]int(nil), s.basis[:s.m]...)}
-	}
-	if selfCheck.Load() {
-		dStatus, dObj, _, _ := denseSimplex(unpackProblem(p))
-		if dStatus != status || (status == Optimal && math.Abs(dObj-obj) > agreeTol) {
-			panic(fmt.Sprintf("ilp: sparse/dense divergence: sparse %v %.9g, dense %v %.9g on\n%s",
-				status, obj, dStatus, dObj, unpackProblem(p)))
-		}
 	}
 	return r
 }

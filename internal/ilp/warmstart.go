@@ -3,6 +3,7 @@ package ilp
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // WarmStart retains the optimal tableau of a base problem — the shared
@@ -27,6 +28,12 @@ type WarmStart struct {
 	baseX      []float64
 	base       *scratch     // final tableau, basis, hi, phase-2 reduced costs
 	baseCert   *Certificate // base optimal basis, when certifiable (no presolve)
+	// baseXIntegral and redFixedIntegral are precomputed so the lean NoX
+	// solve path can report integrality without materializing an assignment:
+	// the base optimum's integrality, and (under a presolve) whether every
+	// fixed variable's reconstructed constant is integral.
+	baseXIntegral    bool
+	redFixedIntegral bool
 }
 
 // WarmOptions tunes NewWarmStartOpts.
@@ -97,6 +104,16 @@ func NewWarmStartOpts(p *Problem, opts WarmOptions) *WarmStart {
 	}
 	w.baseObj = obj
 	w.baseX = x
+	w.baseXIntegral = isIntegral(x)
+	w.redFixedIntegral = true
+	if w.red != nil {
+		for v, c := range w.red.col {
+			if c < 0 && math.Abs(w.red.fixed[v]-math.Round(w.red.fixed[v])) > intTol {
+				w.redFixedIntegral = false
+				break
+			}
+		}
+	}
 	return w
 }
 
@@ -135,13 +152,36 @@ func (w *WarmStart) SolveSet(set []Constraint, cutoff float64, useCutoff bool) (
 	return r.Status, r.Objective, r.X, r.Pivots, r.OK
 }
 
+// SetSolveOptions tunes one warm per-set solve (SolveSetOpts).
+type SetSolveOptions struct {
+	// Cutoff, with UseCutoff, is an incumbent bound in the problem's own
+	// sense; the solve returns Dominated as soon as the dual bound proves
+	// the optimum strictly worse.
+	Cutoff    float64
+	UseCutoff bool
+	// WantCert asks for the optimal-basis certificate (SetSolution.Cert).
+	WantCert bool
+	// NoX skips materializing the optimum assignment: SetSolution.X stays
+	// nil and SetSolution.XIntegral still reports whether the assignment
+	// would have been integral. Callers that only need the objective (the
+	// per-set fan-out of package ipet re-derives the winner's counts with a
+	// canonical cold re-solve anyway) save the per-solve vector allocation
+	// and, under a presolve, the reconstruction.
+	NoX bool
+}
+
 // SetSolution is the full result of one warm per-set solve.
 type SetSolution struct {
 	Status    Status
 	Objective float64
-	// X holds the optimum assignment (length NumVars) when Optimal.
-	X      []float64
-	Pivots int
+	// X holds the optimum assignment (length NumVars) when Optimal —
+	// unless the solve ran with SetSolveOptions.NoX, which leaves it nil.
+	X []float64
+	// XIntegral reports whether the optimum assignment is integral within
+	// the branch-and-bound tolerance (meaningful when Optimal; valid under
+	// NoX even though X itself is not materialized).
+	XIntegral bool
+	Pivots    int
 	// Suspect counts ill-conditioned pivots of this solve.
 	Suspect int
 	// Cert is the optimal-basis certificate, present when the solve was
@@ -157,11 +197,23 @@ type SetSolution struct {
 // the suspect-pivot count and, when wantCert is set, the optimal-basis
 // certificate for exact re-verification.
 func (w *WarmStart) SolveSetFull(set []Constraint, cutoff float64, useCutoff, wantCert bool) SetSolution {
+	return w.SolveSetOpts(set, SetSolveOptions{Cutoff: cutoff, UseCutoff: useCutoff, WantCert: wantCert})
+}
+
+// deltaRowsPool recycles the lowered-row slices of SolveSetOpts: one warm
+// per-set solve is a few pointer-sized rows, and the fan-out performs
+// thousands of them.
+var deltaRowsPool = sync.Pool{New: func() any { s := make([]deltaRow, 0, 8); return &s }}
+
+// SolveSetOpts is SolveSet with the full option set (SetSolveOptions) and
+// the full per-solve result.
+func (w *WarmStart) SolveSetOpts(set []Constraint, opts SetSolveOptions) SetSolution {
 	if !w.ok {
 		return SetSolution{Status: Infeasible}
 	}
 	var r SetSolution
-	rows, setInfeasible := w.lowerSet(set)
+	buf := deltaRowsPool.Get().(*[]deltaRow)
+	rows, setInfeasible := w.lowerSet(set, (*buf)[:0])
 	switch {
 	case setInfeasible:
 		// A delta row reduced to a violated constant (e.g. it pins a
@@ -173,29 +225,39 @@ func (w *WarmStart) SolveSetFull(set []Constraint, cutoff float64, useCutoff, wa
 		// the base optimum answers the set — unless the incumbent cutoff
 		// already proves it uninteresting, matching the dual bound check a
 		// tableau solve would hit on its first iteration.
-		if useCutoff && w.sign*w.baseObj < w.sign*cutoff-cutoffTol {
+		if opts.UseCutoff && w.sign*w.baseObj < w.sign*opts.Cutoff-cutoffTol {
 			r = SetSolution{Status: Dominated, OK: true}
 		} else {
 			r = SetSolution{Status: Optimal, Objective: w.baseObj,
-				X: append([]float64(nil), w.baseX...), OK: true}
-			if wantCert {
+				XIntegral: w.baseXIntegral, OK: true}
+			if !opts.NoX {
+				r.X = append([]float64(nil), w.baseX...)
+			}
+			if opts.WantCert {
 				r.Cert = w.baseCert
 			}
 		}
 	default:
-		r = w.solveDelta(rows, cutoff, useCutoff, wantCert)
+		r = w.solveDelta(rows, opts)
 	}
+	// Drop the map references before recycling so a pooled slice cannot
+	// pin a caller's coefficient maps alive.
+	for i := range rows {
+		rows[i] = deltaRow{}
+	}
+	*buf = rows[:0]
+	deltaRowsPool.Put(buf)
 	if r.OK && selfCheck.Load() {
-		w.checkAgainstCold(set, r.Status, r.Objective, cutoff)
+		w.checkAgainstCold(set, r.Status, r.Objective, opts.Cutoff)
 	}
 	return r
 }
 
 // lowerSet translates per-set delta constraints into the tableau's variable
 // space, dropping rows the base substitution already satisfies and
-// reporting sets it outright contradicts.
-func (w *WarmStart) lowerSet(set []Constraint) (rows []deltaRow, infeasible bool) {
-	rows = make([]deltaRow, 0, len(set))
+// reporting sets it outright contradicts. The rows are appended to the
+// caller-supplied (pooled) slice.
+func (w *WarmStart) lowerSet(set []Constraint, rows []deltaRow) ([]deltaRow, bool) {
 	for i := range set {
 		c := &set[i]
 		var (
@@ -211,7 +273,7 @@ func (w *WarmStart) lowerSet(set []Constraint) (rows []deltaRow, infeasible bool
 		}
 		switch fate {
 		case rowInfeasible:
-			return nil, true
+			return rows, true
 		case rowRedundant:
 			continue
 		}
@@ -220,7 +282,7 @@ func (w *WarmStart) lowerSet(set []Constraint) (rows []deltaRow, infeasible bool
 	return rows, false
 }
 
-func (w *WarmStart) solveDelta(rows []deltaRow, cutoff float64, useCutoff, wantCert bool) SetSolution {
+func (w *WarmStart) solveDelta(rows []deltaRow, opts SetSolveOptions) SetSolution {
 	b := w.base
 	m0, total0 := b.m, b.total
 
@@ -317,7 +379,7 @@ func (w *WarmStart) solveDelta(rows []deltaRow, cutoff float64, useCutoff, wantC
 	if w.red != nil {
 		off = w.red.objOffset
 	}
-	internalCutoff := w.sign * (cutoff - off)
+	internalCutoff := w.sign * (opts.Cutoff - off)
 	pivots := 0
 	blandAfter := 50 * (m + total + 10)
 	hardCap := 10 * blandAfter
@@ -325,7 +387,7 @@ func (w *WarmStart) solveDelta(rows []deltaRow, cutoff float64, useCutoff, wantC
 		// The dual bound -rc[total] tightens monotonically toward the
 		// optimum; once it proves the set strictly worse than the caller's
 		// incumbent, the exact value no longer matters.
-		if useCutoff && -rc[total] < internalCutoff-cutoffTol {
+		if opts.UseCutoff && -rc[total] < internalCutoff-cutoffTol {
 			return SetSolution{Status: Dominated, Pivots: pivots, Suspect: s.suspect, OK: true}
 		}
 		if iter > hardCap {
@@ -379,25 +441,60 @@ func (w *WarmStart) solveDelta(rows []deltaRow, cutoff float64, useCutoff, wantC
 		}
 	}
 
-	x := make([]float64, w.nTab)
-	for i := 0; i < m; i++ {
-		if bc := s.basis[i]; bc < w.nTab {
-			v := s.tab[i][total]
-			if v < 0 && v > -feasTol {
-				v = 0
-			}
-			x[bc] = v
+	var r SetSolution
+	if opts.NoX {
+		// Lean extraction: the assignment is zero off the basis, so its
+		// objective and integrality read straight off the basic rows (plus,
+		// under a presolve, the precomputed fixed-variable constants) with
+		// no vector materialized and nothing reconstructed.
+		objMap := w.prob.Objective
+		integral := true
+		if w.red != nil {
+			objMap = w.red.obj
+			integral = w.redFixedIntegral
 		}
+		obj := 0.0
+		for i := 0; i < m; i++ {
+			if bc := s.basis[i]; bc < w.nTab {
+				v := s.tab[i][total]
+				if v < 0 && v > -feasTol {
+					v = 0
+				}
+				if math.Abs(v-math.Round(v)) > intTol {
+					integral = false
+				}
+				if c := objMap[bc]; c != 0 && v != 0 {
+					obj += c * v
+				}
+			}
+		}
+		if w.red != nil {
+			obj += w.red.objOffset
+		}
+		r = SetSolution{Status: Optimal, Objective: obj, XIntegral: integral,
+			Pivots: pivots, Suspect: s.suspect, OK: true}
+	} else {
+		x := make([]float64, w.nTab)
+		for i := 0; i < m; i++ {
+			if bc := s.basis[i]; bc < w.nTab {
+				v := s.tab[i][total]
+				if v < 0 && v > -feasTol {
+					v = 0
+				}
+				x[bc] = v
+			}
+		}
+		if w.red != nil {
+			x = w.red.reconstruct(x)
+		}
+		obj := 0.0
+		for j, v := range w.prob.Objective {
+			obj += v * x[j]
+		}
+		r = SetSolution{Status: Optimal, Objective: obj, X: x, XIntegral: isIntegral(x),
+			Pivots: pivots, Suspect: s.suspect, OK: true}
 	}
-	if w.red != nil {
-		x = w.red.reconstruct(x)
-	}
-	obj := 0.0
-	for j, v := range w.prob.Objective {
-		obj += v * x[j]
-	}
-	r := SetSolution{Status: Optimal, Objective: obj, X: x, Pivots: pivots, Suspect: s.suspect, OK: true}
-	if wantCert && w.red == nil {
+	if opts.WantCert && w.red == nil {
 		r.Cert = &Certificate{Warm: true, Basis: append([]int(nil), s.basis[:m]...)}
 	}
 	return r

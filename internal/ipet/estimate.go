@@ -84,6 +84,15 @@ type Stats struct {
 	// Pivots counts simplex pivots across every solve of the estimate —
 	// the primary cost metric the warm start attacks.
 	Pivots int
+	// NetworkSolves counts cold LP solves answered by the solver's
+	// min-cost-flow fast path (annotation-light sets whose rows are
+	// network-expressible — the paper's polynomial-time route).
+	NetworkSolves int
+	// RevisedPivots counts the subset of Pivots performed by the revised
+	// (factored-basis) simplex kernel; Refactorizations counts that
+	// kernel's basis refactorizations.
+	RevisedPivots    int
+	Refactorizations int
 	// CacheHits counts per-set solve jobs answered by a prepared session's
 	// persistent cross-estimate cache with no simplex work at all. Always
 	// zero for analyzers made by New; see Prepare. Cache-answered jobs are
@@ -432,7 +441,8 @@ type solverPlan struct {
 	dirs    []direction
 	// Work performed building the plan (warm base solves), charged to the
 	// Estimate call that triggered the build.
-	setupLP, setupPivots, setupCold int
+	setupLP, setupPivots, setupCold    int
+	setupNet, setupRev, setupRefactors int
 }
 
 // solverSetup returns the memoized solver plan, building it on first use.
@@ -544,6 +554,9 @@ func (a *Analyzer) solverSetup() (plan *solverPlan, fresh bool, err error) {
 				plan.setupLP += sol.Stats.LPSolves
 				plan.setupCold++
 				plan.setupPivots += sol.Stats.Pivots
+				plan.setupNet += sol.Stats.NetworkSolves
+				plan.setupRev += sol.Stats.RevisedPivots
+				plan.setupRefactors += sol.Stats.Refactorizations
 				if sol.Status == ilp.Optimal {
 					d.relax, d.relaxOK = sol.Objective, true
 				}
@@ -643,7 +656,11 @@ func (a *Analyzer) solveSet(ctx context.Context, d *direction, set []ilp.Constra
 	}
 
 	if d.warm != nil && d.warm.Ready() {
-		ws := d.warm.SolveSetFull(set, cut, useCutoff, certOn)
+		// NoX: a warm winner's counts are always re-derived by finishDir's
+		// canonical cold re-solve, so no per-set solve needs the assignment
+		// materialized — integrality arrives precomputed in ws.XIntegral.
+		ws := d.warm.SolveSetOpts(set, ilp.SetSolveOptions{
+			Cutoff: cut, UseCutoff: useCutoff, WantCert: certOn, NoX: true})
 		r.stats.Pivots += ws.Pivots
 		r.stats.SuspectPivots += ws.Suspect
 		if ws.OK {
@@ -659,12 +676,11 @@ func (a *Analyzer) solveSet(ctx context.Context, d *direction, set []ilp.Constra
 				}
 				return r
 			case ilp.Optimal:
-				if ilp.IsIntegral(ws.X) {
+				if ws.XIntegral {
 					r.warm = true
 					r.status = ws.Status
 					r.stats.RootIntegral = true
 					r.cycles = int64(math.Round(ws.Objective))
-					r.values = ws.X
 					if certOn {
 						if err := a.certifyOutcome(ctx, &r, problem(), ws.Cert); err != nil {
 							return solveResult{err: err}
@@ -690,6 +706,9 @@ func (a *Analyzer) solveSet(ctx context.Context, d *direction, set []ilp.Constra
 	r.stats.Branches += sol.Stats.Branches
 	r.stats.Pivots += sol.Stats.Pivots
 	r.stats.SuspectPivots += sol.Stats.SuspectPivots
+	r.stats.NetworkSolves += sol.Stats.NetworkSolves
+	r.stats.RevisedPivots += sol.Stats.RevisedPivots
+	r.stats.Refactorizations += sol.Stats.Refactorizations
 	r.stats.RootIntegral = sol.Stats.RootIntegral
 	if certOn {
 		if err := a.certifyOutcome(ctx, &r, problem(), sol.Cert); err != nil {
@@ -916,6 +935,9 @@ func (a *Analyzer) finishDir(ctx context.Context, est *Estimate, di int, plan *s
 	est.Branches += sol.Stats.Branches
 	est.Stats.Pivots += sol.Stats.Pivots
 	est.Stats.SuspectPivots += sol.Stats.SuspectPivots
+	est.Stats.NetworkSolves += sol.Stats.NetworkSolves
+	est.Stats.RevisedPivots += sol.Stats.RevisedPivots
+	est.Stats.Refactorizations += sol.Stats.Refactorizations
 	est.Stats.ColdSolves++
 	vals := sol.Values
 	ok := sol.Status == ilp.Optimal && int64(math.Round(sol.Objective)) == best.Cycles
@@ -1026,6 +1048,9 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 		est.LPSolves += plan.setupLP
 		est.Stats.ColdSolves += plan.setupCold
 		est.Stats.Pivots += plan.setupPivots
+		est.Stats.NetworkSolves += plan.setupNet
+		est.Stats.RevisedPivots += plan.setupRev
+		est.Stats.Refactorizations += plan.setupRefactors
 	}
 	if len(plan.sets) == 0 {
 		return nil, &InfeasibleError{Sets: plan.total, AllNull: true}
@@ -1243,6 +1268,9 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 		est.Branches += r.stats.Branches
 		est.Stats.Pivots += r.stats.Pivots
 		est.Stats.SuspectPivots += r.stats.SuspectPivots
+		est.Stats.NetworkSolves += r.stats.NetworkSolves
+		est.Stats.RevisedPivots += r.stats.RevisedPivots
+		est.Stats.Refactorizations += r.stats.Refactorizations
 		est.Stats.CertFailures += r.certFailures
 		est.Stats.ExactResolves += r.exactResolves
 		if r.warm {

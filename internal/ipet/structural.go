@@ -14,6 +14,22 @@ import (
 // callee instance's entry edge equals its call-site f-variable (eq. 12,
 // specialized per context).
 func (a *Session) StructuralConstraints() []ilp.Constraint {
+	return a.structural(true)
+}
+
+// FlowConstraints is the flow-conservation slice of StructuralConstraints:
+// the per-context block/edge incidence rows plus the root entry row, without
+// the eq. 12 call-linkage rows. This slice is a network matrix — the shape
+// the solver's min-cost-flow kernel answers in polynomial time. The linkage
+// rows are excluded because each one gives its call-edge column a third
+// nonzero (the edge already appears in the caller's out-row and the return
+// successor's in-row), which takes the full interprocedural system off
+// strict node-arc incidence form.
+func (a *Session) FlowConstraints() []ilp.Constraint {
+	return a.structural(false)
+}
+
+func (a *Session) structural(withLinkage bool) []ilp.Constraint {
 	var out []ilp.Constraint
 	for _, ctx := range a.contexts {
 		fc := a.Prog.Funcs[ctx.Func]
@@ -39,6 +55,9 @@ func (a *Session) StructuralConstraints() []ilp.Constraint {
 			out = append(out, outC)
 		}
 		// Link call edges to callee instances: d_entry(callee@site) = f_site.
+		if !withLinkage {
+			continue
+		}
 		for _, eid := range fc.Calls {
 			child := a.ctxChild[[2]int{ctx.ID, eid}]
 			childFC := a.Prog.Funcs[child.Func]
