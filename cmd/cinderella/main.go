@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -66,6 +67,8 @@ func main() {
 		mhz       = flag.Float64("mhz", 20, "clock frequency used to report times (the QT960 runs at 20 MHz)")
 		profile   = flag.String("profile", "i960kb", "processor timing profile (i960kb, dsp3210)")
 		kernels   = flag.String("kernels", "all", "solver fast-path kernels: all, network, revised, or tableau (tableau disables both fast paths; routing never changes a bound)")
+		param     = flag.String("param", "", "treat annotation symbols as parameters with domains, e.g. n1=1..100,n2=0..8; prints the piecewise-linear bound formula")
+		sweep     = flag.Bool("sweep", false, "with -param, tabulate the bound at every integer point of the parameter domain")
 	)
 	var annotPaths multiFlag
 	flag.Var(&annotPaths, "annot", "functionality annotation file (repeat for batch mode: each file is one scenario)")
@@ -184,8 +187,8 @@ func main() {
 		scenarioPaths = append(scenarioPaths, listed...)
 	}
 	if len(scenarioPaths) > 1 {
-		if *list || *dumpLP {
-			fatal(fmt.Errorf("batch mode (repeated -annot or -scenarios) is incompatible with -list and -lp"))
+		if *list || *dumpLP || *param != "" {
+			fatal(fmt.Errorf("batch mode (repeated -annot or -scenarios) is incompatible with -list, -lp, and -param"))
 		}
 		runBatch(prog, analyzed, opts, scenarioPaths, *auto, *stats, *mhz)
 		return
@@ -228,6 +231,23 @@ func main() {
 			fmt.Printf("autobound: %s not derived: %s\n", k, res.Skipped[k])
 		}
 		files = append(files, res.File())
+	}
+	if *param != "" {
+		if *list || *dumpLP {
+			fatal(fmt.Errorf("-param is incompatible with -list and -lp"))
+		}
+		specs, err := parseParamSpecs(*param)
+		if err != nil {
+			fatal(err)
+		}
+		if len(files) == 0 {
+			fatal(fmt.Errorf("-param needs annotations that mention the symbols (use -annot)"))
+		}
+		runParam(an.Session, constraint.Merge(files...), specs, *sweep, *stats, *mhz, analyzed)
+		return
+	}
+	if *sweep {
+		fatal(fmt.Errorf("-sweep requires -param"))
 	}
 	if len(files) > 0 {
 		if err := an.Apply(constraint.Merge(files...)); err != nil {
@@ -310,6 +330,10 @@ func printReport(sess *ipet.Session, est *ipet.Estimate, analyzed string, mhz fl
 			s.NetworkSolves, s.RevisedPivots, s.Refactorizations)
 		fmt.Printf("solver: build %s, solve %s\n",
 			s.BuildTime.Round(time.Microsecond), s.SolveTime.Round(time.Microsecond))
+		if s.FormulaEvals > 0 || s.ParamFallbacks > 0 {
+			fmt.Printf("solver: %d formula evals, %d parametric regions, %d concrete fallbacks\n",
+				s.FormulaEvals, s.ParamRegions, s.ParamFallbacks)
+		}
 		if s.SetsWidened > 0 || s.SetsUnsolved > 0 || s.DeadlineHit {
 			fmt.Printf("solver: %d sets widened, %d sets unsolved, deadline hit: %v\n",
 				s.SetsWidened, s.SetsUnsolved, s.DeadlineHit)
@@ -369,6 +393,131 @@ func runBatch(prog *cfg.Program, analyzed string, opts ipet.Options, paths []str
 	if stats {
 		bases, solves, finishes := sess.CacheStats()
 		fmt.Printf("\nsession caches: %d warm bases, %d set outcomes, %d count vectors\n", bases, solves, finishes)
+	}
+}
+
+// parseParamSpecs parses the -param value: comma-separated name=lo..hi
+// domain declarations, one per annotation symbol.
+func parseParamSpecs(s string) ([]ipet.ParamSpec, error) {
+	var specs []ipet.ParamSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rng, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-param %q: want name=lo..hi (e.g. n1=1..100)", part)
+		}
+		loStr, hiStr, ok := strings.Cut(rng, "..")
+		if !ok {
+			return nil, fmt.Errorf("-param %q: want name=lo..hi (e.g. n1=1..100)", part)
+		}
+		lo, err := strconv.ParseInt(strings.TrimSpace(loStr), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-param %q: bad lower end: %v", part, err)
+		}
+		hi, err := strconv.ParseInt(strings.TrimSpace(hiStr), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-param %q: bad upper end: %v", part, err)
+		}
+		specs = append(specs, ipet.ParamSpec{Name: strings.TrimSpace(name), Lo: lo, Hi: hi})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("-param: no parameter domains given")
+	}
+	return specs, nil
+}
+
+// runParam builds the piecewise-linear bound formula once and prints it;
+// with -sweep it then tabulates the bound at every point of the domain —
+// each point is a formula evaluation, not a solver run, unless the point
+// falls in a coverage hole and takes the concrete fallback.
+func runParam(sess *ipet.Session, file *constraint.File, specs []ipet.ParamSpec, sweep, stats bool, mhz float64, analyzed string) {
+	start := time.Now()
+	pb, err := sess.Parametrize(file, specs)
+	if err != nil {
+		fatal(estimateErr(err))
+	}
+	elapsed := time.Since(start)
+	var doms []string
+	for _, sp := range specs {
+		doms = append(doms, fmt.Sprintf("%s=%d..%d", sp.Name, sp.Lo, sp.Hi))
+	}
+	fmt.Printf("function %s: parametric bound over %s\n", analyzed, strings.Join(doms, ", "))
+	fmt.Println(pb.Describe())
+	if pb.Certified() {
+		fmt.Println("certified: every region's basis re-verified in exact rational arithmetic")
+	}
+	if stats {
+		// The duration is wall-clock, so it lives behind -stats like the
+		// build/solve timing line: plain runs stay byte-identical across -j.
+		st := pb.Stats()
+		fmt.Printf("enumeration: %d region(s) in %s (%d parametric solves, %d pivots, %d pieces rejected)\n",
+			st.ParamRegions, elapsed.Round(time.Microsecond), st.EnumSolves, st.EnumPivots, st.RejectedPieces)
+	}
+	if sweep {
+		sweepDomain(pb, specs, mhz)
+	}
+	if stats {
+		st := pb.Stats()
+		fmt.Printf("parametric: %d formula evals, %d concrete fallbacks\n", st.FormulaEvals, st.ParamFallbacks)
+	}
+}
+
+// maxSweepPoints caps -sweep output; past it the user should narrow the
+// domains (the formula itself has no such limit).
+const maxSweepPoints = 4096
+
+func sweepDomain(pb *ipet.ParamBound, specs []ipet.ParamSpec, mhz float64) {
+	total := int64(1)
+	for _, sp := range specs {
+		total *= sp.Hi - sp.Lo + 1
+		if total > maxSweepPoints {
+			fatal(fmt.Errorf("-sweep: domain has more than %d points — narrow the -param ranges", maxSweepPoints))
+		}
+	}
+	fmt.Printf("\nsweep over %d point(s):\n", total)
+	point := make([]int64, len(specs))
+	for k := range point {
+		point[k] = specs[k].Lo
+	}
+	for {
+		var parts []string
+		for k, sp := range specs {
+			parts = append(parts, fmt.Sprintf("%s=%d", sp.Name, point[k]))
+		}
+		label := strings.Join(parts, " ")
+		est, err := pb.EstimateAt(point)
+		switch {
+		case err != nil:
+			var ie *ipet.InfeasibleError
+			if !errors.As(err, &ie) {
+				fatal(fmt.Errorf("sweep %s: %w", label, err))
+			}
+			fmt.Printf("  %-24s infeasible\n", label)
+		default:
+			src := "formula"
+			if est.Stats.ParamFallbacks > 0 {
+				src = "fallback"
+			}
+			line := fmt.Sprintf("  %-24s bound [%d, %d] cycles", label, est.BCET.Cycles, est.WCET.Cycles)
+			if mhz > 0 {
+				line += fmt.Sprintf("  ([%.1f, %.1f] us)", float64(est.BCET.Cycles)/mhz, float64(est.WCET.Cycles)/mhz)
+			}
+			fmt.Printf("%s  (%s)\n", line, src)
+		}
+		k := len(point) - 1
+		for ; k >= 0; k-- {
+			point[k]++
+			if point[k] <= specs[k].Hi {
+				break
+			}
+			point[k] = specs[k].Lo
+		}
+		if k < 0 {
+			break
+		}
 	}
 }
 

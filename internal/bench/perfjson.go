@@ -49,6 +49,13 @@ type EstimatePerf struct {
 	ExactResolves int  `json:"exact_resolves"`
 	SuspectPivots int  `json:"suspect_pivots"`
 
+	// Parametric-layer counters (Session.Parametrize): queries answered by
+	// the piecewise-linear formula, enumerated regions, and queries that fell
+	// back to a concrete warm-started solve.
+	FormulaEvals   int64 `json:"formula_evals"`
+	ParamRegions   int   `json:"param_regions"`
+	ParamFallbacks int64 `json:"param_fallbacks"`
+
 	WCET int64 `json:"wcet_cycles"`
 	BCET int64 `json:"bcet_cycles"`
 }
@@ -75,6 +82,9 @@ func (p *EstimatePerf) FillFromEstimate(est *ipet.Estimate) {
 	p.CertFailures = est.Stats.CertFailures
 	p.ExactResolves = est.Stats.ExactResolves
 	p.SuspectPivots = est.Stats.SuspectPivots
+	p.FormulaEvals = int64(est.Stats.FormulaEvals)
+	p.ParamRegions = est.Stats.ParamRegions
+	p.ParamFallbacks = int64(est.Stats.ParamFallbacks)
 	p.WCET = est.WCET.Cycles
 	p.BCET = est.BCET.Cycles
 }

@@ -199,6 +199,7 @@ func TestWriteEstimateBenchJSON(t *testing.T) {
 	}
 
 	recs = append(recs, sessionRows(t)...)
+	recs = append(recs, parametricRows(t)...)
 
 	path := os.Getenv("CINDERELLA_BENCH_JSON")
 	if path == "" {
@@ -501,7 +502,7 @@ func TestEstimatePivotRegressionVsCommitted(t *testing.T) {
 		}
 		// Generous bound: small solver changes legitimately shift pivot
 		// counts, the gate is for order-of-magnitude regressions.
-		if limit := c.Pivots+c.Pivots/4+16; pivots > limit {
+		if limit := c.Pivots + c.Pivots/4 + 16; pivots > limit {
 			t.Errorf("%s: %d pivots vs committed %d (limit %d) — solver-work regression",
 				name, pivots, c.Pivots, limit)
 		}

@@ -99,11 +99,22 @@ func (op RelOp) String() string {
 	return ">="
 }
 
-// Rel is a normalized linear relation: sum(Terms[v] * v) Op RHS.
+// Rel is a normalized linear relation:
+//
+//	sum(Terms[v] * v)  Op  RHS + sum(Syms[s] * s)
+//
+// Syms holds parameter symbols (identifiers like n1 that name neither an
+// x/d/f variable nor a function-qualified count): the relation's right-hand
+// side is affine in them. A Rel with a non-empty Syms cannot be solved
+// concretely until the symbols are bound (File.Bind) or the file is handed
+// to a parametric analysis.
 type Rel struct {
 	Terms map[Var]int64
 	Op    RelOp
 	RHS   int64
+	// Syms maps parameter symbol names to their RHS coefficients. Nil when
+	// the relation is fully concrete.
+	Syms map[string]int64
 	// Source is the original text for diagnostics.
 	Source string
 	// File and Line locate the relation in its annotation source: File is
@@ -143,6 +154,24 @@ func (r Rel) String() string {
 		b.WriteString("0")
 	}
 	fmt.Fprintf(&b, " %s %d", r.Op, r.RHS)
+	syms := make([]string, 0, len(r.Syms))
+	for s := range r.Syms {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	for _, s := range syms {
+		coef := r.Syms[s]
+		if coef >= 0 {
+			b.WriteString(" + ")
+		} else {
+			b.WriteString(" - ")
+			coef = -coef
+		}
+		if coef != 1 {
+			fmt.Fprintf(&b, "%d ", coef)
+		}
+		b.WriteString(s)
+	}
 	return b.String()
 }
 
@@ -169,10 +198,17 @@ type LoopBound struct {
 	// Loop is the 1-based loop number in the function's detection order.
 	Loop   int
 	Lo, Hi int64
-	Line   int
+	// LoSym/HiSym, when non-empty, name a parameter symbol that replaces the
+	// corresponding numeric end ("loop 1: 0 .. n1"). The numeric field is
+	// meaningless while its symbol is set; File.Bind substitutes the value.
+	LoSym, HiSym string
+	Line         int
 	// File is the annotation file the bound came from (set by ParseNamed).
 	File string
 }
+
+// Symbolic reports whether either end of the bound is a parameter symbol.
+func (lb LoopBound) Symbolic() bool { return lb.LoSym != "" || lb.HiSym != "" }
 
 // Section holds the annotations of one function.
 type Section struct {
@@ -275,7 +311,122 @@ func (r Rel) clone() Rel {
 			c.Terms[v] = coef
 		}
 	}
+	if r.Syms != nil {
+		c.Syms = make(map[string]int64, len(r.Syms))
+		for s, coef := range r.Syms {
+			c.Syms[s] = coef
+		}
+	}
 	return c
+}
+
+// Symbols returns the sorted set of parameter symbol names that occur
+// anywhere in the file — in loop-bound ends or on relation right-hand
+// sides. Empty for a fully concrete file.
+func (f *File) Symbols() []string {
+	seen := map[string]bool{}
+	for si := range f.Sections {
+		sec := &f.Sections[si]
+		for _, lb := range sec.LoopBounds {
+			if lb.LoSym != "" {
+				seen[lb.LoSym] = true
+			}
+			if lb.HiSym != "" {
+				seen[lb.HiSym] = true
+			}
+		}
+		for _, fm := range sec.Formulas {
+			formulaSymbols(fm, seen)
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func formulaSymbols(f Formula, seen map[string]bool) {
+	switch n := f.(type) {
+	case *Atom:
+		for s := range n.Rel.Syms {
+			seen[s] = true
+		}
+	case *And:
+		for _, p := range n.Parts {
+			formulaSymbols(p, seen)
+		}
+	case *Or:
+		for _, p := range n.Parts {
+			formulaSymbols(p, seen)
+		}
+	}
+}
+
+// Bind substitutes concrete values for every parameter symbol and returns
+// the resulting fully concrete file; the receiver is not modified. A symbol
+// occurring in the file but missing from params is an error (positioned at
+// the first occurrence). Range validation of the substituted loop bounds is
+// left to the consumer (ipet.Apply), which already rejects lo > hi.
+func (f *File) Bind(params map[string]int64) (*File, error) {
+	out := f.Clone()
+	if out == nil {
+		return nil, nil
+	}
+	for si := range out.Sections {
+		sec := &out.Sections[si]
+		for li := range sec.LoopBounds {
+			lb := &sec.LoopBounds[li]
+			if lb.LoSym != "" {
+				v, ok := params[lb.LoSym]
+				if !ok {
+					return nil, fmt.Errorf("%s:%d: unbound parameter symbol %q", lb.File, lb.Line, lb.LoSym)
+				}
+				lb.Lo, lb.LoSym = v, ""
+			}
+			if lb.HiSym != "" {
+				v, ok := params[lb.HiSym]
+				if !ok {
+					return nil, fmt.Errorf("%s:%d: unbound parameter symbol %q", lb.File, lb.Line, lb.HiSym)
+				}
+				lb.Hi, lb.HiSym = v, ""
+			}
+		}
+		for _, fm := range sec.Formulas {
+			if err := bindFormula(fm, params); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func bindFormula(f Formula, params map[string]int64) error {
+	switch n := f.(type) {
+	case *Atom:
+		for s, coef := range n.Rel.Syms {
+			v, ok := params[s]
+			if !ok {
+				return fmt.Errorf("%s:%d: unbound parameter symbol %q", n.Rel.File, n.Rel.Line, s)
+			}
+			n.Rel.RHS += coef * v
+		}
+		n.Rel.Syms = nil
+	case *And:
+		for _, p := range n.Parts {
+			if err := bindFormula(p, params); err != nil {
+				return err
+			}
+		}
+	case *Or:
+		for _, p := range n.Parts {
+			if err := bindFormula(p, params); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Section returns the section for a function, if present.

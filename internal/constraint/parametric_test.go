@@ -1,0 +1,127 @@
+package constraint
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseSymbolicPlaceholders: parameter symbols round-trip through the
+// parser with positions stamped — in loop bounds and in formula relations.
+func TestParseSymbolicPlaceholders(t *testing.T) {
+	f, err := ParseNamed("p.ann", `
+func check_data {
+    loop 1: 1 .. n1
+    loop 2: n2 .. n2
+    x2 <= 3 n1 + 7
+    x4 = x9
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := f.Sections[0]
+	lb := sec.LoopBounds[0]
+	if lb.Lo != 1 || lb.LoSym != "" || lb.HiSym != "n1" || !lb.Symbolic() {
+		t.Fatalf("loop 1 bound = %+v, want lo 1 hi n1", lb)
+	}
+	if lb.File != "p.ann" || lb.Line != 3 {
+		t.Fatalf("loop 1 bound position = %s:%d, want p.ann:3", lb.File, lb.Line)
+	}
+	lb2 := sec.LoopBounds[1]
+	if lb2.LoSym != "n2" || lb2.HiSym != "n2" {
+		t.Fatalf("loop 2 bound = %+v, want n2 .. n2", lb2)
+	}
+	atom, ok := sec.Formulas[0].(*Atom)
+	if !ok {
+		t.Fatalf("formula 0 is %T, want *Atom", sec.Formulas[0])
+	}
+	if got := atom.Rel.Syms["n1"]; got != 3 {
+		t.Fatalf("x2 <= 3 n1 + 7: Syms[n1] = %d, want 3", got)
+	}
+	if atom.Rel.RHS != 7 {
+		t.Fatalf("x2 <= 3 n1 + 7: RHS = %d, want 7", atom.Rel.RHS)
+	}
+	if atom.Rel.File != "p.ann" || atom.Rel.Line != 5 {
+		t.Fatalf("formula position = %s:%d, want p.ann:5", atom.Rel.File, atom.Rel.Line)
+	}
+	if got := f.Symbols(); !reflect.DeepEqual(got, []string{"n1", "n2"}) {
+		t.Fatalf("Symbols() = %v, want [n1 n2]", got)
+	}
+	if s := atom.Rel.String(); !strings.Contains(s, "3 n1") {
+		t.Fatalf("Rel.String() = %q, want the symbol term rendered", s)
+	}
+}
+
+// TestCloneSymbolicIndependence: Clone must deep-copy symbol maps and
+// symbolic bound fields — mutating the clone's view must not leak back.
+func TestCloneSymbolicIndependence(t *testing.T) {
+	f, err := Parse(`
+func check_data {
+    loop 1: 1 .. n1
+    x2 <= 3 n1 + 7
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := f.Clone()
+	cl.Sections[0].LoopBounds[0].HiSym = "other"
+	cl.Sections[0].Formulas[0].(*Atom).Rel.Syms["n1"] = 99
+	if f.Sections[0].LoopBounds[0].HiSym != "n1" {
+		t.Fatal("Clone aliased the loop-bound symbol field")
+	}
+	if f.Sections[0].Formulas[0].(*Atom).Rel.Syms["n1"] != 3 {
+		t.Fatal("Clone aliased the Syms map")
+	}
+}
+
+// TestBindSymbols: Bind substitutes every symbol and errors, with the
+// source position, on a missing one.
+func TestBindSymbols(t *testing.T) {
+	f, err := ParseNamed("p.ann", `
+func check_data {
+    loop 1: 1 .. n1
+    x2 <= 3 n1 + 7
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := f.Bind(map[string]int64{"n1": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := bound.Sections[0].LoopBounds[0]
+	if lb.Hi != 5 || lb.Symbolic() {
+		t.Fatalf("bound loop = %+v, want concrete hi 5", lb)
+	}
+	rel := bound.Sections[0].Formulas[0].(*Atom).Rel
+	if rel.RHS != 22 || len(rel.Syms) != 0 {
+		t.Fatalf("bound formula rel = %+v, want RHS 22 and no symbols", rel)
+	}
+	if len(bound.Symbols()) != 0 {
+		t.Fatalf("bound file still has symbols: %v", bound.Symbols())
+	}
+	// The original is untouched.
+	if f.Sections[0].LoopBounds[0].HiSym != "n1" {
+		t.Fatal("Bind mutated its receiver")
+	}
+	_, err = f.Bind(map[string]int64{})
+	if err == nil || !strings.Contains(err.Error(), "p.ann:3") || !strings.Contains(err.Error(), `"n1"`) {
+		t.Fatalf("unbound error = %v, want p.ann:3 naming n1", err)
+	}
+}
+
+// TestSymbolNotCountVariable: identifiers shaped like count variables can
+// never silently become parameter symbols.
+func TestSymbolNotCountVariable(t *testing.T) {
+	_, err := Parse(`
+func f {
+    loop 1: 1 .. x3
+}
+`)
+	if err == nil || !strings.Contains(err.Error(), "count variable") {
+		t.Fatalf("err = %v, want a count-variable rejection", err)
+	}
+}

@@ -153,6 +153,14 @@ func stampFormula(f Formula, name string) {
 
 func (p *cparser) cur() ctok { return p.toks[p.pos] }
 
+// peek returns the token after the current one (eof at the end).
+func (p *cparser) peek() ctok {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
 func (p *cparser) skipNL() {
 	for p.cur().kind == "nl" {
 		p.advance()
@@ -226,24 +234,64 @@ func (p *cparser) loopBound() (*LoopBound, error) {
 	if _, err := p.expect(":"); err != nil {
 		return nil, err
 	}
-	lo, err := p.expect("int")
+	lo, loSym, err := p.loopBoundEnd()
 	if err != nil {
 		return nil, err
 	}
 	if _, err := p.expect(".."); err != nil {
 		return nil, err
 	}
-	hi, err := p.expect("int")
+	hi, hiSym, err := p.loopBoundEnd()
 	if err != nil {
 		return nil, err
 	}
 	if n.ival < 1 {
 		return nil, fmt.Errorf("constraint: line %d: loop numbers are 1-based", kw.line)
 	}
-	if lo.ival < 0 || hi.ival < lo.ival {
-		return nil, fmt.Errorf("constraint: line %d: bad loop bound %d .. %d", kw.line, lo.ival, hi.ival)
+	if loSym == "" && hiSym == "" && (lo < 0 || hi < lo) {
+		return nil, fmt.Errorf("constraint: line %d: bad loop bound %d .. %d", kw.line, lo, hi)
 	}
-	return &LoopBound{Loop: int(n.ival), Lo: lo.ival, Hi: hi.ival, Line: kw.line}, nil
+	if loSym == "" && lo < 0 {
+		return nil, fmt.Errorf("constraint: line %d: negative loop bound %d", kw.line, lo)
+	}
+	return &LoopBound{Loop: int(n.ival), Lo: lo, Hi: hi, LoSym: loSym, HiSym: hiSym, Line: kw.line}, nil
+}
+
+// loopBoundEnd parses one end of a "lo .. hi" range: an integer or a
+// parameter symbol. Identifiers that look like count variables (x3, d2, f1)
+// are rejected — a loop bound end can never reference a count, so such a
+// name is almost certainly a typo rather than a deliberate parameter.
+func (p *cparser) loopBoundEnd() (int64, string, error) {
+	t := p.cur()
+	switch t.kind {
+	case "int":
+		p.advance()
+		return t.ival, "", nil
+	case "ident":
+		if _, _, isVar := splitVarName(t.text); isVar || !symbolName(t.text) {
+			return 0, "", fmt.Errorf("constraint: line %d: loop bound end %q names a count variable; use an integer or a parameter symbol (n1, n2, … or a multi-letter name)", t.line, t.text)
+		}
+		p.advance()
+		return 0, t.text, nil
+	}
+	return 0, "", fmt.Errorf("constraint: line %d: expected integer or parameter symbol, found %q", t.line, t.text)
+}
+
+// symbolName reports whether an identifier may name a parameter symbol.
+// Count variables are x3/d2/f1; any other single letter followed only by
+// digits (y3, x0, q7) is far more likely a typo of a count variable than a
+// deliberate parameter, so it stays an error. The conventional parameter
+// prefix n (n1, n2, …) and multi-letter names (size, bound2) qualify.
+func symbolName(s string) bool {
+	if len(s) < 2 || s[1] < '0' || s[1] > '9' {
+		return true
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return true
+		}
+	}
+	return s[0] == 'n'
 }
 
 func (p *cparser) orExpr() (Formula, error) {
@@ -304,6 +352,7 @@ func (p *cparser) atom() (Formula, error) {
 // linExpr is an unnormalized linear expression.
 type linExpr struct {
 	terms map[Var]int64
+	syms  map[string]int64
 	cnst  int64
 }
 
@@ -366,10 +415,29 @@ func normalize(lhs linExpr, op RelOp, rhs linExpr, strict int64, line int) Rel {
 			delete(terms, v)
 		}
 	}
+	var syms map[string]int64
+	if len(lhs.syms) > 0 || len(rhs.syms) > 0 {
+		syms = map[string]int64{}
+		for s, c := range rhs.syms {
+			syms[s] += c
+		}
+		for s, c := range lhs.syms {
+			syms[s] -= c
+		}
+		for s, c := range syms {
+			if c == 0 {
+				delete(syms, s)
+			}
+		}
+		if len(syms) == 0 {
+			syms = nil
+		}
+	}
 	r := Rel{
 		Terms:  terms,
 		Op:     op,
 		RHS:    rhs.cnst - lhs.cnst + strict,
+		Syms:   syms,
 		Source: fmt.Sprintf("line %d", line),
 		Line:   line,
 	}
@@ -377,7 +445,7 @@ func normalize(lhs linExpr, op RelOp, rhs linExpr, strict int64, line int) Rel {
 }
 
 func (p *cparser) linExpr() (linExpr, error) {
-	e := linExpr{terms: map[Var]int64{}}
+	e := linExpr{terms: map[Var]int64{}, syms: map[string]int64{}}
 	sign := int64(1)
 	if p.cur().kind == "-" {
 		sign = -1
@@ -422,6 +490,19 @@ func (p *cparser) term(e *linExpr, sign int64) error {
 		}
 		e.cnst += sign * coef
 		return nil
+	}
+	// A bare identifier that is not a count variable (and not a qualified
+	// reference like func.x3) is a parameter symbol: it contributes an
+	// affine term in the symbol, normalized onto the right-hand side.
+	if t := p.cur(); p.peek().kind != "." && p.peek().kind != "@" {
+		if _, _, isVar := splitVarName(t.text); !isVar && symbolName(t.text) {
+			p.advance()
+			e.syms[t.text] += sign * coef
+			if e.syms[t.text] == 0 {
+				delete(e.syms, t.text)
+			}
+			return nil
+		}
 	}
 	v, err := p.varRef()
 	if err != nil {

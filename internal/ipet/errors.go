@@ -1,6 +1,9 @@
 package ipet
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // InfeasibleError reports that the functionality annotations contradict the
 // structural constraints: every conjunctive constraint set is infeasible
@@ -21,6 +24,31 @@ func (e *InfeasibleError) Error() string {
 		return fmt.Sprintf("ipet: all %d functionality constraint sets are null", e.Sets)
 	}
 	return "ipet: every functionality constraint set is infeasible against the structural constraints"
+}
+
+// UnboundSymbolError reports that annotations carrying parameter symbols
+// (a symbolic loop bound like "loop 1: 1 .. n1", or a formula constant like
+// "x3 <= 5 n1") reached a concrete Estimate. Symbols have no concrete value
+// there: bind them first (constraint.File.Bind) or analyze them
+// parametrically (Session.Parametrize). Retrieve it with errors.As.
+type UnboundSymbolError struct {
+	// Symbols lists the unbound parameter names, sorted.
+	Symbols []string
+	// File and Line locate the first annotation that uses one, when known.
+	File string
+	Line int
+}
+
+func (e *UnboundSymbolError) Error() string {
+	pos := e.File
+	if pos == "" {
+		pos = "annotations"
+	}
+	if e.Line > 0 {
+		pos = fmt.Sprintf("%s:%d", pos, e.Line)
+	}
+	return fmt.Sprintf("ipet: %s: unbound parameter symbols %s — bind them with constraint.File.Bind or analyze with Session.Parametrize",
+		pos, strings.Join(e.Symbols, ", "))
 }
 
 // AnnotationError is a structured annotation diagnostic: what is wrong and

@@ -126,6 +126,14 @@ type Stats struct {
 	// ExactResolves counts exact rational re-solves performed under
 	// Options.Certify: one per claim without a verifiable certificate.
 	ExactResolves int
+	// FormulaEvals counts queries of this report answered by a parametric
+	// piecewise-linear formula with no simplex work (ParamBound.EstimateAt);
+	// ParamRegions is the formula's total piece count; ParamFallbacks counts
+	// queries the formula could not cover that fell back to a concrete
+	// warm-started solve. All zero for plain Estimate calls.
+	FormulaEvals   int
+	ParamRegions   int
+	ParamFallbacks int
 }
 
 // Estimate is the full result of a timing analysis: the estimated bound
@@ -453,6 +461,11 @@ func (a *Analyzer) solverSetup() (plan *solverPlan, fresh bool, err error) {
 	defer a.planMu.Unlock()
 	if a.plan != nil {
 		return a.plan, false, nil
+	}
+	// A concrete solve has no value for parameter symbols; refuse with a
+	// typed, positioned error instead of silently treating "n1" as zero.
+	if err := checkNoSymbols(a.annots); err != nil {
+		return nil, false, err
 	}
 	sets, widened, total, pruned, err := a.buildSets()
 	if err != nil {

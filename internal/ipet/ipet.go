@@ -241,7 +241,16 @@ func (a *Analyzer) Apply(file *constraint.File) error {
 				return &AnnotationError{File: lb.File, Line: lb.Line,
 					Msg: fmt.Sprintf("%s has %d loops (1-based), annotation names loop %d", sec.Func, len(fc.Loops), lb.Loop)}
 			}
-			if lb.Lo < 0 || lb.Hi < lb.Lo {
+			if lb.Symbolic() {
+				// A symbolic end has no value to range-check yet; that
+				// happens when the symbol is bound (constraint.File.Bind)
+				// or against the parameter domain in Parametrize. A
+				// concrete lower end must still be nonnegative.
+				if lb.LoSym == "" && lb.Lo < 0 {
+					return &AnnotationError{File: lb.File, Line: lb.Line,
+						Msg: fmt.Sprintf("bad bound %d .. %s for %s loop %d", lb.Lo, lb.HiSym, sec.Func, lb.Loop)}
+				}
+			} else if lb.Lo < 0 || lb.Hi < lb.Lo {
 				return &AnnotationError{File: lb.File, Line: lb.Line,
 					Msg: fmt.Sprintf("bad bound %d .. %d for %s loop %d", lb.Lo, lb.Hi, sec.Func, lb.Loop)}
 			}

@@ -1,0 +1,131 @@
+package ipet
+
+import (
+	"errors"
+	"testing"
+
+	"cinderella/internal/autobound"
+	"cinderella/internal/cc"
+	"cinderella/internal/cfg"
+	"cinderella/internal/constraint"
+	"cinderella/internal/progfuzz"
+)
+
+// FuzzParametricAgrees is the parametric layer's agreement property: for
+// any generatable program, any choice of loop bound made symbolic, and any
+// parameter point in the declared domain, the piecewise-linear formula must
+// bit-match a fresh concrete Estimate — on the cycle bounds where it
+// covers the point (Eval), and through its concrete fallback everywhere
+// (EstimateAt). A formula that cannot be built (nested parametric loops,
+// unpinned entry counts) is allowed to refuse; it is never allowed to
+// answer wrong.
+func FuzzParametricAgrees(f *testing.F) {
+	f.Add(int64(1), uint16(0), uint16(3))
+	f.Add(int64(7), uint16(1), uint16(2))
+	f.Add(int64(23), uint16(2), uint16(5))
+	f.Add(int64(1000), uint16(3), uint16(1))
+	f.Add(int64(4242), uint16(5), uint16(4))
+	f.Fuzz(func(t *testing.T, seed int64, pick, span uint16) {
+		src := progfuzz.Generate(seed)
+		exe, _, err := cc.Build(src)
+		if err != nil {
+			t.Skip()
+		}
+		prog, err := cfg.Build(exe)
+		if err != nil {
+			t.Skip()
+		}
+		res := autobound.Derive(prog)
+		totalLoops := 0
+		for _, fc := range prog.Funcs {
+			totalLoops += len(fc.Loops)
+		}
+		if totalLoops == 0 || len(res.Bounds) != totalLoops {
+			t.Skip() // nothing to parametrize, or an underivable loop
+		}
+		file := res.File()
+
+		// Make the pick-th derived upper bound symbolic over a small domain
+		// starting at its derived value (so every point stays a valid
+		// bound: domain lo >= the concrete lower end).
+		var bounds []*constraint.LoopBound
+		for si := range file.Sections {
+			for bi := range file.Sections[si].LoopBounds {
+				bounds = append(bounds, &file.Sections[si].LoopBounds[bi])
+			}
+		}
+		if len(bounds) == 0 {
+			t.Skip()
+		}
+		lb := bounds[int(pick)%len(bounds)]
+		domLo := lb.Hi
+		domHi := domLo + int64(1+span%6)
+		lb.HiSym, lb.Hi = "n1", 0
+
+		opts := DefaultOptions()
+		opts.Workers = 1
+		sess, err := Prepare(prog, "f", opts)
+		if err != nil {
+			t.Skip()
+		}
+		pb, err := sess.Parametrize(file, []ParamSpec{{Name: "n1", Lo: domLo, Hi: domHi}})
+		if err != nil {
+			// Refusing is legal (e.g. the symbolic loop's entry count is not
+			// pinned); answering wrong is what the loop below hunts.
+			t.Skip()
+		}
+
+		for theta := domLo; theta <= domHi; theta++ {
+			params := []int64{theta}
+			bound, err := file.Bind(map[string]int64{"n1": theta})
+			if err != nil {
+				t.Fatalf("seed %d: Bind(%d): %v", seed, theta, err)
+			}
+			an, err := New(prog, "f", opts)
+			if err != nil {
+				t.Fatalf("seed %d: New: %v", seed, err)
+			}
+			if err := an.Apply(bound); err != nil {
+				t.Fatalf("seed %d: Apply(%d): %v", seed, theta, err)
+			}
+			want, wantErr := an.Estimate()
+
+			w, _, wok := pb.Eval(params)
+			b, _, bok := pb.EvalBCET(params)
+			if wantErr != nil {
+				var inf *InfeasibleError
+				if !errors.As(wantErr, &inf) {
+					t.Fatalf("seed %d n1=%d: concrete estimate: %v", seed, theta, wantErr)
+				}
+				if wok || bok {
+					t.Fatalf("seed %d n1=%d: formula answered [%d, %d] but the scenario is infeasible",
+						seed, theta, b, w)
+				}
+			} else {
+				if wok && w != want.WCET.Cycles {
+					t.Fatalf("seed %d n1=%d: formula WCET %d, concrete %d\n%s",
+						seed, theta, w, want.WCET.Cycles, src)
+				}
+				if bok && b != want.BCET.Cycles {
+					t.Fatalf("seed %d n1=%d: formula BCET %d, concrete %d\n%s",
+						seed, theta, b, want.BCET.Cycles, src)
+				}
+			}
+
+			est, estErr := pb.EstimateAt(params)
+			switch {
+			case wantErr != nil:
+				var inf, gotInf *InfeasibleError
+				if !errors.As(wantErr, &inf) || !errors.As(estErr, &gotInf) {
+					t.Fatalf("seed %d n1=%d: EstimateAt err %v, concrete err %v", seed, theta, estErr, wantErr)
+				}
+			case estErr != nil:
+				t.Fatalf("seed %d n1=%d: EstimateAt: %v", seed, theta, estErr)
+			case est.WCET.Cycles != want.WCET.Cycles || est.BCET.Cycles != want.BCET.Cycles:
+				t.Fatalf("seed %d n1=%d: EstimateAt [%d, %d], concrete [%d, %d]\n%s",
+					seed, theta, est.BCET.Cycles, est.WCET.Cycles,
+					want.BCET.Cycles, want.WCET.Cycles, src)
+			}
+		}
+	})
+}
