@@ -1,0 +1,112 @@
+// Command cinderelld is the long-lived analysis service built on the same
+// engine as cinderella: it keeps prepared analysis sessions resident in an
+// LRU store keyed by program hash and answers timing-estimate requests
+// over HTTP, so the expensive front end (compile, CFG reconstruction,
+// constraint derivation, warm solver state) is paid once per program and
+// amortized over every query.
+//
+//	cinderelld -addr :8372
+//	cinderelld -addr :8372 -max-sessions 64 -mem-budget 256MiB -default-slo 2s
+//
+// See docs/server.md for the API and internal/serve for the engine.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"cinderella/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8372", "listen address")
+		shards      = flag.Int("shards", 8, "session store shards (1 gives exact global LRU)")
+		maxSessions = flag.Int("max-sessions", 0, "cap on resident prepared sessions (0 = uncapped)")
+		memBudget   = flag.String("mem-budget", "", "memory budget for resident sessions, e.g. 256MiB (empty = unbudgeted)")
+		maxConc     = flag.Int("max-concurrent", 0, "simultaneous solver passes (0 = GOMAXPROCS)")
+		maxQueue    = flag.Int("queue", 0, "requests waiting for a solve slot (0 = 4x max-concurrent)")
+		defaultSLO  = flag.Duration("default-slo", 0, "SLO applied to requests without slo_ms (0 = none)")
+		workers     = flag.Int("j", 0, "per-estimate solver concurrency (0 = GOMAXPROCS; bounds are identical at every setting)")
+		grace       = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+	)
+	flag.Parse()
+
+	budget, err := parseBytes(*memBudget)
+	if err != nil {
+		log.Fatalf("cinderelld: -mem-budget: %v", err)
+	}
+	srv := serve.New(serve.Config{
+		Shards:        *shards,
+		MaxSessions:   *maxSessions,
+		MemoryBudget:  budget,
+		MaxConcurrent: *maxConc,
+		MaxQueue:      *maxQueue,
+		DefaultSLO:    *defaultSLO,
+		Workers:       *workers,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("cinderelld: listening on %s", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		log.Fatalf("cinderelld: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("cinderelld: shutting down (grace %s)", *grace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("cinderelld: shutdown: %v", err)
+	}
+}
+
+// parseBytes parses a human byte size: a plain number or one suffixed with
+// KiB/MiB/GiB (or KB/MB/GB, decimal).
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	units := []struct {
+		suffix string
+		mult   int64
+	}{
+		{"GiB", 1 << 30}, {"MiB", 1 << 20}, {"KiB", 1 << 10},
+		{"GB", 1e9}, {"MB", 1e6}, {"KB", 1e3}, {"B", 1},
+	}
+	for _, u := range units {
+		if strings.HasSuffix(s, u.suffix) {
+			n, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimSuffix(s, u.suffix)), 64)
+			if err != nil {
+				return 0, err
+			}
+			return int64(n * float64(u.mult)), nil
+		}
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("want a byte count like 268435456, 256MiB, or 1GiB: %v", err)
+	}
+	return n, nil
+}

@@ -1,0 +1,31 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExplosionAsm generates the n-diamond path-explosion workload as CR32
+// assembly plus its annotation text: a chain of n if/else diamonds whose
+// exclusive-arm annotations expand to 2^n functionality constraint sets.
+// It is the stress analog of the paper's benchmarks — structurally
+// trivial, combinatorially explosive — used by examples/pathexplosion, the
+// estimate perf artifact ("explosion64" is n=6), and the server load
+// harness.
+func ExplosionAsm(n int) (asmText, annots string) {
+	var sb, ab strings.Builder
+	sb.WriteString("main:\n")
+	ab.WriteString("func main {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "        beq r1, r0, .La%d\n", i)
+		fmt.Fprintf(&sb, "        mul r2, r2, r2\n")
+		fmt.Fprintf(&sb, "        jmp .Lb%d\n", i)
+		fmt.Fprintf(&sb, ".La%d:  addi r2, r2, 1\n", i)
+		fmt.Fprintf(&sb, ".Lb%d:  addi r3, r3, 1\n", i)
+		fmt.Fprintf(&ab, "    (x%d = 1 & x%d = 0) | (x%d = 0 & x%d = 1)\n",
+			3*i+2, 3*i+3, 3*i+2, 3*i+3)
+	}
+	sb.WriteString("        halt\n")
+	ab.WriteString("}\n")
+	return sb.String(), ab.String()
+}

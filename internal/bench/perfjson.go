@@ -58,6 +58,22 @@ type EstimatePerf struct {
 
 	WCET int64 `json:"wcet_cycles"`
 	BCET int64 `json:"bcet_cycles"`
+
+	// Server load-harness counters (internal/serve/loadgen rows, named
+	// "serve/..."): request throughput and latency percentiles against a
+	// live cinderelld instance, plus the store and soundness ledger of the
+	// run. Zero (and omitted) for plain estimate workloads.
+	Requests  int64   `json:"requests,omitempty"`
+	ReqPerSec float64 `json:"req_per_sec,omitempty"`
+	P50Us     int64   `json:"p50_us,omitempty"`
+	P99Us     int64   `json:"p99_us,omitempty"`
+	WarmP50Us int64   `json:"warm_p50_us,omitempty"`
+	ColdP50Us int64   `json:"cold_p50_us,omitempty"`
+	Degraded  int64   `json:"degraded,omitempty"`
+	Shed      int64   `json:"shed,omitempty"`
+	Coalesced int64   `json:"coalesced,omitempty"`
+	Evictions int64   `json:"evictions,omitempty"`
+	NonSound  int64   `json:"non_sound,omitempty"`
 }
 
 // FillFromEstimate copies the solver-work counters and bounds of est.

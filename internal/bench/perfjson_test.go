@@ -2,7 +2,6 @@ package bench
 
 import (
 	"encoding/json"
-	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -22,24 +21,11 @@ type estimateWorkload struct {
 }
 
 // explosionProgram builds the n-diamond path-explosion chain (2^n
-// functionality sets) used by examples/pathexplosion, returning the CFG and
-// the annotation text.
+// functionality sets) as a CFG plus annotation text; the generator itself
+// is the exported ExplosionAsm.
 func explosionProgram(n int) (*cfg.Program, string, error) {
-	var sb, ab strings.Builder
-	sb.WriteString("main:\n")
-	ab.WriteString("func main {\n")
-	for i := 0; i < n; i++ {
-		fmt.Fprintf(&sb, "        beq r1, r0, .La%d\n", i)
-		fmt.Fprintf(&sb, "        mul r2, r2, r2\n")
-		fmt.Fprintf(&sb, "        jmp .Lb%d\n", i)
-		fmt.Fprintf(&sb, ".La%d:  addi r2, r2, 1\n", i)
-		fmt.Fprintf(&sb, ".Lb%d:  addi r3, r3, 1\n", i)
-		fmt.Fprintf(&ab, "    (x%d = 1 & x%d = 0) | (x%d = 0 & x%d = 1)\n",
-			3*i+2, 3*i+3, 3*i+2, 3*i+3)
-	}
-	sb.WriteString("        halt\n")
-	ab.WriteString("}\n")
-	exe, err := asm.Assemble(sb.String())
+	asmText, annots := ExplosionAsm(n)
+	exe, err := asm.Assemble(asmText)
 	if err != nil {
 		return nil, "", err
 	}
@@ -47,7 +33,7 @@ func explosionProgram(n int) (*cfg.Program, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	return prog, ab.String(), nil
+	return prog, annots, nil
 }
 
 // explosionWorkload is explosionProgram wrapped as a one-shot analyzer.

@@ -550,10 +550,11 @@ func (a *Analyzer) solverSetup() (plan *solverPlan, fresh bool, err error) {
 				plan.setupPivots += entry.pivots
 			}
 		}
+		effDeadline, effBudget := a.effAnytime()
 		if d.warm != nil && d.warm.Ready() {
 			// The warm base already holds the relaxation envelope.
 			d.relax, d.relaxOK = d.warm.BaseObjective()
-		} else if a.Opts.Deadline > 0 || a.Opts.Budget > 0 {
+		} else if effDeadline > 0 || effBudget > 0 {
 			// A budgeted run may need the envelope for sets it abandons;
 			// solve the base LP once here. Unbudgeted runs skip this so
 			// their statistics stay identical to the exhaustive path.
@@ -1085,14 +1086,15 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 	// solves through an internal derived context, which keeps the caller's
 	// own ctx distinguishable: caller cancellation is an error, analyzer
 	// deadline expiry degrades to the envelope.
-	budget := int64(a.Opts.Budget)
+	effDeadline, effBudget := a.effAnytime()
+	budget := int64(effBudget)
 	var spent atomic.Int64
 	spent.Store(int64(plan.setupPivots))
 	var hitDeadline atomic.Bool
 	var deadlineAt time.Time
 	jobCtx := ctx
-	if a.Opts.Deadline > 0 {
-		deadlineAt = tBuild.Add(a.Opts.Deadline)
+	if effDeadline > 0 {
+		deadlineAt = tBuild.Add(effDeadline)
 		var cancelDeadline context.CancelFunc
 		jobCtx, cancelDeadline = context.WithDeadline(ctx, deadlineAt)
 		defer cancelDeadline()
@@ -1240,7 +1242,7 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 		if err == nil {
 			continue
 		}
-		if a.Opts.Deadline > 0 && ctx.Err() == nil &&
+		if effDeadline > 0 && ctx.Err() == nil &&
 			(errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
 			r.err = nil
 			r.unsolved = true
@@ -1257,7 +1259,7 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 	}
 	// A deadline that expired before the pool dispatched anything leaves
 	// no per-job trace; the derived context still records it.
-	if a.Opts.Deadline > 0 && errors.Is(jobCtx.Err(), context.DeadlineExceeded) {
+	if effDeadline > 0 && errors.Is(jobCtx.Err(), context.DeadlineExceeded) {
 		hitDeadline.Store(true)
 	}
 	est.Stats.DeadlineHit = hitDeadline.Load()
@@ -1361,6 +1363,7 @@ func (a *Analyzer) EstimateContext(ctx context.Context) (*Estimate, error) {
 	if est.BCET.Cycles > est.WCET.Cycles {
 		return nil, fmt.Errorf("ipet: internal error: BCET %d exceeds WCET %d", est.BCET.Cycles, est.WCET.Cycles)
 	}
+	a.noteEstimate(est)
 	return est, nil
 }
 

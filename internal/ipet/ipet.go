@@ -165,11 +165,45 @@ type Analyzer struct {
 
 	annots *constraint.File
 
+	// anytime, when non-nil, overrides the session's Deadline and Budget
+	// for this analyzer's estimates; see SetAnytime.
+	anytime *anytimeOverride
+
 	// planMu guards plan, the memoized solver setup (expanded sets, packed
 	// prefixes, warm-start bases) shared by repeated Estimate calls.
 	// Apply invalidates it; see solverSetup in estimate.go.
 	planMu sync.Mutex
 	plan   *solverPlan
+}
+
+// anytimeOverride carries per-analyzer anytime budgets.
+type anytimeOverride struct {
+	deadline time.Duration
+	budget   int
+}
+
+// SetAnytime overrides the session-wide Options.Deadline and
+// Options.Budget for this analyzer only. A long-lived service maps each
+// request's SLO onto the anytime machinery this way: the shared session —
+// and with it every prepared tableau and cache — is built once with the
+// full options, while each request-scoped analyzer degrades on its own
+// clock. Zero values mean "no deadline" / "no pivot budget", exactly as in
+// Options; the override replaces both fields wholesale.
+//
+// Call it before the analyzer's first Estimate (the solver plan captures
+// budget-dependent setup decisions when it is built).
+func (a *Analyzer) SetAnytime(deadline time.Duration, budget int) {
+	a.anytime = &anytimeOverride{deadline: deadline, budget: budget}
+}
+
+// effAnytime resolves the deadline and pivot budget that govern this
+// analyzer's estimates: the per-analyzer override when set, otherwise the
+// session options.
+func (a *Analyzer) effAnytime() (time.Duration, int) {
+	if a.anytime != nil {
+		return a.anytime.deadline, a.anytime.budget
+	}
+	return a.Opts.Deadline, a.Opts.Budget
 }
 
 // New builds a standalone analyzer for the given root function. It is the

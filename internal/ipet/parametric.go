@@ -215,6 +215,7 @@ func (pb *ParamBound) EstimateAtContext(ctx context.Context, params []int64) (*E
 		// guessing.
 		if wOK && bOK && wFeas == bFeas {
 			pb.evals.Add(1)
+			pb.session.noteFormulaAnswer()
 			if !wFeas {
 				return nil, &InfeasibleError{Sets: pb.nsets}
 			}

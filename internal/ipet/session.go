@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"cinderella/internal/cache"
 	"cinderella/internal/cfg"
@@ -68,6 +69,99 @@ type Session struct {
 	baseCache   *cache.Keyed[string, *warmBaseEntry]
 	solveCache  *cache.Keyed[string, cachedSolve]
 	finishCache *cache.Keyed[string, []float64]
+
+	// totalsMu guards totals, the cumulative work ledger across every
+	// estimate this session has served. A long-lived service polls Totals
+	// while estimates are in flight, so the ledger is only ever touched
+	// under the mutex: per-call Stats are accumulated wholesale after the
+	// estimate completes, and Totals copies the ledger out under the same
+	// lock — a reader can never observe a half-written counter.
+	totalsMu sync.Mutex
+	totals   SessionTotals
+}
+
+// SessionTotals is the cumulative, snapshot-consistent work ledger of one
+// session: every counter of every completed Estimate (and every
+// formula-answered parametric query) summed since Prepare. It exists for
+// concurrent observers — a server's stats endpoint, a monitoring loop —
+// which must never race the estimates they observe; see Session.Totals.
+type SessionTotals struct {
+	// Estimates counts completed Estimate calls (including parametric
+	// fallback solves); FormulaAnswers counts parametric queries answered
+	// purely by a piecewise-linear formula, which run no solver and are
+	// not included in Estimates.
+	Estimates      int64
+	FormulaAnswers int64
+	// Degraded counts estimates whose WCET or BCET was not exact (sound
+	// envelope reports under a deadline, budget, or widening);
+	// DeadlineHits counts estimates whose internal deadline expired.
+	Degraded     int64
+	DeadlineHits int64
+	// Stats sums the per-call counters field by field. The duration
+	// fields accumulate total build/solve time; DeadlineHit is true when
+	// any estimate hit its deadline.
+	Stats Stats
+}
+
+// accumulate folds one completed estimate into the ledger. Callers hold
+// totalsMu.
+func (t *SessionTotals) accumulate(est *Estimate) {
+	t.Estimates++
+	if !est.WCET.Exact || !est.BCET.Exact {
+		t.Degraded++
+	}
+	if est.Stats.DeadlineHit {
+		t.DeadlineHits++
+	}
+	s, d := &t.Stats, &est.Stats
+	s.SetsTotal += d.SetsTotal
+	s.PrunedNull += d.PrunedNull
+	s.Deduped += d.Deduped
+	s.IncumbentSkipped += d.IncumbentSkipped
+	s.Solved += d.Solved
+	s.WarmSolves += d.WarmSolves
+	s.ColdSolves += d.ColdSolves
+	s.Pivots += d.Pivots
+	s.NetworkSolves += d.NetworkSolves
+	s.RevisedPivots += d.RevisedPivots
+	s.Refactorizations += d.Refactorizations
+	s.CacheHits += d.CacheHits
+	s.BuildTime += d.BuildTime
+	s.SolveTime += d.SolveTime
+	s.SetsWidened += d.SetsWidened
+	s.SetsUnsolved += d.SetsUnsolved
+	s.DeadlineHit = s.DeadlineHit || d.DeadlineHit
+	s.SuspectPivots += d.SuspectPivots
+	s.CertFailures += d.CertFailures
+	s.ExactResolves += d.ExactResolves
+	s.FormulaEvals += d.FormulaEvals
+	s.ParamRegions += d.ParamRegions
+	s.ParamFallbacks += d.ParamFallbacks
+}
+
+// noteEstimate records one completed estimate in the session ledger.
+func (s *Session) noteEstimate(est *Estimate) {
+	s.totalsMu.Lock()
+	s.totals.accumulate(est)
+	s.totalsMu.Unlock()
+}
+
+// noteFormulaAnswer records one parametric query answered without a solve.
+func (s *Session) noteFormulaAnswer() {
+	s.totalsMu.Lock()
+	s.totals.FormulaAnswers++
+	s.totals.Stats.FormulaEvals++
+	s.totalsMu.Unlock()
+}
+
+// Totals returns a consistent snapshot of the session's cumulative work
+// ledger. It is safe to call concurrently with estimates: completed calls
+// are accumulated atomically under the ledger lock, so the snapshot never
+// exposes a torn counter or a partially accounted estimate.
+func (s *Session) Totals() SessionTotals {
+	s.totalsMu.Lock()
+	defer s.totalsMu.Unlock()
+	return s.totals
 }
 
 // dirBase is the annotation-independent half of a solve direction.
@@ -212,6 +306,53 @@ func (s *Session) EstimateContext(ctx context.Context, file *constraint.File) (*
 // warm base tableaux, distinct per-set outcomes, and winner count vectors.
 func (s *Session) CacheStats() (bases, solves, finishes int) {
 	return s.baseCache.Len(), s.solveCache.Len(), s.finishCache.Len()
+}
+
+// MemoryFootprint estimates the resident bytes a prepared session pins: the
+// structural model (variable layout, contexts, packed rows, cost tables)
+// plus the persistent caches, dominated by the warm base tableaux (a dense
+// m x (n+m) float64 tableau per distinct loop-bound key and direction). The
+// figure is an accounting estimate, not an exact heap measurement — it is
+// deliberately conservative and monotone in cache growth, which is what an
+// eviction policy needs: relative order and growth are faithful even where
+// absolute bytes are approximate. Safe for concurrent use.
+func (s *Session) MemoryFootprint() int64 {
+	const (
+		bytesPerVar      = 56 // vars map entry: key struct + int + bucket overhead
+		bytesPerPackedNZ = 12 // one int32 column + one float64 value
+		bytesPerRow      = 56 // PackedRow header + slice headers
+		bytesPerCtx      = 96
+		bytesPerCost     = 24 // march.BlockCost
+		bytesPerOutcome  = 160
+		bytesPerFinishV  = 8
+	)
+	base := int64(s.nVars) * bytesPerVar
+	base += int64(len(s.contexts)) * bytesPerCtx
+	rows := len(s.packedStructural)
+	nz := 0
+	for i := range s.packedStructural {
+		nz += len(s.packedStructural[i].Cols)
+	}
+	for i := range s.dirBases {
+		for j := range s.dirBases[i].packedExtra {
+			nz += len(s.dirBases[i].packedExtra[j].Cols)
+		}
+		rows += len(s.dirBases[i].packedExtra)
+	}
+	base += int64(rows)*bytesPerRow + int64(nz)*bytesPerPackedNZ
+	for _, costs := range s.costs {
+		base += int64(len(costs)) * bytesPerCost
+	}
+	// One warm base retains a dense simplex tableau over the base rows:
+	// roughly m x (n + m + 2) float64 cells plus basis bookkeeping, with m
+	// the prefix row count and n the variable count.
+	m := int64(len(s.packedStructural)) + 16 // + loop-bound rows, estimated
+	tableau := m * (int64(s.nVars) + m + 2) * 8
+	bases, solves, finishes := s.CacheStats()
+	base += int64(bases) * tableau
+	base += int64(solves) * bytesPerOutcome
+	base += int64(finishes) * (int64(s.nVars)*bytesPerFinishV + 64)
+	return base
 }
 
 // packedRowsKey serializes lowered rows order-sensitively (names excluded).

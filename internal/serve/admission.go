@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"time"
+)
+
+// shedDeadline is the token solver deadline a shed request runs under:
+// long enough to build the model and report the sound relaxation envelope,
+// far too short to solve. Overload therefore degrades answers (Exact=false
+// with honest Slack) instead of degrading availability — the anytime
+// machinery guarantees the envelope brackets the true bound.
+const shedDeadline = 250 * time.Microsecond
+
+// minSolveDeadline floors the post-queue solver deadline so a request that
+// spent almost its whole SLO queueing still gets a beat of solve time
+// (and, failing that, the envelope) rather than a zero deadline, which
+// would mean "unlimited".
+const minSolveDeadline = 100 * time.Microsecond
+
+// sloLessWait bounds queue time for requests with no SLO at all; past it
+// the server is badly overloaded and shedding to the envelope beats
+// waiting forever.
+const sloLessWait = 30 * time.Second
+
+// admission maps request SLOs onto solver deadlines under bounded
+// concurrency. slots caps simultaneous solver passes; queue caps waiters.
+// A request that cannot get a slot within about half its SLO — or finds
+// the queue full — is shed: it still runs, but under shedDeadline, so the
+// client always gets a sound answer.
+type admission struct {
+	slots chan struct{}
+	queue chan struct{}
+}
+
+func newAdmission(maxConcurrent, maxQueue int) *admission {
+	if maxConcurrent <= 0 {
+		maxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if maxQueue <= 0 {
+		maxQueue = 4 * maxConcurrent
+	}
+	return &admission{
+		slots: make(chan struct{}, maxConcurrent),
+		queue: make(chan struct{}, maxQueue),
+	}
+}
+
+// admit acquires a solve slot within the request's SLO. It returns the
+// solver deadline to run under (0 = unlimited), a release function (always
+// non-nil, always to be called after the solve), and whether the request
+// was shed. Shed requests hold no slot: their token deadline bounds the
+// work they can do.
+func (ad *admission) admit(ctx context.Context, slo time.Duration) (deadline time.Duration, release func(), shed bool) {
+	noop := func() {}
+	// Fast path: an idle slot means no queueing — the full SLO becomes
+	// solve time.
+	select {
+	case ad.slots <- struct{}{}:
+		return solveDeadline(slo, 0), func() { <-ad.slots }, false
+	default:
+	}
+
+	// Queue full: shed immediately rather than stacking waiters.
+	select {
+	case ad.queue <- struct{}{}:
+	default:
+		return shedDeadline, noop, true
+	}
+	defer func() { <-ad.queue }()
+
+	wait := slo / 2
+	if slo <= 0 {
+		wait = sloLessWait
+	}
+	start := time.Now()
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case ad.slots <- struct{}{}:
+		return solveDeadline(slo, time.Since(start)), func() { <-ad.slots }, false
+	case <-timer.C:
+		return shedDeadline, noop, true
+	case <-ctx.Done():
+		return shedDeadline, noop, true
+	}
+}
+
+// solveDeadline is the SLO minus time already spent queueing, floored so
+// it never collapses to "unlimited" (0) or to nothing.
+func solveDeadline(slo, waited time.Duration) time.Duration {
+	if slo <= 0 {
+		return 0
+	}
+	d := slo - waited
+	if d < minSolveDeadline {
+		d = minSolveDeadline
+	}
+	return d
+}

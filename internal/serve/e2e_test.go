@@ -1,0 +1,292 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/bench"
+	"cinderella/internal/cc"
+	"cinderella/internal/cfg"
+	"cinderella/internal/constraint"
+	"cinderella/internal/ipet"
+	"cinderella/internal/isa"
+)
+
+// postJSON posts v to url and decodes the response into out, failing the
+// test on any transport error or status mismatch.
+func postJSON(t *testing.T, client *http.Client, url string, v, out any, wantStatus int) {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var e ErrorResponse
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("POST %s: status %d, want %d (%s)", url, resp.StatusCode, wantStatus, e.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decode: %v", url, err)
+		}
+	}
+}
+
+// rawEstimate decodes an estimate response keeping the bound reports as
+// raw bytes, so bit-identity is asserted on the wire form.
+type rawEstimate struct {
+	WCET       json.RawMessage `json:"wcet"`
+	BCET       json.RawMessage `json:"bcet"`
+	NumSets    int             `json:"num_sets"`
+	Exact      bool            `json:"exact"`
+	Degraded   bool            `json:"degraded"`
+	Admission  string          `json:"admission"`
+	AnsweredBy string          `json:"answered_by"`
+	Coalesced  bool            `json:"coalesced"`
+	ColdStart  bool            `json:"cold_start"`
+}
+
+type e2eWorkload struct {
+	name   string
+	spec   ProgramSpec
+	annots string
+}
+
+// e2eWorkloads are the replay scenarios: the two large paper benchmarks as
+// MC source, the 64-set path-explosion chain as assembly, and dhry again
+// under the exact-rational certification layer (a distinct resident
+// session — Certify is part of the program hash).
+func e2eWorkloads(t *testing.T) []e2eWorkload {
+	t.Helper()
+	var out []e2eWorkload
+	for _, name := range []string{"dhry", "des"} {
+		bm, ok := bench.ByName(name)
+		if !ok {
+			t.Fatalf("unknown benchmark %q", name)
+		}
+		out = append(out, e2eWorkload{
+			name:   name,
+			spec:   ProgramSpec{Source: bm.Source, Root: bm.Root},
+			annots: bm.Annotations,
+		})
+	}
+	asmText, annots := bench.ExplosionAsm(6)
+	out = append(out, e2eWorkload{
+		name:   "explosion64",
+		spec:   ProgramSpec{Asm: asmText, Root: "main"},
+		annots: annots,
+	})
+	dhry, _ := bench.ByName("dhry")
+	out = append(out, e2eWorkload{
+		name:   "dhry-certify",
+		spec:   ProgramSpec{Source: dhry.Source, Root: dhry.Root, Certify: true},
+		annots: dhry.Annotations,
+	})
+	return out
+}
+
+// oneShotEstimate replays the cinderella CLI single-run path: build the
+// program, construct a fresh one-shot analyzer with the same options the
+// server derives from the spec, apply the annotations, estimate.
+func oneShotEstimate(t *testing.T, sp ProgramSpec, workers int, annots string) *ipet.Estimate {
+	t.Helper()
+	sp.normalize()
+	var (
+		exe *asm.Executable
+		err error
+	)
+	if sp.Asm != "" {
+		exe, err = asm.Assemble(sp.Asm)
+	} else {
+		build := cc.Build
+		if sp.Optimize {
+			build = cc.BuildOptimized
+		}
+		exe, _, err = build(sp.Source)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Build(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ipet.DefaultOptions()
+	opts.March.Timing = isa.Profiles()[sp.Profile]
+	opts.SplitFirstIteration = sp.Split
+	opts.Certify = sp.Certify
+	opts.Workers = workers
+	an, err := ipet.New(prog, sp.Root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := constraint.ParseNamed("annotations", annots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := an.Apply(file); err != nil {
+		t.Fatal(err)
+	}
+	est, err := an.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+// TestE2EServerMatchesOneShot is the black-box replay gate: a server on
+// loopback must answer every scenario with BoundReports byte-identical to
+// a CLI one-shot run of the same program and annotations — cold (the
+// request that prepares the session) and warm (answered from the resident
+// session's caches), at every worker count.
+func TestE2EServerMatchesOneShot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays the large benchmarks over HTTP")
+	}
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("j%d", workers), func(t *testing.T) {
+			srv := New(Config{Shards: 1, Workers: workers})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			for _, w := range e2eWorkloads(t) {
+				t.Run(w.name, func(t *testing.T) {
+					var sub SubmitResponse
+					postJSON(t, ts.Client(), ts.URL+"/v1/programs", w.spec, &sub, http.StatusOK)
+					if sub.Cached {
+						t.Fatalf("fresh program reported cached")
+					}
+					ref := oneShotEstimate(t, w.spec, workers, w.annots)
+					wantW, _ := json.Marshal(ref.WCET)
+					wantB, _ := json.Marshal(ref.BCET)
+					for round := 0; round < 2; round++ {
+						var got rawEstimate
+						postJSON(t, ts.Client(), ts.URL+"/v1/estimate",
+							EstimateRequest{Program: sub.Program, Annotations: w.annots},
+							&got, http.StatusOK)
+						if !bytes.Equal(got.WCET, wantW) {
+							t.Errorf("round %d: WCET differs from one-shot:\n got %s\nwant %s", round, got.WCET, wantW)
+						}
+						if !bytes.Equal(got.BCET, wantB) {
+							t.Errorf("round %d: BCET differs from one-shot:\n got %s\nwant %s", round, got.BCET, wantB)
+						}
+						if !got.Exact || got.Degraded {
+							t.Errorf("round %d: unconstrained request not exact: %+v", round, got)
+						}
+						if got.Admission != "ok" || got.AnsweredBy != "solver" {
+							t.Errorf("round %d: admission %q answered_by %q", round, got.Admission, got.AnsweredBy)
+						}
+						if got.NumSets != ref.NumSets {
+							t.Errorf("round %d: num_sets %d, want %d", round, got.NumSets, ref.NumSets)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestE2EParametricSweepMatchesFormula replays a parametric sweep over
+// HTTP: after POST /v1/parametrize, estimates naming covered points must
+// be answered by the formula and be byte-identical to the library's
+// ParamBound.EstimateAt — the same path the CLI's -param -sweep prints.
+// An out-of-domain point takes the concrete solve and must match that
+// path's report too.
+func TestE2EParametricSweepMatchesFormula(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a parametric sweep over HTTP")
+	}
+	bm, ok := bench.ByName("check_data")
+	if !ok {
+		t.Fatal("unknown benchmark check_data")
+	}
+	symAnnots := strings.Replace(bm.Annotations, "loop 1: 1 .. 10", "loop 1: 1 .. n1", 1)
+	if symAnnots == bm.Annotations {
+		t.Fatal("check_data parametrization found no loop bound to replace")
+	}
+	spec := ProgramSpec{Source: bm.Source, Root: bm.Root}
+
+	srv := New(Config{Shards: 1, Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var sub SubmitResponse
+	postJSON(t, ts.Client(), ts.URL+"/v1/programs", spec, &sub, http.StatusOK)
+	var pres ParametrizeResponse
+	postJSON(t, ts.Client(), ts.URL+"/v1/parametrize", ParametrizeRequest{
+		Program:     sub.Program,
+		Annotations: symAnnots,
+		Specs:       []ParamSpecJSON{{Name: "n1", Lo: 1, Hi: 10}},
+	}, &pres, http.StatusOK)
+	if pres.Pieces == 0 {
+		t.Fatalf("parametrize produced no pieces: %+v", pres)
+	}
+
+	// Reference: the same formula built directly on a prepared session.
+	exe, _, err := cc.Build(bm.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Build(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ipet.DefaultOptions()
+	opts.Workers = 1
+	sess, err := ipet.Prepare(prog, bm.Root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := constraint.ParseNamed("annotations", symAnnots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := sess.Parametrize(file, []ipet.ParamSpec{{Name: "n1", Lo: 1, Hi: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.Formula != pb.Describe() {
+		t.Errorf("served formula differs:\n got %s\nwant %s", pres.Formula, pb.Describe())
+	}
+
+	// Covered points 1..10, plus 12 outside the domain box (concrete
+	// fallback on both sides).
+	for n := int64(1); n <= 12; n++ {
+		if n == 11 {
+			continue
+		}
+		ref, err := pb.EstimateAt([]int64{n})
+		if err != nil {
+			t.Fatalf("n1=%d: %v", n, err)
+		}
+		wantW, _ := json.Marshal(ref.WCET)
+		wantB, _ := json.Marshal(ref.BCET)
+		var got rawEstimate
+		postJSON(t, ts.Client(), ts.URL+"/v1/estimate", EstimateRequest{
+			Program:     sub.Program,
+			Annotations: symAnnots,
+			Params:      map[string]int64{"n1": n},
+		}, &got, http.StatusOK)
+		if !bytes.Equal(got.WCET, wantW) {
+			t.Errorf("n1=%d: WCET differs:\n got %s\nwant %s", n, got.WCET, wantW)
+		}
+		if !bytes.Equal(got.BCET, wantB) {
+			t.Errorf("n1=%d: BCET differs:\n got %s\nwant %s", n, got.BCET, wantB)
+		}
+		if ref.Stats.FormulaEvals > 0 && got.AnsweredBy != "formula" {
+			t.Errorf("n1=%d: answered_by %q, want formula", n, got.AnsweredBy)
+		}
+		if n > 10 && got.AnsweredBy == "formula" {
+			t.Errorf("n1=%d: out-of-domain point claims a formula answer", n)
+		}
+	}
+}

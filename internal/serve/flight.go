@@ -1,0 +1,47 @@
+package serve
+
+import "sync"
+
+// flightGroup coalesces duplicate concurrent work: all callers of Do with
+// the same key while one call is in flight share that call's single
+// result. It is the stdlib-only core of x/sync/singleflight, which the
+// server uses twice — to prepare a session at most once per program hash,
+// and to run at most one solver pass per identical in-flight estimate.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Do runs fn once per key among concurrent callers and hands everyone the
+// same result. shared reports whether this caller piggybacked on another's
+// call rather than running fn itself.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	// Remove the key before releasing waiters so a caller arriving after
+	// completion starts a fresh flight instead of reading a stale result.
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

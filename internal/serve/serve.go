@@ -1,0 +1,563 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/cc"
+	"cinderella/internal/cfg"
+	"cinderella/internal/constraint"
+	"cinderella/internal/ipet"
+	"cinderella/internal/isa"
+)
+
+// Config sizes the server. The zero value of each field selects the
+// documented default.
+type Config struct {
+	// Shards is the session-store shard count (default 8). One shard gives
+	// exact global LRU order, which tests rely on.
+	Shards int
+	// MaxSessions caps resident prepared sessions across all shards
+	// (0 = uncapped).
+	MaxSessions int
+	// MemoryBudget caps the summed accounted session footprint in bytes
+	// (0 = unbudgeted). Budgets are per shard: MemoryBudget/Shards each.
+	MemoryBudget int64
+	// MaxConcurrent caps simultaneous solver passes (default GOMAXPROCS);
+	// MaxQueue caps requests waiting for a solve slot (default 4x).
+	MaxConcurrent int
+	MaxQueue      int
+	// DefaultSLO applies to requests that set no slo_ms (0 = none: such
+	// requests solve without a deadline and queue up to a generous bound).
+	DefaultSLO time.Duration
+	// Workers is the per-estimate solver concurrency (ipet Options.Workers;
+	// 0 = GOMAXPROCS). Bounds are bit-identical at every worker count.
+	Workers int
+	// MaxBodyBytes caps request bodies (default 4 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the cinderelld analysis service: a sharded store of prepared
+// sessions fronted by admission control and request coalescing.
+type Server struct {
+	conf  Config
+	store *store
+	adm   *admission
+	ctrs  counters
+	start time.Time
+}
+
+// New builds a server from the config; see Config for defaults.
+func New(conf Config) *Server {
+	if conf.Shards <= 0 {
+		conf.Shards = 8
+	}
+	if conf.MaxBodyBytes <= 0 {
+		conf.MaxBodyBytes = 4 << 20
+	}
+	s := &Server{
+		conf:  conf,
+		adm:   newAdmission(conf.MaxConcurrent, conf.MaxQueue),
+		start: time.Now(),
+	}
+	s.store = newStore(conf.Shards, conf.MaxSessions, conf.MemoryBudget, &s.ctrs)
+	return s
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/programs     submit a program, get its hash
+//	POST /v1/estimate     one timing estimate (annotations or parameter point)
+//	POST /v1/parametrize  build a piecewise-linear bound formula
+//	GET  /v1/stats        server, store, and per-session counters
+//	GET  /healthz         liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/programs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	mux.HandleFunc("POST /v1/parametrize", s.handleParametrize)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// normalize fills a spec's defaulted fields; the hash is computed over the
+// normalized form so "root omitted" and "root main" are the same program.
+func (sp *ProgramSpec) normalize() {
+	if sp.Root == "" {
+		sp.Root = "main"
+	}
+	if sp.Profile == "" {
+		sp.Profile = "i960kb"
+	}
+}
+
+// hashSpec names a normalized program spec: SHA-256 over every field that
+// shapes the prepared session. Certify is deliberately part of the
+// identity — certifying sessions keep presolve-free warm bases, so a
+// certified and an uncertified analysis of the same text are distinct
+// resident sessions rather than one session serving mixed cache entries.
+func hashSpec(sp ProgramSpec) string {
+	h := sha256.New()
+	kind, text := "src", sp.Source
+	if sp.Asm != "" {
+		kind, text = "asm", sp.Asm
+	}
+	fmt.Fprintf(h, "%s|%s|%t|%t|%s|%t|", kind, sp.Root, sp.Optimize, sp.Split, sp.Profile, sp.Certify)
+	h.Write([]byte(text))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// buildSession runs the one-shot front end for a spec: compile or
+// assemble, reconstruct CFGs, prepare the session.
+func buildSession(sp ProgramSpec, workers int) (*ipet.Session, error) {
+	timing, ok := isa.Profiles()[sp.Profile]
+	if !ok {
+		return nil, fmt.Errorf("unknown timing profile %q", sp.Profile)
+	}
+	var (
+		exe *asm.Executable
+		err error
+	)
+	switch {
+	case sp.Source != "" && sp.Asm != "":
+		return nil, errors.New("give source or asm, not both")
+	case sp.Source != "":
+		build := cc.Build
+		if sp.Optimize {
+			build = cc.BuildOptimized
+		}
+		exe, _, err = build(sp.Source)
+	case sp.Asm != "":
+		exe, err = asm.Assemble(sp.Asm)
+	default:
+		return nil, errors.New("no program text")
+	}
+	if err != nil {
+		return nil, err
+	}
+	prog, err := cfg.Build(exe)
+	if err != nil {
+		return nil, err
+	}
+	opts := ipet.DefaultOptions()
+	opts.SplitFirstIteration = sp.Split
+	opts.March.Timing = timing
+	opts.Certify = sp.Certify
+	opts.Workers = workers
+	return ipet.Prepare(prog, sp.Root, opts)
+}
+
+// resolve turns a request's program reference — hash, inline text, or both
+// — into a resident entry, preparing (or re-preparing, after eviction) at
+// most once per hash however many requests race. coldStart reports that
+// this request had to prepare. On failure it returns the HTTP status and
+// error body to send.
+func (s *Server) resolve(hash string, sp ProgramSpec) (ent *entry, coldStart bool, status int, eresp *ErrorResponse) {
+	sp.normalize()
+	hasText := sp.Source != "" || sp.Asm != ""
+	if sp.Source != "" && sp.Asm != "" {
+		return nil, false, http.StatusBadRequest, &ErrorResponse{Error: "give source or asm, not both"}
+	}
+	if hasText {
+		hash = hashSpec(sp)
+	} else if hash == "" {
+		return nil, false, http.StatusBadRequest, &ErrorResponse{Error: "no program: give a program hash or inline source/asm"}
+	}
+	if ent, ok := s.store.lookup(hash); ok {
+		return ent, false, 0, nil
+	}
+	if !hasText {
+		return nil, false, http.StatusNotFound, &ErrorResponse{
+			Error:    fmt.Sprintf("program %.12s… is not resident (never submitted, or evicted)", hash),
+			Resubmit: true,
+		}
+	}
+	v, err, _ := s.store.prepFlights.Do(hash, func() (any, error) {
+		// Double-check under the flight: a request that lost the race to a
+		// just-finished flight must not rebuild.
+		if ent, ok := s.store.lookup(hash); ok {
+			return ent, nil
+		}
+		sess, err := buildSession(sp, s.conf.Workers)
+		if err != nil {
+			return nil, err
+		}
+		ent := &entry{hash: hash, spec: sp, root: sp.Root, sess: sess}
+		s.store.insert(ent)
+		s.ctrs.prepares.Add(1)
+		return ent, nil
+	})
+	if err != nil {
+		return nil, false, http.StatusBadRequest, &ErrorResponse{Error: err.Error()}
+	}
+	return v.(*entry), true, 0, nil
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, status int, eresp *ErrorResponse) {
+	s.ctrs.errors.Add(1)
+	s.writeJSON(w, status, eresp)
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	s.ctrs.requests.Add(1)
+	r.Body = http.MaxBytesReader(w, r.Body, s.conf.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.writeErr(w, http.StatusBadRequest, &ErrorResponse{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var sp ProgramSpec
+	if !s.decode(w, r, &sp) {
+		return
+	}
+	s.ctrs.submits.Add(1)
+	if sp.Source == "" && sp.Asm == "" {
+		s.writeErr(w, http.StatusBadRequest, &ErrorResponse{Error: "no program text: give source or asm"})
+		return
+	}
+	ent, cold, status, eresp := s.resolve("", sp)
+	if eresp != nil {
+		s.writeErr(w, status, eresp)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, SubmitResponse{
+		Program:     ent.hash,
+		Root:        ent.root,
+		Cached:      !cold,
+		MemoryBytes: ent.sess.MemoryFootprint(),
+	})
+}
+
+// estOutcome is one solver pass's result, shared by every coalesced caller.
+type estOutcome struct {
+	est      *ipet.Estimate
+	shed     bool
+	answered string
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	startAt := time.Now()
+	var req EstimateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.ctrs.estimates.Add(1)
+	ent, cold, status, eresp := s.resolve(req.Program, req.ProgramSpec)
+	if eresp != nil {
+		s.writeErr(w, status, eresp)
+		return
+	}
+	if cold && req.Program != "" {
+		s.ctrs.resubmits.Add(1)
+	}
+	file, err := constraint.ParseNamed("annotations", req.Annotations)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, &ErrorResponse{Error: err.Error()})
+		return
+	}
+
+	slo := time.Duration(req.SLOMillis * float64(time.Millisecond))
+	if slo <= 0 {
+		slo = s.conf.DefaultSLO
+	}
+
+	// Parametric route: a point covered by a formula this session already
+	// built is answered without a solve slot — the formula evaluation is a
+	// handful of affine comparisons.
+	if len(req.Params) > 0 {
+		if pe, point, ok := coveringFormula(ent, req.Annotations, req.Params); ok {
+			est, err := pe.pb.EstimateAtContext(r.Context(), point)
+			if err != nil {
+				s.writeEstimateErr(w, err)
+				return
+			}
+			answered := "formula"
+			if est.Stats.ParamFallbacks > 0 {
+				answered = "fallback"
+				s.ctrs.fallbackAnswered.Add(1)
+			} else {
+				s.ctrs.formulaAnswered.Add(1)
+			}
+			s.writeEstimate(w, &req, ent, est, "ok", answered, false, cold, startAt)
+			return
+		}
+		// No covering formula: bind the symbols and solve concretely.
+		file, err = file.Bind(req.Params)
+		if err != nil {
+			s.writeErr(w, http.StatusBadRequest, &ErrorResponse{Error: err.Error()})
+			return
+		}
+	}
+
+	// Coalesce identical concurrent requests onto one solver pass. The key
+	// covers everything that shapes the answer; WantStats is presentation
+	// and deliberately excluded.
+	key := coalesceKey(&req)
+	v, err, shared := ent.estFlights.Do(key, func() (any, error) {
+		deadline, release, shed := s.adm.admit(r.Context(), slo)
+		defer release()
+		an, err := ent.sess.Analyzer(file)
+		if err != nil {
+			return nil, err
+		}
+		if missing := an.MissingLoopBounds(); len(missing) > 0 {
+			return nil, fmt.Errorf("loops without bound annotations: %s", strings.Join(missing, "; "))
+		}
+		if deadline > 0 || req.Budget > 0 {
+			an.SetAnytime(deadline, req.Budget)
+		}
+		est, err := an.EstimateContext(r.Context())
+		if err != nil {
+			return nil, err
+		}
+		if shed {
+			s.ctrs.shed.Add(1)
+		}
+		if !est.WCET.Exact || !est.BCET.Exact {
+			s.ctrs.degraded.Add(1)
+		}
+		return &estOutcome{est: est, shed: shed, answered: "solver"}, nil
+	})
+	if err != nil {
+		s.writeEstimateErr(w, err)
+		return
+	}
+	if shared {
+		s.ctrs.coalesced.Add(1)
+	}
+	out := v.(*estOutcome)
+	admission := "ok"
+	if out.shed {
+		admission = "shed"
+	}
+	s.writeEstimate(w, &req, ent, out.est, admission, out.answered, shared, cold, startAt)
+}
+
+func (s *Server) writeEstimate(w http.ResponseWriter, req *EstimateRequest, ent *entry, est *ipet.Estimate, admission, answered string, coalesced, cold bool, startAt time.Time) {
+	exact := est.WCET.Exact && est.BCET.Exact
+	resp := EstimateResponse{
+		Program:         ent.hash,
+		WCET:            est.WCET,
+		BCET:            est.BCET,
+		NumSets:         est.NumSets,
+		PrunedSets:      est.PrunedSets,
+		SolvedSets:      est.SolvedSets,
+		AllRootIntegral: est.AllRootIntegral,
+		Exact:           exact,
+		Degraded:        !exact,
+		Admission:       admission,
+		AnsweredBy:      answered,
+		Coalesced:       coalesced,
+		ColdStart:       cold,
+		ElapsedMicros:   time.Since(startAt).Microseconds(),
+	}
+	if req.WantStats {
+		st := est.Stats
+		resp.Stats = &st
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// writeEstimateErr maps analysis errors: infeasible annotations are the
+// client's contradiction (422); everything else at this stage is a bad
+// request (unknown blocks, missing loop bounds, malformed symbols).
+func (s *Server) writeEstimateErr(w http.ResponseWriter, err error) {
+	var ie *ipet.InfeasibleError
+	if errors.As(err, &ie) {
+		s.writeErr(w, http.StatusUnprocessableEntity, &ErrorResponse{Error: err.Error()})
+		return
+	}
+	s.writeErr(w, http.StatusBadRequest, &ErrorResponse{Error: err.Error()})
+}
+
+func (s *Server) handleParametrize(w http.ResponseWriter, r *http.Request) {
+	startAt := time.Now()
+	var req ParametrizeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.ctrs.parametrizes.Add(1)
+	ent, cold, status, eresp := s.resolve(req.Program, req.ProgramSpec)
+	if eresp != nil {
+		s.writeErr(w, status, eresp)
+		return
+	}
+	if len(req.Specs) == 0 {
+		s.writeErr(w, http.StatusBadRequest, &ErrorResponse{Error: "no parameter specs"})
+		return
+	}
+	file, err := constraint.ParseNamed("annotations", req.Annotations)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, &ErrorResponse{Error: err.Error()})
+		return
+	}
+	specs := make([]ipet.ParamSpec, len(req.Specs))
+	for i, sp := range req.Specs {
+		specs[i] = ipet.ParamSpec{Name: sp.Name, Lo: sp.Lo, Hi: sp.Hi}
+	}
+	key := formulaKey(req.Annotations, specs)
+	if pe, ok := ent.formula(key); ok {
+		s.writeParametrize(w, ent, pe.pb, true, cold, startAt)
+		return
+	}
+	// One enumeration per identical concurrent request; reuse the entry's
+	// flight group under a distinct key space.
+	v, err, _ := ent.estFlights.Do("param|"+key, func() (any, error) {
+		if pe, ok := ent.formula(key); ok {
+			return pe.pb, nil
+		}
+		pb, err := ent.sess.ParametrizeContext(r.Context(), file, specs)
+		if err != nil {
+			return nil, err
+		}
+		ent.putFormula(key, &paramEntry{key: key, pb: pb, specs: specs})
+		return pb, nil
+	})
+	if err != nil {
+		s.writeEstimateErr(w, err)
+		return
+	}
+	s.writeParametrize(w, ent, v.(*ipet.ParamBound), false, cold, startAt)
+}
+
+func (s *Server) writeParametrize(w http.ResponseWriter, ent *entry, pb *ipet.ParamBound, cached, cold bool, startAt time.Time) {
+	s.writeJSON(w, http.StatusOK, ParametrizeResponse{
+		Program:   ent.hash,
+		Formula:   pb.Describe(),
+		Pieces:    pb.Pieces(),
+		Certified: pb.Certified(),
+		Cached:    cached,
+		ColdStart: cold,
+		ElapsedUs: time.Since(startAt).Microseconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.ctrs.requests.Add(1)
+	resident, mem, ents := s.store.snapshot()
+	resp := StatsResponse{
+		UptimeSeconds:    time.Since(s.start).Seconds(),
+		Requests:         s.ctrs.requests.Load(),
+		Submits:          s.ctrs.submits.Load(),
+		Estimates:        s.ctrs.estimates.Load(),
+		Parametrizes:     s.ctrs.parametrizes.Load(),
+		Coalesced:        s.ctrs.coalesced.Load(),
+		Degraded:         s.ctrs.degraded.Load(),
+		Shed:             s.ctrs.shed.Load(),
+		Errors:           s.ctrs.errors.Load(),
+		FormulaAnswered:  s.ctrs.formulaAnswered.Load(),
+		FallbackAnswered: s.ctrs.fallbackAnswered.Load(),
+		Store: StoreStatsJSON{
+			Resident:    resident,
+			MemoryBytes: mem,
+			MaxSessions: s.conf.MaxSessions,
+			MemBudget:   s.conf.MemoryBudget,
+			Hits:        s.ctrs.storeHits.Load(),
+			Misses:      s.ctrs.storeMisses.Load(),
+			Prepares:    s.ctrs.prepares.Load(),
+			Resubmits:   s.ctrs.resubmits.Load(),
+			Evictions:   s.ctrs.evictions.Load(),
+		},
+	}
+	for _, ent := range ents {
+		tot := ent.sess.Totals()
+		bases, solves, finishes := ent.sess.CacheStats()
+		resp.Sessions = append(resp.Sessions, SessionStatsJSON{
+			Program:      ent.hash,
+			Root:         ent.root,
+			MemoryBytes:  ent.sess.MemoryFootprint(),
+			Estimates:    tot.Estimates,
+			Formula:      tot.FormulaAnswers,
+			Degraded:     tot.Degraded,
+			DeadlineHits: tot.DeadlineHits,
+			Pivots:       tot.Stats.Pivots,
+			CacheHits:    tot.Stats.CacheHits,
+			WarmBases:    bases,
+			SetOutcomes:  solves,
+			CountVectors: finishes,
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// coveringFormula finds a cached parametric bound whose declared domains
+// exactly name the request's parameters and contain the point. The point
+// vector comes back in the formula's spec order.
+func coveringFormula(ent *entry, annots string, params map[string]int64) (*paramEntry, []int64, bool) {
+	for _, pe := range ent.formulas() {
+		if len(pe.specs) != len(params) {
+			continue
+		}
+		// The formula is only valid for the annotation text it was built
+		// from.
+		if formulaKey(annots, pe.specs) != pe.key {
+			continue
+		}
+		point := make([]int64, len(pe.specs))
+		ok := true
+		for k, sp := range pe.specs {
+			v, have := params[sp.Name]
+			if !have || v < sp.Lo || v > sp.Hi {
+				ok = false
+				break
+			}
+			point[k] = v
+		}
+		if ok {
+			return pe, point, true
+		}
+	}
+	return nil, nil, false
+}
+
+// formulaKey names a parametric formula by the annotation text and the
+// ordered domain declarations.
+func formulaKey(annots string, specs []ipet.ParamSpec) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d|", len(annots))
+	h.Write([]byte(annots))
+	for _, sp := range specs {
+		fmt.Fprintf(h, "|%s=%d..%d", sp.Name, sp.Lo, sp.Hi)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// coalesceKey names everything that shapes an estimate's answer:
+// annotations, bound parameters, SLO, and budget.
+func coalesceKey(req *EstimateRequest) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d|", len(req.Annotations))
+	h.Write([]byte(req.Annotations))
+	names := make([]string, 0, len(req.Params))
+	for name := range req.Params {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(h, "|%s=%d", name, req.Params[name])
+	}
+	fmt.Fprintf(h, "|slo=%g|budget=%d", req.SLOMillis, req.Budget)
+	return hex.EncodeToString(h.Sum(nil))
+}

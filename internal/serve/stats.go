@@ -1,0 +1,27 @@
+package serve
+
+import "sync/atomic"
+
+// counters is the server-wide ledger. Every field is an atomic: request
+// handlers bump them lock-free and the stats endpoint snapshots them while
+// estimates run, so no counter is ever read torn or under a lock that a
+// solve could be holding.
+type counters struct {
+	requests     atomic.Int64
+	submits      atomic.Int64
+	estimates    atomic.Int64
+	parametrizes atomic.Int64
+	coalesced    atomic.Int64
+	degraded     atomic.Int64
+	shed         atomic.Int64
+	errors       atomic.Int64
+
+	formulaAnswered  atomic.Int64
+	fallbackAnswered atomic.Int64
+
+	storeHits   atomic.Int64
+	storeMisses atomic.Int64
+	prepares    atomic.Int64
+	resubmits   atomic.Int64
+	evictions   atomic.Int64
+}

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"cinderella/internal/ipet"
+)
+
+// entry is one resident prepared session plus the per-program request
+// machinery hung off it: an estimate-coalescing flight group and the cache
+// of parametric bound formulas built against this session.
+type entry struct {
+	hash string
+	spec ProgramSpec
+	root string
+	sess *ipet.Session
+
+	// mem is the session's accounted footprint as of the last touch; the
+	// owning shard's mem sum includes exactly this value. Guarded by the
+	// shard mutex.
+	mem int64
+
+	// estFlights coalesces identical concurrent estimate requests: one
+	// solver pass answers all of them.
+	estFlights flightGroup
+
+	// pmu guards params, the formulas Parametrize built on this session,
+	// keyed by hash of (annotations, specs).
+	pmu    sync.Mutex
+	params map[string]*paramEntry
+}
+
+type paramEntry struct {
+	// key is formulaKey(annotations, specs): the formula answers only
+	// points asked under the exact annotation text it was built from.
+	key   string
+	pb    *ipet.ParamBound
+	specs []ipet.ParamSpec
+}
+
+// formula returns the cached parametric bound under key, if any.
+func (e *entry) formula(key string) (*paramEntry, bool) {
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
+	pe, ok := e.params[key]
+	return pe, ok
+}
+
+// formulas snapshots the cached parametric bounds (for point coverage
+// scans, which must not hold pmu across an Eval).
+func (e *entry) formulas() []*paramEntry {
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
+	out := make([]*paramEntry, 0, len(e.params))
+	for _, pe := range e.params {
+		out = append(out, pe)
+	}
+	return out
+}
+
+func (e *entry) putFormula(key string, pe *paramEntry) {
+	e.pmu.Lock()
+	if e.params == nil {
+		e.params = make(map[string]*paramEntry)
+	}
+	e.params[key] = pe
+	e.pmu.Unlock()
+}
+
+// store keeps prepared sessions resident in sharded LRU lists under a
+// session-count cap and a memory budget. Each shard is independently
+// locked, so a hot lookup never contends with an unrelated program's
+// eviction; tests that need exact global LRU order run with one shard.
+type store struct {
+	shards      []*storeShard
+	maxPerShard int   // 0 = uncapped
+	memPerShard int64 // 0 = unbudgeted
+
+	// prepFlights serializes preparation per program hash across all
+	// shards: a burst of requests for a new program builds its session
+	// exactly once.
+	prepFlights flightGroup
+
+	ctrs *counters
+}
+
+type storeShard struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element // values are *entry, list front = most recent
+	lru     *list.List
+	mem     int64
+}
+
+func newStore(shards, maxSessions int, memBudget int64, ctrs *counters) *store {
+	if shards < 1 {
+		shards = 1
+	}
+	s := &store{ctrs: ctrs}
+	if maxSessions > 0 {
+		s.maxPerShard = (maxSessions + shards - 1) / shards
+		if s.maxPerShard < 1 {
+			s.maxPerShard = 1
+		}
+	}
+	if memBudget > 0 {
+		s.memPerShard = memBudget / int64(shards)
+		if s.memPerShard < 1 {
+			s.memPerShard = 1
+		}
+	}
+	for i := 0; i < shards; i++ {
+		s.shards = append(s.shards, &storeShard{
+			entries: make(map[string]*list.Element),
+			lru:     list.New(),
+		})
+	}
+	return s
+}
+
+func (s *store) shardOf(hash string) *storeShard {
+	// The hash is hex SHA-256: its leading bytes are uniform, so a simple
+	// fold shards evenly.
+	var h uint32
+	for i := 0; i < len(hash) && i < 8; i++ {
+		h = h*31 + uint32(hash[i])
+	}
+	return s.shards[h%uint32(len(s.shards))]
+}
+
+// lookup returns the resident entry for hash, refreshing its LRU position
+// and accounted footprint. The footprint grows as the session's solver
+// caches fill, so every touch re-reads it and the shard may evict colder
+// entries to stay under budget.
+func (s *store) lookup(hash string) (*entry, bool) {
+	sh := s.shardOf(hash)
+	sh.mu.Lock()
+	el, ok := sh.entries[hash]
+	if !ok {
+		sh.mu.Unlock()
+		s.ctrs.storeMisses.Add(1)
+		return nil, false
+	}
+	ent := el.Value.(*entry)
+	sh.lru.MoveToFront(el)
+	fresh := ent.sess.MemoryFootprint()
+	sh.mem += fresh - ent.mem
+	ent.mem = fresh
+	s.evictLocked(sh)
+	sh.mu.Unlock()
+	s.ctrs.storeHits.Add(1)
+	return ent, true
+}
+
+// insert adds a freshly prepared entry (front of the LRU) and evicts from
+// the cold end to fit the caps. The newest entry is never evicted, even
+// when it alone exceeds the memory budget — the request that built it must
+// be answerable.
+func (s *store) insert(ent *entry) {
+	sh := s.shardOf(ent.hash)
+	sh.mu.Lock()
+	if el, ok := sh.entries[ent.hash]; ok {
+		// A concurrent insert won; keep the resident entry.
+		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
+		return
+	}
+	ent.mem = ent.sess.MemoryFootprint()
+	sh.entries[ent.hash] = sh.lru.PushFront(ent)
+	sh.mem += ent.mem
+	s.evictLocked(sh)
+	sh.mu.Unlock()
+}
+
+// evictLocked drops cold entries until the shard fits its caps. Callers
+// hold sh.mu.
+func (s *store) evictLocked(sh *storeShard) {
+	for sh.lru.Len() > 1 {
+		over := (s.maxPerShard > 0 && sh.lru.Len() > s.maxPerShard) ||
+			(s.memPerShard > 0 && sh.mem > s.memPerShard)
+		if !over {
+			return
+		}
+		el := sh.lru.Back()
+		ent := el.Value.(*entry)
+		sh.lru.Remove(el)
+		delete(sh.entries, ent.hash)
+		sh.mem -= ent.mem
+		s.ctrs.evictions.Add(1)
+	}
+}
+
+// snapshot reports store occupancy and the resident entries, coldest last
+// within each shard.
+func (s *store) snapshot() (resident int, mem int64, ents []*entry) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		resident += sh.lru.Len()
+		mem += sh.mem
+		for el := sh.lru.Front(); el != nil; el = el.Next() {
+			ents = append(ents, el.Value.(*entry))
+		}
+		sh.mu.Unlock()
+	}
+	return resident, mem, ents
+}

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"cinderella/internal/bench"
+)
+
+// TestServerStressLRUChurn hammers a deliberately tiny server — one shard,
+// a two-entry LRU, three distinct programs — with concurrent mixed
+// requests, so sessions are constantly evicted and re-prepared while other
+// goroutines poll stats. Run under -race this is the data-race gate for
+// the store, the flight groups, and the session ledgers; functionally it
+// asserts the core cache-transparency contract: an evicted-then-resubmitted
+// program answers with byte-identical bounds.
+func TestServerStressLRUChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	srv := New(Config{Shards: 1, MaxSessions: 2, Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Three cheap, distinct path-explosion programs; the 2-entry LRU can
+	// never hold all of them.
+	type workload struct {
+		spec   ProgramSpec
+		annots string
+		wantW  []byte
+		wantB  []byte
+	}
+	var workloads []workload
+	for _, n := range []int{3, 4, 5} {
+		asmText, annots := bench.ExplosionAsm(n)
+		spec := ProgramSpec{Asm: asmText, Root: "main"}
+		ref := oneShotEstimate(t, spec, 1, annots)
+		wantW, _ := json.Marshal(ref.WCET)
+		wantB, _ := json.Marshal(ref.BCET)
+		workloads = append(workloads, workload{spec, annots, wantW, wantB})
+	}
+
+	const (
+		goroutines = 8
+		iters      = 10
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				w := &workloads[(g+i)%len(workloads)]
+				switch {
+				case i%5 == 3:
+					// Submit: may re-prepare after an eviction.
+					var sub SubmitResponse
+					postJSON(t, ts.Client(), ts.URL+"/v1/programs", w.spec, &sub, http.StatusOK)
+				case i%5 == 4:
+					resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					var st StatsResponse
+					if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+						t.Errorf("stats decode: %v", err)
+					}
+					resp.Body.Close()
+					if st.Store.Resident > 2 {
+						t.Errorf("LRU holds %d sessions, cap 2", st.Store.Resident)
+					}
+				default:
+					// Estimate with inline source: works whether the
+					// session is resident or was just evicted.
+					req := EstimateRequest{ProgramSpec: w.spec, Annotations: w.annots}
+					var got rawEstimate
+					postJSON(t, ts.Client(), ts.URL+"/v1/estimate", req, &got, http.StatusOK)
+					if !bytes.Equal(got.WCET, w.wantW) || !bytes.Equal(got.BCET, w.wantB) {
+						t.Errorf("goroutine %d iter %d: bounds differ after churn:\n got %s / %s\nwant %s / %s",
+							g, i, got.WCET, got.BCET, w.wantW, w.wantB)
+					}
+					if !got.Exact {
+						t.Errorf("goroutine %d iter %d: unconstrained estimate not exact", g, i)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Store.Evictions == 0 {
+		t.Error("three programs through a 2-entry LRU produced no evictions")
+	}
+	if st.Store.Resident > 2 {
+		t.Errorf("final residency %d exceeds the 2-session cap", st.Store.Resident)
+	}
+	if st.Errors != 0 {
+		t.Errorf("server recorded %d errors during churn", st.Errors)
+	}
+	if got := fmt.Sprintf("%d", st.Store.Prepares); st.Store.Prepares < 3 {
+		t.Errorf("expected at least one prepare per program, got %s", got)
+	}
+}
