@@ -40,6 +40,7 @@ import (
 	"cinderella/internal/ilp"
 	"cinderella/internal/ipet"
 	"cinderella/internal/isa"
+	"cinderella/internal/prepcache"
 )
 
 func main() {
@@ -173,7 +174,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	prog, err := cfg.Build(exe)
+	// Same content-addressed front end the server uses: a one-shot run only
+	// ever misses, but routing through it keeps the CLI and cinderelld on
+	// one code path (and -stats can report the artifact traffic).
+	prog, err := prepcache.Default().BuildProgram(exe)
 	if err != nil {
 		fatal(err)
 	}
@@ -337,6 +341,11 @@ func printReport(sess *ipet.Session, est *ipet.Estimate, analyzed string, mhz fl
 		if s.SetsWidened > 0 || s.SetsUnsolved > 0 || s.DeadlineHit {
 			fmt.Printf("solver: %d sets widened, %d sets unsolved, deadline hit: %v\n",
 				s.SetsWidened, s.SetsUnsolved, s.DeadlineHit)
+		}
+		if h, m := sess.ArtifactStats(); h+m > 0 {
+			art := prepcache.Default().Snapshot()
+			fmt.Printf("prepare: %d artifact hits, %d misses (process cache: %d entries, %d KiB)\n",
+				h, m, art.Entries, art.Bytes/1024)
 		}
 	}
 

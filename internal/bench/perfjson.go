@@ -69,11 +69,20 @@ type EstimatePerf struct {
 	P99Us     int64   `json:"p99_us,omitempty"`
 	WarmP50Us int64   `json:"warm_p50_us,omitempty"`
 	ColdP50Us int64   `json:"cold_p50_us,omitempty"`
-	Degraded  int64   `json:"degraded,omitempty"`
-	Shed      int64   `json:"shed,omitempty"`
-	Coalesced int64   `json:"coalesced,omitempty"`
-	Evictions int64   `json:"evictions,omitempty"`
-	NonSound  int64   `json:"non_sound,omitempty"`
+	// PrepareP50Us/PrepareP99Us split the frontend+Prepare pipeline cost
+	// out of cold latencies; ArtifactHitRate is the prepare-artifact cache
+	// hit fraction across the run (serve rows), and ArtifactHits/Misses
+	// are the per-Prepare artifact counters (prepare rows).
+	PrepareP50Us    int64   `json:"prepare_p50_us,omitempty"`
+	PrepareP99Us    int64   `json:"prepare_p99_us,omitempty"`
+	ArtifactHitRate float64 `json:"artifact_hit_rate,omitempty"`
+	ArtifactHits    int64   `json:"artifact_hits,omitempty"`
+	ArtifactMisses  int64   `json:"artifact_misses,omitempty"`
+	Degraded        int64   `json:"degraded,omitempty"`
+	Shed            int64   `json:"shed,omitempty"`
+	Coalesced       int64   `json:"coalesced,omitempty"`
+	Evictions       int64   `json:"evictions,omitempty"`
+	NonSound        int64   `json:"non_sound,omitempty"`
 }
 
 // FillFromEstimate copies the solver-work counters and bounds of est.

@@ -186,6 +186,7 @@ func TestWriteEstimateBenchJSON(t *testing.T) {
 
 	recs = append(recs, sessionRows(t)...)
 	recs = append(recs, parametricRows(t)...)
+	recs = append(recs, prepareRows(t)...)
 
 	path := os.Getenv("CINDERELLA_BENCH_JSON")
 	if path == "" {

@@ -127,6 +127,20 @@ type Program struct {
 	Funcs map[string]*FuncCFG
 	// Order lists function names in address order.
 	Order []string
+	// BodyKeys holds the content-address (normalized body hash) of each
+	// cacheable function, filled by prepcache.BuildProgram so downstream
+	// artifact lookups skip a second decode-and-hash pass. Nil for programs
+	// built directly by Build; functions whose bodies cannot be normalized
+	// are absent.
+	BodyKeys map[string][32]byte
+}
+
+// BuildFunc reconstructs the CFG of a single function symbol. It is the
+// per-function unit of Build, exported so content-addressed caches
+// (internal/prepcache) can rebuild exactly the functions whose bodies
+// changed and reuse the rest.
+func BuildFunc(exe *asm.Executable, f asm.Symbol) (*FuncCFG, error) {
+	return buildFunc(exe, f)
 }
 
 // Build reconstructs CFGs for every function in the executable.

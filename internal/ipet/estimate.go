@@ -134,6 +134,14 @@ type Stats struct {
 	FormulaEvals   int
 	ParamRegions   int
 	ParamFallbacks int
+	// ArtifactHits and ArtifactMisses count per-function prepare artifacts
+	// (CFG skeletons, block-cost tables, packed structural row templates)
+	// served from, respectively built into, the process-wide
+	// content-addressed cache (internal/prepcache) when the session was
+	// prepared. They are recorded once into the session ledger at Prepare
+	// time and are zero in per-Estimate stats.
+	ArtifactHits   int
+	ArtifactMisses int
 }
 
 // Estimate is the full result of a timing analysis: the estimated bound
@@ -324,7 +332,7 @@ func addCost(coeffs map[int]float64, x int, c int64) error {
 }
 
 func (a *Session) worstObjective() (objective, error) {
-	obj := objective{coeffs: map[int]float64{}, nVars: a.nVars}
+	obj := objective{coeffs: make(map[int]float64, a.numBlockVars()), nVars: a.nVars}
 	for _, ctx := range a.contexts {
 		fc := a.Prog.Funcs[ctx.Func]
 		costs := a.costs[ctx.Func]
@@ -391,7 +399,7 @@ func (a *Session) worstObjective() (objective, error) {
 }
 
 func (a *Session) bestObjective() (objective, error) {
-	obj := objective{coeffs: map[int]float64{}, nVars: a.nVars}
+	obj := objective{coeffs: make(map[int]float64, a.numBlockVars()), nVars: a.nVars}
 	for _, ctx := range a.contexts {
 		costs := a.costs[ctx.Func]
 		fc := a.Prog.Funcs[ctx.Func]
@@ -1384,9 +1392,18 @@ func (a *Session) aggregateCounts(values []float64) map[string][]int64 {
 	return out
 }
 
-// BlockCosts exposes the cost bracket used for a function's blocks.
+// BlockCosts exposes the cost bracket used for a function's blocks. The
+// session holds tables only for functions reachable from the root (the only
+// ones the objectives charge); tables for other functions are computed on
+// demand.
 func (a *Session) BlockCosts(fn string) []march.BlockCost {
-	return a.costs[fn]
+	if c, ok := a.costs[fn]; ok {
+		return c
+	}
+	if fc, ok := a.Prog.Funcs[fn]; ok {
+		return march.CostsOf(fc, a.Opts.March)
+	}
+	return nil
 }
 
 // StructuralNetworkMatrix reports whether the intraprocedural structural

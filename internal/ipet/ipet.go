@@ -139,22 +139,6 @@ func (c *Context) String() string {
 	return s
 }
 
-// varKind is an internal ILP variable family.
-type varKind uint8
-
-const (
-	vBlock varKind = iota
-	vEdge
-	vFirstIter // first-iteration share of a block count (Section IV split)
-)
-
-// varKey identifies an ILP variable.
-type varKey struct {
-	ctx  int
-	kind varKind
-	idx  int // block index or edge ID
-}
-
 // Analyzer binds one set of functionality annotations to a session's
 // shared analysis model. The model fields (Prog, Root, Opts, contexts,
 // variables, costs) are promoted from the embedded Session; the analyzer
@@ -243,11 +227,14 @@ func (a *Session) Contexts() []*Context { return a.contexts }
 // NumVars returns the number of ILP variables in the structural model.
 func (a *Session) NumVars() int { return a.nVars }
 
-// blockVar returns the ILP variable of block b in context ctx.
-func (a *Session) blockVar(ctx, b int) int { return a.vars[varKey{ctx, vBlock, b}] }
+// blockVar returns the ILP variable of block b in context ctx: contexts lay
+// their block variables out first, then their edge variables, contiguously
+// from ctxOff (first-iteration split variables are appended past nVars by
+// the objective builder).
+func (a *Session) blockVar(ctx, b int) int { return a.ctxOff[ctx] + b }
 
 // edgeVar returns the ILP variable of edge e in context ctx.
-func (a *Session) edgeVar(ctx, e int) int { return a.vars[varKey{ctx, vEdge, e}] }
+func (a *Session) edgeVar(ctx, e int) int { return a.ctxOff[ctx] + a.ctxNB[ctx] + e }
 
 // Apply registers the functionality annotations (loop bounds and path
 // facts). The whole file is validated up front — sections naming unknown

@@ -1,0 +1,270 @@
+package ipet
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/cfg"
+	"cinderella/internal/constraint"
+	"cinderella/internal/ilp"
+	"cinderella/internal/prepcache"
+)
+
+// prepSrc is a program exercising every structural row shape: a loop, a
+// diamond, two call sites of the same callee (two contexts), and a helper
+// unreachable from main.
+const prepSrc = `
+main:
+        addi r1, r0, 8
+.Lloop:
+        beq r1, r0, .Ldone   ; loop header
+        call work
+        call work
+        addi r1, r1, -1
+        jmp .Lloop
+.Ldone:
+        halt
+
+work:
+        beq r1, r0, .Lw1
+        addi r2, r0, 1
+        jmp .Lw2
+.Lw1:
+        addi r2, r0, 2
+.Lw2:
+        ret
+
+orphan:
+        addi r3, r0, 7
+        ret
+`
+
+func prepareFor(t *testing.T, src, root string, opts Options) *Session {
+	t.Helper()
+	exe, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	prog, err := prepcache.Default().BuildProgram(exe)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	sess, err := Prepare(prog, root, opts)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	return sess
+}
+
+// TestPackedStructuralMatchesDirectPack asserts the template-relocation
+// assembly of the packed structural system is bit-identical to lowering
+// StructuralConstraints through ilp.Pack — cold and artifact-warm, serial
+// and parallel.
+func TestPackedStructuralMatchesDirectPack(t *testing.T) {
+	prepcache.Default().Reset()
+	for _, workers := range []int{1, 4} {
+		for pass := 0; pass < 2; pass++ { // pass 0 cold, pass 1 warm
+			opts := DefaultOptions()
+			opts.Workers = workers
+			sess := prepareFor(t, prepSrc, "main", opts)
+			want := ilp.Pack(sess.StructuralConstraints())
+			got := sess.packedStructural
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d pass=%d: %d assembled rows, want %d", workers, pass, len(got), len(want))
+			}
+			for i := range want {
+				if !reflect.DeepEqual(got[i].Cols, want[i].Cols) ||
+					!reflect.DeepEqual(got[i].Vals, want[i].Vals) ||
+					got[i].Rel != want[i].Rel || got[i].RHS != want[i].RHS {
+					t.Fatalf("workers=%d pass=%d: row %d differs:\n got %+v\nwant %+v",
+						workers, pass, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPrepareArtifactCounters checks the hit/miss ledger: a cold Prepare is
+// all misses, re-preparing the identical program is all hits, and the
+// counters surface through Totals().
+func TestPrepareArtifactCounters(t *testing.T) {
+	prepcache.Default().Reset()
+	opts := DefaultOptions()
+	opts.Workers = 1
+
+	cold := prepareFor(t, prepSrc, "main", opts)
+	ch, cm := cold.ArtifactStats()
+	if ch != 0 || cm == 0 {
+		t.Fatalf("cold prepare: hits=%d misses=%d, want 0 hits and >0 misses", ch, cm)
+	}
+	// Two artifacts (cost table + row template) per reachable cacheable
+	// function: main and work, not orphan.
+	if cm != 4 {
+		t.Fatalf("cold prepare: %d misses, want 4 (2 artifacts x 2 reachable functions)", cm)
+	}
+
+	warm := prepareFor(t, prepSrc, "main", opts)
+	wh, wm := warm.ArtifactStats()
+	if wm != 0 || wh != cm {
+		t.Fatalf("warm prepare: hits=%d misses=%d, want %d hits and 0 misses", wh, wm, cm)
+	}
+	tot := warm.Totals()
+	if tot.Stats.ArtifactHits != int(wh) || tot.Stats.ArtifactMisses != 0 {
+		t.Fatalf("ledger: artifact hits=%d misses=%d, want %d/0",
+			tot.Stats.ArtifactHits, tot.Stats.ArtifactMisses, wh)
+	}
+}
+
+// TestUnreachableFunctionCosts pins the satellite fix: the session computes
+// cost tables only for functions reachable from the root, while BlockCosts
+// stays total by computing unreachable tables on demand.
+func TestUnreachableFunctionCosts(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Workers = 1
+	sess := prepareFor(t, prepSrc, "main", opts)
+	if _, ok := sess.costs["orphan"]; ok {
+		t.Fatal("session holds a cost table for unreachable function orphan")
+	}
+	for _, fn := range []string{"main", "work"} {
+		if _, ok := sess.costs[fn]; !ok {
+			t.Fatalf("session lacks a cost table for reachable function %s", fn)
+		}
+	}
+	costs := sess.BlockCosts("orphan")
+	if len(costs) == 0 {
+		t.Fatal("BlockCosts(orphan) is empty; want an on-demand table")
+	}
+	if costs[0].Best <= 0 || costs[0].Worst < costs[0].Best {
+		t.Fatalf("BlockCosts(orphan) bracket broken: %+v", costs[0])
+	}
+}
+
+// TestConcurrentPrepareSharedArtifactCache is the -race stress of the
+// process-wide artifact cache: many goroutines concurrently prepare both
+// the same program and distinct programs (distinct bodies, so insertions
+// and lookups interleave), and every resulting session must report bounds
+// identical to its serial reference.
+func TestConcurrentPrepareSharedArtifactCache(t *testing.T) {
+	prepcache.Default().Reset()
+
+	// Distinct program variants: the loop count constant differs, so the
+	// main bodies hash differently while work is shared across variants.
+	variant := func(n int) string {
+		return fmt.Sprintf(`
+main:
+        addi r1, r0, %d
+.Lloop:
+        beq r1, r0, .Ldone
+        call work
+        addi r1, r1, -1
+        jmp .Lloop
+.Ldone:
+        halt
+
+work:
+        addi r2, r0, 1
+        ret
+`, n)
+	}
+	annots := func(n int) string { return fmt.Sprintf("func main { loop 1: %d .. %d }\n", n, n) }
+
+	type ref struct{ wcet, bcet int64 }
+	refs := map[int]ref{}
+	for n := 1; n <= 4; n++ {
+		opts := DefaultOptions()
+		opts.Workers = 1
+		sess := prepareFor(t, variant(n), "main", opts)
+		file, err := constraint.Parse(annots(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := sess.Estimate(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[n] = ref{est.WCET.Cycles, est.BCET.Cycles}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := g%4 + 1
+			exe, err := asm.Assemble(variant(n))
+			if err != nil {
+				errs <- err
+				return
+			}
+			prog, err := prepcache.Default().BuildProgram(exe)
+			if err != nil {
+				errs <- err
+				return
+			}
+			opts := DefaultOptions()
+			opts.Workers = 1 + g%3
+			sess, err := Prepare(prog, "main", opts)
+			if err != nil {
+				errs <- err
+				return
+			}
+			file, err := constraint.Parse(annots(n))
+			if err != nil {
+				errs <- err
+				return
+			}
+			est, err := sess.Estimate(file)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if est.WCET.Cycles != refs[n].wcet || est.BCET.Cycles != refs[n].bcet {
+				errs <- fmt.Errorf("variant %d: concurrent prepare bound [%d,%d], want [%d,%d]",
+					n, est.BCET.Cycles, est.WCET.Cycles, refs[n].bcet, refs[n].wcet)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestCachedCFGIdenticalToDirect asserts a cache-instantiated program is
+// deep-equal to one built directly by cfg.Build — blocks, addresses,
+// decoded instructions, lines, edges, loops, dominators.
+func TestCachedCFGIdenticalToDirect(t *testing.T) {
+	exe, err := asm.Assemble(prepSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := cfg.Build(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := prepcache.New()
+	if _, err := c.BuildProgram(exe); err != nil { // populate
+		t.Fatal(err)
+	}
+	cached, err := c.BuildProgram(exe) // instantiate from prototypes
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Snapshot(); got.Hits == 0 {
+		t.Fatal("second BuildProgram had no cache hits")
+	}
+	if !reflect.DeepEqual(cached.Order, direct.Order) {
+		t.Fatalf("function order differs: %v vs %v", cached.Order, direct.Order)
+	}
+	for _, name := range direct.Order {
+		if !reflect.DeepEqual(cached.Funcs[name], direct.Funcs[name]) {
+			t.Fatalf("function %s differs:\ncached: %+v\ndirect: %+v",
+				name, cached.Funcs[name], direct.Funcs[name])
+		}
+	}
+}

@@ -5,14 +5,17 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"cinderella/internal/cache"
 	"cinderella/internal/cfg"
 	"cinderella/internal/constraint"
 	"cinderella/internal/ilp"
 	"cinderella/internal/march"
+	"cinderella/internal/prepcache"
 )
 
 // Session owns everything about an analysis that does not depend on the
@@ -49,11 +52,26 @@ type Session struct {
 	// ctxChild maps (parent ctx, call edge) to the callee context.
 	ctxChild map[[2]int]*Context
 
-	vars  map[varKey]int
-	nVars int
+	// ctxOff and ctxNB encode the variable layout: context c's block
+	// variables are ctxOff[c]..ctxOff[c]+ctxNB[c]-1 (block index order) and
+	// its edge variables follow contiguously (edge ID order), exactly the
+	// numbering the former per-variable map assigned. Offset arithmetic
+	// replaces the map so variable resolution is allocation- and hash-free.
+	ctxOff []int
+	ctxNB  []int
+	nVars  int
 
-	// costs caches block cost brackets per function.
+	// costs caches block cost brackets per reachable function (the only
+	// functions the objectives charge). BlockCosts computes tables for
+	// unreachable functions on demand.
 	costs map[string][]march.BlockCost
+
+	// artifactHits/artifactMisses count the content-addressed prepare
+	// artifacts (CFG skeletons, cost tables, structural row templates)
+	// served from, respectively built into, the process-wide prepcache
+	// while this session was prepared.
+	artifactHits   int64
+	artifactMisses int64
 
 	// Prepared solver front end: the structural rows lowered to packed form
 	// once, and one dirBase per objective sense. Per-annotation prefixes are
@@ -137,6 +155,8 @@ func (t *SessionTotals) accumulate(est *Estimate) {
 	s.FormulaEvals += d.FormulaEvals
 	s.ParamRegions += d.ParamRegions
 	s.ParamFallbacks += d.ParamFallbacks
+	s.ArtifactHits += d.ArtifactHits
+	s.ArtifactMisses += d.ArtifactMisses
 }
 
 // noteEstimate records one completed estimate in the session ledger.
@@ -205,6 +225,23 @@ func Prepare(prog *cfg.Program, root string, opts Options) (*Session, error) {
 	return s, nil
 }
 
+// funcArtifacts is the per-function prepare material newSession fetches —
+// content-addressed when the body is keyable, computed directly otherwise.
+type funcArtifacts struct {
+	costs []march.BlockCost
+	tmpl  *prepcache.RowTemplate
+}
+
+// linkVals and rootVals are the shared coefficient slices of the linkage
+// and root rows of every assembled structural system: a linkage row's
+// sorted columns are always [caller f-edge, callee entry edge] (the callee
+// context is created after its caller, so its variables number higher),
+// giving values [-1, +1]; the root row is a single +1. Read-only.
+var (
+	linkVals = []float64{-1, 1}
+	rootVals = []float64{1}
+)
+
 func newSession(prog *cfg.Program, root string, opts Options) (*Session, error) {
 	if opts.MaxSets == 0 {
 		opts.MaxSets = DefaultOptions().MaxSets
@@ -215,7 +252,8 @@ func newSession(prog *cfg.Program, root string, opts Options) (*Session, error) 
 	if opts.March.Cache.SizeBytes == 0 {
 		opts.March = march.DefaultOptions()
 	}
-	if _, err := prog.Reachable(root); err != nil {
+	reachable, err := prog.Reachable(root)
+	if err != nil {
 		return nil, err
 	}
 	s := &Session{
@@ -224,36 +262,144 @@ func newSession(prog *cfg.Program, root string, opts Options) (*Session, error) 
 		Opts:      opts,
 		ctxByFunc: map[string][]*Context{},
 		ctxChild:  map[[2]int]*Context{},
-		vars:      map[varKey]int{},
-		costs:     map[string][]march.BlockCost{},
+		costs:     make(map[string][]march.BlockCost, len(reachable)),
 	}
 	if err := s.expandContexts(root, nil); err != nil {
 		return nil, err
 	}
-	// Allocate block and edge variables for every context.
-	for _, c := range s.contexts {
+
+	// Variable layout: per context in creation order, block variables then
+	// edge variables, contiguously.
+	s.ctxOff = make([]int, len(s.contexts))
+	s.ctxNB = make([]int, len(s.contexts))
+	for i, c := range s.contexts {
 		fc := prog.Funcs[c.Func]
-		for b := range fc.Blocks {
-			s.vars[varKey{c.ID, vBlock, b}] = s.nVars
-			s.nVars++
-		}
-		for e := range fc.Edges {
-			s.vars[varKey{c.ID, vEdge, e}] = s.nVars
-			s.nVars++
-		}
-	}
-	for name := range prog.Funcs {
-		s.costs[name] = march.CostsOf(prog.Funcs[name], opts.March)
+		s.ctxOff[i] = s.nVars
+		s.ctxNB[i] = len(fc.Blocks)
+		s.nVars += len(fc.Blocks) + len(fc.Edges)
 	}
 
-	s.packedStructural = ilp.Pack(s.StructuralConstraints())
-	worst, err := s.worstObjective()
-	if err != nil {
-		return nil, err
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	best, err := s.bestObjective()
-	if err != nil {
-		return nil, err
+
+	// Per-function artifacts — cost tables and packed structural row
+	// templates — fetched from the content-addressed cache (or computed on
+	// a miss) in parallel across the reachable set. Unreachable functions
+	// are skipped entirely: nothing in the model charges them a cost.
+	arts := make([]funcArtifacts, len(reachable))
+	pc := prepcache.Default()
+	fp := prepcache.MarchFingerprint(opts.March)
+	var hits, misses atomic.Int64
+	parallelFor(len(reachable), workers, func(i int) {
+		name := reachable[i]
+		fc := prog.Funcs[name]
+		var key prepcache.Key
+		ok := false
+		if k, found := prog.BodyKeys[name]; found {
+			// BuildProgram already content-addressed this body.
+			key, ok = prepcache.Key(k), true
+		} else if prog.BodyKeys == nil && prog.Exe != nil {
+			// Program built directly by cfg.Build: key it here.
+			if sym, found := prog.Exe.FunctionNamed(name); found {
+				key, ok = prepcache.FuncKey(prog.Exe, sym)
+			}
+		}
+		if !ok {
+			arts[i] = funcArtifacts{
+				costs: march.CostsOf(fc, opts.March),
+				tmpl:  prepcache.BuildRowTemplate(fc),
+			}
+			return
+		}
+		var a funcArtifacts
+		var hit bool
+		a.costs, hit = pc.Costs(key, fp, fc, opts.March)
+		if hit {
+			hits.Add(1)
+		} else {
+			misses.Add(1)
+		}
+		a.tmpl, hit = pc.Rows(key, fc)
+		if hit {
+			hits.Add(1)
+		} else {
+			misses.Add(1)
+		}
+		arts[i] = a
+	})
+	tmplByFunc := make(map[string]*prepcache.RowTemplate, len(reachable))
+	for i, name := range reachable {
+		s.costs[name] = arts[i].costs
+		tmplByFunc[name] = arts[i].tmpl
+	}
+	s.artifactHits = hits.Load()
+	s.artifactMisses = misses.Load()
+
+	// Assemble the packed structural system by relocating each context's
+	// function template to its variable offset, then emitting that
+	// context's call-linkage rows, then the root entry row — the exact row
+	// and coefficient order of StructuralConstraints lowered through
+	// ilp.Pack (relocation adds a uniform offset to already-sorted columns,
+	// so the packed invariant is preserved bit for bit). The per-context
+	// fills write disjoint slices and run on the worker pool.
+	rowOff := make([]int, len(s.contexts)+1)
+	nzOff := make([]int, len(s.contexts)+1)
+	for i, c := range s.contexts {
+		fc := prog.Funcs[c.Func]
+		t := tmplByFunc[c.Func]
+		rowOff[i+1] = rowOff[i] + len(t.Rows) + len(fc.Calls)
+		nzOff[i+1] = nzOff[i] + t.NNZ + 2*len(fc.Calls)
+	}
+	totalRows, totalNNZ := rowOff[len(s.contexts)], nzOff[len(s.contexts)]
+	rows := make([]ilp.PackedRow, totalRows+1)
+	colArena := make([]int32, totalNNZ+1)
+	parallelFor(len(s.contexts), workers, func(i int) {
+		c := s.contexts[i]
+		fc := prog.Funcs[c.Func]
+		t := tmplByFunc[c.Func]
+		nz := t.AppendRelocated(rows, rowOff[i], colArena, nzOff[i], int32(s.ctxOff[i]))
+		at := rowOff[i] + len(t.Rows)
+		for _, eid := range fc.Calls {
+			child := s.ctxChild[[2]int{c.ID, eid}]
+			childFC := prog.Funcs[child.Func]
+			cols := colArena[nz : nz+2 : nz+2]
+			cols[0] = int32(s.edgeVar(c.ID, eid))
+			cols[1] = int32(s.edgeVar(child.ID, childFC.EntryEdge))
+			nz += 2
+			rows[at] = ilp.PackedRow{Cols: cols, Vals: linkVals, Rel: ilp.EQ}
+			at++
+		}
+	})
+	rootFC := prog.Funcs[root]
+	rootCols := colArena[totalNNZ : totalNNZ+1 : totalNNZ+1]
+	rootCols[0] = int32(s.edgeVar(0, rootFC.EntryEdge))
+	rows[totalRows] = ilp.PackedRow{Cols: rootCols, Vals: rootVals, Rel: ilp.EQ, RHS: 1}
+	s.packedStructural = rows
+
+	// The two direction objectives are independent; overlap them when the
+	// session allows concurrency.
+	var worst, best objective
+	var worstErr, bestErr error
+	if workers > 1 {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worst, worstErr = s.worstObjective()
+		}()
+		best, bestErr = s.bestObjective()
+		wg.Wait()
+	} else {
+		worst, worstErr = s.worstObjective()
+		best, bestErr = s.bestObjective()
+	}
+	if worstErr != nil {
+		return nil, worstErr
+	}
+	if bestErr != nil {
+		return nil, bestErr
 	}
 	for _, ds := range []struct {
 		sense ilp.Sense
@@ -271,7 +417,60 @@ func newSession(prog *cfg.Program, root string, opts Options) (*Session, error) 
 	s.baseCache = cache.NewKeyed[string, *warmBaseEntry]()
 	s.solveCache = cache.NewKeyed[string, cachedSolve]()
 	s.finishCache = cache.NewKeyed[string, []float64]()
+	// Seed the ledger with the prepare-time artifact counters so a stats
+	// observer sees them alongside the solve counters.
+	s.totals.Stats.ArtifactHits = int(s.artifactHits)
+	s.totals.Stats.ArtifactMisses = int(s.artifactMisses)
 	return s, nil
+}
+
+// parallelFor runs body(i) for i in [0, n) on up to workers goroutines.
+// Iterations must be independent; with workers <= 1 it degrades to a plain
+// loop.
+func parallelFor(n, workers int, body func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// numBlockVars is the count of block variables across all contexts — the
+// exact size of a direction objective's coefficient map.
+func (s *Session) numBlockVars() int {
+	n := 0
+	for _, nb := range s.ctxNB {
+		n += nb
+	}
+	return n
+}
+
+// ArtifactStats reports the content-addressed prepare-artifact traffic of
+// this session's Prepare: artifacts served from the process-wide cache vs
+// built fresh. The split is what makes re-preparing an evicted or edited
+// program cheap — a resubmission should be all hits.
+func (s *Session) ArtifactStats() (hits, misses int64) {
+	return s.artifactHits, s.artifactMisses
 }
 
 // Analyzer binds one set of annotations to the session's shared model. Any
@@ -318,7 +517,7 @@ func (s *Session) CacheStats() (bases, solves, finishes int) {
 // absolute bytes are approximate. Safe for concurrent use.
 func (s *Session) MemoryFootprint() int64 {
 	const (
-		bytesPerVar      = 56 // vars map entry: key struct + int + bucket overhead
+		bytesPerVar      = 56 // layout share + per-variable solver bookkeeping
 		bytesPerPackedNZ = 12 // one int32 column + one float64 value
 		bytesPerRow      = 56 // PackedRow header + slice headers
 		bytesPerCtx      = 96

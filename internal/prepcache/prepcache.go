@@ -1,0 +1,538 @@
+// Package prepcache is a process-wide content-addressed cache of the
+// per-function artifacts the analysis front end (cfg.Build + ipet.Prepare)
+// otherwise rebuilds from scratch for every program: the reconstructed CFG,
+// the march block-cost table, and the structural flow rows pre-lowered to
+// the solver's packed form. Artifacts are keyed by a SHA-256 hash of the
+// function's *normalized* body — control-transfer targets are rewritten to
+// position-independent form (branch displacements are already relative,
+// jumps become function-relative offsets, calls become callee names) — so a
+// function whose code merely moved because an unrelated function changed
+// size still hits. That is what makes eviction-then-resubmission and
+// one-function edit churn in the analysis service incremental: every
+// unchanged function is reused, only the edited one is rebuilt.
+//
+// Cached artifacts are immutable and shared across programs and goroutines;
+// anything address-dependent (block byte ranges, source lines, decoded
+// instruction words) is re-derived per program when a CFG prototype is
+// instantiated, so a cache-served FuncCFG is bit-identical to one built
+// directly by cfg.BuildFunc.
+package prepcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/cfg"
+	"cinderella/internal/ilp"
+	"cinderella/internal/isa"
+	"cinderella/internal/march"
+)
+
+// Key names one function body in normalized (position-independent) form.
+type Key [sha256.Size]byte
+
+// costKey extends a body key with the cost-model fingerprint.
+type costKey struct {
+	body  Key
+	march string
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness: artifact
+// lookups served (Hits) vs built and inserted (Misses), the approximate
+// resident bytes of the cached artifacts, and the entry count across the
+// three artifact kinds.
+type Stats struct {
+	Hits    int64
+	Misses  int64
+	Bytes   int64
+	Entries int
+}
+
+// Cache holds immutable per-function prepare artifacts. The zero value is
+// not usable; use New. All methods are safe for concurrent use.
+type Cache struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+	bytes  atomic.Int64
+
+	mu    sync.Mutex
+	progs map[Key]*progProto
+	cfgs  map[Key]*funcProto
+	costs map[costKey][]march.BlockCost
+	rows  map[Key]*RowTemplate
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	c := &Cache{}
+	c.init()
+	return c
+}
+
+func (c *Cache) init() {
+	c.progs = map[Key]*progProto{}
+	c.cfgs = map[Key]*funcProto{}
+	c.costs = map[costKey][]march.BlockCost{}
+	c.rows = map[Key]*RowTemplate{}
+}
+
+var defaultCache = New()
+
+// Default returns the process-wide cache shared by every Prepare.
+func Default() *Cache { return defaultCache }
+
+// Reset drops every artifact and zeroes the counters. Benchmarks use it to
+// measure a true cold path.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.init()
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.bytes.Store(0)
+}
+
+// Snapshot returns the current counters.
+func (c *Cache) Snapshot() Stats {
+	c.mu.Lock()
+	n := len(c.progs) + len(c.cfgs) + len(c.costs) + len(c.rows)
+	c.mu.Unlock()
+	return Stats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Bytes:   c.bytes.Load(),
+		Entries: n,
+	}
+}
+
+// decodeBody decodes every instruction word of f in one pass. ok is false
+// when the body is malformed (zero or unaligned size, undecodable word);
+// such functions bypass the cache.
+func decodeBody(exe *asm.Executable, f asm.Symbol) ([]isa.Instruction, bool) {
+	if f.Size == 0 || f.Size%isa.WordBytes != 0 {
+		return nil, false
+	}
+	instrs := make([]isa.Instruction, f.Size/isa.WordBytes)
+	for i := range instrs {
+		ins, err := exe.Instr(f.Addr + uint32(i)*isa.WordBytes)
+		if err != nil {
+			return nil, false
+		}
+		instrs[i] = ins
+	}
+	return instrs, true
+}
+
+// keyOfBody hashes an already-decoded body. The normalized encoding is
+// accumulated into one buffer and hashed in a single write, which is far
+// cheaper than streaming per-instruction records through the digest.
+func keyOfBody(exe *asm.Executable, f asm.Symbol, instrs []isa.Instruction) (Key, bool) {
+	buf := make([]byte, 0, 9*len(instrs)+16)
+	end := f.Addr + f.Size
+	for i := range instrs {
+		ins := &instrs[i]
+		pc := f.Addr + uint32(i)*isa.WordBytes
+		switch ins.Op {
+		case isa.OpJmp:
+			// Absolute word target; normalize to a function-relative byte
+			// offset so code motion does not change the key.
+			target, _ := asm.BranchTarget(pc, *ins)
+			if target < f.Addr || target >= end {
+				return Key{}, false
+			}
+			var w [6]byte
+			w[0] = 0xfe
+			w[1] = byte(ins.Op)
+			binary.LittleEndian.PutUint32(w[2:6], target-f.Addr)
+			buf = append(buf, w[:]...)
+		case isa.OpCall:
+			// Absolute target; normalize to the callee's name, which is both
+			// position-independent and exactly what the CFG edge records.
+			target, _ := asm.BranchTarget(pc, *ins)
+			callee, ok := exe.FunctionAt(target)
+			if !ok || callee.Addr != target {
+				return Key{}, false
+			}
+			var w [4]byte
+			w[0] = 0xfd
+			w[1] = byte(ins.Op)
+			binary.LittleEndian.PutUint16(w[2:4], uint16(len(callee.Name)))
+			buf = append(buf, w[:]...)
+			buf = append(buf, callee.Name...)
+		default:
+			// Branch displacements are pc-relative and every other immediate
+			// is a semantic constant: the decoded fields are already
+			// position-independent.
+			var w [9]byte
+			w[0] = 0xff
+			w[1] = byte(ins.Op)
+			w[2] = ins.Rd
+			w[3] = ins.Rs1
+			w[4] = ins.Rs2
+			binary.LittleEndian.PutUint32(w[5:9], uint32(ins.Imm))
+			buf = append(buf, w[:]...)
+		}
+	}
+	return sha256.Sum256(buf), true
+}
+
+// FuncKey computes the content key of a function body. ok is false when the
+// body cannot be normalized — an undecodable word, a control transfer that
+// leaves the function, or a call whose target is not a function entry; such
+// functions bypass the cache (cfg.BuildFunc reports the precise error).
+func FuncKey(exe *asm.Executable, f asm.Symbol) (Key, bool) {
+	instrs, ok := decodeBody(exe, f)
+	if !ok {
+		return Key{}, false
+	}
+	return keyOfBody(exe, f, instrs)
+}
+
+// MarchFingerprint names everything of the cost model that shapes a block
+// cost table: the cache geometry, the full timing profile (per-opcode
+// latencies and penalties, not just the profile name), and the pipeline
+// modelling flag.
+func MarchFingerprint(o march.Options) string {
+	h := sha256.New()
+	var buf [8]byte
+	wi := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	wi(o.Cache.SizeBytes)
+	wi(o.Cache.LineBytes)
+	wi(o.Cache.MissPenalty)
+	if o.ModelPipeline {
+		wi(1)
+	} else {
+		wi(0)
+	}
+	t := o.Timing
+	if t == nil {
+		t = isa.I960KB()
+	}
+	h.Write([]byte(t.Name))
+	for op := 0; op < isa.NumOpcodes; op++ {
+		wi(t.Exec[op])
+	}
+	wi(t.BranchTakenPenalty)
+	wi(t.LoadUseStall)
+	return string(h.Sum(nil))
+}
+
+// funcProto is one cached CFG in position-independent form: the built
+// FuncCFG of the program that first presented this body, plus its start
+// address so block ranges can be rebased. Everything address-independent
+// (edges, in/out lists, dominators, loops, call list) is shared by every
+// instantiation; blocks are rebuilt per program with rebased addresses,
+// freshly decoded instructions, and the program's own source lines.
+type funcProto struct {
+	start uint32
+	fc    *cfg.FuncCFG
+	bytes int64
+}
+
+// instantiate builds a program-specific FuncCFG from the prototype. body is
+// the decoded instruction stream of f in this program (one entry per text
+// word), from which block instruction slices are copied without re-decoding.
+func (p *funcProto) instantiate(exe *asm.Executable, f asm.Symbol, body []isa.Instruction) *cfg.FuncCFG {
+	out := &cfg.FuncCFG{
+		Name:      f.Name,
+		Start:     f.Addr,
+		Blocks:    make([]*cfg.Block, len(p.fc.Blocks)),
+		Edges:     p.fc.Edges,
+		EntryEdge: p.fc.EntryEdge,
+		Loops:     p.fc.Loops,
+		Calls:     p.fc.Calls,
+		IDom:      p.fc.IDom,
+	}
+	for i, pb := range p.fc.Blocks {
+		b := &cfg.Block{
+			Index: pb.Index,
+			Start: f.Addr + (pb.Start - p.start),
+			End:   f.Addr + (pb.End - p.start),
+			In:    pb.In,
+			Out:   pb.Out,
+		}
+		lo := (pb.Start - p.start) / isa.WordBytes
+		hi := (pb.End - p.start) / isa.WordBytes
+		b.Instrs = make([]isa.Instruction, hi-lo)
+		copy(b.Instrs, body[lo:hi])
+		b.FirstLine = exe.Lines[b.Start]
+		b.LastLine = exe.Lines[b.End-isa.WordBytes]
+		out.Blocks[i] = b
+	}
+	return out
+}
+
+// protoBytes approximates the resident footprint of one CFG prototype.
+func protoBytes(fc *cfg.FuncCFG) int64 {
+	n := int64(len(fc.Blocks))*96 + int64(len(fc.Edges))*56 + int64(len(fc.IDom))*8
+	for _, b := range fc.Blocks {
+		n += int64(len(b.Instrs))*8 + int64(len(b.In)+len(b.Out))*8
+	}
+	for i := range fc.Loops {
+		n += int64(len(fc.Loops[i].Blocks)+len(fc.Loops[i].EntryEdges)+len(fc.Loops[i].BackEdges)) * 8
+	}
+	return n
+}
+
+// BuildFunc returns the program-specific CFG of f, serving the structure
+// from the cache when an identical body was built before. hit reports a
+// cache hit; miss results are inserted for the next program.
+func (c *Cache) BuildFunc(exe *asm.Executable, f asm.Symbol) (fc *cfg.FuncCFG, hit bool, err error) {
+	fc, _, _, hit, err = c.buildFunc(exe, f)
+	return fc, hit, err
+}
+
+// buildFunc additionally reports the body key (keyed false when the body is
+// uncacheable), so BuildProgram can record it for downstream artifact
+// lookups without a second decode-and-hash pass.
+func (c *Cache) buildFunc(exe *asm.Executable, f asm.Symbol) (fc *cfg.FuncCFG, key Key, keyed, hit bool, err error) {
+	body, ok := decodeBody(exe, f)
+	if ok {
+		key, ok = keyOfBody(exe, f, body)
+	}
+	if !ok {
+		fc, err = cfg.BuildFunc(exe, f)
+		return fc, Key{}, false, false, err
+	}
+	c.mu.Lock()
+	proto := c.cfgs[key]
+	c.mu.Unlock()
+	if proto != nil {
+		c.hits.Add(1)
+		return proto.instantiate(exe, f, body), key, true, true, nil
+	}
+	c.misses.Add(1)
+	fc, err = cfg.BuildFunc(exe, f)
+	if err != nil {
+		return nil, Key{}, false, false, err
+	}
+	p := &funcProto{start: f.Addr, fc: fc, bytes: protoBytes(fc)}
+	c.mu.Lock()
+	if _, raced := c.cfgs[key]; !raced {
+		c.cfgs[key] = p
+		c.bytes.Add(p.bytes)
+	}
+	c.mu.Unlock()
+	return fc, key, true, false, nil
+}
+
+// progProto is one fully-built program keyed by its text image. Every field
+// is position-correct for any byte-identical image, so an identical
+// resubmission (the serve eviction-churn case) reuses the finished FuncCFGs
+// without decoding, hashing, or instantiating anything per function. The
+// CFGs are immutable by convention; the Funcs map is cloned per program so
+// a caller mutating its own map cannot corrupt the cache.
+type progProto struct {
+	funcs map[string]*cfg.FuncCFG
+	order []string
+	keys  map[string][32]byte
+}
+
+// imageKey hashes everything a whole-program CFG depends on: the text
+// bytes, the function symbol table, and the per-instruction source lines.
+func imageKey(exe *asm.Executable) (Key, bool) {
+	text := int(exe.TextBytes)
+	if text == 0 || len(exe.Mem) < text {
+		return Key{}, false
+	}
+	buf := make([]byte, 0, 2*text+len(exe.Functions)*24)
+	var w [8]byte
+	binary.LittleEndian.PutUint32(w[0:4], exe.TextBytes)
+	buf = append(buf, w[:4]...)
+	buf = append(buf, exe.Mem[:text]...)
+	for _, f := range exe.Functions {
+		binary.LittleEndian.PutUint32(w[0:4], f.Addr)
+		binary.LittleEndian.PutUint32(w[4:8], f.Size)
+		buf = append(buf, w[:8]...)
+		buf = append(buf, f.Name...)
+		buf = append(buf, 0)
+	}
+	for pc := uint32(0); pc < exe.TextBytes; pc += isa.WordBytes {
+		binary.LittleEndian.PutUint32(w[0:4], uint32(int32(exe.Lines[pc])))
+		buf = append(buf, w[:4]...)
+	}
+	return sha256.Sum256(buf), true
+}
+
+// BuildProgram is a cfg.Build that reuses every function whose body is
+// already cached — and, when the whole text image is byte-identical to one
+// built before, the entire finished program. The returned Program wraps the
+// caller's executable; all shared structure is immutable.
+func (c *Cache) BuildProgram(exe *asm.Executable) (*cfg.Program, error) {
+	ik, imageOK := imageKey(exe)
+	if imageOK {
+		c.mu.Lock()
+		pp := c.progs[ik]
+		c.mu.Unlock()
+		if pp != nil {
+			c.hits.Add(1)
+			funcs := make(map[string]*cfg.FuncCFG, len(pp.funcs))
+			for name, fc := range pp.funcs {
+				funcs[name] = fc
+			}
+			return &cfg.Program{Exe: exe, Funcs: funcs, Order: pp.order, BodyKeys: pp.keys}, nil
+		}
+	}
+	p := &cfg.Program{
+		Exe:      exe,
+		Funcs:    make(map[string]*cfg.FuncCFG, len(exe.Functions)),
+		BodyKeys: make(map[string][32]byte, len(exe.Functions)),
+	}
+	p.Order = make([]string, 0, len(exe.Functions))
+	for _, f := range exe.Functions {
+		fc, key, keyed, _, err := c.buildFunc(exe, f)
+		if err != nil {
+			return nil, err
+		}
+		if keyed {
+			p.BodyKeys[f.Name] = key
+		}
+		p.Funcs[f.Name] = fc
+		p.Order = append(p.Order, f.Name)
+	}
+	// Same validation as cfg.Build: every call target must be a known
+	// function (instantiation preserves Callee names, so a cached function
+	// is checked identically).
+	for _, name := range p.Order {
+		fc := p.Funcs[name]
+		for _, id := range fc.Calls {
+			callee := fc.Edges[id].Callee
+			if _, ok := p.Funcs[callee]; !ok {
+				return nil, &unknownCalleeError{fn: fc.Name, callee: callee}
+			}
+		}
+	}
+	if imageOK {
+		pp := &progProto{funcs: p.Funcs, order: p.Order, keys: p.BodyKeys}
+		c.mu.Lock()
+		if _, raced := c.progs[ik]; !raced {
+			c.progs[ik] = pp
+			c.bytes.Add(int64(len(pp.order)) * 64)
+		}
+		c.mu.Unlock()
+		// The cached prototype shares the maps just handed to the caller;
+		// hand the caller its own copy of the one it could plausibly mutate.
+		funcs := make(map[string]*cfg.FuncCFG, len(p.Funcs))
+		for name, fc := range p.Funcs {
+			funcs[name] = fc
+		}
+		p.Funcs = funcs
+	}
+	return p, nil
+}
+
+type unknownCalleeError struct{ fn, callee string }
+
+func (e *unknownCalleeError) Error() string {
+	return "cfg: " + e.fn + " calls unknown function \"" + e.callee + "\""
+}
+
+// Costs returns the block cost table for a function body under the given
+// cost model, computing and inserting it on first sight. The returned slice
+// is shared and must not be mutated.
+func (c *Cache) Costs(key Key, marchFP string, fc *cfg.FuncCFG, opts march.Options) (costs []march.BlockCost, hit bool) {
+	ck := costKey{body: key, march: marchFP}
+	c.mu.Lock()
+	costs = c.costs[ck]
+	c.mu.Unlock()
+	if costs != nil {
+		c.hits.Add(1)
+		return costs, true
+	}
+	c.misses.Add(1)
+	costs = march.CostsOf(fc, opts)
+	c.mu.Lock()
+	if _, raced := c.costs[ck]; !raced {
+		c.costs[ck] = costs
+		c.bytes.Add(int64(len(costs))*24 + int64(len(marchFP)))
+	}
+	c.mu.Unlock()
+	return costs, false
+}
+
+// RowTemplate is one function's structural flow rows — per block, the
+// "count equals sum of in-edges" and "count equals sum of out-edges"
+// equations of ipet's Section III.B system — pre-lowered to the solver's
+// packed form in function-local variable numbering: block b is column b,
+// edge e is column NB+e. Because the per-context global numbering lays a
+// context's block columns and then its edge columns out contiguously,
+// relocating a template row is a uniform column offset, which preserves the
+// packed (sorted-column) invariant; values are shared untouched.
+type RowTemplate struct {
+	// NB and NE are the function's block and edge counts (NB+NE local
+	// columns).
+	NB, NE int
+	// Rows holds 2*NB packed rows: for each block, its in-row then out-row.
+	Rows []ilp.PackedRow
+	// NNZ is the total nonzero count across Rows.
+	NNZ int
+}
+
+// BuildRowTemplate lowers the function's flow rows in local numbering. The
+// construction mirrors ipet's structural() row and coefficient order
+// exactly and goes through ilp.Pack so normalization is identical. It is
+// the direct (cache-bypassing) path for bodies that cannot be keyed.
+func BuildRowTemplate(fc *cfg.FuncCFG) *RowTemplate {
+	nb := len(fc.Blocks)
+	cons := make([]ilp.Constraint, 0, 2*nb)
+	for _, b := range fc.Blocks {
+		in := ilp.Constraint{Coeffs: map[int]float64{b.Index: 1}, Rel: ilp.EQ}
+		for _, e := range b.In {
+			in.Coeffs[nb+e] -= 1
+		}
+		out := ilp.Constraint{Coeffs: map[int]float64{b.Index: 1}, Rel: ilp.EQ}
+		for _, e := range b.Out {
+			out.Coeffs[nb+e] -= 1
+		}
+		cons = append(cons, in, out)
+	}
+	t := &RowTemplate{NB: nb, NE: len(fc.Edges), Rows: ilp.Pack(cons)}
+	for i := range t.Rows {
+		t.NNZ += len(t.Rows[i].Cols)
+	}
+	return t
+}
+
+// Rows returns the structural row template for a function body, building
+// and inserting it on first sight.
+func (c *Cache) Rows(key Key, fc *cfg.FuncCFG) (t *RowTemplate, hit bool) {
+	c.mu.Lock()
+	t = c.rows[key]
+	c.mu.Unlock()
+	if t != nil {
+		c.hits.Add(1)
+		return t, true
+	}
+	c.misses.Add(1)
+	t = BuildRowTemplate(fc)
+	c.mu.Lock()
+	if _, raced := c.rows[key]; !raced {
+		c.rows[key] = t
+		c.bytes.Add(int64(t.NNZ)*12 + int64(len(t.Rows))*56)
+	}
+	c.mu.Unlock()
+	return t, false
+}
+
+// AppendRelocated writes the template's rows into dst[at:] with every
+// column shifted by off, drawing the relocated column slices from colArena
+// (which must have t.NNZ free capacity at nz). Values are shared with the
+// template. It returns the arena cursor after the last row.
+func (t *RowTemplate) AppendRelocated(dst []ilp.PackedRow, at int, colArena []int32, nz int, off int32) int {
+	for i := range t.Rows {
+		src := &t.Rows[i]
+		cols := colArena[nz : nz+len(src.Cols) : nz+len(src.Cols)]
+		for j, col := range src.Cols {
+			cols[j] = col + off
+		}
+		nz += len(src.Cols)
+		dst[at+i] = ilp.PackedRow{Cols: cols, Vals: src.Vals, Rel: src.Rel, RHS: src.RHS}
+	}
+	return nz
+}

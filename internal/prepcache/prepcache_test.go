@@ -1,0 +1,130 @@
+package prepcache
+
+import (
+	"testing"
+
+	"cinderella/internal/asm"
+)
+
+// movedSrc builds a two-function program where pad's size varies: work's
+// body is unchanged but its address moves by 4*extra bytes.
+func movedSrc(extra int) string {
+	src := "main:\n        call work\n        halt\n\npad:\n"
+	for i := 0; i < 1+extra; i++ {
+		src += "        addi r9, r9, 1\n"
+	}
+	src += "        ret\n\nwork:\n        beq r1, r0, .Lskip\n        addi r2, r0, 1\n.Lskip:\n        jmp .Lout\n.Lout:\n        ret\n"
+	return src
+}
+
+func funcSym(t *testing.T, exe *asm.Executable, name string) asm.Symbol {
+	t.Helper()
+	sym, ok := exe.FunctionNamed(name)
+	if !ok {
+		t.Fatalf("no function %s", name)
+	}
+	return sym
+}
+
+// TestFuncKeyStableUnderCodeMotion pins the normalization contract: a
+// function whose code moved because an unrelated function changed size
+// keeps its key (jumps are hashed function-relative, calls by callee
+// name), while an actual body change produces a different key.
+func TestFuncKeyStableUnderCodeMotion(t *testing.T) {
+	exeA, err := asm.Assemble(movedSrc(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exeB, err := asm.Assemble(movedSrc(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa, wb := funcSym(t, exeA, "work"), funcSym(t, exeB, "work")
+	if wa.Addr == wb.Addr {
+		t.Fatal("pad growth did not move work; the test is vacuous")
+	}
+	ka, ok := FuncKey(exeA, wa)
+	if !ok {
+		t.Fatal("work (original) is not keyable")
+	}
+	kb, ok := FuncKey(exeB, wb)
+	if !ok {
+		t.Fatal("work (moved) is not keyable")
+	}
+	if ka != kb {
+		t.Error("work's key changed under pure code motion")
+	}
+	// main calls work at a different absolute address in each image, but the
+	// call normalizes to the callee name.
+	ma, _ := FuncKey(exeA, funcSym(t, exeA, "main"))
+	mb, _ := FuncKey(exeB, funcSym(t, exeB, "main"))
+	if ma != mb {
+		t.Error("main's key changed although only its callee moved")
+	}
+	// pad's body genuinely differs.
+	pa, _ := FuncKey(exeA, funcSym(t, exeA, "pad"))
+	pb, _ := FuncKey(exeB, funcSym(t, exeB, "pad"))
+	if pa == pb {
+		t.Error("pad's key is identical despite different bodies")
+	}
+}
+
+// TestBuildFuncHitsAcrossCodeMotion is the cache-level version: building
+// the moved image after the original must instantiate work and main from
+// their prototypes, bit-identical to a direct build.
+func TestBuildFuncHitsAcrossCodeMotion(t *testing.T) {
+	exeA, err := asm.Assemble(movedSrc(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exeB, err := asm.Assemble(movedSrc(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	if _, err := c.BuildProgram(exeA); err != nil {
+		t.Fatal(err)
+	}
+	fc, hit, err := c.BuildFunc(exeB, funcSym(t, exeB, "work"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("moved work missed the cache")
+	}
+	sym := funcSym(t, exeB, "work")
+	if fc.Start != sym.Addr {
+		t.Fatalf("instantiated CFG starts at %#x, want %#x", fc.Start, sym.Addr)
+	}
+	for _, b := range fc.Blocks {
+		if b.Start < sym.Addr || b.End > sym.Addr+sym.Size {
+			t.Fatalf("block [%#x,%#x) outside moved function [%#x,%#x)",
+				b.Start, b.End, sym.Addr, sym.Addr+sym.Size)
+		}
+	}
+	if _, hit, _ := c.BuildFunc(exeB, funcSym(t, exeB, "pad")); hit {
+		t.Error("pad hit the cache although its body changed")
+	}
+}
+
+// TestUncacheableBodyFallsBack: a function whose size is not a whole number
+// of words bypasses the cache without touching the counters.
+func TestUncacheableBodyFallsBack(t *testing.T) {
+	exe, err := asm.Assemble(movedSrc(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := funcSym(t, exe, "work")
+	bad.Size -= 2 // no longer word-aligned
+	if _, ok := FuncKey(exe, bad); ok {
+		t.Fatal("unaligned body is keyable")
+	}
+	c := New()
+	if _, hit, err := c.BuildFunc(exe, funcSym(t, exe, "pad")); err != nil || hit {
+		t.Fatalf("cold pad build: hit=%v err=%v", hit, err)
+	}
+	st := c.Snapshot()
+	if st.Misses == 0 {
+		t.Error("cacheable build did not count a miss")
+	}
+}

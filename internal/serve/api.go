@@ -107,6 +107,10 @@ type EstimateResponse struct {
 	Coalesced bool `json:"coalesced"`
 	// ColdStart marks that this request (re)prepared the session.
 	ColdStart bool `json:"cold_start"`
+	// PrepareMicros is the frontend+Prepare wall time this request paid;
+	// present only on cold starts. Load tooling splits it out of the
+	// blended latency to watch the cold path directly.
+	PrepareMicros int64 `json:"prepare_us,omitempty"`
 
 	ElapsedMicros int64       `json:"elapsed_us"`
 	Stats         *ipet.Stats `json:"stats,omitempty"`
@@ -167,8 +171,21 @@ type StatsResponse struct {
 	FormulaAnswered  int64 `json:"formula_answered"`
 	FallbackAnswered int64 `json:"fallback_answered"`
 
-	Store    StoreStatsJSON     `json:"store"`
-	Sessions []SessionStatsJSON `json:"sessions"`
+	Store StoreStatsJSON `json:"store"`
+	// Artifacts describes the process-wide content-addressed prepare
+	// artifact cache (internal/prepcache) shared by every session build.
+	Artifacts ArtifactStatsJSON  `json:"artifacts"`
+	Sessions  []SessionStatsJSON `json:"sessions"`
+}
+
+// ArtifactStatsJSON describes the process-wide prepare-artifact cache:
+// per-function CFG skeletons, block-cost tables, and packed structural row
+// templates keyed by content hash of the function body.
+type ArtifactStatsJSON struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Bytes   int64 `json:"bytes"`
+	Entries int   `json:"entries"`
 }
 
 // StoreStatsJSON describes the session store.
@@ -198,4 +215,9 @@ type SessionStatsJSON struct {
 	WarmBases    int    `json:"warm_bases"`
 	SetOutcomes  int    `json:"set_outcomes"`
 	CountVectors int    `json:"count_vectors"`
+	// ArtifactHits/ArtifactMisses are the prepare artifacts this session's
+	// build served from (vs inserted into) the process-wide cache — a
+	// re-prepared (evicted and resubmitted) session should be all hits.
+	ArtifactHits   int64 `json:"artifact_hits"`
+	ArtifactMisses int64 `json:"artifact_misses"`
 }

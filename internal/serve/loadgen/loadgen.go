@@ -73,14 +73,24 @@ type Result struct {
 	P99     time.Duration
 	WarmP50 time.Duration
 	ColdP50 time.Duration
+	// PrepareP50/PrepareP99 are over the prepare_us the server reported on
+	// cold responses: the frontend+Prepare pipeline alone, with queueing and
+	// solving excluded — the dedicated view of the cold path the artifact
+	// cache attacks.
+	PrepareP50 time.Duration
+	PrepareP99 time.Duration
+	// ArtifactHitRate is Δhits/(Δhits+Δmisses) of the server's process-wide
+	// prepare-artifact cache across the run (0 when no artifact traffic).
+	ArtifactHitRate float64
 }
 
 // String renders the run the way the smoke logs want it.
 func (r Result) String() string {
-	return fmt.Sprintf("%d req in %s (%.0f req/s), p50 %s p99 %s (warm p50 %s, cold p50 %s), %d degraded, %d shed, %d coalesced, %d cold, %d evictions, %d errors, %d NON-SOUND",
+	return fmt.Sprintf("%d req in %s (%.0f req/s), p50 %s p99 %s (warm p50 %s, cold p50 %s, prepare p50 %s p99 %s, artifact hit rate %.2f), %d degraded, %d shed, %d coalesced, %d cold, %d evictions, %d errors, %d NON-SOUND",
 		r.Requests, r.Duration.Round(time.Millisecond), r.ReqPerSec,
 		r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
 		r.WarmP50.Round(time.Microsecond), r.ColdP50.Round(time.Microsecond),
+		r.PrepareP50.Round(time.Microsecond), r.PrepareP99.Round(time.Microsecond), r.ArtifactHitRate,
 		r.Degraded, r.Shed, r.Coalesced, r.ColdStarts, r.Evictions, r.Errors, r.NonSound)
 }
 
@@ -100,7 +110,7 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("loadgen: no workloads")
 	}
 
-	evBefore, err := evictions(cfg.Client, cfg.BaseURL)
+	statsBefore, err := serverStats(cfg.Client, cfg.BaseURL)
 	if err != nil {
 		return Result{}, err
 	}
@@ -111,6 +121,7 @@ func Run(cfg Config) (Result, error) {
 		mu       sync.Mutex
 		warmLat  []time.Duration
 		coldLat  []time.Duration
+		prepLat  []time.Duration
 		wg       sync.WaitGroup
 	)
 	start := time.Now()
@@ -119,7 +130,7 @@ func Run(cfg Config) (Result, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			var myWarm, myCold []time.Duration
+			var myWarm, myCold, myPrep []time.Duration
 			var errs, nonSound, degraded, shed, coalesced, cold int64
 			for i := 0; time.Now().Before(deadline); i++ {
 				if cfg.MaxRequests > 0 && reqCount.Add(1) > cfg.MaxRequests {
@@ -139,6 +150,9 @@ func Run(cfg Config) (Result, error) {
 				if resp.ColdStart {
 					cold++
 					myCold = append(myCold, lat)
+					if resp.PrepareMicros > 0 {
+						myPrep = append(myPrep, time.Duration(resp.PrepareMicros)*time.Microsecond)
+					}
 				} else {
 					myWarm = append(myWarm, lat)
 				}
@@ -164,6 +178,7 @@ func Run(cfg Config) (Result, error) {
 			mu.Lock()
 			warmLat = append(warmLat, myWarm...)
 			coldLat = append(coldLat, myCold...)
+			prepLat = append(prepLat, myPrep...)
 			res.Errors += errs
 			res.NonSound += nonSound
 			res.Degraded += degraded
@@ -177,11 +192,16 @@ func Run(cfg Config) (Result, error) {
 	res.Duration = time.Since(start)
 	res.Requests = reqCount.Load()
 
-	evAfter, err := evictions(cfg.Client, cfg.BaseURL)
+	statsAfter, err := serverStats(cfg.Client, cfg.BaseURL)
 	if err != nil {
 		return res, err
 	}
-	res.Evictions = evAfter - evBefore
+	res.Evictions = statsAfter.Store.Evictions - statsBefore.Store.Evictions
+	dHits := statsAfter.Artifacts.Hits - statsBefore.Artifacts.Hits
+	dMisses := statsAfter.Artifacts.Misses - statsBefore.Artifacts.Misses
+	if dHits+dMisses > 0 {
+		res.ArtifactHitRate = float64(dHits) / float64(dHits+dMisses)
+	}
 	if res.Duration > 0 {
 		res.ReqPerSec = float64(res.Requests) / res.Duration.Seconds()
 	}
@@ -190,6 +210,8 @@ func Run(cfg Config) (Result, error) {
 	res.P99 = percentile(all, 99)
 	res.WarmP50 = percentile(warmLat, 50)
 	res.ColdP50 = percentile(coldLat, 50)
+	res.PrepareP50 = percentile(prepLat, 50)
+	res.PrepareP99 = percentile(prepLat, 99)
 	return res, nil
 }
 
@@ -223,17 +245,17 @@ func estimateOnce(client *http.Client, base string, w *Workload) (*serve.Estimat
 	return &resp, nil
 }
 
-func evictions(client *http.Client, base string) (int64, error) {
+func serverStats(client *http.Client, base string) (*serve.StatsResponse, error) {
 	hr, err := client.Get(base + "/v1/stats")
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	defer hr.Body.Close()
 	var st serve.StatsResponse
 	if err := json.NewDecoder(hr.Body).Decode(&st); err != nil {
-		return 0, err
+		return nil, err
 	}
-	return st.Store.Evictions, nil
+	return &st, nil
 }
 
 // percentile returns the p-th percentile (nearest-rank) of lats.

@@ -203,19 +203,22 @@ func TestLoadgenGate(t *testing.T) {
 // perfRow converts a load result into a BENCH_estimate.json row.
 func perfRow(name string, r Result) bench.EstimatePerf {
 	return bench.EstimatePerf{
-		Name:      name,
-		Requests:  r.Requests,
-		ReqPerSec: r.ReqPerSec,
-		P50Us:     r.P50.Microseconds(),
-		P99Us:     r.P99.Microseconds(),
-		WarmP50Us: r.WarmP50.Microseconds(),
-		ColdP50Us: r.ColdP50.Microseconds(),
-		Degraded:  r.Degraded,
-		Shed:      r.Shed,
-		Coalesced: r.Coalesced,
-		Evictions: r.Evictions,
-		NonSound:  r.NonSound,
-		Exact:     r.Degraded == 0,
+		Name:            name,
+		Requests:        r.Requests,
+		ReqPerSec:       r.ReqPerSec,
+		P50Us:           r.P50.Microseconds(),
+		P99Us:           r.P99.Microseconds(),
+		WarmP50Us:       r.WarmP50.Microseconds(),
+		ColdP50Us:       r.ColdP50.Microseconds(),
+		PrepareP50Us:    r.PrepareP50.Microseconds(),
+		PrepareP99Us:    r.PrepareP99.Microseconds(),
+		ArtifactHitRate: r.ArtifactHitRate,
+		Degraded:        r.Degraded,
+		Shed:            r.Shed,
+		Coalesced:       r.Coalesced,
+		Evictions:       r.Evictions,
+		NonSound:        r.NonSound,
+		Exact:           r.Degraded == 0,
 	}
 }
 

@@ -13,10 +13,10 @@ import (
 
 	"cinderella/internal/asm"
 	"cinderella/internal/cc"
-	"cinderella/internal/cfg"
 	"cinderella/internal/constraint"
 	"cinderella/internal/ipet"
 	"cinderella/internal/isa"
+	"cinderella/internal/prepcache"
 )
 
 // Config sizes the server. The zero value of each field selects the
@@ -146,7 +146,10 @@ func buildSession(sp ProgramSpec, workers int) (*ipet.Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	prog, err := cfg.Build(exe)
+	// Content-addressed CFG reconstruction: a resubmitted or edited program
+	// reuses every function body the process has built before (eviction
+	// churn and one-function edits rebuild only what changed).
+	prog, err := prepcache.Default().BuildProgram(exe)
 	if err != nil {
 		return nil, err
 	}
@@ -189,11 +192,13 @@ func (s *Server) resolve(hash string, sp ProgramSpec) (ent *entry, coldStart boo
 		if ent, ok := s.store.lookup(hash); ok {
 			return ent, nil
 		}
+		prepStart := time.Now()
 		sess, err := buildSession(sp, s.conf.Workers)
 		if err != nil {
 			return nil, err
 		}
-		ent := &entry{hash: hash, spec: sp, root: sp.Root, sess: sess}
+		ent := &entry{hash: hash, spec: sp, root: sp.Root, sess: sess,
+			prepMicros: time.Since(prepStart).Microseconds()}
 		s.store.insert(ent)
 		s.ctrs.prepares.Add(1)
 		return ent, nil
@@ -373,6 +378,9 @@ func (s *Server) writeEstimate(w http.ResponseWriter, req *EstimateRequest, ent 
 		ColdStart:       cold,
 		ElapsedMicros:   time.Since(startAt).Microseconds(),
 	}
+	if cold {
+		resp.PrepareMicros = ent.prepMicros
+	}
 	if req.WantStats {
 		st := est.Stats
 		resp.Stats = &st
@@ -481,22 +489,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Evictions:   s.ctrs.evictions.Load(),
 		},
 	}
+	art := prepcache.Default().Snapshot()
+	resp.Artifacts = ArtifactStatsJSON{
+		Hits:    art.Hits,
+		Misses:  art.Misses,
+		Bytes:   art.Bytes,
+		Entries: art.Entries,
+	}
 	for _, ent := range ents {
 		tot := ent.sess.Totals()
 		bases, solves, finishes := ent.sess.CacheStats()
+		ahits, amisses := ent.sess.ArtifactStats()
 		resp.Sessions = append(resp.Sessions, SessionStatsJSON{
-			Program:      ent.hash,
-			Root:         ent.root,
-			MemoryBytes:  ent.sess.MemoryFootprint(),
-			Estimates:    tot.Estimates,
-			Formula:      tot.FormulaAnswers,
-			Degraded:     tot.Degraded,
-			DeadlineHits: tot.DeadlineHits,
-			Pivots:       tot.Stats.Pivots,
-			CacheHits:    tot.Stats.CacheHits,
-			WarmBases:    bases,
-			SetOutcomes:  solves,
-			CountVectors: finishes,
+			Program:        ent.hash,
+			Root:           ent.root,
+			MemoryBytes:    ent.sess.MemoryFootprint(),
+			Estimates:      tot.Estimates,
+			Formula:        tot.FormulaAnswers,
+			Degraded:       tot.Degraded,
+			DeadlineHits:   tot.DeadlineHits,
+			Pivots:         tot.Stats.Pivots,
+			CacheHits:      tot.Stats.CacheHits,
+			WarmBases:      bases,
+			SetOutcomes:    solves,
+			CountVectors:   finishes,
+			ArtifactHits:   ahits,
+			ArtifactMisses: amisses,
 		})
 	}
 	s.writeJSON(w, http.StatusOK, resp)

@@ -16,6 +16,11 @@ type entry struct {
 	root string
 	sess *ipet.Session
 
+	// prepMicros is the wall time the frontend+Prepare pipeline took when
+	// this entry was (last) built — the cold-start cost the artifact cache
+	// attacks. Written once before the entry is published.
+	prepMicros int64
+
 	// mem is the session's accounted footprint as of the last touch; the
 	// owning shard's mem sum includes exactly this value. Guarded by the
 	// shard mutex.
