@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"cinderella/internal/prepcache"
 	"cinderella/internal/serve"
 )
 
@@ -39,6 +40,9 @@ func main() {
 		defaultSLO  = flag.Duration("default-slo", 0, "SLO applied to requests without slo_ms (0 = none)")
 		workers     = flag.Int("j", 0, "per-estimate solver concurrency (0 = GOMAXPROCS; bounds are identical at every setting)")
 		grace       = flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+		artifactDir = flag.String("artifact-dir", "", "directory for the persistent prepare-artifact store (empty = in-memory only); a restarted daemon re-prepares warm from it")
+		watchdog    = flag.Duration("watchdog", 0, "hard per-request solve ceiling; a solve still running past it is cancelled and answered with the sound anytime envelope (0 = off)")
+		degradedAt  = flag.Int("degraded-threshold", 3, "consecutive watchdog firings before /healthz reports degraded")
 	)
 	flag.Parse()
 
@@ -46,19 +50,34 @@ func main() {
 	if err != nil {
 		log.Fatalf("cinderelld: -mem-budget: %v", err)
 	}
+	if *artifactDir != "" {
+		if err := prepcache.Default().SetPersistDir(*artifactDir); err != nil {
+			log.Fatalf("cinderelld: -artifact-dir: %v", err)
+		}
+		log.Printf("cinderelld: persisting prepare artifacts under %s", *artifactDir)
+	}
 	srv := serve.New(serve.Config{
-		Shards:        *shards,
-		MaxSessions:   *maxSessions,
-		MemoryBudget:  budget,
-		MaxConcurrent: *maxConc,
-		MaxQueue:      *maxQueue,
-		DefaultSLO:    *defaultSLO,
-		Workers:       *workers,
+		Shards:            *shards,
+		MaxSessions:       *maxSessions,
+		MemoryBudget:      budget,
+		MaxConcurrent:     *maxConc,
+		MaxQueue:          *maxQueue,
+		DefaultSLO:        *defaultSLO,
+		Workers:           *workers,
+		WatchdogCeiling:   *watchdog,
+		DegradedThreshold: *degradedAt,
 	})
+	// Full timeout set, so one stuck peer can never pin a connection: slow
+	// request bodies and slow readers are cut off, idle keep-alives are
+	// reaped. The write timeout is generous because it brackets the solve;
+	// the watchdog (when enabled) bounds the solve itself far tighter.
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -21,6 +21,7 @@ import (
 	"cinderella/internal/cfg"
 	"cinderella/internal/constraint"
 	"cinderella/internal/march"
+	"cinderella/internal/prepcache"
 )
 
 // Options tunes the analysis.
@@ -38,6 +39,12 @@ type Options struct {
 	MaxSets int
 	// MaxContexts bounds context expansion.
 	MaxContexts int
+	// Artifacts selects the content-addressed prepare-artifact cache
+	// Prepare fetches per-function material from (nil selects the
+	// process-wide prepcache.Default()). Servers that persist artifacts to
+	// disk pass their own cache so restart and fault-injection tests can
+	// run isolated stores side by side.
+	Artifacts *prepcache.Cache
 	// Workers bounds the number of concurrent ILP solves in Estimate: the
 	// sets × {max,min} jobs are dispatched to a pool of this size. 0
 	// selects runtime.GOMAXPROCS(0); 1 forces the fully sequential path.

@@ -289,7 +289,10 @@ func newSession(prog *cfg.Program, root string, opts Options) (*Session, error) 
 	// a miss) in parallel across the reachable set. Unreachable functions
 	// are skipped entirely: nothing in the model charges them a cost.
 	arts := make([]funcArtifacts, len(reachable))
-	pc := prepcache.Default()
+	pc := opts.Artifacts
+	if pc == nil {
+		pc = prepcache.Default()
+	}
 	fp := prepcache.MarchFingerprint(opts.March)
 	var hits, misses atomic.Int64
 	parallelFor(len(reachable), workers, func(i int) {

@@ -1,0 +1,334 @@
+package prepcache
+
+import (
+	"crypto/sha256"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/cfg"
+	"cinderella/internal/march"
+)
+
+// buildExe assembles the moved-function fixture used across these tests.
+func buildExe(t *testing.T, extra int) *asm.Executable {
+	t.Helper()
+	exe, err := asm.Assemble(movedSrc(extra))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe
+}
+
+// prepareAll runs every artifact class once through the cache for each
+// function of exe: CFG, cost table, row template.
+func prepareAll(t *testing.T, c *Cache, exe *asm.Executable) map[string]*cfg.FuncCFG {
+	t.Helper()
+	fp := MarchFingerprint(march.DefaultOptions())
+	out := map[string]*cfg.FuncCFG{}
+	for _, f := range exe.Functions {
+		fc, _, err := c.BuildFunc(exe, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, ok := FuncKey(exe, f)
+		if !ok {
+			t.Fatalf("%s: body not keyable", f.Name)
+		}
+		c.Costs(key, fp, fc, march.DefaultOptions())
+		c.Rows(key, fc)
+		out[f.Name] = fc
+	}
+	return out
+}
+
+// TestPersistRestoreBitIdentical is the core restart contract: artifacts
+// restored from disk by a fresh (post-Reset) cache must be structurally
+// identical to the ones built from scratch — blocks, edges, loops,
+// dominators, costs, and packed rows all match field for field.
+func TestPersistRestoreBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	c := New()
+	if err := c.SetPersistDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	exe := buildExe(t, 0)
+	cold := prepareAll(t, c, exe)
+	st := c.PersistStats()
+	if st.Spilled == 0 {
+		t.Fatalf("no artifacts spilled: %+v", st)
+	}
+	if st.Restored != 0 || st.Corrupt != 0 {
+		t.Fatalf("cold run restored or corrupted: %+v", st)
+	}
+
+	// "Restart": drop the memory tier, keep the disk store.
+	c.Reset()
+	warm := prepareAll(t, c, exe)
+	st = c.PersistStats()
+	if st.Restored == 0 {
+		t.Fatalf("post-restart run restored nothing: %+v", st)
+	}
+	if st.Corrupt != 0 {
+		t.Fatalf("clean store reported corruption: %+v", st)
+	}
+	if c.misses.Load() != 0 {
+		t.Errorf("post-restart run rebuilt %d artifacts from source", c.misses.Load())
+	}
+	for name, want := range cold {
+		got := warm[name]
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: restored CFG differs from built one\n got %+v\nwant %+v", name, got, want)
+		}
+	}
+
+	// Costs and rows restored must equal recomputed ones.
+	fp := MarchFingerprint(march.DefaultOptions())
+	for _, f := range exe.Functions {
+		key, _ := FuncKey(exe, f)
+		gotCosts, hit := c.Costs(key, fp, warm[f.Name], march.DefaultOptions())
+		if !hit {
+			t.Errorf("%s: cost table not resident after restore", f.Name)
+		}
+		wantCosts := march.CostsOf(cold[f.Name], march.DefaultOptions())
+		if !reflect.DeepEqual(gotCosts, wantCosts) {
+			t.Errorf("%s: restored costs differ: got %+v want %+v", f.Name, gotCosts, wantCosts)
+		}
+		gotRows, _ := c.Rows(key, warm[f.Name])
+		wantRows := BuildRowTemplate(cold[f.Name])
+		if !reflect.DeepEqual(gotRows, wantRows) {
+			t.Errorf("%s: restored rows differ", f.Name)
+		}
+	}
+}
+
+// corruptOneFile flips a byte in the middle of one artifact file under
+// dir/kind and returns its path.
+func corruptOneFile(t *testing.T, dir, kind string) string {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join(dir, kind))
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("no %s artifacts on disk: %v", kind, err)
+	}
+	path := filepath.Join(dir, kind, ents[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestPersistCorruptionDetected flips a byte in each artifact kind in
+// turn: the checksum must reject the entry, count it, delete the file,
+// and the artifact must be rebuilt from source with identical content.
+func TestPersistCorruptionDetected(t *testing.T) {
+	for _, kind := range []string{KindCFG, KindCost, KindRows} {
+		t.Run(kind, func(t *testing.T) {
+			dir := t.TempDir()
+			c := New()
+			if err := c.SetPersistDir(dir); err != nil {
+				t.Fatal(err)
+			}
+			exe := buildExe(t, 0)
+			want := prepareAll(t, c, exe)
+			path := corruptOneFile(t, dir, kind)
+
+			c.Reset()
+			got := prepareAll(t, c, exe)
+			st := c.PersistStats()
+			if st.Corrupt != 1 {
+				t.Fatalf("corrupt count %d, want 1 (%+v)", st.Corrupt, st)
+			}
+			if _, err := os.Stat(path); err == nil {
+				// The rebuild respills under the same name; the corrupted
+				// bytes must be gone either way.
+				data, _ := os.ReadFile(path)
+				if _, ok := verifyRecord(kind, data); !ok {
+					t.Errorf("corrupted entry still on disk unverified")
+				}
+			}
+			for name := range want {
+				if !reflect.DeepEqual(got[name], want[name]) {
+					t.Errorf("%s: rebuilt artifact differs after corruption", name)
+				}
+			}
+		})
+	}
+}
+
+// TestPersistVersionSkewRejected rewrites an entry with a bumped version
+// byte (and a recomputed checksum, so only the version check can catch
+// it): it must read as corrupt, not misdecode.
+func TestPersistVersionSkewRejected(t *testing.T) {
+	dir := t.TempDir()
+	c := New()
+	if err := c.SetPersistDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	exe := buildExe(t, 0)
+	prepareAll(t, c, exe)
+
+	ents, err := os.ReadDir(filepath.Join(dir, KindCFG))
+	if err != nil || len(ents) == 0 {
+		t.Fatal("no cfg artifacts on disk")
+	}
+	path := filepath.Join(dir, KindCFG, ents[0].Name())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[3] = persistVersion + 1 // version byte of the magic
+	sum := sha256.Sum256(data[:len(data)-checksumLen])
+	copy(data[len(data)-checksumLen:], sum[:])
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Reset()
+	prepareAll(t, c, exe)
+	if st := c.PersistStats(); st.Corrupt == 0 {
+		t.Fatalf("version-skewed entry not counted as corrupt: %+v", st)
+	}
+}
+
+// TestPersistWriteFaultDegradesGracefully injects write failures: spills
+// fail and are counted, the in-memory path still serves, and a later
+// restart simply rebuilds cold.
+func TestPersistWriteFaultDegradesGracefully(t *testing.T) {
+	dir := t.TempDir()
+	c := New()
+	if err := c.SetPersistDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	c.SetPersistHooks(PersistHooks{
+		BeforeWrite: func(kind string) error { return errors.New("injected disk-write failure") },
+	})
+	exe := buildExe(t, 0)
+	prepareAll(t, c, exe)
+	st := c.PersistStats()
+	if st.WriteErrors == 0 {
+		t.Fatalf("injected write faults not counted: %+v", st)
+	}
+	if st.Spilled != 0 {
+		t.Fatalf("spills succeeded despite injected faults: %+v", st)
+	}
+	for _, kind := range []string{KindCFG, KindCost, KindRows} {
+		ents, _ := os.ReadDir(filepath.Join(dir, kind))
+		for _, e := range ents {
+			t.Errorf("unexpected %s artifact on disk: %s", kind, e.Name())
+		}
+	}
+
+	// Clearing the hook restores persistence.
+	c.SetPersistHooks(PersistHooks{})
+	c.Reset()
+	prepareAll(t, c, exe)
+	if st := c.PersistStats(); st.Spilled == 0 {
+		t.Fatalf("no spills after clearing the fault hook: %+v", st)
+	}
+}
+
+// TestPersistAfterReadHookCorruption routes every read through a mutating
+// hook — the chaos harness's disk-corruption fault point — and verifies
+// the checksum catches each one.
+func TestPersistAfterReadHookCorruption(t *testing.T) {
+	dir := t.TempDir()
+	c := New()
+	if err := c.SetPersistDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	exe := buildExe(t, 0)
+	want := prepareAll(t, c, exe)
+
+	c.Reset()
+	c.SetPersistHooks(PersistHooks{
+		AfterRead: func(kind string, raw []byte) []byte {
+			out := append([]byte(nil), raw...)
+			if len(out) > 8 {
+				out[8] ^= 0x01
+			}
+			return out
+		},
+	})
+	got := prepareAll(t, c, exe)
+	st := c.PersistStats()
+	if st.Corrupt == 0 {
+		t.Fatalf("mutated reads never detected: %+v", st)
+	}
+	if st.Restored != 0 {
+		t.Fatalf("mutated reads restored artifacts: %+v", st)
+	}
+	for name := range want {
+		if !reflect.DeepEqual(got[name], want[name]) {
+			t.Errorf("%s: rebuilt artifact differs under read corruption", name)
+		}
+	}
+}
+
+// TestPersistExeRoundTrip covers the executable-image artifact kind: the
+// restored image is bit-identical to the built one, a corrupted entry is
+// detected and rebuilt, and the frontend (build func) runs only on a full
+// miss.
+func TestPersistExeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	text := movedSrc(0)
+	builds := 0
+	build := func() (*asm.Executable, error) {
+		builds++
+		return asm.Assemble(text)
+	}
+
+	c := New()
+	if err := c.SetPersistDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	cold, hit, err := c.Executable("asm", text, build)
+	if err != nil || hit || builds != 1 {
+		t.Fatalf("cold build: hit=%v builds=%d err=%v", hit, builds, err)
+	}
+	if st := c.PersistStats(); st.Spilled == 0 {
+		t.Fatalf("exe not spilled: %+v", st)
+	}
+
+	// Restart: the image restores from disk, the frontend never runs.
+	c2 := New()
+	if err := c2.SetPersistDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	warm, hit, err := c2.Executable("asm", text, build)
+	if err != nil || !hit || builds != 1 {
+		t.Fatalf("warm restore: hit=%v builds=%d err=%v", hit, builds, err)
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Errorf("restored executable differs from built one")
+	}
+	// And a second memory-tier lookup shares the restored image.
+	again, hit, err := c2.Executable("asm", text, build)
+	if err != nil || !hit || again != warm {
+		t.Fatalf("memory tier did not serve the restored image (hit=%v err=%v)", hit, err)
+	}
+
+	// Corruption: flip a byte, restart again — detected, counted, rebuilt.
+	corruptOneFile(t, dir, KindExe)
+	c3 := New()
+	if err := c3.SetPersistDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, hit, err := c3.Executable("asm", text, build)
+	if err != nil || hit || builds != 2 {
+		t.Fatalf("post-corruption: hit=%v builds=%d err=%v", hit, builds, err)
+	}
+	if st := c3.PersistStats(); st.Corrupt != 1 {
+		t.Fatalf("corrupt count %d, want 1 (%+v)", st.Corrupt, st)
+	}
+	if !reflect.DeepEqual(rebuilt, cold) {
+		t.Errorf("rebuilt executable differs under corruption")
+	}
+}

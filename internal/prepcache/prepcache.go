@@ -42,13 +42,15 @@ type costKey struct {
 
 // Stats is a point-in-time snapshot of cache effectiveness: artifact
 // lookups served (Hits) vs built and inserted (Misses), the approximate
-// resident bytes of the cached artifacts, and the entry count across the
-// three artifact kinds.
+// resident bytes of the cached artifacts, the entry count across the
+// three artifact kinds, and the persistent tier's ledger when a disk
+// store is attached.
 type Stats struct {
 	Hits    int64
 	Misses  int64
 	Bytes   int64
 	Entries int
+	Persist PersistStats
 }
 
 // Cache holds immutable per-function prepare artifacts. The zero value is
@@ -63,6 +65,12 @@ type Cache struct {
 	cfgs  map[Key]*funcProto
 	costs map[costKey][]march.BlockCost
 	rows  map[Key]*RowTemplate
+	exes  map[Key]*asm.Executable
+
+	// pmu guards disk, the optional persistent tier (persist.go). Memory
+	// hits never touch it; misses consult it before rebuilding.
+	pmu  sync.RWMutex
+	disk *diskStore
 }
 
 // New returns an empty cache.
@@ -77,6 +85,7 @@ func (c *Cache) init() {
 	c.cfgs = map[Key]*funcProto{}
 	c.costs = map[costKey][]march.BlockCost{}
 	c.rows = map[Key]*RowTemplate{}
+	c.exes = map[Key]*asm.Executable{}
 }
 
 var defaultCache = New()
@@ -84,8 +93,10 @@ var defaultCache = New()
 // Default returns the process-wide cache shared by every Prepare.
 func Default() *Cache { return defaultCache }
 
-// Reset drops every artifact and zeroes the counters. Benchmarks use it to
-// measure a true cold path.
+// Reset drops every in-memory artifact and zeroes the memory counters.
+// Benchmarks use it to measure a true cold path. An attached persistence
+// directory (SetPersistDir) survives — resetting a persistent cache is
+// exactly a process restart from the disk store's point of view.
 func (c *Cache) Reset() {
 	c.mu.Lock()
 	c.init()
@@ -98,13 +109,14 @@ func (c *Cache) Reset() {
 // Snapshot returns the current counters.
 func (c *Cache) Snapshot() Stats {
 	c.mu.Lock()
-	n := len(c.progs) + len(c.cfgs) + len(c.costs) + len(c.rows)
+	n := len(c.progs) + len(c.cfgs) + len(c.costs) + len(c.rows) + len(c.exes)
 	c.mu.Unlock()
 	return Stats{
 		Hits:    c.hits.Load(),
 		Misses:  c.misses.Load(),
 		Bytes:   c.bytes.Load(),
 		Entries: n,
+		Persist: c.PersistStats(),
 	}
 }
 
@@ -307,19 +319,44 @@ func (c *Cache) buildFunc(exe *asm.Executable, f asm.Symbol) (fc *cfg.FuncCFG, k
 		c.hits.Add(1)
 		return proto.instantiate(exe, f, body), key, true, true, nil
 	}
+	// Disk tier: a prior process may have spilled this body's prototype.
+	// A restored proto is promoted into memory and serves like any hit; a
+	// corrupt or skewed entry is counted, deleted, and rebuilt below.
+	if d := c.diskStore(); d != nil {
+		if payload := d.load(KindCFG, key); payload != nil {
+			if p, ok := decodeFuncProto(payload); ok {
+				d.restored.Add(1)
+				c.hits.Add(1)
+				p = c.insertCFG(key, p)
+				return p.instantiate(exe, f, body), key, true, true, nil
+			}
+			d.markCorrupt(KindCFG, key)
+		}
+	}
 	c.misses.Add(1)
 	fc, err = cfg.BuildFunc(exe, f)
 	if err != nil {
 		return nil, Key{}, false, false, err
 	}
 	p := &funcProto{start: f.Addr, fc: fc, bytes: protoBytes(fc)}
-	c.mu.Lock()
-	if _, raced := c.cfgs[key]; !raced {
-		c.cfgs[key] = p
-		c.bytes.Add(p.bytes)
+	c.insertCFG(key, p)
+	if d := c.diskStore(); d != nil {
+		d.spill(KindCFG, key, encodeFuncProto(p))
 	}
-	c.mu.Unlock()
 	return fc, key, true, false, nil
+}
+
+// insertCFG publishes a CFG prototype, keeping the incumbent if a
+// concurrent insert won the race; the returned proto is the resident one.
+func (c *Cache) insertCFG(key Key, p *funcProto) *funcProto {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if exist, raced := c.cfgs[key]; raced {
+		return exist
+	}
+	c.cfgs[key] = p
+	c.bytes.Add(p.bytes)
+	return p
 }
 
 // progProto is one fully-built program keyed by its text image. Every field
@@ -445,15 +482,35 @@ func (c *Cache) Costs(key Key, marchFP string, fc *cfg.FuncCFG, opts march.Optio
 		c.hits.Add(1)
 		return costs, true
 	}
+	dk := costDiskKey(key, marchFP)
+	if d := c.diskStore(); d != nil {
+		if payload := d.load(KindCost, dk); payload != nil {
+			if restored, ok := decodeCosts(payload); ok && len(restored) == len(fc.Blocks) {
+				d.restored.Add(1)
+				c.hits.Add(1)
+				return c.insertCosts(ck, restored), true
+			}
+			d.markCorrupt(KindCost, dk)
+		}
+	}
 	c.misses.Add(1)
 	costs = march.CostsOf(fc, opts)
-	c.mu.Lock()
-	if _, raced := c.costs[ck]; !raced {
-		c.costs[ck] = costs
-		c.bytes.Add(int64(len(costs))*24 + int64(len(marchFP)))
+	costs = c.insertCosts(ck, costs)
+	if d := c.diskStore(); d != nil {
+		d.spill(KindCost, dk, encodeCosts(costs))
 	}
-	c.mu.Unlock()
 	return costs, false
+}
+
+func (c *Cache) insertCosts(ck costKey, costs []march.BlockCost) []march.BlockCost {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if exist, raced := c.costs[ck]; raced {
+		return exist
+	}
+	c.costs[ck] = costs
+	c.bytes.Add(int64(len(costs))*24 + int64(len(ck.march)))
+	return costs
 }
 
 // RowTemplate is one function's structural flow rows — per block, the
@@ -509,15 +566,94 @@ func (c *Cache) Rows(key Key, fc *cfg.FuncCFG) (t *RowTemplate, hit bool) {
 		c.hits.Add(1)
 		return t, true
 	}
+	if d := c.diskStore(); d != nil {
+		if payload := d.load(KindRows, key); payload != nil {
+			if restored, ok := decodeRows(payload); ok && len(restored.Rows) == 2*len(fc.Blocks) {
+				d.restored.Add(1)
+				c.hits.Add(1)
+				return c.insertRows(key, restored), true
+			}
+			d.markCorrupt(KindRows, key)
+		}
+	}
 	c.misses.Add(1)
 	t = BuildRowTemplate(fc)
-	c.mu.Lock()
-	if _, raced := c.rows[key]; !raced {
-		c.rows[key] = t
-		c.bytes.Add(int64(t.NNZ)*12 + int64(len(t.Rows))*56)
+	t = c.insertRows(key, t)
+	if d := c.diskStore(); d != nil {
+		d.spill(KindRows, key, encodeRows(t))
 	}
-	c.mu.Unlock()
 	return t, false
+}
+
+func (c *Cache) insertRows(key Key, t *RowTemplate) *RowTemplate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if exist, raced := c.rows[key]; raced {
+		return exist
+	}
+	c.rows[key] = t
+	c.bytes.Add(int64(t.NNZ)*12 + int64(len(t.Rows))*56)
+	return t
+}
+
+// ExeKey hashes a program text plus the frontend mode ("asm", "cc",
+// "cc-opt") that turns it into an image: the content address of the
+// compiled executable artifact.
+func ExeKey(mode, text string) Key {
+	h := sha256.New()
+	h.Write([]byte(mode))
+	h.Write([]byte{0})
+	h.Write([]byte(text))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Executable returns the built image for a program text, serving it from
+// memory or the disk tier when an identical (mode, text) pair was built
+// before — a restarted daemon skips the whole compile/assemble frontend.
+// build runs only on a full miss. The returned executable is shared and
+// must be treated as immutable.
+func (c *Cache) Executable(mode, text string, build func() (*asm.Executable, error)) (exe *asm.Executable, hit bool, err error) {
+	key := ExeKey(mode, text)
+	c.mu.Lock()
+	exe = c.exes[key]
+	c.mu.Unlock()
+	if exe != nil {
+		c.hits.Add(1)
+		return exe, true, nil
+	}
+	if d := c.diskStore(); d != nil {
+		if payload := d.load(KindExe, key); payload != nil {
+			if restored, ok := decodeExe(payload); ok {
+				d.restored.Add(1)
+				c.hits.Add(1)
+				return c.insertExe(key, restored), true, nil
+			}
+			d.markCorrupt(KindExe, key)
+		}
+	}
+	c.misses.Add(1)
+	exe, err = build()
+	if err != nil {
+		return nil, false, err
+	}
+	exe = c.insertExe(key, exe)
+	if d := c.diskStore(); d != nil {
+		d.spill(KindExe, key, encodeExe(exe))
+	}
+	return exe, false, nil
+}
+
+func (c *Cache) insertExe(key Key, exe *asm.Executable) *asm.Executable {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if exist, raced := c.exes[key]; raced {
+		return exist
+	}
+	c.exes[key] = exe
+	c.bytes.Add(int64(len(exe.Mem)) + int64(len(exe.Symbols))*48 + int64(len(exe.Functions))*40 + int64(len(exe.Lines))*16)
+	return exe
 }
 
 // AppendRelocated writes the template's rows into dst[at:] with every

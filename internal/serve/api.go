@@ -96,8 +96,9 @@ type EstimateResponse struct {
 	Exact    bool `json:"exact"`
 	Degraded bool `json:"degraded"`
 	// Admission reports how the request got its solve slot: "ok" (ran
-	// within its SLO), or "shed" (overload — the solver ran envelope-only
-	// under a token deadline).
+	// within its SLO), "shed" (overload — the solver ran envelope-only
+	// under a token deadline), or "watchdog" (the solve wedged past the
+	// hard ceiling and was cancelled; the answer is a sound envelope).
 	Admission string `json:"admission"`
 	// AnsweredBy is "solver", "formula" (parametric piece, no simplex
 	// work), or "infeasible".
@@ -148,6 +149,11 @@ type ParametrizeResponse struct {
 // ErrorResponse is the body of every non-2xx answer.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// Code is the machine-readable failure class (the Code* constants in
+	// this package): bad_body, too_large, bad_request, not_resident,
+	// annotation, infeasible, unbound_symbol, panic, watchdog_timeout.
+	// Clients branch on Code; Error is for humans.
+	Code string `json:"code"`
 	// Resubmit hints that the named program is not resident (evicted or
 	// never submitted) and the client should retry with inline source.
 	Resubmit bool `json:"resubmit,omitempty"`
@@ -167,6 +173,14 @@ type StatsResponse struct {
 	Degraded     int64 `json:"degraded"`
 	Shed         int64 `json:"shed"`
 	Errors       int64 `json:"errors"`
+	// Panics counts requests answered by the fault barrier (typed 500s);
+	// Wedged counts solves the watchdog cancelled. WedgeStreak is the
+	// current run of consecutive wedges; Health mirrors /healthz ("ok" or
+	// "degraded").
+	Panics      int64  `json:"panics"`
+	Wedged      int64  `json:"wedged"`
+	WedgeStreak int64  `json:"wedge_streak"`
+	Health      string `json:"health"`
 
 	FormulaAnswered  int64 `json:"formula_answered"`
 	FallbackAnswered int64 `json:"fallback_answered"`
@@ -186,6 +200,20 @@ type ArtifactStatsJSON struct {
 	Misses  int64 `json:"misses"`
 	Bytes   int64 `json:"bytes"`
 	Entries int   `json:"entries"`
+	// Persist is the disk tier's ledger when a persistence directory is
+	// attached (all zero otherwise).
+	Persist PersistStatsJSON `json:"persist"`
+}
+
+// PersistStatsJSON mirrors prepcache.PersistStats: the persistent
+// artifact store's restores, spills, detected-and-rebuilt corruptions,
+// failed writes, and clean misses.
+type PersistStatsJSON struct {
+	Restored    int64 `json:"restored"`
+	Spilled     int64 `json:"spilled"`
+	Corrupt     int64 `json:"corrupt"`
+	WriteErrors int64 `json:"write_errors"`
+	Misses      int64 `json:"misses"`
 }
 
 // StoreStatsJSON describes the session store.

@@ -1,0 +1,177 @@
+// Package chaos is the deterministic fault injector behind cinderelld's
+// crash-safety harness. An Injector is armed with a seed and a set of
+// fault points, each firing on every Nth arrival with a seed-derived
+// phase, so a given (seed, rate) configuration injects the same number of
+// faults at the same points on every run — regardless of goroutine
+// interleaving — and the harness can assert exact invariants instead of
+// "probably saw some faults".
+//
+// The package is a leaf: serve imports it for Config wiring, the harness
+// test drives it through loadgen. A nil *Injector is inert, so production
+// paths pay one nil check per fault point.
+package chaos
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Point names one fault-injection site inside the server.
+type Point string
+
+const (
+	// DiskWrite fails a prepare-artifact spill (prepcache BeforeWrite):
+	// persistence degrades, correctness must not.
+	DiskWrite Point = "disk.write"
+	// DiskCorrupt flips a byte in an artifact file as it is read back
+	// (prepcache AfterRead): the checksum must reject it and the artifact
+	// must be rebuilt from source.
+	DiskCorrupt Point = "disk.corrupt"
+	// SolvePanic panics inside the estimate flight: the request must get a
+	// typed 500, the process must not die, and coalesced waiters must not
+	// deadlock.
+	SolvePanic Point = "solve.panic"
+	// SolveSlow wedges the solve in an uncancellable sleep: the watchdog
+	// must cancel it, free the admission slot, and answer with the sound
+	// anytime envelope.
+	SolveSlow Point = "solve.slow"
+	// Evict removes the session entry from the store mid-request: the
+	// in-flight request keeps its session pointer and must still answer;
+	// the next request re-prepares.
+	Evict Point = "evict"
+)
+
+// Points lists every fault point, in a stable order.
+var Points = []Point{DiskWrite, DiskCorrupt, SolvePanic, SolveSlow, Evict}
+
+// Config arms an Injector. Each *Every field fires its point on every Nth
+// arrival (0 disables the point); Seed phases the firing pattern so two
+// seeds fault different request indices but the same configuration always
+// faults the same count.
+type Config struct {
+	Seed int64
+
+	DiskWriteEvery   int
+	DiskCorruptEvery int
+	SolvePanicEvery  int
+	SolveSlowEvery   int
+	EvictEvery       int
+
+	// SlowSolve is how long SolveSlow wedges (default 50ms). Set it above
+	// the server's watchdog ceiling to guarantee the watchdog fires.
+	SlowSolve time.Duration
+}
+
+type pointState struct {
+	every  uint64
+	offset uint64
+	hits   atomic.Uint64
+	fired  atomic.Int64
+}
+
+// Injector decides, per arrival at a fault point, whether the fault
+// fires. Safe for concurrent use; a nil Injector never fires.
+type Injector struct {
+	points map[Point]*pointState
+	slow   time.Duration
+}
+
+// New builds an Injector from the config.
+func New(conf Config) *Injector {
+	slow := conf.SlowSolve
+	if slow <= 0 {
+		slow = 50 * time.Millisecond
+	}
+	inj := &Injector{points: make(map[Point]*pointState), slow: slow}
+	arm := func(p Point, every int) {
+		if every <= 0 {
+			return
+		}
+		inj.points[p] = &pointState{
+			every:  uint64(every),
+			offset: phase(conf.Seed, p, uint64(every)),
+		}
+	}
+	arm(DiskWrite, conf.DiskWriteEvery)
+	arm(DiskCorrupt, conf.DiskCorruptEvery)
+	arm(SolvePanic, conf.SolvePanicEvery)
+	arm(SolveSlow, conf.SolveSlowEvery)
+	arm(Evict, conf.EvictEvery)
+	return inj
+}
+
+// phase derives a stable per-point firing offset from the seed: an FNV-1a
+// fold of the seed bytes and the point name, reduced mod every.
+func phase(seed int64, p Point, every uint64) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint64(byte(seed>>(8*i)))) * 1099511628211
+	}
+	for i := 0; i < len(p); i++ {
+		h = (h ^ uint64(p[i])) * 1099511628211
+	}
+	return h % every
+}
+
+// Fire reports whether this arrival at point p faults. The decision is a
+// pure function of the point's arrival count, its rate, and the seed
+// phase: arrival n fires iff n ≡ offset (mod every).
+func (i *Injector) Fire(p Point) bool {
+	if i == nil {
+		return false
+	}
+	st := i.points[p]
+	if st == nil {
+		return false
+	}
+	n := st.hits.Add(1) - 1
+	if n%st.every == st.offset {
+		st.fired.Add(1)
+		return true
+	}
+	return false
+}
+
+// SlowSolveDuration is how long a fired SolveSlow wedge sleeps.
+func (i *Injector) SlowSolveDuration() time.Duration {
+	if i == nil {
+		return 0
+	}
+	return i.slow
+}
+
+// Fired returns how many times point p has faulted.
+func (i *Injector) Fired(p Point) int64 {
+	if i == nil {
+		return 0
+	}
+	st := i.points[p]
+	if st == nil {
+		return 0
+	}
+	return st.fired.Load()
+}
+
+// Counts snapshots the fired tally of every armed point.
+func (i *Injector) Counts() map[Point]int64 {
+	out := make(map[Point]int64)
+	if i == nil {
+		return out
+	}
+	for p, st := range i.points {
+		out[p] = st.fired.Load()
+	}
+	return out
+}
+
+// TotalFired sums fault firings across all points.
+func (i *Injector) TotalFired() int64 {
+	var n int64
+	if i == nil {
+		return 0
+	}
+	for _, st := range i.points {
+		n += st.fired.Load()
+	}
+	return n
+}

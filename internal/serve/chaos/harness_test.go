@@ -1,0 +1,248 @@
+// The chaos harness: drives a live server through loadgen with every
+// fault point armed and asserts the crash-safety contract end to end —
+// the process never dies, every answer is 200-or-typed-error, every bound
+// brackets the exact oracle, and with faults disarmed the reports are
+// bit-identical to a fault-free server's.
+package chaos_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"cinderella/internal/asm"
+	"cinderella/internal/bench"
+	"cinderella/internal/cfg"
+	"cinderella/internal/constraint"
+	"cinderella/internal/ipet"
+	"cinderella/internal/prepcache"
+	"cinderella/internal/serve"
+	"cinderella/internal/serve/chaos"
+	"cinderella/internal/serve/client"
+	"cinderella/internal/serve/loadgen"
+)
+
+// oracleWorkload builds one explosion workload with its exact bounds
+// solved directly (no server), so every chaos response can be checked
+// against ground truth.
+func oracleWorkload(t *testing.T, n int) loadgen.Workload {
+	t.Helper()
+	asmText, annots := bench.ExplosionAsm(n)
+	exe, err := asm.Assemble(asmText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := cfg.Build(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := ipet.DefaultOptions()
+	opts.Workers = 1
+	an, err := ipet.New(prog, "main", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file, err := constraint.Parse(annots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := an.Apply(file); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := an.Estimate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.WCET.Exact || !ref.BCET.Exact {
+		t.Fatalf("explosion%d oracle not exact", 1<<n)
+	}
+	return loadgen.Workload{
+		Name:        "explosion" + strconv.Itoa(1<<n),
+		Spec:        serve.ProgramSpec{Asm: asmText, Root: "main"},
+		Annotations: annots,
+		RefWCET:     ref.WCET.Cycles,
+		RefBCET:     ref.BCET.Cycles,
+	}
+}
+
+// estimateEach sends one estimate per workload through the retrying
+// client and returns the responses, failing the test on any error.
+func estimateEach(t *testing.T, ts *httptest.Server, workloads []loadgen.Workload) []*serve.EstimateResponse {
+	t.Helper()
+	cl := client.New(client.Config{Base: ts.URL, HTTP: ts.Client()})
+	out := make([]*serve.EstimateResponse, len(workloads))
+	for i, w := range workloads {
+		resp, err := cl.Estimate(context.Background(), serve.EstimateRequest{
+			ProgramSpec: w.Spec,
+			Annotations: w.Annotations,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		out[i] = resp
+	}
+	return out
+}
+
+// TestChaosHarness is the headline robustness gate.
+func TestChaosHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives chaos load over HTTP")
+	}
+	workloads := []loadgen.Workload{
+		oracleWorkload(t, 4),
+		oracleWorkload(t, 5),
+	}
+
+	// Phase A — fault-free baseline: the reports every later phase is
+	// measured against.
+	baseCache := prepcache.New()
+	if err := baseCache.SetPersistDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	baseSrv := httptest.NewServer(serve.New(serve.Config{
+		Shards: 1, Workers: 1, Artifacts: baseCache,
+	}).Handler())
+	baseline := estimateEach(t, baseSrv, workloads)
+	baseSrv.Close()
+	for i, b := range baseline {
+		if !b.Exact {
+			t.Fatalf("baseline %s not exact", workloads[i].Name)
+		}
+	}
+
+	// Phase B — every fault point armed, driven hard through loadgen.
+	// SlowSolve sits far above the watchdog ceiling so every fired wedge
+	// must be rescued by the watchdog, not by luck.
+	inj := chaos.New(chaos.Config{
+		Seed:             42,
+		DiskWriteEvery:   2,
+		DiskCorruptEvery: 2,
+		SolvePanicEvery:  5,
+		SolveSlowEvery:   7,
+		EvictEvery:       3,
+		SlowSolve:        2 * time.Second,
+	})
+	dir := t.TempDir()
+	chaosCache := prepcache.New()
+	if err := chaosCache.SetPersistDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(serve.Config{
+		Shards: 1, Workers: 1,
+		Artifacts:         chaosCache,
+		Chaos:             inj,
+		WatchdogCeiling:   60 * time.Millisecond,
+		DegradedThreshold: 1 << 30, // health flapping is not under test here
+	})
+	ts := httptest.NewServer(srv.Handler())
+	res, err := loadgen.Run(loadgen.Config{
+		BaseURL:   ts.URL,
+		Client:    ts.Client(),
+		Clients:   4,
+		Duration:  1200 * time.Millisecond,
+		Workloads: workloads,
+	})
+	if err != nil {
+		t.Fatalf("chaos run: %v", err)
+	}
+	t.Logf("chaos run: %s", res)
+	t.Logf("faults fired: %v", inj.Counts())
+	// The contract: zero transport/untyped errors (the process never died,
+	// never answered garbage), zero non-sound bounds, and the injected
+	// panics surfaced as typed envelopes.
+	if res.Errors != 0 {
+		t.Errorf("%d transport/untyped errors under chaos — crash-safety broken", res.Errors)
+	}
+	if res.NonSound != 0 {
+		t.Errorf("%d NON-SOUND responses under chaos", res.NonSound)
+	}
+	if res.TypedErrors == 0 {
+		t.Errorf("no typed errors despite armed panic injection (panic fired %d times)", inj.Fired(chaos.SolvePanic))
+	}
+	for _, p := range []chaos.Point{chaos.DiskWrite, chaos.SolvePanic, chaos.SolveSlow, chaos.Evict} {
+		if inj.Fired(p) == 0 {
+			t.Errorf("fault point %s armed but never fired — the harness is not exercising it", p)
+		}
+	}
+	ts.Close()
+
+	// Phase B2 — restart against the chaos-written (and partially
+	// fault-corrupted) artifact store with corruption injection on the
+	// read path: every restore is checksum-verified, corrupt entries are
+	// counted and rebuilt, answers stay exact and correct.
+	restartCache := prepcache.New()
+	if err := restartCache.SetPersistDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := serve.New(serve.Config{
+		Shards: 1, Workers: 1,
+		Artifacts:         restartCache,
+		Chaos:             inj,
+		WatchdogCeiling:   60 * time.Millisecond,
+		DegradedThreshold: 1 << 30,
+	})
+	ts2 := httptest.NewServer(srv2.Handler())
+	cl2 := client.New(client.Config{Base: ts2.URL, HTTP: ts2.Client()})
+	for i, w := range workloads {
+		// Retry past injected panics/wedges: the point is that restores
+		// under read-corruption still converge to the exact answer.
+		var got *serve.EstimateResponse
+		for attempt := 0; attempt < 20; attempt++ {
+			resp, err := cl2.Estimate(context.Background(), serve.EstimateRequest{
+				ProgramSpec: w.Spec,
+				Annotations: w.Annotations,
+			})
+			if err == nil && resp.Exact {
+				got = resp
+				break
+			}
+		}
+		if got == nil {
+			t.Fatalf("%s: no exact answer after restart under chaos", w.Name)
+		}
+		if got.WCET.Cycles != baseline[i].WCET.Cycles || got.BCET.Cycles != baseline[i].BCET.Cycles {
+			t.Errorf("%s: restart bounds [%d,%d] differ from baseline [%d,%d]",
+				w.Name, got.BCET.Cycles, got.WCET.Cycles, baseline[i].BCET.Cycles, baseline[i].WCET.Cycles)
+		}
+	}
+	ps := restartCache.PersistStats()
+	if inj.Fired(chaos.DiskCorrupt) == 0 {
+		t.Error("restart restored artifacts but the read-corruption point never fired — the harness is not exercising it")
+	} else if ps.Corrupt == 0 {
+		t.Errorf("read-path corruption fired %d times but PersistStats.Corrupt is 0 — corrupt entries were trusted",
+			inj.Fired(chaos.DiskCorrupt))
+	}
+	ts2.Close()
+
+	// Phase C — injector present but disarmed: responses are bit-identical
+	// to the fault-free baseline. The chaos plumbing itself must be
+	// invisible when off.
+	offCache := prepcache.New()
+	if err := offCache.SetPersistDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	off := chaos.New(chaos.Config{Seed: 42}) // nothing armed
+	offSrv := httptest.NewServer(serve.New(serve.Config{
+		Shards: 1, Workers: 1,
+		Artifacts: offCache,
+		Chaos:     off,
+	}).Handler())
+	defer offSrv.Close()
+	quiet := estimateEach(t, offSrv, workloads)
+	for i := range workloads {
+		if !reflect.DeepEqual(quiet[i].WCET, baseline[i].WCET) || !reflect.DeepEqual(quiet[i].BCET, baseline[i].BCET) {
+			t.Errorf("%s: disarmed-chaos report differs from fault-free baseline:\n  got  WCET %+v BCET %+v\n  want WCET %+v BCET %+v",
+				workloads[i].Name, quiet[i].WCET, quiet[i].BCET, baseline[i].WCET, baseline[i].BCET)
+		}
+		if quiet[i].Exact != baseline[i].Exact {
+			t.Errorf("%s: exactness flag differs with disarmed chaos", workloads[i].Name)
+		}
+	}
+	if off.TotalFired() != 0 {
+		t.Errorf("disarmed injector fired %d faults", off.TotalFired())
+	}
+}

@@ -1,0 +1,199 @@
+// Package client is the retrying HTTP client for cinderelld. It wraps
+// the wire API in typed calls, converts every non-2xx answer into an
+// *APIError carrying the server's machine-readable code, and retries
+// transport failures (connection refused, reset, EOF mid-response) with
+// exponential backoff and jitter. Retrying is safe because the API is
+// idempotent by construction: programs are content-addressed, estimates
+// are pure functions of (program, annotations, params), and the server
+// coalesces identical in-flight requests — re-submitting after a lost
+// connection re-reads a cache at worst.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"cinderella/internal/serve"
+)
+
+// Config shapes a Client. The zero value of each field selects the
+// documented default.
+type Config struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8372".
+	Base string
+	// HTTP overrides the transport (default http.DefaultClient).
+	HTTP *http.Client
+	// MaxRetries is how many times a transport failure is retried beyond
+	// the first attempt (default 3). HTTP-status errors are never retried:
+	// they are answers.
+	MaxRetries int
+	// BaseBackoff is the first retry delay; each further retry doubles it,
+	// plus up to 50% seeded jitter (default 50ms).
+	BaseBackoff time.Duration
+	// Seed seeds the jitter source, making retry schedules reproducible in
+	// tests (0 = a fixed default seed).
+	Seed int64
+}
+
+// Client is safe for concurrent use.
+type Client struct {
+	conf Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// retries counts transport retries performed, for harness assertions.
+	retries int64
+}
+
+// New builds a client; see Config for defaults.
+func New(conf Config) *Client {
+	if conf.HTTP == nil {
+		conf.HTTP = http.DefaultClient
+	}
+	if conf.MaxRetries <= 0 {
+		conf.MaxRetries = 3
+	}
+	if conf.BaseBackoff <= 0 {
+		conf.BaseBackoff = 50 * time.Millisecond
+	}
+	seed := conf.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Client{conf: conf, rng: rand.New(rand.NewSource(seed))}
+}
+
+// APIError is a non-2xx answer: the server spoke, the request failed.
+type APIError struct {
+	Status   int
+	Code     string
+	Message  string
+	Resubmit bool
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server status %d (%s): %s", e.Status, e.Code, e.Message)
+}
+
+// Retries reports how many transport retries the client has performed.
+func (c *Client) Retries() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.retries
+}
+
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.conf.BaseBackoff << attempt
+	c.mu.Lock()
+	jitter := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.retries++
+	c.mu.Unlock()
+	return d + jitter
+}
+
+// do sends one request body and decodes the answer, retrying transport
+// failures. A response with a status — any status — ends the retry loop:
+// non-2xx becomes an *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, c.conf.Base+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.conf.HTTP.Do(req)
+		if err == nil {
+			return decodeResponse(resp, out)
+		}
+		lastErr = err
+		if attempt >= c.conf.MaxRetries || ctx.Err() != nil {
+			return fmt.Errorf("%s %s: %d attempts: %w", method, path, attempt+1, lastErr)
+		}
+		select {
+		case <-time.After(c.backoff(attempt)):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func decodeResponse(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e serve.ErrorResponse
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if err := json.Unmarshal(data, &e); err != nil || (e.Error == "" && e.Code == "") {
+			// A non-JSON error body is a transport-ish failure mode, but the
+			// server did answer: surface it typed with an empty code so the
+			// harness can flag it.
+			return &APIError{Status: resp.StatusCode, Message: string(data)}
+		}
+		return &APIError{Status: resp.StatusCode, Code: e.Code, Message: e.Error, Resubmit: e.Resubmit}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// PostJSON posts v to path and decodes the 2xx answer into out.
+func (c *Client) PostJSON(ctx context.Context, path string, v, out any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, path, body, out)
+}
+
+// GetJSON fetches path into out.
+func (c *Client) GetJSON(ctx context.Context, path string, out any) error {
+	return c.do(ctx, http.MethodGet, path, nil, out)
+}
+
+// Submit registers a program and returns its content hash.
+func (c *Client) Submit(ctx context.Context, spec serve.ProgramSpec) (*serve.SubmitResponse, error) {
+	var out serve.SubmitResponse
+	if err := c.PostJSON(ctx, "/v1/programs", spec, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Estimate runs one timing estimate.
+func (c *Client) Estimate(ctx context.Context, req serve.EstimateRequest) (*serve.EstimateResponse, error) {
+	var out serve.EstimateResponse
+	if err := c.PostJSON(ctx, "/v1/estimate", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Parametrize builds a piecewise-linear bound formula on the session.
+func (c *Client) Parametrize(ctx context.Context, req serve.ParametrizeRequest) (*serve.ParametrizeResponse, error) {
+	var out serve.ParametrizeResponse
+	if err := c.PostJSON(ctx, "/v1/parametrize", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the server's counter snapshot.
+func (c *Client) Stats(ctx context.Context) (*serve.StatsResponse, error) {
+	var out serve.StatsResponse
+	if err := c.GetJSON(ctx, "/v1/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,6 +1,10 @@
 package serve
 
-import "sync"
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
 
 // flightGroup coalesces duplicate concurrent work: all callers of Do with
 // the same key while one call is in flight share that call's single
@@ -18,9 +22,24 @@ type flightCall struct {
 	err  error
 }
 
+// panicError carries a panic recovered at the flight boundary to every
+// coalesced caller as an ordinary error. Without this conversion a
+// panicking fn would unwind past the key cleanup, leaving waiters blocked
+// on done forever and the key wedged in the map — one bad request would
+// poison its coalescing key for the life of the process.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("internal panic: %v", e.val)
+}
+
 // Do runs fn once per key among concurrent callers and hands everyone the
 // same result. shared reports whether this caller piggybacked on another's
-// call rather than running fn itself.
+// call rather than running fn itself. A panic in fn is recovered and
+// returned as a *panicError to the runner and all waiters alike.
 func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
@@ -35,7 +54,7 @@ func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error
 	g.m[key] = c
 	g.mu.Unlock()
 
-	c.val, c.err = fn()
+	c.val, c.err = runFlight(fn)
 
 	// Remove the key before releasing waiters so a caller arriving after
 	// completion starts a fresh flight instead of reading a stale result.
@@ -44,4 +63,15 @@ func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error
 	g.mu.Unlock()
 	close(c.done)
 	return c.val, c.err, false
+}
+
+// runFlight executes fn with a recover barrier, converting a panic into a
+// *panicError result.
+func runFlight(fn func() (any, error)) (val any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			val, err = nil, &panicError{val: r, stack: debug.Stack()}
+		}
+	}()
+	return fn()
 }

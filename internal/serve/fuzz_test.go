@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cinderella/internal/bench"
+)
+
+// FuzzServeRequest throws arbitrary bytes at the three POST endpoints and
+// asserts the crash-safety contract at the wire level: the server always
+// answers, the answer is 200 or a typed error envelope, and the process
+// never panics (a panic fails the fuzz run by killing the shared server).
+func FuzzServeRequest(f *testing.F) {
+	asmText, annots := bench.ExplosionAsm(3)
+	valid, _ := json.Marshal(EstimateRequest{
+		ProgramSpec: ProgramSpec{Asm: asmText, Root: "main"},
+		Annotations: annots,
+	})
+	submit, _ := json.Marshal(ProgramSpec{Asm: asmText, Root: "main"})
+
+	f.Add(byte(0), valid)
+	f.Add(byte(1), submit)
+	f.Add(byte(2), []byte(`{"asm": "func main\n    ret\n", "specs": [{"name": "n1", "lo": 1, "hi": 4}]}`))
+	f.Add(byte(0), []byte("{not json"))
+	f.Add(byte(0), []byte(`{"bogus": 1}`))
+	f.Add(byte(0), []byte(`{"asm": "func main\n    jmp nowhere\n"}`))
+	f.Add(byte(0), []byte(`{"asm": "\x00\xff garbage"}`))
+	f.Add(byte(0), []byte(`{"source": "func main() { return 0 }"}`))
+	f.Add(byte(0), []byte(`{"program": "deadbeef"}`))
+	f.Add(byte(0), []byte(`{"asm": "func main\n    ret\n", "annotations": "func main { loop 99: 1 .. 2 }"}`))
+	f.Add(byte(0), []byte(`{"asm": "func main\n    ret\n", "annotations": "func main { x1 = n7 }"}`))
+
+	// One server shared across the whole fuzz run: the SLO and watchdog
+	// bound the solve cost of any adversarial-but-valid program the fuzzer
+	// invents, and a tight body cap bounds decode cost.
+	srv := New(Config{
+		Shards: 1, Workers: 1,
+		MaxBodyBytes:    64 << 10,
+		DefaultSLO:      100 * time.Millisecond,
+		WatchdogCeiling: 2 * time.Second,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	f.Cleanup(ts.Close)
+	paths := []string{"/v1/estimate", "/v1/programs", "/v1/parametrize"}
+
+	f.Fuzz(func(t *testing.T, pathSel byte, body []byte) {
+		path := paths[int(pathSel)%len(paths)]
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("server stopped answering (%s): %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return
+		}
+		var e ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Code == "" {
+			t.Fatalf("%s: status %d without a typed error envelope (decode err %v, code %q)",
+				path, resp.StatusCode, err, e.Code)
+		}
+	})
+}

@@ -9,8 +9,8 @@
 package loadgen
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"cinderella/internal/serve"
+	"cinderella/internal/serve/client"
 )
 
 // Workload is one request shape in the mix.
@@ -54,9 +55,16 @@ type Config struct {
 
 // Result is the ledger of one run.
 type Result struct {
-	Requests   int64
-	Errors     int64
-	NonSound   int64
+	Requests int64
+	// Errors counts transport failures and untyped answers — the things a
+	// healthy server never produces. TypedErrors counts non-2xx responses
+	// that carried a machine-readable error envelope: under fault
+	// injection those are the server failing *correctly*.
+	Errors      int64
+	TypedErrors int64
+	// Retries is the client's transport-retry total across the run.
+	Retries  int64
+	NonSound int64
 	Degraded   int64
 	Shed       int64
 	Coalesced  int64
@@ -86,12 +94,12 @@ type Result struct {
 
 // String renders the run the way the smoke logs want it.
 func (r Result) String() string {
-	return fmt.Sprintf("%d req in %s (%.0f req/s), p50 %s p99 %s (warm p50 %s, cold p50 %s, prepare p50 %s p99 %s, artifact hit rate %.2f), %d degraded, %d shed, %d coalesced, %d cold, %d evictions, %d errors, %d NON-SOUND",
+	return fmt.Sprintf("%d req in %s (%.0f req/s), p50 %s p99 %s (warm p50 %s, cold p50 %s, prepare p50 %s p99 %s, artifact hit rate %.2f), %d degraded, %d shed, %d coalesced, %d cold, %d evictions, %d errors, %d typed errors, %d retries, %d NON-SOUND",
 		r.Requests, r.Duration.Round(time.Millisecond), r.ReqPerSec,
 		r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
 		r.WarmP50.Round(time.Microsecond), r.ColdP50.Round(time.Microsecond),
 		r.PrepareP50.Round(time.Microsecond), r.PrepareP99.Round(time.Microsecond), r.ArtifactHitRate,
-		r.Degraded, r.Shed, r.Coalesced, r.ColdStarts, r.Evictions, r.Errors, r.NonSound)
+		r.Degraded, r.Shed, r.Coalesced, r.ColdStarts, r.Evictions, r.Errors, r.TypedErrors, r.Retries, r.NonSound)
 }
 
 // Run drives the server until the duration (and optional request cap) is
@@ -109,8 +117,9 @@ func Run(cfg Config) (Result, error) {
 	if len(cfg.Workloads) == 0 {
 		return Result{}, fmt.Errorf("loadgen: no workloads")
 	}
+	cl := client.New(client.Config{Base: cfg.BaseURL, HTTP: cfg.Client})
 
-	statsBefore, err := serverStats(cfg.Client, cfg.BaseURL)
+	statsBefore, err := cl.Stats(context.Background())
 	if err != nil {
 		return Result{}, err
 	}
@@ -131,7 +140,7 @@ func Run(cfg Config) (Result, error) {
 		go func(c int) {
 			defer wg.Done()
 			var myWarm, myCold, myPrep []time.Duration
-			var errs, nonSound, degraded, shed, coalesced, cold int64
+			var errs, typedErrs, nonSound, degraded, shed, coalesced, cold int64
 			for i := 0; time.Now().Before(deadline); i++ {
 				if cfg.MaxRequests > 0 && reqCount.Add(1) > cfg.MaxRequests {
 					reqCount.Add(-1)
@@ -141,10 +150,17 @@ func Run(cfg Config) (Result, error) {
 				}
 				w := &cfg.Workloads[(c+i)%len(cfg.Workloads)]
 				t0 := time.Now()
-				resp, err := estimateOnce(cfg.Client, cfg.BaseURL, w)
+				resp, err := estimateOnce(cl, w)
 				lat := time.Since(t0)
 				if err != nil {
-					errs++
+					// A typed envelope is the server failing correctly; an
+					// untyped answer or transport failure is the real error.
+					var ae *client.APIError
+					if errors.As(err, &ae) && ae.Code != "" {
+						typedErrs++
+					} else {
+						errs++
+					}
 					continue
 				}
 				if resp.ColdStart {
@@ -180,6 +196,7 @@ func Run(cfg Config) (Result, error) {
 			coldLat = append(coldLat, myCold...)
 			prepLat = append(prepLat, myPrep...)
 			res.Errors += errs
+			res.TypedErrors += typedErrs
 			res.NonSound += nonSound
 			res.Degraded += degraded
 			res.Shed += shed
@@ -191,8 +208,9 @@ func Run(cfg Config) (Result, error) {
 	wg.Wait()
 	res.Duration = time.Since(start)
 	res.Requests = reqCount.Load()
+	res.Retries = cl.Retries()
 
-	statsAfter, err := serverStats(cfg.Client, cfg.BaseURL)
+	statsAfter, err := cl.Stats(context.Background())
 	if err != nil {
 		return res, err
 	}
@@ -217,45 +235,15 @@ func Run(cfg Config) (Result, error) {
 
 // estimateOnce sends one estimate with the workload's inline program spec,
 // so the request succeeds whether the session is resident or was evicted.
-func estimateOnce(client *http.Client, base string, w *Workload) (*serve.EstimateResponse, error) {
-	req := serve.EstimateRequest{
+// The client retries transport failures transparently — idempotent
+// re-submission is safe because programs are content-addressed.
+func estimateOnce(cl *client.Client, w *Workload) (*serve.EstimateResponse, error) {
+	return cl.Estimate(context.Background(), serve.EstimateRequest{
 		ProgramSpec: w.Spec,
 		Annotations: w.Annotations,
 		Params:      w.Params,
 		SLOMillis:   w.SLOMillis,
-	}
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, err
-	}
-	hr, err := client.Post(base+"/v1/estimate", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	defer hr.Body.Close()
-	if hr.StatusCode != http.StatusOK {
-		var e serve.ErrorResponse
-		json.NewDecoder(hr.Body).Decode(&e)
-		return nil, fmt.Errorf("estimate %s: status %d: %s", w.Name, hr.StatusCode, e.Error)
-	}
-	var resp serve.EstimateResponse
-	if err := json.NewDecoder(hr.Body).Decode(&resp); err != nil {
-		return nil, err
-	}
-	return &resp, nil
-}
-
-func serverStats(client *http.Client, base string) (*serve.StatsResponse, error) {
-	hr, err := client.Get(base + "/v1/stats")
-	if err != nil {
-		return nil, err
-	}
-	defer hr.Body.Close()
-	var st serve.StatsResponse
-	if err := json.NewDecoder(hr.Body).Decode(&st); err != nil {
-		return nil, err
-	}
-	return &st, nil
+	})
 }
 
 // percentile returns the p-th percentile (nearest-rank) of lats.

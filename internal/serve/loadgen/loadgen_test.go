@@ -6,7 +6,6 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
-	"strings"
 	"testing"
 	"time"
 
@@ -79,7 +78,10 @@ func runScenario(t *testing.T, name string, sc serve.Config, lc Config) Result {
 		t.Errorf("%s: no requests completed", name)
 	}
 	if res.Errors != 0 {
-		t.Errorf("%s: %d transport/HTTP errors", name, res.Errors)
+		t.Errorf("%s: %d transport/untyped errors", name, res.Errors)
+	}
+	if res.TypedErrors != 0 {
+		t.Errorf("%s: %d typed error responses under a fault-free run", name, res.TypedErrors)
 	}
 	if res.NonSound != 0 {
 		t.Errorf("%s: %d NON-SOUND responses — a bound crossed the exact reference", name, res.NonSound)
@@ -222,9 +224,10 @@ func perfRow(name string, r Result) bench.EstimatePerf {
 	}
 }
 
-// mergeRows rewrites path keeping every non-serve row and replacing the
-// serve/ rows with the fresh ones, so the estimate rows and the load rows
-// share one artifact.
+// mergeRows rewrites path replacing rows by exact name and keeping
+// everything else, so the estimate rows, the load rows, and rows written
+// by other tests (serve/restart-warm) share one artifact without
+// clobbering each other.
 func mergeRows(path string, rows []bench.EstimatePerf) error {
 	var existing []bench.EstimatePerf
 	if data, err := os.ReadFile(path); err == nil {
@@ -232,9 +235,13 @@ func mergeRows(path string, rows []bench.EstimatePerf) error {
 			return err
 		}
 	}
+	fresh := make(map[string]bool, len(rows))
+	for _, r := range rows {
+		fresh[r.Name] = true
+	}
 	var merged []bench.EstimatePerf
 	for _, r := range existing {
-		if !strings.HasPrefix(r.Name, "serve/") {
+		if !fresh[r.Name] {
 			merged = append(merged, r)
 		}
 	}

@@ -15,6 +15,12 @@ type counters struct {
 	degraded     atomic.Int64
 	shed         atomic.Int64
 	errors       atomic.Int64
+	// panics counts requests answered by the fault barrier (recover
+	// middleware or a flight's panicError) — each was a typed 500, not a
+	// process death.
+	panics atomic.Int64
+	// wedged counts solves the watchdog cancelled past the hard ceiling.
+	wedged atomic.Int64
 
 	formulaAnswered  atomic.Int64
 	fallbackAnswered atomic.Int64

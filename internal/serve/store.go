@@ -195,6 +195,25 @@ func (s *store) evictLocked(sh *storeShard) {
 	}
 }
 
+// remove drops the entry for hash, if resident — the chaos harness's
+// mid-flight eviction point. A request already holding the entry pointer
+// is unaffected; the next lookup misses and re-prepares.
+func (s *store) remove(hash string) bool {
+	sh := s.shardOf(hash)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[hash]
+	if !ok {
+		return false
+	}
+	ent := el.Value.(*entry)
+	sh.lru.Remove(el)
+	delete(sh.entries, hash)
+	sh.mem -= ent.mem
+	s.ctrs.evictions.Add(1)
+	return true
+}
+
 // snapshot reports store occupancy and the resident entries, coldest last
 // within each shard.
 func (s *store) snapshot() (resident int, mem int64, ents []*entry) {
